@@ -1,0 +1,145 @@
+// Ablation study backing the paper's §6.3.4 ("Worker Models") analysis as
+// a controlled experiment, in two parts:
+//
+//  Part A (asymmetry): homogeneous worker populations from symmetric
+//  (one-coin, q_TT = q_FF) to strongly asymmetric (q_TT << q_FF). The
+//  instructive negative result: when every worker is identical, the extra
+//  expressiveness of the confusion matrix buys almost nothing — the D&S
+//  accuracy edge at the symmetric point comes purely from class-prior
+//  calibration (it learns to prefer F on 2:1 splits under the 15:85
+//  prior), and it trades F1 on the rare positive class to get it.
+//
+//  Part B (heterogeneity): a D_Product-like asymmetric population mixed
+//  with an increasing fraction of spammers. Identifying and down-weighting
+//  spammers is where quality-aware models earn their F1 lead over MV, and
+//  the richer confusion-matrix model earns its lead over worker
+//  probability (paper §6.3.1(4)).
+//
+// Usage: bench_ablation_worker_models [--tasks=3000] [--repeats=5]
+//          [--seed=1]
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "simulation/generator.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using crowdtruth::core::InferenceOptions;
+using crowdtruth::experiments::EvaluateCategorical;
+using crowdtruth::experiments::Summarize;
+using crowdtruth::util::TablePrinter;
+
+struct Quality {
+  double accuracy = 0.0;
+  double f1 = 0.0;
+};
+
+Quality MeanQuality(const std::string& method,
+                    const std::vector<crowdtruth::sim::ConfusionArchetype>&
+                        archetypes,
+                    int tasks, int repeats, uint64_t seed) {
+  const auto m = crowdtruth::core::MakeCategoricalMethod(method);
+  std::vector<double> accuracy;
+  std::vector<double> f1;
+  for (int trial = 0; trial < repeats; ++trial) {
+    crowdtruth::sim::CategoricalSimSpec spec;
+    spec.name = "ablation";
+    spec.num_tasks = tasks;
+    spec.num_workers = 60;
+    spec.num_choices = 2;
+    spec.assignment.redundancy = 3;
+    spec.task_model.class_prior = {0.15, 0.85};
+    spec.worker_archetypes = archetypes;
+    const crowdtruth::data::CategoricalDataset dataset =
+        crowdtruth::sim::GenerateCategorical(spec, seed + trial * 7919);
+    InferenceOptions options;
+    options.seed = seed + trial;
+    const auto eval = EvaluateCategorical(*m, dataset, options, 0);
+    accuracy.push_back(eval.accuracy);
+    f1.push_back(eval.f1);
+  }
+  return {Summarize(accuracy).mean, Summarize(f1).mean};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdtruth::util::Flags flags(
+      argc, argv, {{"tasks", "3000"}, {"repeats", "5"}, {"seed", "1"}});
+  const int tasks = flags.GetInt("tasks");
+  const int repeats = flags.GetInt("repeats");
+  const uint64_t seed = flags.GetInt("seed");
+
+  crowdtruth::bench::PrintBenchHeader(
+      "Ablation: worker-model expressiveness (confusion matrix vs worker "
+      "probability)",
+      "the Section 6.3.4 'Worker Models' analysis");
+
+  std::cout << "\nPart A: asymmetry sweep (homogeneous population)\n";
+  struct AsymmetryPoint {
+    double q_tt;
+    double q_ff;
+  };
+  const std::vector<AsymmetryPoint> points = {
+      {0.77, 0.77}, {0.70, 0.85}, {0.62, 0.90}, {0.55, 0.93}, {0.48, 0.95}};
+  TablePrinter part_a({"q_TT", "q_FF", "MV acc", "ZC acc", "D&S acc",
+                       "D&S - ZC acc", "D&S F1", "ZC F1"});
+  for (const AsymmetryPoint& point : points) {
+    const std::vector<crowdtruth::sim::ConfusionArchetype> population = {
+        {.weight = 1.0,
+         .diagonal_mean = {point.q_tt, point.q_ff},
+         .diagonal_stddev = 0.08},
+    };
+    const Quality mv = MeanQuality("MV", population, tasks, repeats, seed);
+    const Quality zc = MeanQuality("ZC", population, tasks, repeats, seed);
+    const Quality ds = MeanQuality("D&S", population, tasks, repeats, seed);
+    part_a.AddRow({TablePrinter::Fixed(point.q_tt, 2),
+                   TablePrinter::Fixed(point.q_ff, 2),
+                   TablePrinter::Percent(mv.accuracy, 1),
+                   TablePrinter::Percent(zc.accuracy, 1),
+                   TablePrinter::Percent(ds.accuracy, 1),
+                   TablePrinter::SignedPercent(ds.accuracy - zc.accuracy, 1),
+                   TablePrinter::Percent(ds.f1, 1),
+                   TablePrinter::Percent(zc.f1, 1)});
+  }
+  part_a.Print(std::cout);
+
+  std::cout << "\nPart B: spammer-fraction sweep (asymmetric skilled "
+               "workers + spammers)\n";
+  TablePrinter part_b({"spammer frac", "MV F1", "ZC F1", "D&S F1",
+                       "D&S - MV F1"});
+  for (double spammer_fraction : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    const std::vector<crowdtruth::sim::ConfusionArchetype> population = {
+        {.weight = 1.0 - spammer_fraction,
+         .diagonal_mean = {0.60, 0.95},
+         .diagonal_stddev = 0.08},
+        {.weight = spammer_fraction,
+         .diagonal_mean = {0.50, 0.50},
+         .diagonal_stddev = 0.05,
+         .activity_multiplier = 2.0},
+    };
+    const Quality mv = MeanQuality("MV", population, tasks, repeats, seed);
+    const Quality zc = MeanQuality("ZC", population, tasks, repeats, seed);
+    const Quality ds = MeanQuality("D&S", population, tasks, repeats, seed);
+    part_b.AddRow({TablePrinter::Fixed(spammer_fraction, 1),
+                   TablePrinter::Percent(mv.f1, 1),
+                   TablePrinter::Percent(zc.f1, 1),
+                   TablePrinter::Percent(ds.f1, 1),
+                   TablePrinter::SignedPercent(ds.f1 - mv.f1, 1)});
+  }
+  part_b.Print(std::cout);
+
+  std::cout
+      << "\nExpected shape: Part A shows that with a *homogeneous*\n"
+         "population, worker-model expressiveness buys little (D&S's edge\n"
+         "at the symmetric point is class-prior calibration, paid for in\n"
+         "rare-class F1). Part B shows the real driver: the quality-aware\n"
+         "methods' F1 edge over MV grows steadily as (highly active)\n"
+         "spammers pollute the answer set — worker *heterogeneity*, not\n"
+         "asymmetry alone, is what makes the richer models win on\n"
+         "D_Product (paper Sec 6.3.1(4), 6.3.4).\n";
+  return 0;
+}

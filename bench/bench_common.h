@@ -1,0 +1,100 @@
+// Shared glue for the bench binaries: flag defaults, method runners over
+// redundancy-subsampled trials, and output helpers.
+#ifndef CROWDTRUTH_BENCH_BENCH_COMMON_H_
+#define CROWDTRUTH_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "experiments/redundancy.h"
+#include "experiments/runner.h"
+#include "simulation/profiles.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace crowdtruth::bench {
+
+// Mean metric across `repeats` independent redundancy subsamples of the
+// dataset, for one categorical method. Returns {accuracy, f1}. Trials run
+// in parallel; per-trial RNG streams are forked up front so results do not
+// depend on scheduling.
+struct MeanQuality {
+  double accuracy = 0.0;
+  double f1 = 0.0;
+};
+
+inline MeanQuality MeanQualityAtRedundancy(
+    const std::string& method_name, const data::CategoricalDataset& dataset,
+    int redundancy, int repeats, uint64_t seed) {
+  const auto method = core::MakeCategoricalMethod(method_name);
+  util::Rng rng(seed);
+  std::vector<util::Rng> trial_rngs;
+  trial_rngs.reserve(repeats);
+  for (int trial = 0; trial < repeats; ++trial) {
+    trial_rngs.push_back(rng.Fork());
+  }
+  std::vector<double> accuracy(repeats);
+  std::vector<double> f1(repeats);
+  util::ParallelFor(repeats, util::DefaultThreads(), [&](int trial) {
+    util::Rng trial_rng = trial_rngs[trial];
+    const data::CategoricalDataset sample =
+        experiments::SubsampleRedundancy(dataset, redundancy, trial_rng);
+    core::InferenceOptions options;
+    options.seed = trial_rng.engine()();
+    const experiments::CategoricalEval eval = experiments::EvaluateCategorical(
+        *method, sample, options, sim::kPositiveLabel);
+    accuracy[trial] = eval.accuracy;
+    f1[trial] = eval.f1;
+  });
+  return {experiments::Summarize(accuracy).mean,
+          experiments::Summarize(f1).mean};
+}
+
+struct MeanError {
+  double mae = 0.0;
+  double rmse = 0.0;
+};
+
+inline MeanError MeanErrorAtRedundancy(const std::string& method_name,
+                                       const data::NumericDataset& dataset,
+                                       int redundancy, int repeats,
+                                       uint64_t seed) {
+  const auto method = core::MakeNumericMethod(method_name);
+  util::Rng rng(seed);
+  std::vector<util::Rng> trial_rngs;
+  trial_rngs.reserve(repeats);
+  for (int trial = 0; trial < repeats; ++trial) {
+    trial_rngs.push_back(rng.Fork());
+  }
+  std::vector<double> mae(repeats);
+  std::vector<double> rmse(repeats);
+  util::ParallelFor(repeats, util::DefaultThreads(), [&](int trial) {
+    util::Rng trial_rng = trial_rngs[trial];
+    const data::NumericDataset sample =
+        experiments::SubsampleRedundancy(dataset, redundancy, trial_rng);
+    core::InferenceOptions options;
+    options.seed = trial_rng.engine()();
+    const experiments::NumericEval eval =
+        experiments::EvaluateNumeric(*method, sample, options);
+    mae[trial] = eval.mae;
+    rmse[trial] = eval.rmse;
+  });
+  return {experiments::Summarize(mae).mean,
+          experiments::Summarize(rmse).mean};
+}
+
+inline void PrintBenchHeader(const std::string& title,
+                             const std::string& paper_reference) {
+  std::cout << "==============================================================="
+               "=\n"
+            << title << "\n(reproduces " << paper_reference
+            << " of Zheng et al., PVLDB 10(5), 2017)\n"
+            << "==============================================================="
+               "=\n";
+}
+
+}  // namespace crowdtruth::bench
+
+#endif  // CROWDTRUTH_BENCH_BENCH_COMMON_H_

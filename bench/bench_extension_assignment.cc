@@ -1,0 +1,105 @@
+// Extension experiment — online task assignment (paper §7(6)): how do
+// answers collected under different assignment strategies affect truth
+// inference quality at equal budget?
+//
+// For a D_Product-like workload, the same answer budget is spent three
+// ways (random, round-robin, uncertainty-driven), then MV and D&S infer the
+// truth from each collection.
+//
+// Usage: bench_extension_assignment [--scale=0.25] [--repeats=3]
+//          [--budget_per_task=3] [--seed=1]
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "simulation/online_assignment.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using crowdtruth::experiments::EvaluateCategorical;
+using crowdtruth::experiments::Summarize;
+using crowdtruth::util::TablePrinter;
+
+const char* StrategyName(crowdtruth::sim::AssignmentStrategy strategy) {
+  switch (strategy) {
+    case crowdtruth::sim::AssignmentStrategy::kRandom:
+      return "random";
+    case crowdtruth::sim::AssignmentStrategy::kRoundRobin:
+      return "round-robin";
+    case crowdtruth::sim::AssignmentStrategy::kUncertainty:
+      return "uncertainty (QASCA-style)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"scale", "0.25"},
+                                       {"repeats", "3"},
+                                       {"budget_per_task", "3"},
+                                       {"seed", "1"}});
+  const double scale = flags.GetDouble("scale");
+  const int repeats = flags.GetInt("repeats");
+  const int budget_per_task = flags.GetInt("budget_per_task");
+  const uint64_t seed = flags.GetInt("seed");
+
+  crowdtruth::bench::PrintBenchHeader(
+      "Extension: Online Task Assignment strategies at equal budget",
+      "future direction (6) of Section 7");
+
+  const crowdtruth::sim::CategoricalSimSpec spec = crowdtruth::sim::ScaleSpec(
+      crowdtruth::sim::DProductSpec(), scale);
+  const int budget = spec.num_tasks * budget_per_task;
+  std::cout << "workload: " << spec.num_tasks << " tasks, "
+            << spec.num_workers << " workers, budget " << budget
+            << " answers (" << budget_per_task << " per task on average)\n\n";
+
+  TablePrinter table({"Strategy", "MV accuracy", "MV F1", "D&S accuracy",
+                      "D&S F1"});
+  for (const auto strategy :
+       {crowdtruth::sim::AssignmentStrategy::kRandom,
+        crowdtruth::sim::AssignmentStrategy::kRoundRobin,
+        crowdtruth::sim::AssignmentStrategy::kUncertainty}) {
+    std::vector<double> mv_accuracy;
+    std::vector<double> mv_f1;
+    std::vector<double> ds_accuracy;
+    std::vector<double> ds_f1;
+    for (int trial = 0; trial < repeats; ++trial) {
+      crowdtruth::sim::OnlineAssignmentConfig config;
+      config.strategy = strategy;
+      config.total_budget = budget;
+      const crowdtruth::data::CategoricalDataset dataset =
+          crowdtruth::sim::SimulateOnlineCollection(spec, config,
+                                                    seed + trial * 101);
+      crowdtruth::core::InferenceOptions options;
+      options.seed = seed + trial;
+      const auto mv = EvaluateCategorical(
+          *crowdtruth::core::MakeCategoricalMethod("MV"), dataset, options,
+          crowdtruth::sim::kPositiveLabel);
+      const auto ds = EvaluateCategorical(
+          *crowdtruth::core::MakeCategoricalMethod("D&S"), dataset, options,
+          crowdtruth::sim::kPositiveLabel);
+      mv_accuracy.push_back(mv.accuracy);
+      mv_f1.push_back(mv.f1);
+      ds_accuracy.push_back(ds.accuracy);
+      ds_f1.push_back(ds.f1);
+    }
+    table.AddRow({StrategyName(strategy),
+                  TablePrinter::Percent(Summarize(mv_accuracy).mean, 1),
+                  TablePrinter::Percent(Summarize(mv_f1).mean, 1),
+                  TablePrinter::Percent(Summarize(ds_accuracy).mean, 1),
+                  TablePrinter::Percent(Summarize(ds_f1).mean, 1)});
+  }
+  table.Print(std::cout);
+
+  std::cout
+      << "\nExpected shape: uncertainty-driven assignment routes extra\n"
+         "answers to contested tasks and improves inference quality over\n"
+         "random collection at the same budget — the motivation for the\n"
+         "online-assignment research direction the paper points to.\n";
+  return 0;
+}

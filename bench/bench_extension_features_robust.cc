@@ -1,0 +1,126 @@
+// Extension experiments for the paper's remaining future directions:
+//
+//  Part A — §7(7) "Incorporation of More Rich Features": LFC vs
+//  LFC-Features (Raykar'10's joint logistic classifier) across redundancy
+//  levels on a workload whose task features genuinely predict the truth.
+//  The classifier's cross-task strength should matter most at low r.
+//
+//  Part B — §7(1) "there is still room to improve numeric tasks":
+//  Mean / Median / LFC_N / PM / CATD vs the RobustNumeric aggregator
+//  across three contamination regimes. Each baseline collapses somewhere;
+//  the robust estimator stays near the per-regime best.
+//
+// Usage: bench_extension_features_robust [--seed=1]
+#include <iostream>
+#include <vector>
+
+#include "core/methods/lfc_features.h"
+#include "core/methods/robust_numeric.h"
+#include "core/registry.h"
+#include "metrics/classification.h"
+#include "metrics/numeric.h"
+#include "simulation/generator.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using crowdtruth::util::TablePrinter;
+
+crowdtruth::data::NumericDataset MakeNumericRegime(const std::string& regime,
+                                                   uint64_t seed) {
+  crowdtruth::util::Rng rng(seed);
+  crowdtruth::data::NumericDatasetBuilder builder(500, 20);
+  for (int t = 0; t < 500; ++t) {
+    const double truth = rng.Uniform(-50.0, 50.0);
+    builder.SetTruth(t, truth);
+    for (int w : rng.SampleWithoutReplacement(20, 7)) {
+      double answer = truth + rng.Normal(0.0, 6.0);
+      if (regime == "answer-contaminated" && rng.Bernoulli(0.25)) {
+        answer = rng.Uniform(-100.0, 100.0);
+      } else if (regime == "worker-garbage" && w >= 14) {
+        answer = rng.Uniform(-100.0, 100.0);
+      }
+      builder.AddAnswer(t, w, answer);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdtruth::util::Flags flags(argc, argv, {{"seed", "1"}});
+  const uint64_t seed = flags.GetInt("seed");
+
+  std::cout
+      << "================================================================\n"
+         "Extension: rich task features (Sec 7(7)) and robust numeric\n"
+         "aggregation (Sec 7(1))\n"
+         "================================================================\n";
+
+  std::cout << "\nPart A: LFC vs LFC-Features (joint logistic classifier) "
+               "vs redundancy\n";
+  TablePrinter part_a({"r", "MV", "LFC", "LFC-Features", "Features - LFC"});
+  for (int r : {1, 2, 3, 5, 7}) {
+    crowdtruth::sim::FeatureSimSpec spec;
+    spec.num_tasks = 800;
+    spec.num_workers = 30;
+    spec.num_features = 6;
+    spec.assignment.redundancy = r;
+    spec.signal_strength = 2.5;
+    const crowdtruth::sim::FeatureDataset data =
+        crowdtruth::sim::GenerateFeatureCategorical(spec, seed + r);
+    auto mv = crowdtruth::core::MakeCategoricalMethod("MV");
+    auto lfc = crowdtruth::core::MakeCategoricalMethod("LFC");
+    crowdtruth::core::LfcFeatures with_features(&data.features);
+    auto accuracy = [&](crowdtruth::core::CategoricalMethod& method) {
+      crowdtruth::core::InferenceOptions options;
+      options.seed = seed;
+      return crowdtruth::metrics::Accuracy(
+          data.dataset, method.Infer(data.dataset, options).labels);
+    };
+    const double lfc_accuracy = accuracy(*lfc);
+    const double features_accuracy = accuracy(with_features);
+    part_a.AddRow({std::to_string(r), TablePrinter::Percent(accuracy(*mv), 1),
+                   TablePrinter::Percent(lfc_accuracy, 1),
+                   TablePrinter::Percent(features_accuracy, 1),
+                   TablePrinter::SignedPercent(
+                       features_accuracy - lfc_accuracy, 1)});
+  }
+  part_a.Print(std::cout);
+
+  std::cout << "\nPart B: numeric aggregators across contamination regimes "
+               "(RMSE)\n";
+  TablePrinter part_b({"regime", "Mean", "Median", "LFC_N", "PM", "CATD",
+                       "Robust"});
+  for (const std::string regime :
+       {"clean", "answer-contaminated", "worker-garbage"}) {
+    const crowdtruth::data::NumericDataset dataset =
+        MakeNumericRegime(regime, seed + 17);
+    std::vector<std::string> row = {regime};
+    for (const char* name : {"Mean", "Median", "LFC_N", "PM", "CATD"}) {
+      const auto method = crowdtruth::core::MakeNumericMethod(name);
+      row.push_back(TablePrinter::Fixed(
+          crowdtruth::metrics::RootMeanSquaredError(
+              dataset, method->Infer(dataset, {}).values),
+          2));
+    }
+    crowdtruth::core::RobustNumeric robust;
+    row.push_back(TablePrinter::Fixed(
+        crowdtruth::metrics::RootMeanSquaredError(
+            dataset, robust.Infer(dataset, {}).values),
+        2));
+    part_b.AddRow(std::move(row));
+  }
+  part_b.Print(std::cout);
+
+  std::cout
+      << "\nExpected shape: Part A — the feature classifier adds the most\n"
+         "at r=1-2 and nothing is lost at high r. Part B — Mean/LFC_N/PM/\n"
+         "CATD blow up under answer-level contamination and Median pays an\n"
+         "efficiency cost when clean; Robust stays near the best column in\n"
+         "every row.\n";
+  return 0;
+}

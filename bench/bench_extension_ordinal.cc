@@ -1,0 +1,94 @@
+// Extension experiment — ordinal minimax conditional entropy (Zhou et al.,
+// ICML'14; the paper's reference [62]): on graded-label data whose
+// confusions are adjacent by nature, an ordinal-structured worker model
+// (2 parameters) estimates better than the free-form confusion matrix
+// (l^2 parameters).
+//
+// Usage: bench_extension_ordinal [--tasks=500] [--workers=25]
+//          [--redundancy=5] [--choices=5] [--seed=409]
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/methods/minimax_ordinal.h"
+#include "core/registry.h"
+#include "experiments/runner.h"
+#include "metrics/classification.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using crowdtruth::util::TablePrinter;
+
+crowdtruth::data::CategoricalDataset PlantOrdinal(int tasks, int workers,
+                                                  int redundancy, int l,
+                                                  double exactness,
+                                                  uint64_t seed) {
+  crowdtruth::util::Rng rng(seed);
+  crowdtruth::data::CategoricalDatasetBuilder builder(tasks, workers, l);
+  builder.set_name("ordinal");
+  for (int t = 0; t < tasks; ++t) {
+    const int truth = rng.UniformInt(0, l - 1);
+    builder.SetTruth(t, truth);
+    for (int w : rng.SampleWithoutReplacement(workers, redundancy)) {
+      std::vector<double> weights(l);
+      for (int k = 0; k < l; ++k) {
+        weights[k] = std::pow(exactness, -std::abs(k - truth));
+      }
+      builder.AddAnswer(t, w, rng.Categorical(weights));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"tasks", "500"},
+                                       {"workers", "25"},
+                                       {"redundancy", "5"},
+                                       {"choices", "5"},
+                                       {"seed", "409"}});
+  std::cout
+      << "================================================================\n"
+         "Extension: ordinal minimax conditional entropy (Zhou et al. '14,\n"
+         "the paper's reference [62]) on graded-label workloads\n"
+         "================================================================\n"
+         "Workers' wrong answers fall on adjacent grades with geometric\n"
+         "decay; 'exactness' is the decay base (higher = cleaner data).\n\n";
+
+  TablePrinter table({"exactness", "MV", "D&S", "Minimax (free-form)",
+                      "Minimax-Ordinal", "Ordinal - free-form"});
+  for (double exactness : {2.2, 2.6, 3.0, 3.5, 4.0}) {
+    const crowdtruth::data::CategoricalDataset dataset = PlantOrdinal(
+        flags.GetInt("tasks"), flags.GetInt("workers"),
+        flags.GetInt("redundancy"), flags.GetInt("choices"), exactness,
+        flags.GetInt("seed"));
+    auto accuracy = [&](crowdtruth::core::CategoricalMethod& method) {
+      return crowdtruth::metrics::Accuracy(
+          dataset, method.Infer(dataset, {}).labels);
+    };
+    auto mv = crowdtruth::core::MakeCategoricalMethod("MV");
+    auto ds = crowdtruth::core::MakeCategoricalMethod("D&S");
+    auto minimax = crowdtruth::core::MakeCategoricalMethod("Minimax");
+    crowdtruth::core::MinimaxOrdinal ordinal;
+    const double general = accuracy(*minimax);
+    const double structured = accuracy(ordinal);
+    table.AddRow({TablePrinter::Fixed(exactness, 1),
+                  TablePrinter::Percent(accuracy(*mv), 1),
+                  TablePrinter::Percent(accuracy(*ds), 1),
+                  TablePrinter::Percent(general, 1),
+                  TablePrinter::Percent(structured, 1),
+                  TablePrinter::SignedPercent(structured - general, 1)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected shape: the ordinal-structured model dominates the\n"
+         "free-form Minimax at every noise level; at high noise even D&S\n"
+         "falls below MV (l^2-parameter matrices overfit ~100 answers per\n"
+         "worker) while the 2-parameter ordinal model degrades gracefully.\n";
+  return 0;
+}

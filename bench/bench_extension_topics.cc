@@ -1,0 +1,83 @@
+// Extension experiment — diverse skills over task topics (paper §4.2.5 and
+// the FaitCrowd [35] / DOCS [59] line of work): when workers' reliability
+// varies by topic, a topic-aware worker model beats topic-blind models,
+// and the advantage grows with the skill contrast.
+//
+// Usage: bench_extension_topics [--tasks=800] [--workers=30]
+//          [--redundancy=5] [--topics=4] [--seed=607]
+#include <iostream>
+
+#include "core/methods/topic_skills.h"
+#include "core/registry.h"
+#include "metrics/classification.h"
+#include "simulation/generator.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using crowdtruth::util::TablePrinter;
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"tasks", "800"},
+                                       {"workers", "30"},
+                                       {"redundancy", "5"},
+                                       {"topics", "4"},
+                                       {"seed", "607"}});
+  std::cout
+      << "================================================================\n"
+         "Extension: topic-aware diverse skills (paper Sec 4.2.5; FaitCrowd"
+         "/DOCS line)\n"
+         "================================================================\n"
+         "Workers are strong on some topics and weak on others; the mean\n"
+         "accuracy is held near 0.70 while the strong/weak contrast grows."
+         "\n\n";
+
+  TablePrinter table({"strong/weak accuracy", "MV", "ZC (topic-blind)",
+                      "D&S", "TopicSkills", "TopicSkills - ZC"});
+  const struct {
+    double strong;
+    double weak;
+  } contrasts[] = {{0.70, 0.70}, {0.78, 0.65}, {0.85, 0.60},
+                   {0.92, 0.55}, {0.97, 0.52}};
+  for (const auto& contrast : contrasts) {
+    crowdtruth::sim::TopicSimSpec spec;
+    spec.num_tasks = flags.GetInt("tasks");
+    spec.num_workers = flags.GetInt("workers");
+    spec.num_topics = flags.GetInt("topics");
+    spec.assignment.redundancy = flags.GetInt("redundancy");
+    spec.strong_accuracy = contrast.strong;
+    spec.weak_accuracy = contrast.weak;
+    spec.strong_fraction = 0.4;
+    const crowdtruth::sim::TopicDataset data =
+        crowdtruth::sim::GenerateTopicCategorical(spec,
+                                                  flags.GetInt("seed"));
+
+    auto run = [&](crowdtruth::core::CategoricalMethod& method,
+                   bool with_groups) {
+      crowdtruth::core::InferenceOptions options;
+      options.seed = 11;
+      if (with_groups) options.task_groups = data.task_groups;
+      return crowdtruth::metrics::Accuracy(
+          data.dataset, method.Infer(data.dataset, options).labels);
+    };
+    auto mv = crowdtruth::core::MakeCategoricalMethod("MV");
+    auto zc = crowdtruth::core::MakeCategoricalMethod("ZC");
+    auto ds = crowdtruth::core::MakeCategoricalMethod("D&S");
+    crowdtruth::core::TopicSkills topic_skills;
+    const double zc_accuracy = run(*zc, false);
+    const double topic_accuracy = run(topic_skills, true);
+    table.AddRow(
+        {TablePrinter::Fixed(contrast.strong, 2) + " / " +
+             TablePrinter::Fixed(contrast.weak, 2),
+         TablePrinter::Percent(run(*mv, false), 1),
+         TablePrinter::Percent(zc_accuracy, 1),
+         TablePrinter::Percent(run(*ds, false), 1),
+         TablePrinter::Percent(topic_accuracy, 1),
+         TablePrinter::SignedPercent(topic_accuracy - zc_accuracy, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: TopicSkills matches ZC when skills are\n"
+               "uniform and pulls ahead as the per-topic contrast grows —\n"
+               "the value of the diverse-skills model family the paper\n"
+               "surveys in Sec 4.2.5.\n";
+  return 0;
+}

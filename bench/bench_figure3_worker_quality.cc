@@ -1,0 +1,67 @@
+// Reproduces Figure 3: histograms of worker quality — Accuracy for the
+// categorical datasets (panels a-d) and RMSE for N_Emotion (panel e) —
+// plus the §6.2.3 summary statistics.
+//
+// Usage: bench_figure3_worker_quality [--scale=1.0]
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "metrics/worker_stats.h"
+#include "util/ascii_chart.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using crowdtruth::metrics::BucketValues;
+  using crowdtruth::metrics::FiniteMean;
+  using crowdtruth::util::TablePrinter;
+  const crowdtruth::util::Flags flags(argc, argv, {{"scale", "1.0"}});
+  const double scale = flags.GetDouble("scale");
+
+  crowdtruth::bench::PrintBenchHeader(
+      "Figure 3: The Statistics of Worker Quality for Each Dataset",
+      "Figure 3 / Section 6.2.3");
+
+  const struct {
+    const char* name;
+    double paper_mean_accuracy;
+  } categorical_profiles[] = {{"D_Product", 0.79},
+                              {"D_PosSent", 0.79},
+                              {"S_Rel", 0.53},
+                              {"S_Adult", 0.65}};
+  for (const auto& profile : categorical_profiles) {
+    const crowdtruth::data::CategoricalDataset dataset =
+        crowdtruth::sim::GenerateCategoricalProfile(profile.name, scale);
+    const std::vector<double> accuracy =
+        crowdtruth::metrics::WorkerAccuracy(dataset);
+    const crowdtruth::metrics::Histogram histogram =
+        BucketValues(accuracy, 0.0, 1.0, 10);
+    crowdtruth::util::HistogramSpec spec;
+    spec.title = std::string(profile.name) +
+                 ": #workers with accuracy x (measured mean " +
+                 TablePrinter::Fixed(FiniteMean(accuracy), 2) + ", paper " +
+                 TablePrinter::Fixed(profile.paper_mean_accuracy, 2) + ")";
+    spec.bucket_labels = histogram.labels;
+    spec.bucket_counts = histogram.counts;
+    PrintHistogram(spec, std::cout);
+    std::cout << '\n';
+  }
+
+  const crowdtruth::data::NumericDataset numeric =
+      crowdtruth::sim::GenerateNumericProfile("N_Emotion", scale);
+  const std::vector<double> rmse = crowdtruth::metrics::WorkerRmse(numeric);
+  const crowdtruth::metrics::Histogram histogram =
+      BucketValues(rmse, 0.0, 50.0, 10);
+  crowdtruth::util::HistogramSpec spec;
+  spec.title = std::string("N_Emotion: #workers with RMSE x (measured mean ") +
+               TablePrinter::Fixed(FiniteMean(rmse), 1) +
+               ", paper 28.9, range [20, 45])";
+  spec.bucket_labels = histogram.labels;
+  spec.bucket_counts = histogram.counts;
+  PrintHistogram(spec, std::cout);
+
+  std::cout << "\nExpected shape (paper Sec 6.2.3): worker quality varies"
+               " within each dataset; D_Product/D_PosSent high, S_Adult"
+               " mediate, S_Rel low.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Figure 4: quality (Accuracy and F1-score) of the 14
+// decision-making methods versus data redundancy r on D_Product (r in
+// [1,3]) and D_PosSent (r in [1,20]).
+//
+// Usage: bench_figure4_decision_redundancy
+//          [--scale=0.25] [--repeats=5] [--seed=1]
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/ascii_chart.h"
+#include "util/flags.h"
+
+namespace {
+
+using crowdtruth::bench::MeanQuality;
+using crowdtruth::bench::MeanQualityAtRedundancy;
+
+void RunPanel(const std::string& profile, double scale,
+              const std::vector<int>& redundancies, int repeats,
+              uint64_t seed) {
+  const crowdtruth::data::CategoricalDataset dataset =
+      crowdtruth::sim::GenerateCategoricalProfile(profile, scale);
+  const std::vector<std::string> methods =
+      crowdtruth::core::DecisionMakingMethodNames();
+
+  crowdtruth::util::SeriesChartSpec accuracy_chart;
+  accuracy_chart.title = profile + " (Accuracy %)";
+  accuracy_chart.x_label = "r";
+  crowdtruth::util::SeriesChartSpec f1_chart;
+  f1_chart.title = profile + " (F1-score %)";
+  f1_chart.x_label = "r";
+  for (int r : redundancies) {
+    accuracy_chart.x_values.push_back(r);
+    f1_chart.x_values.push_back(r);
+  }
+  for (const std::string& method : methods) {
+    std::vector<double> accuracy_series;
+    std::vector<double> f1_series;
+    for (int r : redundancies) {
+      const MeanQuality quality =
+          MeanQualityAtRedundancy(method, dataset, r, repeats, seed);
+      accuracy_series.push_back(quality.accuracy * 100.0);
+      f1_series.push_back(quality.f1 * 100.0);
+    }
+    accuracy_chart.series_names.push_back(method);
+    accuracy_chart.series_values.push_back(std::move(accuracy_series));
+    f1_chart.series_names.push_back(method);
+    f1_chart.series_values.push_back(std::move(f1_series));
+  }
+  PrintSeriesChart(accuracy_chart, std::cout);
+  std::cout << '\n';
+  PrintSeriesChart(f1_chart, std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdtruth::util::Flags flags(
+      argc, argv, {{"scale", "0.25"}, {"repeats", "5"}, {"seed", "1"}});
+  const double scale = flags.GetDouble("scale");
+  const int repeats = flags.GetInt("repeats");
+  const uint64_t seed = flags.GetInt("seed");
+
+  crowdtruth::bench::PrintBenchHeader(
+      "Figure 4: Quality Comparisons on Decision-Making Tasks vs redundancy",
+      "Figure 4 / Section 6.3.1");
+
+  RunPanel("D_Product", scale, {1, 2, 3}, repeats, seed);
+  RunPanel("D_PosSent", 1.0, {1, 3, 5, 10, 15, 20}, repeats, seed);
+
+  std::cout
+      << "Expected shape (paper): quality increases with r then plateaus;\n"
+         "on D_Product confusion-matrix methods (D&S, BCC, CBCC, LFC) lead\n"
+         "F1 clearly; on D_PosSent all methods converge into a 93-96% band\n"
+         "by r=20.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Figure 5: Accuracy of the 10 single-choice methods versus
+// data redundancy r on S_Rel (r in [1,5]) and S_Adult (r in [1,9]).
+//
+// Usage: bench_figure5_single_redundancy
+//          [--scale=0.15] [--repeats=5] [--seed=1]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/ascii_chart.h"
+#include "util/flags.h"
+
+namespace {
+
+void RunPanel(const std::string& profile, double scale,
+              const std::vector<int>& redundancies, int repeats,
+              uint64_t seed) {
+  const crowdtruth::data::CategoricalDataset dataset =
+      crowdtruth::sim::GenerateCategoricalProfile(profile, scale);
+  crowdtruth::util::SeriesChartSpec chart;
+  chart.title = profile + " (Accuracy %)";
+  chart.x_label = "r";
+  for (int r : redundancies) chart.x_values.push_back(r);
+  for (const std::string& method :
+       crowdtruth::core::SingleChoiceMethodNames()) {
+    std::vector<double> series;
+    for (int r : redundancies) {
+      series.push_back(crowdtruth::bench::MeanQualityAtRedundancy(
+                           method, dataset, r, repeats, seed)
+                           .accuracy *
+                       100.0);
+    }
+    chart.series_names.push_back(method);
+    chart.series_values.push_back(std::move(series));
+  }
+  PrintSeriesChart(chart, std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdtruth::util::Flags flags(
+      argc, argv, {{"scale", "0.08"}, {"repeats", "3"}, {"seed", "1"}});
+  const double scale = flags.GetDouble("scale");
+  const int repeats = flags.GetInt("repeats");
+  const uint64_t seed = flags.GetInt("seed");
+
+  crowdtruth::bench::PrintBenchHeader(
+      "Figure 5: Quality Comparisons on Single-Label Tasks vs redundancy",
+      "Figure 5 / Section 6.3.1");
+
+  RunPanel("S_Rel", scale, {1, 2, 3, 4, 5}, repeats, seed);
+  RunPanel("S_Adult", scale, {1, 3, 5, 7, 8}, repeats, seed);
+
+  std::cout
+      << "Expected shape (paper): on S_Rel quality rises with r and D&S/"
+         "LFC/BCC lead (~60%+) while MV sits near 54%; on S_Adult all\n"
+         "methods compress into a narrow band near 36% — correlated errors\n"
+         "that no worker model can undo.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared driver for the hidden-test benches (Figures 7-9): sweep the
+// fraction p of golden tasks, feed their truth to golden-capable methods,
+// and evaluate on the remaining labeled tasks.
+#ifndef CROWDTRUTH_BENCH_BENCH_HIDDEN_COMMON_H_
+#define CROWDTRUTH_BENCH_BENCH_HIDDEN_COMMON_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "experiments/hidden_test.h"
+#include "util/ascii_chart.h"
+
+namespace crowdtruth::bench {
+
+inline std::vector<std::string> GoldenCapableMethods(bool numeric,
+                                                     bool binary_dataset) {
+  std::vector<std::string> methods;
+  for (const auto& info : core::AllMethods()) {
+    if (!info.supports_golden) continue;
+    if (numeric) {
+      if (info.numeric) methods.push_back(info.name);
+    } else if (info.decision_making &&
+               (binary_dataset || info.single_choice)) {
+      methods.push_back(info.name);
+    }
+  }
+  return methods;
+}
+
+// Runs the golden-task sweep on a categorical dataset and prints Accuracy
+// (and optionally F1) charts.
+inline void RunHiddenTestPanel(const data::CategoricalDataset& dataset,
+                               const std::vector<double>& fractions,
+                               int repeats, uint64_t seed, bool show_f1) {
+  const std::vector<std::string> methods =
+      GoldenCapableMethods(false, dataset.num_choices() == 2);
+
+  util::SeriesChartSpec accuracy_chart;
+  accuracy_chart.title = dataset.name() + " (Accuracy %)";
+  accuracy_chart.x_label = "p%";
+  util::SeriesChartSpec f1_chart;
+  f1_chart.title = dataset.name() + " (F1-score %)";
+  f1_chart.x_label = "p%";
+  for (double p : fractions) {
+    accuracy_chart.x_values.push_back(p * 100.0);
+    f1_chart.x_values.push_back(p * 100.0);
+  }
+
+  for (const std::string& method : methods) {
+    const auto m = core::MakeCategoricalMethod(method);
+    std::vector<double> accuracy_series;
+    std::vector<double> f1_series;
+    for (double p : fractions) {
+      util::Rng rng(seed);
+      std::vector<util::Rng> trial_rngs;
+      trial_rngs.reserve(repeats);
+      for (int trial = 0; trial < repeats; ++trial) {
+        trial_rngs.push_back(rng.Fork());
+      }
+      std::vector<double> accuracy(repeats);
+      std::vector<double> f1(repeats);
+      util::ParallelFor(repeats, util::DefaultThreads(), [&](int trial) {
+        util::Rng trial_rng = trial_rngs[trial];
+        const experiments::GoldenSelection selection =
+            experiments::SelectGolden(dataset, p, trial_rng);
+        core::InferenceOptions options;
+        options.seed = trial_rng.engine()();
+        if (p > 0.0) options.golden_labels = selection.golden_labels;
+        const experiments::CategoricalEval eval =
+            experiments::EvaluateCategorical(*m, dataset, options,
+                                             sim::kPositiveLabel,
+                                             &selection.evaluate);
+        accuracy[trial] = eval.accuracy;
+        f1[trial] = eval.f1;
+      });
+      accuracy_series.push_back(experiments::Summarize(accuracy).mean *
+                                100.0);
+      f1_series.push_back(experiments::Summarize(f1).mean * 100.0);
+    }
+    accuracy_chart.series_names.push_back(method);
+    accuracy_chart.series_values.push_back(std::move(accuracy_series));
+    f1_chart.series_names.push_back(method);
+    f1_chart.series_values.push_back(std::move(f1_series));
+  }
+
+  PrintSeriesChart(accuracy_chart, std::cout);
+  std::cout << '\n';
+  if (show_f1) {
+    PrintSeriesChart(f1_chart, std::cout);
+    std::cout << '\n';
+  }
+}
+
+}  // namespace crowdtruth::bench
+
+#endif  // CROWDTRUTH_BENCH_BENCH_HIDDEN_COMMON_H_

@@ -1,0 +1,105 @@
+// Google-benchmark microbenchmarks: per-method inference throughput as a
+// function of dataset size. Complements the wall-clock Time column of the
+// Table 6 reproduction with statistically robust per-method timings, and
+// demonstrates the efficiency ordering of §6.3.1(2): direct computation <
+// light EM/optimization < sampling/variational < gradient-based.
+#include <benchmark/benchmark.h>
+
+#include "core/registry.h"
+#include "simulation/profiles.h"
+
+namespace {
+
+using crowdtruth::core::InferenceOptions;
+using crowdtruth::core::MakeCategoricalMethod;
+using crowdtruth::core::MakeNumericMethod;
+
+// One shared dataset per scale bucket; generating inside the timed loop
+// would dominate the measurement.
+const crowdtruth::data::CategoricalDataset& DatasetForScale(int permille) {
+  static auto& cache = *new std::map<
+      int, crowdtruth::data::CategoricalDataset>();
+  auto it = cache.find(permille);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(permille, crowdtruth::sim::GenerateCategoricalProfile(
+                                    "D_Product", permille / 1000.0))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_CategoricalMethod(benchmark::State& state,
+                          const std::string& method_name) {
+  const auto& dataset = DatasetForScale(static_cast<int>(state.range(0)));
+  const auto method = MakeCategoricalMethod(method_name);
+  InferenceOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method->Infer(dataset, options));
+  }
+  state.SetItemsProcessed(state.iterations() * dataset.num_answers());
+  state.counters["answers"] = dataset.num_answers();
+}
+
+void BM_NumericMethod(benchmark::State& state,
+                      const std::string& method_name) {
+  static const auto& dataset = *new crowdtruth::data::NumericDataset(
+      crowdtruth::sim::GenerateNumericProfile("N_Emotion", 1.0));
+  const auto method = MakeNumericMethod(method_name);
+  InferenceOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method->Infer(dataset, options));
+  }
+  state.SetItemsProcessed(state.iterations() * dataset.num_answers());
+}
+
+void RegisterAll() {
+  // Fast methods get a size sweep; slow gradient/sampling methods run at a
+  // single small scale to keep the suite's wall time bounded.
+  for (const char* name : {"MV", "ZC", "D&S", "LFC", "CATD", "PM", "KOS"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Categorical/") + name).c_str(),
+        [name](benchmark::State& state) { BM_CategoricalMethod(state, name); })
+        ->Arg(50)
+        ->Arg(200)
+        ->Arg(500)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const char* name :
+       {"GLAD", "Minimax", "BCC", "CBCC", "VI-BP", "VI-MF", "Multi"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Categorical/") + name).c_str(),
+        [name](benchmark::State& state) { BM_CategoricalMethod(state, name); })
+        ->Arg(50)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+  for (const char* name : {"Mean", "Median", "LFC_N", "PM", "CATD"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Numeric/") + name).c_str(),
+        [name](benchmark::State& state) { BM_NumericMethod(state, name); })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  // Default to a short measurement window; the full-precision run is a
+  // --benchmark_min_time override away.
+  std::vector<char*> args(argv, argv + argc);
+  char min_time_flag[] = "--benchmark_min_time=0.1s";
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) {
+      has_min_time = true;
+    }
+  }
+  if (!has_min_time) args.push_back(min_time_flag);
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

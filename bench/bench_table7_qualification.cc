@@ -1,0 +1,161 @@
+// Reproduces Table 7: the quality with qualification test (c~) and the
+// benefit (delta = c~ - c) for the 8 methods that can initialize worker
+// qualities from a qualification test (20 bootstrap golden answers per
+// worker, paper §6.3.2).
+//
+// Usage: bench_table7_qualification
+//          [--scale=0.3] [--repeats=10] [--golden=20] [--seed=1]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "experiments/qualification.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using crowdtruth::core::InferenceOptions;
+using crowdtruth::experiments::EvaluateCategorical;
+using crowdtruth::experiments::EvaluateNumeric;
+using crowdtruth::experiments::Summarize;
+using crowdtruth::util::TablePrinter;
+
+std::vector<std::string> QualificationMethods(bool numeric) {
+  std::vector<std::string> methods;
+  for (const auto& info : crowdtruth::core::AllMethods()) {
+    if (!info.supports_qualification) continue;
+    if (numeric ? info.numeric : (info.decision_making || info.single_choice)) {
+      methods.push_back(info.name);
+    }
+  }
+  return methods;
+}
+
+void RunCategoricalPanel(const std::string& profile, double scale,
+                         bool show_f1, int repeats, int golden,
+                         uint64_t seed) {
+  const crowdtruth::data::CategoricalDataset dataset =
+      crowdtruth::sim::GenerateCategoricalProfile(profile, scale);
+  std::cout << "\n--- " << profile << " ---\n";
+  std::vector<std::string> header = {"Method", "Accuracy (delta)"};
+  if (show_f1) header.push_back("F1-score (delta)");
+  TablePrinter table(header);
+  for (const std::string& method : QualificationMethods(false)) {
+    const auto& info = crowdtruth::core::GetMethodInfo(method);
+    // VI-MF handles decision-making only (Table 4).
+    if (dataset.num_choices() > 2 && !info.single_choice) continue;
+    const auto m = crowdtruth::core::MakeCategoricalMethod(method);
+    // Baseline quality c (no qualification).
+    InferenceOptions base_options;
+    base_options.seed = seed;
+    const auto base = EvaluateCategorical(*m, dataset, base_options,
+                                          crowdtruth::sim::kPositiveLabel);
+    // Qualification runs, each with a fresh bootstrap.
+    crowdtruth::util::Rng rng(seed);
+    std::vector<double> accuracy;
+    std::vector<double> f1;
+    for (int trial = 0; trial < repeats; ++trial) {
+      crowdtruth::util::Rng trial_rng = rng.Fork();
+      InferenceOptions options;
+      options.seed = trial_rng.engine()();
+      options.initial_worker_quality =
+          crowdtruth::experiments::BootstrapQualificationAccuracy(
+              dataset, golden, trial_rng);
+      const auto eval = EvaluateCategorical(*m, dataset, options,
+                                            crowdtruth::sim::kPositiveLabel);
+      accuracy.push_back(eval.accuracy);
+      f1.push_back(eval.f1);
+    }
+    const double mean_accuracy = Summarize(accuracy).mean;
+    const double mean_f1 = Summarize(f1).mean;
+    std::vector<std::string> row = {
+        method, TablePrinter::Percent(mean_accuracy, 2) + " (" +
+                    TablePrinter::SignedPercent(
+                        mean_accuracy - base.accuracy, 2) +
+                    ")"};
+    if (show_f1) {
+      row.push_back(TablePrinter::Percent(mean_f1, 2) + " (" +
+                    TablePrinter::SignedPercent(mean_f1 - base.f1, 2) + ")");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+}
+
+void RunNumericPanel(int repeats, int golden, uint64_t seed) {
+  const crowdtruth::data::NumericDataset dataset =
+      crowdtruth::sim::GenerateNumericProfile("N_Emotion", 1.0);
+  std::cout << "\n--- N_Emotion ---\n";
+  TablePrinter table({"Method", "MAE (delta)", "RMSE (delta)"});
+  for (const std::string& method : QualificationMethods(true)) {
+    const auto m = crowdtruth::core::MakeNumericMethod(method);
+    InferenceOptions base_options;
+    base_options.seed = seed;
+    const auto base = EvaluateNumeric(*m, dataset, base_options);
+    crowdtruth::util::Rng rng(seed);
+    std::vector<double> mae;
+    std::vector<double> rmse;
+    for (int trial = 0; trial < repeats; ++trial) {
+      crowdtruth::util::Rng trial_rng = rng.Fork();
+      InferenceOptions options;
+      options.seed = trial_rng.engine()();
+      options.initial_worker_quality =
+          crowdtruth::experiments::BootstrapQualificationRmse(dataset, golden,
+                                                              trial_rng);
+      const auto eval = EvaluateNumeric(*m, dataset, options);
+      mae.push_back(eval.mae);
+      rmse.push_back(eval.rmse);
+    }
+    auto delta = [](double value, double base_value) {
+      const std::string body = TablePrinter::Fixed(
+          std::abs(value - base_value), 2);
+      return (value - base_value < 0 ? "-" : "+") + body;
+    };
+    const double mean_mae = Summarize(mae).mean;
+    const double mean_rmse = Summarize(rmse).mean;
+    table.AddRow({method,
+                  TablePrinter::Fixed(mean_mae, 2) + " (" +
+                      delta(mean_mae, base.mae) + ")",
+                  TablePrinter::Fixed(mean_rmse, 2) + " (" +
+                      delta(mean_rmse, base.rmse) + ")"});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"scale", "0.3"},
+                                       {"repeats", "10"},
+                                       {"golden", "20"},
+                                       {"seed", "1"}});
+  const double scale = flags.GetDouble("scale");
+  const int repeats = flags.GetInt("repeats");
+  const int golden = flags.GetInt("golden");
+  const uint64_t seed = flags.GetInt("seed");
+
+  crowdtruth::bench::PrintBenchHeader(
+      "Table 7: The Quality with Qualification Test and Benefit (delta) of "
+      "Different Methods",
+      "Table 7 / Section 6.3.2");
+
+  RunCategoricalPanel("D_Product", scale, /*show_f1=*/true, repeats, golden,
+                      seed);
+  RunCategoricalPanel("D_PosSent", 1.0, /*show_f1=*/true, repeats, golden,
+                      seed);
+  RunCategoricalPanel("S_Rel", scale * 0.7, /*show_f1=*/false, repeats,
+                      golden, seed);
+  RunCategoricalPanel("S_Adult", scale * 0.7, /*show_f1=*/false, repeats,
+                      golden, seed);
+  RunNumericPanel(repeats, golden, seed);
+
+  std::cout
+      << "\nExpected shape (paper Sec 6.3.2): benefits are marginal and "
+         "dataset-dependent — largest on the low-redundancy D_Product, "
+         "~0 on D_PosSent (r=20), sometimes negative; numeric methods do "
+         "not benefit.\n";
+  return 0;
+}

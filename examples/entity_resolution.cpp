@@ -1,0 +1,94 @@
+// Entity resolution at catalog scale — the paper's D_Product scenario.
+//
+// A product catalog team crowdsources "are these two listings the same
+// product?" pairs at redundancy 3. Matches are rare (~13%) and workers are
+// asymmetric: spotting a difference is easy, confirming a match is hard.
+// This example runs the method spectrum, shows why F1 on the match class
+// (not accuracy) is the metric that matters, extracts the inferred match
+// pairs, and prints a worker leaderboard for future task routing.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/registry.h"
+#include "experiments/runner.h"
+#include "simulation/profiles.h"
+#include "util/table_printer.h"
+
+int main() {
+  using crowdtruth::util::TablePrinter;
+  std::cout << "Entity resolution with crowdsourcing (D_Product scenario)\n";
+
+  // Simulated stand-in for the paper's 8,315-pair catalog; see
+  // src/simulation/profiles.cc for the calibration.
+  const crowdtruth::data::CategoricalDataset dataset =
+      crowdtruth::sim::GenerateCategoricalProfile("D_Product", 0.25);
+  std::cout << dataset.num_tasks() << " candidate pairs, "
+            << dataset.num_answers() << " answers from "
+            << dataset.num_workers() << " workers (redundancy "
+            << TablePrinter::Fixed(dataset.Redundancy(), 1) << ")\n\n";
+
+  // 1. Compare methods. Accuracy rewards predicting "different" for
+  //    everything; F1 on the match class is the honest metric (paper
+  //    §6.1.2).
+  TablePrinter comparison({"Method", "Accuracy", "F1 (match class)",
+                           "Time"});
+  std::string best_method;
+  double best_f1 = -1.0;
+  for (const std::string& name :
+       {"MV", "ZC", "D&S", "LFC", "BCC", "PM", "CATD"}) {
+    const auto method = crowdtruth::core::MakeCategoricalMethod(name);
+    crowdtruth::core::InferenceOptions options;
+    options.seed = 42;
+    const crowdtruth::experiments::CategoricalEval eval =
+        crowdtruth::experiments::EvaluateCategorical(
+            *method, dataset, options, crowdtruth::sim::kPositiveLabel);
+    comparison.AddRow({name, TablePrinter::Percent(eval.accuracy, 1),
+                       TablePrinter::Percent(eval.f1, 1),
+                       TablePrinter::Fixed(eval.seconds, 2) + "s"});
+    if (eval.f1 > best_f1) {
+      best_f1 = eval.f1;
+      best_method = name;
+    }
+  }
+  comparison.Print(std::cout);
+  std::cout << "\nBest F1: " << best_method << " ("
+            << TablePrinter::Percent(best_f1, 1)
+            << ") — as in the paper, a confusion-matrix method should lead "
+               "here.\n";
+
+  // 2. Extract the deduplication decisions from the winning method.
+  const auto winner = crowdtruth::core::MakeCategoricalMethod(best_method);
+  crowdtruth::core::InferenceOptions options;
+  options.seed = 42;
+  const crowdtruth::core::CategoricalResult result =
+      winner->Infer(dataset, options);
+  int matches = 0;
+  for (crowdtruth::data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (result.labels[t] == crowdtruth::sim::kPositiveLabel) ++matches;
+  }
+  std::cout << "\n" << best_method << " marks " << matches << " of "
+            << dataset.num_tasks()
+            << " pairs as the same product; downstream, those pairs would "
+               "be merged.\n";
+
+  // 3. Worker leaderboard: the estimated qualities double as a routing
+  //    signal for future batches.
+  std::vector<std::pair<double, int>> leaderboard;
+  for (crowdtruth::data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    if (!dataset.AnswersByWorker(w).empty()) {
+      leaderboard.push_back({result.worker_quality[w], w});
+    }
+  }
+  std::sort(leaderboard.rbegin(), leaderboard.rend());
+  std::cout << "\nTop 5 workers by inferred quality:\n";
+  TablePrinter top({"Worker", "Inferred quality", "#answers"});
+  for (size_t i = 0; i < 5 && i < leaderboard.size(); ++i) {
+    const int w = leaderboard[i].second;
+    top.AddRow({"w" + std::to_string(w),
+                TablePrinter::Fixed(leaderboard[i].first, 3),
+                std::to_string(dataset.AnswersByWorker(w).size())});
+  }
+  top.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ordinal grading with structured worker models — relevance judging à la
+// S_Rel, using the Minimax-Ordinal extension (Zhou et al. '14, the paper's
+// reference [62]).
+//
+// Editors grade search results on a 5-point relevance scale. Grading
+// errors are ordinal by nature: a "highly relevant" document gets
+// mislabeled "relevant" far more often than "off-topic". This example
+// compares the free-form confusion-matrix methods against the
+// ordinal-structured model, and shows the per-worker exactness estimates.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/methods/minimax_ordinal.h"
+#include "core/registry.h"
+#include "metrics/classification.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace {
+
+// Graded-relevance workload: wrong answers decay geometrically with grade
+// distance; workers differ in exactness.
+crowdtruth::data::CategoricalDataset CollectGrades(int num_docs,
+                                                   int num_workers,
+                                                   int redundancy,
+                                                   uint64_t seed) {
+  constexpr int kGrades = 5;
+  crowdtruth::util::Rng rng(seed);
+  std::vector<double> exactness(num_workers);
+  for (double& e : exactness) e = rng.Uniform(1.8, 5.0);
+  crowdtruth::data::CategoricalDatasetBuilder builder(num_docs, num_workers,
+                                                      kGrades);
+  builder.set_name("relevance_grades");
+  for (int t = 0; t < num_docs; ++t) {
+    const int truth = rng.UniformInt(0, kGrades - 1);
+    builder.SetTruth(t, truth);
+    for (int w : rng.SampleWithoutReplacement(num_workers, redundancy)) {
+      std::vector<double> weights(kGrades);
+      for (int k = 0; k < kGrades; ++k) {
+        weights[k] = std::pow(exactness[w], -std::abs(k - truth));
+      }
+      builder.AddAnswer(t, w, rng.Categorical(weights));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+int main() {
+  using crowdtruth::util::TablePrinter;
+  std::cout << "Ordinal relevance grading (5-point scale)\n";
+  const crowdtruth::data::CategoricalDataset dataset =
+      CollectGrades(/*num_docs=*/800, /*num_workers=*/30, /*redundancy=*/5,
+                    /*seed=*/2025);
+  std::cout << dataset.num_tasks() << " documents, " << dataset.num_answers()
+            << " grades from " << dataset.num_workers() << " judges\n\n";
+
+  TablePrinter table({"Method", "Accuracy", "Worker model"});
+  for (const std::string& name : {"MV", "D&S", "LFC", "Minimax"}) {
+    const auto method = crowdtruth::core::MakeCategoricalMethod(name);
+    crowdtruth::core::InferenceOptions options;
+    options.seed = 3;
+    const auto result = method->Infer(dataset, options);
+    table.AddRow({name,
+                  TablePrinter::Percent(
+                      crowdtruth::metrics::Accuracy(dataset, result.labels),
+                      1),
+                  crowdtruth::core::GetMethodInfo(name).worker_model});
+  }
+  crowdtruth::core::MinimaxOrdinal ordinal;
+  crowdtruth::core::InferenceOptions options;
+  options.seed = 3;
+  const auto ordinal_result = ordinal.Infer(dataset, options);
+  table.AddRow({"Minimax-Ordinal",
+                TablePrinter::Percent(crowdtruth::metrics::Accuracy(
+                                          dataset, ordinal_result.labels),
+                                      1),
+                "Ordinal (distance sensitivity + exactness)"});
+  table.Print(std::cout);
+
+  // Exactness leaderboard: P(exact grade) per judge under the ordinal
+  // model.
+  std::vector<std::pair<double, int>> judges;
+  for (int w = 0; w < dataset.num_workers(); ++w) {
+    judges.push_back({ordinal_result.worker_quality[w], w});
+  }
+  std::sort(judges.rbegin(), judges.rend());
+  std::cout << "\nMost exact judges (P(exact grade) under the ordinal "
+               "model):\n";
+  TablePrinter leaderboard({"Judge", "P(exact)", "#grades"});
+  for (int i = 0; i < 5; ++i) {
+    const int w = judges[i].second;
+    leaderboard.AddRow({"judge" + std::to_string(w),
+                        TablePrinter::Fixed(judges[i].first, 3),
+                        std::to_string(dataset.AnswersByWorker(w).size())});
+  }
+  leaderboard.Print(std::cout);
+
+  std::cout << "\nOn graded labels the ordinal-structured model matches or "
+               "beats the\nfree-form matrices with a fraction of the "
+               "parameters (2 vs 25 per\njudge) — see "
+               "bench_extension_ordinal for the full noise sweep.\n";
+  return 0;
+}

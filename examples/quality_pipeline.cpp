@@ -1,0 +1,87 @@
+// End-to-end quality-control pipeline: the operational loop a
+// crowdsourcing platform runs around truth inference, built from the
+// library's extension modules.
+//
+//   1. Collect answers online under a budget, routing each arriving worker
+//      to the most contested task (uncertainty assignment, §7(6));
+//   2. infer truth and worker qualities (LFC);
+//   3. drop the worst-rated workers and re-infer (two-pass filtering);
+//   4. decide how much redundancy the NEXT batch actually needs
+//      (truth-free redundancy planning, §7(3)).
+#include <iostream>
+
+#include "core/registry.h"
+#include "experiments/redundancy_planner.h"
+#include "experiments/runner.h"
+#include "experiments/worker_filter.h"
+#include "simulation/online_assignment.h"
+#include "simulation/profiles.h"
+#include "util/table_printer.h"
+
+int main() {
+  using crowdtruth::util::TablePrinter;
+  std::cout << "Crowdsourcing quality pipeline (collect -> infer -> filter "
+               "-> plan)\n\n";
+
+  // 1. Budgeted online collection on a D_Product-like workload.
+  const crowdtruth::sim::CategoricalSimSpec spec =
+      crowdtruth::sim::ScaleSpec(crowdtruth::sim::DProductSpec(), 0.25);
+  crowdtruth::sim::OnlineAssignmentConfig collection;
+  collection.strategy = crowdtruth::sim::AssignmentStrategy::kUncertainty;
+  collection.total_budget = spec.num_tasks * 4;
+  const crowdtruth::data::CategoricalDataset dataset =
+      crowdtruth::sim::SimulateOnlineCollection(spec, collection, 2026);
+  std::cout << "collected " << dataset.num_answers() << " answers for "
+            << dataset.num_tasks() << " tasks from " << dataset.num_workers()
+            << " workers (uncertainty-driven assignment)\n";
+
+  // 2 + 3. Infer, filter the worst 15% of workers, re-infer.
+  const auto method = crowdtruth::core::MakeCategoricalMethod("LFC");
+  crowdtruth::core::InferenceOptions options;
+  options.seed = 7;
+  const crowdtruth::experiments::TwoPassResult two_pass =
+      crowdtruth::experiments::TwoPassInference(*method, dataset, options,
+                                                /*drop_fraction=*/0.15);
+  int dropped = 0;
+  for (bool kept : two_pass.kept) {
+    if (!kept) ++dropped;
+  }
+  const double first_accuracy = crowdtruth::experiments::EvaluateCategorical(
+      *method, dataset, options, crowdtruth::sim::kPositiveLabel).accuracy;
+  TablePrinter passes({"Stage", "Accuracy vs ground truth"});
+  passes.AddRow({"single pass", TablePrinter::Percent(first_accuracy, 2)});
+  {
+    int correct = 0;
+    int labeled = 0;
+    for (crowdtruth::data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+      if (!dataset.HasTruth(t)) continue;
+      ++labeled;
+      if (two_pass.labels[t] == dataset.Truth(t)) ++correct;
+    }
+    passes.AddRow({"two-pass (dropped " + std::to_string(dropped) +
+                       " workers)",
+                   TablePrinter::Percent(
+                       labeled ? static_cast<double>(correct) / labeled : 0,
+                       2)});
+  }
+  passes.Print(std::cout);
+
+  // 4. Plan the next batch's redundancy without any golden labels.
+  crowdtruth::experiments::RedundancyPlannerOptions planner_options;
+  planner_options.max_redundancy = 4;
+  planner_options.repeats = 3;
+  const crowdtruth::experiments::RedundancyPlan plan =
+      crowdtruth::experiments::PlanRedundancy("LFC", dataset,
+                                              planner_options);
+  std::cout << "\nredundancy plan for the next batch (truth-free stability "
+               "curve):\n";
+  TablePrinter stability({"r", "stability"});
+  for (size_t i = 0; i < plan.stability.size(); ++i) {
+    stability.AddRow({std::to_string(i + 1),
+                      TablePrinter::Percent(plan.stability[i], 1)});
+  }
+  stability.Print(std::cout);
+  std::cout << "recommended redundancy: " << plan.recommended_redundancy
+            << " answers per task\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Quickstart: the paper's running example (Tables 1-2, §3) on the
+// crowdtruth public API.
+//
+// Six entity-resolution tasks ("are these two products the same?") were
+// answered by three workers of very different quality. Majority voting gets
+// t6 wrong and coin-flips t1; quality-aware methods recover all six truths
+// by discovering that w3 is the reliable worker.
+#include <iostream>
+
+#include "core/methods/ds.h"
+#include "core/methods/mv.h"
+#include "core/methods/pm.h"
+#include "core/methods/zc.h"
+#include "data/dataset.h"
+#include "metrics/classification.h"
+#include "util/table_printer.h"
+
+namespace {
+
+constexpr crowdtruth::data::LabelId kT = 0;
+constexpr crowdtruth::data::LabelId kF = 1;
+
+// Builds Table 2 of the paper: answers of workers w1..w3 to tasks t1..t6.
+crowdtruth::data::CategoricalDataset BuildTable2() {
+  crowdtruth::data::CategoricalDatasetBuilder builder(
+      /*num_tasks=*/6, /*num_workers=*/3, /*num_choices=*/2);
+  builder.set_name("table2");
+  const int w1 = 0;
+  const int w2 = 1;
+  const int w3 = 2;
+  // w1: t1=F t2=T t3=T t4=F t5=F t6=F
+  builder.AddAnswer(0, w1, kF);
+  builder.AddAnswer(1, w1, kT);
+  builder.AddAnswer(2, w1, kT);
+  builder.AddAnswer(3, w1, kF);
+  builder.AddAnswer(4, w1, kF);
+  builder.AddAnswer(5, w1, kF);
+  // w2:      t2=F t3=F t4=T t5=T t6=F
+  builder.AddAnswer(1, w2, kF);
+  builder.AddAnswer(2, w2, kF);
+  builder.AddAnswer(3, w2, kT);
+  builder.AddAnswer(4, w2, kT);
+  builder.AddAnswer(5, w2, kF);
+  // w3: t1=T t2=F t3=F t4=F t5=F t6=T
+  builder.AddAnswer(0, w3, kT);
+  builder.AddAnswer(1, w3, kF);
+  builder.AddAnswer(2, w3, kF);
+  builder.AddAnswer(3, w3, kF);
+  builder.AddAnswer(4, w3, kF);
+  builder.AddAnswer(5, w3, kT);
+  // Ground truth: only (r1=r2) and (r3=r4) are the same product.
+  builder.SetTruth(0, kT);
+  builder.SetTruth(1, kF);
+  builder.SetTruth(2, kF);
+  builder.SetTruth(3, kF);
+  builder.SetTruth(4, kF);
+  builder.SetTruth(5, kT);
+  return std::move(builder).Build();
+}
+
+const char* LabelName(crowdtruth::data::LabelId label) {
+  return label == kT ? "T" : "F";
+}
+
+void Report(const std::string& method_name,
+            const crowdtruth::data::CategoricalDataset& dataset,
+            const crowdtruth::core::CategoricalResult& result) {
+  std::cout << "\n" << method_name << ":\n  inferred truth: ";
+  for (int t = 0; t < dataset.num_tasks(); ++t) {
+    std::cout << "t" << (t + 1) << "=" << LabelName(result.labels[t]) << " ";
+  }
+  std::cout << "\n  accuracy vs ground truth: "
+            << crowdtruth::util::TablePrinter::Percent(
+                   crowdtruth::metrics::Accuracy(dataset, result.labels), 1)
+            << "\n  worker qualities: ";
+  for (int w = 0; w < dataset.num_workers(); ++w) {
+    std::cout << "w" << (w + 1) << "="
+              << crowdtruth::util::TablePrinter::Fixed(
+                     result.worker_quality[w], 2)
+              << " ";
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  const crowdtruth::data::CategoricalDataset dataset = BuildTable2();
+  std::cout << "Truth inference quickstart (paper Tables 1-2, Section 3)\n"
+            << "6 decision-making tasks, 3 workers, ground truth "
+               "t1=T t2..t5=F t6=T\n";
+
+  crowdtruth::core::InferenceOptions options;
+  options.seed = 7;
+
+  crowdtruth::core::MajorityVoting mv;
+  Report("Majority Voting (baseline)", dataset, mv.Infer(dataset, options));
+
+  // PM's §3 walk-through breaks the t1 tie toward w3; reproduce that branch
+  // deterministically by granting w3 an infinitesimally larger initial
+  // weight.
+  crowdtruth::core::PmCategorical pm;
+  crowdtruth::core::InferenceOptions pm_options = options;
+  pm_options.initial_worker_quality = {1.0, 1.0, 1.0 + 1e-9};
+  Report("PM (optimization, Section 3 walk-through)", dataset,
+         pm.Infer(dataset, pm_options));
+
+  crowdtruth::core::Zc zc;
+  Report("ZC (EM with worker probability)", dataset,
+         zc.Infer(dataset, options));
+
+  crowdtruth::core::DawidSkene ds;
+  Report("D&S (EM with confusion matrices)", dataset,
+         ds.Infer(dataset, options));
+
+  std::cout
+      << "\nNote how MV mislabels t6 (and coin-flips t1), while PM recovers "
+         "all six\ntruths and assigns w3 a far higher quality (paper: "
+         "~16.09 vs ~0.29).\n\nZC and D&S may land elsewhere on this "
+         "six-task toy: their likelihood is\nactually maximized by treating "
+         "w1 as a perfectly *inverted* worker (that\nexplains all six of "
+         "w1's answers), a well-known small-sample mode of\ninvertible "
+         "worker models. PM's weights cannot go negative, which is why\nit "
+         "matches the paper's walk-through. On realistic dataset sizes all "
+         "of\nthese methods beat MV (see the bench/ harnesses).\n";
+  return 0;
+}

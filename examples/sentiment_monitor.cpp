@@ -1,0 +1,90 @@
+// Brand-sentiment monitoring with golden tasks — the paper's D_PosSent
+// scenario plus the two quality-control mechanisms of §6.3.2-6.3.3.
+//
+// A monitoring pipeline labels tweets as positive/negative toward a
+// company. The team has a small pool of editor-labeled tweets and wants to
+// know where to spend them: as a qualification test (estimate each
+// worker's quality up front) or as hidden golden tasks (mix known-truth
+// tweets into the stream). This example measures both on a simulated
+// workload.
+#include <iostream>
+
+#include "core/registry.h"
+#include "experiments/hidden_test.h"
+#include "experiments/qualification.h"
+#include "experiments/runner.h"
+#include "simulation/profiles.h"
+#include "util/table_printer.h"
+
+int main() {
+  using crowdtruth::util::TablePrinter;
+  std::cout << "Sentiment monitoring with golden-task quality control "
+               "(D_PosSent scenario)\n";
+
+  const crowdtruth::data::CategoricalDataset dataset =
+      crowdtruth::sim::GenerateCategoricalProfile("D_PosSent", 1.0);
+  std::cout << dataset.num_tasks() << " tweets, " << dataset.num_answers()
+            << " answers from " << dataset.num_workers() << " workers\n\n";
+
+  const auto method = crowdtruth::core::MakeCategoricalMethod("LFC");
+  crowdtruth::util::Rng rng(2024);
+
+  // Baseline: unsupervised inference.
+  crowdtruth::core::InferenceOptions baseline_options;
+  baseline_options.seed = 1;
+  const auto baseline = crowdtruth::experiments::EvaluateCategorical(
+      *method, dataset, baseline_options, crowdtruth::sim::kPositiveLabel);
+
+  // Option A — qualification test: 20 golden tweets per worker, used only
+  // to initialize worker qualities.
+  crowdtruth::core::InferenceOptions qualification_options;
+  qualification_options.seed = 1;
+  qualification_options.initial_worker_quality =
+      crowdtruth::experiments::BootstrapQualificationAccuracy(dataset, 20,
+                                                              rng);
+  const auto with_qualification =
+      crowdtruth::experiments::EvaluateCategorical(
+          *method, dataset, qualification_options,
+          crowdtruth::sim::kPositiveLabel);
+
+  // Option B — hidden test: 10% of the stream is editor-labeled; those
+  // labels are pinned during inference and quality is measured on the rest.
+  const crowdtruth::experiments::GoldenSelection selection =
+      crowdtruth::experiments::SelectGolden(dataset, 0.10, rng);
+  crowdtruth::core::InferenceOptions hidden_options;
+  hidden_options.seed = 1;
+  hidden_options.golden_labels = selection.golden_labels;
+  const auto with_hidden = crowdtruth::experiments::EvaluateCategorical(
+      *method, dataset, hidden_options, crowdtruth::sim::kPositiveLabel,
+      &selection.evaluate);
+  // Fair comparison for option B: the baseline evaluated on the same
+  // non-golden tweets.
+  const auto baseline_masked = crowdtruth::experiments::EvaluateCategorical(
+      *method, dataset, baseline_options, crowdtruth::sim::kPositiveLabel,
+      &selection.evaluate);
+
+  TablePrinter table({"Configuration", "Accuracy", "F1", "Evaluated on"});
+  table.AddRow({"LFC, unsupervised",
+                TablePrinter::Percent(baseline.accuracy, 2),
+                TablePrinter::Percent(baseline.f1, 2), "all tweets"});
+  table.AddRow({"LFC + qualification test (20 golden/worker)",
+                TablePrinter::Percent(with_qualification.accuracy, 2),
+                TablePrinter::Percent(with_qualification.f1, 2),
+                "all tweets"});
+  table.AddRow({"LFC, unsupervised",
+                TablePrinter::Percent(baseline_masked.accuracy, 2),
+                TablePrinter::Percent(baseline_masked.f1, 2),
+                "non-golden tweets"});
+  table.AddRow({"LFC + hidden test (10% golden)",
+                TablePrinter::Percent(with_hidden.accuracy, 2),
+                TablePrinter::Percent(with_hidden.f1, 2),
+                "non-golden tweets"});
+  table.Print(std::cout);
+
+  std::cout
+      << "\nAs the paper finds (Sec 6.3.2-6.3.3): with 20 answers per tweet "
+         "the\nunsupervised estimate is already strong, so qualification "
+         "adds little;\nhidden golden tasks help modestly and their benefit "
+         "grows with the\ngolden fraction.\n";
+  return 0;
+}

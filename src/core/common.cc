@@ -1,0 +1,173 @@
+#include "core/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdtruth::core {
+
+bool HasGoldenLabels(const data::CategoricalDataset& dataset,
+                     const InferenceOptions& options) {
+  if (options.golden_labels.empty()) return false;
+  CROWDTRUTH_CHECK_EQ(static_cast<int>(options.golden_labels.size()),
+                      dataset.num_tasks());
+  return true;
+}
+
+bool HasGoldenValues(const data::NumericDataset& dataset,
+                     const InferenceOptions& options) {
+  if (options.golden_values.empty()) return false;
+  CROWDTRUTH_CHECK_EQ(static_cast<int>(options.golden_values.size()),
+                      dataset.num_tasks());
+  return true;
+}
+
+Posterior InitialPosterior(const data::CategoricalDataset& dataset,
+                           const InferenceOptions& options) {
+  const int n = dataset.num_tasks();
+  const int l = dataset.num_choices();
+  const bool golden = HasGoldenLabels(dataset, options);
+  const bool weighted = !options.initial_worker_quality.empty();
+  if (weighted) {
+    CROWDTRUTH_CHECK_EQ(
+        static_cast<int>(options.initial_worker_quality.size()),
+        dataset.num_workers());
+  }
+
+  Posterior posterior(n, std::vector<double>(l, 1.0 / l));
+  for (data::TaskId t = 0; t < n; ++t) {
+    if (golden && options.golden_labels[t] != data::kNoTruth) {
+      std::fill(posterior[t].begin(), posterior[t].end(), 0.0);
+      posterior[t][options.golden_labels[t]] = 1.0;
+      continue;
+    }
+    const auto& votes = dataset.AnswersForTask(t);
+    if (votes.empty()) continue;
+    std::vector<double> counts(l, 0.0);
+    double total = 0.0;
+    for (const data::TaskVote& vote : votes) {
+      // Weight a vote by the worker's qualification-test quality when
+      // available; a 0-quality worker still contributes a small amount so
+      // that tasks answered only by such workers keep a defined belief.
+      const double weight =
+          weighted
+              ? std::max(options.initial_worker_quality[vote.worker], 0.05)
+              : 1.0;
+      counts[vote.label] += weight;
+      total += weight;
+    }
+    if (total > 0.0) {
+      for (int z = 0; z < l; ++z) posterior[t][z] = counts[z] / total;
+    }
+  }
+  return posterior;
+}
+
+void ClampGolden(const data::CategoricalDataset& dataset,
+                 const InferenceOptions& options, Posterior& posterior) {
+  if (!HasGoldenLabels(dataset, options)) return;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    const data::LabelId g = options.golden_labels[t];
+    if (g == data::kNoTruth) continue;
+    std::fill(posterior[t].begin(), posterior[t].end(), 0.0);
+    posterior[t][g] = 1.0;
+  }
+}
+
+double MaxAbsDiff(const Posterior& a, const Posterior& b) {
+  CROWDTRUTH_CHECK_EQ(a.size(), b.size());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    CROWDTRUTH_CHECK_EQ(a[i].size(), b[i].size());
+    for (size_t z = 0; z < a[i].size(); ++z) {
+      max_diff = std::max(max_diff, std::fabs(a[i][z] - b[i][z]));
+    }
+  }
+  return max_diff;
+}
+
+std::vector<data::LabelId> ArgmaxLabels(const Posterior& posterior,
+                                        util::Rng& rng) {
+  std::vector<data::LabelId> labels(posterior.size(), 0);
+  std::vector<int> ties;
+  for (size_t i = 0; i < posterior.size(); ++i) {
+    double best = -1.0;
+    ties.clear();
+    for (size_t z = 0; z < posterior[i].size(); ++z) {
+      if (posterior[i][z] > best + 1e-12) {
+        best = posterior[i][z];
+        ties.assign(1, static_cast<int>(z));
+      } else if (std::fabs(posterior[i][z] - best) <= 1e-12) {
+        ties.push_back(static_cast<int>(z));
+      }
+    }
+    labels[i] = ties.size() == 1
+                    ? ties[0]
+                    : ties[rng.UniformInt(0, static_cast<int>(ties.size()) -
+                                                 1)];
+  }
+  return labels;
+}
+
+std::vector<data::LabelId> MajorityVoteLabels(
+    const data::CategoricalDataset& dataset, const InferenceOptions& options,
+    util::Rng& rng) {
+  const int l = dataset.num_choices();
+  const bool golden = HasGoldenLabels(dataset, options);
+  std::vector<data::LabelId> labels(dataset.num_tasks(), 0);
+  std::vector<double> counts(l);
+  std::vector<int> ties;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (golden && options.golden_labels[t] != data::kNoTruth) {
+      labels[t] = options.golden_labels[t];
+      continue;
+    }
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+      counts[vote.label] += 1.0;
+    }
+    double best = -1.0;
+    ties.clear();
+    for (int z = 0; z < l; ++z) {
+      if (counts[z] > best) {
+        best = counts[z];
+        ties.assign(1, z);
+      } else if (counts[z] == best) {
+        ties.push_back(z);
+      }
+    }
+    labels[t] = ties.size() == 1
+                    ? ties[0]
+                    : ties[rng.UniformInt(0, static_cast<int>(ties.size()) -
+                                                 1)];
+  }
+  return labels;
+}
+
+std::vector<double> MeanValues(const data::NumericDataset& dataset,
+                               const InferenceOptions& options) {
+  std::vector<double> values(dataset.num_tasks(), 0.0);
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    const auto& votes = dataset.AnswersForTask(t);
+    if (votes.empty()) continue;
+    double total = 0.0;
+    for (const data::NumericTaskVote& vote : votes) total += vote.value;
+    values[t] = total / votes.size();
+  }
+  ClampGoldenValues(dataset, options, values);
+  return values;
+}
+
+void ClampGoldenValues(const data::NumericDataset& dataset,
+                       const InferenceOptions& options,
+                       std::vector<double>& values) {
+  if (!HasGoldenValues(dataset, options)) return;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (!std::isnan(options.golden_values[t])) {
+      values[t] = options.golden_values[t];
+    }
+  }
+}
+
+}  // namespace crowdtruth::core

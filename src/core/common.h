@@ -1,0 +1,62 @@
+// Shared building blocks for the iterative methods: posterior
+// initialization, golden-task clamping, convergence measurement, and label
+// extraction. Kept internal to the core library.
+#ifndef CROWDTRUTH_CORE_COMMON_H_
+#define CROWDTRUTH_CORE_COMMON_H_
+
+#include <vector>
+
+#include "core/inference.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace crowdtruth::core {
+
+// posterior[i][z] = current belief that task i's truth is choice z.
+using Posterior = std::vector<std::vector<double>>;
+
+// Returns true when golden labels are supplied for this dataset.
+bool HasGoldenLabels(const data::CategoricalDataset& dataset,
+                     const InferenceOptions& options);
+bool HasGoldenValues(const data::NumericDataset& dataset,
+                     const InferenceOptions& options);
+
+// Initial belief from (optionally quality-weighted) vote shares. Golden
+// tasks are one-hot; tasks without answers are uniform. When
+// options.initial_worker_quality is present, votes are weighted by it
+// (the qualification-test initialization of Algorithm 1, line 1).
+Posterior InitialPosterior(const data::CategoricalDataset& dataset,
+                           const InferenceOptions& options);
+
+// Overwrites the belief of golden tasks with a one-hot distribution.
+void ClampGolden(const data::CategoricalDataset& dataset,
+                 const InferenceOptions& options, Posterior& posterior);
+
+// Max absolute difference between two posteriors; the convergence measure
+// for the EM/VI methods.
+double MaxAbsDiff(const Posterior& a, const Posterior& b);
+
+// Argmax labels with seeded random tie-breaking. `rng` supplies the
+// tie-break stream.
+std::vector<data::LabelId> ArgmaxLabels(const Posterior& posterior,
+                                        util::Rng& rng);
+
+// Hard majority vote with seeded random tie-breaking; tasks without
+// answers get a random label. Honors golden labels when supplied.
+std::vector<data::LabelId> MajorityVoteLabels(
+    const data::CategoricalDataset& dataset, const InferenceOptions& options,
+    util::Rng& rng);
+
+// For numeric methods: per-task unweighted mean of the answers (0 when a
+// task has no answers). Honors golden values when supplied.
+std::vector<double> MeanValues(const data::NumericDataset& dataset,
+                               const InferenceOptions& options);
+
+// Clamps golden numeric tasks to their supplied values.
+void ClampGoldenValues(const data::NumericDataset& dataset,
+                       const InferenceOptions& options,
+                       std::vector<double>& values);
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_COMMON_H_

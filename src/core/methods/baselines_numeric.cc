@@ -1,0 +1,65 @@
+#include "core/methods/baselines_numeric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+
+namespace crowdtruth::core {
+namespace {
+
+std::vector<double> WorkerNegativeRmsDeviation(
+    const data::NumericDataset& dataset, const std::vector<double>& values) {
+  std::vector<double> quality(dataset.num_workers(), 0.0);
+  for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    const auto& votes = dataset.AnswersByWorker(w);
+    if (votes.empty()) continue;
+    double sum_sq = 0.0;
+    for (const data::NumericWorkerVote& vote : votes) {
+      const double err = vote.value - values[vote.task];
+      sum_sq += err * err;
+    }
+    quality[w] = -std::sqrt(sum_sq / votes.size());
+  }
+  return quality;
+}
+
+}  // namespace
+
+NumericResult MeanBaseline::Infer(const data::NumericDataset& dataset,
+                                  const InferenceOptions& options) const {
+  NumericResult result;
+  result.values = MeanValues(dataset, options);
+  result.worker_quality = WorkerNegativeRmsDeviation(dataset, result.values);
+  result.iterations = 1;
+  result.converged = true;
+  return result;
+}
+
+NumericResult MedianBaseline::Infer(const data::NumericDataset& dataset,
+                                    const InferenceOptions& options) const {
+  NumericResult result;
+  result.values.assign(dataset.num_tasks(), 0.0);
+  std::vector<double> buffer;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    const auto& votes = dataset.AnswersForTask(t);
+    if (votes.empty()) continue;
+    buffer.clear();
+    for (const data::NumericTaskVote& vote : votes) {
+      buffer.push_back(vote.value);
+    }
+    std::sort(buffer.begin(), buffer.end());
+    const size_t mid = buffer.size() / 2;
+    result.values[t] = buffer.size() % 2 == 1
+                           ? buffer[mid]
+                           : 0.5 * (buffer[mid - 1] + buffer[mid]);
+  }
+  ClampGoldenValues(dataset, options, result.values);
+  result.worker_quality = WorkerNegativeRmsDeviation(dataset, result.values);
+  result.iterations = 1;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,28 @@
+// Direct-computation baselines for numeric tasks (paper §5.1): Mean and
+// Median of the collected answers per task. No task or worker model. The
+// reported worker quality is the negated RMS deviation of the worker's
+// answers from the aggregate (so that higher still means better).
+#ifndef CROWDTRUTH_CORE_METHODS_BASELINES_NUMERIC_H_
+#define CROWDTRUTH_CORE_METHODS_BASELINES_NUMERIC_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class MeanBaseline : public NumericMethod {
+ public:
+  std::string name() const override { return "Mean"; }
+  NumericResult Infer(const data::NumericDataset& dataset,
+                      const InferenceOptions& options) const override;
+};
+
+class MedianBaseline : public NumericMethod {
+ public:
+  std::string name() const override { return "Median"; }
+  NumericResult Infer(const data::NumericDataset& dataset,
+                      const InferenceOptions& options) const override;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_BASELINES_NUMERIC_H_

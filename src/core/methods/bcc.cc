@@ -1,0 +1,112 @@
+#include "core/methods/bcc.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/rng.h"
+
+namespace crowdtruth::core {
+
+CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
+                             const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int l = dataset.num_choices();
+  const int num_workers = dataset.num_workers();
+  util::Rng rng(options.seed);
+
+  // State: hard truth assignment, per-worker confusion matrices (flattened
+  // j*l+k, stored as log for the sampling step), class prior.
+  std::vector<data::LabelId> truth = MajorityVoteLabels(dataset, options, rng);
+  std::vector<std::vector<double>> log_confusion(
+      num_workers, std::vector<double>(l * l, std::log(1.0 / l)));
+  std::vector<double> log_class(l, std::log(1.0 / l));
+
+  std::vector<std::vector<double>> marginal(n, std::vector<double>(l, 0.0));
+  std::vector<std::vector<double>> diag_sum(
+      num_workers, std::vector<double>(l, 0.0));
+  std::vector<double> class_prior_sum(l, 0.0);
+
+  std::vector<double> row_counts(l);
+  std::vector<double> log_weights(l);
+
+  const int total_sweeps = burn_in_ + samples_;
+  for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    // Sample confusion matrices.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      for (int j = 0; j < l; ++j) {
+        for (int k = 0; k < l; ++k) {
+          row_counts[k] = j == k ? prior_diag_ : prior_off_;
+        }
+        for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+          if (truth[vote.task] == j) row_counts[vote.label] += 1.0;
+        }
+        const std::vector<double> row = rng.Dirichlet(row_counts);
+        for (int k = 0; k < l; ++k) {
+          log_confusion[w][j * l + k] = std::log(std::max(row[k], 1e-12));
+        }
+        if (sweep >= burn_in_) {
+          diag_sum[w][j] += row[j];
+        }
+      }
+    }
+
+    // Sample the class prior.
+    std::vector<double> class_counts(l, 1.0);
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (dataset.AnswersForTask(t).empty()) continue;
+      class_counts[truth[t]] += 1.0;
+    }
+    const std::vector<double> class_prior = rng.Dirichlet(class_counts);
+    for (int j = 0; j < l; ++j) {
+      log_class[j] = std::log(std::max(class_prior[j], 1e-12));
+      if (sweep >= burn_in_) class_prior_sum[j] += class_prior[j];
+    }
+
+    // Sample task truths.
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      log_weights = log_class;
+      for (const data::TaskVote& vote : votes) {
+        for (int j = 0; j < l; ++j) {
+          log_weights[j] += log_confusion[vote.worker][j * l + vote.label];
+        }
+      }
+      truth[t] = rng.CategoricalFromLog(log_weights);
+      if (sweep >= burn_in_) marginal[t][truth[t]] += 1.0;
+    }
+  }
+
+  CategoricalResult result;
+  result.iterations = total_sweeps;
+  result.converged = true;
+  for (data::TaskId t = 0; t < n; ++t) {
+    double total = 0.0;
+    for (int j = 0; j < l; ++j) total += marginal[t][j];
+    if (total > 0.0) {
+      for (int j = 0; j < l; ++j) marginal[t][j] /= total;
+    } else {
+      // Tasks without answers keep a uniform marginal.
+      for (int j = 0; j < l; ++j) marginal[t][j] = 1.0 / l;
+    }
+  }
+  result.labels = ArgmaxLabels(marginal, rng);
+  result.posterior = std::move(marginal);
+
+  result.worker_quality.assign(num_workers, 0.0);
+  double class_total = 0.0;
+  for (double c : class_prior_sum) class_total += c;
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    double expected_correct = 0.0;
+    for (int j = 0; j < l; ++j) {
+      const double prior_j =
+          class_total > 0 ? class_prior_sum[j] / class_total : 1.0 / l;
+      expected_correct += prior_j * diag_sum[w][j] / samples_;
+    }
+    result.worker_quality[w] = expected_correct;
+  }
+  return result;
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,39 @@
+// BCC — Bayesian Classifier Combination (Kim & Ghahramani, AISTATS'12;
+// paper §5.3(2) "Optimization Function").
+//
+// Same generative model as D&S (per-worker confusion matrices, class
+// prior), but maximizing the posterior joint probability via Gibbs
+// sampling: alternately sample (a) each confusion-matrix row from its
+// Dirichlet posterior, (b) the class prior from its Dirichlet posterior,
+// and (c) each task's truth from its conditional. After burn-in, per-task
+// label marginals are accumulated and the mode is reported.
+#ifndef CROWDTRUTH_CORE_METHODS_BCC_H_
+#define CROWDTRUTH_CORE_METHODS_BCC_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class Bcc : public CategoricalMethod {
+ public:
+  Bcc(int burn_in = 20, int samples = 60, double prior_diag = 2.0,
+      double prior_off = 1.0)
+      : burn_in_(burn_in),
+        samples_(samples),
+        prior_diag_(prior_diag),
+        prior_off_(prior_off) {}
+
+  std::string name() const override { return "BCC"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+
+ protected:
+  int burn_in_;
+  int samples_;
+  double prior_diag_;
+  double prior_off_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_BCC_H_

@@ -1,0 +1,186 @@
+#include "core/methods/catd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/rng.h"
+#include "util/special_functions.h"
+
+namespace crowdtruth::core {
+namespace {
+
+// Avoids division by zero for error-free workers; small enough that such
+// workers still dominate the weighted vote.
+constexpr double kErrorEpsilon = 0.01;
+
+// X^2(0.975, |T^w|) per worker; dof is at least 1.
+std::vector<double> ChiSquaredCoefficients(const std::vector<int>& counts) {
+  std::vector<double> coefficients(counts.size(), 0.0);
+  for (size_t w = 0; w < counts.size(); ++w) {
+    const double dof = std::max(counts[w], 1);
+    coefficients[w] = util::ChiSquaredQuantile(0.975, dof);
+  }
+  return coefficients;
+}
+
+}  // namespace
+
+CategoricalResult CatdCategorical::Infer(
+    const data::CategoricalDataset& dataset,
+    const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int l = dataset.num_choices();
+  const int num_workers = dataset.num_workers();
+  const bool golden = HasGoldenLabels(dataset, options);
+  util::Rng rng(options.seed);
+
+  std::vector<int> answer_counts(num_workers, 0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    answer_counts[w] = static_cast<int>(dataset.AnswersByWorker(w).size());
+  }
+  const std::vector<double> chi2 = ChiSquaredCoefficients(answer_counts);
+
+  std::vector<double> quality(num_workers, 1.0);
+  if (!options.initial_worker_quality.empty()) {
+    // Seed weights from the qualification accuracy, scaled by confidence.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      const double accuracy =
+          std::clamp(options.initial_worker_quality[w], 0.05, 0.999);
+      const double expected_error =
+          (1.0 - accuracy) * std::max(answer_counts[w], 1);
+      quality[w] = chi2[w] / (expected_error + kErrorEpsilon);
+    }
+  }
+
+  CategoricalResult result;
+  std::vector<data::LabelId> labels(n, 0);
+  std::vector<double> scores(l);
+  std::vector<int> ties;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Truth step: weighted vote.
+    std::vector<data::LabelId> next(n, 0);
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (golden && options.golden_labels[t] != data::kNoTruth) {
+        next[t] = options.golden_labels[t];
+        continue;
+      }
+      std::fill(scores.begin(), scores.end(), 0.0);
+      for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+        scores[vote.label] += quality[vote.worker];
+      }
+      double best = -1.0;
+      ties.clear();
+      for (int z = 0; z < l; ++z) {
+        if (scores[z] > best + 1e-12) {
+          best = scores[z];
+          ties.assign(1, z);
+        } else if (std::fabs(scores[z] - best) <= 1e-12) {
+          ties.push_back(z);
+        }
+      }
+      next[t] = ties.size() == 1
+                    ? ties[0]
+                    : ties[rng.UniformInt(
+                          0, static_cast<int>(ties.size()) - 1)];
+    }
+
+    // Weight step: confidence-scaled inverse error.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      double error = 0.0;
+      for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+        if (vote.label != next[vote.task]) error += 1.0;
+      }
+      quality[w] = chi2[w] / (error + kErrorEpsilon);
+    }
+
+    result.iterations = iteration + 1;
+    int changed = 0;
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (next[t] != labels[t]) ++changed;
+    }
+    result.convergence_trace.push_back(static_cast<double>(changed) /
+                                       std::max(n, 1));
+    const bool unchanged = iteration > 0 && changed == 0;
+    labels = std::move(next);
+    if (unchanged) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.labels = std::move(labels);
+  result.worker_quality = std::move(quality);
+  return result;
+}
+
+NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
+                                 const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int num_workers = dataset.num_workers();
+
+  std::vector<int> answer_counts(num_workers, 0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    answer_counts[w] = static_cast<int>(dataset.AnswersByWorker(w).size());
+  }
+  const std::vector<double> chi2 = ChiSquaredCoefficients(answer_counts);
+
+  std::vector<double> quality(num_workers, 1.0);
+  if (!options.initial_worker_quality.empty()) {
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      const double rmse = options.initial_worker_quality[w];
+      const double expected_error =
+          rmse * rmse * std::max(answer_counts[w], 1);
+      quality[w] = chi2[w] / (expected_error + kErrorEpsilon);
+    }
+  }
+
+  NumericResult result;
+  std::vector<double> values = MeanValues(dataset, options);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Truth step: weighted mean.
+    std::vector<double> next(n, 0.0);
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      double weighted_sum = 0.0;
+      double weight_total = 0.0;
+      for (const data::NumericTaskVote& vote : votes) {
+        const double weight = std::max(quality[vote.worker], 1e-12);
+        weighted_sum += weight * vote.value;
+        weight_total += weight;
+      }
+      next[t] = weighted_sum / weight_total;
+    }
+    ClampGoldenValues(dataset, options, next);
+
+    // Weight step.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      double error = 0.0;
+      for (const data::NumericWorkerVote& vote : dataset.AnswersByWorker(w)) {
+        const double err = vote.value - next[vote.task];
+        error += err * err;
+      }
+      quality[w] = chi2[w] / (error + kErrorEpsilon);
+    }
+
+    double change = 0.0;
+    for (data::TaskId t = 0; t < n; ++t) {
+      change = std::max(change, std::fabs(next[t] - values[t]));
+    }
+    values = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (iteration > 0 && change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.values = std::move(values);
+  result.worker_quality = std::move(quality);
+  return result;
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,33 @@
+// CATD (Li et al., PVLDB'14; paper §5.2(2)): confidence-aware truth
+// discovery for long-tail data.
+//
+// Worker model: a reliability weight scaled by the chi-squared coefficient
+// X^2(0.975, |T^w|) so that workers who answered many tasks get confident
+// (larger) weights:
+//     q^w = ChiSquaredQuantile(0.975, |T^w|) / sum_{i in T^w} d(v_i^w, v*_i)
+// Truth update: weighted vote (categorical) or weighted mean (numeric).
+// The two steps iterate until the truth assignment stabilizes.
+#ifndef CROWDTRUTH_CORE_METHODS_CATD_H_
+#define CROWDTRUTH_CORE_METHODS_CATD_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class CatdCategorical : public CategoricalMethod {
+ public:
+  std::string name() const override { return "CATD"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+};
+
+class CatdNumeric : public NumericMethod {
+ public:
+  std::string name() const override { return "CATD"; }
+  NumericResult Infer(const data::NumericDataset& dataset,
+                      const InferenceOptions& options) const override;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_CATD_H_

@@ -1,0 +1,135 @@
+#include "core/methods/cbcc.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/rng.h"
+
+namespace crowdtruth::core {
+
+CategoricalResult Cbcc::Infer(const data::CategoricalDataset& dataset,
+                              const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int l = dataset.num_choices();
+  const int num_workers = dataset.num_workers();
+  const int m = num_communities_;
+  util::Rng rng(options.seed);
+
+  std::vector<data::LabelId> truth = MajorityVoteLabels(dataset, options, rng);
+  std::vector<int> community(num_workers);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    community[w] = rng.UniformInt(0, m - 1);
+  }
+  // log_confusion[c][j*l+k]: community c's representative matrix.
+  std::vector<std::vector<double>> log_confusion(
+      m, std::vector<double>(l * l, std::log(1.0 / l)));
+  std::vector<double> log_class(l, std::log(1.0 / l));
+  std::vector<double> log_mixing(m, std::log(1.0 / m));
+
+  std::vector<std::vector<double>> marginal(n, std::vector<double>(l, 0.0));
+  std::vector<double> worker_quality_sum(num_workers, 0.0);
+  std::vector<std::vector<double>> diag(m, std::vector<double>(l, 0.0));
+
+  std::vector<double> row_counts(l);
+  std::vector<double> log_weights_label(l);
+  std::vector<double> log_weights_community(m);
+
+  const int total_sweeps = burn_in_ + samples_;
+  for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    // Sample community matrices from the pooled counts of their members.
+    for (int c = 0; c < m; ++c) {
+      for (int j = 0; j < l; ++j) {
+        for (int k = 0; k < l; ++k) {
+          row_counts[k] = j == k ? prior_diag_ : prior_off_;
+        }
+        for (data::WorkerId w = 0; w < num_workers; ++w) {
+          if (community[w] != c) continue;
+          for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+            if (truth[vote.task] == j) row_counts[vote.label] += 1.0;
+          }
+        }
+        const std::vector<double> row = rng.Dirichlet(row_counts);
+        for (int k = 0; k < l; ++k) {
+          log_confusion[c][j * l + k] = std::log(std::max(row[k], 1e-12));
+        }
+        diag[c][j] = row[j];
+      }
+    }
+
+    // Sample mixing weights.
+    std::vector<double> mixing_counts(m, 1.0);
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      mixing_counts[community[w]] += 1.0;
+    }
+    const std::vector<double> mixing = rng.Dirichlet(mixing_counts);
+    for (int c = 0; c < m; ++c) {
+      log_mixing[c] = std::log(std::max(mixing[c], 1e-12));
+    }
+
+    // Sample worker community assignments.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      log_weights_community = log_mixing;
+      for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+        const int j = truth[vote.task];
+        for (int c = 0; c < m; ++c) {
+          log_weights_community[c] += log_confusion[c][j * l + vote.label];
+        }
+      }
+      community[w] = rng.CategoricalFromLog(log_weights_community);
+      if (sweep >= burn_in_) {
+        double expected_correct = 0.0;
+        for (int j = 0; j < l; ++j) expected_correct += diag[community[w]][j];
+        worker_quality_sum[w] += expected_correct / l;
+      }
+    }
+
+    // Sample the class prior.
+    std::vector<double> class_counts(l, 1.0);
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (dataset.AnswersForTask(t).empty()) continue;
+      class_counts[truth[t]] += 1.0;
+    }
+    const std::vector<double> class_prior = rng.Dirichlet(class_counts);
+    for (int j = 0; j < l; ++j) {
+      log_class[j] = std::log(std::max(class_prior[j], 1e-12));
+    }
+
+    // Sample task truths through community matrices.
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      log_weights_label = log_class;
+      for (const data::TaskVote& vote : votes) {
+        const auto& matrix = log_confusion[community[vote.worker]];
+        for (int j = 0; j < l; ++j) {
+          log_weights_label[j] += matrix[j * l + vote.label];
+        }
+      }
+      truth[t] = rng.CategoricalFromLog(log_weights_label);
+      if (sweep >= burn_in_) marginal[t][truth[t]] += 1.0;
+    }
+  }
+
+  CategoricalResult result;
+  result.iterations = total_sweeps;
+  result.converged = true;
+  for (data::TaskId t = 0; t < n; ++t) {
+    double total = 0.0;
+    for (int j = 0; j < l; ++j) total += marginal[t][j];
+    if (total > 0.0) {
+      for (int j = 0; j < l; ++j) marginal[t][j] /= total;
+    } else {
+      for (int j = 0; j < l; ++j) marginal[t][j] = 1.0 / l;
+    }
+  }
+  result.labels = ArgmaxLabels(marginal, rng);
+  result.posterior = std::move(marginal);
+  result.worker_quality.assign(num_workers, 0.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    result.worker_quality[w] = worker_quality_sum[w] / samples_;
+  }
+  return result;
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,40 @@
+// CBCC — Community-based Bayesian Classifier Combination (Venanzi et al.,
+// WWW'14; paper §5.3(2) "Optimization Function").
+//
+// Extends BCC with worker communities: each worker belongs to one of M
+// communities, each community has a representative confusion matrix, and
+// workers in the same community share it. Inference is Gibbs sampling over
+// (task truths, community matrices, community mixing weights, worker
+// community assignments).
+#ifndef CROWDTRUTH_CORE_METHODS_CBCC_H_
+#define CROWDTRUTH_CORE_METHODS_CBCC_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class Cbcc : public CategoricalMethod {
+ public:
+  Cbcc(int num_communities = 3, int burn_in = 20, int samples = 60,
+       double prior_diag = 2.0, double prior_off = 1.0)
+      : num_communities_(num_communities),
+        burn_in_(burn_in),
+        samples_(samples),
+        prior_diag_(prior_diag),
+        prior_off_(prior_off) {}
+
+  std::string name() const override { return "CBCC"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+
+ private:
+  int num_communities_;
+  int burn_in_;
+  int samples_;
+  double prior_diag_;
+  double prior_off_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_CBCC_H_

@@ -1,0 +1,144 @@
+#include "core/methods/confusion_em.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/special_functions.h"
+
+namespace crowdtruth::core::internal {
+namespace {
+
+// Flattened per-worker confusion matrices: matrix[w][j * l + k].
+using ConfusionMatrices = std::vector<std::vector<double>>;
+
+// Builds confusion matrices directly from qualification-test accuracies:
+// diagonal q, off-diagonal (1 - q) / (l - 1).
+ConfusionMatrices MatricesFromInitialQuality(
+    const std::vector<double>& initial_quality, int num_workers, int l) {
+  ConfusionMatrices matrices(num_workers, std::vector<double>(l * l));
+  for (int w = 0; w < num_workers; ++w) {
+    const double q = std::clamp(initial_quality[w], 0.05, 0.95);
+    for (int j = 0; j < l; ++j) {
+      for (int k = 0; k < l; ++k) {
+        matrices[w][j * l + k] = j == k ? q : (1.0 - q) / (l - 1);
+      }
+    }
+  }
+  return matrices;
+}
+
+void MStep(const data::CategoricalDataset& dataset, const Posterior& posterior,
+           const ConfusionEmConfig& config, ConfusionMatrices& matrices,
+           std::vector<double>& class_prior) {
+  const int l = dataset.num_choices();
+
+  // Class prior from expected class counts.
+  std::fill(class_prior.begin(), class_prior.end(), config.prior_class);
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (dataset.AnswersForTask(t).empty()) continue;
+    for (int j = 0; j < l; ++j) class_prior[j] += posterior[t][j];
+  }
+  double prior_total = 0.0;
+  for (double p : class_prior) prior_total += p;
+  for (double& p : class_prior) p /= prior_total;
+
+  // Confusion matrices from expected co-occurrence counts.
+  for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    auto& matrix = matrices[w];
+    for (int j = 0; j < l; ++j) {
+      for (int k = 0; k < l; ++k) {
+        matrix[j * l + k] =
+            config.smoothing + (j == k ? config.prior_diag : config.prior_off);
+      }
+    }
+    for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+      for (int j = 0; j < l; ++j) {
+        matrix[j * l + vote.label] += posterior[vote.task][j];
+      }
+    }
+    for (int j = 0; j < l; ++j) {
+      double row_total = 0.0;
+      for (int k = 0; k < l; ++k) row_total += matrix[j * l + k];
+      for (int k = 0; k < l; ++k) matrix[j * l + k] /= row_total;
+    }
+  }
+}
+
+void EStep(const data::CategoricalDataset& dataset,
+           const ConfusionMatrices& matrices,
+           const std::vector<double>& class_prior, Posterior& posterior) {
+  const int l = dataset.num_choices();
+  std::vector<double> log_belief(l);
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    const auto& votes = dataset.AnswersForTask(t);
+    if (votes.empty()) continue;
+    for (int j = 0; j < l; ++j) log_belief[j] = std::log(class_prior[j]);
+    for (const data::TaskVote& vote : votes) {
+      const auto& matrix = matrices[vote.worker];
+      for (int j = 0; j < l; ++j) {
+        log_belief[j] += std::log(matrix[j * l + vote.label]);
+      }
+    }
+    util::SoftmaxInPlace(log_belief);
+    posterior[t] = log_belief;
+  }
+}
+
+}  // namespace
+
+CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,
+                                 const InferenceOptions& options,
+                                 const ConfusionEmConfig& config) {
+  const int l = dataset.num_choices();
+  const int num_workers = dataset.num_workers();
+  util::Rng rng(options.seed);
+
+  Posterior posterior = InitialPosterior(dataset, options);
+  ConfusionMatrices matrices(num_workers,
+                             std::vector<double>(l * l, 1.0 / l));
+  std::vector<double> class_prior(l, 1.0 / l);
+
+  // Qualification test: the initial E-step runs with matrices built from
+  // the supplied accuracies instead of a vote-count M-step.
+  if (!options.initial_worker_quality.empty()) {
+    matrices = MatricesFromInitialQuality(options.initial_worker_quality,
+                                          num_workers, l);
+    EStep(dataset, matrices, class_prior, posterior);
+    ClampGolden(dataset, options, posterior);
+  }
+
+  CategoricalResult result;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    MStep(dataset, posterior, config, matrices, class_prior);
+    Posterior next = posterior;
+    EStep(dataset, matrices, class_prior, next);
+    ClampGolden(dataset, options, next);
+    const double change = MaxAbsDiff(posterior, next);
+    posterior = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.labels = ArgmaxLabels(posterior, rng);
+  result.worker_quality.assign(num_workers, 0.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    // Scalar summary: prior-weighted diagonal of the confusion matrix,
+    // i.e. the marginal probability of a correct answer.
+    double expected_correct = 0.0;
+    for (int j = 0; j < l; ++j) {
+      expected_correct += class_prior[j] * matrices[w][j * l + j];
+    }
+    result.worker_quality[w] = expected_correct;
+  }
+  result.worker_confusion = std::move(matrices);
+  result.posterior = std::move(posterior);
+  return result;
+}
+
+}  // namespace crowdtruth::core::internal

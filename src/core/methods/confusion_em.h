@@ -1,0 +1,37 @@
+// Shared EM engine over the confusion-matrix worker model, parameterized by
+// Dirichlet pseudo-counts. D&S (no informative prior) and LFC (Beta/
+// Dirichlet priors, Raykar et al.) are thin wrappers around this engine.
+//
+// Model: worker w has an l x l confusion matrix pi^w with
+// pi^w_{j,k} = Pr(v^w = k | v* = j); tasks have a shared class prior p.
+//   E-step:  mu_i(j) prop-to p_j * prod_{w in W_i} pi^w_{j, v_i^w}
+//   M-step:  pi^w_{j,k} prop-to prior_{j,k} + sum_{i in T^w} mu_i(j) 1{v_i^w=k}
+//            p_j prop-to prior_class + sum_i mu_i(j)
+#ifndef CROWDTRUTH_CORE_METHODS_CONFUSION_EM_H_
+#define CROWDTRUTH_CORE_METHODS_CONFUSION_EM_H_
+
+#include "core/common.h"
+#include "core/inference.h"
+
+namespace crowdtruth::core::internal {
+
+struct ConfusionEmConfig {
+  // Dirichlet pseudo-counts added to each confusion-matrix cell; the
+  // diagonal typically gets more mass (a prior belief that workers are
+  // better than random).
+  double prior_diag = 0.0;
+  double prior_off = 0.0;
+  // Tiny smoothing keeping estimates strictly positive even with zero
+  // priors (D&S).
+  double smoothing = 1e-6;
+  // Pseudo-count for the class prior.
+  double prior_class = 1e-6;
+};
+
+CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,
+                                 const InferenceOptions& options,
+                                 const ConfusionEmConfig& config);
+
+}  // namespace crowdtruth::core::internal
+
+#endif  // CROWDTRUTH_CORE_METHODS_CONFUSION_EM_H_

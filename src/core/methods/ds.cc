@@ -1,0 +1,13 @@
+#include "core/methods/ds.h"
+
+#include "core/methods/confusion_em.h"
+
+namespace crowdtruth::core {
+
+CategoricalResult DawidSkene::Infer(const data::CategoricalDataset& dataset,
+                                    const InferenceOptions& options) const {
+  internal::ConfusionEmConfig config;  // Pure MLE: no informative priors.
+  return internal::RunConfusionEm(dataset, options, config);
+}
+
+}  // namespace crowdtruth::core

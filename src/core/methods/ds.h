@@ -1,0 +1,20 @@
+// D&S (Dawid & Skene, 1979; paper §5.3(2)): maximum-likelihood estimation
+// of per-worker confusion matrices and task truth via EM — the classical
+// confusion-matrix method every later confusion-matrix approach extends.
+#ifndef CROWDTRUTH_CORE_METHODS_DS_H_
+#define CROWDTRUTH_CORE_METHODS_DS_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class DawidSkene : public CategoricalMethod {
+ public:
+  std::string name() const override { return "D&S"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_DS_H_

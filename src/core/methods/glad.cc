@@ -1,0 +1,125 @@
+#include "core/methods/glad.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/rng.h"
+#include "util/special_functions.h"
+
+namespace crowdtruth::core {
+namespace {
+
+// Keeps sigmoid outputs away from {0, 1} in log computations.
+double SafeLog(double x) { return std::log(std::max(x, 1e-12)); }
+
+}  // namespace
+
+CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
+                              const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int l = dataset.num_choices();
+  const int num_workers = dataset.num_workers();
+  util::Rng rng(options.seed);
+
+  // alpha: worker ability (prior N(1,1)); b: log task easiness (prior
+  // N(1,1)), beta = exp(b).
+  std::vector<double> alpha(num_workers, 1.0);
+  std::vector<double> b(n, 1.0);
+  if (!options.initial_worker_quality.empty()) {
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      const double q =
+          std::clamp(options.initial_worker_quality[w], 0.05, 0.95);
+      alpha[w] = std::log(q / (1.0 - q));
+    }
+  }
+
+  Posterior posterior = InitialPosterior(dataset, options);
+
+  // Per-answer normalization keeps the gradient magnitude independent of
+  // how many tasks a worker answered, so one learning rate fits both the
+  // head and the tail of the worker-activity distribution.
+  std::vector<double> worker_scale(num_workers, 1.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    worker_scale[w] =
+        1.0 / std::max<size_t>(dataset.AnswersByWorker(w).size(), 1);
+  }
+  std::vector<double> task_scale(n, 1.0);
+  for (data::TaskId t = 0; t < n; ++t) {
+    task_scale[t] = 1.0 / std::max<size_t>(dataset.AnswersForTask(t).size(), 1);
+  }
+
+  CategoricalResult result;
+  std::vector<double> log_belief(l);
+  std::vector<double> grad_alpha(num_workers);
+  std::vector<double> grad_b(n);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // M-step: gradient ascent on the expected complete log-likelihood.
+    for (int step = 0; step < gradient_steps_; ++step) {
+      // Gaussian priors contribute (mean - value) to each gradient.
+      for (data::WorkerId w = 0; w < num_workers; ++w) {
+        grad_alpha[w] = 0.2 * (1.0 - alpha[w]);
+      }
+      for (data::TaskId t = 0; t < n; ++t) grad_b[t] = 0.2 * (1.0 - b[t]);
+      for (data::TaskId t = 0; t < n; ++t) {
+        const double beta = std::exp(b[t]);
+        for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+          const double p_correct = posterior[t][vote.label];
+          const double sigma = util::Sigmoid(alpha[vote.worker] * beta);
+          // d/d(alpha*beta) of the expected log-likelihood per answer.
+          const double core = p_correct - sigma;
+          grad_alpha[vote.worker] += core * beta * worker_scale[vote.worker];
+          grad_b[t] += core * alpha[vote.worker] * beta * task_scale[t];
+        }
+      }
+      for (data::WorkerId w = 0; w < num_workers; ++w) {
+        alpha[w] = std::clamp(alpha[w] + learning_rate_ * grad_alpha[w],
+                              -8.0, 8.0);
+      }
+      for (data::TaskId t = 0; t < n; ++t) {
+        b[t] = std::clamp(b[t] + learning_rate_ * grad_b[t], -4.0, 4.0);
+      }
+    }
+
+    // E-step: recompute the belief.
+    Posterior next = posterior;
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      const double beta = std::exp(b[t]);
+      std::fill(log_belief.begin(), log_belief.end(), 0.0);
+      for (const data::TaskVote& vote : votes) {
+        const double sigma = util::Sigmoid(alpha[vote.worker] * beta);
+        const double log_right = SafeLog(sigma);
+        const double log_wrong = SafeLog((1.0 - sigma) / (l - 1));
+        for (int z = 0; z < l; ++z) {
+          log_belief[z] += vote.label == z ? log_right : log_wrong;
+        }
+      }
+      util::SoftmaxInPlace(log_belief);
+      next[t] = log_belief;
+    }
+    ClampGolden(dataset, options, next);
+
+    const double change = MaxAbsDiff(posterior, next);
+    posterior = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.labels = ArgmaxLabels(posterior, rng);
+  result.posterior = std::move(posterior);
+  result.worker_quality = std::move(alpha);
+  result.task_easiness.resize(n);
+  for (data::TaskId t = 0; t < n; ++t) {
+    result.task_easiness[t] = std::exp(b[t]);
+  }
+  return result;
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,37 @@
+// GLAD (Whitehill et al., NIPS'09; paper §4.1.1, §5.3(1) "Task Model").
+//
+// Extends ZC with a per-task difficulty: worker w answers task i correctly
+// with probability sigmoid(alpha_w * beta_i), where alpha_w in R is the
+// worker's ability and beta_i = exp(b_i) > 0 the task's easiness (the
+// paper's 1/(1 + e^{-d_i q^w}) with d_i = beta_i, q^w = alpha_w). Wrong
+// answers spread uniformly over the remaining l-1 choices.
+//
+// Inference is EM where the M-step runs gradient ascent on (alpha, b) with
+// Gaussian priors — the source of GLAD's characteristic slowness in the
+// paper's Table 6.
+#ifndef CROWDTRUTH_CORE_METHODS_GLAD_H_
+#define CROWDTRUTH_CORE_METHODS_GLAD_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class Glad : public CategoricalMethod {
+ public:
+  // `gradient_steps` per M-step and `learning_rate` control the inner
+  // optimizer; defaults follow the reference implementation's ballpark.
+  explicit Glad(int gradient_steps = 30, double learning_rate = 0.3)
+      : gradient_steps_(gradient_steps), learning_rate_(learning_rate) {}
+
+  std::string name() const override { return "GLAD"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+
+ private:
+  int gradient_steps_;
+  double learning_rate_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_GLAD_H_

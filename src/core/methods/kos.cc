@@ -1,0 +1,99 @@
+#include "core/methods/kos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace crowdtruth::core {
+
+CategoricalResult Kos::Infer(const data::CategoricalDataset& dataset,
+                             const InferenceOptions& options) const {
+  CROWDTRUTH_CHECK_EQ(dataset.num_choices(), 2)
+      << "KOS supports decision-making (binary) tasks only";
+  const int n = dataset.num_tasks();
+  const int num_workers = dataset.num_workers();
+  util::Rng rng(options.seed);
+
+  // Flatten the answer graph once; messages live on edges. Edge order
+  // follows the per-task lists; per-worker we keep edge indices.
+  struct Edge {
+    data::TaskId task;
+    data::WorkerId worker;
+    double spin;  // +1 for choice 0, -1 for choice 1.
+  };
+  std::vector<Edge> edges;
+  std::vector<std::vector<int>> task_edges(n);
+  std::vector<std::vector<int>> worker_edges(num_workers);
+  for (data::TaskId t = 0; t < n; ++t) {
+    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+      task_edges[t].push_back(static_cast<int>(edges.size()));
+      worker_edges[vote.worker].push_back(static_cast<int>(edges.size()));
+      edges.push_back({t, vote.worker, vote.label == 0 ? 1.0 : -1.0});
+    }
+  }
+
+  std::vector<double> y(edges.size());
+  for (double& value : y) value = rng.Normal(1.0, 1.0);
+  std::vector<double> x(edges.size(), 0.0);
+
+  auto renormalize = [](std::vector<double>& messages) {
+    double max_abs = 0.0;
+    for (double m : messages) max_abs = std::max(max_abs, std::fabs(m));
+    if (max_abs > 1.0) {
+      for (double& m : messages) m /= max_abs;
+    }
+  };
+
+  for (int round = 0; round < message_rounds_; ++round) {
+    // Task -> worker: exclude the receiving edge's own contribution.
+    for (data::TaskId t = 0; t < n; ++t) {
+      double total = 0.0;
+      for (int e : task_edges[t]) total += edges[e].spin * y[e];
+      for (int e : task_edges[t]) x[e] = total - edges[e].spin * y[e];
+    }
+    // Worker -> task: likewise.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      double total = 0.0;
+      for (int e : worker_edges[w]) total += edges[e].spin * x[e];
+      for (int e : worker_edges[w]) y[e] = total - edges[e].spin * x[e];
+    }
+    renormalize(x);
+    renormalize(y);
+  }
+
+  CategoricalResult result;
+  result.labels.assign(n, 0);
+  for (data::TaskId t = 0; t < n; ++t) {
+    double score = 0.0;
+    for (int e : task_edges[t]) score += edges[e].spin * y[e];
+    if (score > 0.0) {
+      result.labels[t] = 0;
+    } else if (score < 0.0) {
+      result.labels[t] = 1;
+    } else {
+      result.labels[t] = rng.UniformInt(0, 1);
+    }
+  }
+
+  // Worker quality summary: normalized correlation of the worker's spins
+  // with the final task scores (positive = reliable, negative = adversary).
+  result.worker_quality.assign(num_workers, 0.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    if (worker_edges[w].empty()) continue;
+    double agree = 0.0;
+    for (int e : worker_edges[w]) {
+      const double spin_truth = result.labels[edges[e].task] == 0 ? 1.0 : -1.0;
+      agree += edges[e].spin * spin_truth;
+    }
+    result.worker_quality[w] = agree / worker_edges[w].size();
+  }
+  result.iterations = message_rounds_;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace crowdtruth::core

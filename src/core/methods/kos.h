@@ -1,0 +1,32 @@
+// KOS (Karger, Oh & Shah, NIPS'11; paper §5.3(1) "Optimization Function").
+//
+// Decision-making tasks only. Answers are spins A_{iw} in {+1, -1}
+// (+1 = first choice). Iterative belief-propagation-style message passing:
+//   task-to-worker:    x_{i->w} = sum_{w' in W_i \ w} A_{iw'} y_{w'->i}
+//   worker-to-task:    y_{w->i} = sum_{i' in T^w \ i} A_{i'w} x_{i'->w}
+// with y initialized from N(1, 1). The final estimate is
+//   v*_i = sign( sum_{w in W_i} A_{iw} y_{w->i} ).
+// Messages are renormalized each round to avoid overflow.
+#ifndef CROWDTRUTH_CORE_METHODS_KOS_H_
+#define CROWDTRUTH_CORE_METHODS_KOS_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class Kos : public CategoricalMethod {
+ public:
+  explicit Kos(int message_rounds = 10) : message_rounds_(message_rounds) {}
+
+  std::string name() const override { return "KOS"; }
+  // Requires dataset.num_choices() == 2.
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+
+ private:
+  int message_rounds_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_KOS_H_

@@ -1,0 +1,16 @@
+#include "core/methods/lfc.h"
+
+#include "core/methods/confusion_em.h"
+
+namespace crowdtruth::core {
+
+CategoricalResult Lfc::Infer(const data::CategoricalDataset& dataset,
+                             const InferenceOptions& options) const {
+  internal::ConfusionEmConfig config;
+  config.prior_diag = prior_diag_;
+  config.prior_off = prior_off_;
+  config.prior_class = 1.0;
+  return internal::RunConfusionEm(dataset, options, config);
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,30 @@
+// LFC — Learning From Crowds (Raykar et al., JMLR'10; paper §5.3(2),
+// "Priors"): D&S with Beta/Dirichlet priors on the confusion-matrix rows,
+// i.e. MAP instead of maximum likelihood. The priors act as diagonal-heavy
+// pseudo-counts, which stabilizes estimates for workers with few answers.
+#ifndef CROWDTRUTH_CORE_METHODS_LFC_H_
+#define CROWDTRUTH_CORE_METHODS_LFC_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class Lfc : public CategoricalMethod {
+ public:
+  // `prior_diag` / `prior_off` are the Dirichlet pseudo-counts alpha^w_{j,k}
+  // for diagonal and off-diagonal cells.
+  explicit Lfc(double prior_diag = 2.0, double prior_off = 1.0)
+      : prior_diag_(prior_diag), prior_off_(prior_off) {}
+
+  std::string name() const override { return "LFC"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+
+ private:
+  double prior_diag_;
+  double prior_off_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_LFC_H_

@@ -1,0 +1,122 @@
+#include "core/methods/lfc_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/common.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/special_functions.h"
+
+namespace crowdtruth::core {
+namespace {
+
+constexpr data::LabelId kPositive = 0;  // Label 0 = T, as elsewhere.
+
+double Dot(const std::vector<double>& theta,
+           const std::vector<double>& x) {
+  // x lacks the intercept slot; theta.back() is the intercept.
+  double score = theta.back();
+  for (size_t d = 0; d < x.size(); ++d) score += theta[d] * x[d];
+  return score;
+}
+
+}  // namespace
+
+CategoricalResult LfcFeatures::Infer(const data::CategoricalDataset& dataset,
+                                     const InferenceOptions& options) const {
+  CROWDTRUTH_CHECK_EQ(dataset.num_choices(), 2)
+      << "LFC-Features supports decision-making (binary) tasks only";
+  CROWDTRUTH_CHECK(features_ != nullptr);
+  const int n = dataset.num_tasks();
+  CROWDTRUTH_CHECK_EQ(static_cast<int>(features_->size()), n);
+  const int num_workers = dataset.num_workers();
+  const int dim = n > 0 ? static_cast<int>((*features_)[0].size()) : 0;
+  util::Rng rng(options.seed);
+
+  Posterior posterior = InitialPosterior(dataset, options);
+  // Flattened 2x2 confusion matrices and the logistic parameters
+  // (theta[dim] is the intercept).
+  std::vector<std::vector<double>> matrices(num_workers,
+                                            {0.7, 0.3, 0.3, 0.7});
+  std::vector<double> theta(dim + 1, 0.0);
+
+  CategoricalResult result;
+  std::vector<double> log_belief(2);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // M-step 1: confusion matrices with LFC's Dirichlet priors.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      double counts[4] = {prior_diag_, prior_off_, prior_off_, prior_diag_};
+      for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+        counts[0 * 2 + vote.label] += posterior[vote.task][0];
+        counts[1 * 2 + vote.label] += posterior[vote.task][1];
+      }
+      for (int j = 0; j < 2; ++j) {
+        const double row_total = counts[j * 2] + counts[j * 2 + 1];
+        matrices[w][j * 2] = counts[j * 2] / row_total;
+        matrices[w][j * 2 + 1] = counts[j * 2 + 1] / row_total;
+      }
+    }
+
+    // M-step 2: logistic regression on the soft labels.
+    for (int step = 0; step < gradient_steps_; ++step) {
+      std::vector<double> gradient(dim + 1, 0.0);
+      for (int d = 0; d <= dim; ++d) gradient[d] = -l2_ * theta[d];
+      for (data::TaskId t = 0; t < n; ++t) {
+        if (dataset.AnswersForTask(t).empty()) continue;
+        const double target = posterior[t][kPositive];
+        const double predicted =
+            util::Sigmoid(Dot(theta, (*features_)[t]));
+        const double residual = (target - predicted) / n;
+        for (int d = 0; d < dim; ++d) {
+          gradient[d] += residual * (*features_)[t][d];
+        }
+        gradient[dim] += residual;
+      }
+      // The per-task residuals above are already averaged (mean gradient),
+      // so one learning rate works across dataset sizes.
+      for (int d = 0; d <= dim; ++d) {
+        theta[d] += learning_rate_ * gradient[d];
+      }
+    }
+
+    // E-step: classifier prior x worker likelihoods.
+    Posterior next = posterior;
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      const double prior_t =
+          std::clamp(util::Sigmoid(Dot(theta, (*features_)[t])), 1e-9,
+                     1.0 - 1e-9);
+      log_belief[0] = std::log(prior_t);
+      log_belief[1] = std::log(1.0 - prior_t);
+      for (const data::TaskVote& vote : votes) {
+        const auto& matrix = matrices[vote.worker];
+        log_belief[0] += std::log(std::max(matrix[vote.label], 1e-12));
+        log_belief[1] += std::log(std::max(matrix[2 + vote.label], 1e-12));
+      }
+      util::SoftmaxInPlace(log_belief);
+      next[t] = log_belief;
+    }
+    ClampGolden(dataset, options, next);
+
+    const double change = MaxAbsDiff(posterior, next);
+    posterior = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.labels = ArgmaxLabels(posterior, rng);
+  result.worker_quality.assign(num_workers, 0.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    result.worker_quality[w] = 0.5 * (matrices[w][0] + matrices[w][3]);
+  }
+  result.worker_confusion = std::move(matrices);
+  result.posterior = std::move(posterior);
+  return result;
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,57 @@
+// LFC-Features — the full "Learning From Crowds" model of Raykar et al.
+// (JMLR'10), with the task-feature classifier the survey's LFC omits. The
+// paper's future direction §7(7) ("Incorporation of More Rich Features")
+// asks how much task content can add; this method answers it.
+//
+// Binary tasks with feature vectors x_i. Generative model:
+//   Pr(v*_i = T) = sigmoid(theta . x_i)          (logistic classifier)
+//   Pr(v_i^w | v*_i) = confusion matrix, as in LFC.
+// Joint EM: the E-step combines the classifier prior with the workers'
+// answers; the M-step refits both the confusion matrices (closed form,
+// with LFC's Dirichlet priors) and theta (a few gradient steps on the
+// soft-label logistic log-likelihood with L2 regularization).
+//
+// The classifier shares statistical strength across tasks, which is
+// decisive at low redundancy: a task with one answer still gets an
+// informed prior from its content.
+#ifndef CROWDTRUTH_CORE_METHODS_LFC_FEATURES_H_
+#define CROWDTRUTH_CORE_METHODS_LFC_FEATURES_H_
+
+#include <vector>
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class LfcFeatures : public CategoricalMethod {
+ public:
+  // `features` must outlive the method and hold one vector per task (a
+  // constant 1 is appended internally as the intercept).
+  explicit LfcFeatures(const std::vector<std::vector<double>>* features,
+                       double prior_diag = 2.0, double prior_off = 1.0,
+                       int gradient_steps = 20, double learning_rate = 0.5,
+                       double l2 = 0.01)
+      : features_(features),
+        prior_diag_(prior_diag),
+        prior_off_(prior_off),
+        gradient_steps_(gradient_steps),
+        learning_rate_(learning_rate),
+        l2_(l2) {}
+
+  std::string name() const override { return "LFC-Features"; }
+  // Requires dataset.num_choices() == 2 and features for every task.
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+
+ private:
+  const std::vector<std::vector<double>>* features_;
+  double prior_diag_;
+  double prior_off_;
+  int gradient_steps_;
+  double learning_rate_;
+  double l2_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_LFC_FEATURES_H_

@@ -1,0 +1,91 @@
+#include "core/methods/lfc_n.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+
+namespace crowdtruth::core {
+
+NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
+                                const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int num_workers = dataset.num_workers();
+
+  std::vector<double> values = MeanValues(dataset, options);
+  std::vector<double> variance(num_workers, 1.0);
+  if (!options.initial_worker_quality.empty()) {
+    // Qualification estimate is an RMSE; use its square as the initial
+    // variance and recompute the truth once from those weights.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      const double rmse = std::max(options.initial_worker_quality[w], 1e-3);
+      variance[w] = rmse * rmse;
+    }
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      double weighted_sum = 0.0;
+      double weight_total = 0.0;
+      for (const data::NumericTaskVote& vote : votes) {
+        const double weight = 1.0 / variance[vote.worker];
+        weighted_sum += weight * vote.value;
+        weight_total += weight;
+      }
+      values[t] = weighted_sum / weight_total;
+    }
+    ClampGoldenValues(dataset, options, values);
+  }
+
+  NumericResult result;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Variance step.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      const auto& votes = dataset.AnswersByWorker(w);
+      double sum_sq = 0.0;
+      for (const data::NumericWorkerVote& vote : votes) {
+        const double err = vote.value - values[vote.task];
+        sum_sq += err * err;
+      }
+      variance[w] = (prior_b_ + sum_sq) / (prior_a_ + votes.size());
+    }
+
+    // Truth step: precision-weighted mean.
+    std::vector<double> next(n, 0.0);
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      double weighted_sum = 0.0;
+      double weight_total = 0.0;
+      for (const data::NumericTaskVote& vote : votes) {
+        const double weight = 1.0 / std::max(variance[vote.worker], 1e-9);
+        weighted_sum += weight * vote.value;
+        weight_total += weight;
+      }
+      next[t] = weighted_sum / weight_total;
+    }
+    ClampGoldenValues(dataset, options, next);
+
+    double change = 0.0;
+    for (data::TaskId t = 0; t < n; ++t) {
+      change = std::max(change, std::fabs(next[t] - values[t]));
+    }
+    values = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.values = std::move(values);
+  // Quality summary: negative standard deviation (higher = better).
+  result.worker_quality.assign(num_workers, 0.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    result.worker_quality[w] = -std::sqrt(variance[w]);
+  }
+  return result;
+}
+
+}  // namespace crowdtruth::core

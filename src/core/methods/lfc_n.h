@@ -1,0 +1,32 @@
+// LFC_N (Raykar et al., JMLR'10; paper §5.3(2) "Task Type"): the numeric
+// variant of LFC. Worker model: answers are Gaussian around the truth,
+// v_i^w ~ N(v*_i, sigma_w^2). EM alternates
+//   variance step: sigma_w^2 = (prior_b + sum (v_i^w - v*_i)^2) /
+//                              (prior_a + |T^w|)
+//   truth step:    v*_i = precision-weighted mean of the task's answers
+// with a weak inverse-gamma prior regularizing the variances of workers
+// with few answers.
+#ifndef CROWDTRUTH_CORE_METHODS_LFC_N_H_
+#define CROWDTRUTH_CORE_METHODS_LFC_N_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class LfcNumeric : public NumericMethod {
+ public:
+  LfcNumeric(double prior_a = 2.0, double prior_b = 2.0)
+      : prior_a_(prior_a), prior_b_(prior_b) {}
+
+  std::string name() const override { return "LFC_N"; }
+  NumericResult Infer(const data::NumericDataset& dataset,
+                      const InferenceOptions& options) const override;
+
+ private:
+  double prior_a_;
+  double prior_b_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_LFC_N_H_

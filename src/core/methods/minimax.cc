@@ -1,0 +1,164 @@
+#include "core/methods/minimax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/rng.h"
+#include "util/special_functions.h"
+
+namespace crowdtruth::core {
+namespace {
+
+// softmax over k of tau[k] + sigma_row[k]; writes probabilities to `out`.
+void AnswerDistribution(const double* tau, const double* sigma_row, int l,
+                        std::vector<double>& out) {
+  double max_score = -1e300;
+  for (int k = 0; k < l; ++k) {
+    out[k] = tau[k] + sigma_row[k];
+    max_score = std::max(max_score, out[k]);
+  }
+  double total = 0.0;
+  for (int k = 0; k < l; ++k) {
+    out[k] = std::exp(out[k] - max_score);
+    total += out[k];
+  }
+  for (int k = 0; k < l; ++k) out[k] /= total;
+}
+
+}  // namespace
+
+CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
+                                 const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int l = dataset.num_choices();
+  const int num_workers = dataset.num_workers();
+  util::Rng rng(options.seed);
+
+  Posterior labels = InitialPosterior(dataset, options);
+  // tau[i*l + k], sigma[w][j*l + k].
+  std::vector<double> tau(static_cast<size_t>(n) * l, 0.0);
+  std::vector<std::vector<double>> sigma(
+      num_workers, std::vector<double>(l * l, 0.0));
+
+  // Per-answer gradient normalization: a single learning rate must work
+  // for tail workers with 3 answers and head workers with thousands.
+  std::vector<double> worker_scale(num_workers, 1.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    worker_scale[w] =
+        1.0 / std::max<size_t>(dataset.AnswersByWorker(w).size(), 1);
+  }
+  std::vector<double> task_scale(n, 1.0);
+  for (data::TaskId t = 0; t < n; ++t) {
+    task_scale[t] =
+        1.0 / std::max<size_t>(dataset.AnswersForTask(t).size(), 1);
+  }
+
+  std::vector<double> grad_tau(static_cast<size_t>(n) * l);
+  std::vector<std::vector<double>> grad_sigma(
+      num_workers, std::vector<double>(l * l));
+  std::vector<double> p(l);
+  std::vector<double> log_belief(l);
+
+  CategoricalResult result;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Parameter update: gradient ascent on the expected log-likelihood.
+    for (int step = 0; step < gradient_steps_; ++step) {
+      for (size_t i = 0; i < grad_tau.size(); ++i) {
+        grad_tau[i] = -regularization_tau_ * tau[i];
+      }
+      for (data::WorkerId w = 0; w < num_workers; ++w) {
+        for (int jk = 0; jk < l * l; ++jk) {
+          grad_sigma[w][jk] = -regularization_sigma_ * sigma[w][jk];
+        }
+      }
+      for (data::TaskId t = 0; t < n; ++t) {
+        for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+          for (int j = 0; j < l; ++j) {
+            const double weight = labels[t][j];
+            if (weight < 1e-9) continue;
+            AnswerDistribution(&tau[static_cast<size_t>(t) * l],
+                               &sigma[vote.worker][j * l], l, p);
+            for (int k = 0; k < l; ++k) {
+              const double g =
+                  weight * ((vote.label == k ? 1.0 : 0.0) - p[k]);
+              grad_tau[static_cast<size_t>(t) * l + k] += g * task_scale[t];
+              grad_sigma[vote.worker][j * l + k] +=
+                  g * worker_scale[vote.worker];
+            }
+          }
+        }
+      }
+      for (size_t i = 0; i < tau.size(); ++i) {
+        tau[i] += learning_rate_ * grad_tau[i];
+      }
+      for (data::WorkerId w = 0; w < num_workers; ++w) {
+        for (int jk = 0; jk < l * l; ++jk) {
+          sigma[w][jk] += learning_rate_ * grad_sigma[w][jk];
+        }
+      }
+    }
+
+    // Label update. A smoothed class prior estimated from the current
+    // labels anchors the classes — without it, heavily imbalanced data
+    // (D_Product's 12:88 split) lets the per-class sigma rows drift into
+    // label-swapped solutions.
+    std::vector<double> log_prior(l);
+    {
+      std::vector<double> class_mass(l, 1.0);
+      double total_mass = l;
+      for (data::TaskId t = 0; t < n; ++t) {
+        if (dataset.AnswersForTask(t).empty()) continue;
+        for (int j = 0; j < l; ++j) class_mass[j] += labels[t][j];
+        total_mass += 1.0;
+      }
+      for (int j = 0; j < l; ++j) {
+        log_prior[j] = std::log(class_mass[j] / total_mass);
+      }
+    }
+    Posterior next = labels;
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      log_belief = log_prior;
+      for (const data::TaskVote& vote : votes) {
+        for (int j = 0; j < l; ++j) {
+          AnswerDistribution(&tau[static_cast<size_t>(t) * l],
+                             &sigma[vote.worker][j * l], l, p);
+          log_belief[j] += std::log(std::max(p[vote.label], 1e-12));
+        }
+      }
+      util::SoftmaxInPlace(log_belief);
+      next[t] = log_belief;
+    }
+    ClampGolden(dataset, options, next);
+
+    const double change = MaxAbsDiff(labels, next);
+    labels = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.labels = ArgmaxLabels(labels, rng);
+  result.worker_quality.assign(num_workers, 0.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    // Average probability of answering correctly, by class, ignoring
+    // task-side tendencies.
+    double total = 0.0;
+    std::vector<double> zero_tau(l, 0.0);
+    for (int j = 0; j < l; ++j) {
+      AnswerDistribution(zero_tau.data(), &sigma[w][j * l], l, p);
+      total += p[j];
+    }
+    result.worker_quality[w] = total / l;
+  }
+  result.posterior = std::move(labels);
+  return result;
+}
+
+}  // namespace crowdtruth::core

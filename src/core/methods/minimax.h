@@ -1,0 +1,49 @@
+// Minimax — minimax entropy (Zhou et al., NIPS'12; paper §5.2(3)).
+//
+// Models, per worker w and task i, a distribution over the answers w would
+// give to i:
+//   p_iw(k | j) = softmax_k( tau_i[k] + sigma_w[j][k] ),    j = truth of i
+// where tau_i captures per-task answer tendencies and sigma_w the worker's
+// per-class "diverse skill" matrix. Following the dual of the minimax
+// entropy program, inference alternates:
+//   labels:     q_i(j) prop-to exp( sum_{w in W_i} log p_iw(v_i^w | j) )
+//   parameters: gradient ascent on the expected log-likelihood with L2
+//               regularization on tau and sigma (the paper's relaxed
+//               constraints).
+// The per-iteration gradient solve makes Minimax one of the slowest
+// methods, matching the paper's Table 6.
+#ifndef CROWDTRUTH_CORE_METHODS_MINIMAX_H_
+#define CROWDTRUTH_CORE_METHODS_MINIMAX_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class Minimax : public CategoricalMethod {
+ public:
+  // tau is regularized much more strongly than sigma: otherwise the
+  // per-task parameters can absorb each task's empirical answer
+  // distribution entirely, leaving no signal for the labels (the paper's
+  // dual constraints bound the task side tightly for the same reason).
+  Minimax(int gradient_steps = 25, double learning_rate = 0.5,
+          double regularization_sigma = 0.005,
+          double regularization_tau = 1.0)
+      : gradient_steps_(gradient_steps),
+        learning_rate_(learning_rate),
+        regularization_sigma_(regularization_sigma),
+        regularization_tau_(regularization_tau) {}
+
+  std::string name() const override { return "Minimax"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+
+ private:
+  int gradient_steps_;
+  double learning_rate_;
+  double regularization_sigma_;
+  double regularization_tau_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_MINIMAX_H_

@@ -1,0 +1,171 @@
+#include "core/methods/minimax_ordinal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/rng.h"
+#include "util/special_functions.h"
+
+namespace crowdtruth::core {
+namespace {
+
+// p(k | j) = softmax_k( tau[k] - alpha * |j - k| + beta * 1{j == k} ).
+void AnswerDistribution(const double* tau, double alpha, double beta, int j,
+                        int l, std::vector<double>& out) {
+  double max_score = -1e300;
+  for (int k = 0; k < l; ++k) {
+    out[k] = tau[k] - alpha * std::abs(j - k) + (j == k ? beta : 0.0);
+    max_score = std::max(max_score, out[k]);
+  }
+  double total = 0.0;
+  for (int k = 0; k < l; ++k) {
+    out[k] = std::exp(out[k] - max_score);
+    total += out[k];
+  }
+  for (int k = 0; k < l; ++k) out[k] /= total;
+}
+
+}  // namespace
+
+CategoricalResult MinimaxOrdinal::Infer(
+    const data::CategoricalDataset& dataset,
+    const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int l = dataset.num_choices();
+  const int num_workers = dataset.num_workers();
+  util::Rng rng(options.seed);
+
+  Posterior labels = InitialPosterior(dataset, options);
+  std::vector<double> tau(static_cast<size_t>(n) * l, 0.0);
+  // Start from a "workers answer near the truth" prior: the first label
+  // update then pulls toward the (distance-weighted) plurality instead of
+  // locking onto arbitrary early parameters.
+  std::vector<double> alpha(num_workers, 1.0);
+  std::vector<double> beta(num_workers, 1.0);
+
+  std::vector<double> worker_scale(num_workers, 1.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    worker_scale[w] =
+        1.0 / std::max<size_t>(dataset.AnswersByWorker(w).size(), 1);
+  }
+  std::vector<double> task_scale(n, 1.0);
+  for (data::TaskId t = 0; t < n; ++t) {
+    task_scale[t] =
+        1.0 / std::max<size_t>(dataset.AnswersForTask(t).size(), 1);
+  }
+
+  std::vector<double> grad_tau(static_cast<size_t>(n) * l);
+  std::vector<double> grad_alpha(num_workers);
+  std::vector<double> grad_beta(num_workers);
+  std::vector<double> p(l);
+  std::vector<double> log_belief(l);
+
+  CategoricalResult result;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Parameter update.
+    for (int step = 0; step < gradient_steps_; ++step) {
+      for (size_t i = 0; i < grad_tau.size(); ++i) {
+        grad_tau[i] = -regularization_tau_ * tau[i];
+      }
+      for (data::WorkerId w = 0; w < num_workers; ++w) {
+        grad_alpha[w] = -regularization_worker_ * alpha[w];
+        grad_beta[w] = -regularization_worker_ * beta[w];
+      }
+      for (data::TaskId t = 0; t < n; ++t) {
+        for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+          const data::WorkerId w = vote.worker;
+          for (int j = 0; j < l; ++j) {
+            const double weight = labels[t][j];
+            if (weight < 1e-9) continue;
+            AnswerDistribution(&tau[static_cast<size_t>(t) * l], alpha[w],
+                               beta[w], j, l, p);
+            // d log p(v | j) / d tau[k] = 1{v=k} - p_k.
+            for (int k = 0; k < l; ++k) {
+              grad_tau[static_cast<size_t>(t) * l + k] +=
+                  weight * ((vote.label == k ? 1.0 : 0.0) - p[k]) *
+                  task_scale[t];
+            }
+            // d log p(v | j) / d alpha = -|j - v| + sum_k p_k |j - k|.
+            double expected_distance = 0.0;
+            for (int k = 0; k < l; ++k) {
+              expected_distance += p[k] * std::abs(j - k);
+            }
+            grad_alpha[w] += weight *
+                             (expected_distance - std::abs(j - vote.label)) *
+                             worker_scale[w];
+            // d log p(v | j) / d beta = 1{v=j} - p_j.
+            grad_beta[w] += weight *
+                            ((vote.label == j ? 1.0 : 0.0) - p[j]) *
+                            worker_scale[w];
+          }
+        }
+      }
+      for (size_t i = 0; i < tau.size(); ++i) {
+        tau[i] += learning_rate_ * grad_tau[i];
+      }
+      for (data::WorkerId w = 0; w < num_workers; ++w) {
+        alpha[w] = std::clamp(alpha[w] + learning_rate_ * grad_alpha[w],
+                              -4.0, 8.0);
+        beta[w] = std::clamp(beta[w] + learning_rate_ * grad_beta[w], -4.0,
+                             8.0);
+      }
+    }
+
+    // Label update with a smoothed class-prior anchor (see Minimax).
+    std::vector<double> log_prior(l);
+    {
+      std::vector<double> class_mass(l, 1.0);
+      double total_mass = l;
+      for (data::TaskId t = 0; t < n; ++t) {
+        if (dataset.AnswersForTask(t).empty()) continue;
+        for (int j = 0; j < l; ++j) class_mass[j] += labels[t][j];
+        total_mass += 1.0;
+      }
+      for (int j = 0; j < l; ++j) {
+        log_prior[j] = std::log(class_mass[j] / total_mass);
+      }
+    }
+    Posterior next = labels;
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      log_belief = log_prior;
+      for (const data::TaskVote& vote : votes) {
+        for (int j = 0; j < l; ++j) {
+          AnswerDistribution(&tau[static_cast<size_t>(t) * l],
+                             alpha[vote.worker], beta[vote.worker], j, l, p);
+          log_belief[j] += std::log(std::max(p[vote.label], 1e-12));
+        }
+      }
+      util::SoftmaxInPlace(log_belief);
+      next[t] = log_belief;
+    }
+    ClampGolden(dataset, options, next);
+
+    const double change = MaxAbsDiff(labels, next);
+    labels = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.labels = ArgmaxLabels(labels, rng);
+  // Quality summary: probability of an exact answer on a middle class,
+  // ignoring task effects.
+  result.worker_quality.assign(num_workers, 0.0);
+  std::vector<double> zero_tau(l, 0.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    const int mid = l / 2;
+    AnswerDistribution(zero_tau.data(), alpha[w], beta[w], mid, l, p);
+    result.worker_quality[w] = p[mid];
+  }
+  result.posterior = std::move(labels);
+  return result;
+}
+
+}  // namespace crowdtruth::core

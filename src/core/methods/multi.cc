@@ -1,0 +1,164 @@
+#include "core/methods/multi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/special_functions.h"
+
+namespace crowdtruth::core {
+
+CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
+                               const InferenceOptions& options) const {
+  CROWDTRUTH_CHECK_EQ(dataset.num_choices(), 2)
+      << "Multi supports decision-making (binary) tasks only";
+  const int n = dataset.num_tasks();
+  const int num_workers = dataset.num_workers();
+  const int k = num_dimensions_;
+  util::Rng rng(options.seed);
+
+  // Gaussian prior strengths for task embeddings, worker directions
+  // (centered on e_0, the "competent worker" axis), and biases.
+  constexpr double kLambdaX = 0.5;
+  constexpr double kLambdaU = 0.5;
+  constexpr double kLambdaTau = 1.0;
+
+  // Task embeddings: dim 0 initialized from the vote margin (breaks the
+  // global sign symmetry of the model), other dims from small noise.
+  std::vector<std::vector<double>> x(n, std::vector<double>(k, 0.0));
+  for (data::TaskId t = 0; t < n; ++t) {
+    const auto& votes = dataset.AnswersForTask(t);
+    if (!votes.empty()) {
+      double margin = 0.0;
+      for (const data::TaskVote& vote : votes) {
+        margin += vote.label == 0 ? 1.0 : -1.0;
+      }
+      x[t][0] = margin / votes.size();
+    }
+    for (int d = 1; d < k; ++d) x[t][d] = rng.Normal(0.0, 0.1);
+  }
+  std::vector<std::vector<double>> u(num_workers,
+                                     std::vector<double>(k, 0.0));
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    u[w][0] = 1.0;
+    for (int d = 1; d < k; ++d) u[w][d] = rng.Normal(0.0, 0.1);
+  }
+  std::vector<double> tau(num_workers, 0.0);
+
+  // Per-answer gradient normalization: keeps one learning rate valid for
+  // both tail workers (few answers) and head workers (thousands).
+  std::vector<double> worker_scale(num_workers, 1.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    worker_scale[w] =
+        1.0 / std::max<size_t>(dataset.AnswersByWorker(w).size(), 1);
+  }
+  std::vector<double> task_scale(n, 1.0);
+  for (data::TaskId t = 0; t < n; ++t) {
+    task_scale[t] =
+        1.0 / std::max<size_t>(dataset.AnswersForTask(t).size(), 1);
+  }
+
+  std::vector<data::LabelId> labels(n, 0);
+  CategoricalResult result;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    for (int step = 0; step < gradient_steps_; ++step) {
+      // Gradient of the penalized logistic log-likelihood.
+      std::vector<std::vector<double>> grad_x(n, std::vector<double>(k, 0.0));
+      std::vector<std::vector<double>> grad_u(num_workers,
+                                              std::vector<double>(k, 0.0));
+      std::vector<double> grad_tau(num_workers, 0.0);
+      for (data::TaskId t = 0; t < n; ++t) {
+        for (int d = 0; d < k; ++d) {
+          grad_x[t][d] -= kLambdaX * x[t][d] * task_scale[t];
+        }
+      }
+      for (data::WorkerId w = 0; w < num_workers; ++w) {
+        grad_u[w][0] -= kLambdaU * (u[w][0] - 1.0) * worker_scale[w];
+        for (int d = 1; d < k; ++d) {
+          grad_u[w][d] -= kLambdaU * u[w][d] * worker_scale[w];
+        }
+        grad_tau[w] -= kLambdaTau * tau[w] * worker_scale[w];
+      }
+      for (data::TaskId t = 0; t < n; ++t) {
+        for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+          const data::WorkerId w = vote.worker;
+          double score = -tau[w];
+          for (int d = 0; d < k; ++d) score += u[w][d] * x[t][d];
+          const double spin = vote.label == 0 ? 1.0 : -1.0;
+          // d/d(score) log sigmoid(spin * score) = spin * (1 - sigmoid).
+          const double coefficient =
+              spin * (1.0 - util::Sigmoid(spin * score));
+          for (int d = 0; d < k; ++d) {
+            grad_x[t][d] += coefficient * u[w][d] * task_scale[t];
+            grad_u[w][d] += coefficient * x[t][d] * worker_scale[w];
+          }
+          grad_tau[w] -= coefficient * worker_scale[w];
+        }
+      }
+      for (data::TaskId t = 0; t < n; ++t) {
+        for (int d = 0; d < k; ++d) {
+          x[t][d] += learning_rate_ * grad_x[t][d];
+        }
+      }
+      for (data::WorkerId w = 0; w < num_workers; ++w) {
+        for (int d = 0; d < k; ++d) {
+          u[w][d] += learning_rate_ * grad_u[w][d];
+        }
+        tau[w] += learning_rate_ * grad_tau[w];
+      }
+    }
+
+    // Decode truth: project each task onto the mean worker direction.
+    std::vector<double> mean_u(k, 0.0);
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      for (int d = 0; d < k; ++d) mean_u[d] += u[w][d];
+    }
+    for (int d = 0; d < k; ++d) mean_u[d] /= std::max(num_workers, 1);
+
+    std::vector<data::LabelId> next(n, 0);
+    for (data::TaskId t = 0; t < n; ++t) {
+      double score = 0.0;
+      for (int d = 0; d < k; ++d) score += mean_u[d] * x[t][d];
+      if (score > 0.0) {
+        next[t] = 0;
+      } else if (score < 0.0) {
+        next[t] = 1;
+      } else {
+        next[t] = rng.UniformInt(0, 1);
+      }
+    }
+
+    result.iterations = iteration + 1;
+    const bool unchanged = iteration > 0 && next == labels;
+    labels = std::move(next);
+    if (unchanged) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Worker quality: projection of the worker's direction onto the
+  // consensus direction (negative = adversarial, ~0 = spammer).
+  std::vector<double> mean_u(k, 0.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    for (int d = 0; d < k; ++d) mean_u[d] += u[w][d];
+  }
+  double mean_norm = 0.0;
+  for (int d = 0; d < k; ++d) mean_norm += mean_u[d] * mean_u[d];
+  mean_norm = std::sqrt(mean_norm);
+  result.worker_quality.assign(num_workers, 0.0);
+  if (mean_norm > 0.0) {
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      double dot = 0.0;
+      for (int d = 0; d < k; ++d) dot += u[w][d] * mean_u[d];
+      result.worker_quality[w] = dot / mean_norm;
+    }
+  }
+  result.labels = std::move(labels);
+  return result;
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,39 @@
+// Multi — The Multidimensional Wisdom of Crowds (Welinder et al., NIPS'10;
+// paper §5.3(3)).
+//
+// Decision-making tasks only. Each task has a latent K-dimensional
+// embedding x_i (latent topics); each worker has a direction u_w (diverse
+// skills / inverse variance) and a bias tau_w. The worker answers the first
+// choice with probability sigmoid(<u_w, x_i> - tau_w). MAP inference by
+// alternating gradient ascent over {x_i}, {u_w}, {tau_w} with Gaussian
+// priors; the inferred truth is the sign of the task embedding projected
+// onto the mean worker direction (an unbiased "ideal worker").
+#ifndef CROWDTRUTH_CORE_METHODS_MULTI_H_
+#define CROWDTRUTH_CORE_METHODS_MULTI_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class Multi : public CategoricalMethod {
+ public:
+  Multi(int num_dimensions = 2, int gradient_steps = 15,
+        double learning_rate = 0.1)
+      : num_dimensions_(num_dimensions),
+        gradient_steps_(gradient_steps),
+        learning_rate_(learning_rate) {}
+
+  std::string name() const override { return "Multi"; }
+  // Requires dataset.num_choices() == 2.
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+
+ private:
+  int num_dimensions_;
+  int gradient_steps_;
+  double learning_rate_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_MULTI_H_

@@ -1,0 +1,30 @@
+#include "core/methods/mv.h"
+
+#include "core/common.h"
+#include "util/rng.h"
+
+namespace crowdtruth::core {
+
+CategoricalResult MajorityVoting::Infer(
+    const data::CategoricalDataset& dataset,
+    const InferenceOptions& options) const {
+  util::Rng rng(options.seed);
+  CategoricalResult result;
+  result.labels = MajorityVoteLabels(dataset, options, rng);
+  result.iterations = 1;
+  result.converged = true;
+
+  result.worker_quality.assign(dataset.num_workers(), 0.0);
+  for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    const auto& votes = dataset.AnswersByWorker(w);
+    if (votes.empty()) continue;
+    int agree = 0;
+    for (const data::WorkerVote& vote : votes) {
+      if (vote.label == result.labels[vote.task]) ++agree;
+    }
+    result.worker_quality[w] = static_cast<double>(agree) / votes.size();
+  }
+  return result;
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,21 @@
+// Majority Voting (paper §5.1): the truth is the choice given by the most
+// workers; ties are broken uniformly at random (seeded). No task or worker
+// model. The reported worker quality is each worker's agreement rate with
+// the majority outcome.
+#ifndef CROWDTRUTH_CORE_METHODS_MV_H_
+#define CROWDTRUTH_CORE_METHODS_MV_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class MajorityVoting : public CategoricalMethod {
+ public:
+  std::string name() const override { return "MV"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_MV_H_

@@ -1,0 +1,186 @@
+#include "core/methods/pm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/rng.h"
+
+namespace crowdtruth::core {
+namespace {
+
+// Keeps -log(err / max_err) finite when a worker makes zero errors; with
+// this epsilon the §3 running example converges to q ~= 16-17 for the
+// error-free worker, matching the paper's reported 16.09.
+constexpr double kErrorEpsilon = 1e-7;
+
+// Step 2 shared by both task types: map accumulated distances to weights.
+std::vector<double> WeightsFromErrors(const std::vector<double>& errors) {
+  double max_error = 0.0;
+  for (double e : errors) max_error = std::max(max_error, e);
+  std::vector<double> weights(errors.size(), 0.0);
+  for (size_t w = 0; w < errors.size(); ++w) {
+    weights[w] =
+        -std::log((errors[w] + kErrorEpsilon) / (max_error + kErrorEpsilon));
+  }
+  return weights;
+}
+
+}  // namespace
+
+CategoricalResult PmCategorical::Infer(
+    const data::CategoricalDataset& dataset,
+    const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int l = dataset.num_choices();
+  const int num_workers = dataset.num_workers();
+  const bool golden = HasGoldenLabels(dataset, options);
+  util::Rng rng(options.seed);
+
+  std::vector<double> quality(num_workers, 1.0);
+  if (!options.initial_worker_quality.empty()) {
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      quality[w] = std::max(options.initial_worker_quality[w], 0.05);
+    }
+  }
+
+  CategoricalResult result;
+  std::vector<data::LabelId> labels(n, 0);
+  std::vector<double> scores(l);
+  std::vector<int> ties;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Step 1: weighted vote per task.
+    std::vector<data::LabelId> next(n, 0);
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (golden && options.golden_labels[t] != data::kNoTruth) {
+        next[t] = options.golden_labels[t];
+        continue;
+      }
+      std::fill(scores.begin(), scores.end(), 0.0);
+      double score_total = 0.0;
+      for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+        scores[vote.label] += quality[vote.worker];
+        score_total += quality[vote.worker];
+      }
+      if (score_total <= 0.0) {
+        // All weights are zero ("everyone is equally bad"): degrade to an
+        // unweighted vote rather than a uniformly random choice.
+        for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+          scores[vote.label] += 1.0;
+        }
+      }
+      double best = -1.0;
+      ties.clear();
+      for (int z = 0; z < l; ++z) {
+        if (scores[z] > best + 1e-12) {
+          best = scores[z];
+          ties.assign(1, z);
+        } else if (std::fabs(scores[z] - best) <= 1e-12) {
+          ties.push_back(z);
+        }
+      }
+      next[t] = ties.size() == 1
+                    ? ties[0]
+                    : ties[rng.UniformInt(
+                          0, static_cast<int>(ties.size()) - 1)];
+    }
+
+    // Step 2: mistake counts -> weights.
+    std::vector<double> errors(num_workers, 0.0);
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+        if (vote.label != next[vote.task]) errors[w] += 1.0;
+      }
+    }
+    quality = WeightsFromErrors(errors);
+
+    result.iterations = iteration + 1;
+    int changed = 0;
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (next[t] != labels[t]) ++changed;
+    }
+    result.convergence_trace.push_back(static_cast<double>(changed) /
+                                       std::max(n, 1));
+    const bool unchanged = iteration > 0 && changed == 0;
+    labels = std::move(next);
+    if (unchanged) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.labels = std::move(labels);
+  result.worker_quality = std::move(quality);
+  return result;
+}
+
+NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
+                               const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int num_workers = dataset.num_workers();
+
+  std::vector<double> quality(num_workers, 1.0);
+  if (!options.initial_worker_quality.empty()) {
+    // For numeric datasets the qualification estimate is an RMSE; convert
+    // to a positive weight (smaller error -> larger weight).
+    double max_sq = 0.0;
+    for (double rmse : options.initial_worker_quality) {
+      max_sq = std::max(max_sq, rmse * rmse);
+    }
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      const double sq = options.initial_worker_quality[w] *
+                        options.initial_worker_quality[w];
+      quality[w] = -std::log((sq + kErrorEpsilon) / (max_sq + kErrorEpsilon)) +
+                   kErrorEpsilon;
+    }
+  }
+
+  NumericResult result;
+  std::vector<double> values(n, 0.0);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Step 1: weighted mean per task.
+    std::vector<double> next(n, 0.0);
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      double weighted_sum = 0.0;
+      double weight_total = 0.0;
+      for (const data::NumericTaskVote& vote : votes) {
+        const double weight = std::max(quality[vote.worker], 1e-9);
+        weighted_sum += weight * vote.value;
+        weight_total += weight;
+      }
+      next[t] = weighted_sum / weight_total;
+    }
+    ClampGoldenValues(dataset, options, next);
+
+    // Step 2: squared-error losses -> weights.
+    std::vector<double> errors(num_workers, 0.0);
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      for (const data::NumericWorkerVote& vote : dataset.AnswersByWorker(w)) {
+        const double err = vote.value - next[vote.task];
+        errors[w] += err * err;
+      }
+    }
+    quality = WeightsFromErrors(errors);
+
+    double change = 0.0;
+    for (data::TaskId t = 0; t < n; ++t) {
+      change = std::max(change, std::fabs(next[t] - values[t]));
+    }
+    values = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (iteration > 0 && change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.values = std::move(values);
+  result.worker_quality = std::move(quality);
+  return result;
+}
+
+}  // namespace crowdtruth::core

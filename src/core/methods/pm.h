@@ -1,0 +1,36 @@
+// PM (Li et al., SIGMOD'14 / Aydin et al., AAAI'14; paper §5.2(1)).
+//
+// Optimization method minimizing
+//     f({q^w}, {v*_i}) = sum_w q^w * sum_{i in T^w} d(v_i^w, v*_i)
+// by coordinate descent (the two steps in the paper's §3 running example):
+//   Step 1:  v*_i = argmax_v sum_{w in W_i} q^w * 1{v = v_i^w}
+//            (weighted mean for numeric tasks)
+//   Step 2:  q^w = -log( err_w / max_w' err_w' )
+// where err_w is the worker's accumulated distance to the current truth
+// (0/1 mismatch count for categorical, squared error for numeric). A small
+// epsilon keeps the log finite for perfect workers, matching the paper's
+// converged example values (q^{w_3} = 16.09).
+#ifndef CROWDTRUTH_CORE_METHODS_PM_H_
+#define CROWDTRUTH_CORE_METHODS_PM_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class PmCategorical : public CategoricalMethod {
+ public:
+  std::string name() const override { return "PM"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+};
+
+class PmNumeric : public NumericMethod {
+ public:
+  std::string name() const override { return "PM"; }
+  NumericResult Infer(const data::NumericDataset& dataset,
+                      const InferenceOptions& options) const override;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_PM_H_

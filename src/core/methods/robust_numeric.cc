@@ -1,0 +1,189 @@
+#include "core/methods/robust_numeric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+
+namespace crowdtruth::core {
+namespace {
+
+// Tukey bisquare weight for a standardized residual r: (1 - (r/c)^2)^2
+// inside the cutoff, exactly zero beyond it (redescending influence).
+double BisquareWeight(double standardized_residual, double c) {
+  const double ratio = standardized_residual / c;
+  if (std::fabs(ratio) >= 1.0) return 0.0;
+  const double core = 1.0 - ratio * ratio;
+  return core * core;
+}
+
+// Bisquare loss rho(r): the objective the IRLS minimizes; saturates at
+// c^2/6 beyond the cutoff.
+double BisquareLoss(double standardized_residual, double c) {
+  const double ratio = standardized_residual / c;
+  const double cap = c * c / 6.0;
+  if (std::fabs(ratio) >= 1.0) return cap;
+  const double core = 1.0 - ratio * ratio;
+  return cap * (1.0 - core * core * core);
+}
+
+}  // namespace
+
+NumericResult RobustNumeric::Infer(const data::NumericDataset& dataset,
+                                   const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int num_workers = dataset.num_workers();
+
+  // Median init: already outlier-safe.
+  std::vector<double> values(n, 0.0);
+  {
+    std::vector<double> buffer;
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      buffer.clear();
+      for (const data::NumericTaskVote& vote : votes) {
+        buffer.push_back(vote.value);
+      }
+      std::sort(buffer.begin(), buffer.end());
+      const size_t mid = buffer.size() / 2;
+      values[t] = buffer.size() % 2 == 1
+                      ? buffer[mid]
+                      : 0.5 * (buffer[mid - 1] + buffer[mid]);
+    }
+    ClampGoldenValues(dataset, options, values);
+  }
+
+  std::vector<double> variance(num_workers, 1.0);
+  if (!options.initial_worker_quality.empty()) {
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      const double rmse = std::max(options.initial_worker_quality[w], 1e-3);
+      variance[w] = rmse * rmse;
+    }
+  }
+
+  NumericResult result;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Worker-scale step: MAD-based (median absolute residual x 1.4826),
+    // which stays anchored to the inlier noise even under heavy per-answer
+    // contamination — a Huber-weighted variance would inflate and let
+    // outliers back in through the standardization.
+    std::vector<double> abs_residuals;
+    auto mad_sigma = [&abs_residuals]() {
+      std::sort(abs_residuals.begin(), abs_residuals.end());
+      const size_t mid = abs_residuals.size() / 2;
+      const double mad = abs_residuals.size() % 2 == 1
+                             ? abs_residuals[mid]
+                             : 0.5 * (abs_residuals[mid - 1] +
+                                      abs_residuals[mid]);
+      return 1.4826 * mad;
+    };
+    // Global robust scale: floors the per-worker scales so that a worker
+    // whose few answers happen to sit on the estimate cannot acquire
+    // unbounded weight.
+    abs_residuals.clear();
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      for (const data::NumericWorkerVote& vote :
+           dataset.AnswersByWorker(w)) {
+        abs_residuals.push_back(std::fabs(vote.value - values[vote.task]));
+      }
+    }
+    const double global_sigma =
+        abs_residuals.empty() ? 1.0 : std::max(mad_sigma(), 1e-6);
+    const double variance_floor =
+        0.25 * global_sigma * global_sigma;  // sigma_w >= global_sigma / 2.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      const auto& votes = dataset.AnswersByWorker(w);
+      if (votes.empty()) continue;
+      abs_residuals.clear();
+      for (const data::NumericWorkerVote& vote : votes) {
+        abs_residuals.push_back(std::fabs(vote.value - values[vote.task]));
+      }
+      const double sigma = mad_sigma();
+      const double count = static_cast<double>(votes.size());
+      variance[w] = std::max(
+          (prior_b_ + count * sigma * sigma) / (prior_a_ + count),
+          variance_floor);
+    }
+
+    // Truth step: bisquare IRLS. The objective is non-convex, so iterate
+    // from two starts — the previous (median-anchored) estimate, which is
+    // right when outliers are answer-level, and the precision-weighted
+    // mean, which is right when a task is dominated by answers from
+    // high-variance (garbage) workers — and keep the lower-loss fixed
+    // point.
+    std::vector<double> next(n, 0.0);
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+
+      double precision_mean = 0.0;
+      {
+        double weighted_sum = 0.0;
+        double weight_total = 0.0;
+        for (const data::NumericTaskVote& vote : votes) {
+          const double weight =
+              1.0 / std::max(variance[vote.worker], 1e-9);
+          weighted_sum += weight * vote.value;
+          weight_total += weight;
+        }
+        precision_mean = weighted_sum / weight_total;
+      }
+
+      auto refine = [&](double estimate) {
+        for (int inner = 0; inner < 5; ++inner) {
+          double weighted_sum = 0.0;
+          double weight_total = 0.0;
+          for (const data::NumericTaskVote& vote : votes) {
+            const double sigma =
+                std::max(std::sqrt(variance[vote.worker]), 1e-9);
+            const double standardized = (vote.value - estimate) / sigma;
+            const double weight =
+                BisquareWeight(standardized, tuning_c_) / (sigma * sigma);
+            weighted_sum += weight * vote.value;
+            weight_total += weight;
+          }
+          if (weight_total <= 0.0) break;  // Everything rejected: stop.
+          estimate = weighted_sum / weight_total;
+        }
+        return estimate;
+      };
+      auto loss = [&](double estimate) {
+        double total = 0.0;
+        for (const data::NumericTaskVote& vote : votes) {
+          const double sigma =
+              std::max(std::sqrt(variance[vote.worker]), 1e-9);
+          total += BisquareLoss((vote.value - estimate) / sigma, tuning_c_);
+        }
+        return total;
+      };
+      const double from_previous = refine(values[t]);
+      const double from_precision = refine(precision_mean);
+      next[t] = loss(from_precision) < loss(from_previous) ? from_precision
+                                                           : from_previous;
+    }
+    ClampGoldenValues(dataset, options, next);
+
+    double change = 0.0;
+    for (data::TaskId t = 0; t < n; ++t) {
+      change = std::max(change, std::fabs(next[t] - values[t]));
+    }
+    values = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (iteration > 0 && change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.values = std::move(values);
+  result.worker_quality.assign(num_workers, 0.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    result.worker_quality[w] = -std::sqrt(variance[w]);
+  }
+  return result;
+}
+
+}  // namespace crowdtruth::core

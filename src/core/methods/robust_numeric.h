@@ -1,0 +1,42 @@
+// RobustNumeric — an outlier-resistant numeric aggregator, addressing the
+// paper's conclusion that "numeric tasks are not well-addressed ... there
+// is still room to improve" (§7(1)).
+//
+// Combines the two numeric worker-model ideas the survey covers —
+// precision weighting (LFC_N) and robust location estimation (Median) —
+// into one method: each task's truth is a redescending (Tukey bisquare)
+// M-estimate computed by iteratively reweighted least squares from a
+// median start, where an answer's weight is the product of its worker's
+// inverse variance and the bisquare factor of its standardized residual;
+// worker scales are MAD-based (so contamination cannot inflate them).
+// Gaussian answers get near-Mean efficiency; gross outliers (fat-finger
+// answers, spam values) receive exactly zero weight.
+#ifndef CROWDTRUTH_CORE_METHODS_ROBUST_NUMERIC_H_
+#define CROWDTRUTH_CORE_METHODS_ROBUST_NUMERIC_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class RobustNumeric : public NumericMethod {
+ public:
+  // `tuning_c` is the bisquare cutoff in standardized-residual units
+  // (4.685 gives 95% Gaussian efficiency); `prior_a`/`prior_b` regularize
+  // worker variances like LFC_N.
+  RobustNumeric(double tuning_c = 4.685, double prior_a = 2.0,
+                double prior_b = 2.0)
+      : tuning_c_(tuning_c), prior_a_(prior_a), prior_b_(prior_b) {}
+
+  std::string name() const override { return "Robust"; }
+  NumericResult Infer(const data::NumericDataset& dataset,
+                      const InferenceOptions& options) const override;
+
+ private:
+  double tuning_c_;
+  double prior_a_;
+  double prior_b_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_ROBUST_NUMERIC_H_

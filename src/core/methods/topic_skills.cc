@@ -1,0 +1,124 @@
+#include "core/methods/topic_skills.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/special_functions.h"
+
+namespace crowdtruth::core {
+namespace {
+
+constexpr double kQualityFloor = 1e-3;
+
+}  // namespace
+
+CategoricalResult TopicSkills::Infer(const data::CategoricalDataset& dataset,
+                                     const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int l = dataset.num_choices();
+  const int num_workers = dataset.num_workers();
+  util::Rng rng(options.seed);
+
+  // Topic assignment; a single group when none is supplied (= ZC).
+  std::vector<int> groups;
+  int num_groups = 1;
+  if (!options.task_groups.empty()) {
+    CROWDTRUTH_CHECK_EQ(static_cast<int>(options.task_groups.size()), n);
+    groups = options.task_groups;
+    for (int g : groups) {
+      CROWDTRUTH_CHECK_GE(g, 0);
+      num_groups = std::max(num_groups, g + 1);
+    }
+  } else {
+    groups.assign(n, 0);
+  }
+
+  Posterior posterior = InitialPosterior(dataset, options);
+
+  // quality[w * num_groups + g], plus the worker's overall probability as
+  // the shrinkage target.
+  std::vector<double> quality(
+      static_cast<size_t>(num_workers) * num_groups, 0.7);
+  std::vector<double> overall(num_workers, 0.7);
+  if (!options.initial_worker_quality.empty()) {
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      overall[w] = std::clamp(options.initial_worker_quality[w],
+                              kQualityFloor, 1.0 - kQualityFloor);
+      for (int g = 0; g < num_groups; ++g) {
+        quality[static_cast<size_t>(w) * num_groups + g] = overall[w];
+      }
+    }
+  }
+
+  CategoricalResult result;
+  std::vector<double> log_belief(l);
+  std::vector<double> group_correct(num_groups);
+  std::vector<double> group_count(num_groups);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // M-step: per-worker overall probability, then per-topic probabilities
+    // shrunk toward it.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      const auto& votes = dataset.AnswersByWorker(w);
+      if (votes.empty()) continue;
+      std::fill(group_correct.begin(), group_correct.end(), 0.0);
+      std::fill(group_count.begin(), group_count.end(), 0.0);
+      double total_correct = 0.0;
+      for (const data::WorkerVote& vote : votes) {
+        const double p = posterior[vote.task][vote.label];
+        group_correct[groups[vote.task]] += p;
+        group_count[groups[vote.task]] += 1.0;
+        total_correct += p;
+      }
+      overall[w] = std::clamp(total_correct / votes.size(), kQualityFloor,
+                              1.0 - kQualityFloor);
+      for (int g = 0; g < num_groups; ++g) {
+        const double estimate =
+            (prior_strength_ * overall[w] + group_correct[g]) /
+            (prior_strength_ + group_count[g]);
+        quality[static_cast<size_t>(w) * num_groups + g] =
+            std::clamp(estimate, kQualityFloor, 1.0 - kQualityFloor);
+      }
+    }
+
+    // E-step with topic-specific probabilities.
+    Posterior next = posterior;
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      std::fill(log_belief.begin(), log_belief.end(), 0.0);
+      const int g = groups[t];
+      for (const data::TaskVote& vote : votes) {
+        const double q =
+            quality[static_cast<size_t>(vote.worker) * num_groups + g];
+        const double log_right = std::log(q);
+        const double log_wrong = std::log((1.0 - q) / (l - 1));
+        for (int z = 0; z < l; ++z) {
+          log_belief[z] += vote.label == z ? log_right : log_wrong;
+        }
+      }
+      util::SoftmaxInPlace(log_belief);
+      next[t] = log_belief;
+    }
+    ClampGolden(dataset, options, next);
+
+    const double change = MaxAbsDiff(posterior, next);
+    posterior = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.labels = ArgmaxLabels(posterior, rng);
+  result.posterior = std::move(posterior);
+  result.worker_quality = std::move(overall);
+  return result;
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,41 @@
+// TopicSkills — a diverse-skills method in the spirit of FaitCrowd (Ma et
+// al., KDD'15, the paper's [35]) and DOCS (Zheng et al., PVLDB'16, [59]):
+// workers have different reliabilities on different task topics (a sports
+// fan grades sports tasks better than entertainment tasks — paper §4.2.5).
+//
+// Where FaitCrowd learns topics from task text, this implementation takes
+// the topic assignment as an input (InferenceOptions::task_groups) — the
+// common deployment case where tasks carry category metadata — and runs EM
+// over per-worker per-topic probabilities:
+//   E-step:  mu_i(z) prop-to prod_{w in W_i} q_{w,g(i)}^{1{v=z}} *
+//            ((1 - q_{w,g(i)}) / (l-1))^{1{v!=z}}
+//   M-step:  q_{w,g} = (prior + sum_{i in T^w, g(i)=g} mu_i(v_i^w)) /
+//            (2*prior + |T^w intersect g|)
+// with a Beta-like prior keeping sparse (worker, topic) cells sane. When
+// task_groups is absent, every task falls into one group and the method
+// reduces exactly to ZC.
+#ifndef CROWDTRUTH_CORE_METHODS_TOPIC_SKILLS_H_
+#define CROWDTRUTH_CORE_METHODS_TOPIC_SKILLS_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class TopicSkills : public CategoricalMethod {
+ public:
+  // `prior_strength` is the pseudo-count pulling each (worker, topic)
+  // probability toward the worker's overall probability.
+  explicit TopicSkills(double prior_strength = 4.0)
+      : prior_strength_(prior_strength) {}
+
+  std::string name() const override { return "TopicSkills"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+
+ private:
+  double prior_strength_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_TOPIC_SKILLS_H_

@@ -1,0 +1,139 @@
+#include "core/methods/vi_bp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace crowdtruth::core {
+
+CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
+                              const InferenceOptions& options) const {
+  CROWDTRUTH_CHECK_EQ(dataset.num_choices(), 2)
+      << "VI-BP supports decision-making (binary) tasks only";
+  const int n = dataset.num_tasks();
+  const int num_workers = dataset.num_workers();
+  util::Rng rng(options.seed);
+
+  struct Edge {
+    data::TaskId task;
+    data::WorkerId worker;
+    data::LabelId label;
+  };
+  std::vector<Edge> edges;
+  std::vector<std::vector<int>> task_edges(n);
+  std::vector<std::vector<int>> worker_edges(num_workers);
+  for (data::TaskId t = 0; t < n; ++t) {
+    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+      task_edges[t].push_back(static_cast<int>(edges.size()));
+      worker_edges[vote.worker].push_back(static_cast<int>(edges.size()));
+      edges.push_back({t, vote.worker, vote.label});
+    }
+  }
+
+  // task_msg[e] = m_{i->w}(truth = answer on edge e), a scalar because the
+  // binary message is determined by its "matches the worker's answer"
+  // component. Initialized from the task's vote share.
+  std::vector<double> task_msg(edges.size(), 0.5);
+  for (data::TaskId t = 0; t < n; ++t) {
+    if (task_edges[t].empty()) continue;
+    int count0 = 0;
+    for (int e : task_edges[t]) {
+      if (edges[e].label == 0) ++count0;
+    }
+    const double share0 =
+        static_cast<double>(count0) / task_edges[t].size();
+    for (int e : task_edges[t]) {
+      task_msg[e] = edges[e].label == 0 ? share0 : 1.0 - share0;
+    }
+  }
+  // worker_msg[e] = m_{w->i}(truth = answer on edge e).
+  std::vector<double> worker_msg(edges.size(), 0.5);
+
+  CategoricalResult result;
+  std::vector<double> expected_reliability(num_workers, 0.5);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Worker -> task: posterior-mean reliability from the other edges.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      double correct_total = 0.0;
+      for (int e : worker_edges[w]) correct_total += task_msg[e];
+      const double count = static_cast<double>(worker_edges[w].size());
+      for (int e : worker_edges[w]) {
+        const double correct_others = correct_total - task_msg[e];
+        const double incorrect_others = (count - 1.0) - correct_others;
+        const double a = prior_alpha_ + correct_others;
+        const double b = prior_beta_ + incorrect_others;
+        worker_msg[e] = a / (a + b);
+      }
+      const double a_full = prior_alpha_ + correct_total;
+      const double b_full = prior_beta_ + (count - correct_total);
+      expected_reliability[w] = a_full / (a_full + b_full);
+    }
+
+    // Task -> worker: combine the other workers' messages (log space).
+    double change = 0.0;
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (task_edges[t].empty()) continue;
+      double log_total0 = 0.0;
+      double log_total1 = 0.0;
+      for (int e : task_edges[t]) {
+        const double match = std::clamp(worker_msg[e], 1e-9, 1.0 - 1e-9);
+        // Message as a distribution over {choice0, choice1}.
+        const double m0 = edges[e].label == 0 ? match : 1.0 - match;
+        log_total0 += std::log(m0);
+        log_total1 += std::log(1.0 - m0);
+      }
+      for (int e : task_edges[t]) {
+        const double match = std::clamp(worker_msg[e], 1e-9, 1.0 - 1e-9);
+        const double m0 = edges[e].label == 0 ? match : 1.0 - match;
+        const double log0 = log_total0 - std::log(m0);
+        const double log1 = log_total1 - std::log(1.0 - m0);
+        const double belief0 = 1.0 / (1.0 + std::exp(log1 - log0));
+        const double next =
+            edges[e].label == 0 ? belief0 : 1.0 - belief0;
+        change = std::max(change, std::fabs(next - task_msg[e]));
+        task_msg[e] = next;
+      }
+    }
+
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final beliefs combine all worker messages.
+  result.labels.assign(n, 0);
+  result.posterior.assign(n, {0.5, 0.5});
+  for (data::TaskId t = 0; t < n; ++t) {
+    if (task_edges[t].empty()) {
+      result.labels[t] = rng.UniformInt(0, 1);
+      continue;
+    }
+    double log0 = 0.0;
+    double log1 = 0.0;
+    for (int e : task_edges[t]) {
+      const double match = std::clamp(worker_msg[e], 1e-9, 1.0 - 1e-9);
+      const double m0 = edges[e].label == 0 ? match : 1.0 - match;
+      log0 += std::log(m0);
+      log1 += std::log(1.0 - m0);
+    }
+    const double belief0 = 1.0 / (1.0 + std::exp(log1 - log0));
+    result.posterior[t] = {belief0, 1.0 - belief0};
+    if (belief0 > 0.5) {
+      result.labels[t] = 0;
+    } else if (belief0 < 0.5) {
+      result.labels[t] = 1;
+    } else {
+      result.labels[t] = rng.UniformInt(0, 1);
+    }
+  }
+  result.worker_quality = std::move(expected_reliability);
+  return result;
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,33 @@
+// VI-BP (Liu, Peng & Ihler, NIPS'12; paper §5.3(1) "Optimization
+// Function"). Bayesian estimation of Pr(v*_i | V) (Eq. 2) approximated
+// with belief propagation on the bipartite worker/task factor graph — the
+// generalization of KOS with a Beta prior on worker reliability.
+//
+// Decision-making tasks only. Each worker factor integrates its reliability
+// q^w out under a Beta(alpha, beta) prior whose posterior pseudo-counts are
+// the soft correct/incorrect counts implied by incoming task messages.
+#ifndef CROWDTRUTH_CORE_METHODS_VI_BP_H_
+#define CROWDTRUTH_CORE_METHODS_VI_BP_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class ViBp : public CategoricalMethod {
+ public:
+  explicit ViBp(double prior_alpha = 2.0, double prior_beta = 1.0)
+      : prior_alpha_(prior_alpha), prior_beta_(prior_beta) {}
+
+  std::string name() const override { return "VI-BP"; }
+  // Requires dataset.num_choices() == 2.
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+
+ private:
+  double prior_alpha_;
+  double prior_beta_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_VI_BP_H_

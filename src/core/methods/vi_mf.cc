@@ -1,0 +1,123 @@
+#include "core/methods/vi_mf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/common.h"
+#include "util/rng.h"
+#include "util/special_functions.h"
+
+namespace crowdtruth::core {
+
+CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
+                              const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int l = dataset.num_choices();
+  const int num_workers = dataset.num_workers();
+  util::Rng rng(options.seed);
+
+  Posterior posterior = InitialPosterior(dataset, options);
+
+  // Per-worker Dirichlet prior pseudo-counts; qualification-test estimates
+  // sharpen the diagonal.
+  std::vector<double> prior_diag(num_workers, prior_diag_);
+  std::vector<double> prior_off(num_workers, prior_off_);
+  if (!options.initial_worker_quality.empty()) {
+    // 20 golden tasks' worth of pseudo-counts at the estimated accuracy.
+    constexpr double kQualificationStrength = 20.0;
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      const double q =
+          std::clamp(options.initial_worker_quality[w], 0.05, 0.95);
+      prior_diag[w] = prior_diag_ + kQualificationStrength * q;
+      prior_off[w] =
+          prior_off_ + kQualificationStrength * (1.0 - q) / (l - 1);
+    }
+  }
+
+  // elog[w][j*l+k] = E[log pi^w_{j,k}] under the current Dirichlet
+  // posterior.
+  std::vector<std::vector<double>> elog(num_workers,
+                                        std::vector<double>(l * l, 0.0));
+  std::vector<double> elog_class(l, std::log(1.0 / l));
+  std::vector<double> counts(l * l);
+
+  CategoricalResult result;
+  std::vector<double> log_belief(l);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Update Dirichlet posteriors and their expected log parameters.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      for (int j = 0; j < l; ++j) {
+        for (int k = 0; k < l; ++k) {
+          counts[j * l + k] = j == k ? prior_diag[w] : prior_off[w];
+        }
+      }
+      for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+        for (int j = 0; j < l; ++j) {
+          counts[j * l + vote.label] += posterior[vote.task][j];
+        }
+      }
+      for (int j = 0; j < l; ++j) {
+        double row_total = 0.0;
+        for (int k = 0; k < l; ++k) row_total += counts[j * l + k];
+        const double digamma_total = util::Digamma(row_total);
+        for (int k = 0; k < l; ++k) {
+          elog[w][j * l + k] = util::Digamma(counts[j * l + k]) -
+                               digamma_total;
+        }
+      }
+    }
+    // Class-prior Dirichlet posterior.
+    std::vector<double> class_counts(l, 1.0);
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (dataset.AnswersForTask(t).empty()) continue;
+      for (int j = 0; j < l; ++j) class_counts[j] += posterior[t][j];
+    }
+    double class_total = 0.0;
+    for (double c : class_counts) class_total += c;
+    const double digamma_class_total = util::Digamma(class_total);
+    for (int j = 0; j < l; ++j) {
+      elog_class[j] = util::Digamma(class_counts[j]) - digamma_class_total;
+    }
+
+    // Update the task beliefs.
+    Posterior next = posterior;
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      log_belief = elog_class;
+      for (const data::TaskVote& vote : votes) {
+        for (int j = 0; j < l; ++j) {
+          log_belief[j] += elog[vote.worker][j * l + vote.label];
+        }
+      }
+      util::SoftmaxInPlace(log_belief);
+      next[t] = log_belief;
+    }
+    ClampGolden(dataset, options, next);
+
+    const double change = MaxAbsDiff(posterior, next);
+    posterior = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.labels = ArgmaxLabels(posterior, rng);
+  result.worker_quality.assign(num_workers, 0.0);
+  for (data::WorkerId w = 0; w < num_workers; ++w) {
+    // Posterior-mean diagonal averaged over classes.
+    double total = 0.0;
+    for (int j = 0; j < l; ++j) {
+      total += std::exp(elog[w][j * l + j]);
+    }
+    result.worker_quality[w] = total / l;
+  }
+  result.posterior = std::move(posterior);
+  return result;
+}
+
+}  // namespace crowdtruth::core

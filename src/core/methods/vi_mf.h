@@ -1,0 +1,35 @@
+// VI-MF (Liu, Peng & Ihler, NIPS'12; paper §5.3(1) "Optimization
+// Function"). Bayesian estimation of the truth marginal Pr(v*_i | V)
+// (Eq. 2) approximated with mean-field variational inference.
+//
+// Model: per-worker confusion matrix with Dirichlet row priors. Mean-field
+// updates alternate between
+//   mu_i(j) prop-to exp( E[log p_j] + sum_w E[log pi^w_{j, v_i^w}] )
+// and the Dirichlet posterior pseudo-counts
+//   alpha-hat^w_{j,k} = alpha_{j,k} + sum_i mu_i(j) 1{v_i^w = k},
+// where E[log pi_{j,k}] = digamma(alpha-hat_{j,k}) -
+// digamma(sum_k alpha-hat_{j,k}).
+#ifndef CROWDTRUTH_CORE_METHODS_VI_MF_H_
+#define CROWDTRUTH_CORE_METHODS_VI_MF_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class ViMf : public CategoricalMethod {
+ public:
+  explicit ViMf(double prior_diag = 2.0, double prior_off = 1.0)
+      : prior_diag_(prior_diag), prior_off_(prior_off) {}
+
+  std::string name() const override { return "VI-MF"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+
+ private:
+  double prior_diag_;
+  double prior_off_;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_VI_MF_H_

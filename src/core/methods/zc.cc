@@ -1,0 +1,85 @@
+#include "core/methods/zc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/common.h"
+#include "util/rng.h"
+#include "util/special_functions.h"
+
+namespace crowdtruth::core {
+namespace {
+
+// Worker probabilities are kept away from {0, 1} so log-likelihoods stay
+// finite and a single worker can never fully determine a task.
+constexpr double kQualityFloor = 1e-3;
+
+}  // namespace
+
+CategoricalResult Zc::Infer(const data::CategoricalDataset& dataset,
+                            const InferenceOptions& options) const {
+  const int n = dataset.num_tasks();
+  const int l = dataset.num_choices();
+  const int num_workers = dataset.num_workers();
+  util::Rng rng(options.seed);
+
+  Posterior posterior = InitialPosterior(dataset, options);
+  std::vector<double> quality(num_workers, 0.7);
+  if (!options.initial_worker_quality.empty()) {
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      quality[w] = std::clamp(options.initial_worker_quality[w],
+                              kQualityFloor, 1.0 - kQualityFloor);
+    }
+  }
+
+  CategoricalResult result;
+  std::vector<double> log_belief(l);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // M-step: re-estimate worker probabilities from the current belief.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      const auto& votes = dataset.AnswersByWorker(w);
+      if (votes.empty()) continue;
+      double expected_correct = 0.0;
+      for (const data::WorkerVote& vote : votes) {
+        expected_correct += posterior[vote.task][vote.label];
+      }
+      quality[w] = std::clamp(expected_correct / votes.size(), kQualityFloor,
+                              1.0 - kQualityFloor);
+    }
+
+    // E-step: recompute the task belief from worker probabilities.
+    Posterior next = posterior;
+    for (data::TaskId t = 0; t < n; ++t) {
+      const auto& votes = dataset.AnswersForTask(t);
+      if (votes.empty()) continue;
+      std::fill(log_belief.begin(), log_belief.end(), 0.0);
+      for (const data::TaskVote& vote : votes) {
+        const double q = quality[vote.worker];
+        const double log_wrong = std::log((1.0 - q) / (l - 1));
+        const double log_right = std::log(q);
+        for (int z = 0; z < l; ++z) {
+          log_belief[z] += vote.label == z ? log_right : log_wrong;
+        }
+      }
+      util::SoftmaxInPlace(log_belief);
+      next[t] = log_belief;
+    }
+    ClampGolden(dataset, options, next);
+
+    const double change = MaxAbsDiff(posterior, next);
+    posterior = std::move(next);
+    result.convergence_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.labels = ArgmaxLabels(posterior, rng);
+  result.posterior = std::move(posterior);
+  result.worker_quality = std::move(quality);
+  return result;
+}
+
+}  // namespace crowdtruth::core

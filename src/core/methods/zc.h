@@ -1,0 +1,28 @@
+// ZC / ZenCrowd (Demartini et al., WWW'12; paper §5.3(1)).
+//
+// Worker model: a single worker probability q^w in [0, 1]. Observation
+// model: a worker answers a task correctly with probability q^w and
+// otherwise picks one of the remaining l-1 choices uniformly. Inference:
+// EM on the likelihood of Eq. 1 —
+//   E-step:  mu_i(z) prop-to  prod_{w in W_i} Pr(v_i^w | q^w, v*_i = z)
+//   M-step:  q^w = sum_{i in T^w} mu_i(v_i^w) / |T^w|
+// Supports qualification-test initialization (q^w <- estimated accuracy)
+// and hidden-test golden tasks (posterior clamped; golden truth feeds the
+// M-step).
+#ifndef CROWDTRUTH_CORE_METHODS_ZC_H_
+#define CROWDTRUTH_CORE_METHODS_ZC_H_
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+class Zc : public CategoricalMethod {
+ public:
+  std::string name() const override { return "ZC"; }
+  CategoricalResult Infer(const data::CategoricalDataset& dataset,
+                          const InferenceOptions& options) const override;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_METHODS_ZC_H_

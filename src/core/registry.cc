@@ -1,0 +1,156 @@
+#include "core/registry.h"
+
+#include "core/methods/baselines_numeric.h"
+#include "core/methods/bcc.h"
+#include "core/methods/catd.h"
+#include "core/methods/cbcc.h"
+#include "core/methods/ds.h"
+#include "core/methods/glad.h"
+#include "core/methods/kos.h"
+#include "core/methods/lfc.h"
+#include "core/methods/lfc_n.h"
+#include "core/methods/minimax.h"
+#include "core/methods/multi.h"
+#include "core/methods/mv.h"
+#include "core/methods/pm.h"
+#include "core/methods/vi_bp.h"
+#include "core/methods/vi_mf.h"
+#include "core/methods/zc.h"
+#include "util/logging.h"
+
+namespace crowdtruth::core {
+namespace {
+
+std::vector<MethodInfo> BuildAllMethods() {
+  std::vector<MethodInfo> methods;
+  auto add = [&methods](MethodInfo info) { methods.push_back(std::move(info)); };
+  // Order and taxonomy follow the paper's Table 4; the qualification /
+  // golden capability flags follow Table 7 and Figures 7-9.
+  add({.name = "MV", .decision_making = true, .single_choice = true,
+       .task_model = "No Model", .worker_model = "No Model",
+       .technique = "Direct Computation"});
+  add({.name = "ZC", .decision_making = true, .single_choice = true,
+       .supports_qualification = true, .supports_golden = true,
+       .task_model = "No Model", .worker_model = "Worker Probability",
+       .technique = "PGM"});
+  add({.name = "GLAD", .decision_making = true, .single_choice = true,
+       .supports_qualification = true, .supports_golden = true,
+       .task_model = "Task Difficulty", .worker_model = "Worker Probability",
+       .technique = "PGM"});
+  add({.name = "D&S", .decision_making = true, .single_choice = true,
+       .supports_qualification = true, .supports_golden = true,
+       .task_model = "No Model", .worker_model = "Confusion Matrix",
+       .technique = "PGM"});
+  add({.name = "Minimax", .decision_making = true, .single_choice = true,
+       .supports_golden = true, .task_model = "No Model",
+       .worker_model = "Diverse Skills", .technique = "Optimization"});
+  add({.name = "BCC", .decision_making = true, .single_choice = true,
+       .task_model = "No Model", .worker_model = "Confusion Matrix",
+       .technique = "PGM"});
+  add({.name = "CBCC", .decision_making = true, .single_choice = true,
+       .task_model = "No Model", .worker_model = "Confusion Matrix",
+       .technique = "PGM"});
+  add({.name = "LFC", .decision_making = true, .single_choice = true,
+       .supports_qualification = true, .supports_golden = true,
+       .task_model = "No Model", .worker_model = "Confusion Matrix",
+       .technique = "PGM"});
+  add({.name = "CATD", .decision_making = true, .single_choice = true,
+       .numeric = true, .supports_qualification = true,
+       .supports_golden = true, .task_model = "No Model",
+       .worker_model = "Worker Probability, Confidence",
+       .technique = "Optimization"});
+  add({.name = "PM", .decision_making = true, .single_choice = true,
+       .numeric = true, .supports_qualification = true,
+       .supports_golden = true, .task_model = "No Model",
+       .worker_model = "Worker Probability", .technique = "Optimization"});
+  add({.name = "Multi", .decision_making = true,
+       .task_model = "Latent Topics",
+       .worker_model = "Diverse Skills, Worker Bias, Worker Variance",
+       .technique = "PGM"});
+  add({.name = "KOS", .decision_making = true, .task_model = "No Model",
+       .worker_model = "Worker Probability", .technique = "PGM"});
+  add({.name = "VI-BP", .decision_making = true, .task_model = "No Model",
+       .worker_model = "Confusion Matrix", .technique = "PGM"});
+  add({.name = "VI-MF", .decision_making = true,
+       .supports_qualification = true, .supports_golden = true,
+       .task_model = "No Model", .worker_model = "Confusion Matrix",
+       .technique = "PGM"});
+  add({.name = "LFC_N", .numeric = true, .supports_qualification = true,
+       .supports_golden = true, .task_model = "No Model",
+       .worker_model = "Worker Variance", .technique = "PGM"});
+  add({.name = "Mean", .numeric = true, .task_model = "No Model",
+       .worker_model = "No Model", .technique = "Direct Computation"});
+  add({.name = "Median", .numeric = true, .task_model = "No Model",
+       .worker_model = "No Model", .technique = "Direct Computation"});
+  return methods;
+}
+
+}  // namespace
+
+const std::vector<MethodInfo>& AllMethods() {
+  static const std::vector<MethodInfo>& methods =
+      *new std::vector<MethodInfo>(BuildAllMethods());
+  return methods;
+}
+
+const MethodInfo& GetMethodInfo(const std::string& name) {
+  for (const MethodInfo& info : AllMethods()) {
+    if (info.name == name) return info;
+  }
+  CROWDTRUTH_CHECK(false) << "unknown method: " << name;
+  __builtin_unreachable();
+}
+
+std::unique_ptr<CategoricalMethod> MakeCategoricalMethod(
+    const std::string& name) {
+  if (name == "MV") return std::make_unique<MajorityVoting>();
+  if (name == "ZC") return std::make_unique<Zc>();
+  if (name == "GLAD") return std::make_unique<Glad>();
+  if (name == "D&S") return std::make_unique<DawidSkene>();
+  if (name == "Minimax") return std::make_unique<Minimax>();
+  if (name == "BCC") return std::make_unique<Bcc>();
+  if (name == "CBCC") return std::make_unique<Cbcc>();
+  if (name == "LFC") return std::make_unique<Lfc>();
+  if (name == "CATD") return std::make_unique<CatdCategorical>();
+  if (name == "PM") return std::make_unique<PmCategorical>();
+  if (name == "Multi") return std::make_unique<Multi>();
+  if (name == "KOS") return std::make_unique<Kos>();
+  if (name == "VI-BP") return std::make_unique<ViBp>();
+  if (name == "VI-MF") return std::make_unique<ViMf>();
+  return nullptr;
+}
+
+std::unique_ptr<NumericMethod> MakeNumericMethod(const std::string& name) {
+  if (name == "CATD") return std::make_unique<CatdNumeric>();
+  if (name == "PM") return std::make_unique<PmNumeric>();
+  if (name == "LFC_N") return std::make_unique<LfcNumeric>();
+  if (name == "Mean") return std::make_unique<MeanBaseline>();
+  if (name == "Median") return std::make_unique<MedianBaseline>();
+  return nullptr;
+}
+
+std::vector<std::string> DecisionMakingMethodNames() {
+  std::vector<std::string> names;
+  for (const MethodInfo& info : AllMethods()) {
+    if (info.decision_making) names.push_back(info.name);
+  }
+  return names;
+}
+
+std::vector<std::string> SingleChoiceMethodNames() {
+  std::vector<std::string> names;
+  for (const MethodInfo& info : AllMethods()) {
+    if (info.single_choice) names.push_back(info.name);
+  }
+  return names;
+}
+
+std::vector<std::string> NumericMethodNames() {
+  std::vector<std::string> names;
+  for (const MethodInfo& info : AllMethods()) {
+    if (info.numeric) names.push_back(info.name);
+  }
+  return names;
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,55 @@
+// Method registry: the paper's Table 4 in code form. Maps method names to
+// factories plus the metadata the experiment harness needs — which task
+// types a method handles and whether it can consume qualification-test
+// initial qualities (§6.3.2, 8 methods) or hidden-test golden tasks
+// (§6.3.3, 9 methods).
+#ifndef CROWDTRUTH_CORE_REGISTRY_H_
+#define CROWDTRUTH_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/inference.h"
+
+namespace crowdtruth::core {
+
+struct MethodInfo {
+  std::string name;
+  // Task-type support (paper Table 4 "Task Types" column).
+  bool decision_making = false;
+  bool single_choice = false;  // l > 2
+  bool numeric = false;
+  // Experiment capabilities.
+  bool supports_qualification = false;
+  bool supports_golden = false;
+  // Table 4 taxonomy columns, for documentation output.
+  std::string task_model;
+  std::string worker_model;
+  std::string technique;
+};
+
+// All 17 surveyed methods, in the paper's Table 4 order.
+const std::vector<MethodInfo>& AllMethods();
+
+// Looks up metadata by name; aborts on unknown names (method lists are
+// static, so an unknown name is a programming error).
+const MethodInfo& GetMethodInfo(const std::string& name);
+
+// Factories. Return nullptr when the method does not handle the domain
+// (e.g. MakeNumericMethod("MV")).
+std::unique_ptr<CategoricalMethod> MakeCategoricalMethod(
+    const std::string& name);
+std::unique_ptr<NumericMethod> MakeNumericMethod(const std::string& name);
+
+// Convenience selections used throughout the benches.
+// Methods applicable to decision-making datasets (14, Figure 4).
+std::vector<std::string> DecisionMakingMethodNames();
+// Methods applicable to single-choice datasets with l > 2 (10, Figure 5).
+std::vector<std::string> SingleChoiceMethodNames();
+// Methods applicable to numeric datasets (5, Figure 6).
+std::vector<std::string> NumericMethodNames();
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_REGISTRY_H_

@@ -1,0 +1,122 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace crowdtruth::data {
+namespace {
+
+// Validates that no worker answered the same task twice. Vote lists are
+// small (redundancy is single/double digits) so a sort per task is cheap.
+template <typename VoteList>
+bool HasDuplicateWorker(const VoteList& votes) {
+  std::vector<int> workers;
+  workers.reserve(votes.size());
+  for (const auto& vote : votes) workers.push_back(vote.worker);
+  std::sort(workers.begin(), workers.end());
+  return std::adjacent_find(workers.begin(), workers.end()) != workers.end();
+}
+
+}  // namespace
+
+CategoricalDatasetBuilder::CategoricalDatasetBuilder(int num_tasks,
+                                                     int num_workers,
+                                                     int num_choices)
+    : num_tasks_(num_tasks),
+      num_workers_(num_workers),
+      num_choices_(num_choices),
+      by_task_(num_tasks),
+      by_worker_(num_workers),
+      truth_(num_tasks, kNoTruth) {
+  CROWDTRUTH_CHECK_GE(num_tasks, 0);
+  CROWDTRUTH_CHECK_GE(num_workers, 0);
+  CROWDTRUTH_CHECK_GE(num_choices, 2);
+}
+
+void CategoricalDatasetBuilder::AddAnswer(TaskId task, WorkerId worker,
+                                          LabelId label) {
+  CROWDTRUTH_CHECK_GE(task, 0);
+  CROWDTRUTH_CHECK_LT(task, num_tasks_);
+  CROWDTRUTH_CHECK_GE(worker, 0);
+  CROWDTRUTH_CHECK_LT(worker, num_workers_);
+  CROWDTRUTH_CHECK_GE(label, 0);
+  CROWDTRUTH_CHECK_LT(label, num_choices_);
+  by_task_[task].push_back({worker, label});
+  by_worker_[worker].push_back({task, label});
+}
+
+void CategoricalDatasetBuilder::SetTruth(TaskId task, LabelId truth) {
+  CROWDTRUTH_CHECK_GE(task, 0);
+  CROWDTRUTH_CHECK_LT(task, num_tasks_);
+  CROWDTRUTH_CHECK_GE(truth, 0);
+  CROWDTRUTH_CHECK_LT(truth, num_choices_);
+  truth_[task] = truth;
+}
+
+CategoricalDataset CategoricalDatasetBuilder::Build() && {
+  CategoricalDataset dataset;
+  dataset.name_ = std::move(name_);
+  dataset.num_choices_ = num_choices_;
+  int answers = 0;
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    CROWDTRUTH_CHECK(!HasDuplicateWorker(by_task_[t]))
+        << "task " << t << " has duplicate worker answers";
+    answers += static_cast<int>(by_task_[t].size());
+  }
+  dataset.num_answers_ = answers;
+  dataset.num_labeled_ = static_cast<int>(
+      std::count_if(truth_.begin(), truth_.end(),
+                    [](LabelId v) { return v != kNoTruth; }));
+  dataset.by_task_ = std::move(by_task_);
+  dataset.by_worker_ = std::move(by_worker_);
+  dataset.truth_ = std::move(truth_);
+  return dataset;
+}
+
+NumericDatasetBuilder::NumericDatasetBuilder(int num_tasks, int num_workers)
+    : num_tasks_(num_tasks),
+      num_workers_(num_workers),
+      by_task_(num_tasks),
+      by_worker_(num_workers),
+      truth_(num_tasks, 0.0),
+      has_truth_(num_tasks, false) {
+  CROWDTRUTH_CHECK_GE(num_tasks, 0);
+  CROWDTRUTH_CHECK_GE(num_workers, 0);
+}
+
+void NumericDatasetBuilder::AddAnswer(TaskId task, WorkerId worker,
+                                      double value) {
+  CROWDTRUTH_CHECK_GE(task, 0);
+  CROWDTRUTH_CHECK_LT(task, num_tasks_);
+  CROWDTRUTH_CHECK_GE(worker, 0);
+  CROWDTRUTH_CHECK_LT(worker, num_workers_);
+  by_task_[task].push_back({worker, value});
+  by_worker_[worker].push_back({task, value});
+}
+
+void NumericDatasetBuilder::SetTruth(TaskId task, double truth) {
+  CROWDTRUTH_CHECK_GE(task, 0);
+  CROWDTRUTH_CHECK_LT(task, num_tasks_);
+  truth_[task] = truth;
+  has_truth_[task] = true;
+}
+
+NumericDataset NumericDatasetBuilder::Build() && {
+  NumericDataset dataset;
+  dataset.name_ = std::move(name_);
+  int answers = 0;
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    CROWDTRUTH_CHECK(!HasDuplicateWorker(by_task_[t]))
+        << "task " << t << " has duplicate worker answers";
+    answers += static_cast<int>(by_task_[t].size());
+  }
+  dataset.num_answers_ = answers;
+  dataset.num_labeled_ = static_cast<int>(
+      std::count(has_truth_.begin(), has_truth_.end(), true));
+  dataset.by_task_ = std::move(by_task_);
+  dataset.by_worker_ = std::move(by_worker_);
+  dataset.truth_ = std::move(truth_);
+  dataset.has_truth_ = std::move(has_truth_);
+  return dataset;
+}
+
+}  // namespace crowdtruth::data

@@ -1,0 +1,182 @@
+// Core data model (paper §2): tasks, workers, answers, and optional ground
+// truth.
+//
+// Two dataset flavours mirror the paper's task taxonomy:
+//   * CategoricalDataset — decision-making (l = 2) and single-choice
+//     (l > 2) tasks; answers are label ids in [0, num_choices).
+//   * NumericDataset — numeric tasks; answers are real values.
+//
+// Both keep the sparse answer set V = {v_i^w} indexed two ways, matching the
+// paper's notation: by task (W_i, the workers answering task t_i) and by
+// worker (T^w, the tasks answered by worker w). Ground truth may cover only
+// a subset of tasks (as in S_Rel / S_Adult, Table 5); metrics are computed
+// over the labeled subset while inference always uses all answers.
+#ifndef CROWDTRUTH_DATA_DATASET_H_
+#define CROWDTRUTH_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace crowdtruth::data {
+
+using TaskId = int;
+using WorkerId = int;
+using LabelId = int;
+
+inline constexpr LabelId kNoTruth = -1;
+
+// One answer as seen from a task's perspective.
+struct TaskVote {
+  WorkerId worker;
+  LabelId label;
+};
+
+// One answer as seen from a worker's perspective.
+struct WorkerVote {
+  TaskId task;
+  LabelId label;
+};
+
+struct NumericTaskVote {
+  WorkerId worker;
+  double value;
+};
+
+struct NumericWorkerVote {
+  TaskId task;
+  double value;
+};
+
+// Immutable categorical dataset. Build with CategoricalDatasetBuilder.
+class CategoricalDataset {
+ public:
+  CategoricalDataset() = default;
+
+  const std::string& name() const { return name_; }
+  int num_tasks() const { return static_cast<int>(by_task_.size()); }
+  int num_workers() const { return static_cast<int>(by_worker_.size()); }
+  int num_choices() const { return num_choices_; }
+  int num_answers() const { return num_answers_; }
+
+  // W_i: answers received by task `task`.
+  const std::vector<TaskVote>& AnswersForTask(TaskId task) const {
+    return by_task_[task];
+  }
+  // T^w: answers given by worker `worker`.
+  const std::vector<WorkerVote>& AnswersByWorker(WorkerId worker) const {
+    return by_worker_[worker];
+  }
+
+  bool HasTruth(TaskId task) const { return truth_[task] != kNoTruth; }
+  LabelId Truth(TaskId task) const { return truth_[task]; }
+  int num_labeled_tasks() const { return num_labeled_; }
+
+  // Average answers per task, |V|/n — the "data redundancy" of Table 5.
+  double Redundancy() const {
+    return num_tasks() == 0
+               ? 0.0
+               : static_cast<double>(num_answers_) / num_tasks();
+  }
+
+ private:
+  friend class CategoricalDatasetBuilder;
+
+  std::string name_;
+  int num_choices_ = 0;
+  int num_answers_ = 0;
+  int num_labeled_ = 0;
+  std::vector<std::vector<TaskVote>> by_task_;
+  std::vector<std::vector<WorkerVote>> by_worker_;
+  std::vector<LabelId> truth_;
+};
+
+// Mutable builder; Build() validates and freezes.
+class CategoricalDatasetBuilder {
+ public:
+  CategoricalDatasetBuilder(int num_tasks, int num_workers, int num_choices);
+
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Records worker's answer for task. Duplicate (task, worker) pairs are
+  // rejected at Build() time.
+  void AddAnswer(TaskId task, WorkerId worker, LabelId label);
+
+  void SetTruth(TaskId task, LabelId truth);
+
+  CategoricalDataset Build() &&;
+
+ private:
+  std::string name_;
+  int num_tasks_;
+  int num_workers_;
+  int num_choices_;
+  std::vector<std::vector<TaskVote>> by_task_;
+  std::vector<std::vector<WorkerVote>> by_worker_;
+  std::vector<LabelId> truth_;
+};
+
+// Immutable numeric dataset. Build with NumericDatasetBuilder.
+class NumericDataset {
+ public:
+  NumericDataset() = default;
+
+  const std::string& name() const { return name_; }
+  int num_tasks() const { return static_cast<int>(by_task_.size()); }
+  int num_workers() const { return static_cast<int>(by_worker_.size()); }
+  int num_answers() const { return num_answers_; }
+
+  const std::vector<NumericTaskVote>& AnswersForTask(TaskId task) const {
+    return by_task_[task];
+  }
+  const std::vector<NumericWorkerVote>& AnswersByWorker(
+      WorkerId worker) const {
+    return by_worker_[worker];
+  }
+
+  bool HasTruth(TaskId task) const { return has_truth_[task]; }
+  double Truth(TaskId task) const { return truth_[task]; }
+  int num_labeled_tasks() const { return num_labeled_; }
+
+  double Redundancy() const {
+    return num_tasks() == 0
+               ? 0.0
+               : static_cast<double>(num_answers_) / num_tasks();
+  }
+
+ private:
+  friend class NumericDatasetBuilder;
+
+  std::string name_;
+  int num_answers_ = 0;
+  int num_labeled_ = 0;
+  std::vector<std::vector<NumericTaskVote>> by_task_;
+  std::vector<std::vector<NumericWorkerVote>> by_worker_;
+  std::vector<double> truth_;
+  std::vector<bool> has_truth_;
+};
+
+class NumericDatasetBuilder {
+ public:
+  NumericDatasetBuilder(int num_tasks, int num_workers);
+
+  void set_name(std::string name) { name_ = std::move(name); }
+  void AddAnswer(TaskId task, WorkerId worker, double value);
+  void SetTruth(TaskId task, double truth);
+
+  NumericDataset Build() &&;
+
+ private:
+  std::string name_;
+  int num_tasks_;
+  int num_workers_;
+  std::vector<std::vector<NumericTaskVote>> by_task_;
+  std::vector<std::vector<NumericWorkerVote>> by_worker_;
+  std::vector<double> truth_;
+  std::vector<bool> has_truth_;
+};
+
+}  // namespace crowdtruth::data
+
+#endif  // CROWDTRUTH_DATA_DATASET_H_

@@ -1,0 +1,256 @@
+#include "data/io.h"
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace crowdtruth::data {
+namespace {
+
+using util::Status;
+
+// Interns arbitrary string ids into dense [0, n) integers.
+class IdInterner {
+ public:
+  int Intern(const std::string& id) {
+    auto [it, inserted] = ids_.emplace(id, static_cast<int>(ids_.size()));
+    (void)inserted;
+    return it->second;
+  }
+  int size() const { return static_cast<int>(ids_.size()); }
+
+ private:
+  std::map<std::string, int> ids_;
+};
+
+Status CheckHeader(const std::vector<std::vector<std::string>>& rows,
+                   const std::vector<std::string>& expected,
+                   const std::string& path) {
+  if (rows.empty() || rows[0] != expected) {
+    std::string want;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (i > 0) want += ",";
+      want += expected[i];
+    }
+    return Status::ParseError(path + ": expected header \"" + want + "\"");
+  }
+  return Status::Ok();
+}
+
+Status ParseIntField(const std::string& field, const std::string& path,
+                     int* out) {
+  char* end = nullptr;
+  const long value = std::strtol(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::ParseError(path + ": not an integer: \"" + field + "\"");
+  }
+  *out = static_cast<int>(value);
+  return Status::Ok();
+}
+
+Status ParseDoubleField(const std::string& field, const std::string& path,
+                        double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::ParseError(path + ": not a number: \"" + field + "\"");
+  }
+  *out = value;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status LoadCategorical(const std::string& answers_path,
+                       const std::string& truth_path, int num_choices,
+                       CategoricalDataset* out) {
+  std::vector<std::vector<std::string>> answer_rows;
+  Status status = util::ReadCsvFile(answers_path, &answer_rows);
+  if (!status.ok()) return status;
+  status = CheckHeader(answer_rows, {"task", "worker", "answer"},
+                       answers_path);
+  if (!status.ok()) return status;
+
+  IdInterner tasks;
+  IdInterner workers;
+  struct Raw {
+    int task;
+    int worker;
+    int label;
+  };
+  std::vector<Raw> raw;
+  raw.reserve(answer_rows.size());
+  int max_label = 1;
+  for (size_t i = 1; i < answer_rows.size(); ++i) {
+    const auto& row = answer_rows[i];
+    if (row.size() != 3) {
+      return Status::ParseError(answers_path + ": row has " +
+                                std::to_string(row.size()) + " fields");
+    }
+    int label = 0;
+    status = ParseIntField(row[2], answers_path, &label);
+    if (!status.ok()) return status;
+    if (label < 0) {
+      return Status::ParseError(answers_path + ": negative label");
+    }
+    max_label = std::max(max_label, label);
+    raw.push_back({tasks.Intern(row[0]), workers.Intern(row[1]), label});
+  }
+
+  struct RawTruth {
+    int task;
+    int label;
+  };
+  std::vector<RawTruth> raw_truth;
+  if (!truth_path.empty()) {
+    std::vector<std::vector<std::string>> truth_rows;
+    status = util::ReadCsvFile(truth_path, &truth_rows);
+    if (!status.ok()) return status;
+    status = CheckHeader(truth_rows, {"task", "truth"}, truth_path);
+    if (!status.ok()) return status;
+    for (size_t i = 1; i < truth_rows.size(); ++i) {
+      const auto& row = truth_rows[i];
+      if (row.size() != 2) {
+        return Status::ParseError(truth_path + ": row has " +
+                                  std::to_string(row.size()) + " fields");
+      }
+      int label = 0;
+      status = ParseIntField(row[1], truth_path, &label);
+      if (!status.ok()) return status;
+      max_label = std::max(max_label, label);
+      // Truth rows may mention tasks with no answers; intern them too so the
+      // dataset covers the full task set.
+      raw_truth.push_back({tasks.Intern(row[0]), label});
+    }
+  }
+
+  const int choices =
+      num_choices > 0 ? num_choices : std::max(2, max_label + 1);
+  if (max_label >= choices) {
+    return Status::InvalidArgument(
+        answers_path + ": label " + std::to_string(max_label) +
+        " out of range for num_choices=" + std::to_string(choices));
+  }
+
+  CategoricalDatasetBuilder builder(tasks.size(), workers.size(), choices);
+  builder.set_name(answers_path);
+  for (const Raw& r : raw) builder.AddAnswer(r.task, r.worker, r.label);
+  for (const RawTruth& r : raw_truth) builder.SetTruth(r.task, r.label);
+  *out = std::move(builder).Build();
+  return Status::Ok();
+}
+
+Status LoadNumeric(const std::string& answers_path,
+                   const std::string& truth_path, NumericDataset* out) {
+  std::vector<std::vector<std::string>> answer_rows;
+  Status status = util::ReadCsvFile(answers_path, &answer_rows);
+  if (!status.ok()) return status;
+  status = CheckHeader(answer_rows, {"task", "worker", "answer"},
+                       answers_path);
+  if (!status.ok()) return status;
+
+  IdInterner tasks;
+  IdInterner workers;
+  struct Raw {
+    int task;
+    int worker;
+    double value;
+  };
+  std::vector<Raw> raw;
+  raw.reserve(answer_rows.size());
+  for (size_t i = 1; i < answer_rows.size(); ++i) {
+    const auto& row = answer_rows[i];
+    if (row.size() != 3) {
+      return Status::ParseError(answers_path + ": row has " +
+                                std::to_string(row.size()) + " fields");
+    }
+    double value = 0.0;
+    status = ParseDoubleField(row[2], answers_path, &value);
+    if (!status.ok()) return status;
+    raw.push_back({tasks.Intern(row[0]), workers.Intern(row[1]), value});
+  }
+
+  struct RawTruth {
+    int task;
+    double value;
+  };
+  std::vector<RawTruth> raw_truth;
+  if (!truth_path.empty()) {
+    std::vector<std::vector<std::string>> truth_rows;
+    status = util::ReadCsvFile(truth_path, &truth_rows);
+    if (!status.ok()) return status;
+    status = CheckHeader(truth_rows, {"task", "truth"}, truth_path);
+    if (!status.ok()) return status;
+    for (size_t i = 1; i < truth_rows.size(); ++i) {
+      const auto& row = truth_rows[i];
+      if (row.size() != 2) {
+        return Status::ParseError(truth_path + ": row has " +
+                                  std::to_string(row.size()) + " fields");
+      }
+      double value = 0.0;
+      status = ParseDoubleField(row[1], truth_path, &value);
+      if (!status.ok()) return status;
+      raw_truth.push_back({tasks.Intern(row[0]), value});
+    }
+  }
+
+  NumericDatasetBuilder builder(tasks.size(), workers.size());
+  builder.set_name(answers_path);
+  for (const Raw& r : raw) builder.AddAnswer(r.task, r.worker, r.value);
+  for (const RawTruth& r : raw_truth) builder.SetTruth(r.task, r.value);
+  *out = std::move(builder).Build();
+  return Status::Ok();
+}
+
+Status SaveCategorical(const CategoricalDataset& dataset,
+                       const std::string& answers_path,
+                       const std::string& truth_path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"task", "worker", "answer"});
+  for (TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    for (const TaskVote& vote : dataset.AnswersForTask(t)) {
+      rows.push_back({std::to_string(t), std::to_string(vote.worker),
+                      std::to_string(vote.label)});
+    }
+  }
+  Status status = util::WriteCsvFile(answers_path, rows);
+  if (!status.ok()) return status;
+
+  rows.clear();
+  rows.push_back({"task", "truth"});
+  for (TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (dataset.HasTruth(t)) {
+      rows.push_back({std::to_string(t), std::to_string(dataset.Truth(t))});
+    }
+  }
+  return util::WriteCsvFile(truth_path, rows);
+}
+
+Status SaveNumeric(const NumericDataset& dataset,
+                   const std::string& answers_path,
+                   const std::string& truth_path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"task", "worker", "answer"});
+  for (TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    for (const NumericTaskVote& vote : dataset.AnswersForTask(t)) {
+      rows.push_back({std::to_string(t), std::to_string(vote.worker),
+                      std::to_string(vote.value)});
+    }
+  }
+  Status status = util::WriteCsvFile(answers_path, rows);
+  if (!status.ok()) return status;
+
+  rows.clear();
+  rows.push_back({"task", "truth"});
+  for (TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (dataset.HasTruth(t)) {
+      rows.push_back({std::to_string(t), std::to_string(dataset.Truth(t))});
+    }
+  }
+  return util::WriteCsvFile(truth_path, rows);
+}
+
+}  // namespace crowdtruth::data

@@ -1,0 +1,39 @@
+// CSV import/export for datasets.
+//
+// On-disk format (matches the layout the paper's released datasets use):
+//   answers file: header "task,worker,answer", one row per collected answer;
+//   truth file:   header "task,truth", one row per labeled task.
+// Task and worker ids may be arbitrary strings; they are interned into dense
+// integer ids on load. Categorical answers are choice indices (0-based).
+#ifndef CROWDTRUTH_DATA_IO_H_
+#define CROWDTRUTH_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace crowdtruth::data {
+
+// Loads a categorical dataset. `truth_path` may be empty (no ground truth).
+// `num_choices` <= 0 means "infer from the data" (max label + 1, at least 2).
+util::Status LoadCategorical(const std::string& answers_path,
+                             const std::string& truth_path, int num_choices,
+                             CategoricalDataset* out);
+
+util::Status LoadNumeric(const std::string& answers_path,
+                         const std::string& truth_path, NumericDataset* out);
+
+// Writes `dataset` to answers/truth CSV files (truth file contains only the
+// labeled subset). Round-trips with the loaders above up to id renaming.
+util::Status SaveCategorical(const CategoricalDataset& dataset,
+                             const std::string& answers_path,
+                             const std::string& truth_path);
+
+util::Status SaveNumeric(const NumericDataset& dataset,
+                         const std::string& answers_path,
+                         const std::string& truth_path);
+
+}  // namespace crowdtruth::data
+
+#endif  // CROWDTRUTH_DATA_IO_H_

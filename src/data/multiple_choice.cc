@@ -1,0 +1,52 @@
+#include "data/multiple_choice.h"
+
+#include "util/logging.h"
+
+namespace crowdtruth::data {
+
+CategoricalDataset ExpandMultipleChoice(
+    int num_tasks, int num_workers, int num_choices,
+    const std::vector<MultipleChoiceAnswer>& answers,
+    const std::vector<std::vector<bool>>& truth) {
+  CROWDTRUTH_CHECK_GT(num_choices, 0);
+  CategoricalDatasetBuilder builder(num_tasks * num_choices, num_workers, 2);
+  builder.set_name("multiple_choice_expanded");
+  for (const MultipleChoiceAnswer& answer : answers) {
+    CROWDTRUTH_CHECK_GE(answer.task, 0);
+    CROWDTRUTH_CHECK_LT(answer.task, num_tasks);
+    CROWDTRUTH_CHECK_EQ(static_cast<int>(answer.selected.size()),
+                        num_choices);
+    for (int k = 0; k < num_choices; ++k) {
+      builder.AddAnswer(answer.task * num_choices + k, answer.worker,
+                        answer.selected[k] ? kSelected : kNotSelected);
+    }
+  }
+  if (!truth.empty()) {
+    CROWDTRUTH_CHECK_EQ(static_cast<int>(truth.size()), num_tasks);
+    for (int t = 0; t < num_tasks; ++t) {
+      CROWDTRUTH_CHECK_EQ(static_cast<int>(truth[t].size()), num_choices);
+      for (int k = 0; k < num_choices; ++k) {
+        builder.SetTruth(t * num_choices + k,
+                         truth[t][k] ? kSelected : kNotSelected);
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+std::vector<std::vector<bool>> FoldMultipleChoice(
+    const std::vector<LabelId>& expanded_labels, int num_tasks,
+    int num_choices) {
+  CROWDTRUTH_CHECK_EQ(static_cast<int>(expanded_labels.size()),
+                      num_tasks * num_choices);
+  std::vector<std::vector<bool>> selected(
+      num_tasks, std::vector<bool>(num_choices, false));
+  for (int t = 0; t < num_tasks; ++t) {
+    for (int k = 0; k < num_choices; ++k) {
+      selected[t][k] = expanded_labels[t * num_choices + k] == kSelected;
+    }
+  }
+  return selected;
+}
+
+}  // namespace crowdtruth::data

@@ -1,0 +1,45 @@
+// Multiple-choice task support (paper §2, citing [60, 38]): a
+// multiple-choice task — "select every tag that applies" — is transformed
+// into one decision-making task per (task, choice) pair, so that all the
+// decision-making methods apply directly. This module implements that
+// transformation and its inverse.
+#ifndef CROWDTRUTH_DATA_MULTIPLE_CHOICE_H_
+#define CROWDTRUTH_DATA_MULTIPLE_CHOICE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace crowdtruth::data {
+
+// One worker's answer to a multiple-choice task: the subset of choices the
+// worker selected. `selected` has one entry per choice.
+struct MultipleChoiceAnswer {
+  TaskId task;
+  WorkerId worker;
+  std::vector<bool> selected;
+};
+
+// In the expanded dataset, label 0 means "choice is selected / applies"
+// (the positive class) and label 1 means "not selected".
+inline constexpr LabelId kSelected = 0;
+inline constexpr LabelId kNotSelected = 1;
+
+// Expands a multiple-choice problem into num_tasks * num_choices binary
+// decision-making tasks. Expanded task id = task * num_choices + choice.
+// `truth` may be empty (no ground truth) or have one entry per task with
+// one flag per choice.
+CategoricalDataset ExpandMultipleChoice(
+    int num_tasks, int num_workers, int num_choices,
+    const std::vector<MultipleChoiceAnswer>& answers,
+    const std::vector<std::vector<bool>>& truth);
+
+// Folds per-binary-task labels (from any CategoricalMethod run on the
+// expanded dataset) back into per-task selected-choice sets.
+std::vector<std::vector<bool>> FoldMultipleChoice(
+    const std::vector<LabelId>& expanded_labels, int num_tasks,
+    int num_choices);
+
+}  // namespace crowdtruth::data
+
+#endif  // CROWDTRUTH_DATA_MULTIPLE_CHOICE_H_

@@ -1,0 +1,124 @@
+#include "experiments/hidden_test.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdtruth::experiments {
+namespace {
+
+// Indices of labeled tasks, for golden sampling.
+template <typename Dataset>
+std::vector<int> LabeledTasks(const Dataset& dataset) {
+  std::vector<int> labeled;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (dataset.HasTruth(t)) labeled.push_back(t);
+  }
+  return labeled;
+}
+
+}  // namespace
+
+GoldenSelection SelectGolden(const data::CategoricalDataset& dataset,
+                             double fraction, util::Rng& rng) {
+  CROWDTRUTH_CHECK_GE(fraction, 0.0);
+  CROWDTRUTH_CHECK_LE(fraction, 1.0);
+  GoldenSelection selection;
+  selection.golden_labels.assign(dataset.num_tasks(), data::kNoTruth);
+  selection.evaluate.assign(dataset.num_tasks(), false);
+  const std::vector<int> labeled = LabeledTasks(dataset);
+  for (int t : labeled) selection.evaluate[t] = true;
+  const int count = static_cast<int>(std::lround(fraction * labeled.size()));
+  for (int index : rng.SampleWithoutReplacement(
+           static_cast<int>(labeled.size()), count)) {
+    const int t = labeled[index];
+    selection.golden_labels[t] = dataset.Truth(t);
+    selection.evaluate[t] = false;
+  }
+  return selection;
+}
+
+GoldenSelection SelectGolden(const data::NumericDataset& dataset,
+                             double fraction, util::Rng& rng) {
+  CROWDTRUTH_CHECK_GE(fraction, 0.0);
+  CROWDTRUTH_CHECK_LE(fraction, 1.0);
+  GoldenSelection selection;
+  selection.golden_values.assign(dataset.num_tasks(),
+                                 core::kNoGoldenValue);
+  selection.evaluate.assign(dataset.num_tasks(), false);
+  const std::vector<int> labeled = LabeledTasks(dataset);
+  for (int t : labeled) selection.evaluate[t] = true;
+  const int count = static_cast<int>(std::lround(fraction * labeled.size()));
+  for (int index : rng.SampleWithoutReplacement(
+           static_cast<int>(labeled.size()), count)) {
+    const int t = labeled[index];
+    selection.golden_values[t] = dataset.Truth(t);
+    selection.evaluate[t] = false;
+  }
+  return selection;
+}
+
+double MaskedAccuracy(const data::CategoricalDataset& dataset,
+                      const std::vector<data::LabelId>& predicted,
+                      const std::vector<bool>& evaluate) {
+  int counted = 0;
+  int correct = 0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (!evaluate[t] || !dataset.HasTruth(t)) continue;
+    ++counted;
+    if (predicted[t] == dataset.Truth(t)) ++correct;
+  }
+  return counted == 0 ? 0.0 : static_cast<double>(correct) / counted;
+}
+
+double MaskedF1(const data::CategoricalDataset& dataset,
+                const std::vector<data::LabelId>& predicted,
+                const std::vector<bool>& evaluate,
+                data::LabelId positive_label) {
+  int true_positive = 0;
+  int predicted_positive = 0;
+  int actual_positive = 0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (!evaluate[t] || !dataset.HasTruth(t)) continue;
+    const bool truth_pos = dataset.Truth(t) == positive_label;
+    const bool pred_pos = predicted[t] == positive_label;
+    if (truth_pos) ++actual_positive;
+    if (pred_pos) ++predicted_positive;
+    if (truth_pos && pred_pos) ++true_positive;
+  }
+  if (predicted_positive == 0 || actual_positive == 0) return 0.0;
+  const double precision =
+      static_cast<double>(true_positive) / predicted_positive;
+  const double recall = static_cast<double>(true_positive) / actual_positive;
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double MaskedMae(const data::NumericDataset& dataset,
+                 const std::vector<double>& predicted,
+                 const std::vector<bool>& evaluate) {
+  int counted = 0;
+  double total = 0.0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (!evaluate[t] || !dataset.HasTruth(t)) continue;
+    ++counted;
+    total += std::fabs(dataset.Truth(t) - predicted[t]);
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+double MaskedRmse(const data::NumericDataset& dataset,
+                  const std::vector<double>& predicted,
+                  const std::vector<bool>& evaluate) {
+  int counted = 0;
+  double total = 0.0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (!evaluate[t] || !dataset.HasTruth(t)) continue;
+    ++counted;
+    const double err = dataset.Truth(t) - predicted[t];
+    total += err * err;
+  }
+  return counted == 0 ? 0.0 : std::sqrt(total / counted);
+}
+
+}  // namespace crowdtruth::experiments

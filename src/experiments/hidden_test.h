@@ -1,0 +1,54 @@
+// Hidden-test (golden task) experiment support (paper §6.3.3).
+//
+// SelectGolden picks p% of the *labeled* tasks as golden tasks T'. Capable
+// methods receive their truth through InferenceOptions (golden_labels /
+// golden_values); quality is then evaluated on the remaining labeled tasks
+// T - T' via the evaluation mask.
+#ifndef CROWDTRUTH_EXPERIMENTS_HIDDEN_TEST_H_
+#define CROWDTRUTH_EXPERIMENTS_HIDDEN_TEST_H_
+
+#include <vector>
+
+#include "core/inference.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace crowdtruth::experiments {
+
+struct GoldenSelection {
+  // One entry per task; data::kNoTruth / NaN for non-golden tasks. Feed
+  // into InferenceOptions::golden_labels / golden_values.
+  std::vector<data::LabelId> golden_labels;
+  std::vector<double> golden_values;
+  // evaluate[t] is true for labeled, non-golden tasks — the evaluation set.
+  std::vector<bool> evaluate;
+};
+
+GoldenSelection SelectGolden(const data::CategoricalDataset& dataset,
+                             double fraction, util::Rng& rng);
+
+GoldenSelection SelectGolden(const data::NumericDataset& dataset,
+                             double fraction, util::Rng& rng);
+
+// Metrics restricted to an evaluation mask (labeled tasks where
+// evaluate[t] is true).
+double MaskedAccuracy(const data::CategoricalDataset& dataset,
+                      const std::vector<data::LabelId>& predicted,
+                      const std::vector<bool>& evaluate);
+
+double MaskedF1(const data::CategoricalDataset& dataset,
+                const std::vector<data::LabelId>& predicted,
+                const std::vector<bool>& evaluate,
+                data::LabelId positive_label);
+
+double MaskedMae(const data::NumericDataset& dataset,
+                 const std::vector<double>& predicted,
+                 const std::vector<bool>& evaluate);
+
+double MaskedRmse(const data::NumericDataset& dataset,
+                  const std::vector<double>& predicted,
+                  const std::vector<bool>& evaluate);
+
+}  // namespace crowdtruth::experiments
+
+#endif  // CROWDTRUTH_EXPERIMENTS_HIDDEN_TEST_H_

@@ -1,0 +1,56 @@
+#include "experiments/qualification.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdtruth::experiments {
+
+std::vector<double> BootstrapQualificationAccuracy(
+    const data::CategoricalDataset& dataset, int num_golden, util::Rng& rng,
+    double fallback_accuracy) {
+  CROWDTRUTH_CHECK_GT(num_golden, 0);
+  std::vector<double> accuracy(dataset.num_workers(), fallback_accuracy);
+  std::vector<const data::WorkerVote*> labeled;
+  for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    labeled.clear();
+    for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+      if (dataset.HasTruth(vote.task)) labeled.push_back(&vote);
+    }
+    if (labeled.empty()) continue;
+    int correct = 0;
+    for (int i = 0; i < num_golden; ++i) {
+      const data::WorkerVote* vote =
+          labeled[rng.UniformInt(0, static_cast<int>(labeled.size()) - 1)];
+      if (vote->label == dataset.Truth(vote->task)) ++correct;
+    }
+    accuracy[w] = static_cast<double>(correct) / num_golden;
+  }
+  return accuracy;
+}
+
+std::vector<double> BootstrapQualificationRmse(
+    const data::NumericDataset& dataset, int num_golden, util::Rng& rng,
+    double fallback_rmse) {
+  CROWDTRUTH_CHECK_GT(num_golden, 0);
+  std::vector<double> rmse(dataset.num_workers(), fallback_rmse);
+  std::vector<const data::NumericWorkerVote*> labeled;
+  for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    labeled.clear();
+    for (const data::NumericWorkerVote& vote : dataset.AnswersByWorker(w)) {
+      if (dataset.HasTruth(vote.task)) labeled.push_back(&vote);
+    }
+    if (labeled.empty()) continue;
+    double sum_sq = 0.0;
+    for (int i = 0; i < num_golden; ++i) {
+      const data::NumericWorkerVote* vote =
+          labeled[rng.UniformInt(0, static_cast<int>(labeled.size()) - 1)];
+      const double err = vote->value - dataset.Truth(vote->task);
+      sum_sq += err * err;
+    }
+    rmse[w] = std::sqrt(sum_sq / num_golden);
+  }
+  return rmse;
+}
+
+}  // namespace crowdtruth::experiments

@@ -1,0 +1,33 @@
+// Qualification-test simulation (paper §6.3.2).
+//
+// For every worker, bootstrap-sample `num_golden` of the worker's answers
+// on labeled tasks (sampling with replacement uncovers the worker's true
+// answering distribution even for workers with few answers) and score them
+// against the ground truth. The resulting per-worker estimate initializes
+// Algorithm 1's line 1 via InferenceOptions::initial_worker_quality:
+// accuracy in [0,1] for categorical datasets, RMSE for numeric datasets.
+#ifndef CROWDTRUTH_EXPERIMENTS_QUALIFICATION_H_
+#define CROWDTRUTH_EXPERIMENTS_QUALIFICATION_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace crowdtruth::experiments {
+
+// Estimated accuracy per worker. Workers without any labeled answers get
+// `fallback_accuracy` (an uninformative estimate).
+std::vector<double> BootstrapQualificationAccuracy(
+    const data::CategoricalDataset& dataset, int num_golden, util::Rng& rng,
+    double fallback_accuracy = 0.7);
+
+// Estimated RMSE per worker; workers without labeled answers get
+// `fallback_rmse`.
+std::vector<double> BootstrapQualificationRmse(
+    const data::NumericDataset& dataset, int num_golden, util::Rng& rng,
+    double fallback_rmse = 25.0);
+
+}  // namespace crowdtruth::experiments
+
+#endif  // CROWDTRUTH_EXPERIMENTS_QUALIFICATION_H_

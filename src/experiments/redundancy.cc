@@ -1,0 +1,46 @@
+#include "experiments/redundancy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace crowdtruth::experiments {
+
+data::CategoricalDataset SubsampleRedundancy(
+    const data::CategoricalDataset& dataset, int redundancy,
+    util::Rng& rng) {
+  CROWDTRUTH_CHECK_GT(redundancy, 0);
+  data::CategoricalDatasetBuilder builder(
+      dataset.num_tasks(), dataset.num_workers(), dataset.num_choices());
+  builder.set_name(dataset.name());
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    const auto& votes = dataset.AnswersForTask(t);
+    const int keep = std::min<int>(redundancy, votes.size());
+    for (int index :
+         rng.SampleWithoutReplacement(static_cast<int>(votes.size()), keep)) {
+      builder.AddAnswer(t, votes[index].worker, votes[index].label);
+    }
+    if (dataset.HasTruth(t)) builder.SetTruth(t, dataset.Truth(t));
+  }
+  return std::move(builder).Build();
+}
+
+data::NumericDataset SubsampleRedundancy(const data::NumericDataset& dataset,
+                                         int redundancy, util::Rng& rng) {
+  CROWDTRUTH_CHECK_GT(redundancy, 0);
+  data::NumericDatasetBuilder builder(dataset.num_tasks(),
+                                      dataset.num_workers());
+  builder.set_name(dataset.name());
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    const auto& votes = dataset.AnswersForTask(t);
+    const int keep = std::min<int>(redundancy, votes.size());
+    for (int index :
+         rng.SampleWithoutReplacement(static_cast<int>(votes.size()), keep)) {
+      builder.AddAnswer(t, votes[index].worker, votes[index].value);
+    }
+    if (dataset.HasTruth(t)) builder.SetTruth(t, dataset.Truth(t));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace crowdtruth::experiments

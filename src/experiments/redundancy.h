@@ -1,0 +1,21 @@
+// Redundancy subsampling (paper §6.3.1): build a dataset that keeps, for
+// every task, r answers sampled uniformly without replacement from the
+// task's collected answers (all answers are kept when the task has fewer
+// than r). Ground truth labels are carried over unchanged.
+#ifndef CROWDTRUTH_EXPERIMENTS_REDUNDANCY_H_
+#define CROWDTRUTH_EXPERIMENTS_REDUNDANCY_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace crowdtruth::experiments {
+
+data::CategoricalDataset SubsampleRedundancy(
+    const data::CategoricalDataset& dataset, int redundancy, util::Rng& rng);
+
+data::NumericDataset SubsampleRedundancy(const data::NumericDataset& dataset,
+                                         int redundancy, util::Rng& rng);
+
+}  // namespace crowdtruth::experiments
+
+#endif  // CROWDTRUTH_EXPERIMENTS_REDUNDANCY_H_

@@ -1,0 +1,70 @@
+#include "experiments/redundancy_planner.h"
+
+#include <algorithm>
+
+#include "core/registry.h"
+#include "experiments/redundancy.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace crowdtruth::experiments {
+
+RedundancyPlan PlanRedundancy(const std::string& method_name,
+                              const data::CategoricalDataset& dataset,
+                              const RedundancyPlannerOptions& options) {
+  CROWDTRUTH_CHECK_GE(options.max_redundancy, 1);
+  CROWDTRUTH_CHECK_GE(options.repeats, 1);
+  const auto method = core::MakeCategoricalMethod(method_name);
+  CROWDTRUTH_CHECK(method != nullptr) << method_name;
+
+  // Reference labels from the complete data.
+  const core::CategoricalResult reference =
+      method->Infer(dataset, options.inference);
+
+  const int max_r = std::min<int>(
+      options.max_redundancy,
+      static_cast<int>(std::ceil(dataset.Redundancy())));
+
+  RedundancyPlan plan;
+  util::Rng rng(options.seed);
+  for (int r = 1; r <= max_r; ++r) {
+    double agreement_total = 0.0;
+    for (int trial = 0; trial < options.repeats; ++trial) {
+      util::Rng trial_rng = rng.Fork();
+      const data::CategoricalDataset sample =
+          SubsampleRedundancy(dataset, r, trial_rng);
+      core::InferenceOptions inference = options.inference;
+      inference.seed = trial_rng.engine()();
+      const core::CategoricalResult result =
+          method->Infer(sample, inference);
+      int agree = 0;
+      for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+        if (result.labels[t] == reference.labels[t]) ++agree;
+      }
+      agreement_total +=
+          static_cast<double>(agree) / std::max(dataset.num_tasks(), 1);
+    }
+    plan.stability.push_back(agreement_total / options.repeats);
+  }
+
+  // Recommend the smallest redundancy from which no LATER redundancy
+  // improves stability by at least min_gain. Comparing against the suffix
+  // maximum (rather than the next point) is robust to non-monotone dips —
+  // e.g. even redundancies suffer tie-break noise on binary tasks.
+  plan.recommended_redundancy = max_r;
+  std::vector<double> suffix_max(plan.stability.size(), 0.0);
+  double running_max = 0.0;
+  for (int i = static_cast<int>(plan.stability.size()) - 1; i >= 0; --i) {
+    running_max = std::max(running_max, plan.stability[i]);
+    suffix_max[i] = running_max;
+  }
+  for (size_t i = 0; i < plan.stability.size(); ++i) {
+    if (suffix_max[i] - plan.stability[i] < options.min_gain) {
+      plan.recommended_redundancy = static_cast<int>(i + 1);
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace crowdtruth::experiments

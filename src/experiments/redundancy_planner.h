@@ -1,0 +1,46 @@
+// Redundancy planning — the paper's future direction §7(3): "how to
+// estimate the data redundancy with stable quality?"
+//
+// Without ground truth, quality at reduced redundancy is estimated by
+// *stability*: how often a method's inference from an r-answer subsample
+// agrees with its inference from the complete data. Stability rises with r
+// exactly as accuracy does (Figures 4-6) and plateaus at the same point,
+// so the knee of the stability curve estimates the redundancy after which
+// more answers stop paying.
+#ifndef CROWDTRUTH_EXPERIMENTS_REDUNDANCY_PLANNER_H_
+#define CROWDTRUTH_EXPERIMENTS_REDUNDANCY_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/inference.h"
+#include "data/dataset.h"
+
+namespace crowdtruth::experiments {
+
+struct RedundancyPlan {
+  // stability[i] = mean agreement between subsample-inference at
+  // redundancy (i + 1) and full-data inference, over `repeats` trials.
+  std::vector<double> stability;
+  // Smallest redundancy whose marginal stability gain falls below
+  // `min_gain` (the full redundancy if the curve never flattens).
+  int recommended_redundancy = 1;
+};
+
+struct RedundancyPlannerOptions {
+  // Redundancies 1..max_redundancy are probed.
+  int max_redundancy = 10;
+  int repeats = 5;
+  // Marginal-stability threshold for "quality has stabilized".
+  double min_gain = 0.005;
+  uint64_t seed = 42;
+  core::InferenceOptions inference;
+};
+
+RedundancyPlan PlanRedundancy(const std::string& method_name,
+                              const data::CategoricalDataset& dataset,
+                              const RedundancyPlannerOptions& options);
+
+}  // namespace crowdtruth::experiments
+
+#endif  // CROWDTRUTH_EXPERIMENTS_REDUNDANCY_PLANNER_H_

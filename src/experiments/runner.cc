@@ -1,0 +1,70 @@
+#include "experiments/runner.h"
+
+#include <cmath>
+
+#include "experiments/hidden_test.h"
+#include "metrics/classification.h"
+#include "metrics/numeric.h"
+#include "util/stopwatch.h"
+
+namespace crowdtruth::experiments {
+
+CategoricalEval EvaluateCategorical(const core::CategoricalMethod& method,
+                                    const data::CategoricalDataset& dataset,
+                                    const core::InferenceOptions& options,
+                                    data::LabelId positive_label,
+                                    const std::vector<bool>* evaluate) {
+  util::Stopwatch stopwatch;
+  const core::CategoricalResult result = method.Infer(dataset, options);
+  CategoricalEval eval;
+  eval.seconds = stopwatch.ElapsedSeconds();
+  eval.iterations = result.iterations;
+  eval.converged = result.converged;
+  if (evaluate != nullptr) {
+    eval.accuracy = MaskedAccuracy(dataset, result.labels, *evaluate);
+    eval.f1 = MaskedF1(dataset, result.labels, *evaluate, positive_label);
+  } else {
+    eval.accuracy = metrics::Accuracy(dataset, result.labels);
+    eval.f1 = metrics::F1Score(dataset, result.labels, positive_label).f1;
+  }
+  return eval;
+}
+
+NumericEval EvaluateNumeric(const core::NumericMethod& method,
+                            const data::NumericDataset& dataset,
+                            const core::InferenceOptions& options,
+                            const std::vector<bool>* evaluate) {
+  util::Stopwatch stopwatch;
+  const core::NumericResult result = method.Infer(dataset, options);
+  NumericEval eval;
+  eval.seconds = stopwatch.ElapsedSeconds();
+  eval.iterations = result.iterations;
+  eval.converged = result.converged;
+  if (evaluate != nullptr) {
+    eval.mae = MaskedMae(dataset, result.values, *evaluate);
+    eval.rmse = MaskedRmse(dataset, result.values, *evaluate);
+  } else {
+    eval.mae = metrics::MeanAbsoluteError(dataset, result.values);
+    eval.rmse = metrics::RootMeanSquaredError(dataset, result.values);
+  }
+  return eval;
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary summary;
+  if (values.empty()) return summary;
+  double total = 0.0;
+  for (double v : values) total += v;
+  summary.mean = total / values.size();
+  double sum_sq = 0.0;
+  for (double v : values) {
+    const double d = v - summary.mean;
+    sum_sq += d * d;
+  }
+  summary.stddev = values.size() > 1
+                       ? std::sqrt(sum_sq / (values.size() - 1))
+                       : 0.0;
+  return summary;
+}
+
+}  // namespace crowdtruth::experiments

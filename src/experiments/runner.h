@@ -1,0 +1,53 @@
+// Single-run evaluation and repeated-trial aggregation: the glue between
+// methods, datasets and metrics used by every bench binary.
+#ifndef CROWDTRUTH_EXPERIMENTS_RUNNER_H_
+#define CROWDTRUTH_EXPERIMENTS_RUNNER_H_
+
+#include <vector>
+
+#include "core/inference.h"
+#include "data/dataset.h"
+
+namespace crowdtruth::experiments {
+
+struct CategoricalEval {
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  double seconds = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Runs `method` and scores it against the dataset's ground truth. When
+// `evaluate` is non-null only the masked labeled tasks count (hidden-test
+// evaluation on T - T'). `positive_label` feeds the F1 computation.
+CategoricalEval EvaluateCategorical(const core::CategoricalMethod& method,
+                                    const data::CategoricalDataset& dataset,
+                                    const core::InferenceOptions& options,
+                                    data::LabelId positive_label,
+                                    const std::vector<bool>* evaluate =
+                                        nullptr);
+
+struct NumericEval {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double seconds = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+NumericEval EvaluateNumeric(const core::NumericMethod& method,
+                            const data::NumericDataset& dataset,
+                            const core::InferenceOptions& options,
+                            const std::vector<bool>* evaluate = nullptr);
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Summary Summarize(const std::vector<double>& values);
+
+}  // namespace crowdtruth::experiments
+
+#endif  // CROWDTRUTH_EXPERIMENTS_RUNNER_H_

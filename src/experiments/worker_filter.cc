@@ -1,0 +1,63 @@
+#include "experiments/worker_filter.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace crowdtruth::experiments {
+
+data::CategoricalDataset FilterWorkers(
+    const data::CategoricalDataset& dataset, const std::vector<bool>& keep) {
+  CROWDTRUTH_CHECK_EQ(static_cast<int>(keep.size()), dataset.num_workers());
+  data::CategoricalDatasetBuilder builder(
+      dataset.num_tasks(), dataset.num_workers(), dataset.num_choices());
+  builder.set_name(dataset.name() + "_filtered");
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+      if (keep[vote.worker]) builder.AddAnswer(t, vote.worker, vote.label);
+    }
+    if (dataset.HasTruth(t)) builder.SetTruth(t, dataset.Truth(t));
+  }
+  return std::move(builder).Build();
+}
+
+TwoPassResult TwoPassInference(const core::CategoricalMethod& method,
+                               const data::CategoricalDataset& dataset,
+                               const core::InferenceOptions& options,
+                               double drop_fraction) {
+  CROWDTRUTH_CHECK_GE(drop_fraction, 0.0);
+  CROWDTRUTH_CHECK_LT(drop_fraction, 1.0);
+  TwoPassResult result;
+  result.first_pass = method.Infer(dataset, options);
+
+  // Quality quantile among workers that actually answered something.
+  std::vector<std::pair<double, int>> active;
+  for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    if (!dataset.AnswersByWorker(w).empty()) {
+      active.push_back({result.first_pass.worker_quality[w], w});
+    }
+  }
+  std::sort(active.begin(), active.end());
+  const int drop_count =
+      static_cast<int>(drop_fraction * static_cast<double>(active.size()));
+
+  result.kept.assign(dataset.num_workers(), true);
+  for (int i = 0; i < drop_count; ++i) {
+    result.kept[active[i].second] = false;
+  }
+
+  const data::CategoricalDataset filtered =
+      FilterWorkers(dataset, result.kept);
+  result.second_pass = method.Infer(filtered, options);
+
+  result.labels = result.second_pass.labels;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (filtered.AnswersForTask(t).empty() &&
+        !dataset.AnswersForTask(t).empty()) {
+      result.labels[t] = result.first_pass.labels[t];
+    }
+  }
+  return result;
+}
+
+}  // namespace crowdtruth::experiments

@@ -1,0 +1,44 @@
+// Spammer filtering — the standard two-pass quality-control pipeline built
+// on top of truth inference: run a method once, drop the workers it rates
+// worst, and re-run on the cleaned answer set. The paper's data analysis
+// (§6.2.3, "it is necessary to identify the trustworthy workers")
+// motivates exactly this use of the inferred worker qualities.
+#ifndef CROWDTRUTH_EXPERIMENTS_WORKER_FILTER_H_
+#define CROWDTRUTH_EXPERIMENTS_WORKER_FILTER_H_
+
+#include <vector>
+
+#include "core/inference.h"
+#include "data/dataset.h"
+
+namespace crowdtruth::experiments {
+
+// Returns a copy of `dataset` containing only the answers of workers with
+// keep[w] == true. Task ids, worker ids, and truth labels are preserved
+// (removed workers simply have no answers).
+data::CategoricalDataset FilterWorkers(const data::CategoricalDataset& dataset,
+                                       const std::vector<bool>& keep);
+
+struct TwoPassResult {
+  // First-pass result on the full data (provides worker qualities).
+  core::CategoricalResult first_pass;
+  // Second-pass result on the filtered data.
+  core::CategoricalResult second_pass;
+  // keep[w]: whether worker w survived the filter.
+  std::vector<bool> kept;
+  // Final labels: second-pass labels, falling back to the first pass for
+  // tasks that lost all their answers.
+  std::vector<data::LabelId> labels;
+};
+
+// Runs `method` twice, dropping the `drop_fraction` of answer-giving
+// workers with the lowest first-pass quality in between (drop_fraction in
+// [0, 1)). Workers without answers are ignored by the quantile.
+TwoPassResult TwoPassInference(const core::CategoricalMethod& method,
+                               const data::CategoricalDataset& dataset,
+                               const core::InferenceOptions& options,
+                               double drop_fraction);
+
+}  // namespace crowdtruth::experiments
+
+#endif  // CROWDTRUTH_EXPERIMENTS_WORKER_FILTER_H_

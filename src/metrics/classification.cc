@@ -1,0 +1,51 @@
+#include "metrics/classification.h"
+
+#include "util/logging.h"
+
+namespace crowdtruth::metrics {
+
+double Accuracy(const data::CategoricalDataset& dataset,
+                const std::vector<data::LabelId>& predicted) {
+  CROWDTRUTH_CHECK_EQ(static_cast<int>(predicted.size()),
+                      dataset.num_tasks());
+  int labeled = 0;
+  int correct = 0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (!dataset.HasTruth(t)) continue;
+    ++labeled;
+    if (predicted[t] == dataset.Truth(t)) ++correct;
+  }
+  return labeled == 0 ? 0.0 : static_cast<double>(correct) / labeled;
+}
+
+PrecisionRecallF1 F1Score(const data::CategoricalDataset& dataset,
+                          const std::vector<data::LabelId>& predicted,
+                          data::LabelId positive_label) {
+  CROWDTRUTH_CHECK_EQ(static_cast<int>(predicted.size()),
+                      dataset.num_tasks());
+  int true_positive = 0;
+  int predicted_positive = 0;
+  int actual_positive = 0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (!dataset.HasTruth(t)) continue;
+    const bool truth_pos = dataset.Truth(t) == positive_label;
+    const bool pred_pos = predicted[t] == positive_label;
+    if (truth_pos) ++actual_positive;
+    if (pred_pos) ++predicted_positive;
+    if (truth_pos && pred_pos) ++true_positive;
+  }
+  PrecisionRecallF1 result;
+  if (predicted_positive > 0) {
+    result.precision = static_cast<double>(true_positive) / predicted_positive;
+  }
+  if (actual_positive > 0) {
+    result.recall = static_cast<double>(true_positive) / actual_positive;
+  }
+  const double denom = result.precision + result.recall;
+  if (denom > 0) {
+    result.f1 = 2.0 * result.precision * result.recall / denom;
+  }
+  return result;
+}
+
+}  // namespace crowdtruth::metrics

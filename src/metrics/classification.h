@@ -1,0 +1,34 @@
+// Quality metrics for decision-making and single-choice tasks (paper
+// §6.1.2): Accuracy (Eq. 3) and Precision/Recall/F1-score (Eq. 4).
+// All metrics are computed over the tasks that have ground truth.
+#ifndef CROWDTRUTH_METRICS_CLASSIFICATION_H_
+#define CROWDTRUTH_METRICS_CLASSIFICATION_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace crowdtruth::metrics {
+
+// Fraction of labeled tasks whose inferred truth matches the ground truth.
+// `predicted` must have one entry per task; entries for unlabeled tasks are
+// ignored. Returns 0 if no task is labeled.
+double Accuracy(const data::CategoricalDataset& dataset,
+                const std::vector<data::LabelId>& predicted);
+
+struct PrecisionRecallF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+// Binary-style precision/recall/F1 treating `positive_label` as the positive
+// class (the paper uses T, label 0 by our convention, for entity
+// resolution). Zero denominators yield zero components.
+PrecisionRecallF1 F1Score(const data::CategoricalDataset& dataset,
+                          const std::vector<data::LabelId>& predicted,
+                          data::LabelId positive_label);
+
+}  // namespace crowdtruth::metrics
+
+#endif  // CROWDTRUTH_METRICS_CLASSIFICATION_H_

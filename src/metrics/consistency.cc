@@ -1,0 +1,60 @@
+#include "metrics/consistency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace crowdtruth::metrics {
+
+double CategoricalConsistency(const data::CategoricalDataset& dataset) {
+  const int l = dataset.num_choices();
+  const double log_l = std::log(static_cast<double>(l));
+  double total_entropy = 0.0;
+  int counted_tasks = 0;
+  std::vector<int> counts(l);
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    const auto& votes = dataset.AnswersForTask(t);
+    if (votes.empty()) continue;
+    std::fill(counts.begin(), counts.end(), 0);
+    for (const data::TaskVote& vote : votes) ++counts[vote.label];
+    const double n = static_cast<double>(votes.size());
+    double entropy = 0.0;
+    for (int j = 0; j < l; ++j) {
+      if (counts[j] == 0) continue;
+      const double p = counts[j] / n;
+      entropy -= p * std::log(p) / log_l;
+    }
+    total_entropy += entropy;
+    ++counted_tasks;
+  }
+  return counted_tasks == 0 ? 0.0 : total_entropy / counted_tasks;
+}
+
+double NumericConsistency(const data::NumericDataset& dataset) {
+  double total_deviation = 0.0;
+  int counted_tasks = 0;
+  std::vector<double> values;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    const auto& votes = dataset.AnswersForTask(t);
+    if (votes.empty()) continue;
+    values.clear();
+    for (const data::NumericTaskVote& vote : votes) {
+      values.push_back(vote.value);
+    }
+    std::sort(values.begin(), values.end());
+    const size_t mid = values.size() / 2;
+    const double median = values.size() % 2 == 1
+                              ? values[mid]
+                              : 0.5 * (values[mid - 1] + values[mid]);
+    double sum_sq = 0.0;
+    for (double v : values) {
+      const double d = v - median;
+      sum_sq += d * d;
+    }
+    total_deviation += std::sqrt(sum_sq / values.size());
+    ++counted_tasks;
+  }
+  return counted_tasks == 0 ? 0.0 : total_deviation / counted_tasks;
+}
+
+}  // namespace crowdtruth::metrics

@@ -1,0 +1,20 @@
+// Answer-consistency statistics (paper §6.2.1).
+//
+// Categorical: C = average over tasks of the entropy (base l) of the
+// empirical answer distribution; C in [0, 1], lower = more consistent.
+// Numeric: C = average over tasks of the root-mean-square deviation of
+// answers from the task's median answer; C >= 0, lower = more consistent.
+#ifndef CROWDTRUTH_METRICS_CONSISTENCY_H_
+#define CROWDTRUTH_METRICS_CONSISTENCY_H_
+
+#include "data/dataset.h"
+
+namespace crowdtruth::metrics {
+
+double CategoricalConsistency(const data::CategoricalDataset& dataset);
+
+double NumericConsistency(const data::NumericDataset& dataset);
+
+}  // namespace crowdtruth::metrics
+
+#endif  // CROWDTRUTH_METRICS_CONSISTENCY_H_

@@ -1,0 +1,38 @@
+#include "metrics/numeric.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdtruth::metrics {
+
+double MeanAbsoluteError(const data::NumericDataset& dataset,
+                         const std::vector<double>& predicted) {
+  CROWDTRUTH_CHECK_EQ(static_cast<int>(predicted.size()),
+                      dataset.num_tasks());
+  int labeled = 0;
+  double total = 0.0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (!dataset.HasTruth(t)) continue;
+    ++labeled;
+    total += std::fabs(dataset.Truth(t) - predicted[t]);
+  }
+  return labeled == 0 ? 0.0 : total / labeled;
+}
+
+double RootMeanSquaredError(const data::NumericDataset& dataset,
+                            const std::vector<double>& predicted) {
+  CROWDTRUTH_CHECK_EQ(static_cast<int>(predicted.size()),
+                      dataset.num_tasks());
+  int labeled = 0;
+  double total = 0.0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (!dataset.HasTruth(t)) continue;
+    ++labeled;
+    const double err = dataset.Truth(t) - predicted[t];
+    total += err * err;
+  }
+  return labeled == 0 ? 0.0 : std::sqrt(total / labeled);
+}
+
+}  // namespace crowdtruth::metrics

@@ -1,0 +1,20 @@
+// Error metrics for numeric tasks (paper Eq. 5): MAE and RMSE over the
+// labeled subset. Lower is better.
+#ifndef CROWDTRUTH_METRICS_NUMERIC_H_
+#define CROWDTRUTH_METRICS_NUMERIC_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace crowdtruth::metrics {
+
+double MeanAbsoluteError(const data::NumericDataset& dataset,
+                         const std::vector<double>& predicted);
+
+double RootMeanSquaredError(const data::NumericDataset& dataset,
+                            const std::vector<double>& predicted);
+
+}  // namespace crowdtruth::metrics
+
+#endif  // CROWDTRUTH_METRICS_NUMERIC_H_

@@ -1,0 +1,99 @@
+#include "metrics/worker_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace crowdtruth::metrics {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+std::vector<int> WorkerRedundancy(const data::CategoricalDataset& dataset) {
+  std::vector<int> redundancy(dataset.num_workers());
+  for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    redundancy[w] = static_cast<int>(dataset.AnswersByWorker(w).size());
+  }
+  return redundancy;
+}
+
+std::vector<int> WorkerRedundancy(const data::NumericDataset& dataset) {
+  std::vector<int> redundancy(dataset.num_workers());
+  for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    redundancy[w] = static_cast<int>(dataset.AnswersByWorker(w).size());
+  }
+  return redundancy;
+}
+
+std::vector<double> WorkerAccuracy(const data::CategoricalDataset& dataset) {
+  std::vector<double> accuracy(dataset.num_workers(), kNan);
+  for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    int labeled = 0;
+    int correct = 0;
+    for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+      if (!dataset.HasTruth(vote.task)) continue;
+      ++labeled;
+      if (vote.label == dataset.Truth(vote.task)) ++correct;
+    }
+    if (labeled > 0) accuracy[w] = static_cast<double>(correct) / labeled;
+  }
+  return accuracy;
+}
+
+std::vector<double> WorkerRmse(const data::NumericDataset& dataset) {
+  std::vector<double> rmse(dataset.num_workers(), kNan);
+  for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    int labeled = 0;
+    double sum_sq = 0.0;
+    for (const data::NumericWorkerVote& vote : dataset.AnswersByWorker(w)) {
+      if (!dataset.HasTruth(vote.task)) continue;
+      ++labeled;
+      const double err = vote.value - dataset.Truth(vote.task);
+      sum_sq += err * err;
+    }
+    if (labeled > 0) rmse[w] = std::sqrt(sum_sq / labeled);
+  }
+  return rmse;
+}
+
+double FiniteMean(const std::vector<double>& values) {
+  int count = 0;
+  double total = 0.0;
+  for (double v : values) {
+    if (std::isfinite(v)) {
+      total += v;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / count;
+}
+
+Histogram BucketValues(const std::vector<double>& values, double lo,
+                       double hi, int num_buckets) {
+  CROWDTRUTH_CHECK_GT(num_buckets, 0);
+  CROWDTRUTH_CHECK_LT(lo, hi);
+  Histogram histogram;
+  histogram.counts.assign(num_buckets, 0.0);
+  const double width = (hi - lo) / num_buckets;
+  for (int b = 0; b < num_buckets; ++b) {
+    std::ostringstream label;
+    label.precision(3);
+    label << "[" << lo + b * width << "," << lo + (b + 1) * width
+          << (b + 1 == num_buckets ? "]" : ")");
+    histogram.labels.push_back(label.str());
+  }
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    int bucket = static_cast<int>(std::floor((v - lo) / width));
+    bucket = std::clamp(bucket, 0, num_buckets - 1);
+    histogram.counts[bucket] += 1.0;
+  }
+  return histogram;
+}
+
+}  // namespace crowdtruth::metrics

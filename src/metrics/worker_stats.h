@@ -1,0 +1,45 @@
+// Per-worker statistics backing the paper's data-quality analysis:
+//   * redundancy — number of tasks each worker answered (Figure 2);
+//   * accuracy — fraction of a worker's answers on labeled tasks matching
+//     the truth (Figures 3a-d);
+//   * RMSE — a numeric worker's root-mean-square error on labeled tasks
+//     (Figure 3e);
+// plus a fixed-width bucketing helper used to draw the histograms.
+#ifndef CROWDTRUTH_METRICS_WORKER_STATS_H_
+#define CROWDTRUTH_METRICS_WORKER_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace crowdtruth::metrics {
+
+// worker_redundancy[w] = |T^w|.
+std::vector<int> WorkerRedundancy(const data::CategoricalDataset& dataset);
+std::vector<int> WorkerRedundancy(const data::NumericDataset& dataset);
+
+// Accuracy of each worker against the labeled subset. Workers with no
+// labeled answers get NaN (and are skipped by the histogram helpers).
+std::vector<double> WorkerAccuracy(const data::CategoricalDataset& dataset);
+
+// RMSE of each numeric worker against the labeled subset; NaN when a worker
+// has no labeled answers.
+std::vector<double> WorkerRmse(const data::NumericDataset& dataset);
+
+// Mean of the finite entries (e.g. average worker accuracy, §6.2.3).
+double FiniteMean(const std::vector<double>& values);
+
+struct Histogram {
+  std::vector<std::string> labels;  // e.g. "[0.2,0.4)"
+  std::vector<double> counts;
+};
+
+// Buckets finite values into `num_buckets` equal-width bins over
+// [lo, hi]; values outside the range are clamped into the edge bins.
+Histogram BucketValues(const std::vector<double>& values, double lo,
+                       double hi, int num_buckets);
+
+}  // namespace crowdtruth::metrics
+
+#endif  // CROWDTRUTH_METRICS_WORKER_STATS_H_

@@ -1,0 +1,313 @@
+#include "simulation/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace crowdtruth::sim {
+namespace {
+
+// Lognormal activity weights: heavy-tailed so worker redundancy matches
+// the long-tail phenomenon of Figure 2, with finite moments so answer
+// shares stay stable across dataset scales.
+std::vector<double> SampleActivityWeights(int num_workers, double sigma,
+                                          util::Rng& rng) {
+  CROWDTRUTH_CHECK_GT(sigma, 0.0);
+  std::vector<double> weights(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    weights[w] = std::exp(sigma * rng.Normal(0.0, 1.0));
+  }
+  return weights;
+}
+
+// Selects `count` distinct workers with probability proportional to their
+// activity, via the Gumbel-top-k trick.
+std::vector<int> SampleWorkers(const std::vector<double>& log_activity,
+                               int count, util::Rng& rng,
+                               std::vector<std::pair<double, int>>& scratch) {
+  const int num_workers = static_cast<int>(log_activity.size());
+  count = std::min(count, num_workers);
+  scratch.clear();
+  scratch.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    const double gumbel =
+        -std::log(-std::log(std::max(rng.Uniform(), 1e-12)));
+    scratch.push_back({log_activity[w] + gumbel, w});
+  }
+  std::partial_sort(scratch.begin(), scratch.begin() + count, scratch.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<int> workers(count);
+  for (int i = 0; i < count; ++i) workers[i] = scratch[i].second;
+  return workers;
+}
+
+std::vector<bool> SampleLabeledMask(int num_tasks, double labeled_fraction,
+                                    util::Rng& rng) {
+  std::vector<bool> labeled(num_tasks, true);
+  if (labeled_fraction >= 1.0) return labeled;
+  const int target =
+      static_cast<int>(std::lround(labeled_fraction * num_tasks));
+  std::fill(labeled.begin(), labeled.end(), false);
+  for (int index : rng.SampleWithoutReplacement(num_tasks, target)) {
+    labeled[index] = true;
+  }
+  return labeled;
+}
+
+}  // namespace
+
+data::CategoricalDataset GenerateCategorical(const CategoricalSimSpec& spec,
+                                             uint64_t seed) {
+  CROWDTRUTH_CHECK_GT(spec.num_tasks, 0);
+  CROWDTRUTH_CHECK_GT(spec.num_workers, 0);
+  CROWDTRUTH_CHECK_EQ(static_cast<int>(spec.task_model.class_prior.size()),
+                      spec.num_choices);
+  CROWDTRUTH_CHECK_LE(
+      spec.task_model.hard_correct + spec.task_model.distractor_pull, 1.0);
+  util::Rng rng(seed);
+  const int l = spec.num_choices;
+
+  // Population.
+  std::vector<CategoricalWorker> workers;
+  workers.reserve(spec.num_workers);
+  for (int w = 0; w < spec.num_workers; ++w) {
+    workers.push_back(
+        SampleCategoricalWorker(spec.worker_archetypes, l, rng));
+  }
+  std::vector<double> activity = SampleActivityWeights(
+      spec.num_workers, spec.assignment.activity_sigma, rng);
+  std::vector<double> log_activity(spec.num_workers);
+  for (int w = 0; w < spec.num_workers; ++w) {
+    log_activity[w] =
+        std::log(activity[w] * workers[w].activity_multiplier);
+  }
+
+  // Tasks: truth, hardness, distractor.
+  std::vector<data::LabelId> truth(spec.num_tasks);
+  std::vector<int> distractor(spec.num_tasks, -1);
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    truth[t] = rng.Categorical(spec.task_model.class_prior);
+    if (rng.Bernoulli(spec.task_model.hard_fraction)) {
+      // Task-specific distractor: random wrong choice, so that the
+      // correlated errors are not explainable by any per-worker model.
+      int d = rng.UniformInt(0, l - 2);
+      if (d >= truth[t]) ++d;
+      distractor[t] = d;
+    }
+  }
+  const std::vector<bool> labeled =
+      SampleLabeledMask(spec.num_tasks, spec.labeled_fraction, rng);
+
+  // Answers.
+  data::CategoricalDatasetBuilder builder(spec.num_tasks, spec.num_workers,
+                                          l);
+  builder.set_name(spec.name);
+  std::vector<std::pair<double, int>> scratch;
+  std::vector<double> row(l);
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    const std::vector<int> assigned =
+        SampleWorkers(log_activity, spec.assignment.redundancy, rng, scratch);
+    for (int w : assigned) {
+      data::LabelId answer;
+      if (distractor[t] >= 0) {
+        // Hard task: shared distractor dominates individual skill.
+        const double u = rng.Uniform();
+        if (u < spec.task_model.distractor_pull) {
+          answer = distractor[t];
+        } else if (u < spec.task_model.distractor_pull +
+                           spec.task_model.hard_correct) {
+          answer = truth[t];
+        } else {
+          answer = rng.UniformInt(0, l - 1);
+        }
+      } else {
+        for (int k = 0; k < l; ++k) {
+          row[k] = workers[w].confusion[truth[t] * l + k];
+        }
+        answer = rng.Categorical(row);
+      }
+      builder.AddAnswer(t, w, answer);
+    }
+    if (labeled[t]) builder.SetTruth(t, truth[t]);
+  }
+  return std::move(builder).Build();
+}
+
+data::NumericDataset GenerateNumeric(const NumericSimSpec& spec,
+                                     uint64_t seed) {
+  CROWDTRUTH_CHECK_GT(spec.num_tasks, 0);
+  CROWDTRUTH_CHECK_GT(spec.num_workers, 0);
+  CROWDTRUTH_CHECK_LT(spec.truth_lo, spec.truth_hi);
+  util::Rng rng(seed);
+
+  std::vector<NumericWorker> workers;
+  workers.reserve(spec.num_workers);
+  for (int w = 0; w < spec.num_workers; ++w) {
+    workers.push_back(SampleNumericWorker(spec.worker_model, rng));
+  }
+  std::vector<double> activity = SampleActivityWeights(
+      spec.num_workers, spec.assignment.activity_sigma, rng);
+  std::vector<double> log_activity(spec.num_workers);
+  for (int w = 0; w < spec.num_workers; ++w) {
+    log_activity[w] =
+        std::log(activity[w] * workers[w].activity_multiplier);
+  }
+
+  data::NumericDatasetBuilder builder(spec.num_tasks, spec.num_workers);
+  builder.set_name(spec.name);
+  std::vector<std::pair<double, int>> scratch;
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    const double truth = rng.Uniform(spec.truth_lo, spec.truth_hi);
+    // Shared ambiguity offset: every worker perceives the same shifted
+    // stimulus, so this error is irreducible by aggregation.
+    const double ambiguity =
+        rng.Normal(0.0, spec.task_ambiguity_stddev);
+    const std::vector<int> assigned =
+        SampleWorkers(log_activity, spec.assignment.redundancy, rng, scratch);
+    for (int w : assigned) {
+      const double raw = truth + ambiguity + workers[w].bias +
+                         rng.Normal(0.0, workers[w].stddev);
+      builder.AddAnswer(t, w, std::clamp(raw, spec.clamp_lo, spec.clamp_hi));
+    }
+    builder.SetTruth(t, truth);
+  }
+  return std::move(builder).Build();
+}
+
+TopicDataset GenerateTopicCategorical(const TopicSimSpec& spec,
+                                      uint64_t seed) {
+  CROWDTRUTH_CHECK_GT(spec.num_tasks, 0);
+  CROWDTRUTH_CHECK_GT(spec.num_workers, 0);
+  CROWDTRUTH_CHECK_GT(spec.num_topics, 0);
+  util::Rng rng(seed);
+  const int l = spec.num_choices;
+
+  std::vector<double> prior = spec.class_prior;
+  if (prior.empty()) prior.assign(l, 1.0);
+
+  // Per-worker strong-topic masks.
+  const int strong_count = std::max(
+      1, static_cast<int>(std::lround(spec.strong_fraction *
+                                      spec.num_topics)));
+  std::vector<std::vector<bool>> strong(
+      spec.num_workers, std::vector<bool>(spec.num_topics, false));
+  for (int w = 0; w < spec.num_workers; ++w) {
+    for (int g :
+         rng.SampleWithoutReplacement(spec.num_topics, strong_count)) {
+      strong[w][g] = true;
+    }
+  }
+  std::vector<double> activity = SampleActivityWeights(
+      spec.num_workers, spec.assignment.activity_sigma, rng);
+  std::vector<double> log_activity(spec.num_workers);
+  for (int w = 0; w < spec.num_workers; ++w) {
+    log_activity[w] = std::log(activity[w]);
+  }
+
+  TopicDataset result;
+  result.task_groups.resize(spec.num_tasks);
+  data::CategoricalDatasetBuilder builder(spec.num_tasks, spec.num_workers,
+                                          l);
+  builder.set_name(spec.name);
+  std::vector<std::pair<double, int>> scratch;
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    const int topic = rng.UniformInt(0, spec.num_topics - 1);
+    result.task_groups[t] = topic;
+    const data::LabelId truth = rng.Categorical(prior);
+    builder.SetTruth(t, truth);
+    for (int w : SampleWorkers(log_activity, spec.assignment.redundancy,
+                               rng, scratch)) {
+      const double accuracy =
+          strong[w][topic] ? spec.strong_accuracy : spec.weak_accuracy;
+      data::LabelId answer = truth;
+      if (!rng.Bernoulli(accuracy)) {
+        int wrong = rng.UniformInt(0, l - 2);
+        if (wrong >= truth) ++wrong;
+        answer = wrong;
+      }
+      builder.AddAnswer(t, w, answer);
+    }
+  }
+  result.dataset = std::move(builder).Build();
+  return result;
+}
+
+FeatureDataset GenerateFeatureCategorical(const FeatureSimSpec& spec,
+                                          uint64_t seed) {
+  CROWDTRUTH_CHECK_GT(spec.num_tasks, 0);
+  CROWDTRUTH_CHECK_GT(spec.num_workers, 0);
+  CROWDTRUTH_CHECK_GT(spec.num_features, 0);
+  util::Rng rng(seed);
+
+  // True logistic parameters with the requested norm.
+  std::vector<double> theta(spec.num_features);
+  double norm_sq = 0.0;
+  for (double& component : theta) {
+    component = rng.Normal(0.0, 1.0);
+    norm_sq += component * component;
+  }
+  const double scale =
+      norm_sq > 0 ? spec.signal_strength / std::sqrt(norm_sq) : 0.0;
+  for (double& component : theta) component *= scale;
+
+  std::vector<double> accuracy(spec.num_workers);
+  for (double& a : accuracy) {
+    a = rng.Uniform(spec.accuracy_lo, spec.accuracy_hi);
+  }
+  std::vector<double> activity = SampleActivityWeights(
+      spec.num_workers, spec.assignment.activity_sigma, rng);
+  std::vector<double> log_activity(spec.num_workers);
+  for (int w = 0; w < spec.num_workers; ++w) {
+    log_activity[w] = std::log(activity[w]);
+  }
+
+  FeatureDataset result;
+  result.features.assign(spec.num_tasks,
+                         std::vector<double>(spec.num_features));
+  data::CategoricalDatasetBuilder builder(spec.num_tasks, spec.num_workers,
+                                          2);
+  builder.set_name(spec.name);
+  std::vector<std::pair<double, int>> scratch;
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    double score = 0.0;
+    for (int d = 0; d < spec.num_features; ++d) {
+      result.features[t][d] = rng.Normal(0.0, 1.0);
+      score += theta[d] * result.features[t][d];
+    }
+    const data::LabelId truth =
+        rng.Bernoulli(1.0 / (1.0 + std::exp(-score))) ? 0 : 1;
+    builder.SetTruth(t, truth);
+    for (int w : SampleWorkers(log_activity, spec.assignment.redundancy,
+                               rng, scratch)) {
+      const data::LabelId answer =
+          rng.Bernoulli(accuracy[w]) ? truth : 1 - truth;
+      builder.AddAnswer(t, w, answer);
+    }
+  }
+  result.dataset = std::move(builder).Build();
+  return result;
+}
+
+CategoricalSimSpec ScaleSpec(CategoricalSimSpec spec, double scale) {
+  CROWDTRUTH_CHECK_GT(scale, 0.0);
+  CROWDTRUTH_CHECK_LE(scale, 1.0);
+  spec.num_tasks = std::max(20, static_cast<int>(spec.num_tasks * scale));
+  // Workers scale sub-linearly so each worker still answers a comparable
+  // number of tasks (preserving the per-worker quality estimation regime).
+  spec.num_workers = std::max(
+      10, static_cast<int>(spec.num_workers * std::pow(scale, 0.7)));
+  return spec;
+}
+
+NumericSimSpec ScaleSpec(NumericSimSpec spec, double scale) {
+  CROWDTRUTH_CHECK_GT(scale, 0.0);
+  CROWDTRUTH_CHECK_LE(scale, 1.0);
+  spec.num_tasks = std::max(20, static_cast<int>(spec.num_tasks * scale));
+  spec.num_workers = std::max(
+      8, static_cast<int>(spec.num_workers * std::pow(scale, 0.7)));
+  return spec;
+}
+
+}  // namespace crowdtruth::sim

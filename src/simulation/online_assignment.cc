@@ -1,0 +1,165 @@
+#include "simulation/online_assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace crowdtruth::sim {
+namespace {
+
+// Assignment priority of a task under kUncertainty: answer-distribution
+// entropy plus a coverage bonus for under-answered tasks (a task with one
+// unanimous answer and a task with five unanimous answers both have zero
+// entropy, but the former deserves the next answer more).
+double UncertaintyScore(const std::vector<int>& counts, int total) {
+  double entropy = 0.0;
+  if (total > 0) {
+    for (int c : counts) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / total;
+      entropy -= p * std::log(p);
+    }
+  }
+  return entropy + 0.5 / (1.0 + total);
+}
+
+}  // namespace
+
+data::CategoricalDataset SimulateOnlineCollection(
+    const CategoricalSimSpec& spec, const OnlineAssignmentConfig& config,
+    uint64_t seed) {
+  CROWDTRUTH_CHECK_GT(spec.num_tasks, 0);
+  CROWDTRUTH_CHECK_GT(spec.num_workers, 0);
+  CROWDTRUTH_CHECK_GT(config.total_budget, 0);
+  CROWDTRUTH_CHECK_GT(config.candidate_pool, 0);
+  util::Rng rng(seed);
+  const int l = spec.num_choices;
+
+  // Population and activity, as in GenerateCategorical.
+  std::vector<CategoricalWorker> workers;
+  workers.reserve(spec.num_workers);
+  for (int w = 0; w < spec.num_workers; ++w) {
+    workers.push_back(
+        SampleCategoricalWorker(spec.worker_archetypes, l, rng));
+  }
+  std::vector<double> arrival_weights(spec.num_workers);
+  for (int w = 0; w < spec.num_workers; ++w) {
+    arrival_weights[w] = std::exp(spec.assignment.activity_sigma *
+                                  rng.Normal(0.0, 1.0)) *
+                         workers[w].activity_multiplier;
+  }
+
+  // Tasks.
+  std::vector<data::LabelId> truth(spec.num_tasks);
+  std::vector<int> distractor(spec.num_tasks, -1);
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    truth[t] = rng.Categorical(spec.task_model.class_prior);
+    if (rng.Bernoulli(spec.task_model.hard_fraction)) {
+      int d = rng.UniformInt(0, l - 2);
+      if (d >= truth[t]) ++d;
+      distractor[t] = d;
+    }
+  }
+
+  // Online loop state.
+  std::vector<std::vector<int>> vote_counts(spec.num_tasks,
+                                            std::vector<int>(l, 0));
+  std::vector<int> answers_per_task(spec.num_tasks, 0);
+  std::vector<std::unordered_set<int>> answered_by(spec.num_workers);
+
+  data::CategoricalDatasetBuilder builder(spec.num_tasks, spec.num_workers,
+                                          l);
+  builder.set_name(spec.name + "_online");
+
+  int collected = 0;
+  int stalled_arrivals = 0;
+  while (collected < config.total_budget &&
+         stalled_arrivals < 10 * spec.num_workers) {
+    const int worker = rng.Categorical(arrival_weights);
+    // Shortlist candidate tasks the worker has not answered yet.
+    int chosen = -1;
+    double best_score = -1.0;
+    int best_count = INT32_MAX;
+    for (int i = 0; i < config.candidate_pool; ++i) {
+      const int task = rng.UniformInt(0, spec.num_tasks - 1);
+      if (answered_by[worker].count(task) > 0) continue;
+      switch (config.strategy) {
+        case AssignmentStrategy::kRandom:
+          chosen = task;
+          break;
+        case AssignmentStrategy::kRoundRobin:
+          if (answers_per_task[task] < best_count) {
+            best_count = answers_per_task[task];
+            chosen = task;
+          }
+          break;
+        case AssignmentStrategy::kUncertainty: {
+          const double score =
+              UncertaintyScore(vote_counts[task], answers_per_task[task]);
+          if (score > best_score) {
+            best_score = score;
+            chosen = task;
+          }
+          break;
+        }
+      }
+      if (config.strategy == AssignmentStrategy::kRandom && chosen >= 0) {
+        break;
+      }
+    }
+    if (chosen < 0) {
+      ++stalled_arrivals;
+      continue;
+    }
+    stalled_arrivals = 0;
+
+    // The worker answers, exactly as in GenerateCategorical.
+    data::LabelId answer;
+    if (distractor[chosen] >= 0) {
+      const double u = rng.Uniform();
+      if (u < spec.task_model.distractor_pull) {
+        answer = distractor[chosen];
+      } else if (u < spec.task_model.distractor_pull +
+                         spec.task_model.hard_correct) {
+        answer = truth[chosen];
+      } else {
+        answer = rng.UniformInt(0, l - 1);
+      }
+    } else {
+      std::vector<double> row(l);
+      for (int k = 0; k < l; ++k) {
+        row[k] = workers[worker].confusion[truth[chosen] * l + k];
+      }
+      answer = rng.Categorical(row);
+    }
+
+    builder.AddAnswer(chosen, worker, answer);
+    answered_by[worker].insert(chosen);
+    ++vote_counts[chosen][answer];
+    ++answers_per_task[chosen];
+    ++collected;
+  }
+
+  const std::vector<bool> labeled = [&] {
+    std::vector<bool> mask(spec.num_tasks, true);
+    if (spec.labeled_fraction < 1.0) {
+      const int target = static_cast<int>(
+          std::lround(spec.labeled_fraction * spec.num_tasks));
+      std::fill(mask.begin(), mask.end(), false);
+      for (int index :
+           rng.SampleWithoutReplacement(spec.num_tasks, target)) {
+        mask[index] = true;
+      }
+    }
+    return mask;
+  }();
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    if (labeled[t]) builder.SetTruth(t, truth[t]);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace crowdtruth::sim

@@ -1,0 +1,56 @@
+// Online task assignment simulation — the paper's future direction §7(6):
+// "it is interesting to see how the answers collected by different task
+// assignment strategies can affect the truth inference quality."
+//
+// Simulates an online crowdsourcing run against a generated worker
+// population: workers arrive one at a time (sampled by their long-tail
+// activity), the assigner picks a task for the arriving worker, the worker
+// answers through their confusion matrix, and the loop repeats until the
+// answer budget is exhausted. The resulting dataset can then be fed to any
+// truth-inference method.
+//
+// Strategies:
+//   * kRandom      — uniform among tasks the worker has not yet answered
+//                    (the offline-collection baseline);
+//   * kRoundRobin  — fewest-answers-first: equalizes redundancy;
+//   * kUncertainty — QASCA-style quality-aware assignment: prefer the task
+//                    whose current answer distribution has the highest
+//                    entropy (most contested), tie-broken by fewest
+//                    answers. Spends the budget where aggregation is least
+//                    certain.
+#ifndef CROWDTRUTH_SIMULATION_ONLINE_ASSIGNMENT_H_
+#define CROWDTRUTH_SIMULATION_ONLINE_ASSIGNMENT_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "simulation/generator.h"
+
+namespace crowdtruth::sim {
+
+enum class AssignmentStrategy {
+  kRandom,
+  kRoundRobin,
+  kUncertainty,
+};
+
+struct OnlineAssignmentConfig {
+  AssignmentStrategy strategy = AssignmentStrategy::kRandom;
+  // Total number of answers to collect across all tasks.
+  int total_budget = 0;
+  // Number of candidate tasks examined per assignment decision; keeps each
+  // decision O(candidates) instead of O(n), mirroring how deployed
+  // assigners shortlist from an index.
+  int candidate_pool = 64;
+};
+
+// Runs the simulation. The spec's `assignment.redundancy` is ignored (the
+// budget drives collection); all other spec fields (worker archetypes,
+// task model, priors) apply as in GenerateCategorical.
+data::CategoricalDataset SimulateOnlineCollection(
+    const CategoricalSimSpec& spec, const OnlineAssignmentConfig& config,
+    uint64_t seed);
+
+}  // namespace crowdtruth::sim
+
+#endif  // CROWDTRUTH_SIMULATION_ONLINE_ASSIGNMENT_H_

@@ -1,0 +1,61 @@
+#include "simulation/worker_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace crowdtruth::sim {
+
+CategoricalWorker SampleCategoricalWorker(
+    const std::vector<ConfusionArchetype>& archetypes, int num_choices,
+    util::Rng& rng) {
+  CROWDTRUTH_CHECK(!archetypes.empty());
+  std::vector<double> weights;
+  weights.reserve(archetypes.size());
+  for (const ConfusionArchetype& archetype : archetypes) {
+    weights.push_back(archetype.weight);
+  }
+  const ConfusionArchetype& archetype = archetypes[rng.Categorical(weights)];
+  CROWDTRUTH_CHECK_EQ(static_cast<int>(archetype.diagonal_mean.size()),
+                      num_choices);
+
+  CategoricalWorker worker;
+  worker.activity_multiplier = archetype.activity_multiplier;
+  worker.confusion.assign(static_cast<size_t>(num_choices) * num_choices,
+                          0.0);
+  const std::vector<double> dirichlet_alpha(num_choices - 1, 1.0);
+  for (int j = 0; j < num_choices; ++j) {
+    const double diag = std::clamp(
+        rng.Normal(archetype.diagonal_mean[j], archetype.diagonal_stddev),
+        0.02, 0.98);
+    worker.confusion[j * num_choices + j] = diag;
+    // Spread the remaining probability mass over the wrong choices.
+    const std::vector<double> split =
+        num_choices > 1 ? rng.Dirichlet(dirichlet_alpha)
+                        : std::vector<double>{};
+    int wrong_index = 0;
+    for (int k = 0; k < num_choices; ++k) {
+      if (k == j) continue;
+      worker.confusion[j * num_choices + k] =
+          (1.0 - diag) * split[wrong_index++];
+    }
+  }
+  return worker;
+}
+
+NumericWorker SampleNumericWorker(const NumericWorkerModel& model,
+                                  util::Rng& rng) {
+  NumericWorker worker;
+  if (rng.Bernoulli(model.expert_fraction)) {
+    worker.stddev = rng.Uniform(model.expert_stddev_lo,
+                                model.expert_stddev_hi);
+    worker.bias = rng.Normal(0.0, model.expert_bias_stddev);
+    worker.activity_multiplier = model.expert_activity_multiplier;
+  } else {
+    worker.stddev = rng.Uniform(model.stddev_lo, model.stddev_hi);
+    worker.bias = rng.Normal(0.0, model.bias_stddev);
+  }
+  return worker;
+}
+
+}  // namespace crowdtruth::sim

@@ -1,0 +1,83 @@
+// Worker population models for the dataset simulators.
+//
+// Categorical workers are drawn from a mixture of archetypes (reliable
+// workers, spammers, adversaries, ...), each characterized by per-class
+// diagonal accuracies of a confusion matrix. Asymmetric diagonals are the
+// load-bearing property of D_Product in the paper (§6.3.1(4)): workers are
+// much better at confirming "different products" (q_FF) than "same
+// products" (q_TT), which is why confusion-matrix methods dominate F1.
+//
+// Numeric workers have a bias and a noise standard deviation (paper
+// §4.2.3), drawn from configurable ranges.
+#ifndef CROWDTRUTH_SIMULATION_WORKER_MODEL_H_
+#define CROWDTRUTH_SIMULATION_WORKER_MODEL_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace crowdtruth::sim {
+
+// One mixture component of the categorical worker population.
+struct ConfusionArchetype {
+  // Mixture weight (normalized across archetypes at sampling time).
+  double weight = 1.0;
+  // Mean probability of answering correctly when the truth is class j;
+  // size must equal the dataset's number of choices.
+  std::vector<double> diagonal_mean;
+  // Worker-to-worker spread of the diagonal entries.
+  double diagonal_stddev = 0.05;
+  // Multiplies the worker's long-tail activity weight. Values > 1 model
+  // populations (e.g. money-driven spammers) that answer disproportionately
+  // many tasks — which lowers the answer-weighted data quality while
+  // leaving the per-worker accuracy distribution (Figure 3) unchanged.
+  double activity_multiplier = 1.0;
+};
+
+// A sampled categorical worker: a row-stochastic l x l confusion matrix,
+// flattened row-major (entry [j * l + k] = Pr(answer k | truth j)).
+struct CategoricalWorker {
+  std::vector<double> confusion;
+  double activity_multiplier = 1.0;
+};
+
+// Samples one worker from the archetype mixture. Off-diagonal mass is
+// spread across the wrong choices with a symmetric Dirichlet draw.
+CategoricalWorker SampleCategoricalWorker(
+    const std::vector<ConfusionArchetype>& archetypes, int num_choices,
+    util::Rng& rng);
+
+// Numeric worker population parameters: a base population plus an optional
+// "biased expert" mixture — workers with low answer variance but a large
+// personal offset, who also answer many tasks. Confidence-weighted methods
+// (CATD, PM) concentrate trust on them because their variance looks small
+// against a truth estimate they themselves dominate, inheriting their bias;
+// the unweighted Mean averages biases across workers. This is the
+// structural property behind the paper's Figure 6 finding that Mean beats
+// the quality-aware numeric methods.
+struct NumericWorkerModel {
+  // Base population: noise stddev uniform in [stddev_lo, stddev_hi], bias
+  // from N(0, bias_stddev).
+  double stddev_lo = 15.0;
+  double stddev_hi = 40.0;
+  double bias_stddev = 8.0;
+  // Biased-expert mixture.
+  double expert_fraction = 0.0;
+  double expert_stddev_lo = 6.0;
+  double expert_stddev_hi = 12.0;
+  double expert_bias_stddev = 20.0;
+  double expert_activity_multiplier = 4.0;
+};
+
+struct NumericWorker {
+  double bias = 0.0;
+  double stddev = 1.0;
+  double activity_multiplier = 1.0;
+};
+
+NumericWorker SampleNumericWorker(const NumericWorkerModel& model,
+                                  util::Rng& rng);
+
+}  // namespace crowdtruth::sim
+
+#endif  // CROWDTRUTH_SIMULATION_WORKER_MODEL_H_

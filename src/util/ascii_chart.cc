@@ -1,0 +1,103 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace crowdtruth::util {
+namespace {
+
+// Eight-level vertical resolution per character cell for sparklines.
+const char* const kSparkLevels[] = {"_", ".", ":", "-", "=", "+", "*", "#"};
+
+std::string Sparkline(const std::vector<double>& values) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    if (!std::isnan(v)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  std::string line;
+  if (!std::isfinite(lo)) return line;
+  const double range = hi - lo;
+  for (double v : values) {
+    if (std::isnan(v)) {
+      line += " ";
+      continue;
+    }
+    int level = 0;
+    if (range > 0) {
+      level = static_cast<int>(std::floor((v - lo) / range * 7.999));
+    }
+    line += kSparkLevels[std::clamp(level, 0, 7)];
+  }
+  return line;
+}
+
+}  // namespace
+
+void PrintHistogram(const HistogramSpec& spec, std::ostream& out) {
+  CROWDTRUTH_CHECK_EQ(spec.bucket_labels.size(), spec.bucket_counts.size());
+  out << spec.title << '\n';
+  size_t label_width = 0;
+  double max_count = 0.0;
+  for (size_t i = 0; i < spec.bucket_labels.size(); ++i) {
+    label_width = std::max(label_width, spec.bucket_labels[i].size());
+    max_count = std::max(max_count, spec.bucket_counts[i]);
+  }
+  for (size_t i = 0; i < spec.bucket_labels.size(); ++i) {
+    const double count = spec.bucket_counts[i];
+    int bar = 0;
+    if (max_count > 0) {
+      bar = static_cast<int>(std::lround(count / max_count *
+                                         spec.max_bar_width));
+      if (count > 0 && bar == 0) bar = 1;
+    }
+    out << "  " << std::left << std::setw(static_cast<int>(label_width))
+        << spec.bucket_labels[i] << " |" << std::string(bar, '#') << ' '
+        << TablePrinter::Fixed(count, count == std::floor(count) ? 0 : 2)
+        << '\n';
+  }
+}
+
+void PrintSeriesChart(const SeriesChartSpec& spec, std::ostream& out) {
+  CROWDTRUTH_CHECK_EQ(spec.series_names.size(), spec.series_values.size());
+  out << spec.title << '\n';
+
+  std::vector<std::string> header;
+  header.push_back(spec.x_label);
+  for (const auto& name : spec.series_names) header.push_back(name);
+  TablePrinter table(header);
+  for (size_t i = 0; i < spec.x_values.size(); ++i) {
+    std::vector<std::string> row;
+    const double x = spec.x_values[i];
+    row.push_back(TablePrinter::Fixed(x, x == std::floor(x) ? 0 : 2));
+    for (const auto& series : spec.series_values) {
+      CROWDTRUTH_CHECK_EQ(series.size(), spec.x_values.size());
+      const double v = series[i];
+      row.push_back(std::isnan(v) ? ""
+                                  : TablePrinter::Fixed(v, spec.value_decimals));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(out);
+
+  size_t name_width = 0;
+  for (const auto& name : spec.series_names) {
+    name_width = std::max(name_width, name.size());
+  }
+  out << "trend (low->high rendered _.:-=+*#):\n";
+  for (size_t s = 0; s < spec.series_names.size(); ++s) {
+    out << "  " << std::left << std::setw(static_cast<int>(name_width))
+        << spec.series_names[s] << " [" << Sparkline(spec.series_values[s])
+        << "]\n";
+  }
+}
+
+}  // namespace crowdtruth::util

@@ -1,0 +1,40 @@
+// ASCII chart rendering for the figure-reproduction benches: horizontal-bar
+// histograms (Figures 2-3) and multi-series line tables (Figures 4-9).
+#ifndef CROWDTRUTH_UTIL_ASCII_CHART_H_
+#define CROWDTRUTH_UTIL_ASCII_CHART_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crowdtruth::util {
+
+// One bucketed histogram, rendered as labeled horizontal bars scaled to
+// `max_bar_width` characters.
+struct HistogramSpec {
+  std::string title;
+  std::vector<std::string> bucket_labels;
+  std::vector<double> bucket_counts;
+  int max_bar_width = 50;
+};
+
+void PrintHistogram(const HistogramSpec& spec, std::ostream& out);
+
+// Renders a set of named series sampled at shared x positions, as a column
+// table plus a compact sparkline per series — the textual analogue of the
+// paper's line figures.
+struct SeriesChartSpec {
+  std::string title;
+  std::string x_label;
+  std::vector<double> x_values;
+  std::vector<std::string> series_names;
+  // series_values[s][i] is series s at x_values[i]; NaN renders blank.
+  std::vector<std::vector<double>> series_values;
+  int value_decimals = 2;
+};
+
+void PrintSeriesChart(const SeriesChartSpec& spec, std::ostream& out);
+
+}  // namespace crowdtruth::util
+
+#endif  // CROWDTRUTH_UTIL_ASCII_CHART_H_

@@ -1,0 +1,83 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace crowdtruth::util {
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields) {
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    const std::string& field = fields[i];
+    if (field.find_first_of(",\"\n") != std::string::npos) {
+      line.push_back('"');
+      for (char c : field) {
+        if (c == '"') line.push_back('"');
+        line.push_back(c);
+      }
+      line.push_back('"');
+    } else {
+      line += field;
+    }
+  }
+  return line;
+}
+
+Status ReadCsvFile(const std::string& path,
+                   std::vector<std::vector<std::string>>* rows) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  rows->clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    rows->push_back(ParseCsvLine(line));
+  }
+  return Status::Ok();
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (const auto& row : rows) {
+    out << FormatCsvLine(row) << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace crowdtruth::util

@@ -1,0 +1,31 @@
+// Minimal CSV reading/writing used by the dataset I/O layer. Supports
+// double-quoted fields with embedded commas and escaped quotes; does not
+// support embedded newlines (the dataset formats never need them).
+#ifndef CROWDTRUTH_UTIL_CSV_H_
+#define CROWDTRUTH_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crowdtruth::util {
+
+// Splits one CSV line into fields.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+// Joins fields into one CSV line, quoting fields that contain commas or
+// quotes.
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+// Reads a whole CSV file into rows of fields. Skips blank lines.
+Status ReadCsvFile(const std::string& path,
+                   std::vector<std::vector<std::string>>* rows);
+
+// Writes rows to `path`, overwriting.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace crowdtruth::util
+
+#endif  // CROWDTRUTH_UTIL_CSV_H_

@@ -1,0 +1,66 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/logging.h"
+
+namespace crowdtruth::util {
+namespace {
+
+[[noreturn]] void Usage(const std::map<std::string, std::string>& defaults,
+                        const std::string& problem) {
+  std::cerr << "flag error: " << problem << "\nallowed flags:\n";
+  for (const auto& [key, value] : defaults) {
+    std::cerr << "  --" << key << " (default: " << value << ")\n";
+  }
+  std::exit(2);
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv,
+             const std::map<std::string, std::string>& defaults)
+    : values_(defaults) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) Usage(defaults, "unexpected argument " + arg);
+    arg = arg.substr(2);
+    std::string key;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg;
+      if (i + 1 >= argc) Usage(defaults, "missing value for --" + key);
+      value = argv[++i];
+    }
+    if (defaults.find(key) == defaults.end()) {
+      Usage(defaults, "unknown flag --" + key);
+    }
+    values_[key] = value;
+  }
+}
+
+const std::string& Flags::Get(const std::string& key) const {
+  auto it = values_.find(key);
+  CROWDTRUTH_CHECK(it != values_.end()) << "undeclared flag " << key;
+  return it->second;
+}
+
+int Flags::GetInt(const std::string& key) const {
+  return std::atoi(Get(key).c_str());
+}
+
+double Flags::GetDouble(const std::string& key) const {
+  return std::atof(Get(key).c_str());
+}
+
+bool Flags::GetBool(const std::string& key) const {
+  const std::string& v = Get(key);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace crowdtruth::util

@@ -1,0 +1,29 @@
+// Tiny command-line flag parser for the bench and example binaries.
+// Supports `--key=value` and `--key value`; unknown flags are fatal so typos
+// surface immediately.
+#ifndef CROWDTRUTH_UTIL_FLAGS_H_
+#define CROWDTRUTH_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+
+namespace crowdtruth::util {
+
+class Flags {
+ public:
+  // Parses argv; aborts with a message listing allowed keys on error.
+  Flags(int argc, char** argv,
+        const std::map<std::string, std::string>& defaults);
+
+  const std::string& Get(const std::string& key) const;
+  int GetInt(const std::string& key) const;
+  double GetDouble(const std::string& key) const;
+  bool GetBool(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace crowdtruth::util
+
+#endif  // CROWDTRUTH_UTIL_FLAGS_H_

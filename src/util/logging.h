@@ -1,0 +1,85 @@
+// Minimal logging and invariant-checking macros.
+//
+// The library does not throw exceptions across its public API. Internal
+// invariant violations (programming errors, not data errors) abort via the
+// CHECK family below; recoverable failures (I/O, parsing) are reported
+// through util::Status (see status.h).
+#ifndef CROWDTRUTH_UTIL_LOGGING_H_
+#define CROWDTRUTH_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace crowdtruth {
+namespace internal_logging {
+
+// Accumulates a message and aborts the process when destroyed. Used as the
+// right-hand side of the CHECK macros so that `CHECK(x) << "context"` works.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "[CHECK failed] " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  // Lvalue view of a temporary, so the CHECK macros can chain.
+  FatalMessage& self() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lower-precedence-than-<< sink that turns the message chain into void.
+class Voidify {
+ public:
+  void operator&(FatalMessage&) {}
+};
+
+// Swallows streamed values; used for the passing branch of CHECK.
+class NullMessage {
+ public:
+  template <typename T>
+  NullMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace crowdtruth
+
+#define CROWDTRUTH_CHECK(condition)                             \
+  (condition) ? (void)0                                         \
+              : ::crowdtruth::internal_logging::Voidify() &     \
+                    ::crowdtruth::internal_logging::FatalMessage( \
+                        __FILE__, __LINE__, #condition)          \
+                        .self()
+
+#define CROWDTRUTH_CHECK_OP(a, b, op)                             \
+  ((a)op(b)) ? (void)0                                            \
+             : ::crowdtruth::internal_logging::Voidify() &        \
+                   ::crowdtruth::internal_logging::FatalMessage(  \
+                       __FILE__, __LINE__, #a " " #op " " #b)     \
+                       .self()
+
+#define CROWDTRUTH_CHECK_EQ(a, b) CROWDTRUTH_CHECK_OP(a, b, ==)
+#define CROWDTRUTH_CHECK_NE(a, b) CROWDTRUTH_CHECK_OP(a, b, !=)
+#define CROWDTRUTH_CHECK_LT(a, b) CROWDTRUTH_CHECK_OP(a, b, <)
+#define CROWDTRUTH_CHECK_LE(a, b) CROWDTRUTH_CHECK_OP(a, b, <=)
+#define CROWDTRUTH_CHECK_GT(a, b) CROWDTRUTH_CHECK_OP(a, b, >)
+#define CROWDTRUTH_CHECK_GE(a, b) CROWDTRUTH_CHECK_OP(a, b, >=)
+
+#endif  // CROWDTRUTH_UTIL_LOGGING_H_

@@ -1,0 +1,38 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace crowdtruth::util {
+
+void ParallelFor(int count, int num_threads,
+                 const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  num_threads = std::min(num_threads, count);
+  if (num_threads <= 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&] {
+      while (true) {
+        const int i = next.fetch_add(1);
+        if (i >= count) break;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+int DefaultThreads(int cap) {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::max(1, std::min<int>(cap, hardware == 0 ? 1 : hardware));
+}
+
+}  // namespace crowdtruth::util

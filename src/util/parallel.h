@@ -1,0 +1,23 @@
+// Minimal data-parallel helper for embarrassingly parallel loops
+// (independent experiment trials). Deterministic: the work function
+// receives the loop index, so results land in pre-assigned slots
+// regardless of scheduling.
+#ifndef CROWDTRUTH_UTIL_PARALLEL_H_
+#define CROWDTRUTH_UTIL_PARALLEL_H_
+
+#include <functional>
+
+namespace crowdtruth::util {
+
+// Runs fn(0) ... fn(count - 1) across up to `num_threads` threads
+// (num_threads <= 1 runs inline). fn must not throw; it is invoked exactly
+// once per index.
+void ParallelFor(int count, int num_threads,
+                 const std::function<void(int)>& fn);
+
+// A reasonable default thread count: hardware concurrency capped at `cap`.
+int DefaultThreads(int cap = 8);
+
+}  // namespace crowdtruth::util
+
+#endif  // CROWDTRUTH_UTIL_PARALLEL_H_

@@ -1,0 +1,103 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/special_functions.h"
+
+namespace crowdtruth::util {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  CROWDTRUTH_CHECK_LE(lo, hi);
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  return std::bernoulli_distribution(std::clamp(p, 0.0, 1.0))(engine_);
+}
+
+double Rng::Gamma(double shape) {
+  CROWDTRUTH_CHECK_GT(shape, 0.0);
+  return std::gamma_distribution<double>(shape, 1.0)(engine_);
+}
+
+double Rng::Beta(double alpha, double beta) {
+  const double x = Gamma(alpha);
+  const double y = Gamma(beta);
+  // Both draws being zero is possible only for tiny shapes; fall back to 1/2.
+  if (x + y <= 0.0) return 0.5;
+  return x / (x + y);
+}
+
+std::vector<double> Rng::Dirichlet(const std::vector<double>& alpha) {
+  CROWDTRUTH_CHECK(!alpha.empty());
+  std::vector<double> draw(alpha.size());
+  double total = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    draw[i] = Gamma(alpha[i]);
+    total += draw[i];
+  }
+  if (total <= 0.0) {
+    std::fill(draw.begin(), draw.end(), 1.0 / alpha.size());
+    return draw;
+  }
+  for (double& value : draw) value /= total;
+  return draw;
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  CROWDTRUTH_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CROWDTRUTH_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return UniformInt(0, static_cast<int>(weights.size()) - 1);
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+int Rng::CategoricalFromLog(const std::vector<double>& log_weights) {
+  CROWDTRUTH_CHECK(!log_weights.empty());
+  const double max_log =
+      *std::max_element(log_weights.begin(), log_weights.end());
+  std::vector<double> weights(log_weights.size());
+  for (size_t i = 0; i < log_weights.size(); ++i) {
+    weights[i] = std::exp(log_weights[i] - max_log);
+  }
+  return Categorical(weights);
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  CROWDTRUTH_CHECK_GE(n, 0);
+  CROWDTRUTH_CHECK_GE(k, 0);
+  CROWDTRUTH_CHECK_LE(k, n);
+  // Partial Fisher-Yates: O(n) memory, O(k) swaps.
+  std::vector<int> pool(n);
+  for (int i = 0; i < n; ++i) pool[i] = i;
+  for (int i = 0; i < k; ++i) {
+    const int j = UniformInt(i, n - 1);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace crowdtruth::util

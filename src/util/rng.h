@@ -1,0 +1,62 @@
+// Seedable random number generator with the sampling primitives used across
+// the library: uniform/normal/Bernoulli draws, categorical sampling from
+// (possibly unnormalized or log-space) weights, Beta/Gamma/Dirichlet draws
+// for the Bayesian methods, shuffles, and subset sampling.
+#ifndef CROWDTRUTH_UTIL_RNG_H_
+#define CROWDTRUTH_UTIL_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace crowdtruth::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  // Derives an independent child generator; used to give parallel or
+  // repeated experiment trials decorrelated streams from one master seed.
+  Rng Fork() { return Rng(engine_()); }
+
+  // Uniform double in [0, 1).
+  double Uniform();
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] (inclusive).
+  int UniformInt(int lo, int hi);
+
+  double Normal(double mean, double stddev);
+  bool Bernoulli(double p);
+
+  // Standard Gamma(shape, scale=1) via Marsaglia-Tsang.
+  double Gamma(double shape);
+  double Beta(double alpha, double beta);
+  // Dirichlet draw; `alpha` must be non-empty with positive entries.
+  std::vector<double> Dirichlet(const std::vector<double>& alpha);
+
+  // Samples an index proportionally to non-negative weights. If all weights
+  // are zero, samples uniformly.
+  int Categorical(const std::vector<double>& weights);
+
+  // Samples an index from log-space weights (normalized internally).
+  int CategoricalFromLog(const std::vector<double>& log_weights);
+
+  // Samples `k` distinct indices from [0, n) uniformly (k <= n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    std::shuffle(values.begin(), values.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace crowdtruth::util
+
+#endif  // CROWDTRUTH_UTIL_RNG_H_

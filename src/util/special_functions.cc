@@ -1,0 +1,159 @@
+#include "util/special_functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace crowdtruth::util {
+namespace {
+
+constexpr double kEpsilon = std::numeric_limits<double>::epsilon();
+constexpr double kTiny = std::numeric_limits<double>::min() / kEpsilon;
+
+// Series representation of P(a, x), converges quickly for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued-fraction representation of Q(a, x) = 1 - P(a, x); converges
+// quickly for x > a + 1 (modified Lentz).
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double Digamma(double x) {
+  CROWDTRUTH_CHECK_GT(x, 0.0);
+  double result = 0.0;
+  // Shift the argument into the asymptotic regime.
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  // Asymptotic expansion: ln x - 1/(2x) - sum B_{2n}/(2n x^{2n}).
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 -
+                            inv2 * (1.0 / 252.0 -
+                                    inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+  return result;
+}
+
+double LogSumExp(const std::vector<double>& values) {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  const double max_value = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(max_value)) return max_value;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - max_value);
+  return max_value + std::log(sum);
+}
+
+void SoftmaxInPlace(std::vector<double>& log_weights) {
+  const double lse = LogSumExp(log_weights);
+  for (double& v : log_weights) v = std::exp(v - lse);
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double RegularizedGammaP(double a, double x) {
+  CROWDTRUTH_CHECK_GT(a, 0.0);
+  CROWDTRUTH_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double InverseRegularizedGammaP(double a, double p) {
+  CROWDTRUTH_CHECK_GT(a, 0.0);
+  CROWDTRUTH_CHECK_GE(p, 0.0);
+  CROWDTRUTH_CHECK_LT(p, 1.0);
+  if (p == 0.0) return 0.0;
+
+  // Initial guess (Numerical Recipes invgammp): a normal-approximation-based
+  // starting point, then Halley iterations on P(a, x) - p = 0.
+  const double gln = std::lgamma(a);
+  const double a1 = a - 1.0;
+  const double lna1 = a > 1.0 ? std::log(a1) : 0.0;
+  const double afac = a > 1.0 ? std::exp(a1 * (lna1 - 1.0) - gln) : 0.0;
+  double x;
+  if (a > 1.0) {
+    const double pp = p < 0.5 ? p : 1.0 - p;
+    const double t = std::sqrt(-2.0 * std::log(pp));
+    double guess =
+        (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t;
+    if (p < 0.5) guess = -guess;
+    x = std::max(
+        1e-3, a * std::pow(1.0 - 1.0 / (9.0 * a) - guess / (3.0 * std::sqrt(a)),
+                           3.0));
+  } else {
+    const double t = 1.0 - a * (0.253 + a * 0.12);
+    if (p < t) {
+      x = std::pow(p / t, 1.0 / a);
+    } else {
+      x = 1.0 - std::log(1.0 - (p - t) / (1.0 - t));
+    }
+  }
+
+  for (int iteration = 0; iteration < 24; ++iteration) {
+    if (x <= 0.0) return 0.0;
+    const double error = RegularizedGammaP(a, x) - p;
+    double t;
+    if (a > 1.0) {
+      t = afac * std::exp(-(x - a1) + a1 * (std::log(x) - lna1));
+    } else {
+      t = std::exp(-x + a1 * std::log(x) - gln);
+    }
+    if (t == 0.0) break;
+    const double u = error / t;
+    // Halley's method step.
+    const double step = u / (1.0 - 0.5 * std::min(1.0, u * (a1 / x - 1.0)));
+    x -= step;
+    if (x <= 0.0) x = 0.5 * (x + step);  // Bisect back into the domain.
+    if (std::fabs(step) < 1e-11 * x) break;
+  }
+  return x;
+}
+
+double ChiSquaredQuantile(double p, double dof) {
+  CROWDTRUTH_CHECK_GT(dof, 0.0);
+  return 2.0 * InverseRegularizedGammaP(0.5 * dof, p);
+}
+
+}  // namespace crowdtruth::util

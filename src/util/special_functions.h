@@ -1,0 +1,39 @@
+// Special mathematical functions used by the inference algorithms:
+//   * Digamma — variational inference (VI-MF, VI-BP) expectations of
+//     log-Dirichlet variables;
+//   * regularized incomplete gamma and its inverse — the chi-squared
+//     quantile used by CATD's confidence coefficient X^2(0.975, |T^w|);
+//   * LogSumExp — numerically stable posterior normalization;
+//   * Sigmoid / logit — GLAD and Multi.
+#ifndef CROWDTRUTH_UTIL_SPECIAL_FUNCTIONS_H_
+#define CROWDTRUTH_UTIL_SPECIAL_FUNCTIONS_H_
+
+#include <vector>
+
+namespace crowdtruth::util {
+
+// d/dx log Gamma(x) for x > 0. Accurate to ~1e-12 via the asymptotic series
+// after argument shifting.
+double Digamma(double x);
+
+// Numerically stable log(sum_i exp(values[i])). Returns -inf for empty input.
+double LogSumExp(const std::vector<double>& values);
+
+// Normalizes log-space weights into a probability vector, in place.
+void SoftmaxInPlace(std::vector<double>& log_weights);
+
+double Sigmoid(double x);
+
+// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+// Inverse of P(a, .): returns x such that P(a, x) = p, for p in [0, 1).
+double InverseRegularizedGammaP(double a, double p);
+
+// Quantile (inverse CDF) of the chi-squared distribution with `dof` degrees
+// of freedom at probability `p`. CATD uses ChiSquaredQuantile(0.975, |T^w|).
+double ChiSquaredQuantile(double p, double dof);
+
+}  // namespace crowdtruth::util
+
+#endif  // CROWDTRUTH_UTIL_SPECIAL_FUNCTIONS_H_

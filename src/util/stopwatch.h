@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used for the running-time columns of Table 6 and the
+// per-method timings reported by the experiment harness.
+#ifndef CROWDTRUTH_UTIL_STOPWATCH_H_
+#define CROWDTRUTH_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace crowdtruth::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crowdtruth::util
+
+#endif  // CROWDTRUTH_UTIL_STOPWATCH_H_

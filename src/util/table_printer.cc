@@ -1,0 +1,62 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace crowdtruth::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CROWDTRUTH_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  CROWDTRUTH_CHECK_LE(row.size(), header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "| ";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      out << (c + 1 < row.size() ? " | " : " |");
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  out << '|';
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Fixed(double value, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+std::string TablePrinter::Percent(double fraction, int decimals) {
+  return Fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string TablePrinter::SignedPercent(double fraction, int decimals) {
+  const std::string body = Fixed(std::abs(fraction) * 100.0, decimals) + "%";
+  return (fraction < 0 ? "-" : "+") + body;
+}
+
+}  // namespace crowdtruth::util

@@ -1,0 +1,36 @@
+// Console table renderer used by the bench harnesses to print paper-style
+// tables (Table 5/6/7) with aligned columns.
+#ifndef CROWDTRUTH_UTIL_TABLE_PRINTER_H_
+#define CROWDTRUTH_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crowdtruth::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds one data row; it may have fewer cells than the header (the
+  // remainder renders empty) but not more.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with a header separator.
+  void Print(std::ostream& out) const;
+
+  // Convenience numeric formatting helpers.
+  static std::string Fixed(double value, int decimals);
+  static std::string Percent(double fraction, int decimals);
+  // Signed delta rendered like the paper's Table 7, e.g. "+0.15%" / "-0.02%".
+  static std::string SignedPercent(double fraction, int decimals);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crowdtruth::util
+
+#endif  // CROWDTRUTH_UTIL_TABLE_PRINTER_H_

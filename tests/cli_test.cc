@@ -1,0 +1,108 @@
+// Integration tests for the crowdtruth_infer command-line tool: drives the
+// real binary over CSV files via std::system.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+// The binary sits next to the test binaries' parent (build/tools/).
+std::string BinaryPath() {
+  return std::string(CROWDTRUTH_BUILD_DIR) + "/tools/crowdtruth_infer";
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int RunTool(const std::string& args, const std::string& stdout_path) {
+  const std::string command =
+      BinaryPath() + " " + args + " > " + stdout_path + " 2>&1";
+  return std::system(command.c_str());
+}
+
+TEST(CliTest, ListsMethods) {
+  const std::string out = TempPath("cli_list.txt");
+  ASSERT_EQ(RunTool("--method=list", out), 0);
+  const std::string text = ReadFile(out);
+  EXPECT_NE(text.find("D&S"), std::string::npos);
+  EXPECT_NE(text.find("Confusion Matrix"), std::string::npos);
+  EXPECT_NE(text.find("Median"), std::string::npos);
+  std::remove(out.c_str());
+}
+
+TEST(CliTest, CategoricalInferenceEndToEnd) {
+  const std::string answers = TempPath("cli_answers.csv");
+  const std::string truth = TempPath("cli_truth.csv");
+  const std::string output = TempPath("cli_output.csv");
+  const std::string log = TempPath("cli_log.txt");
+  WriteFile(answers,
+            "task,worker,answer\n"
+            "a,w1,0\na,w2,0\na,w3,1\n"
+            "b,w1,1\nb,w2,1\nb,w3,1\n");
+  WriteFile(truth, "task,truth\na,0\nb,1\n");
+  ASSERT_EQ(RunTool("--answers=" + answers + " --truth=" + truth +
+                    " --method=MV --output=" + output,
+                log),
+            0);
+  const std::string report = ReadFile(log);
+  EXPECT_NE(report.find("accuracy: 100.00%"), std::string::npos) << report;
+  EXPECT_NE(ReadFile(output).find("task,truth"), std::string::npos);
+  std::remove(answers.c_str());
+  std::remove(truth.c_str());
+  std::remove(output.c_str());
+  std::remove(log.c_str());
+}
+
+TEST(CliTest, NumericInferenceEndToEnd) {
+  const std::string answers = TempPath("cli_num_answers.csv");
+  const std::string truth = TempPath("cli_num_truth.csv");
+  const std::string log = TempPath("cli_num_log.txt");
+  WriteFile(answers,
+            "task,worker,answer\n"
+            "a,w1,9.0\na,w2,11.0\n"
+            "b,w1,-5.0\nb,w2,-3.0\n");
+  WriteFile(truth, "task,truth\na,10\nb,-4\n");
+  ASSERT_EQ(RunTool("--answers=" + answers + " --truth=" + truth +
+                    " --type=numeric --method=Mean",
+                log),
+            0);
+  const std::string report = ReadFile(log);
+  EXPECT_NE(report.find("MAE: 0.000"), std::string::npos) << report;
+  std::remove(answers.c_str());
+  std::remove(truth.c_str());
+  std::remove(log.c_str());
+}
+
+TEST(CliTest, MissingAnswersFileFails) {
+  const std::string log = TempPath("cli_err_log.txt");
+  EXPECT_NE(RunTool("--answers=/nonexistent.csv --method=MV", log), 0);
+  std::remove(log.c_str());
+}
+
+TEST(CliTest, WrongDomainMethodFails) {
+  const std::string answers = TempPath("cli_dom_answers.csv");
+  const std::string log = TempPath("cli_dom_log.txt");
+  WriteFile(answers, "task,worker,answer\na,w1,0\n");
+  EXPECT_NE(RunTool("--answers=" + answers + " --method=Mean", log), 0);
+  std::remove(answers.c_str());
+  std::remove(log.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+#include "core/common.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace crowdtruth::core {
+namespace {
+
+using testing::kF;
+using testing::kT;
+
+TEST(InitialPosteriorTest, VoteShares) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  InferenceOptions options;
+  const Posterior posterior = InitialPosterior(dataset, options);
+  // t2 receives one T and two F.
+  EXPECT_NEAR(posterior[1][kT], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(posterior[1][kF], 2.0 / 3.0, 1e-12);
+  // t1 is a 1-1 split.
+  EXPECT_NEAR(posterior[0][kT], 0.5, 1e-12);
+}
+
+TEST(InitialPosteriorTest, WeightedByInitialQuality) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  InferenceOptions options;
+  options.initial_worker_quality = {0.1, 0.5, 0.9};
+  const Posterior posterior = InitialPosterior(dataset, options);
+  // t1: w1 says F with weight 0.1, w3 says T with weight 0.9.
+  EXPECT_NEAR(posterior[0][kT], 0.9, 1e-12);
+}
+
+TEST(InitialPosteriorTest, GoldenTasksAreOneHot) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  InferenceOptions options;
+  options.golden_labels.assign(6, data::kNoTruth);
+  options.golden_labels[1] = kT;  // Contradicts the majority on purpose.
+  const Posterior posterior = InitialPosterior(dataset, options);
+  EXPECT_DOUBLE_EQ(posterior[1][kT], 1.0);
+  EXPECT_DOUBLE_EQ(posterior[1][kF], 0.0);
+}
+
+TEST(InitialPosteriorTest, TaskWithoutAnswersIsUniform) {
+  data::CategoricalDatasetBuilder builder(2, 1, 2);
+  builder.AddAnswer(0, 0, kT);
+  const data::CategoricalDataset dataset = std::move(builder).Build();
+  const Posterior posterior = InitialPosterior(dataset, {});
+  EXPECT_DOUBLE_EQ(posterior[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(posterior[1][1], 0.5);
+}
+
+TEST(ClampGoldenTest, OverwritesBelief) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  InferenceOptions options;
+  options.golden_labels.assign(6, data::kNoTruth);
+  options.golden_labels[3] = kT;
+  Posterior posterior(6, {0.5, 0.5});
+  ClampGolden(dataset, options, posterior);
+  EXPECT_DOUBLE_EQ(posterior[3][kT], 1.0);
+  EXPECT_DOUBLE_EQ(posterior[2][kT], 0.5);  // Untouched.
+}
+
+TEST(MaxAbsDiffTest, ComputesMaximum) {
+  const Posterior a = {{0.5, 0.5}, {0.9, 0.1}};
+  const Posterior b = {{0.5, 0.5}, {0.7, 0.3}};
+  EXPECT_NEAR(MaxAbsDiff(a, b), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, a), 0.0);
+}
+
+TEST(ArgmaxLabelsTest, PicksMaximum) {
+  util::Rng rng(1);
+  const Posterior posterior = {{0.2, 0.8}, {0.9, 0.1}};
+  EXPECT_EQ(ArgmaxLabels(posterior, rng),
+            (std::vector<data::LabelId>{1, 0}));
+}
+
+TEST(ArgmaxLabelsTest, TieBreaksBothWays) {
+  const Posterior posterior = {{0.5, 0.5}};
+  bool saw_zero = false;
+  bool saw_one = false;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    util::Rng rng(seed);
+    const auto labels = ArgmaxLabels(posterior, rng);
+    saw_zero |= labels[0] == 0;
+    saw_one |= labels[0] == 1;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_one);
+}
+
+TEST(MajorityVoteLabelsTest, MatchesPaperExample) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  util::Rng rng(1);
+  const auto labels = MajorityVoteLabels(dataset, {}, rng);
+  // §3: MV infers F for t2..t6 (so t6 is wrong) and t1 is a random tie.
+  for (int t = 1; t < 6; ++t) EXPECT_EQ(labels[t], kF) << "task " << t;
+}
+
+TEST(MajorityVoteLabelsTest, HonorsGolden) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  InferenceOptions options;
+  options.golden_labels.assign(6, data::kNoTruth);
+  options.golden_labels[5] = kT;
+  util::Rng rng(1);
+  const auto labels = MajorityVoteLabels(dataset, options, rng);
+  EXPECT_EQ(labels[5], kT);
+}
+
+TEST(MeanValuesTest, ComputesTaskMeans) {
+  data::NumericDatasetBuilder builder(2, 2);
+  builder.AddAnswer(0, 0, 2.0);
+  builder.AddAnswer(0, 1, 4.0);
+  builder.AddAnswer(1, 0, -1.0);
+  const data::NumericDataset dataset = std::move(builder).Build();
+  const std::vector<double> values = MeanValues(dataset, {});
+  EXPECT_DOUBLE_EQ(values[0], 3.0);
+  EXPECT_DOUBLE_EQ(values[1], -1.0);
+}
+
+TEST(MeanValuesTest, GoldenOverrides) {
+  data::NumericDatasetBuilder builder(1, 2);
+  builder.AddAnswer(0, 0, 2.0);
+  builder.AddAnswer(0, 1, 4.0);
+  const data::NumericDataset dataset = std::move(builder).Build();
+  InferenceOptions options;
+  options.golden_values = {10.0};
+  EXPECT_DOUBLE_EQ(MeanValues(dataset, options)[0], 10.0);
+}
+
+}  // namespace
+}  // namespace crowdtruth::core

@@ -1,0 +1,114 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace crowdtruth::data {
+namespace {
+
+TEST(CategoricalDatasetTest, BasicCounts) {
+  const CategoricalDataset dataset = testing::Table2Dataset();
+  EXPECT_EQ(dataset.num_tasks(), 6);
+  EXPECT_EQ(dataset.num_workers(), 3);
+  EXPECT_EQ(dataset.num_choices(), 2);
+  EXPECT_EQ(dataset.num_answers(), 17);
+  EXPECT_EQ(dataset.num_labeled_tasks(), 6);
+  EXPECT_NEAR(dataset.Redundancy(), 17.0 / 6.0, 1e-12);
+}
+
+TEST(CategoricalDatasetTest, TaskIndexMatchesPaperNotation) {
+  const CategoricalDataset dataset = testing::Table2Dataset();
+  // W_1 (task t1, id 0) = {w1, w3}.
+  const auto& votes = dataset.AnswersForTask(0);
+  ASSERT_EQ(votes.size(), 2u);
+  EXPECT_EQ(votes[0].worker, 0);
+  EXPECT_EQ(votes[0].label, testing::kF);
+  EXPECT_EQ(votes[1].worker, 2);
+  EXPECT_EQ(votes[1].label, testing::kT);
+}
+
+TEST(CategoricalDatasetTest, WorkerIndexMatchesPaperNotation) {
+  const CategoricalDataset dataset = testing::Table2Dataset();
+  // T^{w2} = {t2, t3, t4, t5, t6}.
+  const auto& votes = dataset.AnswersByWorker(1);
+  ASSERT_EQ(votes.size(), 5u);
+  EXPECT_EQ(votes[0].task, 1);
+  EXPECT_EQ(votes[4].task, 5);
+}
+
+TEST(CategoricalDatasetTest, TruthAccess) {
+  const CategoricalDataset dataset = testing::Table2Dataset();
+  EXPECT_TRUE(dataset.HasTruth(0));
+  EXPECT_EQ(dataset.Truth(0), testing::kT);
+  EXPECT_EQ(dataset.Truth(1), testing::kF);
+  EXPECT_EQ(dataset.Truth(5), testing::kT);
+}
+
+TEST(CategoricalDatasetTest, PartialTruth) {
+  CategoricalDatasetBuilder builder(3, 1, 2);
+  builder.AddAnswer(0, 0, 0);
+  builder.AddAnswer(1, 0, 1);
+  builder.AddAnswer(2, 0, 0);
+  builder.SetTruth(1, 1);
+  const CategoricalDataset dataset = std::move(builder).Build();
+  EXPECT_FALSE(dataset.HasTruth(0));
+  EXPECT_TRUE(dataset.HasTruth(1));
+  EXPECT_FALSE(dataset.HasTruth(2));
+  EXPECT_EQ(dataset.num_labeled_tasks(), 1);
+}
+
+TEST(CategoricalDatasetDeathTest, DuplicateAnswerRejected) {
+  CategoricalDatasetBuilder builder(2, 2, 2);
+  builder.AddAnswer(0, 0, 0);
+  builder.AddAnswer(0, 0, 1);
+  EXPECT_DEATH(std::move(builder).Build(), "duplicate worker");
+}
+
+TEST(CategoricalDatasetDeathTest, OutOfRangeLabelRejected) {
+  CategoricalDatasetBuilder builder(2, 2, 2);
+  EXPECT_DEATH(builder.AddAnswer(0, 0, 2), "label");
+}
+
+TEST(CategoricalDatasetDeathTest, OutOfRangeTaskRejected) {
+  CategoricalDatasetBuilder builder(2, 2, 2);
+  EXPECT_DEATH(builder.AddAnswer(5, 0, 0), "task");
+}
+
+TEST(NumericDatasetTest, BasicCounts) {
+  NumericDatasetBuilder builder(2, 3);
+  builder.set_name("numeric");
+  builder.AddAnswer(0, 0, 1.5);
+  builder.AddAnswer(0, 1, 2.5);
+  builder.AddAnswer(1, 2, -3.0);
+  builder.SetTruth(0, 2.0);
+  const NumericDataset dataset = std::move(builder).Build();
+  EXPECT_EQ(dataset.name(), "numeric");
+  EXPECT_EQ(dataset.num_tasks(), 2);
+  EXPECT_EQ(dataset.num_workers(), 3);
+  EXPECT_EQ(dataset.num_answers(), 3);
+  EXPECT_EQ(dataset.num_labeled_tasks(), 1);
+  EXPECT_TRUE(dataset.HasTruth(0));
+  EXPECT_FALSE(dataset.HasTruth(1));
+  EXPECT_DOUBLE_EQ(dataset.Truth(0), 2.0);
+  EXPECT_DOUBLE_EQ(dataset.AnswersForTask(0)[1].value, 2.5);
+  EXPECT_DOUBLE_EQ(dataset.AnswersByWorker(2)[0].value, -3.0);
+}
+
+TEST(NumericDatasetDeathTest, DuplicateAnswerRejected) {
+  NumericDatasetBuilder builder(1, 1);
+  builder.AddAnswer(0, 0, 1.0);
+  builder.AddAnswer(0, 0, 2.0);
+  EXPECT_DEATH(std::move(builder).Build(), "duplicate worker");
+}
+
+TEST(CategoricalDatasetTest, EmptyDatasetIsValid) {
+  CategoricalDatasetBuilder builder(0, 0, 2);
+  const CategoricalDataset dataset = std::move(builder).Build();
+  EXPECT_EQ(dataset.num_tasks(), 0);
+  EXPECT_EQ(dataset.num_answers(), 0);
+  EXPECT_DOUBLE_EQ(dataset.Redundancy(), 0.0);
+}
+
+}  // namespace
+}  // namespace crowdtruth::data

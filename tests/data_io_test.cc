@@ -1,0 +1,139 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace crowdtruth::data {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(DataIoTest, CategoricalRoundTrip) {
+  const CategoricalDataset original = testing::Table2Dataset();
+  const std::string answers = TempPath("cat_answers.csv");
+  const std::string truth = TempPath("cat_truth.csv");
+  ASSERT_TRUE(SaveCategorical(original, answers, truth).ok());
+
+  CategoricalDataset loaded;
+  ASSERT_TRUE(LoadCategorical(answers, truth, 2, &loaded).ok());
+  EXPECT_EQ(loaded.num_tasks(), original.num_tasks());
+  EXPECT_EQ(loaded.num_workers(), original.num_workers());
+  EXPECT_EQ(loaded.num_answers(), original.num_answers());
+  EXPECT_EQ(loaded.num_labeled_tasks(), original.num_labeled_tasks());
+  // Interning preserves first-seen order, and SaveCategorical writes in
+  // task order, so ids round-trip exactly here.
+  for (TaskId t = 0; t < original.num_tasks(); ++t) {
+    EXPECT_EQ(loaded.Truth(t), original.Truth(t)) << "task " << t;
+    ASSERT_EQ(loaded.AnswersForTask(t).size(),
+              original.AnswersForTask(t).size());
+  }
+  std::remove(answers.c_str());
+  std::remove(truth.c_str());
+}
+
+TEST(DataIoTest, NumericRoundTrip) {
+  const NumericDataset original =
+      testing::PlantedNumericDataset(10, 4, 3, {5.0}, 77);
+  const std::string answers = TempPath("num_answers.csv");
+  const std::string truth = TempPath("num_truth.csv");
+  ASSERT_TRUE(SaveNumeric(original, answers, truth).ok());
+
+  NumericDataset loaded;
+  ASSERT_TRUE(LoadNumeric(answers, truth, &loaded).ok());
+  EXPECT_EQ(loaded.num_tasks(), original.num_tasks());
+  EXPECT_EQ(loaded.num_answers(), original.num_answers());
+  for (TaskId t = 0; t < original.num_tasks(); ++t) {
+    EXPECT_NEAR(loaded.Truth(t), original.Truth(t), 1e-4);
+  }
+  std::remove(answers.c_str());
+  std::remove(truth.c_str());
+}
+
+TEST(DataIoTest, LoadWithoutTruthFile) {
+  const std::string answers = TempPath("no_truth.csv");
+  WriteFile(answers, "task,worker,answer\na,w1,0\nb,w1,1\n");
+  CategoricalDataset dataset;
+  ASSERT_TRUE(LoadCategorical(answers, "", 0, &dataset).ok());
+  EXPECT_EQ(dataset.num_tasks(), 2);
+  EXPECT_EQ(dataset.num_labeled_tasks(), 0);
+  std::remove(answers.c_str());
+}
+
+TEST(DataIoTest, InfersNumChoices) {
+  const std::string answers = TempPath("infer_choices.csv");
+  WriteFile(answers, "task,worker,answer\na,w1,0\nb,w1,3\n");
+  CategoricalDataset dataset;
+  ASSERT_TRUE(LoadCategorical(answers, "", 0, &dataset).ok());
+  EXPECT_EQ(dataset.num_choices(), 4);
+  std::remove(answers.c_str());
+}
+
+TEST(DataIoTest, StringIdsInterned) {
+  const std::string answers = TempPath("string_ids.csv");
+  WriteFile(answers,
+            "task,worker,answer\n"
+            "taskA,alice,0\n"
+            "taskB,bob,1\n"
+            "taskA,bob,0\n");
+  CategoricalDataset dataset;
+  ASSERT_TRUE(LoadCategorical(answers, "", 2, &dataset).ok());
+  EXPECT_EQ(dataset.num_tasks(), 2);
+  EXPECT_EQ(dataset.num_workers(), 2);
+  EXPECT_EQ(dataset.AnswersForTask(0).size(), 2u);  // taskA
+  std::remove(answers.c_str());
+}
+
+TEST(DataIoTest, BadHeaderRejected) {
+  const std::string answers = TempPath("bad_header.csv");
+  WriteFile(answers, "foo,bar\n1,2\n");
+  CategoricalDataset dataset;
+  const util::Status status = LoadCategorical(answers, "", 2, &dataset);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kParseError);
+  std::remove(answers.c_str());
+}
+
+TEST(DataIoTest, NonIntegerLabelRejected) {
+  const std::string answers = TempPath("bad_label.csv");
+  WriteFile(answers, "task,worker,answer\na,w,xyz\n");
+  CategoricalDataset dataset;
+  EXPECT_FALSE(LoadCategorical(answers, "", 2, &dataset).ok());
+  std::remove(answers.c_str());
+}
+
+TEST(DataIoTest, LabelOutOfDeclaredRangeRejected) {
+  const std::string answers = TempPath("oob_label.csv");
+  WriteFile(answers, "task,worker,answer\na,w,5\n");
+  CategoricalDataset dataset;
+  const util::Status status = LoadCategorical(answers, "", 2, &dataset);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  std::remove(answers.c_str());
+}
+
+TEST(DataIoTest, TruthOnlyTasksIncluded) {
+  const std::string answers = TempPath("truth_only_a.csv");
+  const std::string truth = TempPath("truth_only_t.csv");
+  WriteFile(answers, "task,worker,answer\na,w,0\n");
+  WriteFile(truth, "task,truth\na,0\nunanswered,1\n");
+  CategoricalDataset dataset;
+  ASSERT_TRUE(LoadCategorical(answers, truth, 2, &dataset).ok());
+  EXPECT_EQ(dataset.num_tasks(), 2);
+  EXPECT_EQ(dataset.num_labeled_tasks(), 2);
+  std::remove(answers.c_str());
+  std::remove(truth.c_str());
+}
+
+}  // namespace
+}  // namespace crowdtruth::data

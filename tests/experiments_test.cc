@@ -1,0 +1,234 @@
+// Tests for the experiment harness: redundancy subsampling, qualification
+// bootstrap, hidden-test selection, masked metrics, and the runner.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/methods/mv.h"
+#include "core/methods/zc.h"
+#include "core/registry.h"
+#include "experiments/hidden_test.h"
+#include "experiments/qualification.h"
+#include "experiments/redundancy.h"
+#include "experiments/runner.h"
+#include "test_util.h"
+
+namespace crowdtruth::experiments {
+namespace {
+
+using crowdtruth::testing::kF;
+using crowdtruth::testing::kT;
+
+TEST(RedundancySubsampleTest, KeepsExactlyRAnswers) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 100;
+  spec.redundancy = 7;
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 251);
+  util::Rng rng(1);
+  const data::CategoricalDataset subsampled =
+      SubsampleRedundancy(dataset, 3, rng);
+  EXPECT_EQ(subsampled.num_tasks(), dataset.num_tasks());
+  for (data::TaskId t = 0; t < subsampled.num_tasks(); ++t) {
+    EXPECT_EQ(subsampled.AnswersForTask(t).size(), 3u);
+  }
+  EXPECT_EQ(subsampled.num_labeled_tasks(), dataset.num_labeled_tasks());
+}
+
+TEST(RedundancySubsampleTest, CappedByAvailableAnswers) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  util::Rng rng(2);
+  const data::CategoricalDataset subsampled =
+      SubsampleRedundancy(dataset, 10, rng);
+  EXPECT_EQ(subsampled.num_answers(), dataset.num_answers());
+}
+
+TEST(RedundancySubsampleTest, SubsetOfOriginalAnswers) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  util::Rng rng(3);
+  const data::CategoricalDataset subsampled =
+      SubsampleRedundancy(dataset, 1, rng);
+  for (data::TaskId t = 0; t < subsampled.num_tasks(); ++t) {
+    ASSERT_EQ(subsampled.AnswersForTask(t).size(), 1u);
+    const data::TaskVote& kept = subsampled.AnswersForTask(t)[0];
+    bool found = false;
+    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+      if (vote.worker == kept.worker && vote.label == kept.label) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(RedundancySubsampleTest, NumericVariant) {
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(50, 10, 8, {5.0}, 257);
+  util::Rng rng(4);
+  const data::NumericDataset subsampled =
+      SubsampleRedundancy(dataset, 2, rng);
+  for (data::TaskId t = 0; t < subsampled.num_tasks(); ++t) {
+    EXPECT_EQ(subsampled.AnswersForTask(t).size(), 2u);
+  }
+}
+
+TEST(QualificationTest, EstimatesTrackPlantedAccuracy) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 2000;
+  spec.num_workers = 10;
+  spec.redundancy = 5;
+  spec.worker_accuracy.assign(10, 0.9);
+  spec.worker_accuracy[0] = 0.5;
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 263);
+  util::Rng rng(5);
+  // Average many bootstrap rounds to beat the 20-sample noise.
+  std::vector<double> mean(10, 0.0);
+  const int rounds = 50;
+  for (int i = 0; i < rounds; ++i) {
+    const std::vector<double> estimate =
+        BootstrapQualificationAccuracy(dataset, 20, rng);
+    for (int w = 0; w < 10; ++w) mean[w] += estimate[w];
+  }
+  for (int w = 0; w < 10; ++w) mean[w] /= rounds;
+  EXPECT_NEAR(mean[0], 0.5, 0.1);
+  EXPECT_NEAR(mean[5], 0.9, 0.1);
+}
+
+TEST(QualificationTest, FallbackForWorkersWithoutLabeledAnswers) {
+  data::CategoricalDatasetBuilder builder(2, 2, 2);
+  builder.AddAnswer(0, 0, kT);
+  builder.AddAnswer(1, 1, kT);
+  builder.SetTruth(0, kT);  // Task 1 unlabeled; worker 1 has no evidence.
+  const data::CategoricalDataset dataset = std::move(builder).Build();
+  util::Rng rng(6);
+  const std::vector<double> estimate =
+      BootstrapQualificationAccuracy(dataset, 20, rng, 0.66);
+  EXPECT_DOUBLE_EQ(estimate[0], 1.0);
+  EXPECT_DOUBLE_EQ(estimate[1], 0.66);
+}
+
+TEST(QualificationTest, NumericRmseEstimates) {
+  std::vector<double> stddev = {2.0, 20.0};
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(1000, 2, 2, stddev, 269);
+  util::Rng rng(7);
+  std::vector<double> mean(2, 0.0);
+  const int rounds = 30;
+  for (int i = 0; i < rounds; ++i) {
+    const std::vector<double> estimate =
+        BootstrapQualificationRmse(dataset, 20, rng);
+    mean[0] += estimate[0];
+    mean[1] += estimate[1];
+  }
+  EXPECT_NEAR(mean[0] / rounds, 2.0, 1.0);
+  EXPECT_NEAR(mean[1] / rounds, 20.0, 5.0);
+}
+
+TEST(HiddenTestTest, SelectsRequestedFraction) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 200;
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 271);
+  util::Rng rng(8);
+  const GoldenSelection selection = SelectGolden(dataset, 0.25, rng);
+  int golden = 0;
+  int evaluate = 0;
+  for (int t = 0; t < 200; ++t) {
+    if (selection.golden_labels[t] != data::kNoTruth) {
+      ++golden;
+      EXPECT_FALSE(selection.evaluate[t]);
+      EXPECT_EQ(selection.golden_labels[t], dataset.Truth(t));
+    }
+    if (selection.evaluate[t]) ++evaluate;
+  }
+  EXPECT_EQ(golden, 50);
+  EXPECT_EQ(evaluate, 150);
+}
+
+TEST(HiddenTestTest, GoldenOnlyFromLabeledTasks) {
+  data::CategoricalDatasetBuilder builder(4, 1, 2);
+  for (int t = 0; t < 4; ++t) builder.AddAnswer(t, 0, kT);
+  builder.SetTruth(0, kT);
+  builder.SetTruth(1, kF);
+  const data::CategoricalDataset dataset = std::move(builder).Build();
+  util::Rng rng(9);
+  const GoldenSelection selection = SelectGolden(dataset, 1.0, rng);
+  EXPECT_NE(selection.golden_labels[0], data::kNoTruth);
+  EXPECT_NE(selection.golden_labels[1], data::kNoTruth);
+  EXPECT_EQ(selection.golden_labels[2], data::kNoTruth);
+  EXPECT_EQ(selection.golden_labels[3], data::kNoTruth);
+}
+
+TEST(HiddenTestTest, MaskedMetricsExcludeGolden) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  std::vector<bool> evaluate(6, true);
+  evaluate[5] = false;  // Exclude t6.
+  // Predict everything F: 4/6 unmasked, 4/5 masked (t6's miss excluded).
+  const std::vector<data::LabelId> predicted(6, kF);
+  EXPECT_NEAR(MaskedAccuracy(dataset, predicted, evaluate), 4.0 / 5.0,
+              1e-12);
+}
+
+TEST(HiddenTestTest, NumericSelectionAndMaskedErrors) {
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(100, 5, 3, {4.0}, 277);
+  util::Rng rng(10);
+  const GoldenSelection selection = SelectGolden(dataset, 0.3, rng);
+  int golden = 0;
+  for (int t = 0; t < 100; ++t) {
+    if (!std::isnan(selection.golden_values[t])) ++golden;
+  }
+  EXPECT_EQ(golden, 30);
+  std::vector<double> perfect(100);
+  for (int t = 0; t < 100; ++t) perfect[t] = dataset.Truth(t);
+  EXPECT_DOUBLE_EQ(MaskedMae(dataset, perfect, selection.evaluate), 0.0);
+  EXPECT_DOUBLE_EQ(MaskedRmse(dataset, perfect, selection.evaluate), 0.0);
+}
+
+TEST(RunnerTest, EvaluatesAndTimes) {
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset({.num_tasks = 100}, 281);
+  core::MajorityVoting mv;
+  const CategoricalEval eval =
+      EvaluateCategorical(mv, dataset, {}, 0);
+  EXPECT_GT(eval.accuracy, 0.8);
+  EXPECT_GE(eval.f1, 0.0);
+  EXPECT_GE(eval.seconds, 0.0);
+  EXPECT_TRUE(eval.converged);
+}
+
+TEST(RunnerTest, HiddenTestImprovesOrMatchesZc) {
+  // Feeding 40% golden tasks into ZC should not hurt the evaluation-set
+  // accuracy on a spammer-heavy dataset.
+  testing::PlantedSpec spec;
+  spec.num_tasks = 300;
+  spec.num_workers = 12;
+  spec.redundancy = 3;
+  spec.worker_accuracy.assign(12, 0.65);
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 283);
+  core::Zc zc;
+  util::Rng rng(11);
+  const GoldenSelection selection = SelectGolden(dataset, 0.4, rng);
+
+  core::InferenceOptions with_golden;
+  with_golden.golden_labels = selection.golden_labels;
+  const double with = EvaluateCategorical(zc, dataset, with_golden, 0,
+                                          &selection.evaluate)
+                          .accuracy;
+  const double without =
+      EvaluateCategorical(zc, dataset, {}, 0, &selection.evaluate).accuracy;
+  EXPECT_GE(with, without - 0.03);
+}
+
+TEST(SummarizeTest, MeanAndStddev) {
+  const Summary summary = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(summary.mean, 2.5);
+  EXPECT_NEAR(summary.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Summarize({}).mean, 0.0);
+  EXPECT_DOUBLE_EQ(Summarize({7.0}).stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace crowdtruth::experiments

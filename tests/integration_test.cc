@@ -1,0 +1,129 @@
+// End-to-end integration tests: profile generation -> experiment harness ->
+// method comparison, at reduced scale. These check the qualitative shape
+// findings of the paper's §6 on the simulated workloads.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "experiments/redundancy.h"
+#include "experiments/runner.h"
+#include "simulation/profiles.h"
+
+namespace crowdtruth {
+namespace {
+
+TEST(IntegrationTest, AllDecisionMakingMethodsRunOnDProductSample) {
+  const data::CategoricalDataset dataset =
+      sim::GenerateCategoricalProfile("D_Product", 0.08);
+  for (const std::string& name : core::DecisionMakingMethodNames()) {
+    const auto method = core::MakeCategoricalMethod(name);
+    const experiments::CategoricalEval eval =
+        experiments::EvaluateCategorical(*method, dataset, {},
+                                         sim::kPositiveLabel);
+    // D_Product at r=3 is noisy, but everything should beat coin flipping.
+    EXPECT_GT(eval.accuracy, 0.6) << name;
+  }
+}
+
+TEST(IntegrationTest, AllSingleChoiceMethodsRunOnSRelSample) {
+  const data::CategoricalDataset dataset =
+      sim::GenerateCategoricalProfile("S_Rel", 0.03);
+  for (const std::string& name : core::SingleChoiceMethodNames()) {
+    const auto method = core::MakeCategoricalMethod(name);
+    const experiments::CategoricalEval eval =
+        experiments::EvaluateCategorical(*method, dataset, {},
+                                         sim::kPositiveLabel);
+    EXPECT_GT(eval.accuracy, 0.3) << name;  // 4 choices: chance is 0.25.
+  }
+}
+
+TEST(IntegrationTest, AllNumericMethodsRunOnNEmotionSample) {
+  const data::NumericDataset dataset =
+      sim::GenerateNumericProfile("N_Emotion", 0.5);
+  for (const std::string& name : core::NumericMethodNames()) {
+    const auto method = core::MakeNumericMethod(name);
+    const experiments::NumericEval eval =
+        experiments::EvaluateNumeric(*method, dataset, {});
+    EXPECT_GT(eval.rmse, 0.0) << name;
+    EXPECT_LT(eval.rmse, 40.0) << name;
+    EXPECT_GE(eval.rmse, eval.mae) << name;
+  }
+}
+
+TEST(IntegrationTest, ConfusionMatrixMethodsLeadF1OnDProduct) {
+  // Paper §6.3.1(4): on D_Product, confusion-matrix methods (D&S, LFC)
+  // clearly beat worker-probability methods (MV) on F1-score because of
+  // the asymmetric worker behaviour.
+  const data::CategoricalDataset dataset =
+      sim::GenerateCategoricalProfile("D_Product", 0.35);
+  auto run = [&](const std::string& name) {
+    const auto method = core::MakeCategoricalMethod(name);
+    return experiments::EvaluateCategorical(*method, dataset, {},
+                                            sim::kPositiveLabel);
+  };
+  const double ds_f1 = run("D&S").f1;
+  const double lfc_f1 = run("LFC").f1;
+  const double mv_f1 = run("MV").f1;
+  EXPECT_GT(ds_f1, mv_f1);
+  EXPECT_GT(lfc_f1, mv_f1);
+}
+
+TEST(IntegrationTest, RedundancyImprovesQualityOnDPosSent) {
+  // Figures 4(c)-(d): quality rises steeply from r=1 to r=5.
+  const data::CategoricalDataset dataset =
+      sim::GenerateCategoricalProfile("D_PosSent", 1.0);
+  const auto ds = core::MakeCategoricalMethod("D&S");
+  std::vector<double> accuracy_r1;
+  std::vector<double> accuracy_r5;
+  util::Rng rng(31);
+  for (int trial = 0; trial < 3; ++trial) {
+    const data::CategoricalDataset r1 =
+        experiments::SubsampleRedundancy(dataset, 1, rng);
+    const data::CategoricalDataset r5 =
+        experiments::SubsampleRedundancy(dataset, 5, rng);
+    accuracy_r1.push_back(
+        experiments::EvaluateCategorical(*ds, r1, {}, 0).accuracy);
+    accuracy_r5.push_back(
+        experiments::EvaluateCategorical(*ds, r5, {}, 0).accuracy);
+  }
+  EXPECT_GT(experiments::Summarize(accuracy_r5).mean,
+            experiments::Summarize(accuracy_r1).mean + 0.03);
+}
+
+TEST(IntegrationTest, SAdultCompressesAllMethods) {
+  // §6.3.1: on S_Adult the methods barely differ — correlated errors cap
+  // everyone in a narrow low band.
+  const data::CategoricalDataset dataset =
+      sim::GenerateCategoricalProfile("S_Adult", 0.1);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const std::string& name : {"MV", "D&S", "LFC", "PM", "ZC"}) {
+    const auto method = core::MakeCategoricalMethod(name);
+    const double accuracy =
+        experiments::EvaluateCategorical(*method, dataset, {}, 0).accuracy;
+    lo = std::min(lo, accuracy);
+    hi = std::max(hi, accuracy);
+  }
+  EXPECT_LT(hi - lo, 0.12);
+  EXPECT_LT(hi, 0.6);  // Far below the easy-dataset regime.
+}
+
+TEST(IntegrationTest, MeanCompetitiveOnNEmotion) {
+  // §6.3.1 / Figure 6: Mean is the best or near-best numeric method.
+  const data::NumericDataset dataset =
+      sim::GenerateNumericProfile("N_Emotion", 1.0);
+  auto rmse = [&](const std::string& name) {
+    const auto method = core::MakeNumericMethod(name);
+    return experiments::EvaluateNumeric(*method, dataset, {}).rmse;
+  };
+  const double mean_rmse = rmse("Mean");
+  EXPECT_LT(mean_rmse, rmse("CATD") + 1.0);
+  EXPECT_LT(mean_rmse, rmse("PM") + 1.0);
+  EXPECT_LT(mean_rmse, rmse("LFC_N") + 1.0);
+  EXPECT_LT(mean_rmse, rmse("Median") + 1.0);
+}
+
+}  // namespace
+}  // namespace crowdtruth

@@ -1,0 +1,111 @@
+// Tests for the direct-computation baselines: MV, Mean, Median (paper
+// §5.1).
+#include <gtest/gtest.h>
+
+#include "core/methods/baselines_numeric.h"
+#include "core/methods/mv.h"
+#include "metrics/classification.h"
+#include "test_util.h"
+
+namespace crowdtruth::core {
+namespace {
+
+using testing::kF;
+using testing::kT;
+
+TEST(MajorityVotingTest, Table2MajorityOutcomes) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  MajorityVoting mv;
+  const CategoricalResult result = mv.Infer(dataset, {});
+  // §3: MV infers F for t2..t6 — including the wrong call on t6.
+  for (int t = 1; t < 6; ++t) EXPECT_EQ(result.labels[t], kF);
+}
+
+TEST(MajorityVotingTest, TieBreakIsSeedDeterministic) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  MajorityVoting mv;
+  InferenceOptions options;
+  options.seed = 9;
+  const CategoricalResult a = mv.Infer(dataset, options);
+  const CategoricalResult b = mv.Infer(dataset, options);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(MajorityVotingTest, HighAccuracyOnEasyPlantedData) {
+  testing::PlantedSpec spec;
+  spec.worker_accuracy = {0.9};
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 1);
+  MajorityVoting mv;
+  const CategoricalResult result = mv.Infer(dataset, {});
+  EXPECT_GT(metrics::Accuracy(dataset, result.labels), 0.95);
+}
+
+TEST(MajorityVotingTest, WorkerQualityIsAgreementRate) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  MajorityVoting mv;
+  const CategoricalResult result = mv.Infer(dataset, {});
+  ASSERT_EQ(result.worker_quality.size(), 3u);
+  // w3 agrees with the majority on 4 of 6 tasks (0.667); w2 on 3 of 5
+  // (0.6). w1's rate depends on the t1 tie-break, so compare w3 vs w2.
+  EXPECT_GT(result.worker_quality[2], result.worker_quality[1]);
+}
+
+TEST(MeanBaselineTest, ComputesTaskMeans) {
+  data::NumericDatasetBuilder builder(2, 3);
+  builder.AddAnswer(0, 0, 1.0);
+  builder.AddAnswer(0, 1, 2.0);
+  builder.AddAnswer(0, 2, 6.0);
+  builder.AddAnswer(1, 0, -4.0);
+  builder.SetTruth(0, 3.0);
+  builder.SetTruth(1, 0.0);
+  const data::NumericDataset dataset = std::move(builder).Build();
+  MeanBaseline mean;
+  const NumericResult result = mean.Infer(dataset, {});
+  EXPECT_DOUBLE_EQ(result.values[0], 3.0);
+  EXPECT_DOUBLE_EQ(result.values[1], -4.0);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(MedianBaselineTest, OddAndEvenCounts) {
+  data::NumericDatasetBuilder builder(2, 4);
+  builder.AddAnswer(0, 0, 1.0);
+  builder.AddAnswer(0, 1, 100.0);
+  builder.AddAnswer(0, 2, 2.0);
+  builder.AddAnswer(1, 0, 1.0);
+  builder.AddAnswer(1, 1, 3.0);
+  builder.AddAnswer(1, 2, 5.0);
+  builder.AddAnswer(1, 3, 100.0);
+  const data::NumericDataset dataset = std::move(builder).Build();
+  MedianBaseline median;
+  const NumericResult result = median.Infer(dataset, {});
+  EXPECT_DOUBLE_EQ(result.values[0], 2.0);  // Odd count: middle.
+  EXPECT_DOUBLE_EQ(result.values[1], 4.0);  // Even count: midpoint.
+}
+
+TEST(MedianBaselineTest, RobustToOutliersUnlikeMean) {
+  data::NumericDatasetBuilder builder(1, 5);
+  for (int w = 0; w < 4; ++w) builder.AddAnswer(0, w, 10.0);
+  builder.AddAnswer(0, 4, 1000.0);
+  builder.SetTruth(0, 10.0);
+  const data::NumericDataset dataset = std::move(builder).Build();
+  MeanBaseline mean;
+  MedianBaseline median;
+  EXPECT_DOUBLE_EQ(median.Infer(dataset, {}).values[0], 10.0);
+  EXPECT_GT(mean.Infer(dataset, {}).values[0], 100.0);
+}
+
+TEST(NumericBaselinesTest, WorkerQualityHigherForCloserWorkers) {
+  data::NumericDatasetBuilder builder(4, 3);
+  for (int t = 0; t < 4; ++t) {
+    builder.AddAnswer(t, 0, 10.0);  // Two workers pin the consensus...
+    builder.AddAnswer(t, 1, 10.0);
+    builder.AddAnswer(t, 2, 70.0);  // ...one is far off.
+  }
+  const data::NumericDataset dataset = std::move(builder).Build();
+  MeanBaseline mean;
+  const NumericResult result = mean.Infer(dataset, {});
+  EXPECT_GT(result.worker_quality[0], result.worker_quality[2]);
+}
+
+}  // namespace
+}  // namespace crowdtruth::core

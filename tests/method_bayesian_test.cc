@@ -1,0 +1,220 @@
+// Tests for the sampling / variational / message-passing methods: BCC,
+// CBCC, VI-MF, VI-BP, KOS, and Multi.
+#include <gtest/gtest.h>
+
+#include "core/methods/bcc.h"
+#include "core/methods/cbcc.h"
+#include "core/methods/kos.h"
+#include "core/methods/multi.h"
+#include "core/methods/mv.h"
+#include "core/methods/vi_bp.h"
+#include "core/methods/vi_mf.h"
+#include "metrics/classification.h"
+#include "test_util.h"
+
+namespace crowdtruth::core {
+namespace {
+
+using testing::kF;
+using testing::kT;
+
+std::vector<data::LabelId> GroundTruth(
+    const data::CategoricalDataset& dataset) {
+  std::vector<data::LabelId> truth(dataset.num_tasks());
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    truth[t] = dataset.Truth(t);
+  }
+  return truth;
+}
+
+TEST(BccTest, HighAccuracyOnEasyPlantedData) {
+  testing::PlantedSpec spec;
+  spec.worker_accuracy = {0.9};
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 43);
+  Bcc bcc;
+  EXPECT_GT(metrics::Accuracy(dataset, bcc.Infer(dataset, {}).labels), 0.95);
+}
+
+TEST(BccTest, DeterministicGivenSeed) {
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset({.num_tasks = 100}, 47);
+  Bcc bcc;
+  InferenceOptions options;
+  options.seed = 1234;
+  EXPECT_EQ(bcc.Infer(dataset, options).labels,
+            bcc.Infer(dataset, options).labels);
+}
+
+TEST(BccTest, PosteriorMarginalsNormalized) {
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset({.num_tasks = 60}, 53);
+  Bcc bcc;
+  const CategoricalResult result = bcc.Infer(dataset, {});
+  for (const auto& marginal : result.posterior) {
+    double total = 0.0;
+    for (double p : marginal) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(BccTest, ExploitsAsymmetricWorkers) {
+  const data::CategoricalDataset dataset =
+      testing::PlantedAsymmetricBinary(600, 20, 5, 0.6, 0.95, 0.15, 59);
+  Bcc bcc;
+  EXPECT_GT(metrics::Accuracy(dataset, bcc.Infer(dataset, {}).labels), 0.88);
+}
+
+TEST(CbccTest, HighAccuracyOnEasyPlantedData) {
+  testing::PlantedSpec spec;
+  spec.worker_accuracy = {0.9};
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 61);
+  Cbcc cbcc;
+  EXPECT_GT(metrics::Accuracy(dataset, cbcc.Infer(dataset, {}).labels),
+            0.93);
+}
+
+TEST(CbccTest, SeparatesCommunities) {
+  // Two clear communities (accurate vs spammy); CBCC's shared community
+  // matrices should still recover the truth well.
+  testing::PlantedSpec spec;
+  spec.num_tasks = 400;
+  spec.num_workers = 16;
+  spec.redundancy = 7;
+  spec.worker_accuracy.assign(16, 0.92);
+  for (int w = 8; w < 16; ++w) spec.worker_accuracy[w] = 0.5;
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 67);
+  Cbcc cbcc;
+  const CategoricalResult result = cbcc.Infer(dataset, {});
+  EXPECT_GT(metrics::Accuracy(dataset, result.labels), 0.93);
+  double good = 0.0;
+  double bad = 0.0;
+  for (int w = 0; w < 8; ++w) good += result.worker_quality[w];
+  for (int w = 8; w < 16; ++w) bad += result.worker_quality[w];
+  EXPECT_GT(good / 8.0, bad / 8.0);
+}
+
+TEST(ViMfTest, Table2BeatsChance) {
+  // Exact recovery is not required on the 6-task toy (the MLE prefers an
+  // inverted-w1 explanation, and VI-MF's diagonal priors plus the F-heavy
+  // class prior may tip the t1 tie to F); see method_em_test.cc.
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  ViMf vi_mf;
+  const CategoricalResult result = vi_mf.Infer(dataset, {});
+  int correct = 0;
+  for (int t = 0; t < 6; ++t) {
+    if (result.labels[t] == dataset.Truth(t)) ++correct;
+  }
+  EXPECT_GE(correct, 4);
+}
+
+TEST(ViMfTest, HighAccuracyOnEasyPlantedData) {
+  testing::PlantedSpec spec;
+  spec.worker_accuracy = {0.9};
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 71);
+  ViMf vi_mf;
+  EXPECT_GT(metrics::Accuracy(dataset, vi_mf.Infer(dataset, {}).labels),
+            0.95);
+}
+
+TEST(ViMfTest, GoldenTasksClamped) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  ViMf vi_mf;
+  InferenceOptions options;
+  options.golden_labels.assign(6, data::kNoTruth);
+  options.golden_labels[1] = kT;
+  EXPECT_EQ(vi_mf.Infer(dataset, options).labels[1], kT);
+}
+
+TEST(ViBpTest, HighAccuracyOnEasyPlantedData) {
+  testing::PlantedSpec spec;
+  spec.worker_accuracy = {0.9};
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 73);
+  ViBp vi_bp;
+  EXPECT_GT(metrics::Accuracy(dataset, vi_bp.Infer(dataset, {}).labels),
+            0.9);
+}
+
+TEST(ViBpTest, BinaryOnly) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 10;
+  spec.num_choices = 3;
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 79);
+  ViBp vi_bp;
+  EXPECT_DEATH(vi_bp.Infer(dataset, {}), "binary");
+}
+
+TEST(KosTest, HighAccuracyOnEasyPlantedData) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 400;
+  spec.num_workers = 30;
+  spec.redundancy = 7;
+  spec.worker_accuracy = {0.85};
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 83);
+  Kos kos;
+  EXPECT_GT(metrics::Accuracy(dataset, kos.Infer(dataset, {}).labels), 0.93);
+}
+
+TEST(KosTest, BinaryOnly) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 10;
+  spec.num_choices = 4;
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 89);
+  Kos kos;
+  EXPECT_DEATH(kos.Infer(dataset, {}), "binary");
+}
+
+TEST(KosTest, AdversaryGetsNegativeQuality) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 300;
+  spec.num_workers = 10;
+  spec.redundancy = 6;
+  spec.worker_accuracy.assign(10, 0.9);
+  spec.worker_accuracy[0] = 0.1;  // Systematically wrong.
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 97);
+  Kos kos;
+  const CategoricalResult result = kos.Infer(dataset, {});
+  EXPECT_LT(result.worker_quality[0], 0.0);
+  EXPECT_GT(result.worker_quality[1], 0.5);
+}
+
+TEST(MultiTest, HighAccuracyOnEasyPlantedData) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 300;
+  spec.num_workers = 15;
+  spec.redundancy = 6;
+  spec.worker_accuracy = {0.85};
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 101);
+  Multi multi;
+  EXPECT_GT(metrics::Accuracy(dataset, multi.Infer(dataset, {}).labels),
+            0.9);
+}
+
+TEST(MultiTest, BinaryOnly) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 10;
+  spec.num_choices = 3;
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 103);
+  Multi multi;
+  EXPECT_DEATH(multi.Infer(dataset, {}), "binary");
+}
+
+TEST(MultiTest, WorkerAlignmentSeparatesSpammer) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 300;
+  spec.num_workers = 10;
+  spec.redundancy = 6;
+  spec.worker_accuracy.assign(10, 0.9);
+  spec.worker_accuracy[0] = 0.5;
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 107);
+  Multi multi;
+  const CategoricalResult result = multi.Infer(dataset, {});
+  double good = 0.0;
+  for (int w = 1; w < 10; ++w) good += result.worker_quality[w];
+  EXPECT_GT(good / 9.0, result.worker_quality[0]);
+}
+
+}  // namespace
+}  // namespace crowdtruth::core

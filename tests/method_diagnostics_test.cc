@@ -1,0 +1,130 @@
+// Tests for the diagnostic outputs of the iterative methods: convergence
+// traces, recovered confusion matrices (D&S), and task-easiness estimates
+// (GLAD).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/methods/ds.h"
+#include "core/methods/glad.h"
+#include "core/methods/vi_mf.h"
+#include "core/methods/zc.h"
+#include "core/registry.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace crowdtruth::core {
+namespace {
+
+using testing::kF;
+using testing::kT;
+
+TEST(ConvergenceTraceTest, EndsBelowToleranceWhenConverged) {
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset({.num_tasks = 150}, 311);
+  InferenceOptions options;
+  options.tolerance = 1e-4;
+  for (const char* name : {"ZC", "D&S", "LFC", "VI-MF"}) {
+    const auto method = MakeCategoricalMethod(name);
+    const CategoricalResult result = method->Infer(dataset, options);
+    ASSERT_FALSE(result.convergence_trace.empty()) << name;
+    EXPECT_EQ(static_cast<int>(result.convergence_trace.size()),
+              result.iterations)
+        << name;
+    if (result.converged) {
+      EXPECT_LT(result.convergence_trace.back(), options.tolerance) << name;
+    }
+  }
+}
+
+TEST(ConvergenceTraceTest, TraceShrinksSubstantially) {
+  // EM-style methods should reduce the parameter change by orders of
+  // magnitude between the first and last iteration.
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset({.num_tasks = 200}, 313);
+  Zc zc;
+  const CategoricalResult result = zc.Infer(dataset, {});
+  ASSERT_GE(result.convergence_trace.size(), 2u);
+  EXPECT_LT(result.convergence_trace.back(),
+            result.convergence_trace.front());
+}
+
+TEST(ConvergenceTraceTest, NumericMethodsTraceToo) {
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(100, 8, 5, {5.0}, 317);
+  for (const char* name : {"LFC_N", "PM", "CATD"}) {
+    const auto method = MakeNumericMethod(name);
+    const NumericResult result = method->Infer(dataset, {});
+    EXPECT_EQ(static_cast<int>(result.convergence_trace.size()),
+              result.iterations)
+        << name;
+  }
+}
+
+TEST(ConfusionRecoveryTest, DawidSkeneRecoversPlantedMatrices) {
+  // Plant strongly asymmetric two-coin workers (q_TT=0.65, q_FF=0.92) and
+  // check the recovered confusion-matrix entries.
+  const double q_tt = 0.65;
+  const double q_ff = 0.92;
+  const data::CategoricalDataset dataset = testing::PlantedAsymmetricBinary(
+      2000, 15, 5, q_tt, q_ff, 0.3, 331);
+  DawidSkene ds;
+  const CategoricalResult result = ds.Infer(dataset, {});
+  ASSERT_EQ(result.worker_confusion.size(), 15u);
+  double mean_tt = 0.0;
+  double mean_ff = 0.0;
+  for (const auto& matrix : result.worker_confusion) {
+    ASSERT_EQ(matrix.size(), 4u);
+    mean_tt += matrix[0 * 2 + 0];
+    mean_ff += matrix[1 * 2 + 1];
+    // Rows are stochastic.
+    EXPECT_NEAR(matrix[0] + matrix[1], 1.0, 1e-9);
+    EXPECT_NEAR(matrix[2] + matrix[3], 1.0, 1e-9);
+  }
+  EXPECT_NEAR(mean_tt / 15.0, q_tt, 0.06);
+  EXPECT_NEAR(mean_ff / 15.0, q_ff, 0.04);
+}
+
+TEST(ConfusionRecoveryTest, ViMfExposesNoConfusionButValidTrace) {
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset({.num_tasks = 80}, 337);
+  ViMf vi_mf;
+  const CategoricalResult result = vi_mf.Infer(dataset, {});
+  EXPECT_FALSE(result.convergence_trace.empty());
+}
+
+TEST(TaskEasinessTest, GladSeparatesEasyFromHardTasks) {
+  // Hand-build a dataset where tasks 0..99 are answered at 95% accuracy
+  // and tasks 100..199 at 55%: GLAD's easiness estimate should be higher
+  // for the first block.
+  util::Rng rng(347);
+  data::CategoricalDatasetBuilder builder(200, 20, 2);
+  for (int t = 0; t < 200; ++t) {
+    const data::LabelId truth = rng.Bernoulli(0.5) ? kT : kF;
+    builder.SetTruth(t, truth);
+    const double accuracy = t < 100 ? 0.95 : 0.55;
+    for (int w : rng.SampleWithoutReplacement(20, 7)) {
+      const data::LabelId answer =
+          rng.Bernoulli(accuracy) ? truth : (truth == kT ? kF : kT);
+      builder.AddAnswer(t, w, answer);
+    }
+  }
+  const data::CategoricalDataset dataset = std::move(builder).Build();
+  Glad glad;
+  const CategoricalResult result = glad.Infer(dataset, {});
+  ASSERT_EQ(result.task_easiness.size(), 200u);
+  double easy_mean = 0.0;
+  double hard_mean = 0.0;
+  for (int t = 0; t < 100; ++t) easy_mean += result.task_easiness[t];
+  for (int t = 100; t < 200; ++t) hard_mean += result.task_easiness[t];
+  EXPECT_GT(easy_mean / 100.0, hard_mean / 100.0);
+}
+
+TEST(TaskEasinessTest, EmptyForMethodsWithoutTaskModel) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  const auto ds = MakeCategoricalMethod("D&S");
+  EXPECT_TRUE(ds->Infer(dataset, {}).task_easiness.empty());
+}
+
+}  // namespace
+}  // namespace crowdtruth::core

@@ -1,0 +1,242 @@
+// Tests for the EM-based PGM methods: ZC, D&S, LFC, GLAD.
+#include <gtest/gtest.h>
+
+#include "core/methods/ds.h"
+#include "core/methods/glad.h"
+#include "core/methods/lfc.h"
+#include "core/methods/mv.h"
+#include "core/methods/zc.h"
+#include "metrics/classification.h"
+#include "test_util.h"
+
+namespace crowdtruth::core {
+namespace {
+
+using testing::kF;
+using testing::kT;
+
+std::vector<data::LabelId> GroundTruth(
+    const data::CategoricalDataset& dataset) {
+  std::vector<data::LabelId> truth(dataset.num_tasks());
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    truth[t] = dataset.Truth(t);
+  }
+  return truth;
+}
+
+TEST(ZcTest, Table2ResolvesTiesByWorkerQuality) {
+  // On the 6-task toy the global MLE legitimately explains w1 as an
+  // inverted worker, so exact truth recovery is not the oracle here (only
+  // PM, whose weights cannot go negative, is walked through in §3). What
+  // quality-aware methods must do is (a) resolve the t1 tie toward the
+  // better worker w3 and (b) beat a coin flip overall.
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  Zc zc;
+  const CategoricalResult result = zc.Infer(dataset, {});
+  EXPECT_EQ(result.labels[0], kT);  // t1: w3's answer wins the 1-1 tie.
+  int correct = 0;
+  for (int t = 0; t < 6; ++t) {
+    if (result.labels[t] == dataset.Truth(t)) ++correct;
+  }
+  EXPECT_GE(correct, 4);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(ZcTest, PosteriorNormalized) {
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset({.num_tasks = 50}, 2);
+  Zc zc;
+  const CategoricalResult result = zc.Infer(dataset, {});
+  for (const auto& belief : result.posterior) {
+    double total = 0.0;
+    for (double p : belief) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(ZcTest, BeatsMajorityVoteWithSpammers) {
+  // Half the workers are spammers; ZC should down-weight them.
+  testing::PlantedSpec spec;
+  spec.num_tasks = 400;
+  spec.num_workers = 20;
+  spec.redundancy = 7;
+  spec.worker_accuracy.assign(20, 0.95);
+  for (int w = 10; w < 20; ++w) spec.worker_accuracy[w] = 0.5;
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 3);
+  Zc zc;
+  MajorityVoting mv;
+  const double zc_acc =
+      metrics::Accuracy(dataset, zc.Infer(dataset, {}).labels);
+  const double mv_acc =
+      metrics::Accuracy(dataset, mv.Infer(dataset, {}).labels);
+  EXPECT_GE(zc_acc, mv_acc);
+  EXPECT_GT(zc_acc, 0.97);
+}
+
+TEST(ZcTest, QualificationInitializationAccepted) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  Zc zc;
+  InferenceOptions options;
+  options.initial_worker_quality = {0.33, 0.4, 1.0};
+  const CategoricalResult result = zc.Infer(dataset, options);
+  // The strong initial quality for w3 must at minimum settle the t1 tie
+  // in w3's favour.
+  EXPECT_EQ(result.labels[0], kT);
+}
+
+TEST(ZcTest, GoldenTasksClamped) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  Zc zc;
+  InferenceOptions options;
+  // Force t2 (majority F, truth F) to T: the output must respect it.
+  options.golden_labels.assign(6, data::kNoTruth);
+  options.golden_labels[1] = kT;
+  const CategoricalResult result = zc.Infer(dataset, options);
+  EXPECT_EQ(result.labels[1], kT);
+}
+
+TEST(DawidSkeneTest, Table2ResolvesTieAndBeatsChance) {
+  // See ZcTest.Table2ResolvesTiesByWorkerQuality for why exact recovery is
+  // not required on this toy.
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  DawidSkene ds;
+  const CategoricalResult result = ds.Infer(dataset, {});
+  EXPECT_EQ(result.labels[0], kT);
+  int correct = 0;
+  for (int t = 0; t < 6; ++t) {
+    if (result.labels[t] == dataset.Truth(t)) ++correct;
+  }
+  EXPECT_GE(correct, 4);
+}
+
+TEST(DawidSkeneTest, ExploitsAsymmetricWorkers) {
+  // q_TT = 0.6, q_FF = 0.95, 15% positive: the D_Product regime. D&S must
+  // recover the asymmetry and clearly beat MV on accuracy.
+  const data::CategoricalDataset dataset =
+      testing::PlantedAsymmetricBinary(800, 25, 5, 0.6, 0.95, 0.15, 5);
+  DawidSkene ds;
+  MajorityVoting mv;
+  const double ds_acc =
+      metrics::Accuracy(dataset, ds.Infer(dataset, {}).labels);
+  const double mv_acc =
+      metrics::Accuracy(dataset, mv.Infer(dataset, {}).labels);
+  EXPECT_GT(ds_acc, mv_acc - 0.01);
+  EXPECT_GT(ds_acc, 0.9);
+}
+
+TEST(DawidSkeneTest, WorkerQualityTracksPlantedAccuracy) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 500;
+  spec.num_workers = 10;
+  spec.redundancy = 5;
+  spec.worker_accuracy.assign(10, 0.9);
+  spec.worker_accuracy[0] = 0.55;
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 7);
+  DawidSkene ds;
+  const CategoricalResult result = ds.Infer(dataset, {});
+  for (int w = 1; w < 10; ++w) {
+    EXPECT_GT(result.worker_quality[w], result.worker_quality[0])
+        << "worker " << w;
+  }
+}
+
+TEST(LfcTest, Table2BeatsChance) {
+  // LFC's diagonal priors keep it in the non-inverted regime, where the
+  // F-heavy class prior may legitimately tip the t1 tie to F — so unlike
+  // ZC/D&S we only require better-than-chance accuracy here.
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  Lfc lfc;
+  const CategoricalResult result = lfc.Infer(dataset, {});
+  int correct = 0;
+  for (int t = 0; t < 6; ++t) {
+    if (result.labels[t] == dataset.Truth(t)) ++correct;
+  }
+  EXPECT_GE(correct, 4);
+}
+
+TEST(LfcTest, PriorsStabilizeSparseWorkers) {
+  // With one answer per worker, D&S's MLE can collapse; LFC's priors keep
+  // qualities near the prior mean instead of 0/1 extremes.
+  data::CategoricalDatasetBuilder builder(2, 4, 2);
+  builder.AddAnswer(0, 0, kT);
+  builder.AddAnswer(0, 1, kT);
+  builder.AddAnswer(1, 2, kF);
+  builder.AddAnswer(1, 3, kF);
+  builder.SetTruth(0, kT);
+  builder.SetTruth(1, kF);
+  const data::CategoricalDataset dataset = std::move(builder).Build();
+  Lfc lfc;
+  const CategoricalResult result = lfc.Infer(dataset, {});
+  for (double q : result.worker_quality) {
+    EXPECT_GT(q, 0.3);
+    EXPECT_LT(q, 0.95);
+  }
+}
+
+TEST(GladTest, Table2ResolvesTieAndBeatsChance) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  Glad glad;
+  const CategoricalResult result = glad.Infer(dataset, {});
+  EXPECT_EQ(result.labels[0], kT);
+  int correct = 0;
+  for (int t = 0; t < 6; ++t) {
+    if (result.labels[t] == dataset.Truth(t)) ++correct;
+  }
+  EXPECT_GE(correct, 4);
+}
+
+TEST(GladTest, HighAccuracyOnEasyPlantedData) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 200;
+  spec.worker_accuracy = {0.85};
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 11);
+  Glad glad;
+  const CategoricalResult result = glad.Infer(dataset, {});
+  EXPECT_GT(metrics::Accuracy(dataset, result.labels), 0.93);
+}
+
+TEST(GladTest, AbilitySeparatesGoodFromBadWorkers) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 400;
+  spec.num_workers = 10;
+  spec.redundancy = 5;
+  spec.worker_accuracy.assign(10, 0.9);
+  spec.worker_accuracy[0] = 0.5;
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 13);
+  Glad glad;
+  const CategoricalResult result = glad.Infer(dataset, {});
+  double good_mean = 0.0;
+  for (int w = 1; w < 10; ++w) good_mean += result.worker_quality[w];
+  good_mean /= 9.0;
+  EXPECT_GT(good_mean, result.worker_quality[0]);
+}
+
+TEST(GladTest, GoldenTasksClamped) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  Glad glad;
+  InferenceOptions options;
+  options.golden_labels.assign(6, data::kNoTruth);
+  options.golden_labels[4] = kT;
+  const CategoricalResult result = glad.Infer(dataset, options);
+  EXPECT_EQ(result.labels[4], kT);
+}
+
+TEST(EmMethodsTest, SingleChoiceFourWay) {
+  // All single-choice-capable EM methods handle l = 4.
+  testing::PlantedSpec spec;
+  spec.num_tasks = 300;
+  spec.num_choices = 4;
+  spec.worker_accuracy = {0.8};
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 17);
+  Zc zc;
+  DawidSkene ds;
+  Lfc lfc;
+  Glad glad;
+  EXPECT_GT(metrics::Accuracy(dataset, zc.Infer(dataset, {}).labels), 0.9);
+  EXPECT_GT(metrics::Accuracy(dataset, ds.Infer(dataset, {}).labels), 0.9);
+  EXPECT_GT(metrics::Accuracy(dataset, lfc.Infer(dataset, {}).labels), 0.9);
+  EXPECT_GT(metrics::Accuracy(dataset, glad.Infer(dataset, {}).labels), 0.9);
+}
+
+}  // namespace
+}  // namespace crowdtruth::core

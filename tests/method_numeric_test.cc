@@ -1,0 +1,113 @@
+// Tests for LFC_N and cross-method numeric behaviour.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/methods/baselines_numeric.h"
+#include "core/methods/catd.h"
+#include "core/methods/lfc_n.h"
+#include "core/methods/pm.h"
+#include "metrics/numeric.h"
+#include "test_util.h"
+
+namespace crowdtruth::core {
+namespace {
+
+TEST(LfcNumericTest, ConvergesNearTruth) {
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(300, 10, 6, {4.0}, 109);
+  LfcNumeric lfc_n;
+  const NumericResult result = lfc_n.Infer(dataset, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(metrics::RootMeanSquaredError(dataset, result.values), 2.5);
+}
+
+TEST(LfcNumericTest, BeatsMeanWithHeterogeneousVariances) {
+  // One precise worker among noisy ones: variance weighting should beat
+  // the unweighted mean (the regime where LFC_N's model actually holds).
+  std::vector<double> stddev = {1.0, 1.0, 25.0, 25.0, 25.0, 25.0, 25.0,
+                                25.0};
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(500, 8, 6, stddev, 113);
+  LfcNumeric lfc_n;
+  MeanBaseline mean;
+  const double lfc_rmse = metrics::RootMeanSquaredError(
+      dataset, lfc_n.Infer(dataset, {}).values);
+  const double mean_rmse = metrics::RootMeanSquaredError(
+      dataset, mean.Infer(dataset, {}).values);
+  EXPECT_LT(lfc_rmse, mean_rmse);
+}
+
+TEST(LfcNumericTest, VarianceEstimatesOrdered) {
+  std::vector<double> stddev = {2.0, 2.0, 2.0, 2.0, 30.0, 30.0};
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(400, 6, 4, stddev, 127);
+  LfcNumeric lfc_n;
+  const NumericResult result = lfc_n.Infer(dataset, {});
+  // worker_quality is -stddev; precise workers must rank higher.
+  EXPECT_GT(result.worker_quality[0], result.worker_quality[4]);
+  EXPECT_GT(result.worker_quality[1], result.worker_quality[5]);
+}
+
+TEST(LfcNumericTest, GoldenValuesClamped) {
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(20, 5, 3, {5.0}, 131);
+  LfcNumeric lfc_n;
+  InferenceOptions options;
+  options.golden_values.assign(20, kNoGoldenValue);
+  options.golden_values[7] = 123.0;
+  const NumericResult result = lfc_n.Infer(dataset, options);
+  EXPECT_DOUBLE_EQ(result.values[7], 123.0);
+}
+
+TEST(NumericMethodsTest, AllConvergeToCloseValuesOnHomogeneousData) {
+  // With i.i.d. equal-variance workers every method should land near the
+  // plain mean — this is the paper's N_Emotion finding in miniature.
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(300, 12, 8, {10.0}, 137);
+  MeanBaseline mean;
+  MedianBaseline median;
+  LfcNumeric lfc_n;
+  PmNumeric pm;
+  CatdNumeric catd;
+  const double mean_rmse =
+      metrics::RootMeanSquaredError(dataset, mean.Infer(dataset, {}).values);
+  for (const NumericMethod* method :
+       std::initializer_list<const NumericMethod*>{&median, &lfc_n, &pm,
+                                                   &catd}) {
+    const double rmse = metrics::RootMeanSquaredError(
+        dataset, method->Infer(dataset, {}).values);
+    EXPECT_LT(std::fabs(rmse - mean_rmse), 1.5) << method->name();
+  }
+}
+
+TEST(NumericMethodsTest, QualificationInitializationAccepted) {
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(100, 6, 4, {5.0}, 139);
+  InferenceOptions options;
+  options.initial_worker_quality = {4.0, 5.0, 6.0, 5.0, 4.5, 5.5};  // RMSEs.
+  LfcNumeric lfc_n;
+  PmNumeric pm;
+  CatdNumeric catd;
+  EXPECT_TRUE(lfc_n.Infer(dataset, options).converged);
+  EXPECT_TRUE(pm.Infer(dataset, options).converged);
+  EXPECT_LT(metrics::RootMeanSquaredError(
+                dataset, catd.Infer(dataset, options).values),
+            4.0);
+}
+
+TEST(NumericMethodsTest, SingleAnswerTasksPassThrough) {
+  data::NumericDatasetBuilder builder(3, 1);
+  builder.AddAnswer(0, 0, 1.0);
+  builder.AddAnswer(1, 0, 2.0);
+  builder.AddAnswer(2, 0, 3.0);
+  const data::NumericDataset dataset = std::move(builder).Build();
+  LfcNumeric lfc_n;
+  const NumericResult result = lfc_n.Infer(dataset, {});
+  EXPECT_DOUBLE_EQ(result.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.values[1], 2.0);
+  EXPECT_DOUBLE_EQ(result.values[2], 3.0);
+}
+
+}  // namespace
+}  // namespace crowdtruth::core

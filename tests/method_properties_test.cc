@@ -1,0 +1,232 @@
+// Cross-method property tests, parameterized over the registry: every
+// surveyed method must satisfy the framework's basic invariants on datasets
+// drawn from its own comfort zone.
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "metrics/classification.h"
+#include "metrics/numeric.h"
+#include "test_util.h"
+
+namespace crowdtruth::core {
+namespace {
+
+class CategoricalMethodPropertyTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CategoricalMethodPropertyTest, AccurateOnEasyBinaryData) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 250;
+  spec.num_workers = 20;
+  spec.redundancy = 7;
+  spec.worker_accuracy = {0.88};
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 211);
+  const auto method = MakeCategoricalMethod(GetParam());
+  ASSERT_NE(method, nullptr);
+  const CategoricalResult result = method->Infer(dataset, {});
+  EXPECT_GT(metrics::Accuracy(dataset, result.labels), 0.9) << GetParam();
+}
+
+TEST_P(CategoricalMethodPropertyTest, DeterministicGivenSeed) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 80;
+  spec.worker_accuracy = {0.8};
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 223);
+  const auto method = MakeCategoricalMethod(GetParam());
+  InferenceOptions options;
+  options.seed = 99;
+  EXPECT_EQ(method->Infer(dataset, options).labels,
+            method->Infer(dataset, options).labels)
+      << GetParam();
+}
+
+TEST_P(CategoricalMethodPropertyTest, OutputShapesMatchDataset) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 40;
+  spec.num_workers = 8;
+  spec.redundancy = 4;
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 227);
+  const auto method = MakeCategoricalMethod(GetParam());
+  const CategoricalResult result = method->Infer(dataset, {});
+  EXPECT_EQ(static_cast<int>(result.labels.size()), dataset.num_tasks());
+  EXPECT_EQ(static_cast<int>(result.worker_quality.size()),
+            dataset.num_workers());
+  for (data::LabelId label : result.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, dataset.num_choices());
+  }
+  if (!result.posterior.empty()) {
+    for (const auto& belief : result.posterior) {
+      double total = 0.0;
+      for (double p : belief) {
+        EXPECT_GE(p, -1e-9);
+        total += p;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-6);
+    }
+  }
+}
+
+TEST_P(CategoricalMethodPropertyTest, LabelSwapEquivariantOnBinaryData) {
+  // Swapping the two choices everywhere must swap the inferred labels
+  // (up to tie-broken tasks, which the planted data avoids at this size).
+  testing::PlantedSpec spec;
+  spec.num_tasks = 150;
+  spec.num_workers = 15;
+  spec.redundancy = 7;
+  spec.worker_accuracy = {0.9};
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 229);
+
+  data::CategoricalDatasetBuilder swapped_builder(
+      dataset.num_tasks(), dataset.num_workers(), 2);
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+      swapped_builder.AddAnswer(t, vote.worker, 1 - vote.label);
+    }
+    swapped_builder.SetTruth(t, 1 - dataset.Truth(t));
+  }
+  const data::CategoricalDataset swapped =
+      std::move(swapped_builder).Build();
+
+  const auto method = MakeCategoricalMethod(GetParam());
+  const CategoricalResult base = method->Infer(dataset, {});
+  const CategoricalResult mirrored = method->Infer(swapped, {});
+  int disagreements = 0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (mirrored.labels[t] != 1 - base.labels[t]) ++disagreements;
+  }
+  // Sampling-based methods may flip a handful of borderline tasks.
+  EXPECT_LE(disagreements, dataset.num_tasks() / 20) << GetParam();
+}
+
+TEST_P(CategoricalMethodPropertyTest, GoldenTasksRespectedWhenSupported) {
+  if (!GetMethodInfo(GetParam()).supports_golden) GTEST_SKIP();
+  testing::PlantedSpec spec;
+  spec.num_tasks = 60;
+  spec.worker_accuracy = {0.8};
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 233);
+  InferenceOptions options;
+  options.golden_labels.assign(60, data::kNoTruth);
+  // Pin five tasks to the opposite of their truth — the method must echo
+  // the pinned labels regardless.
+  for (int t = 0; t < 5; ++t) {
+    options.golden_labels[t] = 1 - dataset.Truth(t);
+  }
+  const auto method = MakeCategoricalMethod(GetParam());
+  const CategoricalResult result = method->Infer(dataset, options);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_EQ(result.labels[t], options.golden_labels[t])
+        << GetParam() << " task " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDecisionMakingMethods, CategoricalMethodPropertyTest,
+    ::testing::ValuesIn(DecisionMakingMethodNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+class NumericMethodPropertyTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NumericMethodPropertyTest, LowErrorOnEasyData) {
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(200, 10, 6, {5.0}, 239);
+  const auto method = MakeNumericMethod(GetParam());
+  ASSERT_NE(method, nullptr);
+  const NumericResult result = method->Infer(dataset, {});
+  EXPECT_EQ(static_cast<int>(result.values.size()), dataset.num_tasks());
+  EXPECT_LT(metrics::RootMeanSquaredError(dataset, result.values), 4.0)
+      << GetParam();
+}
+
+TEST_P(NumericMethodPropertyTest, TranslationEquivariant) {
+  // Shifting every answer by a constant must shift the estimates by the
+  // same constant.
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(100, 8, 5, {3.0}, 241);
+  data::NumericDatasetBuilder shifted_builder(dataset.num_tasks(),
+                                              dataset.num_workers());
+  const double shift = 500.0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    for (const data::NumericTaskVote& vote : dataset.AnswersForTask(t)) {
+      shifted_builder.AddAnswer(t, vote.worker, vote.value + shift);
+    }
+    shifted_builder.SetTruth(t, dataset.Truth(t) + shift);
+  }
+  const data::NumericDataset shifted = std::move(shifted_builder).Build();
+  const auto method = MakeNumericMethod(GetParam());
+  const NumericResult base = method->Infer(dataset, {});
+  const NumericResult moved = method->Infer(shifted, {});
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    EXPECT_NEAR(moved.values[t], base.values[t] + shift, 0.5)
+        << GetParam() << " task " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNumericMethods, NumericMethodPropertyTest,
+                         ::testing::ValuesIn(NumericMethodNames()));
+
+TEST(RegistryTest, SeventeenMethods) {
+  EXPECT_EQ(AllMethods().size(), 17u);
+}
+
+TEST(RegistryTest, TaskTypeCountsMatchPaper) {
+  // Figure 4 compares 14 decision-making methods; Figure 5 compares 10
+  // single-choice methods; Figure 6 compares 5 numeric methods.
+  EXPECT_EQ(DecisionMakingMethodNames().size(), 14u);
+  EXPECT_EQ(SingleChoiceMethodNames().size(), 10u);
+  EXPECT_EQ(NumericMethodNames().size(), 5u);
+}
+
+TEST(RegistryTest, CapabilityCountsMatchPaper) {
+  // Table 7 lists 8 qualification-capable methods; §6.3.3 lists 9
+  // golden-capable methods.
+  int qualification = 0;
+  int golden = 0;
+  for (const MethodInfo& info : AllMethods()) {
+    if (info.supports_qualification) ++qualification;
+    if (info.supports_golden) ++golden;
+  }
+  EXPECT_EQ(qualification, 8);
+  EXPECT_EQ(golden, 9);
+}
+
+TEST(RegistryTest, FactoriesCoverDeclaredDomains) {
+  for (const MethodInfo& info : AllMethods()) {
+    if (info.decision_making || info.single_choice) {
+      EXPECT_NE(MakeCategoricalMethod(info.name), nullptr) << info.name;
+    }
+    if (info.numeric) {
+      EXPECT_NE(MakeNumericMethod(info.name), nullptr) << info.name;
+    }
+  }
+  EXPECT_EQ(MakeCategoricalMethod("Mean"), nullptr);
+  EXPECT_EQ(MakeNumericMethod("MV"), nullptr);
+}
+
+TEST(RegistryTest, MethodNamesRoundTrip) {
+  for (const MethodInfo& info : AllMethods()) {
+    if (info.decision_making) {
+      EXPECT_EQ(MakeCategoricalMethod(info.name)->name(), info.name);
+    } else if (info.numeric) {
+      EXPECT_EQ(MakeNumericMethod(info.name)->name(), info.name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdtruth::core

@@ -1,0 +1,188 @@
+// Tests for the metric implementations (paper §6.1.2 and §6.2): Accuracy,
+// F1, MAE/RMSE, consistency, and worker statistics.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/classification.h"
+#include "metrics/consistency.h"
+#include "metrics/numeric.h"
+#include "metrics/worker_stats.h"
+#include "test_util.h"
+
+namespace crowdtruth::metrics {
+namespace {
+
+using testing::kF;
+using testing::kT;
+
+TEST(AccuracyTest, PerfectPrediction) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  const std::vector<data::LabelId> predicted = {kT, kF, kF, kF, kF, kT};
+  EXPECT_DOUBLE_EQ(Accuracy(dataset, predicted), 1.0);
+}
+
+TEST(AccuracyTest, PartiallyCorrect) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  // MV on Table 2 gets t6 wrong and (say) t1 wrong: 4/6.
+  const std::vector<data::LabelId> predicted = {kF, kF, kF, kF, kF, kF};
+  EXPECT_NEAR(Accuracy(dataset, predicted), 4.0 / 6.0, 1e-12);
+}
+
+TEST(AccuracyTest, IgnoresUnlabeledTasks) {
+  data::CategoricalDatasetBuilder builder(3, 1, 2);
+  builder.AddAnswer(0, 0, kT);
+  builder.AddAnswer(1, 0, kT);
+  builder.AddAnswer(2, 0, kT);
+  builder.SetTruth(0, kT);
+  const data::CategoricalDataset dataset = std::move(builder).Build();
+  EXPECT_DOUBLE_EQ(Accuracy(dataset, {kT, kF, kF}), 1.0);
+}
+
+TEST(F1ScoreTest, HandComputedCase) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  // Predict T for t1 and t2; truth has T for t1 and t6.
+  const std::vector<data::LabelId> predicted = {kT, kT, kF, kF, kF, kF};
+  const PrecisionRecallF1 result = F1Score(dataset, predicted, kT);
+  EXPECT_DOUBLE_EQ(result.precision, 0.5);  // 1 of 2 predicted T correct.
+  EXPECT_DOUBLE_EQ(result.recall, 0.5);     // 1 of 2 actual T found.
+  EXPECT_DOUBLE_EQ(result.f1, 0.5);
+}
+
+TEST(F1ScoreTest, NoPositivePredictionsGivesZero) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  const std::vector<data::LabelId> predicted(6, kF);
+  const PrecisionRecallF1 result = F1Score(dataset, predicted, kT);
+  EXPECT_DOUBLE_EQ(result.f1, 0.0);
+}
+
+TEST(F1ScoreTest, NaiveAllNegativeTrapFromPaper) {
+  // §6.1.2: predicting everything as the majority class can score high
+  // Accuracy but zero F1 — the reason the paper reports F1 on D_Product.
+  data::CategoricalDatasetBuilder builder(10, 1, 2);
+  for (int t = 0; t < 10; ++t) {
+    builder.AddAnswer(t, 0, kF);
+    builder.SetTruth(t, t == 0 ? kT : kF);
+  }
+  const data::CategoricalDataset dataset = std::move(builder).Build();
+  const std::vector<data::LabelId> predicted(10, kF);
+  EXPECT_DOUBLE_EQ(Accuracy(dataset, predicted), 0.9);
+  EXPECT_DOUBLE_EQ(F1Score(dataset, predicted, kT).f1, 0.0);
+}
+
+TEST(NumericMetricsTest, HandComputedErrors) {
+  data::NumericDatasetBuilder builder(2, 1);
+  builder.AddAnswer(0, 0, 0.0);
+  builder.AddAnswer(1, 0, 0.0);
+  builder.SetTruth(0, 1.0);
+  builder.SetTruth(1, -3.0);
+  const data::NumericDataset dataset = std::move(builder).Build();
+  const std::vector<double> predicted = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(dataset, predicted), 2.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(dataset, predicted),
+                   std::sqrt(5.0));
+}
+
+TEST(NumericMetricsTest, RmseAtLeastMae) {
+  const data::NumericDataset dataset =
+      testing::PlantedNumericDataset(50, 8, 4, {10.0}, 3);
+  std::vector<double> predicted(dataset.num_tasks(), 0.0);
+  EXPECT_GE(RootMeanSquaredError(dataset, predicted),
+            MeanAbsoluteError(dataset, predicted));
+}
+
+TEST(ConsistencyTest, UnanimousAnswersAreFullyConsistent) {
+  data::CategoricalDatasetBuilder builder(5, 3, 2);
+  for (int t = 0; t < 5; ++t) {
+    for (int w = 0; w < 3; ++w) builder.AddAnswer(t, w, kT);
+  }
+  EXPECT_DOUBLE_EQ(CategoricalConsistency(std::move(builder).Build()), 0.0);
+}
+
+TEST(ConsistencyTest, MaximallySplitAnswersGiveOne) {
+  data::CategoricalDatasetBuilder builder(4, 2, 2);
+  for (int t = 0; t < 4; ++t) {
+    builder.AddAnswer(t, 0, kT);
+    builder.AddAnswer(t, 1, kF);
+  }
+  EXPECT_NEAR(CategoricalConsistency(std::move(builder).Build()), 1.0,
+              1e-12);
+}
+
+TEST(ConsistencyTest, BaseIsNumberOfChoices) {
+  // Uniform answers over 4 choices give entropy 1 in base 4.
+  data::CategoricalDatasetBuilder builder(1, 4, 4);
+  for (int w = 0; w < 4; ++w) builder.AddAnswer(0, w, w);
+  EXPECT_NEAR(CategoricalConsistency(std::move(builder).Build()), 1.0,
+              1e-12);
+}
+
+TEST(ConsistencyTest, Table2Value) {
+  // Table 2: t1 is a 1-1 split (entropy 1); t2..t6 are 2-1 splits
+  // (entropy ~0.9183); average = (1 + 5 * 0.91830) / 6.
+  const double c = CategoricalConsistency(testing::Table2Dataset());
+  EXPECT_NEAR(c, (1.0 + 5.0 * 0.9182958) / 6.0, 1e-6);
+}
+
+TEST(ConsistencyTest, NumericZeroWhenIdentical) {
+  data::NumericDatasetBuilder builder(3, 2);
+  for (int t = 0; t < 3; ++t) {
+    builder.AddAnswer(t, 0, 7.0);
+    builder.AddAnswer(t, 1, 7.0);
+  }
+  EXPECT_DOUBLE_EQ(NumericConsistency(std::move(builder).Build()), 0.0);
+}
+
+TEST(ConsistencyTest, NumericDeviationFromMedian) {
+  data::NumericDatasetBuilder builder(1, 3);
+  builder.AddAnswer(0, 0, 0.0);
+  builder.AddAnswer(0, 1, 10.0);
+  builder.AddAnswer(0, 2, 20.0);
+  // Median 10; deviations {-10, 0, 10}; RMS = sqrt(200/3).
+  EXPECT_NEAR(NumericConsistency(std::move(builder).Build()),
+              std::sqrt(200.0 / 3.0), 1e-9);
+}
+
+TEST(WorkerStatsTest, RedundancyCounts) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  const std::vector<int> redundancy = WorkerRedundancy(dataset);
+  EXPECT_EQ(redundancy, (std::vector<int>{6, 5, 6}));
+}
+
+TEST(WorkerStatsTest, WorkerAccuracy) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  const std::vector<double> accuracy = WorkerAccuracy(dataset);
+  // w1: correct on t4, t5 => 2/6. w2: correct on t2, t3 => 2/5.
+  // w3: correct on all six tasks.
+  EXPECT_NEAR(accuracy[0], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(accuracy[1], 2.0 / 5.0, 1e-12);
+  EXPECT_NEAR(accuracy[2], 1.0, 1e-12);
+}
+
+TEST(WorkerStatsTest, WorkerRmseAndNanForUnlabeled) {
+  data::NumericDatasetBuilder builder(2, 2);
+  builder.AddAnswer(0, 0, 4.0);
+  builder.AddAnswer(1, 1, 9.0);
+  builder.SetTruth(0, 1.0);  // Task 1 unlabeled.
+  const data::NumericDataset dataset = std::move(builder).Build();
+  const std::vector<double> rmse = WorkerRmse(dataset);
+  EXPECT_NEAR(rmse[0], 3.0, 1e-12);
+  EXPECT_TRUE(std::isnan(rmse[1]));
+  EXPECT_NEAR(FiniteMean(rmse), 3.0, 1e-12);
+}
+
+TEST(WorkerStatsTest, BucketValuesClampsAndCounts) {
+  const Histogram histogram =
+      BucketValues({0.05, 0.15, 0.95, 1.5, -0.3, std::nan("")}, 0.0, 1.0, 10);
+  ASSERT_EQ(histogram.counts.size(), 10u);
+  EXPECT_DOUBLE_EQ(histogram.counts[0], 2.0);  // 0.05 and clamped -0.3.
+  EXPECT_DOUBLE_EQ(histogram.counts[1], 1.0);  // 0.15.
+  EXPECT_DOUBLE_EQ(histogram.counts[9], 2.0);  // 0.95 and clamped 1.5.
+  double total = 0.0;
+  for (double c : histogram.counts) total += c;
+  EXPECT_DOUBLE_EQ(total, 5.0);  // NaN skipped.
+}
+
+}  // namespace
+}  // namespace crowdtruth::metrics

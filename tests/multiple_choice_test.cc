@@ -1,0 +1,93 @@
+#include "data/multiple_choice.h"
+
+#include <gtest/gtest.h>
+
+#include "core/methods/ds.h"
+#include "core/methods/mv.h"
+#include "metrics/classification.h"
+#include "util/rng.h"
+
+namespace crowdtruth::data {
+namespace {
+
+TEST(MultipleChoiceTest, ExpansionShape) {
+  // 2 tasks, 3 choices, 1 worker.
+  std::vector<MultipleChoiceAnswer> answers = {
+      {.task = 0, .worker = 0, .selected = {true, false, true}},
+      {.task = 1, .worker = 0, .selected = {false, false, false}},
+  };
+  const CategoricalDataset dataset =
+      ExpandMultipleChoice(2, 1, 3, answers, {});
+  EXPECT_EQ(dataset.num_tasks(), 6);
+  EXPECT_EQ(dataset.num_choices(), 2);
+  EXPECT_EQ(dataset.num_answers(), 6);
+  // Task 0, choice 0 selected.
+  EXPECT_EQ(dataset.AnswersForTask(0)[0].label, kSelected);
+  // Task 0, choice 1 not selected.
+  EXPECT_EQ(dataset.AnswersForTask(1)[0].label, kNotSelected);
+  // Task 1: nothing selected.
+  EXPECT_EQ(dataset.AnswersForTask(3)[0].label, kNotSelected);
+}
+
+TEST(MultipleChoiceTest, TruthMapping) {
+  std::vector<MultipleChoiceAnswer> answers = {
+      {.task = 0, .worker = 0, .selected = {true, false}},
+  };
+  const std::vector<std::vector<bool>> truth = {{false, true}};
+  const CategoricalDataset dataset =
+      ExpandMultipleChoice(1, 1, 2, answers, truth);
+  EXPECT_EQ(dataset.Truth(0), kNotSelected);
+  EXPECT_EQ(dataset.Truth(1), kSelected);
+}
+
+TEST(MultipleChoiceTest, FoldInvertsExpansion) {
+  const std::vector<LabelId> labels = {kSelected, kNotSelected, kSelected,
+                                       kNotSelected, kNotSelected,
+                                       kSelected};
+  const auto folded = FoldMultipleChoice(labels, 2, 3);
+  EXPECT_EQ(folded[0], (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(folded[1], (std::vector<bool>{false, false, true}));
+}
+
+TEST(MultipleChoiceTest, EndToEndImageTagging) {
+  // Simulated image-tagging (the paper's §2 example): 100 images, 4 tags,
+  // 12 workers with 85% per-tag accuracy, 5 workers per image. Methods on
+  // the expanded dataset should recover most tag decisions.
+  util::Rng rng(7);
+  const int num_tasks = 100;
+  const int num_choices = 4;
+  const int num_workers = 12;
+  std::vector<std::vector<bool>> truth(num_tasks,
+                                       std::vector<bool>(num_choices));
+  for (auto& tags : truth) {
+    for (int k = 0; k < num_choices; ++k) tags[k] = rng.Bernoulli(0.3);
+  }
+  std::vector<MultipleChoiceAnswer> answers;
+  for (int t = 0; t < num_tasks; ++t) {
+    for (int w : rng.SampleWithoutReplacement(num_workers, 5)) {
+      MultipleChoiceAnswer answer;
+      answer.task = t;
+      answer.worker = w;
+      answer.selected.resize(num_choices);
+      for (int k = 0; k < num_choices; ++k) {
+        answer.selected[k] =
+            rng.Bernoulli(0.85) ? truth[t][k] : !truth[t][k];
+      }
+      answers.push_back(std::move(answer));
+    }
+  }
+  const CategoricalDataset dataset =
+      ExpandMultipleChoice(num_tasks, num_workers, num_choices, answers,
+                           truth);
+  core::DawidSkene ds;
+  const core::CategoricalResult result = ds.Infer(dataset, {});
+  EXPECT_GT(metrics::Accuracy(dataset, result.labels), 0.9);
+  // And folding returns per-image tag sets of the right shape.
+  const auto folded =
+      FoldMultipleChoice(result.labels, num_tasks, num_choices);
+  EXPECT_EQ(folded.size(), static_cast<size_t>(num_tasks));
+  EXPECT_EQ(folded[0].size(), static_cast<size_t>(num_choices));
+}
+
+}  // namespace
+}  // namespace crowdtruth::data

@@ -1,0 +1,76 @@
+#include "experiments/redundancy_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace crowdtruth::experiments {
+namespace {
+
+TEST(RedundancyPlannerTest, StabilityIncreasesWithRedundancy) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 300;
+  spec.num_workers = 25;
+  spec.redundancy = 9;
+  spec.worker_accuracy = {0.75};
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 501);
+  RedundancyPlannerOptions options;
+  options.max_redundancy = 9;
+  options.repeats = 3;
+  const RedundancyPlan plan = PlanRedundancy("MV", dataset, options);
+  ASSERT_EQ(plan.stability.size(), 9u);
+  // Stability at r=1 is clearly below stability at full redundancy.
+  EXPECT_LT(plan.stability.front(), plan.stability.back());
+  // At full redundancy, the subsample equals the full data: agreement 1.
+  EXPECT_NEAR(plan.stability.back(), 1.0, 1e-9);
+}
+
+TEST(RedundancyPlannerTest, RecommendsPlateauPoint) {
+  // With very accurate workers the curve flattens early: the recommended
+  // redundancy should be far below the maximum available.
+  testing::PlantedSpec spec;
+  spec.num_tasks = 300;
+  spec.num_workers = 30;
+  spec.redundancy = 10;
+  spec.worker_accuracy = {0.97};
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 503);
+  RedundancyPlannerOptions options;
+  options.max_redundancy = 10;
+  options.repeats = 3;
+  options.min_gain = 0.01;
+  const RedundancyPlan plan = PlanRedundancy("MV", dataset, options);
+  EXPECT_LT(plan.recommended_redundancy, 8);
+  EXPECT_GE(plan.recommended_redundancy, 1);
+}
+
+TEST(RedundancyPlannerTest, CapsAtAvailableRedundancy) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 100;
+  spec.redundancy = 4;
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 509);
+  RedundancyPlannerOptions options;
+  options.max_redundancy = 50;  // More than the data holds.
+  options.repeats = 2;
+  const RedundancyPlan plan = PlanRedundancy("MV", dataset, options);
+  EXPECT_EQ(plan.stability.size(), 4u);
+}
+
+TEST(RedundancyPlannerTest, WorksWithIterativeMethods) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 150;
+  spec.redundancy = 6;
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 521);
+  RedundancyPlannerOptions options;
+  options.max_redundancy = 6;
+  options.repeats = 2;
+  const RedundancyPlan plan = PlanRedundancy("D&S", dataset, options);
+  EXPECT_EQ(plan.stability.size(), 6u);
+  EXPECT_GT(plan.stability.back(), 0.9);
+}
+
+}  // namespace
+}  // namespace crowdtruth::experiments

@@ -1,0 +1,152 @@
+// Robustness sweep: every categorical method must produce valid output —
+// no crash, labels in range, correct shapes — on a battery of awkward
+// randomly-shaped datasets (tiny, sparse, lopsided, unanimous,
+// single-worker), and must be insensitive to additions that carry no
+// information (a worker with zero answers).
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace crowdtruth::core {
+namespace {
+
+// Random awkward dataset shapes, seeded.
+data::CategoricalDataset AwkwardDataset(int shape, uint64_t seed) {
+  util::Rng rng(seed);
+  switch (shape) {
+    case 0: {  // Tiny: 2 tasks, 2 workers.
+      data::CategoricalDatasetBuilder builder(2, 2, 2);
+      builder.AddAnswer(0, 0, 0);
+      builder.AddAnswer(0, 1, 1);
+      builder.AddAnswer(1, 0, 1);
+      builder.SetTruth(0, 0);
+      return std::move(builder).Build();
+    }
+    case 1: {  // Single worker answers everything.
+      data::CategoricalDatasetBuilder builder(20, 1, 2);
+      for (int t = 0; t < 20; ++t) {
+        builder.AddAnswer(t, 0, rng.UniformInt(0, 1));
+        builder.SetTruth(t, rng.UniformInt(0, 1));
+      }
+      return std::move(builder).Build();
+    }
+    case 2: {  // Unanimous answers.
+      data::CategoricalDatasetBuilder builder(15, 5, 2);
+      for (int t = 0; t < 15; ++t) {
+        for (int w = 0; w < 5; ++w) builder.AddAnswer(t, w, 0);
+        builder.SetTruth(t, 0);
+      }
+      return std::move(builder).Build();
+    }
+    case 3: {  // Tasks with no answers mixed in.
+      data::CategoricalDatasetBuilder builder(30, 6, 2);
+      for (int t = 0; t < 30; t += 2) {
+        for (int w : rng.SampleWithoutReplacement(6, 3)) {
+          builder.AddAnswer(t, w, rng.UniformInt(0, 1));
+        }
+        builder.SetTruth(t, rng.UniformInt(0, 1));
+      }
+      return std::move(builder).Build();
+    }
+    case 4: {  // Extremely lopsided redundancy: one task gets everyone.
+      data::CategoricalDatasetBuilder builder(10, 12, 2);
+      for (int w = 0; w < 12; ++w) builder.AddAnswer(0, w, w % 2);
+      for (int t = 1; t < 10; ++t) {
+        builder.AddAnswer(t, t % 12, rng.UniformInt(0, 1));
+        builder.SetTruth(t, rng.UniformInt(0, 1));
+      }
+      return std::move(builder).Build();
+    }
+    default: {  // Random sparse mess.
+      const int tasks = 5 + rng.UniformInt(0, 40);
+      const int workers = 2 + rng.UniformInt(0, 15);
+      data::CategoricalDatasetBuilder builder(tasks, workers, 2);
+      for (int t = 0; t < tasks; ++t) {
+        const int count = rng.UniformInt(0, std::min(workers, 5));
+        for (int w : rng.SampleWithoutReplacement(workers, count)) {
+          builder.AddAnswer(t, w, rng.UniformInt(0, 1));
+        }
+        if (rng.Bernoulli(0.7)) builder.SetTruth(t, rng.UniformInt(0, 1));
+      }
+      return std::move(builder).Build();
+    }
+  }
+}
+
+class RobustnessTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(RobustnessTest, ValidOutputOnAwkwardShapes) {
+  const auto& [method_name, shape] = GetParam();
+  const data::CategoricalDataset dataset = AwkwardDataset(shape, 811 + shape);
+  const auto method = MakeCategoricalMethod(method_name);
+  InferenceOptions options;
+  options.max_iterations = 30;
+  const CategoricalResult result = method->Infer(dataset, options);
+  ASSERT_EQ(static_cast<int>(result.labels.size()), dataset.num_tasks());
+  for (data::LabelId label : result.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, dataset.num_choices());
+  }
+  ASSERT_EQ(static_cast<int>(result.worker_quality.size()),
+            dataset.num_workers());
+  for (double q : result.worker_quality) {
+    EXPECT_FALSE(std::isnan(q)) << method_name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsTimesShapes, RobustnessTest,
+    ::testing::Combine(::testing::ValuesIn(DecisionMakingMethodNames()),
+                       ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_shape" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MetamorphicTest, IdleWorkerDoesNotChangeLabels) {
+  // Appending a worker who answered nothing must not change any method's
+  // inferred labels.
+  testing::PlantedSpec spec;
+  spec.num_tasks = 120;
+  spec.num_workers = 10;
+  spec.worker_accuracy = {0.85};
+  const data::CategoricalDataset base = testing::PlantedDataset(spec, 821);
+
+  data::CategoricalDatasetBuilder builder(base.num_tasks(),
+                                          base.num_workers() + 1, 2);
+  for (data::TaskId t = 0; t < base.num_tasks(); ++t) {
+    for (const data::TaskVote& vote : base.AnswersForTask(t)) {
+      builder.AddAnswer(t, vote.worker, vote.label);
+    }
+    builder.SetTruth(t, base.Truth(t));
+  }
+  const data::CategoricalDataset extended = std::move(builder).Build();
+
+  for (const std::string& name : DecisionMakingMethodNames()) {
+    const auto method = MakeCategoricalMethod(name);
+    InferenceOptions options;
+    options.seed = 5;
+    const CategoricalResult a = method->Infer(base, options);
+    const CategoricalResult b = method->Infer(extended, options);
+    int disagreements = 0;
+    for (data::TaskId t = 0; t < base.num_tasks(); ++t) {
+      if (a.labels[t] != b.labels[t]) ++disagreements;
+    }
+    // Sampling methods consume RNG per worker, so allow tiny drift there;
+    // deterministic methods must match exactly.
+    const bool sampling = name == "BCC" || name == "CBCC";
+    EXPECT_LE(disagreements, sampling ? 6 : 0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace crowdtruth::core

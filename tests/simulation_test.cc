@@ -1,0 +1,285 @@
+// Tests for the workload simulators: structural properties (counts,
+// redundancy, long tail, labeled subsets) and calibration against the
+// paper's Table 5 / §6.2 statistics.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/consistency.h"
+#include "metrics/worker_stats.h"
+#include "simulation/generator.h"
+#include "simulation/profiles.h"
+
+namespace crowdtruth::sim {
+namespace {
+
+TEST(WorkerModelTest, ConfusionRowsStochastic) {
+  util::Rng rng(1);
+  const std::vector<ConfusionArchetype> archetypes = {
+      {.weight = 1.0, .diagonal_mean = {0.8, 0.9}, .diagonal_stddev = 0.05},
+  };
+  for (int i = 0; i < 50; ++i) {
+    const CategoricalWorker worker =
+        SampleCategoricalWorker(archetypes, 2, rng);
+    for (int j = 0; j < 2; ++j) {
+      double row_total = 0.0;
+      for (int k = 0; k < 2; ++k) {
+        const double p = worker.confusion[j * 2 + k];
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+        row_total += p;
+      }
+      EXPECT_NEAR(row_total, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(WorkerModelTest, ArchetypeDiagonalsRespected) {
+  util::Rng rng(2);
+  const std::vector<ConfusionArchetype> archetypes = {
+      {.weight = 1.0,
+       .diagonal_mean = {0.6, 0.95},
+       .diagonal_stddev = 0.01},
+  };
+  double mean_tt = 0.0;
+  double mean_ff = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const CategoricalWorker worker =
+        SampleCategoricalWorker(archetypes, 2, rng);
+    mean_tt += worker.confusion[0];
+    mean_ff += worker.confusion[3];
+  }
+  EXPECT_NEAR(mean_tt / trials, 0.6, 0.02);
+  EXPECT_NEAR(mean_ff / trials, 0.95, 0.02);
+}
+
+TEST(GeneratorTest, CountsAndRedundancy) {
+  CategoricalSimSpec spec;
+  spec.name = "test";
+  spec.num_tasks = 500;
+  spec.num_workers = 40;
+  spec.num_choices = 3;
+  spec.assignment.redundancy = 4;
+  spec.task_model.class_prior = {0.5, 0.3, 0.2};
+  spec.worker_archetypes = {
+      {.weight = 1.0, .diagonal_mean = {0.8, 0.8, 0.8}},
+  };
+  const data::CategoricalDataset dataset = GenerateCategorical(spec, 11);
+  EXPECT_EQ(dataset.num_tasks(), 500);
+  EXPECT_EQ(dataset.num_workers(), 40);
+  EXPECT_EQ(dataset.num_choices(), 3);
+  EXPECT_EQ(dataset.num_answers(), 500 * 4);
+  for (data::TaskId t = 0; t < 500; ++t) {
+    EXPECT_EQ(dataset.AnswersForTask(t).size(), 4u);
+  }
+}
+
+TEST(GeneratorTest, ClassPriorApproximatelyRespected) {
+  CategoricalSimSpec spec;
+  spec.name = "prior";
+  spec.num_tasks = 4000;
+  spec.num_workers = 30;
+  spec.num_choices = 2;
+  spec.assignment.redundancy = 3;
+  spec.task_model.class_prior = {0.13, 0.87};
+  spec.worker_archetypes = {
+      {.weight = 1.0, .diagonal_mean = {0.8, 0.8}},
+  };
+  const data::CategoricalDataset dataset = GenerateCategorical(spec, 13);
+  int positives = 0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (dataset.Truth(t) == 0) ++positives;
+  }
+  EXPECT_NEAR(positives / 4000.0, 0.13, 0.02);
+}
+
+TEST(GeneratorTest, LongTailWorkerActivity) {
+  CategoricalSimSpec spec;
+  spec.name = "tail";
+  spec.num_tasks = 3000;
+  spec.num_workers = 100;
+  spec.num_choices = 2;
+  spec.assignment.redundancy = 3;
+  spec.assignment.activity_sigma = 2.0;
+  spec.task_model.class_prior = {0.5, 0.5};
+  spec.worker_archetypes = {
+      {.weight = 1.0, .diagonal_mean = {0.8, 0.8}},
+  };
+  const data::CategoricalDataset dataset = GenerateCategorical(spec, 17);
+  std::vector<int> redundancy = metrics::WorkerRedundancy(dataset);
+  std::sort(redundancy.begin(), redundancy.end());
+  const int median = redundancy[redundancy.size() / 2];
+  const int max = redundancy.back();
+  // Figure 2's long tail: the busiest worker answers far more tasks than
+  // the median worker.
+  EXPECT_GT(max, 5 * std::max(median, 1));
+}
+
+TEST(GeneratorTest, LabeledFraction) {
+  CategoricalSimSpec spec;
+  spec.name = "partial";
+  spec.num_tasks = 1000;
+  spec.num_workers = 30;
+  spec.num_choices = 2;
+  spec.labeled_fraction = 0.25;
+  spec.assignment.redundancy = 3;
+  spec.task_model.class_prior = {0.5, 0.5};
+  spec.worker_archetypes = {
+      {.weight = 1.0, .diagonal_mean = {0.8, 0.8}},
+  };
+  const data::CategoricalDataset dataset = GenerateCategorical(spec, 19);
+  EXPECT_EQ(dataset.num_labeled_tasks(), 250);
+}
+
+TEST(GeneratorTest, HardTasksCreateCorrelatedErrors) {
+  // With hard_fraction = 1 and a strong distractor pull, the majority is
+  // wrong on most tasks even though workers are individually skilled.
+  CategoricalSimSpec spec;
+  spec.name = "hard";
+  spec.num_tasks = 600;
+  spec.num_workers = 40;
+  spec.num_choices = 4;
+  spec.assignment.redundancy = 9;
+  spec.task_model.class_prior = {0.25, 0.25, 0.25, 0.25};
+  spec.task_model.hard_fraction = 1.0;
+  spec.task_model.distractor_pull = 0.65;
+  spec.task_model.hard_correct = 0.25;
+  spec.worker_archetypes = {
+      {.weight = 1.0, .diagonal_mean = {0.95, 0.95, 0.95, 0.95}},
+  };
+  const data::CategoricalDataset dataset = GenerateCategorical(spec, 23);
+  // Plurality answer per task is usually the distractor, not the truth.
+  int majority_correct = 0;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    std::vector<int> counts(4, 0);
+    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+      ++counts[vote.label];
+    }
+    const int best = static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    if (best == dataset.Truth(t)) ++majority_correct;
+  }
+  EXPECT_LT(majority_correct / 600.0, 0.2);
+}
+
+TEST(GeneratorTest, NumericAnswersClampedAndCentered) {
+  NumericSimSpec spec;
+  spec.name = "numeric";
+  spec.num_tasks = 400;
+  spec.num_workers = 20;
+  spec.assignment.redundancy = 6;
+  const data::NumericDataset dataset = GenerateNumeric(spec, 29);
+  EXPECT_EQ(dataset.num_answers(), 400 * 6);
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    EXPECT_GE(dataset.Truth(t), spec.truth_lo);
+    EXPECT_LE(dataset.Truth(t), spec.truth_hi);
+    for (const data::NumericTaskVote& vote : dataset.AnswersForTask(t)) {
+      EXPECT_GE(vote.value, spec.clamp_lo);
+      EXPECT_LE(vote.value, spec.clamp_hi);
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  const CategoricalSimSpec spec = DPosSentSpec();
+  const data::CategoricalDataset a = GenerateCategorical(spec, 42);
+  const data::CategoricalDataset b = GenerateCategorical(spec, 42);
+  ASSERT_EQ(a.num_answers(), b.num_answers());
+  for (data::TaskId t = 0; t < a.num_tasks(); ++t) {
+    ASSERT_EQ(a.AnswersForTask(t).size(), b.AnswersForTask(t).size());
+    for (size_t i = 0; i < a.AnswersForTask(t).size(); ++i) {
+      EXPECT_EQ(a.AnswersForTask(t)[i].worker, b.AnswersForTask(t)[i].worker);
+      EXPECT_EQ(a.AnswersForTask(t)[i].label, b.AnswersForTask(t)[i].label);
+    }
+  }
+}
+
+TEST(ScaleSpecTest, ScalesTasksAndWorkers) {
+  const CategoricalSimSpec full = SRelSpec();
+  const CategoricalSimSpec half = ScaleSpec(full, 0.5);
+  EXPECT_EQ(half.num_tasks, full.num_tasks / 2);
+  EXPECT_LT(half.num_workers, full.num_workers);
+  EXPECT_GT(half.num_workers, full.num_workers / 2);  // Sub-linear.
+  EXPECT_EQ(half.assignment.redundancy, full.assignment.redundancy);
+}
+
+// ---------------------------------------------------------------------------
+// Profile calibration against Table 5 and §6.2. Loose tolerances: these are
+// statistical targets, not exact counts.
+
+TEST(ProfilesTest, Table5CountsMatch) {
+  EXPECT_EQ(DProductSpec().num_tasks, 8315);
+  EXPECT_EQ(DProductSpec().num_workers, 176);
+  EXPECT_EQ(DProductSpec().assignment.redundancy, 3);
+  EXPECT_EQ(DPosSentSpec().num_tasks, 1000);
+  EXPECT_EQ(DPosSentSpec().num_workers, 85);
+  EXPECT_EQ(DPosSentSpec().assignment.redundancy, 20);
+  EXPECT_EQ(SRelSpec().num_tasks, 20232);
+  EXPECT_EQ(SRelSpec().num_workers, 766);
+  EXPECT_EQ(SAdultSpec().num_tasks, 11040);
+  EXPECT_EQ(SAdultSpec().num_workers, 825);
+  EXPECT_EQ(NEmotionSpec().num_tasks, 700);
+  EXPECT_EQ(NEmotionSpec().num_workers, 38);
+  EXPECT_EQ(NEmotionSpec().assignment.redundancy, 10);
+}
+
+TEST(ProfilesTest, DProductWorkerAccuracyNearPaper) {
+  const data::CategoricalDataset dataset =
+      GenerateCategoricalProfile("D_Product", 0.5);
+  // §6.2.3: average worker accuracy 0.79 on D_Product.
+  const double mean =
+      metrics::FiniteMean(metrics::WorkerAccuracy(dataset));
+  EXPECT_NEAR(mean, 0.79, 0.08);
+}
+
+TEST(ProfilesTest, DPosSentWorkerAccuracyNearPaper) {
+  const data::CategoricalDataset dataset =
+      GenerateCategoricalProfile("D_PosSent", 1.0);
+  const double mean =
+      metrics::FiniteMean(metrics::WorkerAccuracy(dataset));
+  EXPECT_NEAR(mean, 0.79, 0.08);
+}
+
+TEST(ProfilesTest, SRelWorkerAccuracyNearPaper) {
+  const data::CategoricalDataset dataset =
+      GenerateCategoricalProfile("S_Rel", 0.25);
+  const double mean =
+      metrics::FiniteMean(metrics::WorkerAccuracy(dataset));
+  EXPECT_NEAR(mean, 0.53, 0.10);
+}
+
+TEST(ProfilesTest, NEmotionWorkerRmseNearPaper) {
+  const data::NumericDataset dataset =
+      GenerateNumericProfile("N_Emotion", 1.0);
+  // §6.2.3: worker RMSE in [20, 45], average 28.9.
+  const std::vector<double> rmse = metrics::WorkerRmse(dataset);
+  EXPECT_NEAR(metrics::FiniteMean(rmse), 28.9, 5.0);
+}
+
+TEST(ProfilesTest, ConsistencyNearPaper) {
+  // §6.2.1: C = 0.38 (D_Product), 0.85 (D_PosSent), 20.44 (N_Emotion).
+  EXPECT_NEAR(metrics::CategoricalConsistency(
+                  GenerateCategoricalProfile("D_Product", 0.5)),
+              0.38, 0.12);
+  EXPECT_NEAR(metrics::CategoricalConsistency(
+                  GenerateCategoricalProfile("D_PosSent", 1.0)),
+              0.85, 0.25);
+  EXPECT_NEAR(
+      metrics::NumericConsistency(GenerateNumericProfile("N_Emotion", 1.0)),
+      20.44, 6.0);
+}
+
+TEST(ProfilesTest, AllProfileNamesGenerate) {
+  for (const std::string& name : AllProfileNames()) {
+    if (name == "N_Emotion") {
+      EXPECT_GT(GenerateNumericProfile(name, 0.1).num_tasks(), 0);
+    } else {
+      EXPECT_GT(GenerateCategoricalProfile(name, 0.05).num_tasks(), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdtruth::sim

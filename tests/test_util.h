@@ -1,0 +1,146 @@
+// Shared fixtures for the test suite: the paper's Table 2 toy dataset and
+// planted-truth synthetic datasets.
+#ifndef CROWDTRUTH_TESTS_TEST_UTIL_H_
+#define CROWDTRUTH_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace crowdtruth::testing {
+
+// Label convention matching the paper: 0 = T, 1 = F.
+inline constexpr data::LabelId kT = 0;
+inline constexpr data::LabelId kF = 1;
+
+// The paper's Table 2: 6 entity-resolution tasks, 3 workers.
+//   w1: t1=F t2=T t3=T t4=F t5=F t6=F
+//   w2:      t2=F t3=F t4=T t5=T t6=F
+//   w3: t1=T t2=F t3=F t4=F t5=F t6=T
+// Ground truth: t1=T, t6=T, t2..t5=F.
+inline data::CategoricalDataset Table2Dataset() {
+  data::CategoricalDatasetBuilder builder(6, 3, 2);
+  builder.set_name("table2");
+  const int w1 = 0;
+  const int w2 = 1;
+  const int w3 = 2;
+  builder.AddAnswer(0, w1, kF);
+  builder.AddAnswer(1, w1, kT);
+  builder.AddAnswer(2, w1, kT);
+  builder.AddAnswer(3, w1, kF);
+  builder.AddAnswer(4, w1, kF);
+  builder.AddAnswer(5, w1, kF);
+  builder.AddAnswer(1, w2, kF);
+  builder.AddAnswer(2, w2, kF);
+  builder.AddAnswer(3, w2, kT);
+  builder.AddAnswer(4, w2, kT);
+  builder.AddAnswer(5, w2, kF);
+  builder.AddAnswer(0, w3, kT);
+  builder.AddAnswer(1, w3, kF);
+  builder.AddAnswer(2, w3, kF);
+  builder.AddAnswer(3, w3, kF);
+  builder.AddAnswer(4, w3, kF);
+  builder.AddAnswer(5, w3, kT);
+  builder.SetTruth(0, kT);
+  builder.SetTruth(1, kF);
+  builder.SetTruth(2, kF);
+  builder.SetTruth(3, kF);
+  builder.SetTruth(4, kF);
+  builder.SetTruth(5, kT);
+  return std::move(builder).Build();
+}
+
+// Options for PlantedDataset below.
+struct PlantedSpec {
+  int num_tasks = 200;
+  int num_workers = 20;
+  int num_choices = 2;
+  int redundancy = 5;
+  // Per-worker probability of answering correctly; wrong answers are
+  // uniform over the other choices. One entry per worker, or a single
+  // entry applied to all.
+  std::vector<double> worker_accuracy = {0.85};
+  // Class prior; uniform when empty.
+  std::vector<double> class_prior;
+};
+
+// A synthetic dataset where every worker follows the one-coin model — the
+// regime in which every surveyed method should do well.
+inline data::CategoricalDataset PlantedDataset(const PlantedSpec& spec,
+                                               uint64_t seed) {
+  util::Rng rng(seed);
+  data::CategoricalDatasetBuilder builder(spec.num_tasks, spec.num_workers,
+                                          spec.num_choices);
+  builder.set_name("planted");
+  std::vector<double> prior = spec.class_prior;
+  if (prior.empty()) prior.assign(spec.num_choices, 1.0);
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    const data::LabelId truth = rng.Categorical(prior);
+    builder.SetTruth(t, truth);
+    for (int index :
+         rng.SampleWithoutReplacement(spec.num_workers, spec.redundancy)) {
+      const double accuracy =
+          spec.worker_accuracy.size() == 1
+              ? spec.worker_accuracy[0]
+              : spec.worker_accuracy[index];
+      data::LabelId answer = truth;
+      if (!rng.Bernoulli(accuracy)) {
+        int wrong = rng.UniformInt(0, spec.num_choices - 2);
+        if (wrong >= truth) ++wrong;
+        answer = wrong;
+      }
+      builder.AddAnswer(t, index, answer);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+// A binary dataset with asymmetric two-coin workers: every worker answers
+// correctly with probability q_tt when the truth is T (label 0) and q_ff
+// when the truth is F — the D_Product regime where confusion-matrix methods
+// beat worker-probability methods.
+inline data::CategoricalDataset PlantedAsymmetricBinary(
+    int num_tasks, int num_workers, int redundancy, double q_tt, double q_ff,
+    double prior_t, uint64_t seed) {
+  util::Rng rng(seed);
+  data::CategoricalDatasetBuilder builder(num_tasks, num_workers, 2);
+  builder.set_name("planted_asymmetric");
+  for (int t = 0; t < num_tasks; ++t) {
+    const data::LabelId truth = rng.Bernoulli(prior_t) ? kT : kF;
+    builder.SetTruth(t, truth);
+    for (int w : rng.SampleWithoutReplacement(num_workers, redundancy)) {
+      const double correct = truth == kT ? q_tt : q_ff;
+      const data::LabelId answer =
+          rng.Bernoulli(correct) ? truth : (truth == kT ? kF : kT);
+      builder.AddAnswer(t, w, answer);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+// A numeric dataset with Gaussian workers around a known truth.
+inline data::NumericDataset PlantedNumericDataset(int num_tasks,
+                                                  int num_workers,
+                                                  int redundancy,
+                                                  const std::vector<double>&
+                                                      worker_stddev,
+                                                  uint64_t seed) {
+  util::Rng rng(seed);
+  data::NumericDatasetBuilder builder(num_tasks, num_workers);
+  builder.set_name("planted_numeric");
+  for (int t = 0; t < num_tasks; ++t) {
+    const double truth = rng.Uniform(-50.0, 50.0);
+    builder.SetTruth(t, truth);
+    for (int w : rng.SampleWithoutReplacement(num_workers, redundancy)) {
+      const double stddev =
+          worker_stddev.size() == 1 ? worker_stddev[0] : worker_stddev[w];
+      builder.AddAnswer(t, w, truth + rng.Normal(0.0, stddev));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace crowdtruth::testing
+
+#endif  // CROWDTRUTH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,105 @@
+// Tests for the TopicSkills diverse-skills method and the topic workload
+// generator (paper §4.2.5).
+#include <gtest/gtest.h>
+
+#include "core/methods/topic_skills.h"
+#include "core/methods/zc.h"
+#include "metrics/classification.h"
+#include "simulation/generator.h"
+#include "test_util.h"
+
+namespace crowdtruth::core {
+namespace {
+
+sim::TopicSimSpec DefaultSpec() {
+  sim::TopicSimSpec spec;
+  spec.num_tasks = 800;
+  spec.num_workers = 30;
+  spec.num_topics = 4;
+  spec.assignment.redundancy = 5;
+  spec.strong_accuracy = 0.92;
+  spec.weak_accuracy = 0.52;
+  spec.strong_fraction = 0.4;
+  return spec;
+}
+
+TEST(TopicGeneratorTest, GroupsCoverTopics) {
+  const sim::TopicDataset data =
+      sim::GenerateTopicCategorical(DefaultSpec(), 601);
+  ASSERT_EQ(static_cast<int>(data.task_groups.size()),
+            data.dataset.num_tasks());
+  std::vector<int> counts(4, 0);
+  for (int g : data.task_groups) {
+    ASSERT_GE(g, 0);
+    ASSERT_LT(g, 4);
+    ++counts[g];
+  }
+  for (int c : counts) EXPECT_GT(c, 100);
+}
+
+TEST(TopicSkillsTest, BeatsTopicBlindZcOnTopicData) {
+  // When workers' skills genuinely vary by topic, modeling the per-topic
+  // probability must beat the single-probability ZC.
+  const sim::TopicDataset data =
+      sim::GenerateTopicCategorical(DefaultSpec(), 607);
+  InferenceOptions topic_options;
+  topic_options.task_groups = data.task_groups;
+  TopicSkills topic_skills;
+  Zc zc;
+  const double topic_accuracy = metrics::Accuracy(
+      data.dataset, topic_skills.Infer(data.dataset, topic_options).labels);
+  const double zc_accuracy =
+      metrics::Accuracy(data.dataset, zc.Infer(data.dataset, {}).labels);
+  EXPECT_GT(topic_accuracy, zc_accuracy + 0.01);
+}
+
+TEST(TopicSkillsTest, ReducesToZcWithoutGroups) {
+  // One implicit group: the fixed points coincide with ZC's.
+  testing::PlantedSpec spec;
+  spec.num_tasks = 200;
+  spec.worker_accuracy = {0.85};
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 613);
+  TopicSkills topic_skills(/*prior_strength=*/0.0);
+  Zc zc;
+  const CategoricalResult a = topic_skills.Infer(dataset, {});
+  const CategoricalResult b = zc.Infer(dataset, {});
+  int disagreements = 0;
+  for (size_t t = 0; t < a.labels.size(); ++t) {
+    if (a.labels[t] != b.labels[t]) ++disagreements;
+  }
+  EXPECT_LE(disagreements, 2);
+}
+
+TEST(TopicSkillsTest, UniformSkillsNoPenalty) {
+  // With no real topic structure, the shrinkage prior should keep
+  // TopicSkills at ZC's level (no overfitting penalty).
+  sim::TopicSimSpec spec = DefaultSpec();
+  spec.strong_accuracy = 0.78;
+  spec.weak_accuracy = 0.78;
+  const sim::TopicDataset data = sim::GenerateTopicCategorical(spec, 617);
+  InferenceOptions topic_options;
+  topic_options.task_groups = data.task_groups;
+  TopicSkills topic_skills;
+  Zc zc;
+  const double topic_accuracy = metrics::Accuracy(
+      data.dataset, topic_skills.Infer(data.dataset, topic_options).labels);
+  const double zc_accuracy =
+      metrics::Accuracy(data.dataset, zc.Infer(data.dataset, {}).labels);
+  EXPECT_GE(topic_accuracy, zc_accuracy - 0.02);
+}
+
+TEST(TopicSkillsTest, GoldenTasksClamped) {
+  const sim::TopicDataset data =
+      sim::GenerateTopicCategorical(DefaultSpec(), 619);
+  InferenceOptions options;
+  options.task_groups = data.task_groups;
+  options.golden_labels.assign(data.dataset.num_tasks(), data::kNoTruth);
+  options.golden_labels[5] = 1 - data.dataset.Truth(5);
+  TopicSkills topic_skills;
+  EXPECT_EQ(topic_skills.Infer(data.dataset, options).labels[5],
+            options.golden_labels[5]);
+}
+
+}  // namespace
+}  // namespace crowdtruth::core

@@ -1,0 +1,99 @@
+// Tests for the console output helpers (table printer and ASCII charts)
+// used by the bench harnesses.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/ascii_chart.h"
+#include "util/table_printer.h"
+
+namespace crowdtruth::util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Method", "Accuracy"});
+  table.AddRow({"MV", "89.66%"});
+  table.AddRow({"D&S", "93.66%"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| Method | Accuracy |"), std::string::npos);
+  EXPECT_NE(text.find("| MV     | 89.66%   |"), std::string::npos);
+  EXPECT_NE(text.find("| D&S    | 93.66%   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"x"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("| x |   |   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericFormatters) {
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Percent(0.8966, 2), "89.66%");
+  EXPECT_EQ(TablePrinter::SignedPercent(0.0015, 2), "+0.15%");
+  EXPECT_EQ(TablePrinter::SignedPercent(-0.0002, 2), "-0.02%");
+  EXPECT_EQ(TablePrinter::SignedPercent(0.0, 2), "+0.00%");
+}
+
+TEST(HistogramChartTest, RendersBarsProportionally) {
+  HistogramSpec spec;
+  spec.title = "workers";
+  spec.bucket_labels = {"[0,1)", "[1,2)"};
+  spec.bucket_counts = {10.0, 5.0};
+  spec.max_bar_width = 10;
+  std::ostringstream out;
+  PrintHistogram(spec, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("workers"), std::string::npos);
+  EXPECT_NE(text.find("##########"), std::string::npos);  // Full bar.
+  EXPECT_NE(text.find("#####"), std::string::npos);       // Half bar.
+  EXPECT_NE(text.find("10"), std::string::npos);
+}
+
+TEST(HistogramChartTest, NonZeroCountGetsVisibleBar) {
+  HistogramSpec spec;
+  spec.title = "t";
+  spec.bucket_labels = {"a", "b"};
+  spec.bucket_counts = {1000.0, 1.0};
+  std::ostringstream out;
+  PrintHistogram(spec, out);
+  // The tiny bucket still renders at least one '#'.
+  EXPECT_NE(out.str().find("|# 1"), std::string::npos);
+}
+
+TEST(SeriesChartTest, RendersAllSeriesAndSparklines) {
+  SeriesChartSpec spec;
+  spec.title = "Figure";
+  spec.x_label = "r";
+  spec.x_values = {1.0, 2.0, 3.0};
+  spec.series_names = {"MV", "D&S"};
+  spec.series_values = {{50.0, 60.0, 70.0}, {55.0, 65.0, 75.0}};
+  std::ostringstream out;
+  PrintSeriesChart(spec, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Figure"), std::string::npos);
+  EXPECT_NE(text.find("MV"), std::string::npos);
+  EXPECT_NE(text.find("D&S"), std::string::npos);
+  EXPECT_NE(text.find("70.00"), std::string::npos);
+  EXPECT_NE(text.find("trend"), std::string::npos);
+}
+
+TEST(SeriesChartTest, NanRendersBlank) {
+  SeriesChartSpec spec;
+  spec.title = "t";
+  spec.x_label = "x";
+  spec.x_values = {1.0, 2.0};
+  spec.series_names = {"s"};
+  spec.series_values = {{1.0, std::nan("")}};
+  std::ostringstream out;
+  PrintSeriesChart(spec, out);
+  EXPECT_NE(out.str().find("1.00"), std::string::npos);
+  EXPECT_EQ(out.str().find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowdtruth::util

@@ -1,0 +1,52 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crowdtruth::util {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(100);
+  ParallelFor(100, 4, [&](int i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  std::vector<int> order;
+  ParallelFor(5, 1, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&](int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ResultsIndependentOfThreadCount) {
+  auto compute = [](int threads) {
+    std::vector<double> out(64);
+    ParallelFor(64, threads, [&](int i) { out[i] = i * 1.5 + 1.0; });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(7));
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelFor(3, 16, [&](int i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(DefaultThreadsTest, WithinBounds) {
+  const int threads = DefaultThreads(8);
+  EXPECT_GE(threads, 1);
+  EXPECT_LE(threads, 8);
+}
+
+}  // namespace
+}  // namespace crowdtruth::util

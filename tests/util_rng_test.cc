@@ -1,0 +1,186 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crowdtruth::util {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(2, 4);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(5);
+  std::vector<int> counts(3, 0);
+  const std::vector<double> weights = {1.0, 2.0, 7.0};
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.7, 0.02);
+}
+
+TEST(RngTest, CategoricalZeroWeightNeverSampled) {
+  Rng rng(6);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1);
+  }
+}
+
+TEST(RngTest, CategoricalAllZeroFallsBackToUniform) {
+  Rng rng(7);
+  std::vector<int> counts(3, 0);
+  const std::vector<double> weights = {0.0, 0.0, 0.0};
+  for (int i = 0; i < 3000; ++i) ++counts[rng.Categorical(weights)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(RngTest, CategoricalFromLogMatchesLinear) {
+  Rng rng(8);
+  std::vector<int> counts(2, 0);
+  // log weights differing by log(4) => 80/20 split.
+  const std::vector<double> log_weights = {std::log(4.0) + 100.0, 100.0};
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.CategoricalFromLog(log_weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.8, 0.02);
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(9);
+  const std::vector<double> draw = rng.Dirichlet({1.0, 2.0, 3.0, 4.0});
+  double total = 0.0;
+  for (double v : draw) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(RngTest, DirichletMeanMatchesAlpha) {
+  Rng rng(10);
+  std::vector<double> mean(2, 0.0);
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    const std::vector<double> draw = rng.Dirichlet({2.0, 8.0});
+    mean[0] += draw[0];
+    mean[1] += draw[1];
+  }
+  EXPECT_NEAR(mean[0] / trials, 0.2, 0.02);
+  EXPECT_NEAR(mean[1] / trials, 0.8, 0.02);
+}
+
+TEST(RngTest, BetaWithinUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double b = rng.Beta(2.0, 3.0);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(10, 7);
+  EXPECT_EQ(sample.size(), 7u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 7u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(13);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformCoverage) {
+  Rng rng(14);
+  std::vector<int> counts(6, 0);
+  const int trials = 12000;
+  for (int i = 0; i < trials; ++i) {
+    for (int v : rng.SampleWithoutReplacement(6, 2)) ++counts[v];
+  }
+  // Each index is chosen with probability 1/3 per trial.
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(trials), 1.0 / 3.0, 0.03);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(15);
+  Rng child = parent.Fork();
+  // The child stream must not replay the parent's stream.
+  Rng parent_copy(15);
+  (void)parent_copy.engine()();  // Same state advance as Fork performed.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.Uniform() == parent.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(16);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double v = rng.Normal(3.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / trials;
+  const double var = sum_sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.08);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+}  // namespace
+}  // namespace crowdtruth::util

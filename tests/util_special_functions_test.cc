@@ -1,0 +1,115 @@
+#include "util/special_functions.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace crowdtruth::util {
+namespace {
+
+TEST(DigammaTest, KnownValues) {
+  // psi(1) = -gamma (Euler-Mascheroni), psi(0.5) = -gamma - 2 ln 2.
+  EXPECT_NEAR(Digamma(1.0), -0.57721566490153286, 1e-10);
+  EXPECT_NEAR(Digamma(0.5), -1.9635100260214235, 1e-10);
+  EXPECT_NEAR(Digamma(2.0), 1.0 - 0.57721566490153286, 1e-10);
+  EXPECT_NEAR(Digamma(10.0), 2.2517525890667211, 1e-10);
+  EXPECT_NEAR(Digamma(100.0), 4.6001618527380874, 1e-9);
+}
+
+class DigammaRecurrenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DigammaRecurrenceTest, SatisfiesRecurrence) {
+  // psi(x + 1) = psi(x) + 1/x.
+  const double x = GetParam();
+  EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepX, DigammaRecurrenceTest,
+                         ::testing::Values(0.1, 0.3, 0.7, 1.0, 1.5, 2.7, 5.0,
+                                           12.0, 42.0, 333.0));
+
+TEST(LogSumExpTest, MatchesDirectComputation) {
+  EXPECT_NEAR(LogSumExp({std::log(1.0), std::log(2.0), std::log(3.0)}),
+              std::log(6.0), 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeInputs) {
+  const double result = LogSumExp({1000.0, 1000.0});
+  EXPECT_NEAR(result, 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExpTest, EmptyIsNegativeInfinity) {
+  EXPECT_TRUE(std::isinf(LogSumExp({})));
+  EXPECT_LT(LogSumExp({}), 0.0);
+}
+
+TEST(SoftmaxTest, NormalizesAndOrders) {
+  std::vector<double> weights = {0.0, 1.0, 2.0};
+  SoftmaxInPlace(weights);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_LT(weights[0], weights[1]);
+  EXPECT_LT(weights[1], weights[2]);
+}
+
+TEST(SigmoidTest, BasicValues) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(1.0) + Sigmoid(-1.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaPTest, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 2.5), 1.0 - std::exp(-2.5), 1e-10);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(RegularizedGammaP(0.5, 1.0), std::erf(1.0), 1e-10);
+  EXPECT_NEAR(RegularizedGammaP(0.5, 4.0), std::erf(2.0), 1e-10);
+}
+
+TEST(RegularizedGammaPTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(3.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(3.0, 1000.0), 1.0, 1e-12);
+}
+
+class GammaInverseRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GammaInverseRoundTripTest, InverseRecoversProbability) {
+  const auto [a, p] = GetParam();
+  const double x = InverseRegularizedGammaP(a, p);
+  EXPECT_NEAR(RegularizedGammaP(a, x), p, 1e-8) << "a=" << a << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepShapeAndProbability, GammaInverseRoundTripTest,
+    ::testing::Combine(::testing::Values(0.25, 0.5, 1.0, 2.5, 10.0, 50.0,
+                                         400.0),
+                       ::testing::Values(0.01, 0.1, 0.5, 0.9, 0.975, 0.999)));
+
+TEST(ChiSquaredQuantileTest, MatchesStandardTables) {
+  // 0.975 quantiles from standard chi-squared tables.
+  EXPECT_NEAR(ChiSquaredQuantile(0.975, 1), 5.0239, 1e-3);
+  EXPECT_NEAR(ChiSquaredQuantile(0.975, 2), 7.3778, 1e-3);
+  EXPECT_NEAR(ChiSquaredQuantile(0.975, 10), 20.4832, 1e-3);
+  EXPECT_NEAR(ChiSquaredQuantile(0.975, 100), 129.561, 1e-2);
+  // Median of chi-squared(2) is 2 ln 2.
+  EXPECT_NEAR(ChiSquaredQuantile(0.5, 2), 2.0 * std::log(2.0), 1e-6);
+}
+
+TEST(ChiSquaredQuantileTest, MonotoneInDof) {
+  // CATD's confidence scaling relies on the quantile growing with the
+  // number of answered tasks.
+  double previous = 0.0;
+  for (int dof = 1; dof <= 200; dof += 7) {
+    const double q = ChiSquaredQuantile(0.975, dof);
+    EXPECT_GT(q, previous) << "dof=" << dof;
+    previous = q;
+  }
+}
+
+}  // namespace
+}  // namespace crowdtruth::util

@@ -1,0 +1,99 @@
+#include "experiments/worker_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/methods/mv.h"
+#include "core/methods/zc.h"
+#include "metrics/classification.h"
+#include "test_util.h"
+
+namespace crowdtruth::experiments {
+namespace {
+
+TEST(FilterWorkersTest, RemovesAnswersOfDroppedWorkers) {
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  std::vector<bool> keep = {true, false, true};  // Drop w2.
+  const data::CategoricalDataset filtered = FilterWorkers(dataset, keep);
+  EXPECT_EQ(filtered.num_tasks(), dataset.num_tasks());
+  EXPECT_EQ(filtered.num_workers(), dataset.num_workers());
+  EXPECT_EQ(filtered.num_answers(), dataset.num_answers() - 5);
+  EXPECT_TRUE(filtered.AnswersByWorker(1).empty());
+  EXPECT_EQ(filtered.num_labeled_tasks(), dataset.num_labeled_tasks());
+}
+
+TEST(TwoPassTest, ZeroDropIsIdentity) {
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset({.num_tasks = 100}, 701);
+  core::MajorityVoting mv;
+  const TwoPassResult result = TwoPassInference(mv, dataset, {}, 0.0);
+  EXPECT_EQ(result.labels, result.first_pass.labels);
+  for (bool kept : result.kept) EXPECT_TRUE(kept);
+}
+
+TEST(TwoPassTest, DropsTheWorstWorkers) {
+  // 6 spammers among 18 workers: the first-pass quality estimate should
+  // place them at the bottom, and dropping 30% should hit mostly them.
+  testing::PlantedSpec spec;
+  spec.num_tasks = 600;
+  spec.num_workers = 18;
+  spec.redundancy = 6;
+  spec.worker_accuracy.assign(18, 0.9);
+  for (int w = 12; w < 18; ++w) spec.worker_accuracy[w] = 0.5;
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 709);
+  core::Zc zc;
+  const TwoPassResult result = TwoPassInference(zc, dataset, {}, 0.3);
+  int dropped_spammers = 0;
+  int dropped_good = 0;
+  for (int w = 0; w < 18; ++w) {
+    if (!result.kept[w]) {
+      (w >= 12 ? dropped_spammers : dropped_good) += 1;
+    }
+  }
+  EXPECT_GE(dropped_spammers, 4);
+  EXPECT_LE(dropped_good, 1);
+}
+
+TEST(TwoPassTest, FilteringDoesNotHurtOnSpammerHeavyData) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 500;
+  spec.num_workers = 20;
+  spec.redundancy = 7;
+  spec.worker_accuracy.assign(20, 0.9);
+  for (int w = 12; w < 20; ++w) spec.worker_accuracy[w] = 0.5;
+  const data::CategoricalDataset dataset =
+      testing::PlantedDataset(spec, 719);
+  core::MajorityVoting mv;
+  const TwoPassResult result = TwoPassInference(mv, dataset, {}, 0.3);
+  const double single = metrics::Accuracy(dataset, result.first_pass.labels);
+  const double two_pass = metrics::Accuracy(dataset, result.labels);
+  EXPECT_GE(two_pass, single - 0.01);
+}
+
+TEST(TwoPassTest, FallsBackForFullyFilteredTasks) {
+  // One task answered only by the worker that will be dropped: the final
+  // label must fall back to the first-pass label rather than a default.
+  data::CategoricalDatasetBuilder builder(3, 3, 2);
+  // Workers 0, 1 agree on tasks 0-1; worker 2 contradicts them there and
+  // is the only worker on task 2 — so worker 2 ranks last and gets
+  // dropped, emptying task 2.
+  builder.AddAnswer(0, 0, 0);
+  builder.AddAnswer(0, 1, 0);
+  builder.AddAnswer(0, 2, 1);
+  builder.AddAnswer(1, 0, 1);
+  builder.AddAnswer(1, 1, 1);
+  builder.AddAnswer(1, 2, 0);
+  builder.AddAnswer(2, 2, 0);
+  builder.SetTruth(0, 0);
+  builder.SetTruth(1, 1);
+  builder.SetTruth(2, 0);
+  const data::CategoricalDataset dataset = std::move(builder).Build();
+  core::MajorityVoting mv;
+  const TwoPassResult result = TwoPassInference(mv, dataset, {}, 0.34);
+  ASSERT_FALSE(result.kept[2]);
+  EXPECT_EQ(result.labels[2], result.first_pass.labels[2]);
+  EXPECT_EQ(result.labels[2], 0);  // Worker 2's lone answer on task 2.
+}
+
+}  // namespace
+}  // namespace crowdtruth::experiments

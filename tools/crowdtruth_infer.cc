@@ -1,0 +1,205 @@
+// crowdtruth_infer: command-line truth inference over CSV answer files.
+//
+//   crowdtruth_infer --answers=answers.csv --method=D&S \
+//       [--truth=truth.csv] [--type=categorical|numeric]
+//       [--num_choices=0] [--output=inferred.csv]
+//       [--workers_output=workers.csv] [--seed=42]
+//
+// The answers file needs the header "task,worker,answer"; the optional
+// truth file needs "task,truth" and enables quality reporting. The output
+// file receives "task,truth" rows with the inferred truth (so it can be
+// re-used as a golden file), and --workers_output receives
+// "worker,quality" rows. Available methods: run with --method=list.
+#include <iostream>
+#include <string>
+
+#include "core/registry.h"
+#include "data/io.h"
+#include "experiments/runner.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using crowdtruth::util::Status;
+using crowdtruth::util::TablePrinter;
+
+int ListMethods() {
+  TablePrinter table({"Method", "Task Types", "Task Model", "Worker Model",
+                      "Technique"});
+  for (const auto& info : crowdtruth::core::AllMethods()) {
+    std::string types;
+    if (info.decision_making) types += "decision-making ";
+    if (info.single_choice) types += "single-choice ";
+    if (info.numeric) types += "numeric";
+    table.AddRow({info.name, types, info.task_model, info.worker_model,
+                  info.technique});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+Status WriteLabels(const std::string& path,
+                   const std::vector<std::string>& values) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"task", "truth"});
+  for (size_t t = 0; t < values.size(); ++t) {
+    rows.push_back({std::to_string(t), values[t]});
+  }
+  return crowdtruth::util::WriteCsvFile(path, rows);
+}
+
+Status WriteWorkers(const std::string& path,
+                    const std::vector<double>& quality) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"worker", "quality"});
+  for (size_t w = 0; w < quality.size(); ++w) {
+    rows.push_back({std::to_string(w), std::to_string(quality[w])});
+  }
+  return crowdtruth::util::WriteCsvFile(path, rows);
+}
+
+int RunCategorical(const crowdtruth::util::Flags& flags) {
+  crowdtruth::data::CategoricalDataset dataset;
+  Status status = crowdtruth::data::LoadCategorical(
+      flags.Get("answers"), flags.Get("truth"), flags.GetInt("num_choices"),
+      &dataset);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << '\n';
+    return 1;
+  }
+  const auto method =
+      crowdtruth::core::MakeCategoricalMethod(flags.Get("method"));
+  if (method == nullptr) {
+    std::cerr << "error: method " << flags.Get("method")
+              << " does not handle categorical tasks (--method=list)\n";
+    return 1;
+  }
+  crowdtruth::core::InferenceOptions options;
+  options.seed = flags.GetInt("seed");
+  const auto eval = crowdtruth::experiments::EvaluateCategorical(
+      *method, dataset, options, /*positive_label=*/0);
+  const auto result = method->Infer(dataset, options);
+
+  std::cout << "dataset: " << dataset.num_tasks() << " tasks, "
+            << dataset.num_answers() << " answers, "
+            << dataset.num_workers() << " workers, "
+            << dataset.num_choices() << " choices\n"
+            << "method: " << method->name() << " ("
+            << eval.iterations << " iterations, "
+            << TablePrinter::Fixed(eval.seconds, 3) << "s)\n";
+  if (dataset.num_labeled_tasks() > 0) {
+    std::cout << "accuracy: " << TablePrinter::Percent(eval.accuracy, 2)
+              << " on " << dataset.num_labeled_tasks() << " labeled tasks";
+    if (dataset.num_choices() == 2) {
+      std::cout << ", F1(label 0): " << TablePrinter::Percent(eval.f1, 2);
+    }
+    std::cout << '\n';
+  }
+  if (!flags.Get("output").empty()) {
+    std::vector<std::string> values;
+    values.reserve(result.labels.size());
+    for (crowdtruth::data::LabelId label : result.labels) {
+      values.push_back(std::to_string(label));
+    }
+    status = WriteLabels(flags.Get("output"), values);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    std::cout << "wrote inferred truth to " << flags.Get("output") << '\n';
+  }
+  if (!flags.Get("workers_output").empty()) {
+    status = WriteWorkers(flags.Get("workers_output"),
+                          result.worker_quality);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    std::cout << "wrote worker qualities to " << flags.Get("workers_output")
+              << '\n';
+  }
+  return 0;
+}
+
+int RunNumeric(const crowdtruth::util::Flags& flags) {
+  crowdtruth::data::NumericDataset dataset;
+  Status status = crowdtruth::data::LoadNumeric(flags.Get("answers"),
+                                                flags.Get("truth"), &dataset);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << '\n';
+    return 1;
+  }
+  const auto method =
+      crowdtruth::core::MakeNumericMethod(flags.Get("method"));
+  if (method == nullptr) {
+    std::cerr << "error: method " << flags.Get("method")
+              << " does not handle numeric tasks (--method=list)\n";
+    return 1;
+  }
+  crowdtruth::core::InferenceOptions options;
+  options.seed = flags.GetInt("seed");
+  const auto eval =
+      crowdtruth::experiments::EvaluateNumeric(*method, dataset, options);
+  const auto result = method->Infer(dataset, options);
+
+  std::cout << "dataset: " << dataset.num_tasks() << " tasks, "
+            << dataset.num_answers() << " answers, "
+            << dataset.num_workers() << " workers\n"
+            << "method: " << method->name() << " (" << eval.iterations
+            << " iterations, " << TablePrinter::Fixed(eval.seconds, 3)
+            << "s)\n";
+  if (dataset.num_labeled_tasks() > 0) {
+    std::cout << "MAE: " << TablePrinter::Fixed(eval.mae, 3)
+              << ", RMSE: " << TablePrinter::Fixed(eval.rmse, 3) << " on "
+              << dataset.num_labeled_tasks() << " labeled tasks\n";
+  }
+  if (!flags.Get("output").empty()) {
+    std::vector<std::string> values;
+    values.reserve(result.values.size());
+    for (double value : result.values) {
+      values.push_back(std::to_string(value));
+    }
+    status = WriteLabels(flags.Get("output"), values);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    std::cout << "wrote inferred truth to " << flags.Get("output") << '\n';
+  }
+  if (!flags.Get("workers_output").empty()) {
+    status = WriteWorkers(flags.Get("workers_output"),
+                          result.worker_quality);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    std::cout << "wrote worker qualities to " << flags.Get("workers_output")
+              << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"answers", ""},
+                                       {"truth", ""},
+                                       {"method", "D&S"},
+                                       {"type", "categorical"},
+                                       {"num_choices", "0"},
+                                       {"output", ""},
+                                       {"workers_output", ""},
+                                       {"seed", "42"}});
+  if (flags.Get("method") == "list") return ListMethods();
+  if (flags.Get("answers").empty()) {
+    std::cerr << "error: --answers is required (or --method=list)\n";
+    return 2;
+  }
+  if (flags.Get("type") == "numeric") return RunNumeric(flags);
+  if (flags.Get("type") == "categorical") return RunCategorical(flags);
+  std::cerr << "error: --type must be categorical or numeric\n";
+  return 2;
+}
