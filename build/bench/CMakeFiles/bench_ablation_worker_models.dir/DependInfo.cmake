@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_worker_models.cc" "bench/CMakeFiles/bench_ablation_worker_models.dir/bench_ablation_worker_models.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_worker_models.dir/bench_ablation_worker_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/crowdtruth_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulation/CMakeFiles/crowdtruth_simulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crowdtruth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/crowdtruth_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crowdtruth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdtruth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_assignment.dir/bench_extension_assignment.cc.o"
+  "CMakeFiles/bench_extension_assignment.dir/bench_extension_assignment.cc.o.d"
+  "bench_extension_assignment"
+  "bench_extension_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

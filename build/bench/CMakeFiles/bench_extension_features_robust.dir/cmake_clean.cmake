@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_features_robust.dir/bench_extension_features_robust.cc.o"
+  "CMakeFiles/bench_extension_features_robust.dir/bench_extension_features_robust.cc.o.d"
+  "bench_extension_features_robust"
+  "bench_extension_features_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_features_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_extension_features_robust.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_ordinal.dir/bench_extension_ordinal.cc.o"
+  "CMakeFiles/bench_extension_ordinal.dir/bench_extension_ordinal.cc.o.d"
+  "bench_extension_ordinal"
+  "bench_extension_ordinal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_ordinal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

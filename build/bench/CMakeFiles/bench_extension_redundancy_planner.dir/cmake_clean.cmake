@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_redundancy_planner.dir/bench_extension_redundancy_planner.cc.o"
+  "CMakeFiles/bench_extension_redundancy_planner.dir/bench_extension_redundancy_planner.cc.o.d"
+  "bench_extension_redundancy_planner"
+  "bench_extension_redundancy_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_redundancy_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_worker_redundancy.dir/bench_figure2_worker_redundancy.cc.o"
+  "CMakeFiles/bench_figure2_worker_redundancy.dir/bench_figure2_worker_redundancy.cc.o.d"
+  "bench_figure2_worker_redundancy"
+  "bench_figure2_worker_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_worker_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_worker_quality.dir/bench_figure3_worker_quality.cc.o"
+  "CMakeFiles/bench_figure3_worker_quality.dir/bench_figure3_worker_quality.cc.o.d"
+  "bench_figure3_worker_quality"
+  "bench_figure3_worker_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_worker_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

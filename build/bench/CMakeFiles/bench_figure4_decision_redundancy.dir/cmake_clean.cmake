@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_decision_redundancy.dir/bench_figure4_decision_redundancy.cc.o"
+  "CMakeFiles/bench_figure4_decision_redundancy.dir/bench_figure4_decision_redundancy.cc.o.d"
+  "bench_figure4_decision_redundancy"
+  "bench_figure4_decision_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_decision_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

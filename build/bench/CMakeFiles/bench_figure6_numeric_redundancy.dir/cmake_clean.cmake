@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_numeric_redundancy.dir/bench_figure6_numeric_redundancy.cc.o"
+  "CMakeFiles/bench_figure6_numeric_redundancy.dir/bench_figure6_numeric_redundancy.cc.o.d"
+  "bench_figure6_numeric_redundancy"
+  "bench_figure6_numeric_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_numeric_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure7_hidden_decision.dir/bench_figure7_hidden_decision.cc.o"
+  "CMakeFiles/bench_figure7_hidden_decision.dir/bench_figure7_hidden_decision.cc.o.d"
+  "bench_figure7_hidden_decision"
+  "bench_figure7_hidden_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7_hidden_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

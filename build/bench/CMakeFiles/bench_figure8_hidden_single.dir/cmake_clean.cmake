@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure8_hidden_single.dir/bench_figure8_hidden_single.cc.o"
+  "CMakeFiles/bench_figure8_hidden_single.dir/bench_figure8_hidden_single.cc.o.d"
+  "bench_figure8_hidden_single"
+  "bench_figure8_hidden_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8_hidden_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure9_hidden_numeric.dir/bench_figure9_hidden_numeric.cc.o"
+  "CMakeFiles/bench_figure9_hidden_numeric.dir/bench_figure9_hidden_numeric.cc.o.d"
+  "bench_figure9_hidden_numeric"
+  "bench_figure9_hidden_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure9_hidden_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_methods.dir/bench_micro_methods.cc.o"
+  "CMakeFiles/bench_micro_methods.dir/bench_micro_methods.cc.o.d"
+  "bench_micro_methods"
+  "bench_micro_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

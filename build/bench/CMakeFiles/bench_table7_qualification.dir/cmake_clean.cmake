@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_qualification.dir/bench_table7_qualification.cc.o"
+  "CMakeFiles/bench_table7_qualification.dir/bench_table7_qualification.cc.o.d"
+  "bench_table7_qualification"
+  "bench_table7_qualification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_qualification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

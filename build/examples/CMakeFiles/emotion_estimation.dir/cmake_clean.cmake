@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emotion_estimation.dir/emotion_estimation.cpp.o"
+  "CMakeFiles/emotion_estimation.dir/emotion_estimation.cpp.o.d"
+  "emotion_estimation"
+  "emotion_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emotion_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

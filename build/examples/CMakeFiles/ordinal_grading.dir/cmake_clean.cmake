@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordinal_grading.dir/ordinal_grading.cpp.o"
+  "CMakeFiles/ordinal_grading.dir/ordinal_grading.cpp.o.d"
+  "ordinal_grading"
+  "ordinal_grading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordinal_grading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_pipeline.dir/quality_pipeline.cpp.o"
+  "CMakeFiles/quality_pipeline.dir/quality_pipeline.cpp.o.d"
+  "quality_pipeline"
+  "quality_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

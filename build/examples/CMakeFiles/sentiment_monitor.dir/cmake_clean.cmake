@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentiment_monitor.dir/sentiment_monitor.cpp.o"
+  "CMakeFiles/sentiment_monitor.dir/sentiment_monitor.cpp.o.d"
+  "sentiment_monitor"
+  "sentiment_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentiment_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

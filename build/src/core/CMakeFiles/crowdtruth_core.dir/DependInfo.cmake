@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/common.cc" "src/core/CMakeFiles/crowdtruth_core.dir/common.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/common.cc.o.d"
+  "/root/repo/src/core/methods/baselines_numeric.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/baselines_numeric.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/baselines_numeric.cc.o.d"
+  "/root/repo/src/core/methods/bcc.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/bcc.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/bcc.cc.o.d"
+  "/root/repo/src/core/methods/catd.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/catd.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/catd.cc.o.d"
+  "/root/repo/src/core/methods/cbcc.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/cbcc.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/cbcc.cc.o.d"
+  "/root/repo/src/core/methods/confusion_em.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/confusion_em.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/confusion_em.cc.o.d"
+  "/root/repo/src/core/methods/ds.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/ds.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/ds.cc.o.d"
+  "/root/repo/src/core/methods/glad.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/glad.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/glad.cc.o.d"
+  "/root/repo/src/core/methods/kos.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/kos.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/kos.cc.o.d"
+  "/root/repo/src/core/methods/lfc.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/lfc.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/lfc.cc.o.d"
+  "/root/repo/src/core/methods/lfc_features.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/lfc_features.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/lfc_features.cc.o.d"
+  "/root/repo/src/core/methods/lfc_n.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/lfc_n.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/lfc_n.cc.o.d"
+  "/root/repo/src/core/methods/minimax.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/minimax.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/minimax.cc.o.d"
+  "/root/repo/src/core/methods/minimax_ordinal.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/minimax_ordinal.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/minimax_ordinal.cc.o.d"
+  "/root/repo/src/core/methods/multi.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/multi.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/multi.cc.o.d"
+  "/root/repo/src/core/methods/mv.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/mv.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/mv.cc.o.d"
+  "/root/repo/src/core/methods/pm.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/pm.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/pm.cc.o.d"
+  "/root/repo/src/core/methods/robust_numeric.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/robust_numeric.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/robust_numeric.cc.o.d"
+  "/root/repo/src/core/methods/topic_skills.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/topic_skills.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/topic_skills.cc.o.d"
+  "/root/repo/src/core/methods/vi_bp.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/vi_bp.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/vi_bp.cc.o.d"
+  "/root/repo/src/core/methods/vi_mf.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/vi_mf.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/vi_mf.cc.o.d"
+  "/root/repo/src/core/methods/zc.cc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/zc.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/methods/zc.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/crowdtruth_core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/crowdtruth_core.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/crowdtruth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdtruth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

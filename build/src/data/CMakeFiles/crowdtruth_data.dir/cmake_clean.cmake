@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtruth_data.dir/dataset.cc.o"
+  "CMakeFiles/crowdtruth_data.dir/dataset.cc.o.d"
+  "CMakeFiles/crowdtruth_data.dir/io.cc.o"
+  "CMakeFiles/crowdtruth_data.dir/io.cc.o.d"
+  "CMakeFiles/crowdtruth_data.dir/multiple_choice.cc.o"
+  "CMakeFiles/crowdtruth_data.dir/multiple_choice.cc.o.d"
+  "libcrowdtruth_data.a"
+  "libcrowdtruth_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtruth_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

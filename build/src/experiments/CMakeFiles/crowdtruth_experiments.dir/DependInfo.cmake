@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiments/hidden_test.cc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/hidden_test.cc.o" "gcc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/hidden_test.cc.o.d"
+  "/root/repo/src/experiments/qualification.cc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/qualification.cc.o" "gcc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/qualification.cc.o.d"
+  "/root/repo/src/experiments/redundancy.cc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/redundancy.cc.o" "gcc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/redundancy.cc.o.d"
+  "/root/repo/src/experiments/redundancy_planner.cc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/redundancy_planner.cc.o" "gcc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/redundancy_planner.cc.o.d"
+  "/root/repo/src/experiments/runner.cc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/runner.cc.o" "gcc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/runner.cc.o.d"
+  "/root/repo/src/experiments/worker_filter.cc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/worker_filter.cc.o" "gcc" "src/experiments/CMakeFiles/crowdtruth_experiments.dir/worker_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crowdtruth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crowdtruth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/crowdtruth_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdtruth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtruth_experiments.dir/hidden_test.cc.o"
+  "CMakeFiles/crowdtruth_experiments.dir/hidden_test.cc.o.d"
+  "CMakeFiles/crowdtruth_experiments.dir/qualification.cc.o"
+  "CMakeFiles/crowdtruth_experiments.dir/qualification.cc.o.d"
+  "CMakeFiles/crowdtruth_experiments.dir/redundancy.cc.o"
+  "CMakeFiles/crowdtruth_experiments.dir/redundancy.cc.o.d"
+  "CMakeFiles/crowdtruth_experiments.dir/redundancy_planner.cc.o"
+  "CMakeFiles/crowdtruth_experiments.dir/redundancy_planner.cc.o.d"
+  "CMakeFiles/crowdtruth_experiments.dir/runner.cc.o"
+  "CMakeFiles/crowdtruth_experiments.dir/runner.cc.o.d"
+  "CMakeFiles/crowdtruth_experiments.dir/worker_filter.cc.o"
+  "CMakeFiles/crowdtruth_experiments.dir/worker_filter.cc.o.d"
+  "libcrowdtruth_experiments.a"
+  "libcrowdtruth_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtruth_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/classification.cc" "src/metrics/CMakeFiles/crowdtruth_metrics.dir/classification.cc.o" "gcc" "src/metrics/CMakeFiles/crowdtruth_metrics.dir/classification.cc.o.d"
+  "/root/repo/src/metrics/consistency.cc" "src/metrics/CMakeFiles/crowdtruth_metrics.dir/consistency.cc.o" "gcc" "src/metrics/CMakeFiles/crowdtruth_metrics.dir/consistency.cc.o.d"
+  "/root/repo/src/metrics/numeric.cc" "src/metrics/CMakeFiles/crowdtruth_metrics.dir/numeric.cc.o" "gcc" "src/metrics/CMakeFiles/crowdtruth_metrics.dir/numeric.cc.o.d"
+  "/root/repo/src/metrics/worker_stats.cc" "src/metrics/CMakeFiles/crowdtruth_metrics.dir/worker_stats.cc.o" "gcc" "src/metrics/CMakeFiles/crowdtruth_metrics.dir/worker_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/crowdtruth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdtruth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

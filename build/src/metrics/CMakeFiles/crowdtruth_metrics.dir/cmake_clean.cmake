@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtruth_metrics.dir/classification.cc.o"
+  "CMakeFiles/crowdtruth_metrics.dir/classification.cc.o.d"
+  "CMakeFiles/crowdtruth_metrics.dir/consistency.cc.o"
+  "CMakeFiles/crowdtruth_metrics.dir/consistency.cc.o.d"
+  "CMakeFiles/crowdtruth_metrics.dir/numeric.cc.o"
+  "CMakeFiles/crowdtruth_metrics.dir/numeric.cc.o.d"
+  "CMakeFiles/crowdtruth_metrics.dir/worker_stats.cc.o"
+  "CMakeFiles/crowdtruth_metrics.dir/worker_stats.cc.o.d"
+  "libcrowdtruth_metrics.a"
+  "libcrowdtruth_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtruth_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowdtruth_metrics.a"
+)

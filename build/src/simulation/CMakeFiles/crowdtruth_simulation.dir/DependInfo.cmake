@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulation/generator.cc" "src/simulation/CMakeFiles/crowdtruth_simulation.dir/generator.cc.o" "gcc" "src/simulation/CMakeFiles/crowdtruth_simulation.dir/generator.cc.o.d"
+  "/root/repo/src/simulation/online_assignment.cc" "src/simulation/CMakeFiles/crowdtruth_simulation.dir/online_assignment.cc.o" "gcc" "src/simulation/CMakeFiles/crowdtruth_simulation.dir/online_assignment.cc.o.d"
+  "/root/repo/src/simulation/profiles.cc" "src/simulation/CMakeFiles/crowdtruth_simulation.dir/profiles.cc.o" "gcc" "src/simulation/CMakeFiles/crowdtruth_simulation.dir/profiles.cc.o.d"
+  "/root/repo/src/simulation/worker_model.cc" "src/simulation/CMakeFiles/crowdtruth_simulation.dir/worker_model.cc.o" "gcc" "src/simulation/CMakeFiles/crowdtruth_simulation.dir/worker_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/crowdtruth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdtruth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtruth_simulation.dir/generator.cc.o"
+  "CMakeFiles/crowdtruth_simulation.dir/generator.cc.o.d"
+  "CMakeFiles/crowdtruth_simulation.dir/online_assignment.cc.o"
+  "CMakeFiles/crowdtruth_simulation.dir/online_assignment.cc.o.d"
+  "CMakeFiles/crowdtruth_simulation.dir/profiles.cc.o"
+  "CMakeFiles/crowdtruth_simulation.dir/profiles.cc.o.d"
+  "CMakeFiles/crowdtruth_simulation.dir/worker_model.cc.o"
+  "CMakeFiles/crowdtruth_simulation.dir/worker_model.cc.o.d"
+  "libcrowdtruth_simulation.a"
+  "libcrowdtruth_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtruth_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

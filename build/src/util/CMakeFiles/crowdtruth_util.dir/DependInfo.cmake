@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_chart.cc" "src/util/CMakeFiles/crowdtruth_util.dir/ascii_chart.cc.o" "gcc" "src/util/CMakeFiles/crowdtruth_util.dir/ascii_chart.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/crowdtruth_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/crowdtruth_util.dir/csv.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/util/CMakeFiles/crowdtruth_util.dir/flags.cc.o" "gcc" "src/util/CMakeFiles/crowdtruth_util.dir/flags.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "src/util/CMakeFiles/crowdtruth_util.dir/parallel.cc.o" "gcc" "src/util/CMakeFiles/crowdtruth_util.dir/parallel.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/crowdtruth_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/crowdtruth_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/special_functions.cc" "src/util/CMakeFiles/crowdtruth_util.dir/special_functions.cc.o" "gcc" "src/util/CMakeFiles/crowdtruth_util.dir/special_functions.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/util/CMakeFiles/crowdtruth_util.dir/table_printer.cc.o" "gcc" "src/util/CMakeFiles/crowdtruth_util.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

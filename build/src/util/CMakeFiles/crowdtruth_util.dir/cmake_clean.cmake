@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtruth_util.dir/ascii_chart.cc.o"
+  "CMakeFiles/crowdtruth_util.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/crowdtruth_util.dir/csv.cc.o"
+  "CMakeFiles/crowdtruth_util.dir/csv.cc.o.d"
+  "CMakeFiles/crowdtruth_util.dir/flags.cc.o"
+  "CMakeFiles/crowdtruth_util.dir/flags.cc.o.d"
+  "CMakeFiles/crowdtruth_util.dir/parallel.cc.o"
+  "CMakeFiles/crowdtruth_util.dir/parallel.cc.o.d"
+  "CMakeFiles/crowdtruth_util.dir/rng.cc.o"
+  "CMakeFiles/crowdtruth_util.dir/rng.cc.o.d"
+  "CMakeFiles/crowdtruth_util.dir/special_functions.cc.o"
+  "CMakeFiles/crowdtruth_util.dir/special_functions.cc.o.d"
+  "CMakeFiles/crowdtruth_util.dir/table_printer.cc.o"
+  "CMakeFiles/crowdtruth_util.dir/table_printer.cc.o.d"
+  "libcrowdtruth_util.a"
+  "libcrowdtruth_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtruth_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_and_robust_test.dir/feature_and_robust_test.cc.o"
+  "CMakeFiles/feature_and_robust_test.dir/feature_and_robust_test.cc.o.d"
+  "feature_and_robust_test"
+  "feature_and_robust_test.pdb"
+  "feature_and_robust_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_and_robust_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

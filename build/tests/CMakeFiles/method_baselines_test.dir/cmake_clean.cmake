@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_baselines_test.dir/method_baselines_test.cc.o"
+  "CMakeFiles/method_baselines_test.dir/method_baselines_test.cc.o.d"
+  "method_baselines_test"
+  "method_baselines_test.pdb"
+  "method_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_bayesian_test.dir/method_bayesian_test.cc.o"
+  "CMakeFiles/method_bayesian_test.dir/method_bayesian_test.cc.o.d"
+  "method_bayesian_test"
+  "method_bayesian_test.pdb"
+  "method_bayesian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_bayesian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

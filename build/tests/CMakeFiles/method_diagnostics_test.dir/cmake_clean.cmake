@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_diagnostics_test.dir/method_diagnostics_test.cc.o"
+  "CMakeFiles/method_diagnostics_test.dir/method_diagnostics_test.cc.o.d"
+  "method_diagnostics_test"
+  "method_diagnostics_test.pdb"
+  "method_diagnostics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_diagnostics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

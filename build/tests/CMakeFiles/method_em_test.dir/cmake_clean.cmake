@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_em_test.dir/method_em_test.cc.o"
+  "CMakeFiles/method_em_test.dir/method_em_test.cc.o.d"
+  "method_em_test"
+  "method_em_test.pdb"
+  "method_em_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_em_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

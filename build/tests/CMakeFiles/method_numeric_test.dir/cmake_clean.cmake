@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_numeric_test.dir/method_numeric_test.cc.o"
+  "CMakeFiles/method_numeric_test.dir/method_numeric_test.cc.o.d"
+  "method_numeric_test"
+  "method_numeric_test.pdb"
+  "method_numeric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_numeric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

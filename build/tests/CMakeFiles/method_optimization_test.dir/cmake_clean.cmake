@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_optimization_test.dir/method_optimization_test.cc.o"
+  "CMakeFiles/method_optimization_test.dir/method_optimization_test.cc.o.d"
+  "method_optimization_test"
+  "method_optimization_test.pdb"
+  "method_optimization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_optimization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

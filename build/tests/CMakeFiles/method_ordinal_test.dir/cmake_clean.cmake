@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_ordinal_test.dir/method_ordinal_test.cc.o"
+  "CMakeFiles/method_ordinal_test.dir/method_ordinal_test.cc.o.d"
+  "method_ordinal_test"
+  "method_ordinal_test.pdb"
+  "method_ordinal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_ordinal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiple_choice_test.dir/multiple_choice_test.cc.o"
+  "CMakeFiles/multiple_choice_test.dir/multiple_choice_test.cc.o.d"
+  "multiple_choice_test"
+  "multiple_choice_test.pdb"
+  "multiple_choice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiple_choice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

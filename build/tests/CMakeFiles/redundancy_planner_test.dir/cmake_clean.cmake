@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_planner_test.dir/redundancy_planner_test.cc.o"
+  "CMakeFiles/redundancy_planner_test.dir/redundancy_planner_test.cc.o.d"
+  "redundancy_planner_test"
+  "redundancy_planner_test.pdb"
+  "redundancy_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

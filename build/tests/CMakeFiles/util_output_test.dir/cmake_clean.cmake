@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_output_test.dir/util_output_test.cc.o"
+  "CMakeFiles/util_output_test.dir/util_output_test.cc.o.d"
+  "util_output_test"
+  "util_output_test.pdb"
+  "util_output_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_output_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

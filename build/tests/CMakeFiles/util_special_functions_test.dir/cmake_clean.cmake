@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_special_functions_test.dir/util_special_functions_test.cc.o"
+  "CMakeFiles/util_special_functions_test.dir/util_special_functions_test.cc.o.d"
+  "util_special_functions_test"
+  "util_special_functions_test.pdb"
+  "util_special_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_special_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worker_filter_test.dir/worker_filter_test.cc.o"
+  "CMakeFiles/worker_filter_test.dir/worker_filter_test.cc.o.d"
+  "worker_filter_test"
+  "worker_filter_test.pdb"
+  "worker_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worker_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_special_functions_test[1]_include.cmake")
+include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_csv_test[1]_include.cmake")
+include("/root/repo/build/tests/util_output_test[1]_include.cmake")
+include("/root/repo/build/tests/data_dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/data_io_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/core_common_test[1]_include.cmake")
+include("/root/repo/build/tests/method_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/method_em_test[1]_include.cmake")
+include("/root/repo/build/tests/method_optimization_test[1]_include.cmake")
+include("/root/repo/build/tests/method_bayesian_test[1]_include.cmake")
+include("/root/repo/build/tests/method_numeric_test[1]_include.cmake")
+include("/root/repo/build/tests/method_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/simulation_test[1]_include.cmake")
+include("/root/repo/build/tests/experiments_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/multiple_choice_test[1]_include.cmake")
+include("/root/repo/build/tests/online_assignment_test[1]_include.cmake")
+include("/root/repo/build/tests/method_diagnostics_test[1]_include.cmake")
+include("/root/repo/build/tests/method_ordinal_test[1]_include.cmake")
+include("/root/repo/build/tests/util_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/redundancy_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/topic_skills_test[1]_include.cmake")
+include("/root/repo/build/tests/worker_filter_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/feature_and_robust_test[1]_include.cmake")

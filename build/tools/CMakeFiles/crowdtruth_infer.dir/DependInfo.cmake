@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/crowdtruth_infer.cc" "tools/CMakeFiles/crowdtruth_infer.dir/crowdtruth_infer.cc.o" "gcc" "tools/CMakeFiles/crowdtruth_infer.dir/crowdtruth_infer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/crowdtruth_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crowdtruth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/crowdtruth_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crowdtruth_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdtruth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

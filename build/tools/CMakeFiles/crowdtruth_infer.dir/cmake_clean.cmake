@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdtruth_infer.dir/crowdtruth_infer.cc.o"
+  "CMakeFiles/crowdtruth_infer.dir/crowdtruth_infer.cc.o.d"
+  "crowdtruth_infer"
+  "crowdtruth_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdtruth_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
