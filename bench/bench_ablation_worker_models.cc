@@ -16,7 +16,7 @@
 //  probability (paper §6.3.1(4)).
 //
 // Usage: bench_ablation_worker_models [--tasks=3000] [--repeats=5]
-//          [--seed=1]
+//          [--seed=1] [--json_out=BENCH_ablation.json]
 #include <iostream>
 #include <vector>
 
@@ -67,11 +67,16 @@ Quality MeanQuality(const std::string& method,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const crowdtruth::util::Flags flags(
-      argc, argv, {{"tasks", "3000"}, {"repeats", "5"}, {"seed", "1"}});
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"tasks", "3000"},
+                                       {"repeats", "5"},
+                                       {"seed", "1"},
+                                       {"json_out", ""}});
   const int tasks = flags.GetInt("tasks");
   const int repeats = flags.GetInt("repeats");
   const uint64_t seed = flags.GetInt("seed");
+  crowdtruth::bench::JsonReport json_report("ablation_worker_models",
+                                            flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
       "Ablation: worker-model expressiveness (confusion matrix vs worker "
@@ -96,6 +101,15 @@ int main(int argc, char** argv) {
     const Quality mv = MeanQuality("MV", population, tasks, repeats, seed);
     const Quality zc = MeanQuality("ZC", population, tasks, repeats, seed);
     const Quality ds = MeanQuality("D&S", population, tasks, repeats, seed);
+    json_report.AddRecord({{"part", "asymmetry_sweep"},
+                           {"q_tt", point.q_tt},
+                           {"q_ff", point.q_ff},
+                           {"mv_accuracy", mv.accuracy},
+                           {"zc_accuracy", zc.accuracy},
+                           {"ds_accuracy", ds.accuracy},
+                           {"mv_f1", mv.f1},
+                           {"zc_f1", zc.f1},
+                           {"ds_f1", ds.f1}});
     part_a.AddRow({TablePrinter::Fixed(point.q_tt, 2),
                    TablePrinter::Fixed(point.q_ff, 2),
                    TablePrinter::Percent(mv.accuracy, 1),
@@ -124,6 +138,14 @@ int main(int argc, char** argv) {
     const Quality mv = MeanQuality("MV", population, tasks, repeats, seed);
     const Quality zc = MeanQuality("ZC", population, tasks, repeats, seed);
     const Quality ds = MeanQuality("D&S", population, tasks, repeats, seed);
+    json_report.AddRecord({{"part", "spammer_sweep"},
+                           {"spammer_fraction", spammer_fraction},
+                           {"mv_accuracy", mv.accuracy},
+                           {"zc_accuracy", zc.accuracy},
+                           {"ds_accuracy", ds.accuracy},
+                           {"mv_f1", mv.f1},
+                           {"zc_f1", zc.f1},
+                           {"ds_f1", ds.f1}});
     part_b.AddRow({TablePrinter::Fixed(spammer_fraction, 1),
                    TablePrinter::Percent(mv.f1, 1),
                    TablePrinter::Percent(zc.f1, 1),
@@ -141,5 +163,6 @@ int main(int argc, char** argv) {
          "spammers pollute the answer set — worker *heterogeneity*, not\n"
          "asymmetry alone, is what makes the richer models win on\n"
          "D_Product (paper Sec 6.3.1(4), 6.3.4).\n";
+  json_report.Write(std::cout);
   return 0;
 }

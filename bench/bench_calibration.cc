@@ -5,8 +5,10 @@
 // profile change.
 //
 // Usage: bench_calibration [--scale=0.5] [--seed=1]
+//                          [--json_out=BENCH_calibration.json]
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "core/registry.h"
 #include "experiments/runner.h"
 #include "metrics/consistency.h"
@@ -17,6 +19,7 @@
 
 namespace {
 
+using crowdtruth::bench::JsonReport;
 using crowdtruth::core::InferenceOptions;
 using crowdtruth::core::MakeCategoricalMethod;
 using crowdtruth::core::MakeNumericMethod;
@@ -27,7 +30,8 @@ using crowdtruth::util::TablePrinter;
 void ReportCategorical(const std::string& name, double scale,
                        double paper_worker_accuracy, double paper_consistency,
                        double paper_mv_accuracy, double paper_ds_accuracy,
-                       double paper_mv_f1, double paper_ds_f1) {
+                       double paper_mv_f1, double paper_ds_f1,
+                       JsonReport* json_report) {
   const crowdtruth::data::CategoricalDataset dataset =
       crowdtruth::sim::GenerateCategoricalProfile(name, scale);
   std::cout << "\n=== " << name << " (scale " << scale << ") ===\n";
@@ -50,6 +54,10 @@ void ReportCategorical(const std::string& name, double scale,
     const auto m = MakeCategoricalMethod(method);
     const auto eval = EvaluateCategorical(*m, dataset, InferenceOptions{},
                                           crowdtruth::sim::kPositiveLabel);
+    json_report->AddRecord({{"dataset", name},
+                            {"method", method},
+                            {"accuracy", eval.accuracy},
+                            {"f1", eval.f1}});
     std::string paper_acc;
     std::string paper_f1;
     if (std::string(method) == "MV") {
@@ -69,7 +77,7 @@ void ReportCategorical(const std::string& name, double scale,
   table.Print(std::cout);
 }
 
-void ReportNumeric(double scale) {
+void ReportNumeric(double scale, JsonReport* json_report) {
   const crowdtruth::data::NumericDataset dataset =
       crowdtruth::sim::GenerateNumericProfile("N_Emotion", scale);
   std::cout << "\n=== N_Emotion (scale " << scale << ") ===\n";
@@ -96,6 +104,10 @@ void ReportNumeric(double scale) {
   for (const auto& row : rows) {
     const auto m = MakeNumericMethod(row.name);
     const auto eval = EvaluateNumeric(*m, dataset, InferenceOptions{});
+    json_report->AddRecord({{"dataset", "N_Emotion"},
+                            {"method", row.name},
+                            {"mae", eval.mae},
+                            {"rmse", eval.rmse}});
     table.AddRow({std::string(row.name) + " MAE",
                   TablePrinter::Fixed(eval.mae, 2), row.paper_mae});
     table.AddRow({std::string(row.name) + " RMSE",
@@ -107,20 +119,22 @@ void ReportNumeric(double scale) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const crowdtruth::util::Flags flags(argc, argv,
-                                      {{"scale", "0.5"}, {"seed", "1"}});
+  const crowdtruth::util::Flags flags(
+      argc, argv, {{"scale", "0.5"}, {"seed", "1"}, {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
+  JsonReport json_report("calibration", flags.Get("json_out"));
   std::cout << "Profile calibration vs paper targets (Table 5/6, Sec 6.2)\n";
   // Paper values: worker accuracy (§6.2.3), consistency (§6.2.1), MV/D&S
   // rows of Table 6.
   ReportCategorical("D_Product", scale, 0.79, 0.38, 0.8966, 0.9366, 0.5905,
-                    0.7159);
+                    0.7159, &json_report);
   ReportCategorical("D_PosSent", 1.0, 0.79, 0.85, 0.9331, 0.9600, 0.9285,
-                    0.9566);
+                    0.9566, &json_report);
   ReportCategorical("S_Rel", scale * 0.5, 0.53, 0.82, 0.5419, 0.6130, 0.0,
-                    0.0);
+                    0.0, &json_report);
   ReportCategorical("S_Adult", scale * 0.5, 0.65, 0.39, 0.3604, 0.3605, 0.0,
-                    0.0);
-  ReportNumeric(1.0);
+                    0.0, &json_report);
+  ReportNumeric(1.0, &json_report);
+  json_report.Write(std::cout);
   return 0;
 }

@@ -1,20 +1,88 @@
 // Shared glue for the bench binaries: flag defaults, method runners over
-// redundancy-subsampled trials, and output helpers.
+// redundancy-subsampled trials, and output helpers — including the
+// machine-readable run reports behind every binary's --json_out flag.
 #ifndef CROWDTRUTH_BENCH_BENCH_COMMON_H_
 #define CROWDTRUTH_BENCH_BENCH_COMMON_H_
 
+#include <initializer_list>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/registry.h"
 #include "experiments/redundancy.h"
 #include "experiments/runner.h"
 #include "simulation/profiles.h"
+#include "util/json_writer.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
 namespace crowdtruth::bench {
+
+// Accumulates one JSON record per measured row and writes
+//   {"bench": <name>, "records": [...]}
+// to the --json_out path. Construct with an empty path to disable; all
+// calls are then no-ops, so benches record unconditionally.
+class JsonReport {
+ public:
+  using Field = std::pair<const char*, util::JsonValue>;
+
+  JsonReport(std::string bench_name, std::string path)
+      : bench_name_(std::move(bench_name)), path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Flat record from explicit fields, e.g.
+  //   report.AddRecord({{"method", m}, {"accuracy", acc}});
+  void AddRecord(std::initializer_list<Field> fields) {
+    if (!enabled()) return;
+    util::JsonValue record = util::JsonValue::Object();
+    for (const Field& field : fields) record.Set(field.first, field.second);
+    records_.Append(std::move(record));
+  }
+
+  // Pre-built record, for benches whose field set is data-dependent.
+  void AddValue(util::JsonValue record) {
+    if (!enabled()) return;
+    records_.Append(std::move(record));
+  }
+
+  // Record from a full RunReport (per-run metrics, phase timings, and the
+  // per-iteration trajectory), with optional leading context fields such as
+  // the redundancy or trial index.
+  void AddRunReport(const experiments::RunReport& run,
+                    std::initializer_list<Field> context = {}) {
+    if (!enabled()) return;
+    util::JsonValue record = util::JsonValue::Object();
+    for (const Field& field : context) record.Set(field.first, field.second);
+    util::JsonValue body = experiments::RunReportJson(run);
+    for (const auto& field : body.fields()) {
+      record.Set(field.first, field.second);
+    }
+    records_.Append(std::move(record));
+  }
+
+  // Writes the file (pretty-printed) and logs the outcome. Safe to call
+  // when disabled.
+  void Write(std::ostream& log) const {
+    if (!enabled()) return;
+    util::JsonValue root = util::JsonValue::Object();
+    root.Set("bench", bench_name_);
+    root.Set("records", records_);
+    const util::Status status = util::WriteJsonFile(path_, root);
+    if (status.ok()) {
+      log << "\nwrote JSON report to " << path_ << '\n';
+    } else {
+      std::cerr << "error: " << status.ToString() << '\n';
+    }
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  util::JsonValue records_ = util::JsonValue::Array();
+};
 
 // Mean metric across `repeats` independent redundancy subsamples of the
 // dataset, for one categorical method. Returns {accuracy, f1}. Trials run

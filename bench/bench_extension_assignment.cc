@@ -8,6 +8,7 @@
 //
 // Usage: bench_extension_assignment [--scale=0.25] [--repeats=3]
 //          [--budget_per_task=3] [--seed=1]
+//          [--json_out=BENCH_assignment.json]
 #include <iostream>
 #include <vector>
 
@@ -41,11 +42,14 @@ int main(int argc, char** argv) {
                                       {{"scale", "0.25"},
                                        {"repeats", "3"},
                                        {"budget_per_task", "3"},
-                                       {"seed", "1"}});
+                                       {"seed", "1"},
+                                       {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int repeats = flags.GetInt("repeats");
   const int budget_per_task = flags.GetInt("budget_per_task");
   const uint64_t seed = flags.GetInt("seed");
+  crowdtruth::bench::JsonReport json_report("extension_assignment",
+                                            flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
       "Extension: Online Task Assignment strategies at equal budget",
@@ -93,6 +97,14 @@ int main(int argc, char** argv) {
                   TablePrinter::Percent(Summarize(mv_f1).mean, 1),
                   TablePrinter::Percent(Summarize(ds_accuracy).mean, 1),
                   TablePrinter::Percent(Summarize(ds_f1).mean, 1)});
+    json_report.AddRecord(
+        {{"strategy", StrategyName(strategy)},
+         {"budget", budget},
+         {"repeats", repeats},
+         {"mv_accuracy", Summarize(mv_accuracy).mean},
+         {"mv_f1", Summarize(mv_f1).mean},
+         {"ds_accuracy", Summarize(ds_accuracy).mean},
+         {"ds_f1", Summarize(ds_f1).mean}});
   }
   table.Print(std::cout);
 
@@ -101,5 +113,6 @@ int main(int argc, char** argv) {
          "answers to contested tasks and improves inference quality over\n"
          "random collection at the same budget — the motivation for the\n"
          "online-assignment research direction the paper points to.\n";
+  json_report.Write(std::cout);
   return 0;
 }

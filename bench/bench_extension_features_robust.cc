@@ -11,9 +11,11 @@
 //  the robust estimator stays near the per-regime best.
 //
 // Usage: bench_extension_features_robust [--seed=1]
+//          [--json_out=BENCH_features_robust.json]
 #include <iostream>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/methods/lfc_features.h"
 #include "core/methods/robust_numeric.h"
 #include "core/registry.h"
@@ -51,8 +53,11 @@ crowdtruth::data::NumericDataset MakeNumericRegime(const std::string& regime,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const crowdtruth::util::Flags flags(argc, argv, {{"seed", "1"}});
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"seed", "1"}, {"json_out", ""}});
   const uint64_t seed = flags.GetInt("seed");
+  crowdtruth::bench::JsonReport json_report("extension_features_robust",
+                                            flags.Get("json_out"));
 
   std::cout
       << "================================================================\n"
@@ -81,13 +86,19 @@ int main(int argc, char** argv) {
       return crowdtruth::metrics::Accuracy(
           data.dataset, method.Infer(data.dataset, options).labels);
     };
+    const double mv_accuracy = accuracy(*mv);
     const double lfc_accuracy = accuracy(*lfc);
     const double features_accuracy = accuracy(with_features);
-    part_a.AddRow({std::to_string(r), TablePrinter::Percent(accuracy(*mv), 1),
+    part_a.AddRow({std::to_string(r), TablePrinter::Percent(mv_accuracy, 1),
                    TablePrinter::Percent(lfc_accuracy, 1),
                    TablePrinter::Percent(features_accuracy, 1),
                    TablePrinter::SignedPercent(
                        features_accuracy - lfc_accuracy, 1)});
+    json_report.AddRecord({{"part", "features"},
+                           {"redundancy", r},
+                           {"mv_accuracy", mv_accuracy},
+                           {"lfc_accuracy", lfc_accuracy},
+                           {"lfc_features_accuracy", features_accuracy}});
   }
   part_a.Print(std::cout);
 
@@ -100,18 +111,22 @@ int main(int argc, char** argv) {
     const crowdtruth::data::NumericDataset dataset =
         MakeNumericRegime(regime, seed + 17);
     std::vector<std::string> row = {regime};
+    crowdtruth::util::JsonValue record = crowdtruth::util::JsonValue::Object();
+    record.Set("part", "robust_numeric");
+    record.Set("regime", regime);
     for (const char* name : {"Mean", "Median", "LFC_N", "PM", "CATD"}) {
       const auto method = crowdtruth::core::MakeNumericMethod(name);
-      row.push_back(TablePrinter::Fixed(
-          crowdtruth::metrics::RootMeanSquaredError(
-              dataset, method->Infer(dataset, {}).values),
-          2));
+      const double rmse = crowdtruth::metrics::RootMeanSquaredError(
+          dataset, method->Infer(dataset, {}).values);
+      row.push_back(TablePrinter::Fixed(rmse, 2));
+      record.Set(std::string(name) + "_rmse", rmse);
     }
     crowdtruth::core::RobustNumeric robust;
-    row.push_back(TablePrinter::Fixed(
-        crowdtruth::metrics::RootMeanSquaredError(
-            dataset, robust.Infer(dataset, {}).values),
-        2));
+    const double robust_rmse = crowdtruth::metrics::RootMeanSquaredError(
+        dataset, robust.Infer(dataset, {}).values);
+    row.push_back(TablePrinter::Fixed(robust_rmse, 2));
+    record.Set("Robust_rmse", robust_rmse);
+    json_report.AddValue(std::move(record));
     part_b.AddRow(std::move(row));
   }
   part_b.Print(std::cout);
@@ -122,5 +137,6 @@ int main(int argc, char** argv) {
          "CATD blow up under answer-level contamination and Median pays an\n"
          "efficiency cost when clean; Robust stays near the best column in\n"
          "every row.\n";
+  json_report.Write(std::cout);
   return 0;
 }

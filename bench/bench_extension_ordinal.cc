@@ -6,10 +6,12 @@
 //
 // Usage: bench_extension_ordinal [--tasks=500] [--workers=25]
 //          [--redundancy=5] [--choices=5] [--seed=409]
+//          [--json_out=BENCH_ordinal.json]
 #include <cmath>
 #include <iostream>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/methods/minimax_ordinal.h"
 #include "core/registry.h"
 #include "experiments/runner.h"
@@ -51,7 +53,10 @@ int main(int argc, char** argv) {
                                        {"workers", "25"},
                                        {"redundancy", "5"},
                                        {"choices", "5"},
-                                       {"seed", "409"}});
+                                       {"seed", "409"},
+                                       {"json_out", ""}});
+  crowdtruth::bench::JsonReport json_report("extension_ordinal",
+                                            flags.Get("json_out"));
   std::cout
       << "================================================================\n"
          "Extension: ordinal minimax conditional entropy (Zhou et al. '14,\n"
@@ -75,14 +80,21 @@ int main(int argc, char** argv) {
     auto ds = crowdtruth::core::MakeCategoricalMethod("D&S");
     auto minimax = crowdtruth::core::MakeCategoricalMethod("Minimax");
     crowdtruth::core::MinimaxOrdinal ordinal;
+    const double mv_accuracy = accuracy(*mv);
+    const double ds_accuracy = accuracy(*ds);
     const double general = accuracy(*minimax);
     const double structured = accuracy(ordinal);
     table.AddRow({TablePrinter::Fixed(exactness, 1),
-                  TablePrinter::Percent(accuracy(*mv), 1),
-                  TablePrinter::Percent(accuracy(*ds), 1),
+                  TablePrinter::Percent(mv_accuracy, 1),
+                  TablePrinter::Percent(ds_accuracy, 1),
                   TablePrinter::Percent(general, 1),
                   TablePrinter::Percent(structured, 1),
                   TablePrinter::SignedPercent(structured - general, 1)});
+    json_report.AddRecord({{"exactness", exactness},
+                           {"mv_accuracy", mv_accuracy},
+                           {"ds_accuracy", ds_accuracy},
+                           {"minimax_accuracy", general},
+                           {"minimax_ordinal_accuracy", structured}});
   }
   table.Print(std::cout);
   std::cout
@@ -90,5 +102,6 @@ int main(int argc, char** argv) {
          "free-form Minimax at every noise level; at high noise even D&S\n"
          "falls below MV (l^2-parameter matrices overfit ~100 answers per\n"
          "worker) while the 2-parameter ordinal model degrades gracefully.\n";
+  json_report.Write(std::cout);
   return 0;
 }

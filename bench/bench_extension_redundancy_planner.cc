@@ -6,7 +6,7 @@
 //
 // Usage: bench_extension_redundancy_planner
 //          [--profile=D_PosSent] [--scale=1.0] [--method=D&S]
-//          [--repeats=5] [--seed=1]
+//          [--repeats=5] [--seed=1] [--json_out=BENCH_planner.json]
 #include <iostream>
 #include <vector>
 
@@ -22,7 +22,10 @@ int main(int argc, char** argv) {
                                        {"scale", "1.0"},
                                        {"method", "D&S"},
                                        {"repeats", "5"},
-                                       {"seed", "1"}});
+                                       {"seed", "1"},
+                                       {"json_out", ""}});
+  crowdtruth::bench::JsonReport json_report("extension_redundancy_planner",
+                                            flags.Get("json_out"));
   crowdtruth::bench::PrintBenchHeader(
       "Extension: redundancy planning from inference stability",
       "future direction (3) of Section 7");
@@ -52,6 +55,11 @@ int main(int argc, char** argv) {
     table.AddRow({std::to_string(r),
                   TablePrinter::Percent(plan.stability[i], 1),
                   TablePrinter::Percent(quality.accuracy, 1)});
+    json_report.AddRecord({{"dataset", dataset.name()},
+                           {"method", method},
+                           {"redundancy", r},
+                           {"stability", plan.stability[i]},
+                           {"accuracy", quality.accuracy}});
   }
   table.Print(std::cout);
   std::cout << "\nrecommended redundancy (stability gain < "
@@ -61,5 +69,10 @@ int main(int argc, char** argv) {
                "flattens at\nthe same redundancy as the true accuracy curve "
                "(Figure 4), so the\nplanner finds the quality plateau "
                "without golden labels.\n";
+  json_report.AddRecord(
+      {{"dataset", dataset.name()},
+       {"method", method},
+       {"recommended_redundancy", plan.recommended_redundancy}});
+  json_report.Write(std::cout);
   return 0;
 }

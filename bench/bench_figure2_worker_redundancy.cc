@@ -2,6 +2,7 @@
 // answered per worker) for each dataset — the long-tail phenomenon.
 //
 // Usage: bench_figure2_worker_redundancy [--scale=1.0] [--buckets=10]
+//                                        [--json_out=BENCH_figure2.json]
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -10,12 +11,15 @@
 #include "metrics/worker_stats.h"
 #include "util/ascii_chart.h"
 #include "util/flags.h"
+#include "util/json_writer.h"
 
 namespace {
 
+using crowdtruth::bench::JsonReport;
+
 void PrintRedundancyHistogram(const std::string& name,
                               const std::vector<int>& redundancy,
-                              int buckets) {
+                              int buckets, JsonReport* json_report) {
   std::vector<double> values(redundancy.begin(), redundancy.end());
   const double max_value =
       *std::max_element(values.begin(), values.end()) + 1.0;
@@ -28,15 +32,25 @@ void PrintRedundancyHistogram(const std::string& name,
   spec.bucket_counts = histogram.counts;
   PrintHistogram(spec, std::cout);
   std::cout << '\n';
+
+  crowdtruth::util::JsonValue labels = crowdtruth::util::JsonValue::Array();
+  crowdtruth::util::JsonValue counts = crowdtruth::util::JsonValue::Array();
+  for (const std::string& label : histogram.labels) labels.Append(label);
+  for (int count : histogram.counts) counts.Append(count);
+  json_report->AddRecord({{"dataset", name},
+                          {"num_workers", static_cast<int>(redundancy.size())},
+                          {"bucket_labels", labels},
+                          {"bucket_counts", counts}});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const crowdtruth::util::Flags flags(argc, argv,
-                                      {{"scale", "1.0"}, {"buckets", "10"}});
+  const crowdtruth::util::Flags flags(
+      argc, argv, {{"scale", "1.0"}, {"buckets", "10"}, {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int buckets = flags.GetInt("buckets");
+  JsonReport json_report("figure2_worker_redundancy", flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
       "Figure 2: The Statistics of Worker Redundancy for Each Dataset",
@@ -47,15 +61,16 @@ int main(int argc, char** argv) {
         crowdtruth::sim::GenerateCategoricalProfile(name, scale);
     PrintRedundancyHistogram(name,
                              crowdtruth::metrics::WorkerRedundancy(dataset),
-                             buckets);
+                             buckets, &json_report);
   }
   const crowdtruth::data::NumericDataset numeric =
       crowdtruth::sim::GenerateNumericProfile("N_Emotion", scale);
   PrintRedundancyHistogram("N_Emotion",
                            crowdtruth::metrics::WorkerRedundancy(numeric),
-                           buckets);
+                           buckets, &json_report);
 
   std::cout << "Expected shape (paper Sec 6.2.2): long tail — most workers"
                " answer few tasks; a few answer thousands.\n";
+  json_report.Write(std::cout);
   return 0;
 }

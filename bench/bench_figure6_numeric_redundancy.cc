@@ -3,6 +3,7 @@
 //
 // Usage: bench_figure6_numeric_redundancy
 //          [--scale=1.0] [--repeats=10] [--seed=1]
+//          [--json_out=BENCH_figure6.json]
 #include <iostream>
 #include <string>
 #include <vector>
@@ -12,11 +13,16 @@
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
-  const crowdtruth::util::Flags flags(
-      argc, argv, {{"scale", "1.0"}, {"repeats", "10"}, {"seed", "1"}});
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"scale", "1.0"},
+                                       {"repeats", "10"},
+                                       {"seed", "1"},
+                                       {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int repeats = flags.GetInt("repeats");
   const uint64_t seed = flags.GetInt("seed");
+  crowdtruth::bench::JsonReport json_report("figure6_numeric_redundancy",
+                                            flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
       "Figure 6: Quality Comparisons on Numeric Tasks vs redundancy",
@@ -45,6 +51,12 @@ int main(int argc, char** argv) {
                                                    repeats, seed);
       mae_series.push_back(error.mae);
       rmse_series.push_back(error.rmse);
+      json_report.AddRecord({{"dataset", "N_Emotion"},
+                             {"method", method},
+                             {"redundancy", r},
+                             {"repeats", repeats},
+                             {"mae", error.mae},
+                             {"rmse", error.rmse}});
     }
     mae_chart.series_names.push_back(method);
     mae_chart.series_values.push_back(std::move(mae_series));
@@ -59,5 +71,6 @@ int main(int argc, char** argv) {
                "methods; the baseline Mean is the best (or tied best)\n"
                "aggregator throughout — worker-quality weighting does not\n"
                "pay off on numeric tasks.\n";
+  json_report.Write(std::cout);
   return 0;
 }

@@ -4,17 +4,23 @@
 //
 // Usage: bench_figure7_hidden_decision
 //          [--scale=0.25] [--repeats=5] [--seed=1]
+//          [--json_out=BENCH_figure7.json]
 #include <iostream>
 
 #include "bench/bench_hidden_common.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
-  const crowdtruth::util::Flags flags(
-      argc, argv, {{"scale", "0.25"}, {"repeats", "5"}, {"seed", "1"}});
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"scale", "0.25"},
+                                       {"repeats", "5"},
+                                       {"seed", "1"},
+                                       {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int repeats = flags.GetInt("repeats");
   const uint64_t seed = flags.GetInt("seed");
+  crowdtruth::bench::JsonReport json_report("figure7_hidden_decision",
+                                            flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
       "Figure 7: Varying Hidden Test on Decision-Making Tasks",
@@ -23,13 +29,14 @@ int main(int argc, char** argv) {
   const std::vector<double> fractions = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
   crowdtruth::bench::RunHiddenTestPanel(
       crowdtruth::sim::GenerateCategoricalProfile("D_Product", scale),
-      fractions, repeats, seed, /*show_f1=*/true);
+      fractions, repeats, seed, /*show_f1=*/true, &json_report);
   crowdtruth::bench::RunHiddenTestPanel(
       crowdtruth::sim::GenerateCategoricalProfile("D_PosSent", 1.0),
-      fractions, repeats, seed, /*show_f1=*/true);
+      fractions, repeats, seed, /*show_f1=*/true, &json_report);
 
   std::cout << "Expected shape (paper): quality generally increases with p; "
                "the gains on D_PosSent are small because each task already "
                "has 20 answers.\n";
+  json_report.Write(std::cout);
   return 0;
 }

@@ -4,17 +4,23 @@
 //
 // Usage: bench_figure8_hidden_single
 //          [--scale=0.12] [--repeats=5] [--seed=1]
+//          [--json_out=BENCH_figure8.json]
 #include <iostream>
 
 #include "bench/bench_hidden_common.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
-  const crowdtruth::util::Flags flags(
-      argc, argv, {{"scale", "0.05"}, {"repeats", "3"}, {"seed", "1"}});
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"scale", "0.05"},
+                                       {"repeats", "3"},
+                                       {"seed", "1"},
+                                       {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int repeats = flags.GetInt("repeats");
   const uint64_t seed = flags.GetInt("seed");
+  crowdtruth::bench::JsonReport json_report("figure8_hidden_single",
+                                            flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
       "Figure 8: Varying Hidden Test on Single-Label Tasks",
@@ -23,13 +29,14 @@ int main(int argc, char** argv) {
   const std::vector<double> fractions = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
   crowdtruth::bench::RunHiddenTestPanel(
       crowdtruth::sim::GenerateCategoricalProfile("S_Rel", scale), fractions,
-      repeats, seed, /*show_f1=*/false);
+      repeats, seed, /*show_f1=*/false, &json_report);
   crowdtruth::bench::RunHiddenTestPanel(
       crowdtruth::sim::GenerateCategoricalProfile("S_Adult", scale),
-      fractions, repeats, seed, /*show_f1=*/false);
+      fractions, repeats, seed, /*show_f1=*/false, &json_report);
 
   std::cout << "Expected shape (paper): modest gains that grow with p; on "
                "S_Adult the correlated-error ceiling limits what golden "
                "tasks can add.\n";
+  json_report.Write(std::cout);
   return 0;
 }

@@ -3,6 +3,7 @@
 // (CATD, PM, LFC_N).
 //
 // Usage: bench_figure9_hidden_numeric [--repeats=10] [--seed=1]
+//                                     [--json_out=BENCH_figure9.json]
 #include <iostream>
 #include <vector>
 
@@ -10,10 +11,12 @@
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
-  const crowdtruth::util::Flags flags(argc, argv,
-                                      {{"repeats", "10"}, {"seed", "1"}});
+  const crowdtruth::util::Flags flags(
+      argc, argv, {{"repeats", "10"}, {"seed", "1"}, {"json_out", ""}});
   const int repeats = flags.GetInt("repeats");
   const uint64_t seed = flags.GetInt("seed");
+  crowdtruth::bench::JsonReport json_report("figure9_hidden_numeric",
+                                            flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
       "Figure 9: Varying Hidden Test on Numeric Tasks",
@@ -56,8 +59,16 @@ int main(int argc, char** argv) {
         mae.push_back(eval.mae);
         rmse.push_back(eval.rmse);
       }
-      mae_series.push_back(crowdtruth::experiments::Summarize(mae).mean);
-      rmse_series.push_back(crowdtruth::experiments::Summarize(rmse).mean);
+      const double mean_mae = crowdtruth::experiments::Summarize(mae).mean;
+      const double mean_rmse = crowdtruth::experiments::Summarize(rmse).mean;
+      mae_series.push_back(mean_mae);
+      rmse_series.push_back(mean_rmse);
+      json_report.AddRecord({{"dataset", "N_Emotion"},
+                             {"method", method},
+                             {"golden_fraction", p},
+                             {"repeats", repeats},
+                             {"mae", mean_mae},
+                             {"rmse", mean_rmse}});
     }
     mae_chart.series_names.push_back(method);
     mae_chart.series_values.push_back(std::move(mae_series));
@@ -70,5 +81,6 @@ int main(int argc, char** argv) {
 
   std::cout << "\nExpected shape (paper): errors decrease slightly as p "
                "grows.\n";
+  json_report.Write(std::cout);
   return 0;
 }

@@ -30,10 +30,12 @@ inline std::vector<std::string> GoldenCapableMethods(bool numeric,
 }
 
 // Runs the golden-task sweep on a categorical dataset and prints Accuracy
-// (and optionally F1) charts.
+// (and optionally F1) charts. Each (method, p) cell also lands in
+// `json_report` when its --json_out path is set.
 inline void RunHiddenTestPanel(const data::CategoricalDataset& dataset,
                                const std::vector<double>& fractions,
-                               int repeats, uint64_t seed, bool show_f1) {
+                               int repeats, uint64_t seed, bool show_f1,
+                               JsonReport* json_report) {
   const std::vector<std::string> methods =
       GoldenCapableMethods(false, dataset.num_choices() == 2);
 
@@ -75,9 +77,16 @@ inline void RunHiddenTestPanel(const data::CategoricalDataset& dataset,
         accuracy[trial] = eval.accuracy;
         f1[trial] = eval.f1;
       });
-      accuracy_series.push_back(experiments::Summarize(accuracy).mean *
-                                100.0);
-      f1_series.push_back(experiments::Summarize(f1).mean * 100.0);
+      const double mean_accuracy = experiments::Summarize(accuracy).mean;
+      const double mean_f1 = experiments::Summarize(f1).mean;
+      accuracy_series.push_back(mean_accuracy * 100.0);
+      f1_series.push_back(mean_f1 * 100.0);
+      json_report->AddRecord({{"dataset", dataset.name()},
+                              {"method", method},
+                              {"golden_fraction", p},
+                              {"repeats", repeats},
+                              {"accuracy", mean_accuracy},
+                              {"f1", mean_f1}});
     }
     accuracy_chart.series_names.push_back(method);
     accuracy_chart.series_values.push_back(std::move(accuracy_series));

@@ -87,16 +87,27 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   RegisterAll();
   // Default to a short measurement window; the full-precision run is a
-  // --benchmark_min_time override away.
-  std::vector<char*> args(argv, argv + argc);
-  char min_time_flag[] = "--benchmark_min_time=0.1s";
-  bool has_min_time = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) {
-      has_min_time = true;
+  // --benchmark_min_time override away. --json_out=path is accepted for
+  // uniformity with the other benches and maps onto google-benchmark's
+  // native JSON reporter.
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0) {
+      storage.push_back("--benchmark_out=" + arg.substr(11));
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(arg);
     }
   }
-  if (!has_min_time) args.push_back(min_time_flag);
+  bool has_min_time = false;
+  for (const std::string& arg : storage) {
+    if (arg.rfind("--benchmark_min_time", 0) == 0) has_min_time = true;
+  }
+  if (!has_min_time) storage.push_back("--benchmark_min_time=0.1s");
+  args.reserve(storage.size());
+  for (std::string& arg : storage) args.push_back(arg.data());
   int adjusted_argc = static_cast<int>(args.size());
   benchmark::Initialize(&adjusted_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();

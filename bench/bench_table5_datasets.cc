@@ -2,6 +2,7 @@
 // analysis on the five simulated workloads.
 //
 // Usage: bench_table5_datasets [--scale=1.0]
+//                              [--json_out=BENCH_table5.json]
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -11,8 +12,11 @@
 
 int main(int argc, char** argv) {
   using crowdtruth::util::TablePrinter;
-  const crowdtruth::util::Flags flags(argc, argv, {{"scale", "1.0"}});
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"scale", "1.0"}, {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
+  crowdtruth::bench::JsonReport json_report("table5_datasets",
+                                            flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
       "Table 5: The Statistics of Each Dataset + Sec 6.2.1 consistency",
@@ -30,33 +34,48 @@ int main(int argc, char** argv) {
   for (const auto& profile : categorical_profiles) {
     const crowdtruth::data::CategoricalDataset dataset =
         crowdtruth::sim::GenerateCategoricalProfile(profile.name, scale);
+    const double consistency =
+        crowdtruth::metrics::CategoricalConsistency(dataset);
     table.AddRow(
         {dataset.name(), std::to_string(dataset.num_tasks()),
          std::to_string(dataset.num_labeled_tasks()),
          std::to_string(dataset.num_answers()),
          TablePrinter::Fixed(dataset.Redundancy(), 1),
          std::to_string(dataset.num_workers()),
-         TablePrinter::Fixed(
-             crowdtruth::metrics::CategoricalConsistency(dataset), 2),
-         profile.paper_consistency});
+         TablePrinter::Fixed(consistency, 2), profile.paper_consistency});
+    json_report.AddRecord({{"dataset", dataset.name()},
+                           {"num_tasks", dataset.num_tasks()},
+                           {"num_labeled_tasks", dataset.num_labeled_tasks()},
+                           {"num_answers", dataset.num_answers()},
+                           {"redundancy", dataset.Redundancy()},
+                           {"num_workers", dataset.num_workers()},
+                           {"consistency", consistency}});
   }
   {
     const crowdtruth::data::NumericDataset dataset =
         crowdtruth::sim::GenerateNumericProfile("N_Emotion", scale);
+    const double consistency =
+        crowdtruth::metrics::NumericConsistency(dataset);
     table.AddRow(
         {dataset.name(), std::to_string(dataset.num_tasks()),
          std::to_string(dataset.num_labeled_tasks()),
          std::to_string(dataset.num_answers()),
          TablePrinter::Fixed(dataset.Redundancy(), 1),
          std::to_string(dataset.num_workers()),
-         TablePrinter::Fixed(
-             crowdtruth::metrics::NumericConsistency(dataset), 2),
-         "20.44"});
+         TablePrinter::Fixed(consistency, 2), "20.44"});
+    json_report.AddRecord({{"dataset", dataset.name()},
+                           {"num_tasks", dataset.num_tasks()},
+                           {"num_labeled_tasks", dataset.num_labeled_tasks()},
+                           {"num_answers", dataset.num_answers()},
+                           {"redundancy", dataset.Redundancy()},
+                           {"num_workers", dataset.num_workers()},
+                           {"consistency", consistency}});
   }
   table.Print(std::cout);
   std::cout << "\nPaper Table 5 reference rows: D_Product 8315/8315/24945/3/"
                "176; D_PosSent 1000/1000/20000/20/85; S_Rel 20232/4460/98453/"
                "4.9/766; S_Adult 11040/1517/92721/8.4/825; N_Emotion 700/700/"
                "7000/10/38.\n";
+  json_report.Write(std::cout);
   return 0;
 }

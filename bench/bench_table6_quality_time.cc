@@ -7,6 +7,7 @@
 // gradient-based methods — should match.
 //
 // Usage: bench_table6_quality_time [--scale=0.5] [--seed=1]
+//                                  [--json_out=BENCH_table6.json]
 #include <iostream>
 #include <map>
 #include <string>
@@ -17,11 +18,13 @@
 
 namespace {
 
+using crowdtruth::bench::JsonReport;
 using crowdtruth::core::InferenceOptions;
 using crowdtruth::experiments::CategoricalEval;
 using crowdtruth::experiments::EvaluateCategorical;
 using crowdtruth::experiments::EvaluateNumeric;
 using crowdtruth::experiments::NumericEval;
+using crowdtruth::experiments::RunReport;
 using crowdtruth::util::TablePrinter;
 
 struct PaperQuality {
@@ -118,7 +121,8 @@ const std::map<std::string, PaperNumeric>& PaperNEmotion() {
 void RunCategoricalPanel(
     const std::string& profile, double scale, bool show_f1,
     const std::vector<std::string>& methods,
-    const std::map<std::string, PaperQuality>& paper_values, uint64_t seed) {
+    const std::map<std::string, PaperQuality>& paper_values, uint64_t seed,
+    JsonReport* json_report) {
   const crowdtruth::data::CategoricalDataset dataset =
       crowdtruth::sim::GenerateCategoricalProfile(profile, scale);
   std::cout << "\n--- " << profile << " (n=" << dataset.num_tasks()
@@ -135,8 +139,11 @@ void RunCategoricalPanel(
     const auto m = crowdtruth::core::MakeCategoricalMethod(method);
     InferenceOptions options;
     options.seed = seed;
+    RunReport run;
     const CategoricalEval eval = EvaluateCategorical(
-        *m, dataset, options, crowdtruth::sim::kPositiveLabel);
+        *m, dataset, options, crowdtruth::sim::kPositiveLabel,
+        /*evaluate=*/nullptr, json_report->enabled() ? &run : nullptr);
+    json_report->AddRunReport(run);
     const PaperQuality& paper = paper_values.at(method);
     std::vector<std::string> row = {method,
                                     TablePrinter::Percent(eval.accuracy, 2),
@@ -155,10 +162,11 @@ void RunCategoricalPanel(
 }  // namespace
 
 int main(int argc, char** argv) {
-  const crowdtruth::util::Flags flags(argc, argv,
-                                      {{"scale", "0.5"}, {"seed", "1"}});
+  const crowdtruth::util::Flags flags(
+      argc, argv, {{"scale", "0.5"}, {"seed", "1"}, {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const uint64_t seed = flags.GetInt("seed");
+  JsonReport json_report("table6_quality_time", flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
       "Table 6: The Quality and Running Time of Different Methods with "
@@ -167,16 +175,16 @@ int main(int argc, char** argv) {
 
   RunCategoricalPanel("D_Product", scale, /*show_f1=*/true,
                       crowdtruth::core::DecisionMakingMethodNames(),
-                      PaperDProduct(), seed);
+                      PaperDProduct(), seed, &json_report);
   RunCategoricalPanel("D_PosSent", 1.0, /*show_f1=*/true,
                       crowdtruth::core::DecisionMakingMethodNames(),
-                      PaperDPosSent(), seed);
+                      PaperDPosSent(), seed, &json_report);
   RunCategoricalPanel("S_Rel", scale, /*show_f1=*/false,
                       crowdtruth::core::SingleChoiceMethodNames(),
-                      PaperSRel(), seed);
+                      PaperSRel(), seed, &json_report);
   RunCategoricalPanel("S_Adult", scale, /*show_f1=*/false,
                       crowdtruth::core::SingleChoiceMethodNames(),
-                      PaperSAdult(), seed);
+                      PaperSAdult(), seed, &json_report);
 
   {
     const crowdtruth::data::NumericDataset dataset =
@@ -190,7 +198,11 @@ int main(int argc, char** argv) {
       const auto m = crowdtruth::core::MakeNumericMethod(method);
       InferenceOptions options;
       options.seed = seed;
-      const NumericEval eval = EvaluateNumeric(*m, dataset, options);
+      RunReport run;
+      const NumericEval eval =
+          EvaluateNumeric(*m, dataset, options, /*evaluate=*/nullptr,
+                          json_report.enabled() ? &run : nullptr);
+      json_report.AddRunReport(run);
       const PaperNumeric& paper = PaperNEmotion().at(method);
       table.AddRow({method, TablePrinter::Fixed(eval.mae, 2), paper.mae,
                     TablePrinter::Fixed(eval.rmse, 2), paper.rmse,
@@ -203,5 +215,6 @@ int main(int argc, char** argv) {
                "across datasets; D&S/LFC/BCC lead categorical quality; Mean "
                "leads numeric; direct methods are fastest and gradient-based "
                "methods (GLAD, Minimax) slowest.\n";
+  json_report.Write(std::cout);
   return 0;
 }

@@ -25,6 +25,8 @@
 
 namespace crowdtruth::core {
 
+class TraceSink;  // core/trace.h
+
 struct InferenceOptions {
   // Maximum outer iterations of the infer-truth / estimate-quality loop.
   int max_iterations = 100;
@@ -54,6 +56,13 @@ struct InferenceOptions {
   // In deployments these come from task metadata or a topic model over the
   // task text.
   std::vector<int> task_groups;
+
+  // Observability (core/trace.h). When non-null, iterative methods emit one
+  // IterationEvent per outer iteration — convergence delta plus per-phase
+  // (truth-step / quality-step) wall-clock. Not owned; must outlive the
+  // Infer call. Sinks are not synchronized: give each concurrent run its
+  // own sink.
+  TraceSink* trace = nullptr;
 };
 
 inline constexpr double kNoGoldenValue =

@@ -1,9 +1,11 @@
 #include "core/methods/bcc.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "core/common.h"
+#include "core/trace.h"
 #include "util/rng.h"
 
 namespace crowdtruth::core {
@@ -31,7 +33,13 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> log_weights(l);
 
   const int total_sweeps = burn_in_ + samples_;
+  IterationTracer tracer(options.trace);
+  // Previous sweep's assignment, kept only when tracing: the per-sweep
+  // "delta" of a Gibbs sampler is the fraction of truth labels that flipped.
+  std::vector<data::LabelId> previous_truth;
   for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    tracer.BeginIteration();
+    if (tracer.active()) previous_truth = truth;
     // Sample confusion matrices.
     for (data::WorkerId w = 0; w < num_workers; ++w) {
       for (int j = 0; j < l; ++j) {
@@ -62,6 +70,7 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
       log_class[j] = std::log(std::max(class_prior[j], 1e-12));
       if (sweep >= burn_in_) class_prior_sum[j] += class_prior[j];
     }
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     // Sample task truths.
     for (data::TaskId t = 0; t < n; ++t) {
@@ -75,6 +84,15 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
       }
       truth[t] = rng.CategoricalFromLog(log_weights);
       if (sweep >= burn_in_) marginal[t][truth[t]] += 1.0;
+    }
+    tracer.EndPhase(TracePhase::kTruthStep);
+    if (tracer.active()) {
+      int flips = 0;
+      for (data::TaskId t = 0; t < n; ++t) {
+        if (truth[t] != previous_truth[t]) ++flips;
+      }
+      tracer.EndIteration(sweep + 1,
+                          static_cast<double>(flips) / std::max(n, 1));
     }
   }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
+#include "core/trace.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -58,7 +59,9 @@ CategoricalResult CatdCategorical::Infer(
   std::vector<data::LabelId> labels(n, 0);
   std::vector<double> scores(l);
   std::vector<int> ties;
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     // Truth step: weighted vote.
     std::vector<data::LabelId> next(n, 0);
     for (data::TaskId t = 0; t < n; ++t) {
@@ -85,6 +88,7 @@ CategoricalResult CatdCategorical::Infer(
                     : ties[rng.UniformInt(
                           0, static_cast<int>(ties.size()) - 1)];
     }
+    tracer.EndPhase(TracePhase::kTruthStep);
 
     // Weight step: confidence-scaled inverse error.
     for (data::WorkerId w = 0; w < num_workers; ++w) {
@@ -94,6 +98,7 @@ CategoricalResult CatdCategorical::Infer(
       }
       quality[w] = chi2[w] / (error + kErrorEpsilon);
     }
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     result.iterations = iteration + 1;
     int changed = 0;
@@ -102,6 +107,7 @@ CategoricalResult CatdCategorical::Infer(
     }
     result.convergence_trace.push_back(static_cast<double>(changed) /
                                        std::max(n, 1));
+    tracer.EndIteration(result.iterations, result.convergence_trace.back());
     const bool unchanged = iteration > 0 && changed == 0;
     labels = std::move(next);
     if (unchanged) {
@@ -138,7 +144,9 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
 
   NumericResult result;
   std::vector<double> values = MeanValues(dataset, options);
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     // Truth step: weighted mean.
     std::vector<double> next(n, 0.0);
     for (data::TaskId t = 0; t < n; ++t) {
@@ -154,6 +162,7 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
       next[t] = weighted_sum / weight_total;
     }
     ClampGoldenValues(dataset, options, next);
+    tracer.EndPhase(TracePhase::kTruthStep);
 
     // Weight step.
     for (data::WorkerId w = 0; w < num_workers; ++w) {
@@ -164,6 +173,7 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
       }
       quality[w] = chi2[w] / (error + kErrorEpsilon);
     }
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     double change = 0.0;
     for (data::TaskId t = 0; t < n; ++t) {
@@ -172,6 +182,7 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
     values = std::move(next);
     result.convergence_trace.push_back(change);
     result.iterations = iteration + 1;
+    tracer.EndIteration(result.iterations, change);
     if (iteration > 0 && change < options.tolerance) {
       result.converged = true;
       break;

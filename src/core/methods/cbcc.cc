@@ -1,9 +1,11 @@
 #include "core/methods/cbcc.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "core/common.h"
+#include "core/trace.h"
 #include "util/rng.h"
 
 namespace crowdtruth::core {
@@ -36,7 +38,11 @@ CategoricalResult Cbcc::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> log_weights_community(m);
 
   const int total_sweeps = burn_in_ + samples_;
+  IterationTracer tracer(options.trace);
+  std::vector<data::LabelId> previous_truth;
   for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    tracer.BeginIteration();
+    if (tracer.active()) previous_truth = truth;
     // Sample community matrices from the pooled counts of their members.
     for (int c = 0; c < m; ++c) {
       for (int j = 0; j < l; ++j) {
@@ -94,6 +100,7 @@ CategoricalResult Cbcc::Infer(const data::CategoricalDataset& dataset,
     for (int j = 0; j < l; ++j) {
       log_class[j] = std::log(std::max(class_prior[j], 1e-12));
     }
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     // Sample task truths through community matrices.
     for (data::TaskId t = 0; t < n; ++t) {
@@ -108,6 +115,15 @@ CategoricalResult Cbcc::Infer(const data::CategoricalDataset& dataset,
       }
       truth[t] = rng.CategoricalFromLog(log_weights_label);
       if (sweep >= burn_in_) marginal[t][truth[t]] += 1.0;
+    }
+    tracer.EndPhase(TracePhase::kTruthStep);
+    if (tracer.active()) {
+      int flips = 0;
+      for (data::TaskId t = 0; t < n; ++t) {
+        if (truth[t] != previous_truth[t]) ++flips;
+      }
+      tracer.EndIteration(sweep + 1,
+                          static_cast<double>(flips) / std::max(n, 1));
     }
   }
 

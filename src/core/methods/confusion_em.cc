@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/trace.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -110,15 +111,20 @@ CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,
   }
 
   CategoricalResult result;
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     MStep(dataset, posterior, config, matrices, class_prior);
+    tracer.EndPhase(TracePhase::kQualityStep);
     Posterior next = posterior;
     EStep(dataset, matrices, class_prior, next);
     ClampGolden(dataset, options, next);
     const double change = MaxAbsDiff(posterior, next);
+    tracer.EndPhase(TracePhase::kTruthStep);
     posterior = std::move(next);
     result.convergence_trace.push_back(change);
     result.iterations = iteration + 1;
+    tracer.EndIteration(result.iterations, change);
     if (change < options.tolerance) {
       result.converged = true;
       break;

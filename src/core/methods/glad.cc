@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
+#include "core/trace.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -54,7 +55,9 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> log_belief(l);
   std::vector<double> grad_alpha(num_workers);
   std::vector<double> grad_b(n);
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     // M-step: gradient ascent on the expected complete log-likelihood.
     for (int step = 0; step < gradient_steps_; ++step) {
       // Gaussian priors contribute (mean - value) to each gradient.
@@ -81,6 +84,7 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
         b[t] = std::clamp(b[t] + learning_rate_ * grad_b[t], -4.0, 4.0);
       }
     }
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     // E-step: recompute the belief.
     Posterior next = posterior;
@@ -103,9 +107,11 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
     ClampGolden(dataset, options, next);
 
     const double change = MaxAbsDiff(posterior, next);
+    tracer.EndPhase(TracePhase::kTruthStep);
     posterior = std::move(next);
     result.convergence_trace.push_back(change);
     result.iterations = iteration + 1;
+    tracer.EndIteration(result.iterations, change);
     if (change < options.tolerance) {
       result.converged = true;
       break;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
+#include "core/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -48,13 +49,20 @@ CategoricalResult Kos::Infer(const data::CategoricalDataset& dataset,
     }
   };
 
+  IterationTracer tracer(options.trace);
+  // Kept only when tracing: per-round delta = max worker-message change
+  // after renormalization.
+  std::vector<double> previous_y;
   for (int round = 0; round < message_rounds_; ++round) {
+    tracer.BeginIteration();
+    if (tracer.active()) previous_y = y;
     // Task -> worker: exclude the receiving edge's own contribution.
     for (data::TaskId t = 0; t < n; ++t) {
       double total = 0.0;
       for (int e : task_edges[t]) total += edges[e].spin * y[e];
       for (int e : task_edges[t]) x[e] = total - edges[e].spin * y[e];
     }
+    tracer.EndPhase(TracePhase::kTruthStep);
     // Worker -> task: likewise.
     for (data::WorkerId w = 0; w < num_workers; ++w) {
       double total = 0.0;
@@ -63,6 +71,14 @@ CategoricalResult Kos::Infer(const data::CategoricalDataset& dataset,
     }
     renormalize(x);
     renormalize(y);
+    tracer.EndPhase(TracePhase::kQualityStep);
+    if (tracer.active()) {
+      double change = 0.0;
+      for (size_t e = 0; e < y.size(); ++e) {
+        change = std::max(change, std::fabs(y[e] - previous_y[e]));
+      }
+      tracer.EndIteration(round + 1, change);
+    }
   }
 
   CategoricalResult result;

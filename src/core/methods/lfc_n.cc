@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
+#include "core/trace.h"
 
 namespace crowdtruth::core {
 
@@ -38,7 +39,9 @@ NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
   }
 
   NumericResult result;
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     // Variance step.
     for (data::WorkerId w = 0; w < num_workers; ++w) {
       const auto& votes = dataset.AnswersByWorker(w);
@@ -49,6 +52,7 @@ NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
       }
       variance[w] = (prior_b_ + sum_sq) / (prior_a_ + votes.size());
     }
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     // Truth step: precision-weighted mean.
     std::vector<double> next(n, 0.0);
@@ -65,6 +69,7 @@ NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
       next[t] = weighted_sum / weight_total;
     }
     ClampGoldenValues(dataset, options, next);
+    tracer.EndPhase(TracePhase::kTruthStep);
 
     double change = 0.0;
     for (data::TaskId t = 0; t < n; ++t) {
@@ -73,6 +78,7 @@ NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
     values = std::move(next);
     result.convergence_trace.push_back(change);
     result.iterations = iteration + 1;
+    tracer.EndIteration(result.iterations, change);
     if (change < options.tolerance) {
       result.converged = true;
       break;

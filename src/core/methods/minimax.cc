@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
+#include "core/trace.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -62,7 +63,9 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> log_belief(l);
 
   CategoricalResult result;
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     // Parameter update: gradient ascent on the expected log-likelihood.
     for (int step = 0; step < gradient_steps_; ++step) {
       for (size_t i = 0; i < grad_tau.size(); ++i) {
@@ -99,6 +102,7 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
         }
       }
     }
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     // Label update. A smoothed class prior estimated from the current
     // labels anchors the classes — without it, heavily imbalanced data
@@ -135,9 +139,11 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
     ClampGolden(dataset, options, next);
 
     const double change = MaxAbsDiff(labels, next);
+    tracer.EndPhase(TracePhase::kTruthStep);
     labels = std::move(next);
     result.convergence_trace.push_back(change);
     result.iterations = iteration + 1;
+    tracer.EndIteration(result.iterations, change);
     if (change < options.tolerance) {
       result.converged = true;
       break;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
+#include "core/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
@@ -63,7 +64,9 @@ CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
 
   std::vector<data::LabelId> labels(n, 0);
   CategoricalResult result;
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     for (int step = 0; step < gradient_steps_; ++step) {
       // Gradient of the penalized logistic log-likelihood.
       std::vector<std::vector<double>> grad_x(n, std::vector<double>(k, 0.0));
@@ -110,6 +113,7 @@ CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
         tau[w] += learning_rate_ * grad_tau[w];
       }
     }
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     // Decode truth: project each task onto the mean worker direction.
     std::vector<double> mean_u(k, 0.0);
@@ -131,7 +135,17 @@ CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
       }
     }
 
+    tracer.EndPhase(TracePhase::kTruthStep);
+
     result.iterations = iteration + 1;
+    if (tracer.active()) {
+      int flips = 0;
+      for (data::TaskId t = 0; t < n; ++t) {
+        if (next[t] != labels[t]) ++flips;
+      }
+      tracer.EndIteration(result.iterations,
+                          static_cast<double>(flips) / std::max(n, 1));
+    }
     const bool unchanged = iteration > 0 && next == labels;
     labels = std::move(next);
     if (unchanged) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
+#include "core/trace.h"
 #include "util/rng.h"
 
 namespace crowdtruth::core {
@@ -49,7 +50,9 @@ CategoricalResult PmCategorical::Infer(
   std::vector<data::LabelId> labels(n, 0);
   std::vector<double> scores(l);
   std::vector<int> ties;
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     // Step 1: weighted vote per task.
     std::vector<data::LabelId> next(n, 0);
     for (data::TaskId t = 0; t < n; ++t) {
@@ -85,6 +88,7 @@ CategoricalResult PmCategorical::Infer(
                     : ties[rng.UniformInt(
                           0, static_cast<int>(ties.size()) - 1)];
     }
+    tracer.EndPhase(TracePhase::kTruthStep);
 
     // Step 2: mistake counts -> weights.
     std::vector<double> errors(num_workers, 0.0);
@@ -94,6 +98,7 @@ CategoricalResult PmCategorical::Infer(
       }
     }
     quality = WeightsFromErrors(errors);
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     result.iterations = iteration + 1;
     int changed = 0;
@@ -102,6 +107,7 @@ CategoricalResult PmCategorical::Infer(
     }
     result.convergence_trace.push_back(static_cast<double>(changed) /
                                        std::max(n, 1));
+    tracer.EndIteration(result.iterations, result.convergence_trace.back());
     const bool unchanged = iteration > 0 && changed == 0;
     labels = std::move(next);
     if (unchanged) {
@@ -138,7 +144,9 @@ NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
 
   NumericResult result;
   std::vector<double> values(n, 0.0);
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     // Step 1: weighted mean per task.
     std::vector<double> next(n, 0.0);
     for (data::TaskId t = 0; t < n; ++t) {
@@ -154,6 +162,7 @@ NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
       next[t] = weighted_sum / weight_total;
     }
     ClampGoldenValues(dataset, options, next);
+    tracer.EndPhase(TracePhase::kTruthStep);
 
     // Step 2: squared-error losses -> weights.
     std::vector<double> errors(num_workers, 0.0);
@@ -164,6 +173,7 @@ NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
       }
     }
     quality = WeightsFromErrors(errors);
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     double change = 0.0;
     for (data::TaskId t = 0; t < n; ++t) {
@@ -172,6 +182,7 @@ NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
     values = std::move(next);
     result.convergence_trace.push_back(change);
     result.iterations = iteration + 1;
+    tracer.EndIteration(result.iterations, change);
     if (iteration > 0 && change < options.tolerance) {
       result.converged = true;
       break;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
+#include "core/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -55,7 +56,9 @@ CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
 
   CategoricalResult result;
   std::vector<double> expected_reliability(num_workers, 0.5);
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     // Worker -> task: posterior-mean reliability from the other edges.
     for (data::WorkerId w = 0; w < num_workers; ++w) {
       double correct_total = 0.0;
@@ -72,6 +75,7 @@ CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
       const double b_full = prior_beta_ + (count - correct_total);
       expected_reliability[w] = a_full / (a_full + b_full);
     }
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     // Task -> worker: combine the other workers' messages (log space).
     double change = 0.0;
@@ -99,7 +103,11 @@ CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
       }
     }
 
+    tracer.EndPhase(TracePhase::kTruthStep);
+
+    result.convergence_trace.push_back(change);
     result.iterations = iteration + 1;
+    tracer.EndIteration(result.iterations, change);
     if (change < options.tolerance) {
       result.converged = true;
       break;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
+#include "core/trace.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -44,7 +45,9 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
 
   CategoricalResult result;
   std::vector<double> log_belief(l);
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     // Update Dirichlet posteriors and their expected log parameters.
     for (data::WorkerId w = 0; w < num_workers; ++w) {
       for (int j = 0; j < l; ++j) {
@@ -80,6 +83,8 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
       elog_class[j] = util::Digamma(class_counts[j]) - digamma_class_total;
     }
 
+    tracer.EndPhase(TracePhase::kQualityStep);
+
     // Update the task beliefs.
     Posterior next = posterior;
     for (data::TaskId t = 0; t < n; ++t) {
@@ -97,9 +102,11 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
     ClampGolden(dataset, options, next);
 
     const double change = MaxAbsDiff(posterior, next);
+    tracer.EndPhase(TracePhase::kTruthStep);
     posterior = std::move(next);
     result.convergence_trace.push_back(change);
     result.iterations = iteration + 1;
+    tracer.EndIteration(result.iterations, change);
     if (change < options.tolerance) {
       result.converged = true;
       break;

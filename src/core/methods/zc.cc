@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/common.h"
+#include "core/trace.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -34,7 +35,9 @@ CategoricalResult Zc::Infer(const data::CategoricalDataset& dataset,
 
   CategoricalResult result;
   std::vector<double> log_belief(l);
+  IterationTracer tracer(options.trace);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    tracer.BeginIteration();
     // M-step: re-estimate worker probabilities from the current belief.
     for (data::WorkerId w = 0; w < num_workers; ++w) {
       const auto& votes = dataset.AnswersByWorker(w);
@@ -46,6 +49,7 @@ CategoricalResult Zc::Infer(const data::CategoricalDataset& dataset,
       quality[w] = std::clamp(expected_correct / votes.size(), kQualityFloor,
                               1.0 - kQualityFloor);
     }
+    tracer.EndPhase(TracePhase::kQualityStep);
 
     // E-step: recompute the task belief from worker probabilities.
     Posterior next = posterior;
@@ -67,9 +71,11 @@ CategoricalResult Zc::Infer(const data::CategoricalDataset& dataset,
     ClampGolden(dataset, options, next);
 
     const double change = MaxAbsDiff(posterior, next);
+    tracer.EndPhase(TracePhase::kTruthStep);
     posterior = std::move(next);
     result.convergence_trace.push_back(change);
     result.iterations = iteration + 1;
+    tracer.EndIteration(result.iterations, change);
     if (change < options.tolerance) {
       result.converged = true;
       break;

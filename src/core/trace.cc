@@ -1,0 +1,17 @@
+#include "core/trace.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace crowdtruth::core {
+
+void StreamTraceSink::OnIteration(const IterationEvent& event) {
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "iter %-4d delta %.3e  truth %8.3fms  quality %8.3fms",
+                event.iteration, event.delta, event.truth_seconds * 1e3,
+                event.quality_seconds * 1e3);
+  out_ << line << '\n';
+}
+
+}  // namespace crowdtruth::core

@@ -1,0 +1,135 @@
+// Inference tracing: per-iteration observability for Algorithm 1.
+//
+// Every iterative method alternates two phases — inferring the truth from
+// the current worker qualities ("truth step", step 1 of Algorithm 1) and
+// re-estimating worker qualities from the current truth ("quality step",
+// step 2). A TraceSink installed in InferenceOptions::trace receives one
+// IterationEvent per outer iteration with the convergence delta and the
+// wall-clock spent in each phase, letting callers watch convergence live,
+// persist run trajectories, and attribute time to the phase that consumed
+// it.
+//
+// Sinks are not synchronized: share a sink across concurrent Infer calls
+// only if the sink itself is thread-safe (the bundled sinks are not; the
+// experiment runner creates one per run).
+#ifndef CROWDTRUTH_CORE_TRACE_H_
+#define CROWDTRUTH_CORE_TRACE_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace crowdtruth::core {
+
+// The two phases of the unified framework's iteration. Methods whose
+// quality model is fit by gradient ascent or Gibbs sampling count that
+// parameter fit as the quality step.
+enum class TracePhase { kTruthStep, kQualityStep };
+
+struct IterationEvent {
+  // 1-based outer-iteration index (matches CategoricalResult::iterations).
+  int iteration = 0;
+  // Parameter change this iteration — the same value the method appends to
+  // convergence_trace and compares against options.tolerance.
+  double delta = 0.0;
+  // Wall-clock seconds spent in each phase this iteration.
+  double truth_seconds = 0.0;
+  double quality_seconds = 0.0;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnIteration(const IterationEvent& event) = 0;
+};
+
+// Buffers events in memory; used by the experiment runner to assemble
+// RunReports and by tests. Optionally forwards each event to `forward`
+// so a caller-installed sink keeps observing a run the runner instruments.
+class CollectingTraceSink : public TraceSink {
+ public:
+  explicit CollectingTraceSink(TraceSink* forward = nullptr)
+      : forward_(forward) {}
+
+  void OnIteration(const IterationEvent& event) override {
+    events_.push_back(event);
+    if (forward_ != nullptr) forward_->OnIteration(event);
+  }
+
+  const std::vector<IterationEvent>& events() const { return events_; }
+  std::vector<IterationEvent> TakeEvents() { return std::move(events_); }
+
+ private:
+  std::vector<IterationEvent> events_;
+  TraceSink* forward_;
+};
+
+// Prints one human-readable line per iteration; used by
+// `crowdtruth_infer --trace`.
+class StreamTraceSink : public TraceSink {
+ public:
+  explicit StreamTraceSink(std::ostream& out) : out_(out) {}
+  void OnIteration(const IterationEvent& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
+// The helper the methods thread through their loops. All calls are no-ops
+// when `sink` is null, so untraced runs pay a single branch per call.
+//
+//   IterationTracer tracer(options.trace);
+//   for (int iteration = 0; ...; ++iteration) {
+//     tracer.BeginIteration();
+//     /* quality step */      tracer.EndPhase(TracePhase::kQualityStep);
+//     /* truth step */        tracer.EndPhase(TracePhase::kTruthStep);
+//     tracer.EndIteration(iteration + 1, change);
+//   }
+//
+// EndPhase accumulates the wall-clock since the previous mark (BeginIteration
+// or the previous EndPhase) into the named phase, so phases may run in any
+// order and more than once per iteration.
+class IterationTracer {
+ public:
+  explicit IterationTracer(TraceSink* sink) : sink_(sink) {}
+
+  // True when a sink is installed; lets methods skip computing a delta that
+  // exists only for tracing (e.g. the Gibbs samplers' label-flip fraction).
+  bool active() const { return sink_ != nullptr; }
+
+  void BeginIteration() {
+    if (sink_ == nullptr) return;
+    truth_seconds_ = 0.0;
+    quality_seconds_ = 0.0;
+    stopwatch_.Restart();
+  }
+
+  void EndPhase(TracePhase phase) {
+    if (sink_ == nullptr) return;
+    const double elapsed = stopwatch_.ElapsedSeconds();
+    (phase == TracePhase::kTruthStep ? truth_seconds_ : quality_seconds_) +=
+        elapsed;
+    stopwatch_.Restart();
+  }
+
+  void EndIteration(int iteration, double delta) {
+    if (sink_ == nullptr) return;
+    IterationEvent event;
+    event.iteration = iteration;
+    event.delta = delta;
+    event.truth_seconds = truth_seconds_;
+    event.quality_seconds = quality_seconds_;
+    sink_->OnIteration(event);
+  }
+
+ private:
+  TraceSink* sink_;
+  util::Stopwatch stopwatch_;
+  double truth_seconds_ = 0.0;
+  double quality_seconds_ = 0.0;
+};
+
+}  // namespace crowdtruth::core
+
+#endif  // CROWDTRUTH_CORE_TRACE_H_

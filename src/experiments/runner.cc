@@ -1,6 +1,7 @@
 #include "experiments/runner.h"
 
 #include <cmath>
+#include <utility>
 
 #include "experiments/hidden_test.h"
 #include "metrics/classification.h"
@@ -8,14 +9,79 @@
 #include "util/stopwatch.h"
 
 namespace crowdtruth::experiments {
+namespace {
+
+// Shared tail of both Evaluate overloads: timing, convergence status and
+// the collected iteration events.
+template <typename Result>
+void FillCommonReport(const std::string& method_name, const Result& result,
+                      double seconds,
+                      std::vector<core::IterationEvent> events,
+                      RunReport* report) {
+  report->method = method_name;
+  report->seconds = seconds;
+  report->iterations = result.iterations;
+  report->converged = result.converged;
+  report->truth_step_seconds = 0.0;
+  report->quality_step_seconds = 0.0;
+  for (const core::IterationEvent& event : events) {
+    report->truth_step_seconds += event.truth_seconds;
+    report->quality_step_seconds += event.quality_seconds;
+  }
+  report->events = std::move(events);
+}
+
+}  // namespace
+
+util::JsonValue RunReportJson(const RunReport& report, bool include_events) {
+  util::JsonValue json = util::JsonValue::Object();
+  json.Set("method", report.method);
+  json.Set("dataset", report.dataset);
+  json.Set("task_type", report.task_type);
+  json.Set("num_tasks", report.num_tasks);
+  json.Set("num_workers", report.num_workers);
+  json.Set("num_answers", report.num_answers);
+  if (report.task_type == "numeric") {
+    json.Set("mae", report.mae);
+    json.Set("rmse", report.rmse);
+  } else {
+    json.Set("accuracy", report.accuracy);
+    json.Set("f1", report.f1);
+  }
+  json.Set("seconds", report.seconds);
+  json.Set("iterations", report.iterations);
+  json.Set("converged", report.converged);
+  json.Set("truth_step_seconds", report.truth_step_seconds);
+  json.Set("quality_step_seconds", report.quality_step_seconds);
+  if (include_events) {
+    util::JsonValue trace = util::JsonValue::Array();
+    for (const core::IterationEvent& event : report.events) {
+      util::JsonValue entry = util::JsonValue::Object();
+      entry.Set("iteration", event.iteration);
+      entry.Set("delta", event.delta);
+      entry.Set("truth_seconds", event.truth_seconds);
+      entry.Set("quality_seconds", event.quality_seconds);
+      trace.Append(std::move(entry));
+    }
+    json.Set("iterations_trace", std::move(trace));
+  }
+  return json;
+}
 
 CategoricalEval EvaluateCategorical(const core::CategoricalMethod& method,
                                     const data::CategoricalDataset& dataset,
                                     const core::InferenceOptions& options,
                                     data::LabelId positive_label,
-                                    const std::vector<bool>* evaluate) {
+                                    const std::vector<bool>* evaluate,
+                                    RunReport* report) {
+  core::CollectingTraceSink collector(options.trace);
   util::Stopwatch stopwatch;
-  const core::CategoricalResult result = method.Infer(dataset, options);
+  const core::CategoricalResult result = [&] {
+    if (report == nullptr) return method.Infer(dataset, options);
+    core::InferenceOptions traced = options;
+    traced.trace = &collector;
+    return method.Infer(dataset, traced);
+  }();
   CategoricalEval eval;
   eval.seconds = stopwatch.ElapsedSeconds();
   eval.iterations = result.iterations;
@@ -27,15 +93,33 @@ CategoricalEval EvaluateCategorical(const core::CategoricalMethod& method,
     eval.accuracy = metrics::Accuracy(dataset, result.labels);
     eval.f1 = metrics::F1Score(dataset, result.labels, positive_label).f1;
   }
+  if (report != nullptr) {
+    report->dataset = dataset.name();
+    report->task_type = "categorical";
+    report->num_tasks = dataset.num_tasks();
+    report->num_workers = dataset.num_workers();
+    report->num_answers = dataset.num_answers();
+    report->accuracy = eval.accuracy;
+    report->f1 = eval.f1;
+    FillCommonReport(method.name(), result, eval.seconds,
+                     collector.TakeEvents(), report);
+  }
   return eval;
 }
 
 NumericEval EvaluateNumeric(const core::NumericMethod& method,
                             const data::NumericDataset& dataset,
                             const core::InferenceOptions& options,
-                            const std::vector<bool>* evaluate) {
+                            const std::vector<bool>* evaluate,
+                            RunReport* report) {
+  core::CollectingTraceSink collector(options.trace);
   util::Stopwatch stopwatch;
-  const core::NumericResult result = method.Infer(dataset, options);
+  const core::NumericResult result = [&] {
+    if (report == nullptr) return method.Infer(dataset, options);
+    core::InferenceOptions traced = options;
+    traced.trace = &collector;
+    return method.Infer(dataset, traced);
+  }();
   NumericEval eval;
   eval.seconds = stopwatch.ElapsedSeconds();
   eval.iterations = result.iterations;
@@ -46,6 +130,17 @@ NumericEval EvaluateNumeric(const core::NumericMethod& method,
   } else {
     eval.mae = metrics::MeanAbsoluteError(dataset, result.values);
     eval.rmse = metrics::RootMeanSquaredError(dataset, result.values);
+  }
+  if (report != nullptr) {
+    report->dataset = dataset.name();
+    report->task_type = "numeric";
+    report->num_tasks = dataset.num_tasks();
+    report->num_workers = dataset.num_workers();
+    report->num_answers = dataset.num_answers();
+    report->mae = eval.mae;
+    report->rmse = eval.rmse;
+    FillCommonReport(method.name(), result, eval.seconds,
+                     collector.TakeEvents(), report);
   }
   return eval;
 }

@@ -1,12 +1,22 @@
 // Single-run evaluation and repeated-trial aggregation: the glue between
 // methods, datasets and metrics used by every bench binary.
+//
+// EvaluateCategorical / EvaluateNumeric optionally fill a RunReport — the
+// machine-readable record of one inference run (dataset shape, quality
+// metrics, wall-clock, convergence status, and the per-iteration trace
+// captured through core::TraceSink). RunReportJson turns it into the JSON
+// document written by the bench binaries' --json_out flag and the CLI's
+// --report flag.
 #ifndef CROWDTRUTH_EXPERIMENTS_RUNNER_H_
 #define CROWDTRUTH_EXPERIMENTS_RUNNER_H_
 
+#include <string>
 #include <vector>
 
 #include "core/inference.h"
+#include "core/trace.h"
 #include "data/dataset.h"
+#include "util/json_writer.h"
 
 namespace crowdtruth::experiments {
 
@@ -18,16 +28,6 @@ struct CategoricalEval {
   bool converged = false;
 };
 
-// Runs `method` and scores it against the dataset's ground truth. When
-// `evaluate` is non-null only the masked labeled tasks count (hidden-test
-// evaluation on T - T'). `positive_label` feeds the F1 computation.
-CategoricalEval EvaluateCategorical(const core::CategoricalMethod& method,
-                                    const data::CategoricalDataset& dataset,
-                                    const core::InferenceOptions& options,
-                                    data::LabelId positive_label,
-                                    const std::vector<bool>* evaluate =
-                                        nullptr);
-
 struct NumericEval {
   double mae = 0.0;
   double rmse = 0.0;
@@ -36,10 +36,59 @@ struct NumericEval {
   bool converged = false;
 };
 
+// Everything observable about one inference run. `task_type` selects which
+// metric pair is meaningful: "categorical" -> accuracy/f1, "numeric" ->
+// mae/rmse.
+struct RunReport {
+  std::string method;
+  std::string dataset;
+  std::string task_type;
+  int num_tasks = 0;
+  int num_workers = 0;
+  int num_answers = 0;
+
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  double mae = 0.0;
+  double rmse = 0.0;
+
+  // End-to-end Infer wall-clock (includes any non-iterative setup).
+  double seconds = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  // Totals over the traced iterations; zero for direct-computation methods,
+  // which never enter the iterate-until-convergence loop.
+  double truth_step_seconds = 0.0;
+  double quality_step_seconds = 0.0;
+
+  // One event per outer iteration (empty for untraced methods). The deltas
+  // mirror CategoricalResult/NumericResult::convergence_trace.
+  std::vector<core::IterationEvent> events;
+};
+
+// Serializes a report; when `include_events` is set the per-iteration
+// trajectory rides along under "iterations_trace".
+util::JsonValue RunReportJson(const RunReport& report,
+                              bool include_events = true);
+
+// Runs `method` and scores it against the dataset's ground truth. When
+// `evaluate` is non-null only the masked labeled tasks count (hidden-test
+// evaluation on T - T'). `positive_label` feeds the F1 computation. When
+// `report` is non-null the run is traced (chaining to any caller-installed
+// options.trace sink) and the report is filled.
+CategoricalEval EvaluateCategorical(const core::CategoricalMethod& method,
+                                    const data::CategoricalDataset& dataset,
+                                    const core::InferenceOptions& options,
+                                    data::LabelId positive_label,
+                                    const std::vector<bool>* evaluate =
+                                        nullptr,
+                                    RunReport* report = nullptr);
+
 NumericEval EvaluateNumeric(const core::NumericMethod& method,
                             const data::NumericDataset& dataset,
                             const core::InferenceOptions& options,
-                            const std::vector<bool>* evaluate = nullptr);
+                            const std::vector<bool>* evaluate = nullptr,
+                            RunReport* report = nullptr);
 
 struct Summary {
   double mean = 0.0;

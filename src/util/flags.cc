@@ -34,8 +34,13 @@ Flags::Flags(int argc, char** argv,
       value = arg.substr(eq + 1);
     } else {
       key = arg;
-      if (i + 1 >= argc) Usage(defaults, "missing value for --" + key);
-      value = argv[++i];
+      // A flag with no value and no following operand is a boolean switch:
+      // `--trace` is shorthand for `--trace=true`.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
     }
     if (defaults.find(key) == defaults.end()) {
       Usage(defaults, "unknown flag --" + key);

@@ -1,6 +1,6 @@
 // Tiny command-line flag parser for the bench and example binaries.
-// Supports `--key=value` and `--key value`; unknown flags are fatal so typos
-// surface immediately.
+// Supports `--key=value`, `--key value`, and bare `--key` (parsed as the
+// boolean "true"); unknown flags are fatal so typos surface immediately.
 #ifndef CROWDTRUTH_UTIL_FLAGS_H_
 #define CROWDTRUTH_UTIL_FLAGS_H_
 

@@ -1,0 +1,185 @@
+// Tests for the dependency-free JSON writer, DOM and parser.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json_writer.h"
+
+namespace crowdtruth::util {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("hello world"), "hello world");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(JsonEscape("\x01"), "\\u0001");
+}
+
+TEST(JsonNumberTest, IntegralValuesHaveNoFraction) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonNumberTest, DoublesRoundTripThroughStrtod) {
+  for (double value : {0.1, 1.0 / 3.0, 0.932, 6.02e23, -1.5e-8, 123.456}) {
+    const std::string text = JsonNumber(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+  }
+}
+
+TEST(JsonWriterTest, EmitsCompactDocument) {
+  std::ostringstream out;
+  JsonWriter writer(out);
+  writer.BeginObject();
+  writer.Key("name");
+  writer.String("D&S");
+  writer.Key("iters");
+  writer.Int(12);
+  writer.Key("scores");
+  writer.BeginArray();
+  writer.Number(0.5);
+  writer.Bool(true);
+  writer.Null();
+  writer.EndArray();
+  writer.EndObject();
+  EXPECT_EQ(out.str(), R"({"name":"D&S","iters":12,"scores":[0.5,true,null]})");
+}
+
+TEST(JsonWriterTest, PrettyPrintsWithIndent) {
+  std::ostringstream out;
+  JsonWriter writer(out, /*indent=*/2);
+  writer.BeginObject();
+  writer.Key("a");
+  writer.Int(1);
+  writer.EndObject();
+  EXPECT_EQ(out.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrderAndReplacesInPlace) {
+  JsonValue object = JsonValue::Object();
+  object.Set("z", 1);
+  object.Set("a", 2);
+  object.Set("z", 3);  // replace, not reorder
+  ASSERT_EQ(object.fields().size(), 2u);
+  EXPECT_EQ(object.fields()[0].first, "z");
+  EXPECT_EQ(object.fields()[0].second.number(), 3.0);
+  EXPECT_EQ(object.fields()[1].first, "a");
+  EXPECT_EQ(object.Dump(), R"({"z":3,"a":2})");
+}
+
+TEST(JsonValueTest, FindReturnsMemberOrNull) {
+  JsonValue object = JsonValue::Object();
+  object.Set("key", "value");
+  ASSERT_NE(object.Find("key"), nullptr);
+  EXPECT_EQ(object.Find("key")->string(), "value");
+  EXPECT_EQ(object.Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, DumpParseRoundTrip) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("method", "GLAD");
+  doc.Set("accuracy", 0.932);
+  doc.Set("converged", true);
+  doc.Set("note", JsonValue());
+  JsonValue trace = JsonValue::Array();
+  for (int i = 1; i <= 3; ++i) {
+    JsonValue event = JsonValue::Object();
+    event.Set("iteration", i);
+    event.Set("delta", 1.0 / i);
+    trace.Append(std::move(event));
+  }
+  doc.Set("iterations_trace", std::move(trace));
+
+  for (int indent : {-1, 2}) {
+    JsonValue parsed;
+    const Status status = ParseJson(doc.Dump(indent), &parsed);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(parsed.Dump(), doc.Dump());
+    ASSERT_NE(parsed.Find("iterations_trace"), nullptr);
+    ASSERT_EQ(parsed.Find("iterations_trace")->items().size(), 3u);
+    EXPECT_EQ(
+        parsed.Find("iterations_trace")->items()[1].Find("delta")->number(),
+        0.5);
+  }
+}
+
+TEST(JsonValueTest, EscapedStringsRoundTrip) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("text", "quote \" backslash \\ newline \n unicode \x01 end");
+  JsonValue parsed;
+  const Status status = ParseJson(doc.Dump(), &parsed);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(parsed.Find("text")->string(),
+            "quote \" backslash \\ newline \n unicode \x01 end");
+}
+
+TEST(JsonValueTest, NanSerializesAsNull) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("f1", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(doc.Dump(), R"({"f1":null})");
+}
+
+TEST(ParseJsonTest, RejectsMalformedDocuments) {
+  JsonValue parsed;
+  EXPECT_FALSE(ParseJson("", &parsed).ok());
+  EXPECT_FALSE(ParseJson("{", &parsed).ok());
+  EXPECT_FALSE(ParseJson("[1,]", &parsed).ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing", &parsed).ok());
+  EXPECT_FALSE(ParseJson("'single'", &parsed).ok());
+}
+
+TEST(ParseJsonTest, AcceptsScalarsAndWhitespace) {
+  JsonValue parsed;
+  ASSERT_TRUE(ParseJson("  true ", &parsed).ok());
+  EXPECT_TRUE(parsed.bool_value());
+  ASSERT_TRUE(ParseJson("-12.5e2", &parsed).ok());
+  EXPECT_EQ(parsed.number(), -1250.0);
+  ASSERT_TRUE(ParseJson("\"hi\"", &parsed).ok());
+  EXPECT_EQ(parsed.string(), "hi");
+  ASSERT_TRUE(ParseJson("null", &parsed).ok());
+  EXPECT_TRUE(parsed.is_null());
+}
+
+TEST(WriteJsonFileTest, WritesPrettyDocumentWithTrailingNewline) {
+  const std::string path =
+      ::testing::TempDir() + "/crowdtruth_json_writer_test.json";
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", "unit");
+  const Status status = WriteJsonFile(path, doc);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  JsonValue parsed;
+  ASSERT_TRUE(ParseJson(text, &parsed).ok());
+  ASSERT_NE(parsed.Find("bench"), nullptr);
+  EXPECT_EQ(parsed.Find("bench")->string(), "unit");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crowdtruth::util

@@ -4,20 +4,27 @@
 //       [--truth=truth.csv] [--type=categorical|numeric]
 //       [--num_choices=0] [--output=inferred.csv]
 //       [--workers_output=workers.csv] [--seed=42]
+//       [--trace] [--report=report.json]
 //
 // The answers file needs the header "task,worker,answer"; the optional
 // truth file needs "task,truth" and enables quality reporting. The output
 // file receives "task,truth" rows with the inferred truth (so it can be
 // re-used as a golden file), and --workers_output receives
-// "worker,quality" rows. Available methods: run with --method=list.
+// "worker,quality" rows. --trace streams one line per iteration (delta +
+// per-phase wall-clock) to stderr while the method converges; --report
+// writes the full machine-readable run report (metrics, timings,
+// iteration trajectory) as JSON. Available methods: run with
+// --method=list.
 #include <iostream>
 #include <string>
 
 #include "core/registry.h"
+#include "core/trace.h"
 #include "data/io.h"
 #include "experiments/runner.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/json_writer.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -60,6 +67,18 @@ Status WriteWorkers(const std::string& path,
   return crowdtruth::util::WriteCsvFile(path, rows);
 }
 
+int WriteReport(const std::string& path,
+                const crowdtruth::experiments::RunReport& report) {
+  const Status status = crowdtruth::util::WriteJsonFile(
+      path, crowdtruth::experiments::RunReportJson(report));
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << '\n';
+    return 1;
+  }
+  std::cout << "wrote run report to " << path << '\n';
+  return 0;
+}
+
 int RunCategorical(const crowdtruth::util::Flags& flags) {
   crowdtruth::data::CategoricalDataset dataset;
   Status status = crowdtruth::data::LoadCategorical(
@@ -78,8 +97,15 @@ int RunCategorical(const crowdtruth::util::Flags& flags) {
   }
   crowdtruth::core::InferenceOptions options;
   options.seed = flags.GetInt("seed");
+  crowdtruth::experiments::RunReport report;
+  const bool want_report = !flags.Get("report").empty();
   const auto eval = crowdtruth::experiments::EvaluateCategorical(
-      *method, dataset, options, /*positive_label=*/0);
+      *method, dataset, options, /*positive_label=*/0,
+      /*evaluate=*/nullptr, want_report ? &report : nullptr);
+  // The label-producing run carries the streaming trace; with a fixed seed
+  // it follows the same trajectory as the evaluation run above.
+  crowdtruth::core::StreamTraceSink stream(std::cerr);
+  if (flags.GetBool("trace")) options.trace = &stream;
   const auto result = method->Infer(dataset, options);
 
   std::cout << "dataset: " << dataset.num_tasks() << " tasks, "
@@ -120,6 +146,7 @@ int RunCategorical(const crowdtruth::util::Flags& flags) {
     std::cout << "wrote worker qualities to " << flags.Get("workers_output")
               << '\n';
   }
+  if (want_report) return WriteReport(flags.Get("report"), report);
   return 0;
 }
 
@@ -140,8 +167,13 @@ int RunNumeric(const crowdtruth::util::Flags& flags) {
   }
   crowdtruth::core::InferenceOptions options;
   options.seed = flags.GetInt("seed");
-  const auto eval =
-      crowdtruth::experiments::EvaluateNumeric(*method, dataset, options);
+  crowdtruth::experiments::RunReport report;
+  const bool want_report = !flags.Get("report").empty();
+  const auto eval = crowdtruth::experiments::EvaluateNumeric(
+      *method, dataset, options, /*evaluate=*/nullptr,
+      want_report ? &report : nullptr);
+  crowdtruth::core::StreamTraceSink stream(std::cerr);
+  if (flags.GetBool("trace")) options.trace = &stream;
   const auto result = method->Infer(dataset, options);
 
   std::cout << "dataset: " << dataset.num_tasks() << " tasks, "
@@ -178,6 +210,7 @@ int RunNumeric(const crowdtruth::util::Flags& flags) {
     std::cout << "wrote worker qualities to " << flags.Get("workers_output")
               << '\n';
   }
+  if (want_report) return WriteReport(flags.Get("report"), report);
   return 0;
 }
 
@@ -192,7 +225,9 @@ int main(int argc, char** argv) {
                                        {"num_choices", "0"},
                                        {"output", ""},
                                        {"workers_output", ""},
-                                       {"seed", "42"}});
+                                       {"seed", "42"},
+                                       {"trace", "false"},
+                                       {"report", ""}});
   if (flags.Get("method") == "list") return ListMethods();
   if (flags.Get("answers").empty()) {
     std::cerr << "error: --answers is required (or --method=list)\n";
