@@ -13,6 +13,7 @@
 #include "core/registry.h"
 #include "experiments/redundancy.h"
 #include "experiments/runner.h"
+#include "experiments/trials.h"
 #include "simulation/profiles.h"
 #include "util/json_writer.h"
 #include "util/parallel.h"
@@ -86,8 +87,9 @@ class JsonReport {
 
 // Mean metric across `repeats` independent redundancy subsamples of the
 // dataset, for one categorical method. Returns {accuracy, f1}. Trials run
-// in parallel; per-trial RNG streams are forked up front so results do not
-// depend on scheduling.
+// across up to `num_threads` threads (<= 0 = DefaultThreads()); per-trial
+// RNG streams are forked up front, so results are bit-identical for every
+// thread count.
 struct MeanQuality {
   double accuracy = 0.0;
   double f1 = 0.0;
@@ -95,27 +97,22 @@ struct MeanQuality {
 
 inline MeanQuality MeanQualityAtRedundancy(
     const std::string& method_name, const data::CategoricalDataset& dataset,
-    int redundancy, int repeats, uint64_t seed) {
+    int redundancy, int repeats, uint64_t seed, int num_threads = 0) {
   const auto method = core::MakeCategoricalMethod(method_name);
-  util::Rng rng(seed);
-  std::vector<util::Rng> trial_rngs;
-  trial_rngs.reserve(repeats);
-  for (int trial = 0; trial < repeats; ++trial) {
-    trial_rngs.push_back(rng.Fork());
-  }
   std::vector<double> accuracy(repeats);
   std::vector<double> f1(repeats);
-  util::ParallelFor(repeats, util::DefaultThreads(), [&](int trial) {
-    util::Rng trial_rng = trial_rngs[trial];
-    const data::CategoricalDataset sample =
-        experiments::SubsampleRedundancy(dataset, redundancy, trial_rng);
-    core::InferenceOptions options;
-    options.seed = trial_rng.engine()();
-    const experiments::CategoricalEval eval = experiments::EvaluateCategorical(
-        *method, sample, options, sim::kPositiveLabel);
-    accuracy[trial] = eval.accuracy;
-    f1[trial] = eval.f1;
-  });
+  experiments::RunTrials(
+      seed, repeats, num_threads, [&](int trial, util::Rng& trial_rng) {
+        const data::CategoricalDataset sample =
+            experiments::SubsampleRedundancy(dataset, redundancy, trial_rng);
+        core::InferenceOptions options;
+        options.seed = trial_rng.engine()();
+        const experiments::CategoricalEval eval =
+            experiments::EvaluateCategorical(*method, sample, options,
+                                             sim::kPositiveLabel);
+        accuracy[trial] = eval.accuracy;
+        f1[trial] = eval.f1;
+      });
   return {experiments::Summarize(accuracy).mean,
           experiments::Summarize(f1).mean};
 }
@@ -128,27 +125,21 @@ struct MeanError {
 inline MeanError MeanErrorAtRedundancy(const std::string& method_name,
                                        const data::NumericDataset& dataset,
                                        int redundancy, int repeats,
-                                       uint64_t seed) {
+                                       uint64_t seed, int num_threads = 0) {
   const auto method = core::MakeNumericMethod(method_name);
-  util::Rng rng(seed);
-  std::vector<util::Rng> trial_rngs;
-  trial_rngs.reserve(repeats);
-  for (int trial = 0; trial < repeats; ++trial) {
-    trial_rngs.push_back(rng.Fork());
-  }
   std::vector<double> mae(repeats);
   std::vector<double> rmse(repeats);
-  util::ParallelFor(repeats, util::DefaultThreads(), [&](int trial) {
-    util::Rng trial_rng = trial_rngs[trial];
-    const data::NumericDataset sample =
-        experiments::SubsampleRedundancy(dataset, redundancy, trial_rng);
-    core::InferenceOptions options;
-    options.seed = trial_rng.engine()();
-    const experiments::NumericEval eval =
-        experiments::EvaluateNumeric(*method, sample, options);
-    mae[trial] = eval.mae;
-    rmse[trial] = eval.rmse;
-  });
+  experiments::RunTrials(
+      seed, repeats, num_threads, [&](int trial, util::Rng& trial_rng) {
+        const data::NumericDataset sample =
+            experiments::SubsampleRedundancy(dataset, redundancy, trial_rng);
+        core::InferenceOptions options;
+        options.seed = trial_rng.engine()();
+        const experiments::NumericEval eval =
+            experiments::EvaluateNumeric(*method, sample, options);
+        mae[trial] = eval.mae;
+        rmse[trial] = eval.rmse;
+      });
   return {experiments::Summarize(mae).mean,
           experiments::Summarize(rmse).mean};
 }

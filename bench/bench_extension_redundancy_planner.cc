@@ -6,7 +6,8 @@
 //
 // Usage: bench_extension_redundancy_planner
 //          [--profile=D_PosSent] [--scale=1.0] [--method=D&S]
-//          [--repeats=5] [--seed=1] [--json_out=BENCH_planner.json]
+//          [--repeats=5] [--seed=1] [--threads=0]
+//          [--json_out=BENCH_planner.json]
 #include <iostream>
 #include <vector>
 
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
                                        {"method", "D&S"},
                                        {"repeats", "5"},
                                        {"seed", "1"},
+                                       {"threads", "0"},
                                        {"json_out", ""}});
   crowdtruth::bench::JsonReport json_report("extension_redundancy_planner",
                                             flags.Get("json_out"));
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
       static_cast<int>(std::min(dataset.Redundancy(), 12.0));
   options.repeats = flags.GetInt("repeats");
   options.seed = flags.GetInt("seed");
+  options.num_threads = flags.GetInt("threads");
   const crowdtruth::experiments::RedundancyPlan plan =
       crowdtruth::experiments::PlanRedundancy(method, dataset, options);
 
@@ -51,7 +54,8 @@ int main(int argc, char** argv) {
     const int r = static_cast<int>(i + 1);
     const crowdtruth::bench::MeanQuality quality =
         crowdtruth::bench::MeanQualityAtRedundancy(
-            method, dataset, r, options.repeats, options.seed);
+            method, dataset, r, options.repeats, options.seed,
+            options.num_threads);
     table.AddRow({std::to_string(r),
                   TablePrinter::Percent(plan.stability[i], 1),
                   TablePrinter::Percent(quality.accuracy, 1)});

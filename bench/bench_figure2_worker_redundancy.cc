@@ -2,7 +2,11 @@
 // answered per worker) for each dataset — the long-tail phenomenon.
 //
 // Usage: bench_figure2_worker_redundancy [--scale=1.0] [--buckets=10]
+//                                        [--seed=0]
 //                                        [--json_out=BENCH_figure2.json]
+//
+// --seed=0 keeps each profile's fixed default dataset instance; any other
+// value samples an independent instance with that generation seed.
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -46,10 +50,17 @@ void PrintRedundancyHistogram(const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const crowdtruth::util::Flags flags(
-      argc, argv, {{"scale", "1.0"}, {"buckets", "10"}, {"json_out", ""}});
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"scale", "1.0"},
+                                       {"buckets", "10"},
+                                       {"seed", "0"},
+                                       {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int buckets = flags.GetInt("buckets");
+  const uint64_t seed = flags.GetInt("seed");
+  const auto profile_seed = [seed](const char* name) {
+    return seed != 0 ? seed : crowdtruth::sim::ProfileSeed(name);
+  };
   JsonReport json_report("figure2_worker_redundancy", flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
@@ -58,13 +69,15 @@ int main(int argc, char** argv) {
 
   for (const char* name : {"D_Product", "D_PosSent", "S_Rel", "S_Adult"}) {
     const crowdtruth::data::CategoricalDataset dataset =
-        crowdtruth::sim::GenerateCategoricalProfile(name, scale);
+        crowdtruth::sim::GenerateCategoricalProfile(name, scale,
+                                                    profile_seed(name));
     PrintRedundancyHistogram(name,
                              crowdtruth::metrics::WorkerRedundancy(dataset),
                              buckets, &json_report);
   }
   const crowdtruth::data::NumericDataset numeric =
-      crowdtruth::sim::GenerateNumericProfile("N_Emotion", scale);
+      crowdtruth::sim::GenerateNumericProfile("N_Emotion", scale,
+                                              profile_seed("N_Emotion"));
   PrintRedundancyHistogram("N_Emotion",
                            crowdtruth::metrics::WorkerRedundancy(numeric),
                            buckets, &json_report);

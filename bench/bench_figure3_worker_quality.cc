@@ -2,8 +2,11 @@
 // categorical datasets (panels a-d) and RMSE for N_Emotion (panel e) —
 // plus the §6.2.3 summary statistics.
 //
-// Usage: bench_figure3_worker_quality [--scale=1.0]
+// Usage: bench_figure3_worker_quality [--scale=1.0] [--seed=0]
 //                                     [--json_out=BENCH_figure3.json]
+//
+// --seed=0 keeps each profile's fixed default dataset instance; any other
+// value samples an independent instance with that generation seed.
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -16,9 +19,13 @@ int main(int argc, char** argv) {
   using crowdtruth::metrics::BucketValues;
   using crowdtruth::metrics::FiniteMean;
   using crowdtruth::util::TablePrinter;
-  const crowdtruth::util::Flags flags(argc, argv,
-                                      {{"scale", "1.0"}, {"json_out", ""}});
+  const crowdtruth::util::Flags flags(
+      argc, argv, {{"scale", "1.0"}, {"seed", "0"}, {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
+  const uint64_t seed = flags.GetInt("seed");
+  const auto profile_seed = [seed](const char* name) {
+    return seed != 0 ? seed : crowdtruth::sim::ProfileSeed(name);
+  };
   crowdtruth::bench::JsonReport json_report("figure3_worker_quality",
                                             flags.Get("json_out"));
 
@@ -35,7 +42,8 @@ int main(int argc, char** argv) {
                               {"S_Adult", 0.65}};
   for (const auto& profile : categorical_profiles) {
     const crowdtruth::data::CategoricalDataset dataset =
-        crowdtruth::sim::GenerateCategoricalProfile(profile.name, scale);
+        crowdtruth::sim::GenerateCategoricalProfile(
+            profile.name, scale, profile_seed(profile.name));
     const std::vector<double> accuracy =
         crowdtruth::metrics::WorkerAccuracy(dataset);
     const crowdtruth::metrics::Histogram histogram =
@@ -58,7 +66,8 @@ int main(int argc, char** argv) {
   }
 
   const crowdtruth::data::NumericDataset numeric =
-      crowdtruth::sim::GenerateNumericProfile("N_Emotion", scale);
+      crowdtruth::sim::GenerateNumericProfile("N_Emotion", scale,
+                                              profile_seed("N_Emotion"));
   const std::vector<double> rmse = crowdtruth::metrics::WorkerRmse(numeric);
   const crowdtruth::metrics::Histogram histogram =
       BucketValues(rmse, 0.0, 50.0, 10);

@@ -3,7 +3,7 @@
 // [1,3]) and D_PosSent (r in [1,20]).
 //
 // Usage: bench_figure4_decision_redundancy
-//          [--scale=0.25] [--repeats=5] [--seed=1]
+//          [--scale=0.25] [--repeats=5] [--seed=1] [--threads=0]
 //          [--json_out=BENCH_figure4.json]
 #include <cmath>
 #include <iostream>
@@ -22,7 +22,7 @@ using crowdtruth::bench::MeanQualityAtRedundancy;
 
 void RunPanel(const std::string& profile, double scale,
               const std::vector<int>& redundancies, int repeats,
-              uint64_t seed, JsonReport* json_report) {
+              uint64_t seed, int threads, JsonReport* json_report) {
   const crowdtruth::data::CategoricalDataset dataset =
       crowdtruth::sim::GenerateCategoricalProfile(profile, scale);
   const std::vector<std::string> methods =
@@ -43,7 +43,7 @@ void RunPanel(const std::string& profile, double scale,
     std::vector<double> f1_series;
     for (int r : redundancies) {
       const MeanQuality quality =
-          MeanQualityAtRedundancy(method, dataset, r, repeats, seed);
+          MeanQualityAtRedundancy(method, dataset, r, repeats, seed, threads);
       accuracy_series.push_back(quality.accuracy * 100.0);
       f1_series.push_back(quality.f1 * 100.0);
       json_report->AddRecord({{"dataset", profile},
@@ -71,18 +71,21 @@ int main(int argc, char** argv) {
                                       {{"scale", "0.25"},
                                        {"repeats", "5"},
                                        {"seed", "1"},
+                                       {"threads", "0"},
                                        {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int repeats = flags.GetInt("repeats");
   const uint64_t seed = flags.GetInt("seed");
+  const int threads = flags.GetInt("threads");
   JsonReport json_report("figure4_decision_redundancy", flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
       "Figure 4: Quality Comparisons on Decision-Making Tasks vs redundancy",
       "Figure 4 / Section 6.3.1");
 
-  RunPanel("D_Product", scale, {1, 2, 3}, repeats, seed, &json_report);
-  RunPanel("D_PosSent", 1.0, {1, 3, 5, 10, 15, 20}, repeats, seed,
+  RunPanel("D_Product", scale, {1, 2, 3}, repeats, seed, threads,
+           &json_report);
+  RunPanel("D_PosSent", 1.0, {1, 3, 5, 10, 15, 20}, repeats, seed, threads,
            &json_report);
 
   std::cout

@@ -2,7 +2,7 @@
 // data redundancy r on S_Rel (r in [1,5]) and S_Adult (r in [1,9]).
 //
 // Usage: bench_figure5_single_redundancy
-//          [--scale=0.15] [--repeats=5] [--seed=1]
+//          [--scale=0.15] [--repeats=5] [--seed=1] [--threads=0]
 //          [--json_out=BENCH_figure5.json]
 #include <iostream>
 #include <string>
@@ -18,7 +18,7 @@ using crowdtruth::bench::JsonReport;
 
 void RunPanel(const std::string& profile, double scale,
               const std::vector<int>& redundancies, int repeats,
-              uint64_t seed, JsonReport* json_report) {
+              uint64_t seed, int threads, JsonReport* json_report) {
   const crowdtruth::data::CategoricalDataset dataset =
       crowdtruth::sim::GenerateCategoricalProfile(profile, scale);
   crowdtruth::util::SeriesChartSpec chart;
@@ -30,7 +30,7 @@ void RunPanel(const std::string& profile, double scale,
     std::vector<double> series;
     for (int r : redundancies) {
       const double accuracy = crowdtruth::bench::MeanQualityAtRedundancy(
-                                  method, dataset, r, repeats, seed)
+                                  method, dataset, r, repeats, seed, threads)
                                   .accuracy;
       series.push_back(accuracy * 100.0);
       json_report->AddRecord({{"dataset", profile},
@@ -53,18 +53,22 @@ int main(int argc, char** argv) {
                                       {{"scale", "0.08"},
                                        {"repeats", "3"},
                                        {"seed", "1"},
+                                       {"threads", "0"},
                                        {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int repeats = flags.GetInt("repeats");
   const uint64_t seed = flags.GetInt("seed");
+  const int threads = flags.GetInt("threads");
   JsonReport json_report("figure5_single_redundancy", flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
       "Figure 5: Quality Comparisons on Single-Label Tasks vs redundancy",
       "Figure 5 / Section 6.3.1");
 
-  RunPanel("S_Rel", scale, {1, 2, 3, 4, 5}, repeats, seed, &json_report);
-  RunPanel("S_Adult", scale, {1, 3, 5, 7, 8}, repeats, seed, &json_report);
+  RunPanel("S_Rel", scale, {1, 2, 3, 4, 5}, repeats, seed, threads,
+           &json_report);
+  RunPanel("S_Adult", scale, {1, 3, 5, 7, 8}, repeats, seed, threads,
+           &json_report);
 
   std::cout
       << "Expected shape (paper): on S_Rel quality rises with r and D&S/"

@@ -2,7 +2,7 @@
 // redundancy r on N_Emotion (r in [1,10]).
 //
 // Usage: bench_figure6_numeric_redundancy
-//          [--scale=1.0] [--repeats=10] [--seed=1]
+//          [--scale=1.0] [--repeats=10] [--seed=1] [--threads=0]
 //          [--json_out=BENCH_figure6.json]
 #include <iostream>
 #include <string>
@@ -17,10 +17,12 @@ int main(int argc, char** argv) {
                                       {{"scale", "1.0"},
                                        {"repeats", "10"},
                                        {"seed", "1"},
+                                       {"threads", "0"},
                                        {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int repeats = flags.GetInt("repeats");
   const uint64_t seed = flags.GetInt("seed");
+  const int threads = flags.GetInt("threads");
   crowdtruth::bench::JsonReport json_report("figure6_numeric_redundancy",
                                             flags.Get("json_out"));
 
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
     for (int r : redundancies) {
       const crowdtruth::bench::MeanError error =
           crowdtruth::bench::MeanErrorAtRedundancy(method, dataset, r,
-                                                   repeats, seed);
+                                                   repeats, seed, threads);
       mae_series.push_back(error.mae);
       rmse_series.push_back(error.rmse);
       json_report.AddRecord({{"dataset", "N_Emotion"},

@@ -3,7 +3,7 @@
 // D_PosSent, for the 8 golden-capable methods.
 //
 // Usage: bench_figure7_hidden_decision
-//          [--scale=0.25] [--repeats=5] [--seed=1]
+//          [--scale=0.25] [--repeats=5] [--seed=1] [--threads=0]
 //          [--json_out=BENCH_figure7.json]
 #include <iostream>
 
@@ -15,10 +15,12 @@ int main(int argc, char** argv) {
                                       {{"scale", "0.25"},
                                        {"repeats", "5"},
                                        {"seed", "1"},
+                                       {"threads", "0"},
                                        {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int repeats = flags.GetInt("repeats");
   const uint64_t seed = flags.GetInt("seed");
+  const int threads = flags.GetInt("threads");
   crowdtruth::bench::JsonReport json_report("figure7_hidden_decision",
                                             flags.Get("json_out"));
 
@@ -29,10 +31,10 @@ int main(int argc, char** argv) {
   const std::vector<double> fractions = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
   crowdtruth::bench::RunHiddenTestPanel(
       crowdtruth::sim::GenerateCategoricalProfile("D_Product", scale),
-      fractions, repeats, seed, /*show_f1=*/true, &json_report);
+      fractions, repeats, seed, /*show_f1=*/true, &json_report, threads);
   crowdtruth::bench::RunHiddenTestPanel(
       crowdtruth::sim::GenerateCategoricalProfile("D_PosSent", 1.0),
-      fractions, repeats, seed, /*show_f1=*/true, &json_report);
+      fractions, repeats, seed, /*show_f1=*/true, &json_report, threads);
 
   std::cout << "Expected shape (paper): quality generally increases with p; "
                "the gains on D_PosSent are small because each task already "

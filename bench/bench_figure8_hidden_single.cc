@@ -3,7 +3,7 @@
 // single-choice methods.
 //
 // Usage: bench_figure8_hidden_single
-//          [--scale=0.12] [--repeats=5] [--seed=1]
+//          [--scale=0.12] [--repeats=5] [--seed=1] [--threads=0]
 //          [--json_out=BENCH_figure8.json]
 #include <iostream>
 
@@ -15,10 +15,12 @@ int main(int argc, char** argv) {
                                       {{"scale", "0.05"},
                                        {"repeats", "3"},
                                        {"seed", "1"},
+                                       {"threads", "0"},
                                        {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int repeats = flags.GetInt("repeats");
   const uint64_t seed = flags.GetInt("seed");
+  const int threads = flags.GetInt("threads");
   crowdtruth::bench::JsonReport json_report("figure8_hidden_single",
                                             flags.Get("json_out"));
 
@@ -29,10 +31,10 @@ int main(int argc, char** argv) {
   const std::vector<double> fractions = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
   crowdtruth::bench::RunHiddenTestPanel(
       crowdtruth::sim::GenerateCategoricalProfile("S_Rel", scale), fractions,
-      repeats, seed, /*show_f1=*/false, &json_report);
+      repeats, seed, /*show_f1=*/false, &json_report, threads);
   crowdtruth::bench::RunHiddenTestPanel(
       crowdtruth::sim::GenerateCategoricalProfile("S_Adult", scale),
-      fractions, repeats, seed, /*show_f1=*/false, &json_report);
+      fractions, repeats, seed, /*show_f1=*/false, &json_report, threads);
 
   std::cout << "Expected shape (paper): modest gains that grow with p; on "
                "S_Adult the correlated-error ceiling limits what golden "

@@ -3,18 +3,24 @@
 // (CATD, PM, LFC_N).
 //
 // Usage: bench_figure9_hidden_numeric [--repeats=10] [--seed=1]
+//                                     [--threads=0]
 //                                     [--json_out=BENCH_figure9.json]
 #include <iostream>
 #include <vector>
 
 #include "bench/bench_hidden_common.h"
+#include "experiments/trials.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
-  const crowdtruth::util::Flags flags(
-      argc, argv, {{"repeats", "10"}, {"seed", "1"}, {"json_out", ""}});
+  const crowdtruth::util::Flags flags(argc, argv,
+                                      {{"repeats", "10"},
+                                       {"seed", "1"},
+                                       {"threads", "0"},
+                                       {"json_out", ""}});
   const int repeats = flags.GetInt("repeats");
   const uint64_t seed = flags.GetInt("seed");
+  const int threads = flags.GetInt("threads");
   crowdtruth::bench::JsonReport json_report("figure9_hidden_numeric",
                                             flags.Get("json_out"));
 
@@ -43,22 +49,22 @@ int main(int argc, char** argv) {
     std::vector<double> mae_series;
     std::vector<double> rmse_series;
     for (double p : fractions) {
-      crowdtruth::util::Rng rng(seed);
-      std::vector<double> mae;
-      std::vector<double> rmse;
-      for (int trial = 0; trial < repeats; ++trial) {
-        crowdtruth::util::Rng trial_rng = rng.Fork();
-        const crowdtruth::experiments::GoldenSelection selection =
-            crowdtruth::experiments::SelectGolden(dataset, p, trial_rng);
-        crowdtruth::core::InferenceOptions options;
-        options.seed = trial_rng.engine()();
-        if (p > 0.0) options.golden_values = selection.golden_values;
-        const crowdtruth::experiments::NumericEval eval =
-            crowdtruth::experiments::EvaluateNumeric(*m, dataset, options,
-                                                     &selection.evaluate);
-        mae.push_back(eval.mae);
-        rmse.push_back(eval.rmse);
-      }
+      std::vector<double> mae(repeats);
+      std::vector<double> rmse(repeats);
+      crowdtruth::experiments::RunTrials(
+          seed, repeats, threads,
+          [&](int trial, crowdtruth::util::Rng& trial_rng) {
+            const crowdtruth::experiments::GoldenSelection selection =
+                crowdtruth::experiments::SelectGolden(dataset, p, trial_rng);
+            crowdtruth::core::InferenceOptions options;
+            options.seed = trial_rng.engine()();
+            if (p > 0.0) options.golden_values = selection.golden_values;
+            const crowdtruth::experiments::NumericEval eval =
+                crowdtruth::experiments::EvaluateNumeric(*m, dataset, options,
+                                                         &selection.evaluate);
+            mae[trial] = eval.mae;
+            rmse[trial] = eval.rmse;
+          });
       const double mean_mae = crowdtruth::experiments::Summarize(mae).mean;
       const double mean_rmse = crowdtruth::experiments::Summarize(rmse).mean;
       mae_series.push_back(mean_mae);

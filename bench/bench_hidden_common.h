@@ -31,11 +31,13 @@ inline std::vector<std::string> GoldenCapableMethods(bool numeric,
 
 // Runs the golden-task sweep on a categorical dataset and prints Accuracy
 // (and optionally F1) charts. Each (method, p) cell also lands in
-// `json_report` when its --json_out path is set.
+// `json_report` when its --json_out path is set. Trials run across up to
+// `threads` threads (<= 0 = DefaultThreads()) with pre-forked RNG streams,
+// so results are bit-identical for every thread count.
 inline void RunHiddenTestPanel(const data::CategoricalDataset& dataset,
                                const std::vector<double>& fractions,
                                int repeats, uint64_t seed, bool show_f1,
-                               JsonReport* json_report) {
+                               JsonReport* json_report, int threads = 0) {
   const std::vector<std::string> methods =
       GoldenCapableMethods(false, dataset.num_choices() == 2);
 
@@ -55,28 +57,22 @@ inline void RunHiddenTestPanel(const data::CategoricalDataset& dataset,
     std::vector<double> accuracy_series;
     std::vector<double> f1_series;
     for (double p : fractions) {
-      util::Rng rng(seed);
-      std::vector<util::Rng> trial_rngs;
-      trial_rngs.reserve(repeats);
-      for (int trial = 0; trial < repeats; ++trial) {
-        trial_rngs.push_back(rng.Fork());
-      }
       std::vector<double> accuracy(repeats);
       std::vector<double> f1(repeats);
-      util::ParallelFor(repeats, util::DefaultThreads(), [&](int trial) {
-        util::Rng trial_rng = trial_rngs[trial];
-        const experiments::GoldenSelection selection =
-            experiments::SelectGolden(dataset, p, trial_rng);
-        core::InferenceOptions options;
-        options.seed = trial_rng.engine()();
-        if (p > 0.0) options.golden_labels = selection.golden_labels;
-        const experiments::CategoricalEval eval =
-            experiments::EvaluateCategorical(*m, dataset, options,
-                                             sim::kPositiveLabel,
-                                             &selection.evaluate);
-        accuracy[trial] = eval.accuracy;
-        f1[trial] = eval.f1;
-      });
+      experiments::RunTrials(
+          seed, repeats, threads, [&](int trial, util::Rng& trial_rng) {
+            const experiments::GoldenSelection selection =
+                experiments::SelectGolden(dataset, p, trial_rng);
+            core::InferenceOptions options;
+            options.seed = trial_rng.engine()();
+            if (p > 0.0) options.golden_labels = selection.golden_labels;
+            const experiments::CategoricalEval eval =
+                experiments::EvaluateCategorical(*m, dataset, options,
+                                                 sim::kPositiveLabel,
+                                                 &selection.evaluate);
+            accuracy[trial] = eval.accuracy;
+            f1[trial] = eval.f1;
+          });
       const double mean_accuracy = experiments::Summarize(accuracy).mean;
       const double mean_f1 = experiments::Summarize(f1).mean;
       accuracy_series.push_back(mean_accuracy * 100.0);

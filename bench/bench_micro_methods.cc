@@ -5,6 +5,8 @@
 // light EM/optimization < sampling/variational < gradient-based.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "core/registry.h"
 #include "simulation/profiles.h"
 
@@ -14,6 +16,20 @@ using crowdtruth::core::InferenceOptions;
 using crowdtruth::core::MakeCategoricalMethod;
 using crowdtruth::core::MakeNumericMethod;
 
+// Generation + inference seed; 0 keeps the profile defaults (see --seed
+// handling in main).
+uint64_t g_seed = 0;
+
+uint64_t ProfileSeedOrDefault(const char* name) {
+  return g_seed != 0 ? g_seed : crowdtruth::sim::ProfileSeed(name);
+}
+
+InferenceOptions SeededOptions() {
+  InferenceOptions options;
+  if (g_seed != 0) options.seed = g_seed;
+  return options;
+}
+
 // One shared dataset per scale bucket; generating inside the timed loop
 // would dominate the measurement.
 const crowdtruth::data::CategoricalDataset& DatasetForScale(int permille) {
@@ -22,8 +38,10 @@ const crowdtruth::data::CategoricalDataset& DatasetForScale(int permille) {
   auto it = cache.find(permille);
   if (it == cache.end()) {
     it = cache
-             .emplace(permille, crowdtruth::sim::GenerateCategoricalProfile(
-                                    "D_Product", permille / 1000.0))
+             .emplace(permille,
+                      crowdtruth::sim::GenerateCategoricalProfile(
+                          "D_Product", permille / 1000.0,
+                          ProfileSeedOrDefault("D_Product")))
              .first;
   }
   return it->second;
@@ -33,7 +51,7 @@ void BM_CategoricalMethod(benchmark::State& state,
                           const std::string& method_name) {
   const auto& dataset = DatasetForScale(static_cast<int>(state.range(0)));
   const auto method = MakeCategoricalMethod(method_name);
-  InferenceOptions options;
+  const InferenceOptions options = SeededOptions();
   for (auto _ : state) {
     benchmark::DoNotOptimize(method->Infer(dataset, options));
   }
@@ -44,9 +62,10 @@ void BM_CategoricalMethod(benchmark::State& state,
 void BM_NumericMethod(benchmark::State& state,
                       const std::string& method_name) {
   static const auto& dataset = *new crowdtruth::data::NumericDataset(
-      crowdtruth::sim::GenerateNumericProfile("N_Emotion", 1.0));
+      crowdtruth::sim::GenerateNumericProfile(
+          "N_Emotion", 1.0, ProfileSeedOrDefault("N_Emotion")));
   const auto method = MakeNumericMethod(method_name);
-  InferenceOptions options;
+  const InferenceOptions options = SeededOptions();
   for (auto _ : state) {
     benchmark::DoNotOptimize(method->Infer(dataset, options));
   }
@@ -85,11 +104,11 @@ void RegisterAll() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  RegisterAll();
   // Default to a short measurement window; the full-precision run is a
-  // --benchmark_min_time override away. --json_out=path is accepted for
-  // uniformity with the other benches and maps onto google-benchmark's
-  // native JSON reporter.
+  // --benchmark_min_time override away. --json_out=path and --seed=N are
+  // accepted for uniformity with the other benches: the former maps onto
+  // google-benchmark's native JSON reporter, the latter overrides the
+  // dataset-generation and inference seeds (0 = profile defaults).
   std::vector<char*> args;
   std::vector<std::string> storage;
   for (int i = 0; i < argc; ++i) {
@@ -97,10 +116,13 @@ int main(int argc, char** argv) {
     if (arg.rfind("--json_out=", 0) == 0) {
       storage.push_back("--benchmark_out=" + arg.substr(11));
       storage.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      g_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else {
       storage.push_back(arg);
     }
   }
+  RegisterAll();
   bool has_min_time = false;
   for (const std::string& arg : storage) {
     if (arg.rfind("--benchmark_min_time", 0) == 0) has_min_time = true;

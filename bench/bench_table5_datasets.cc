@@ -1,8 +1,11 @@
 // Reproduces Table 5 (dataset statistics) and the §6.2.1 answer-consistency
 // analysis on the five simulated workloads.
 //
-// Usage: bench_table5_datasets [--scale=1.0]
+// Usage: bench_table5_datasets [--scale=1.0] [--seed=0]
 //                              [--json_out=BENCH_table5.json]
+//
+// --seed=0 keeps each profile's fixed default dataset instance; any other
+// value samples an independent instance with that generation seed.
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -12,9 +15,13 @@
 
 int main(int argc, char** argv) {
   using crowdtruth::util::TablePrinter;
-  const crowdtruth::util::Flags flags(argc, argv,
-                                      {{"scale", "1.0"}, {"json_out", ""}});
+  const crowdtruth::util::Flags flags(
+      argc, argv, {{"scale", "1.0"}, {"seed", "0"}, {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
+  const uint64_t seed = flags.GetInt("seed");
+  const auto profile_seed = [seed](const char* name) {
+    return seed != 0 ? seed : crowdtruth::sim::ProfileSeed(name);
+  };
   crowdtruth::bench::JsonReport json_report("table5_datasets",
                                             flags.Get("json_out"));
 
@@ -33,7 +40,8 @@ int main(int argc, char** argv) {
                               {"S_Adult", "0.39"}};
   for (const auto& profile : categorical_profiles) {
     const crowdtruth::data::CategoricalDataset dataset =
-        crowdtruth::sim::GenerateCategoricalProfile(profile.name, scale);
+        crowdtruth::sim::GenerateCategoricalProfile(
+            profile.name, scale, profile_seed(profile.name));
     const double consistency =
         crowdtruth::metrics::CategoricalConsistency(dataset);
     table.AddRow(
@@ -53,7 +61,8 @@ int main(int argc, char** argv) {
   }
   {
     const crowdtruth::data::NumericDataset dataset =
-        crowdtruth::sim::GenerateNumericProfile("N_Emotion", scale);
+        crowdtruth::sim::GenerateNumericProfile("N_Emotion", scale,
+                                                profile_seed("N_Emotion"));
     const double consistency =
         crowdtruth::metrics::NumericConsistency(dataset);
     table.AddRow(

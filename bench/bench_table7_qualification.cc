@@ -5,13 +5,14 @@
 //
 // Usage: bench_table7_qualification
 //          [--scale=0.3] [--repeats=10] [--golden=20] [--seed=1]
-//          [--json_out=BENCH_table7.json]
+//          [--threads=0] [--json_out=BENCH_table7.json]
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "experiments/qualification.h"
+#include "experiments/trials.h"
 #include "util/flags.h"
 #include "util/table_printer.h"
 
@@ -37,7 +38,7 @@ std::vector<std::string> QualificationMethods(bool numeric) {
 
 void RunCategoricalPanel(const std::string& profile, double scale,
                          bool show_f1, int repeats, int golden, uint64_t seed,
-                         JsonReport* json_report) {
+                         int threads, JsonReport* json_report) {
   const crowdtruth::data::CategoricalDataset dataset =
       crowdtruth::sim::GenerateCategoricalProfile(profile, scale);
   std::cout << "\n--- " << profile << " ---\n";
@@ -55,21 +56,21 @@ void RunCategoricalPanel(const std::string& profile, double scale,
     const auto base = EvaluateCategorical(*m, dataset, base_options,
                                           crowdtruth::sim::kPositiveLabel);
     // Qualification runs, each with a fresh bootstrap.
-    crowdtruth::util::Rng rng(seed);
-    std::vector<double> accuracy;
-    std::vector<double> f1;
-    for (int trial = 0; trial < repeats; ++trial) {
-      crowdtruth::util::Rng trial_rng = rng.Fork();
-      InferenceOptions options;
-      options.seed = trial_rng.engine()();
-      options.initial_worker_quality =
-          crowdtruth::experiments::BootstrapQualificationAccuracy(
-              dataset, golden, trial_rng);
-      const auto eval = EvaluateCategorical(*m, dataset, options,
-                                            crowdtruth::sim::kPositiveLabel);
-      accuracy.push_back(eval.accuracy);
-      f1.push_back(eval.f1);
-    }
+    std::vector<double> accuracy(repeats);
+    std::vector<double> f1(repeats);
+    crowdtruth::experiments::RunTrials(
+        seed, repeats, threads,
+        [&](int trial, crowdtruth::util::Rng& trial_rng) {
+          InferenceOptions options;
+          options.seed = trial_rng.engine()();
+          options.initial_worker_quality =
+              crowdtruth::experiments::BootstrapQualificationAccuracy(
+                  dataset, golden, trial_rng);
+          const auto eval = EvaluateCategorical(
+              *m, dataset, options, crowdtruth::sim::kPositiveLabel);
+          accuracy[trial] = eval.accuracy;
+          f1[trial] = eval.f1;
+        });
     const double mean_accuracy = Summarize(accuracy).mean;
     const double mean_f1 = Summarize(f1).mean;
     json_report->AddRecord({{"dataset", profile},
@@ -94,7 +95,7 @@ void RunCategoricalPanel(const std::string& profile, double scale,
   table.Print(std::cout);
 }
 
-void RunNumericPanel(int repeats, int golden, uint64_t seed,
+void RunNumericPanel(int repeats, int golden, uint64_t seed, int threads,
                      JsonReport* json_report) {
   const crowdtruth::data::NumericDataset dataset =
       crowdtruth::sim::GenerateNumericProfile("N_Emotion", 1.0);
@@ -105,20 +106,20 @@ void RunNumericPanel(int repeats, int golden, uint64_t seed,
     InferenceOptions base_options;
     base_options.seed = seed;
     const auto base = EvaluateNumeric(*m, dataset, base_options);
-    crowdtruth::util::Rng rng(seed);
-    std::vector<double> mae;
-    std::vector<double> rmse;
-    for (int trial = 0; trial < repeats; ++trial) {
-      crowdtruth::util::Rng trial_rng = rng.Fork();
-      InferenceOptions options;
-      options.seed = trial_rng.engine()();
-      options.initial_worker_quality =
-          crowdtruth::experiments::BootstrapQualificationRmse(dataset, golden,
-                                                              trial_rng);
-      const auto eval = EvaluateNumeric(*m, dataset, options);
-      mae.push_back(eval.mae);
-      rmse.push_back(eval.rmse);
-    }
+    std::vector<double> mae(repeats);
+    std::vector<double> rmse(repeats);
+    crowdtruth::experiments::RunTrials(
+        seed, repeats, threads,
+        [&](int trial, crowdtruth::util::Rng& trial_rng) {
+          InferenceOptions options;
+          options.seed = trial_rng.engine()();
+          options.initial_worker_quality =
+              crowdtruth::experiments::BootstrapQualificationRmse(
+                  dataset, golden, trial_rng);
+          const auto eval = EvaluateNumeric(*m, dataset, options);
+          mae[trial] = eval.mae;
+          rmse[trial] = eval.rmse;
+        });
     auto delta = [](double value, double base_value) {
       const std::string body = TablePrinter::Fixed(
           std::abs(value - base_value), 2);
@@ -151,11 +152,13 @@ int main(int argc, char** argv) {
                                        {"repeats", "10"},
                                        {"golden", "20"},
                                        {"seed", "1"},
+                                       {"threads", "0"},
                                        {"json_out", ""}});
   const double scale = flags.GetDouble("scale");
   const int repeats = flags.GetInt("repeats");
   const int golden = flags.GetInt("golden");
   const uint64_t seed = flags.GetInt("seed");
+  const int threads = flags.GetInt("threads");
   JsonReport json_report("table7_qualification", flags.Get("json_out"));
 
   crowdtruth::bench::PrintBenchHeader(
@@ -164,14 +167,14 @@ int main(int argc, char** argv) {
       "Table 7 / Section 6.3.2");
 
   RunCategoricalPanel("D_Product", scale, /*show_f1=*/true, repeats, golden,
-                      seed, &json_report);
+                      seed, threads, &json_report);
   RunCategoricalPanel("D_PosSent", 1.0, /*show_f1=*/true, repeats, golden,
-                      seed, &json_report);
+                      seed, threads, &json_report);
   RunCategoricalPanel("S_Rel", scale * 0.7, /*show_f1=*/false, repeats,
-                      golden, seed, &json_report);
+                      golden, seed, threads, &json_report);
   RunCategoricalPanel("S_Adult", scale * 0.7, /*show_f1=*/false, repeats,
-                      golden, seed, &json_report);
-  RunNumericPanel(repeats, golden, seed, &json_report);
+                      golden, seed, threads, &json_report);
+  RunNumericPanel(repeats, golden, seed, threads, &json_report);
 
   std::cout
       << "\nExpected shape (paper Sec 6.3.2): benefits are marginal and "

@@ -1,0 +1,346 @@
+#include "data/answer_log.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/json_writer.h"
+
+namespace crowdtruth::data {
+namespace {
+
+using util::Status;
+
+constexpr char kMagic[] = "crowdtruth_log";
+constexpr char kVersion[] = "v1";
+
+std::string HeaderLine(const AnswerLogHeader& header) {
+  std::vector<std::string> fields = {kMagic, kVersion};
+  if (header.type == AnswerLogType::kCategorical) {
+    fields.push_back("categorical");
+    fields.push_back(std::to_string(header.num_choices));
+  } else {
+    fields.push_back("numeric");
+  }
+  return util::FormatCsvLine(fields);
+}
+
+Status ParseHeader(const std::vector<std::string>& fields,
+                   const std::string& path, AnswerLogHeader* header) {
+  if (fields.size() < 3 || fields[0] != kMagic) {
+    return Status::ParseError(path + ": not an answer log (expected \"" +
+                              kMagic + ",...\" header)");
+  }
+  if (fields[1] != kVersion) {
+    return Status::ParseError(path + ": unsupported log version \"" +
+                              fields[1] + "\"");
+  }
+  if (fields[2] == "categorical") {
+    header->type = AnswerLogType::kCategorical;
+    header->num_choices = 0;
+    if (fields.size() > 3) {
+      char* end = nullptr;
+      const long choices = std::strtol(fields[3].c_str(), &end, 10);
+      if (end == fields[3].c_str() || *end != '\0' || choices < 0) {
+        return Status::ParseError(path + ": bad num_choices \"" + fields[3] +
+                                  "\"");
+      }
+      header->num_choices = static_cast<int>(choices);
+    }
+    return Status::Ok();
+  }
+  if (fields[2] == "numeric") {
+    header->type = AnswerLogType::kNumeric;
+    header->num_choices = 0;
+    return Status::Ok();
+  }
+  return Status::ParseError(path + ": unknown log type \"" + fields[2] +
+                            "\"");
+}
+
+// Interns arbitrary string ids into dense [0, n) integers in
+// first-appearance order.
+class IdInterner {
+ public:
+  int Intern(const std::string& id) {
+    auto [it, inserted] = ids_.emplace(id, static_cast<int>(ids_.size()));
+    (void)inserted;
+    return it->second;
+  }
+  int size() const { return static_cast<int>(ids_.size()); }
+
+ private:
+  std::map<std::string, int> ids_;
+};
+
+Status ReadTruthRows(const std::string& truth_path,
+                     std::vector<std::pair<std::string, std::string>>* rows) {
+  std::vector<std::vector<std::string>> raw;
+  Status status = util::ReadCsvFile(truth_path, &raw);
+  if (!status.ok()) return status;
+  if (raw.empty() || raw[0] != std::vector<std::string>{"task", "truth"}) {
+    return Status::ParseError(truth_path +
+                              ": expected header \"task,truth\"");
+  }
+  for (size_t i = 1; i < raw.size(); ++i) {
+    if (raw[i].size() != 2) {
+      return Status::ParseError(truth_path + ": row has " +
+                                std::to_string(raw[i].size()) + " fields");
+    }
+    rows->emplace_back(raw[i][0], raw[i][1]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status AnswerLogWriter::Create(const std::string& path,
+                               const AnswerLogHeader& header,
+                               AnswerLogWriter* out) {
+  out->path_ = path;
+  out->out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out->out_) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out->out_ << HeaderLine(header) << '\n';
+  out->out_.flush();
+  if (!out->out_) return Status::IoError("write failed on " + path);
+  return Status::Ok();
+}
+
+Status AnswerLogWriter::AppendRow(const std::string& task,
+                                  const std::string& worker,
+                                  const std::string& answer) {
+  if (!out_.is_open()) {
+    return Status::InvalidArgument("answer log writer is not open");
+  }
+  out_ << util::FormatCsvLine({task, worker, answer}) << '\n';
+  out_.flush();
+  if (!out_) return Status::IoError("write failed on " + path_);
+  return Status::Ok();
+}
+
+Status AnswerLogWriter::Append(const std::string& task,
+                               const std::string& worker, LabelId label) {
+  return AppendRow(task, worker, std::to_string(label));
+}
+
+Status AnswerLogWriter::Append(const std::string& task,
+                               const std::string& worker, double value) {
+  return AppendRow(task, worker, util::JsonNumber(value));
+}
+
+Status AnswerLogReader::Open(const std::string& path) {
+  path_ = path;
+  line_ = 1;
+  in_.open(path);
+  if (!in_) return Status::NotFound("cannot open " + path);
+  std::string header_line;
+  if (!std::getline(in_, header_line)) {
+    return Status::ParseError(path + ": empty file (missing header)");
+  }
+  return ParseHeader(util::ParseCsvLine(header_line), path, &header_);
+}
+
+Status AnswerLogReader::Next(AnswerLogRecord* record, bool* eof) {
+  *eof = false;
+  std::string row;
+  // Skip blank lines (a crashed writer may leave a trailing newline).
+  do {
+    if (!std::getline(in_, row)) {
+      *eof = true;
+      return Status::Ok();
+    }
+    ++line_;
+  } while (row.empty());
+
+  const std::vector<std::string> fields = util::ParseCsvLine(row);
+  if (fields.size() != 3) {
+    return Status::ParseError(path_ + ":" + std::to_string(line_) +
+                              ": expected 3 fields, got " +
+                              std::to_string(fields.size()));
+  }
+  record->task = fields[0];
+  record->worker = fields[1];
+  record->answer = fields[2];
+  char* end = nullptr;
+  if (header_.type == AnswerLogType::kCategorical) {
+    const long label = std::strtol(fields[2].c_str(), &end, 10);
+    if (end == fields[2].c_str() || *end != '\0' || label < 0) {
+      return Status::ParseError(path_ + ":" + std::to_string(line_) +
+                                ": bad label \"" + fields[2] + "\"");
+    }
+    record->label = static_cast<LabelId>(label);
+  } else {
+    record->value = std::strtod(fields[2].c_str(), &end);
+    if (end == fields[2].c_str() || *end != '\0') {
+      return Status::ParseError(path_ + ":" + std::to_string(line_) +
+                                ": bad value \"" + fields[2] + "\"");
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteAnswerLog(const CategoricalDataset& dataset,
+                      const std::string& path) {
+  AnswerLogHeader header;
+  header.type = AnswerLogType::kCategorical;
+  header.num_choices = dataset.num_choices();
+  AnswerLogWriter writer;
+  Status status = AnswerLogWriter::Create(path, header, &writer);
+  if (!status.ok()) return status;
+  for (TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    for (const TaskVote& vote : dataset.AnswersForTask(t)) {
+      status = writer.Append(std::to_string(t), std::to_string(vote.worker),
+                             vote.label);
+      if (!status.ok()) return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteAnswerLog(const NumericDataset& dataset,
+                      const std::string& path) {
+  AnswerLogHeader header;
+  header.type = AnswerLogType::kNumeric;
+  AnswerLogWriter writer;
+  Status status = AnswerLogWriter::Create(path, header, &writer);
+  if (!status.ok()) return status;
+  for (TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    for (const NumericTaskVote& vote : dataset.AnswersForTask(t)) {
+      status = writer.Append(std::to_string(t), std::to_string(vote.worker),
+                             vote.value);
+      if (!status.ok()) return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LoadCategoricalLog(const std::string& path,
+                          const std::string& truth_path, int num_choices,
+                          CategoricalDataset* out) {
+  AnswerLogReader reader;
+  Status status = reader.Open(path);
+  if (!status.ok()) return status;
+  if (reader.header().type != AnswerLogType::kCategorical) {
+    return Status::InvalidArgument(path + ": not a categorical log");
+  }
+
+  IdInterner tasks;
+  IdInterner workers;
+  struct Raw {
+    int task;
+    int worker;
+    LabelId label;
+  };
+  std::vector<Raw> raw;
+  int max_label = 1;
+  AnswerLogRecord record;
+  bool eof = false;
+  while (true) {
+    status = reader.Next(&record, &eof);
+    if (!status.ok()) return status;
+    if (eof) break;
+    max_label = std::max(max_label, record.label);
+    raw.push_back(
+        {tasks.Intern(record.task), workers.Intern(record.worker),
+         record.label});
+  }
+
+  struct RawTruth {
+    int task;
+    LabelId label;
+  };
+  std::vector<RawTruth> raw_truth;
+  if (!truth_path.empty()) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    status = ReadTruthRows(truth_path, &rows);
+    if (!status.ok()) return status;
+    for (const auto& [task, truth] : rows) {
+      char* end = nullptr;
+      const long label = std::strtol(truth.c_str(), &end, 10);
+      if (end == truth.c_str() || *end != '\0' || label < 0) {
+        return Status::ParseError(truth_path + ": bad truth \"" + truth +
+                                  "\"");
+      }
+      max_label = std::max(max_label, static_cast<int>(label));
+      raw_truth.push_back({tasks.Intern(task), static_cast<LabelId>(label)});
+    }
+  }
+
+  int choices = num_choices > 0 ? num_choices : reader.header().num_choices;
+  if (choices <= 0) choices = std::max(2, max_label + 1);
+  if (max_label >= choices) {
+    return Status::InvalidArgument(
+        path + ": label " + std::to_string(max_label) +
+        " out of range for num_choices=" + std::to_string(choices));
+  }
+
+  CategoricalDatasetBuilder builder(tasks.size(), workers.size(), choices);
+  builder.set_name(path);
+  for (const Raw& r : raw) builder.AddAnswer(r.task, r.worker, r.label);
+  for (const RawTruth& r : raw_truth) builder.SetTruth(r.task, r.label);
+  *out = std::move(builder).Build();
+  return Status::Ok();
+}
+
+Status LoadNumericLog(const std::string& path, const std::string& truth_path,
+                      NumericDataset* out) {
+  AnswerLogReader reader;
+  Status status = reader.Open(path);
+  if (!status.ok()) return status;
+  if (reader.header().type != AnswerLogType::kNumeric) {
+    return Status::InvalidArgument(path + ": not a numeric log");
+  }
+
+  IdInterner tasks;
+  IdInterner workers;
+  struct Raw {
+    int task;
+    int worker;
+    double value;
+  };
+  std::vector<Raw> raw;
+  AnswerLogRecord record;
+  bool eof = false;
+  while (true) {
+    status = reader.Next(&record, &eof);
+    if (!status.ok()) return status;
+    if (eof) break;
+    raw.push_back(
+        {tasks.Intern(record.task), workers.Intern(record.worker),
+         record.value});
+  }
+
+  struct RawTruth {
+    int task;
+    double value;
+  };
+  std::vector<RawTruth> raw_truth;
+  if (!truth_path.empty()) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    status = ReadTruthRows(truth_path, &rows);
+    if (!status.ok()) return status;
+    for (const auto& [task, truth] : rows) {
+      char* end = nullptr;
+      const double value = std::strtod(truth.c_str(), &end);
+      if (end == truth.c_str() || *end != '\0') {
+        return Status::ParseError(truth_path + ": bad truth \"" + truth +
+                                  "\"");
+      }
+      raw_truth.push_back({tasks.Intern(task), value});
+    }
+  }
+
+  NumericDatasetBuilder builder(tasks.size(), workers.size());
+  builder.set_name(path);
+  for (const Raw& r : raw) builder.AddAnswer(r.task, r.worker, r.value);
+  for (const RawTruth& r : raw_truth) builder.SetTruth(r.task, r.value);
+  *out = std::move(builder).Build();
+  return Status::Ok();
+}
+
+}  // namespace crowdtruth::data

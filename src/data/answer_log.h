@@ -1,0 +1,110 @@
+// Append-only answer log: the on-disk stream format the streaming engine
+// consumes (src/streaming/).
+//
+// A log is a CSV-framed text file whose first line is a header row
+//
+//   crowdtruth_log,v1,categorical,<num_choices>
+//   crowdtruth_log,v1,numeric
+//
+// followed by one `task,worker,answer` row per collected answer, in arrival
+// order. Task and worker ids are arbitrary strings (interned downstream in
+// first-appearance order, exactly as data/io.h does for batch CSV files).
+// Appending new answers never rewrites earlier bytes, so a log can be
+// tailed by a replaying engine while a collector is still writing it.
+//
+// `num_choices` may be 0 ("unknown"); readers then infer the label space or
+// require it from the caller.
+#ifndef CROWDTRUTH_DATA_ANSWER_LOG_H_
+#define CROWDTRUTH_DATA_ANSWER_LOG_H_
+
+#include <fstream>
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace crowdtruth::data {
+
+enum class AnswerLogType { kCategorical, kNumeric };
+
+struct AnswerLogHeader {
+  AnswerLogType type = AnswerLogType::kCategorical;
+  // Categorical only; 0 = not recorded.
+  int num_choices = 0;
+};
+
+// One logged answer. `label` is filled for categorical logs, `value` for
+// numeric logs; `answer` always carries the raw field text.
+struct AnswerLogRecord {
+  std::string task;
+  std::string worker;
+  std::string answer;
+  LabelId label = 0;
+  double value = 0.0;
+};
+
+// Sequential writer. Create() truncates and writes the header; Append()
+// adds one answer row. The stream is flushed per Append so a concurrently
+// replaying reader observes whole records.
+class AnswerLogWriter {
+ public:
+  AnswerLogWriter() = default;
+
+  static util::Status Create(const std::string& path,
+                             const AnswerLogHeader& header,
+                             AnswerLogWriter* out);
+
+  util::Status Append(const std::string& task, const std::string& worker,
+                      LabelId label);
+  util::Status Append(const std::string& task, const std::string& worker,
+                      double value);
+
+ private:
+  util::Status AppendRow(const std::string& task, const std::string& worker,
+                         const std::string& answer);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+// Sequential reader. Open() validates the header; Next() yields records in
+// file order until `*eof` is set.
+class AnswerLogReader {
+ public:
+  util::Status Open(const std::string& path);
+  const AnswerLogHeader& header() const { return header_; }
+
+  // On success either fills `*record` or sets `*eof`. Malformed rows are a
+  // ParseError carrying the line number.
+  util::Status Next(AnswerLogRecord* record, bool* eof);
+
+ private:
+  std::ifstream in_;
+  AnswerLogHeader header_;
+  std::string path_;
+  int line_ = 1;
+};
+
+// Dumps every answer of a dataset as a log (task-major, preserving each
+// task's answer insertion order). Ids are the dense indices printed as
+// decimal strings, so a replay interns them back to the same order.
+util::Status WriteAnswerLog(const CategoricalDataset& dataset,
+                            const std::string& path);
+util::Status WriteAnswerLog(const NumericDataset& dataset,
+                            const std::string& path);
+
+// Reads a whole log into a batch dataset, interning ids in first-appearance
+// order — the same order a streaming replay assigns, so task/worker indices
+// line up between the incremental and batch runs. `truth_path` is an
+// optional `task,truth` CSV keyed by the log's string ids. `num_choices`
+// <= 0 falls back to the header value, then to max label + 1.
+util::Status LoadCategoricalLog(const std::string& path,
+                                const std::string& truth_path,
+                                int num_choices, CategoricalDataset* out);
+util::Status LoadNumericLog(const std::string& path,
+                            const std::string& truth_path,
+                            NumericDataset* out);
+
+}  // namespace crowdtruth::data
+
+#endif  // CROWDTRUTH_DATA_ANSWER_LOG_H_

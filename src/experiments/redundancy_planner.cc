@@ -4,7 +4,9 @@
 
 #include "core/registry.h"
 #include "experiments/redundancy.h"
+#include "experiments/trials.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace crowdtruth::experiments {
@@ -26,24 +28,33 @@ RedundancyPlan PlanRedundancy(const std::string& method_name,
       static_cast<int>(std::ceil(dataset.Redundancy())));
 
   RedundancyPlan plan;
-  util::Rng rng(options.seed);
+  // One pre-forked RNG stream per (redundancy, trial) pair, in the order
+  // the serial loop drew them; trials then run in parallel with results
+  // landing in per-trial slots and summed in trial order, so the plan is
+  // bit-identical for every thread count.
+  std::vector<util::Rng> streams =
+      ForkTrialRngs(options.seed, max_r * options.repeats);
   for (int r = 1; r <= max_r; ++r) {
+    std::vector<double> agreement(options.repeats);
+    util::ParallelFor(
+        options.repeats, ResolveTrialThreads(options.num_threads),
+        [&](int trial) {
+          util::Rng trial_rng = streams[(r - 1) * options.repeats + trial];
+          const data::CategoricalDataset sample =
+              SubsampleRedundancy(dataset, r, trial_rng);
+          core::InferenceOptions inference = options.inference;
+          inference.seed = trial_rng.engine()();
+          const core::CategoricalResult result =
+              method->Infer(sample, inference);
+          int agree = 0;
+          for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+            if (result.labels[t] == reference.labels[t]) ++agree;
+          }
+          agreement[trial] =
+              static_cast<double>(agree) / std::max(dataset.num_tasks(), 1);
+        });
     double agreement_total = 0.0;
-    for (int trial = 0; trial < options.repeats; ++trial) {
-      util::Rng trial_rng = rng.Fork();
-      const data::CategoricalDataset sample =
-          SubsampleRedundancy(dataset, r, trial_rng);
-      core::InferenceOptions inference = options.inference;
-      inference.seed = trial_rng.engine()();
-      const core::CategoricalResult result =
-          method->Infer(sample, inference);
-      int agree = 0;
-      for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
-        if (result.labels[t] == reference.labels[t]) ++agree;
-      }
-      agreement_total +=
-          static_cast<double>(agree) / std::max(dataset.num_tasks(), 1);
-    }
+    for (const double value : agreement) agreement_total += value;
     plan.stability.push_back(agreement_total / options.repeats);
   }
 

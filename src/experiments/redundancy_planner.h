@@ -34,6 +34,10 @@ struct RedundancyPlannerOptions {
   // Marginal-stability threshold for "quality has stabilized".
   double min_gain = 0.005;
   uint64_t seed = 42;
+  // Threads for the per-redundancy trial loop (<= 0 = DefaultThreads()).
+  // Trials use pre-forked RNG streams, so the plan is bit-identical for
+  // every thread count.
+  int num_threads = 1;
   core::InferenceOptions inference;
 };
 

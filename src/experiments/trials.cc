@@ -1,0 +1,28 @@
+#include "experiments/trials.h"
+
+#include "util/parallel.h"
+
+namespace crowdtruth::experiments {
+
+int ResolveTrialThreads(int num_threads) {
+  return num_threads > 0 ? num_threads : util::DefaultThreads();
+}
+
+std::vector<util::Rng> ForkTrialRngs(uint64_t seed, int trials) {
+  util::Rng rng(seed);
+  std::vector<util::Rng> streams;
+  streams.reserve(trials);
+  for (int trial = 0; trial < trials; ++trial) {
+    streams.push_back(rng.Fork());
+  }
+  return streams;
+}
+
+void RunTrials(uint64_t seed, int trials, int num_threads,
+               const std::function<void(int trial, util::Rng& rng)>& body) {
+  std::vector<util::Rng> streams = ForkTrialRngs(seed, trials);
+  util::ParallelFor(trials, ResolveTrialThreads(num_threads),
+                    [&](int trial) { body(trial, streams[trial]); });
+}
+
+}  // namespace crowdtruth::experiments

@@ -1,0 +1,35 @@
+// Repeated-trial execution for the experiment harness (bench binaries'
+// `--repeats` loops, the redundancy planner's stability probes).
+//
+// RunTrials forks one RNG stream per trial UP FRONT from a single parent
+// seed — the same fork sequence the serial `for (trial) rng.Fork()` idiom
+// produces — and then runs the trial bodies with util::ParallelFor. Because
+// each body draws only from its pre-assigned stream and writes only to its
+// own output slot, results are bit-identical for every thread count
+// (including 1): `--threads` is purely a wall-clock knob.
+#ifndef CROWDTRUTH_EXPERIMENTS_TRIALS_H_
+#define CROWDTRUTH_EXPERIMENTS_TRIALS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace crowdtruth::experiments {
+
+// `num_threads` <= 0 means util::DefaultThreads().
+int ResolveTrialThreads(int num_threads);
+
+// The fork sequence trial loops draw from: stream i is the i-th Fork() of
+// Rng(seed).
+std::vector<util::Rng> ForkTrialRngs(uint64_t seed, int trials);
+
+// Runs body(trial, rng) for trial in [0, trials) across up to
+// `num_threads` threads with pre-forked per-trial RNG streams.
+void RunTrials(uint64_t seed, int trials, int num_threads,
+               const std::function<void(int trial, util::Rng& rng)>& body);
+
+}  // namespace crowdtruth::experiments
+
+#endif  // CROWDTRUTH_EXPERIMENTS_TRIALS_H_

@@ -31,6 +31,12 @@ double UncertaintyScore(const std::vector<int>& counts, int total) {
 data::CategoricalDataset SimulateOnlineCollection(
     const CategoricalSimSpec& spec, const OnlineAssignmentConfig& config,
     uint64_t seed) {
+  return SimulateOnlineCollection(spec, config, seed, nullptr);
+}
+
+data::CategoricalDataset SimulateOnlineCollection(
+    const CategoricalSimSpec& spec, const OnlineAssignmentConfig& config,
+    uint64_t seed, std::vector<OnlineAnswerEvent>* events) {
   CROWDTRUTH_CHECK_GT(spec.num_tasks, 0);
   CROWDTRUTH_CHECK_GT(spec.num_workers, 0);
   CROWDTRUTH_CHECK_GT(config.total_budget, 0);
@@ -137,6 +143,7 @@ data::CategoricalDataset SimulateOnlineCollection(
     }
 
     builder.AddAnswer(chosen, worker, answer);
+    if (events != nullptr) events->push_back({chosen, worker, answer});
     answered_by[worker].insert(chosen);
     ++vote_counts[chosen][answer];
     ++answers_per_task[chosen];

@@ -22,6 +22,7 @@
 #define CROWDTRUTH_SIMULATION_ONLINE_ASSIGNMENT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "data/dataset.h"
 #include "simulation/generator.h"
@@ -44,12 +45,28 @@ struct OnlineAssignmentConfig {
   int candidate_pool = 64;
 };
 
+// One collected answer, in arrival order — the event stream the online loop
+// produced. Replaying events through a streaming engine reconstructs the
+// exact collection the batch dataset was built from.
+struct OnlineAnswerEvent {
+  data::TaskId task = 0;
+  data::WorkerId worker = 0;
+  data::LabelId label = 0;
+};
+
 // Runs the simulation. The spec's `assignment.redundancy` is ignored (the
 // budget drives collection); all other spec fields (worker archetypes,
 // task model, priors) apply as in GenerateCategorical.
 data::CategoricalDataset SimulateOnlineCollection(
     const CategoricalSimSpec& spec, const OnlineAssignmentConfig& config,
     uint64_t seed);
+
+// As above, additionally appending each collected answer to `*events` in
+// arrival order (when non-null). Draws the identical RNG sequence, so the
+// returned dataset is bit-identical to the two-argument overload's.
+data::CategoricalDataset SimulateOnlineCollection(
+    const CategoricalSimSpec& spec, const OnlineAssignmentConfig& config,
+    uint64_t seed, std::vector<OnlineAnswerEvent>* events);
 
 }  // namespace crowdtruth::sim
 

@@ -169,30 +169,46 @@ std::vector<std::string> AllProfileNames() {
   return {"D_Product", "D_PosSent", "S_Rel", "S_Adult", "N_Emotion"};
 }
 
-data::CategoricalDataset GenerateCategoricalProfile(const std::string& name,
-                                                    double scale) {
-  if (name == "D_Product") {
-    return GenerateCategorical(ScaleSpec(DProductSpec(), scale),
-                               kDProductSeed);
-  }
-  if (name == "D_PosSent") {
-    return GenerateCategorical(ScaleSpec(DPosSentSpec(), scale),
-                               kDPosSentSeed);
-  }
-  if (name == "S_Rel") {
-    return GenerateCategorical(ScaleSpec(SRelSpec(), scale), kSRelSeed);
-  }
-  if (name == "S_Adult") {
-    return GenerateCategorical(ScaleSpec(SAdultSpec(), scale), kSAdultSeed);
-  }
+CategoricalSimSpec CategoricalProfileSpec(const std::string& name) {
+  if (name == "D_Product") return DProductSpec();
+  if (name == "D_PosSent") return DPosSentSpec();
+  if (name == "S_Rel") return SRelSpec();
+  if (name == "S_Adult") return SAdultSpec();
   CROWDTRUTH_CHECK(false) << "unknown categorical profile: " << name;
   __builtin_unreachable();
 }
 
+uint64_t ProfileSeed(const std::string& name) {
+  if (name == "D_Product") return kDProductSeed;
+  if (name == "D_PosSent") return kDPosSentSeed;
+  if (name == "S_Rel") return kSRelSeed;
+  if (name == "S_Adult") return kSAdultSeed;
+  if (name == "N_Emotion") return kNEmotionSeed;
+  CROWDTRUTH_CHECK(false) << "unknown profile: " << name;
+  __builtin_unreachable();
+}
+
+data::CategoricalDataset GenerateCategoricalProfile(const std::string& name,
+                                                    double scale) {
+  return GenerateCategoricalProfile(name, scale, ProfileSeed(name));
+}
+
+data::CategoricalDataset GenerateCategoricalProfile(const std::string& name,
+                                                    double scale,
+                                                    uint64_t seed) {
+  return GenerateCategorical(ScaleSpec(CategoricalProfileSpec(name), scale),
+                             seed);
+}
+
 data::NumericDataset GenerateNumericProfile(const std::string& name,
                                             double scale) {
+  return GenerateNumericProfile(name, scale, kNEmotionSeed);
+}
+
+data::NumericDataset GenerateNumericProfile(const std::string& name,
+                                            double scale, uint64_t seed) {
   CROWDTRUTH_CHECK(name == "N_Emotion") << "unknown numeric profile: " << name;
-  return GenerateNumeric(ScaleSpec(NEmotionSpec(), scale), kNEmotionSeed);
+  return GenerateNumeric(ScaleSpec(NEmotionSpec(), scale), seed);
 }
 
 }  // namespace crowdtruth::sim

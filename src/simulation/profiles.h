@@ -48,15 +48,31 @@ inline constexpr uint64_t kNEmotionSeed = 105;
 // Names of the five profiles in Table 5 order.
 std::vector<std::string> AllProfileNames();
 
+// The calibrated spec for a categorical profile name ("D_Product",
+// "D_PosSent", "S_Rel", "S_Adult"); aborts on other names. Callers that
+// need non-default collection (e.g. the online-assignment simulator) start
+// from this spec.
+CategoricalSimSpec CategoricalProfileSpec(const std::string& name);
+
+// The default generation seed of a profile name (kDProductSeed ...);
+// aborts on unknown names.
+uint64_t ProfileSeed(const std::string& name);
+
 // Generates a profile instance by name ("D_Product", "D_PosSent", "S_Rel",
 // "S_Adult"), scaled by `scale` in (0, 1]. Aborts on unknown or numeric
-// names.
+// names. The two-argument form uses the profile's default seed; pass an
+// explicit seed to sample an independent dataset instance.
 data::CategoricalDataset GenerateCategoricalProfile(const std::string& name,
                                                     double scale);
+data::CategoricalDataset GenerateCategoricalProfile(const std::string& name,
+                                                    double scale,
+                                                    uint64_t seed);
 
-// Generates "N_Emotion" scaled by `scale`.
+// Generates "N_Emotion" scaled by `scale`, with the same seed convention.
 data::NumericDataset GenerateNumericProfile(const std::string& name,
                                             double scale);
+data::NumericDataset GenerateNumericProfile(const std::string& name,
+                                            double scale, uint64_t seed);
 
 }  // namespace crowdtruth::sim
 

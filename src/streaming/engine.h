@@ -1,0 +1,271 @@
+// The streaming engine: wraps an incremental method with the plumbing a
+// replay needs — string-id interning (first-appearance order, matching the
+// batch CSV loaders), per-answer latency accounting, periodic full resyncs,
+// and engine-level snapshots that also capture the id tables.
+//
+// Header-only template shared by the categorical and numeric stacks:
+//
+//   CategoricalStreamEngine engine(
+//       MakeIncrementalCategorical("ZC", 2, {}), {.resync_interval = 1000});
+//   engine.Observe("t17", "w3", 1);
+//   ...
+//   engine.Resync();  // final resync: estimates now equal the batch run
+//
+// When a core::TraceSink is installed, every resync emits one
+// IterationEvent: `iteration` is the resync ordinal, `delta` the estimate
+// change the resync caused, `truth_seconds` the observe time accumulated
+// since the previous resync and `quality_seconds` the resync's own cost —
+// reusing the PR-1 trace machinery so `crowdtruth_stream --trace` and run
+// reports work unchanged.
+#ifndef CROWDTRUTH_STREAMING_ENGINE_H_
+#define CROWDTRUTH_STREAMING_ENGINE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/trace.h"
+#include "streaming/incremental.h"
+#include "util/json_writer.h"
+#include "util/latency.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace crowdtruth::streaming {
+
+// Interns arbitrary string ids into dense [0, n) indices in
+// first-appearance order, keeping the reverse mapping for output.
+class StreamIdInterner {
+ public:
+  int Intern(const std::string& id) {
+    auto it = index_.find(id);
+    if (it != index_.end()) return it->second;
+    const int dense = static_cast<int>(ids_.size());
+    index_.emplace(id, dense);
+    ids_.push_back(id);
+    return dense;
+  }
+
+  int size() const { return static_cast<int>(ids_.size()); }
+  const std::string& Name(int dense) const { return ids_[dense]; }
+  const std::vector<std::string>& ids() const { return ids_; }
+
+  util::JsonValue ToJson() const {
+    util::JsonValue array = util::JsonValue::Array();
+    for (const std::string& id : ids_) array.Append(id);
+    return array;
+  }
+
+  util::Status Restore(const util::JsonValue* array,
+                       const std::string& field) {
+    if (array == nullptr ||
+        array->kind() != util::JsonValue::Kind::kArray) {
+      return util::Status::InvalidArgument("snapshot field \"" + field +
+                                           "\" missing or not an array");
+    }
+    ids_.clear();
+    index_.clear();
+    for (const util::JsonValue& item : array->items()) {
+      if (item.kind() != util::JsonValue::Kind::kString) {
+        return util::Status::InvalidArgument(
+            "snapshot field \"" + field + "\" has a non-string entry");
+      }
+      if (index_.count(item.string()) > 0) {
+        return util::Status::InvalidArgument(
+            "snapshot field \"" + field + "\" has a duplicate id \"" +
+            item.string() + "\"");
+      }
+      index_.emplace(item.string(), static_cast<int>(ids_.size()));
+      ids_.push_back(item.string());
+    }
+    return util::Status::Ok();
+  }
+
+ private:
+  std::vector<std::string> ids_;
+  std::unordered_map<std::string, int> index_;
+};
+
+struct EngineConfig {
+  // Run a full batch resync every this many answers; 0 disables periodic
+  // resyncs (the caller may still Resync() explicitly, e.g. once at the end
+  // of a replay).
+  int resync_interval = 1000;
+};
+
+struct EngineStats {
+  int64_t answers = 0;
+  int resyncs = 0;
+  // Per-answer Observe cost (interning + incremental update).
+  util::LatencyRecorder observe_latency;
+  // Total wall-clock spent inside resyncs.
+  double resync_seconds = 0.0;
+};
+
+namespace internal_engine {
+
+inline void SetPayload(CategoricalAnswer& answer, data::LabelId label) {
+  answer.label = label;
+}
+inline void SetPayload(NumericAnswer& answer, double value) {
+  answer.value = value;
+}
+
+// Estimate change caused by a resync: fraction of labels that flipped
+// (categorical) or max absolute value change (numeric).
+inline double EstimateDelta(const std::vector<data::LabelId>& before,
+                            const std::vector<data::LabelId>& after) {
+  if (after.empty()) return 0.0;
+  int changed = 0;
+  for (size_t i = 0; i < after.size(); ++i) {
+    if (i >= before.size() || before[i] != after[i]) ++changed;
+  }
+  return static_cast<double>(changed) / after.size();
+}
+
+inline double EstimateDelta(const std::vector<double>& before,
+                            const std::vector<double>& after) {
+  double max_diff = 0.0;
+  for (size_t i = 0; i < after.size(); ++i) {
+    const double prev = i < before.size() ? before[i] : 0.0;
+    max_diff = std::max(max_diff, std::fabs(after[i] - prev));
+  }
+  return max_diff;
+}
+
+}  // namespace internal_engine
+
+template <typename Method>
+class StreamEngine {
+ public:
+  using BatchResult = typename Method::BatchResult;
+
+  StreamEngine(std::unique_ptr<Method> method, EngineConfig config)
+      : method_(std::move(method)), config_(config) {
+    CROWDTRUTH_CHECK(method_ != nullptr);
+  }
+
+  // Ingests one answer keyed by string ids. `payload` is a LabelId for
+  // categorical engines, a double for numeric ones. Runs a periodic resync
+  // when the configured interval elapses.
+  template <typename Payload>
+  util::Status Observe(const std::string& task, const std::string& worker,
+                       Payload payload) {
+    util::Stopwatch stopwatch;
+    typename Method::Answer answer;
+    answer.task = tasks_.Intern(task);
+    answer.worker = workers_.Intern(worker);
+    internal_engine::SetPayload(answer, payload);
+    util::Status status = method_->Observe(answer);
+    if (!status.ok()) return status;
+    stats_.observe_latency.Record(stopwatch.ElapsedSeconds());
+    ++stats_.answers;
+    if (config_.resync_interval > 0 &&
+        stats_.answers % config_.resync_interval == 0) {
+      Resync();
+    }
+    return util::Status::Ok();
+  }
+
+  // Full batch resync (see IncrementalCategoricalMethod::Resync).
+  BatchResult Resync() {
+    const auto before = method_->Estimates();
+    util::Stopwatch stopwatch;
+    BatchResult result = method_->Resync();
+    const double seconds = stopwatch.ElapsedSeconds();
+    stats_.resync_seconds += seconds;
+    ++stats_.resyncs;
+    if (trace_ != nullptr) {
+      core::IterationEvent event;
+      event.iteration = stats_.resyncs;
+      event.delta =
+          internal_engine::EstimateDelta(before, method_->Estimates());
+      event.truth_seconds =
+          stats_.observe_latency.total_seconds() - observe_seconds_traced_;
+      event.quality_seconds = seconds;
+      trace_->OnIteration(event);
+    }
+    observe_seconds_traced_ = stats_.observe_latency.total_seconds();
+    return result;
+  }
+
+  util::JsonValue Snapshot() const {
+    util::JsonValue root = util::JsonValue::Object();
+    root.Set("format", "crowdtruth_stream_snapshot");
+    root.Set("version", 1);
+    root.Set("task_ids", tasks_.ToJson());
+    root.Set("worker_ids", workers_.ToJson());
+    root.Set("answers_seen", static_cast<int64_t>(stats_.answers));
+    root.Set("resyncs", stats_.resyncs);
+    root.Set("method", method_->Snapshot());
+    return root;
+  }
+
+  // Restores id tables, counters and the method state. Latency samples are
+  // not carried across snapshots (they describe a process, not the state).
+  util::Status Restore(const util::JsonValue& snapshot) {
+    const util::JsonValue* format = snapshot.Find("format");
+    if (format == nullptr ||
+        format->kind() != util::JsonValue::Kind::kString ||
+        format->string() != "crowdtruth_stream_snapshot") {
+      return util::Status::InvalidArgument(
+          "not a crowdtruth_stream_snapshot document");
+    }
+    util::Status status = tasks_.Restore(snapshot.Find("task_ids"),
+                                         "task_ids");
+    if (!status.ok()) return status;
+    status = workers_.Restore(snapshot.Find("worker_ids"), "worker_ids");
+    if (!status.ok()) return status;
+    const util::JsonValue* answers_seen = snapshot.Find("answers_seen");
+    const util::JsonValue* resyncs = snapshot.Find("resyncs");
+    if (answers_seen == nullptr ||
+        answers_seen->kind() != util::JsonValue::Kind::kNumber ||
+        resyncs == nullptr ||
+        resyncs->kind() != util::JsonValue::Kind::kNumber) {
+      return util::Status::InvalidArgument(
+          "snapshot counters missing or not numbers");
+    }
+    const util::JsonValue* method = snapshot.Find("method");
+    if (method == nullptr) {
+      return util::Status::InvalidArgument(
+          "snapshot field \"method\" missing");
+    }
+    status = method_->Restore(*method);
+    if (!status.ok()) return status;
+    stats_ = EngineStats();
+    stats_.answers = static_cast<int64_t>(answers_seen->number());
+    stats_.resyncs = static_cast<int>(resyncs->number());
+    observe_seconds_traced_ = 0.0;
+    return util::Status::Ok();
+  }
+
+  Method& method() { return *method_; }
+  const Method& method() const { return *method_; }
+  const EngineStats& stats() const { return stats_; }
+  const EngineConfig& config() const { return config_; }
+  const StreamIdInterner& tasks() const { return tasks_; }
+  const StreamIdInterner& workers() const { return workers_; }
+  void set_trace(core::TraceSink* trace) { trace_ = trace; }
+
+ private:
+  std::unique_ptr<Method> method_;
+  EngineConfig config_;
+  StreamIdInterner tasks_;
+  StreamIdInterner workers_;
+  EngineStats stats_;
+  core::TraceSink* trace_ = nullptr;
+  // Observe seconds already attributed to an emitted trace event.
+  double observe_seconds_traced_ = 0.0;
+};
+
+using CategoricalStreamEngine = StreamEngine<IncrementalCategoricalMethod>;
+using NumericStreamEngine = StreamEngine<IncrementalNumericMethod>;
+
+}  // namespace crowdtruth::streaming
+
+#endif  // CROWDTRUTH_STREAMING_ENGINE_H_

@@ -1,0 +1,42 @@
+#include "streaming/registry.h"
+
+#include "streaming/incremental_ds.h"
+#include "streaming/incremental_mv.h"
+#include "streaming/incremental_numeric.h"
+#include "streaming/incremental_zc.h"
+#include "util/logging.h"
+
+namespace crowdtruth::streaming {
+
+std::vector<std::string> IncrementalCategoricalNames() {
+  return {"MV", "ZC", "D&S"};
+}
+
+std::vector<std::string> IncrementalNumericNames() {
+  return {"Mean", "Median"};
+}
+
+std::unique_ptr<IncrementalCategoricalMethod> MakeIncrementalCategorical(
+    const std::string& name, int num_choices,
+    const StreamingOptions& options) {
+  CROWDTRUTH_CHECK_GE(num_choices, 2);
+  if (name == "MV") {
+    return std::make_unique<StreamingMajorityVote>(num_choices, options);
+  }
+  if (name == "ZC") {
+    return std::make_unique<StreamingZc>(num_choices, options);
+  }
+  if (name == "D&S") {
+    return std::make_unique<StreamingDs>(num_choices, options);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<IncrementalNumericMethod> MakeIncrementalNumeric(
+    const std::string& name, const StreamingOptions& options) {
+  if (name == "Mean") return std::make_unique<StreamingMean>(options);
+  if (name == "Median") return std::make_unique<StreamingMedian>(options);
+  return nullptr;
+}
+
+}  // namespace crowdtruth::streaming

@@ -1,0 +1,32 @@
+// Factory for the incremental methods, mirroring core/registry.h. Only a
+// subset of the 17 surveyed methods has a streaming counterpart; the rest
+// are served by a StreamEngine with resync_interval=1 (full batch re-run
+// per answer), which these factories do not construct.
+#ifndef CROWDTRUTH_STREAMING_REGISTRY_H_
+#define CROWDTRUTH_STREAMING_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "streaming/incremental.h"
+
+namespace crowdtruth::streaming {
+
+// Methods with an incremental categorical implementation, in the batch
+// registry's order: {"MV", "ZC", "D&S"}.
+std::vector<std::string> IncrementalCategoricalNames();
+// Methods with an incremental numeric implementation: {"Mean", "Median"}.
+std::vector<std::string> IncrementalNumericNames();
+
+// Returns nullptr for names without an incremental implementation.
+// `num_choices` must be >= 2.
+std::unique_ptr<IncrementalCategoricalMethod> MakeIncrementalCategorical(
+    const std::string& name, int num_choices,
+    const StreamingOptions& options);
+std::unique_ptr<IncrementalNumericMethod> MakeIncrementalNumeric(
+    const std::string& name, const StreamingOptions& options);
+
+}  // namespace crowdtruth::streaming
+
+#endif  // CROWDTRUTH_STREAMING_REGISTRY_H_

@@ -1,0 +1,136 @@
+#include "streaming/snapshot_util.h"
+
+#include <cmath>
+
+namespace crowdtruth::streaming::internal {
+
+using util::JsonValue;
+using util::Status;
+
+JsonValue ToJson(const std::vector<double>& values) {
+  JsonValue array = JsonValue::Array();
+  for (double v : values) array.Append(v);
+  return array;
+}
+
+JsonValue ToJson(const std::vector<int>& values) {
+  JsonValue array = JsonValue::Array();
+  for (int v : values) array.Append(v);
+  return array;
+}
+
+JsonValue ToJson(const std::vector<std::vector<double>>& rows) {
+  JsonValue array = JsonValue::Array();
+  for (const auto& row : rows) array.Append(ToJson(row));
+  return array;
+}
+
+namespace {
+
+Status ExpectArray(const JsonValue* value, const std::string& field,
+                   int expected_size) {
+  if (value == nullptr || value->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("snapshot field \"" + field +
+                                   "\" missing or not an array");
+  }
+  if (expected_size >= 0 &&
+      static_cast<int>(value->items().size()) != expected_size) {
+    return Status::InvalidArgument(
+        "snapshot field \"" + field + "\" has " +
+        std::to_string(value->items().size()) + " entries, expected " +
+        std::to_string(expected_size));
+  }
+  return Status::Ok();
+}
+
+Status NumberAt(const JsonValue& item, const std::string& field,
+                double* out) {
+  if (item.kind() != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument("snapshot field \"" + field +
+                                   "\" has a non-numeric entry");
+  }
+  *out = item.number();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FromJson(const JsonValue* value, const std::string& field,
+                int expected_size, std::vector<double>* out) {
+  Status status = ExpectArray(value, field, expected_size);
+  if (!status.ok()) return status;
+  out->clear();
+  out->reserve(value->items().size());
+  for (const JsonValue& item : value->items()) {
+    double number = 0.0;
+    status = NumberAt(item, field, &number);
+    if (!status.ok()) return status;
+    out->push_back(number);
+  }
+  return Status::Ok();
+}
+
+Status FromJson(const JsonValue* value, const std::string& field,
+                int expected_size, std::vector<int>* out) {
+  Status status = ExpectArray(value, field, expected_size);
+  if (!status.ok()) return status;
+  out->clear();
+  out->reserve(value->items().size());
+  for (const JsonValue& item : value->items()) {
+    double number = 0.0;
+    status = NumberAt(item, field, &number);
+    if (!status.ok()) return status;
+    if (number != std::floor(number)) {
+      return Status::InvalidArgument("snapshot field \"" + field +
+                                     "\" has a non-integral entry");
+    }
+    out->push_back(static_cast<int>(number));
+  }
+  return Status::Ok();
+}
+
+Status FromJson(const JsonValue* value, const std::string& field,
+                int expected_size, int row_size,
+                std::vector<std::vector<double>>* out) {
+  Status status = ExpectArray(value, field, expected_size);
+  if (!status.ok()) return status;
+  out->clear();
+  out->reserve(value->items().size());
+  for (const JsonValue& item : value->items()) {
+    std::vector<double> row;
+    status = FromJson(&item, field, row_size, &row);
+    if (!status.ok()) return status;
+    out->push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+Status ExpectString(const JsonValue* value, const std::string& field,
+                    const std::string& expected) {
+  if (value == nullptr || value->kind() != JsonValue::Kind::kString) {
+    return Status::InvalidArgument("snapshot field \"" + field +
+                                   "\" missing or not a string");
+  }
+  if (value->string() != expected) {
+    return Status::InvalidArgument("snapshot field \"" + field + "\" is \"" +
+                                   value->string() + "\", expected \"" +
+                                   expected + "\"");
+  }
+  return Status::Ok();
+}
+
+Status ReadInt(const JsonValue* value, const std::string& field, int* out) {
+  if (value == nullptr || value->kind() != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument("snapshot field \"" + field +
+                                   "\" missing or not a number");
+  }
+  const double number = value->number();
+  if (number != std::floor(number) || number < 0) {
+    return Status::InvalidArgument("snapshot field \"" + field +
+                                   "\" is not a non-negative integer");
+  }
+  *out = static_cast<int>(number);
+  return Status::Ok();
+}
+
+}  // namespace crowdtruth::streaming::internal

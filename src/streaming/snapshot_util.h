@@ -1,0 +1,41 @@
+// JSON (de)serialization helpers shared by the incremental methods'
+// Snapshot/Restore implementations. Internal to src/streaming/.
+#ifndef CROWDTRUTH_STREAMING_SNAPSHOT_UTIL_H_
+#define CROWDTRUTH_STREAMING_SNAPSHOT_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/json_writer.h"
+#include "util/status.h"
+
+namespace crowdtruth::streaming::internal {
+
+util::JsonValue ToJson(const std::vector<double>& values);
+util::JsonValue ToJson(const std::vector<int>& values);
+util::JsonValue ToJson(const std::vector<std::vector<double>>& rows);
+
+// Each reader validates kind and (for FromJson with `expected_size` >= 0)
+// length, reporting `field` in the error message.
+util::Status FromJson(const util::JsonValue* value, const std::string& field,
+                      int expected_size, std::vector<double>* out);
+util::Status FromJson(const util::JsonValue* value, const std::string& field,
+                      int expected_size, std::vector<int>* out);
+// Rows must all have `row_size` entries.
+util::Status FromJson(const util::JsonValue* value, const std::string& field,
+                      int expected_size, int row_size,
+                      std::vector<std::vector<double>>* out);
+
+// Requires `value` to be a string field equal to `expected`.
+util::Status ExpectString(const util::JsonValue* value,
+                          const std::string& field,
+                          const std::string& expected);
+
+// Reads a non-negative integer field.
+util::Status ReadInt(const util::JsonValue* value, const std::string& field,
+                     int* out);
+
+}  // namespace crowdtruth::streaming::internal
+
+#endif  // CROWDTRUTH_STREAMING_SNAPSHOT_UTIL_H_

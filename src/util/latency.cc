@@ -1,0 +1,39 @@
+#include "util/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdtruth::util {
+
+void LatencyRecorder::Record(double seconds) {
+  samples_.push_back(seconds);
+  sorted_ = false;
+  total_ += seconds;
+  max_ = std::max(max_, seconds);
+}
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  // Nearest rank: ceil(p/100 * n), 1-based.
+  const auto rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * samples_.size()));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+JsonValue LatencyRecorder::ToJson() const {
+  JsonValue summary = JsonValue::Object();
+  summary.Set("count", count());
+  summary.Set("total_seconds", total_seconds());
+  summary.Set("mean_seconds", mean());
+  summary.Set("p50_seconds", Percentile(50.0));
+  summary.Set("p99_seconds", Percentile(99.0));
+  summary.Set("max_seconds", max());
+  return summary;
+}
+
+}  // namespace crowdtruth::util

@@ -1,0 +1,42 @@
+// Latency sample accumulator for per-event timings (the streaming engine's
+// per-answer update cost, bench loops). Records raw samples so percentiles
+// are exact, not bucketed; memory is 8 bytes per sample, which is fine for
+// the streams the benches replay (millions of answers = tens of MB).
+#ifndef CROWDTRUTH_UTIL_LATENCY_H_
+#define CROWDTRUTH_UTIL_LATENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/json_writer.h"
+
+namespace crowdtruth::util {
+
+class LatencyRecorder {
+ public:
+  void Record(double seconds);
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  double total_seconds() const { return total_; }
+  double mean() const { return samples_.empty() ? 0.0 : total_ / count(); }
+  double max() const { return max_; }
+
+  // Nearest-rank percentile (p in [0, 100]); 0 when no samples recorded.
+  double Percentile(double p) const;
+
+  // {"count", "total_seconds", "mean_seconds", "p50_seconds",
+  //  "p99_seconds", "max_seconds"} — the summary the benches and the
+  // streaming CLI embed in their JSON reports.
+  JsonValue ToJson() const;
+
+ private:
+  // Percentile() sorts lazily; Record() invalidates the order.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  double total_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace crowdtruth::util
+
+#endif  // CROWDTRUTH_UTIL_LATENCY_H_

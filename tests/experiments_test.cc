@@ -11,6 +11,7 @@
 #include "experiments/qualification.h"
 #include "experiments/redundancy.h"
 #include "experiments/runner.h"
+#include "experiments/trials.h"
 #include "test_util.h"
 
 namespace crowdtruth::experiments {
@@ -220,6 +221,36 @@ TEST(RunnerTest, HiddenTestImprovesOrMatchesZc) {
   const double without =
       EvaluateCategorical(zc, dataset, {}, 0, &selection.evaluate).accuracy;
   EXPECT_GE(with, without - 0.03);
+}
+
+TEST(RunTrialsTest, ForkOrderMatchesSerialIdiom) {
+  util::Rng serial(77);
+  std::vector<double> expected;
+  for (int trial = 0; trial < 6; ++trial) {
+    util::Rng rng = serial.Fork();
+    expected.push_back(rng.Uniform());
+  }
+  std::vector<util::Rng> streams = ForkTrialRngs(77, 6);
+  ASSERT_EQ(streams.size(), 6u);
+  for (int trial = 0; trial < 6; ++trial) {
+    EXPECT_EQ(streams[trial].Uniform(), expected[trial]) << trial;
+  }
+}
+
+TEST(RunTrialsTest, BitIdenticalAcrossThreadCounts) {
+  auto run = [](int num_threads) {
+    std::vector<double> out(16);
+    RunTrials(123, 16, num_threads, [&out](int trial, util::Rng& rng) {
+      double sum = 0.0;
+      for (int i = 0; i <= trial; ++i) sum += rng.Uniform();
+      out[trial] = sum;
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  EXPECT_EQ(run(4), serial);
+  EXPECT_EQ(run(16), serial);
+  EXPECT_EQ(run(0), serial);  // <= 0 resolves to DefaultThreads().
 }
 
 TEST(SummarizeTest, MeanAndStddev) {

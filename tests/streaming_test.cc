@@ -1,0 +1,365 @@
+// Tests for the streaming subsystem: replay equivalence (a full replay with
+// a final resync matches the batch solver bit-for-bit), snapshot round
+// trips, engine plumbing (interning, periodic resyncs, duplicate rejection)
+// and the incremental registry.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "simulation/profiles.h"
+#include "streaming/engine.h"
+#include "streaming/incremental.h"
+#include "streaming/registry.h"
+#include "test_util.h"
+#include "util/json_writer.h"
+#include "util/rng.h"
+
+namespace crowdtruth::streaming {
+namespace {
+
+struct CategoricalStreamAnswer {
+  std::string task;
+  std::string worker;
+  data::LabelId label;
+};
+
+// Flattens a dataset into a shuffled arrival-order stream with string ids.
+std::vector<CategoricalStreamAnswer> ShuffledStream(
+    const data::CategoricalDataset& dataset, uint64_t seed) {
+  std::vector<CategoricalStreamAnswer> stream;
+  for (int t = 0; t < dataset.num_tasks(); ++t) {
+    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+      stream.push_back({"t" + std::to_string(t),
+                        "w" + std::to_string(vote.worker), vote.label});
+    }
+  }
+  util::Rng rng(seed);
+  rng.Shuffle(stream);
+  return stream;
+}
+
+// Rebuilds the stream as a batch dataset with ids interned in arrival
+// order — the dataset an independent observer of the same stream would
+// construct.
+data::CategoricalDataset ArrivalOrderDataset(
+    const std::vector<CategoricalStreamAnswer>& stream, int num_choices) {
+  StreamIdInterner tasks;
+  StreamIdInterner workers;
+  for (const CategoricalStreamAnswer& answer : stream) {
+    tasks.Intern(answer.task);
+    workers.Intern(answer.worker);
+  }
+  data::CategoricalDatasetBuilder builder(tasks.size(), workers.size(),
+                                          num_choices);
+  StreamIdInterner replay_tasks;
+  StreamIdInterner replay_workers;
+  for (const CategoricalStreamAnswer& answer : stream) {
+    builder.AddAnswer(replay_tasks.Intern(answer.task),
+                      replay_workers.Intern(answer.worker), answer.label);
+  }
+  return std::move(builder).Build();
+}
+
+class ReplayEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+// The acceptance criterion of the subsystem: stream every answer through
+// the incremental method (localized updates plus periodic resyncs), resync
+// once at the end, and the estimates/qualities must equal the batch
+// solver's output on the same answers exactly — not approximately.
+TEST_P(ReplayEquivalenceTest, FinalResyncMatchesBatchExactly) {
+  const std::string method_name = GetParam();
+  testing::PlantedSpec spec;
+  spec.num_tasks = 120;
+  spec.num_workers = 15;
+  spec.num_choices = 3;
+  spec.redundancy = 4;
+  spec.worker_accuracy = {0.9, 0.8, 0.75, 0.7, 0.85, 0.6, 0.9, 0.55,
+                          0.8, 0.7, 0.95, 0.65, 0.75, 0.85, 0.6};
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 7);
+  const std::vector<CategoricalStreamAnswer> stream =
+      ShuffledStream(dataset, 91);
+
+  StreamingOptions options;
+  CategoricalStreamEngine engine(
+      MakeIncrementalCategorical(method_name, spec.num_choices, options),
+      EngineConfig{/*resync_interval=*/173});
+  for (const CategoricalStreamAnswer& answer : stream) {
+    ASSERT_TRUE(engine.Observe(answer.task, answer.worker, answer.label).ok());
+  }
+  engine.Resync();
+
+  // Batch run over the answers in the same arrival order, built without any
+  // streaming machinery.
+  const data::CategoricalDataset arrival =
+      ArrivalOrderDataset(stream, spec.num_choices);
+  const core::CategoricalResult batch =
+      core::MakeCategoricalMethod(method_name)->Infer(arrival, options.batch);
+
+  ASSERT_EQ(engine.method().num_tasks(), arrival.num_tasks());
+  ASSERT_EQ(engine.method().num_workers(), arrival.num_workers());
+  EXPECT_EQ(engine.method().Estimates(), batch.labels);
+  EXPECT_EQ(engine.method().WorkerQualities(), batch.worker_quality);
+}
+
+TEST_P(ReplayEquivalenceTest, MaterializeDatasetMatchesArrivalOrder) {
+  const std::string method_name = GetParam();
+  const data::CategoricalDataset dataset = testing::Table2Dataset();
+  const std::vector<CategoricalStreamAnswer> stream =
+      ShuffledStream(dataset, 3);
+
+  CategoricalStreamEngine engine(
+      MakeIncrementalCategorical(method_name, 2, {}),
+      EngineConfig{/*resync_interval=*/0});
+  for (const CategoricalStreamAnswer& answer : stream) {
+    ASSERT_TRUE(engine.Observe(answer.task, answer.worker, answer.label).ok());
+  }
+  const data::CategoricalDataset materialized =
+      engine.method().MaterializeDataset();
+  const data::CategoricalDataset arrival = ArrivalOrderDataset(stream, 2);
+  ASSERT_EQ(materialized.num_tasks(), arrival.num_tasks());
+  ASSERT_EQ(materialized.num_workers(), arrival.num_workers());
+  ASSERT_EQ(materialized.num_answers(), arrival.num_answers());
+  for (int t = 0; t < arrival.num_tasks(); ++t) {
+    const auto& lhs = materialized.AnswersForTask(t);
+    const auto& rhs = arrival.AnswersForTask(t);
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].worker, rhs[i].worker);
+      EXPECT_EQ(lhs[i].label, rhs[i].label);
+    }
+  }
+}
+
+// Snapshot mid-stream, restore into a fresh engine, finish the stream in
+// both: every subsequent estimate must be bit-identical.
+TEST_P(ReplayEquivalenceTest, SnapshotRoundTripContinuesIdentically) {
+  const std::string method_name = GetParam();
+  testing::PlantedSpec spec;
+  spec.num_tasks = 60;
+  spec.num_workers = 10;
+  spec.num_choices = 2;
+  spec.redundancy = 5;
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 19);
+  const std::vector<CategoricalStreamAnswer> stream =
+      ShuffledStream(dataset, 5);
+  const size_t half = stream.size() / 2;
+
+  StreamingOptions options;
+  CategoricalStreamEngine original(
+      MakeIncrementalCategorical(method_name, spec.num_choices, options),
+      EngineConfig{/*resync_interval=*/50});
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(original
+                    .Observe(stream[i].task, stream[i].worker,
+                             stream[i].label)
+                    .ok());
+  }
+
+  // Serialize through text to exercise the whole JSON path, not just the
+  // in-memory tree.
+  const std::string text = original.Snapshot().Dump();
+  util::JsonValue parsed;
+  ASSERT_TRUE(util::ParseJson(text, &parsed).ok());
+  CategoricalStreamEngine restored(
+      MakeIncrementalCategorical(method_name, spec.num_choices, options),
+      EngineConfig{/*resync_interval=*/50});
+  ASSERT_TRUE(restored.Restore(parsed).ok());
+
+  EXPECT_EQ(restored.stats().answers, original.stats().answers);
+  EXPECT_EQ(restored.stats().resyncs, original.stats().resyncs);
+  EXPECT_EQ(restored.tasks().ids(), original.tasks().ids());
+  EXPECT_EQ(restored.workers().ids(), original.workers().ids());
+  EXPECT_EQ(restored.method().Estimates(), original.method().Estimates());
+  EXPECT_EQ(restored.method().WorkerQualities(),
+            original.method().WorkerQualities());
+
+  for (size_t i = half; i < stream.size(); ++i) {
+    ASSERT_TRUE(original
+                    .Observe(stream[i].task, stream[i].worker,
+                             stream[i].label)
+                    .ok());
+    ASSERT_TRUE(restored
+                    .Observe(stream[i].task, stream[i].worker,
+                             stream[i].label)
+                    .ok());
+    ASSERT_EQ(restored.method().Estimates(),
+              original.method().Estimates());
+    ASSERT_EQ(restored.method().WorkerQualities(),
+              original.method().WorkerQualities());
+  }
+  original.Resync();
+  restored.Resync();
+  EXPECT_EQ(restored.method().Estimates(), original.method().Estimates());
+  EXPECT_EQ(restored.method().WorkerQualities(),
+            original.method().WorkerQualities());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIncremental, ReplayEquivalenceTest,
+                         ::testing::Values("MV", "ZC", "D&S"),
+                         [](const auto& info) {
+                           return info.param == "D&S" ? std::string("DS")
+                                                      : info.param;
+                         });
+
+TEST(StreamEngineTest, PeriodicResyncFiresOnInterval) {
+  CategoricalStreamEngine engine(MakeIncrementalCategorical("MV", 2, {}),
+                                 EngineConfig{/*resync_interval=*/10});
+  for (int i = 0; i < 35; ++i) {
+    ASSERT_TRUE(engine
+                    .Observe("t" + std::to_string(i % 7),
+                             "w" + std::to_string(i / 7), i % 2)
+                    .ok());
+  }
+  EXPECT_EQ(engine.stats().answers, 35);
+  EXPECT_EQ(engine.stats().resyncs, 3);
+  EXPECT_EQ(engine.stats().observe_latency.count(), 35);
+}
+
+TEST(StreamEngineTest, RejectsDuplicateAnswerLeavingStateUntouched) {
+  CategoricalStreamEngine engine(MakeIncrementalCategorical("ZC", 2, {}),
+                                 EngineConfig{/*resync_interval=*/0});
+  ASSERT_TRUE(engine.Observe("t0", "w0", 1).ok());
+  ASSERT_TRUE(engine.Observe("t0", "w1", 0).ok());
+  const util::Status status = engine.Observe("t0", "w0", 0);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("duplicate"), std::string::npos);
+  EXPECT_EQ(engine.stats().answers, 2);
+  EXPECT_EQ(engine.method().num_answers(), 2);
+}
+
+TEST(StreamEngineTest, RejectsOutOfRangeLabel) {
+  CategoricalStreamEngine engine(MakeIncrementalCategorical("MV", 2, {}),
+                                 EngineConfig{});
+  EXPECT_FALSE(engine.Observe("t0", "w0", 2).ok());
+  EXPECT_FALSE(engine.Observe("t0", "w0", -1).ok());
+  EXPECT_EQ(engine.stats().answers, 0);
+}
+
+TEST(StreamEngineTest, RestoreRejectsForeignDocuments) {
+  CategoricalStreamEngine engine(MakeIncrementalCategorical("MV", 2, {}),
+                                 EngineConfig{});
+  util::JsonValue not_a_snapshot = util::JsonValue::Object();
+  not_a_snapshot.Set("format", "something_else");
+  EXPECT_FALSE(engine.Restore(not_a_snapshot).ok());
+  EXPECT_FALSE(engine.Restore(util::JsonValue::Array()).ok());
+}
+
+TEST(StreamEngineTest, RestoreRejectsMismatchedMethod) {
+  CategoricalStreamEngine zc(MakeIncrementalCategorical("ZC", 2, {}),
+                             EngineConfig{});
+  ASSERT_TRUE(zc.Observe("t0", "w0", 1).ok());
+  CategoricalStreamEngine mv(MakeIncrementalCategorical("MV", 2, {}),
+                             EngineConfig{});
+  EXPECT_FALSE(mv.Restore(zc.Snapshot()).ok());
+}
+
+TEST(StreamIdInternerTest, FirstAppearanceOrder) {
+  StreamIdInterner interner;
+  EXPECT_EQ(interner.Intern("b"), 0);
+  EXPECT_EQ(interner.Intern("a"), 1);
+  EXPECT_EQ(interner.Intern("b"), 0);
+  EXPECT_EQ(interner.size(), 2);
+  EXPECT_EQ(interner.Name(0), "b");
+  EXPECT_EQ(interner.Name(1), "a");
+}
+
+TEST(StreamingRegistryTest, KnownAndUnknownNames) {
+  EXPECT_EQ(IncrementalCategoricalNames(),
+            (std::vector<std::string>{"MV", "ZC", "D&S"}));
+  EXPECT_EQ(IncrementalNumericNames(),
+            (std::vector<std::string>{"Mean", "Median"}));
+  for (const std::string& name : IncrementalCategoricalNames()) {
+    EXPECT_NE(MakeIncrementalCategorical(name, 2, {}), nullptr) << name;
+  }
+  for (const std::string& name : IncrementalNumericNames()) {
+    EXPECT_NE(MakeIncrementalNumeric(name, {}), nullptr) << name;
+  }
+  EXPECT_EQ(MakeIncrementalCategorical("GLAD", 2, {}), nullptr);
+  EXPECT_EQ(MakeIncrementalNumeric("LFC_N", {}), nullptr);
+}
+
+class NumericReplayTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NumericReplayTest, FinalResyncMatchesBatchExactly) {
+  const std::string method_name = GetParam();
+  const data::NumericDataset dataset =
+      sim::GenerateNumericProfile("N_Emotion", 0.05);
+  std::vector<std::pair<int, data::NumericTaskVote>> stream;
+  for (int t = 0; t < dataset.num_tasks(); ++t) {
+    for (const data::NumericTaskVote& vote : dataset.AnswersForTask(t)) {
+      stream.emplace_back(t, vote);
+    }
+  }
+  util::Rng rng(17);
+  rng.Shuffle(stream);
+
+  StreamingOptions options;
+  NumericStreamEngine engine(MakeIncrementalNumeric(method_name, options),
+                             EngineConfig{/*resync_interval=*/97});
+  for (const auto& [task, vote] : stream) {
+    ASSERT_TRUE(engine
+                    .Observe("t" + std::to_string(task),
+                             "w" + std::to_string(vote.worker), vote.value)
+                    .ok());
+  }
+  engine.Resync();
+
+  const data::NumericDataset materialized =
+      engine.method().MaterializeDataset();
+  const core::NumericResult batch =
+      core::MakeNumericMethod(method_name)->Infer(materialized,
+                                                  options.batch);
+  EXPECT_EQ(engine.method().Estimates(), batch.values);
+  EXPECT_EQ(engine.method().WorkerQualities(), batch.worker_quality);
+}
+
+TEST_P(NumericReplayTest, SnapshotRoundTrip) {
+  const std::string method_name = GetParam();
+  NumericStreamEngine original(MakeIncrementalNumeric(method_name, {}),
+                               EngineConfig{/*resync_interval=*/0});
+  const double values[] = {3.5, 4.5, 10.0, 20.0, 12.0, 7.25};
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(original
+                    .Observe("t" + std::to_string(i % 3),
+                             "w" + std::to_string(i % 4), values[i])
+                    .ok());
+  }
+  const std::string text = original.Snapshot().Dump();
+  util::JsonValue parsed;
+  ASSERT_TRUE(util::ParseJson(text, &parsed).ok());
+  NumericStreamEngine restored(MakeIncrementalNumeric(method_name, {}),
+                               EngineConfig{/*resync_interval=*/0});
+  ASSERT_TRUE(restored.Restore(parsed).ok());
+  EXPECT_EQ(restored.method().Estimates(), original.method().Estimates());
+  ASSERT_TRUE(original.Observe("t2", "w3", 42.5).ok());
+  ASSERT_TRUE(restored.Observe("t2", "w3", 42.5).ok());
+  EXPECT_EQ(restored.method().Estimates(), original.method().Estimates());
+  original.Resync();
+  restored.Resync();
+  EXPECT_EQ(restored.method().Estimates(), original.method().Estimates());
+  EXPECT_EQ(restored.method().WorkerQualities(),
+            original.method().WorkerQualities());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIncremental, NumericReplayTest,
+                         ::testing::Values("Mean", "Median"),
+                         [](const auto& info) { return info.param; });
+
+TEST(NumericStreamTest, MedianEstimatesSmallStreams) {
+  NumericStreamEngine engine(MakeIncrementalNumeric("Median", {}),
+                             EngineConfig{});
+  ASSERT_TRUE(engine.Observe("a", "w0", 3.5).ok());
+  ASSERT_TRUE(engine.Observe("a", "w1", 4.5).ok());
+  ASSERT_TRUE(engine.Observe("b", "w0", 10.0).ok());
+  ASSERT_TRUE(engine.Observe("b", "w1", 20.0).ok());
+  ASSERT_TRUE(engine.Observe("b", "w2", 12.0).ok());
+  EXPECT_DOUBLE_EQ(engine.method().Estimate(0), 4.0);
+  EXPECT_DOUBLE_EQ(engine.method().Estimate(1), 12.0);
+}
+
+}  // namespace
+}  // namespace crowdtruth::streaming

@@ -1,0 +1,597 @@
+// crowdtruth_stream: streaming truth inference over append-only answer
+// logs (src/streaming/).
+//
+// Replay a recorded log:
+//
+//   crowdtruth_stream --log=answers.log [--truth=truth.csv] [--method=ZC]
+//       [--num_choices=0] [--resync_interval=1000] [--final_resync=true]
+//       [--local_sweeps=2] [--max_dirty_tasks=32] [--report_interval=0]
+//       [--snapshot_in=s.json] [--snapshot_out=s.json]
+//       [--output=inferred.csv] [--workers_output=workers.csv]
+//       [--json_out=report.json] [--trace] [--seed=42]
+//
+// Or generate the stream live with the online-assignment simulator
+// (categorical profiles only):
+//
+//   crowdtruth_stream --simulate=D_Product [--strategy=uncertainty]
+//       [--budget=0] [--scale=0.1] [--seed=42] [--log_out=answers.log]
+//       [--truth_out=truth.csv] ...
+//
+// The engine ingests one answer at a time (bounded localized
+// re-estimation), resyncs against the batch solver every
+// --resync_interval answers (0 = never), and runs one final resync at end
+// of stream unless --final_resync=false — after which the streamed
+// estimates equal the batch run over the same answers exactly. --trace
+// emits one line per resync via the PR-1 trace machinery;
+// --report_interval=N prints a rolling status line every N answers;
+// --json_out writes the machine-readable run summary including per-answer
+// observe latency percentiles. Snapshots capture the full engine state:
+// restoring one and replaying the same log resumes where it left off
+// (already-seen answers are skipped as duplicates).
+//
+// Streaming methods: MV, ZC, D&S (categorical); Mean, Median (numeric).
+// The log type (header line) selects the domain.
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/trace.h"
+#include "data/answer_log.h"
+#include "simulation/online_assignment.h"
+#include "simulation/profiles.h"
+#include "streaming/engine.h"
+#include "streaming/registry.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/json_writer.h"
+#include "util/table_printer.h"
+
+namespace {
+
+namespace data = crowdtruth::data;
+namespace sim = crowdtruth::sim;
+namespace streaming = crowdtruth::streaming;
+using crowdtruth::util::Flags;
+using crowdtruth::util::JsonValue;
+using crowdtruth::util::Status;
+using crowdtruth::util::TablePrinter;
+
+// One stream element, keyed by string ids; `label` is used for categorical
+// streams, `value` for numeric ones.
+struct StreamRecord {
+  std::string task;
+  std::string worker;
+  data::LabelId label = 0;
+  double value = 0.0;
+};
+
+struct StreamInput {
+  data::AnswerLogType type = data::AnswerLogType::kCategorical;
+  int num_choices = 0;
+  std::vector<StreamRecord> records;
+  std::unordered_map<std::string, data::LabelId> truth_labels;
+  std::unordered_map<std::string, double> truth_values;
+};
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return Status::Ok();
+}
+
+Status LoadTruthCsv(const std::string& path, StreamInput* input) {
+  std::vector<std::vector<std::string>> rows;
+  Status status = crowdtruth::util::ReadCsvFile(path, &rows);
+  if (!status.ok()) return status;
+  if (rows.empty() || rows[0] != std::vector<std::string>{"task", "truth"}) {
+    return Status::ParseError(path + ": expected header \"task,truth\"");
+  }
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() != 2) {
+      return Status::ParseError(path + ": row has " +
+                                std::to_string(rows[i].size()) + " fields");
+    }
+    char* end = nullptr;
+    if (input->type == data::AnswerLogType::kCategorical) {
+      const long label = std::strtol(rows[i][1].c_str(), &end, 10);
+      if (end == rows[i][1].c_str() || *end != '\0' || label < 0) {
+        return Status::ParseError(path + ": bad truth \"" + rows[i][1] +
+                                  "\"");
+      }
+      input->truth_labels[rows[i][0]] = static_cast<data::LabelId>(label);
+    } else {
+      const double value = std::strtod(rows[i][1].c_str(), &end);
+      if (end == rows[i][1].c_str() || *end != '\0') {
+        return Status::ParseError(path + ": bad truth \"" + rows[i][1] +
+                                  "\"");
+      }
+      input->truth_values[rows[i][0]] = value;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LoadLogInput(const Flags& flags, StreamInput* input) {
+  data::AnswerLogReader reader;
+  Status status = reader.Open(flags.Get("log"));
+  if (!status.ok()) return status;
+  input->type = reader.header().type;
+  int max_label = 1;
+  data::AnswerLogRecord record;
+  bool eof = false;
+  while (true) {
+    status = reader.Next(&record, &eof);
+    if (!status.ok()) return status;
+    if (eof) break;
+    StreamRecord parsed;
+    parsed.task = record.task;
+    parsed.worker = record.worker;
+    parsed.label = record.label;
+    parsed.value = record.value;
+    if (record.label > max_label) max_label = record.label;
+    input->records.push_back(std::move(parsed));
+  }
+  if (input->type == data::AnswerLogType::kCategorical) {
+    input->num_choices = flags.GetInt("num_choices") > 0
+                             ? flags.GetInt("num_choices")
+                             : reader.header().num_choices;
+    if (input->num_choices <= 0) input->num_choices = max_label + 1;
+    if (input->num_choices < 2) input->num_choices = 2;
+  }
+  if (!flags.Get("truth").empty()) {
+    return LoadTruthCsv(flags.Get("truth"), input);
+  }
+  return Status::Ok();
+}
+
+Status ParseStrategy(const std::string& name,
+                     sim::AssignmentStrategy* strategy) {
+  if (name == "random") {
+    *strategy = sim::AssignmentStrategy::kRandom;
+  } else if (name == "round_robin") {
+    *strategy = sim::AssignmentStrategy::kRoundRobin;
+  } else if (name == "uncertainty") {
+    *strategy = sim::AssignmentStrategy::kUncertainty;
+  } else {
+    return Status::InvalidArgument(
+        "--strategy must be random, round_robin or uncertainty");
+  }
+  return Status::Ok();
+}
+
+Status SimulateInput(const Flags& flags, StreamInput* input) {
+  const std::string profile = flags.Get("simulate");
+  if (profile == "N_Emotion") {
+    return Status::InvalidArgument(
+        "--simulate supports the categorical profiles only; stream numeric "
+        "answers from a log instead");
+  }
+  sim::CategoricalSimSpec spec = sim::ScaleSpec(
+      sim::CategoricalProfileSpec(profile), flags.GetDouble("scale"));
+  sim::OnlineAssignmentConfig config;
+  Status status = ParseStrategy(flags.Get("strategy"), &config.strategy);
+  if (!status.ok()) return status;
+  config.total_budget = flags.GetInt("budget");
+  if (config.total_budget <= 0) {
+    config.total_budget = spec.num_tasks * spec.assignment.redundancy;
+  }
+  std::vector<sim::OnlineAnswerEvent> events;
+  const data::CategoricalDataset dataset = sim::SimulateOnlineCollection(
+      spec, config, flags.GetInt("seed"), &events);
+
+  input->type = data::AnswerLogType::kCategorical;
+  input->num_choices = spec.num_choices;
+  input->records.reserve(events.size());
+  for (const sim::OnlineAnswerEvent& event : events) {
+    StreamRecord record;
+    record.task = std::to_string(event.task);
+    record.worker = std::to_string(event.worker);
+    record.label = event.label;
+    input->records.push_back(std::move(record));
+  }
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (dataset.HasTruth(t)) {
+      input->truth_labels[std::to_string(t)] = dataset.Truth(t);
+    }
+  }
+
+  if (!flags.Get("log_out").empty()) {
+    data::AnswerLogHeader header;
+    header.type = data::AnswerLogType::kCategorical;
+    header.num_choices = spec.num_choices;
+    data::AnswerLogWriter writer;
+    status = data::AnswerLogWriter::Create(flags.Get("log_out"), header,
+                                           &writer);
+    if (!status.ok()) return status;
+    for (const StreamRecord& record : input->records) {
+      status = writer.Append(record.task, record.worker, record.label);
+      if (!status.ok()) return status;
+    }
+    std::cout << "wrote answer log to " << flags.Get("log_out") << '\n';
+  }
+  if (!flags.Get("truth_out").empty()) {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"task", "truth"});
+    for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+      if (dataset.HasTruth(t)) {
+        rows.push_back(
+            {std::to_string(t), std::to_string(dataset.Truth(t))});
+      }
+    }
+    status = crowdtruth::util::WriteCsvFile(flags.Get("truth_out"), rows);
+    if (!status.ok()) return status;
+    std::cout << "wrote truth to " << flags.Get("truth_out") << '\n';
+  }
+  return Status::Ok();
+}
+
+// Accuracy of the current estimates over tasks with known truth.
+template <typename Engine>
+double CategoricalAccuracy(const Engine& engine, const StreamInput& input,
+                           int* labeled) {
+  int correct = 0;
+  *labeled = 0;
+  const auto& method = engine.method();
+  for (int t = 0; t < method.num_tasks(); ++t) {
+    const auto it = input.truth_labels.find(engine.tasks().Name(t));
+    if (it == input.truth_labels.end()) continue;
+    ++*labeled;
+    if (method.Estimate(t) == it->second) ++correct;
+  }
+  return *labeled == 0 ? 0.0 : static_cast<double>(correct) / *labeled;
+}
+
+template <typename Engine>
+void NumericErrors(const Engine& engine, const StreamInput& input,
+                   int* labeled, double* mae, double* rmse) {
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  *labeled = 0;
+  const auto& method = engine.method();
+  for (int t = 0; t < method.num_tasks(); ++t) {
+    const auto it = input.truth_values.find(engine.tasks().Name(t));
+    if (it == input.truth_values.end()) continue;
+    ++*labeled;
+    const double err = method.Estimate(t) - it->second;
+    abs_sum += std::fabs(err);
+    sq_sum += err * err;
+  }
+  *mae = *labeled == 0 ? 0.0 : abs_sum / *labeled;
+  *rmse = *labeled == 0 ? 0.0 : std::sqrt(sq_sum / *labeled);
+}
+
+Status WriteCsvPairs(
+    const std::string& path, const std::string& value_column,
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    const std::string& key_column = "task") {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({key_column, value_column});
+  for (const auto& [key, value] : pairs) rows.push_back({key, value});
+  return crowdtruth::util::WriteCsvFile(path, rows);
+}
+
+// Drives the replay for either engine flavour. `payload` extracts the
+// answer payload from a record; `quality_line` formats the rolling report.
+template <typename Engine, typename PayloadFn, typename QualityFn>
+int RunStream(const Flags& flags, const StreamInput& input, Engine& engine,
+              PayloadFn payload, QualityFn quality_line) {
+  crowdtruth::core::StreamTraceSink trace(std::cerr);
+  if (flags.GetBool("trace")) engine.set_trace(&trace);
+
+  if (!flags.Get("snapshot_in").empty()) {
+    std::string text;
+    Status status = ReadFileToString(flags.Get("snapshot_in"), &text);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    JsonValue snapshot;
+    status = crowdtruth::util::ParseJson(text, &snapshot);
+    if (!status.ok()) {
+      std::cerr << "error: " << flags.Get("snapshot_in") << ": "
+                << status.ToString() << '\n';
+      return 1;
+    }
+    status = engine.Restore(snapshot);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    std::cout << "restored snapshot: " << engine.stats().answers
+              << " answers already ingested\n";
+  }
+
+  const int report_interval = flags.GetInt("report_interval");
+  int64_t skipped = 0;
+  int64_t replayed = 0;
+  for (const StreamRecord& record : input.records) {
+    const Status status =
+        engine.Observe(record.task, record.worker, payload(record));
+    if (!status.ok()) {
+      // A resumed replay re-reads answers the snapshot already contains.
+      if (status.message().find("duplicate") != std::string::npos) {
+        ++skipped;
+        continue;
+      }
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    ++replayed;
+    if (report_interval > 0 && replayed % report_interval == 0) {
+      std::cout << "[stream] answers=" << engine.stats().answers
+                << quality_line(engine) << " p50_observe="
+                << TablePrinter::Fixed(
+                       engine.stats().observe_latency.Percentile(50.0) * 1e6,
+                       1)
+                << "us resyncs=" << engine.stats().resyncs << '\n';
+    }
+  }
+  if (flags.GetBool("final_resync") && engine.stats().answers > 0) {
+    engine.Resync();
+  }
+
+  std::cout << "stream: " << engine.stats().answers << " answers ("
+            << replayed << " replayed, " << skipped << " skipped), "
+            << engine.method().num_tasks() << " tasks, "
+            << engine.method().num_workers() << " workers\n"
+            << "engine: " << engine.stats().resyncs << " resyncs, "
+            << TablePrinter::Fixed(engine.stats().resync_seconds, 3)
+            << "s resync time, mean observe "
+            << TablePrinter::Fixed(
+                   engine.stats().observe_latency.mean() * 1e6, 1)
+            << "us\n"
+            << "final:" << quality_line(engine) << '\n';
+
+  if (!flags.Get("snapshot_out").empty()) {
+    const Status status = crowdtruth::util::WriteJsonFile(
+        flags.Get("snapshot_out"), engine.Snapshot());
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    std::cout << "wrote snapshot to " << flags.Get("snapshot_out") << '\n';
+  }
+  return 0;
+}
+
+template <typename Engine>
+JsonValue BaseReport(const Flags& flags, const StreamInput& input,
+                     const Engine& engine, const std::string& mode) {
+  JsonValue report = JsonValue::Object();
+  report.Set("tool", "crowdtruth_stream");
+  report.Set("mode", mode);
+  report.Set("type", input.type == data::AnswerLogType::kCategorical
+                         ? "categorical"
+                         : "numeric");
+  report.Set("method", engine.method().name());
+  report.Set("answers", static_cast<int64_t>(engine.stats().answers));
+  report.Set("num_tasks", engine.method().num_tasks());
+  report.Set("num_workers", engine.method().num_workers());
+  report.Set("resync_interval", flags.GetInt("resync_interval"));
+  report.Set("resyncs", engine.stats().resyncs);
+  report.Set("resync_seconds", engine.stats().resync_seconds);
+  report.Set("observe_latency", engine.stats().observe_latency.ToJson());
+  return report;
+}
+
+int FinishWithOutputs(const Flags& flags, JsonValue report,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          estimates,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          worker_rows) {
+  Status status;
+  if (!flags.Get("output").empty()) {
+    status = WriteCsvPairs(flags.Get("output"), "truth", estimates);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    std::cout << "wrote inferred truth to " << flags.Get("output") << '\n';
+  }
+  if (!flags.Get("workers_output").empty()) {
+    status = WriteCsvPairs(flags.Get("workers_output"), "quality",
+                           worker_rows, "worker");
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    std::cout << "wrote worker qualities to " << flags.Get("workers_output")
+              << '\n';
+  }
+  if (!flags.Get("json_out").empty()) {
+    status = crowdtruth::util::WriteJsonFile(flags.Get("json_out"), report);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    std::cout << "wrote run summary to " << flags.Get("json_out") << '\n';
+  }
+  return 0;
+}
+
+streaming::StreamingOptions MakeStreamingOptions(const Flags& flags) {
+  streaming::StreamingOptions options;
+  options.local_sweeps = flags.GetInt("local_sweeps");
+  options.max_dirty_tasks = flags.GetInt("max_dirty_tasks");
+  options.batch.seed = flags.GetInt("seed");
+  return options;
+}
+
+int RunCategorical(const Flags& flags, const StreamInput& input,
+                   const std::string& mode) {
+  std::string method_name = flags.Get("method");
+  if (method_name.empty()) method_name = "ZC";
+  auto method = streaming::MakeIncrementalCategorical(
+      method_name, input.num_choices, MakeStreamingOptions(flags));
+  if (method == nullptr) {
+    std::string names;
+    for (const std::string& name :
+         streaming::IncrementalCategoricalNames()) {
+      names += (names.empty() ? "" : ", ") + name;
+    }
+    std::cerr << "error: no streaming implementation of \"" << method_name
+              << "\" (categorical streaming methods: " << names << ")\n";
+    return 2;
+  }
+  streaming::EngineConfig config;
+  config.resync_interval = flags.GetInt("resync_interval");
+  streaming::CategoricalStreamEngine engine(std::move(method), config);
+
+  const auto quality_line = [&input](
+                                const streaming::CategoricalStreamEngine&
+                                    e) {
+    int labeled = 0;
+    const double accuracy = CategoricalAccuracy(e, input, &labeled);
+    if (labeled == 0) return std::string(" accuracy=n/a");
+    return " accuracy=" + TablePrinter::Percent(accuracy, 2) + " (" +
+           std::to_string(labeled) + " labeled)";
+  };
+  const int exit_code = RunStream(
+      flags, input, engine,
+      [](const StreamRecord& record) { return record.label; },
+      quality_line);
+  if (exit_code != 0) return exit_code;
+
+  JsonValue report = BaseReport(flags, input, engine, mode);
+  report.Set("num_choices", input.num_choices);
+  int labeled = 0;
+  const double accuracy = CategoricalAccuracy(engine, input, &labeled);
+  JsonValue final = JsonValue::Object();
+  final.Set("labeled_tasks", labeled);
+  if (labeled > 0) final.Set("accuracy", accuracy);
+  report.Set("final", std::move(final));
+
+  std::vector<std::pair<std::string, std::string>> estimates;
+  const auto& method_ref = engine.method();
+  estimates.reserve(method_ref.num_tasks());
+  for (int t = 0; t < method_ref.num_tasks(); ++t) {
+    estimates.emplace_back(engine.tasks().Name(t),
+                           std::to_string(method_ref.Estimate(t)));
+  }
+  std::vector<std::pair<std::string, std::string>> workers;
+  workers.reserve(method_ref.num_workers());
+  for (int w = 0; w < method_ref.num_workers(); ++w) {
+    workers.emplace_back(engine.workers().Name(w),
+                         std::to_string(method_ref.WorkerQuality(w)));
+  }
+  return FinishWithOutputs(flags, std::move(report), estimates, workers);
+}
+
+int RunNumeric(const Flags& flags, const StreamInput& input,
+               const std::string& mode) {
+  std::string method_name = flags.Get("method");
+  if (method_name.empty()) method_name = "Mean";
+  auto method = streaming::MakeIncrementalNumeric(method_name,
+                                                  MakeStreamingOptions(flags));
+  if (method == nullptr) {
+    std::string names;
+    for (const std::string& name : streaming::IncrementalNumericNames()) {
+      names += (names.empty() ? "" : ", ") + name;
+    }
+    std::cerr << "error: no streaming implementation of \"" << method_name
+              << "\" (numeric streaming methods: " << names << ")\n";
+    return 2;
+  }
+  streaming::EngineConfig config;
+  config.resync_interval = flags.GetInt("resync_interval");
+  streaming::NumericStreamEngine engine(std::move(method), config);
+
+  const auto quality_line =
+      [&input](const streaming::NumericStreamEngine& e) {
+        int labeled = 0;
+        double mae = 0.0;
+        double rmse = 0.0;
+        NumericErrors(e, input, &labeled, &mae, &rmse);
+        if (labeled == 0) return std::string(" mae=n/a");
+        return " mae=" + TablePrinter::Fixed(mae, 3) +
+               " rmse=" + TablePrinter::Fixed(rmse, 3) + " (" +
+               std::to_string(labeled) + " labeled)";
+      };
+  const int exit_code = RunStream(
+      flags, input, engine,
+      [](const StreamRecord& record) { return record.value; },
+      quality_line);
+  if (exit_code != 0) return exit_code;
+
+  JsonValue report = BaseReport(flags, input, engine, mode);
+  int labeled = 0;
+  double mae = 0.0;
+  double rmse = 0.0;
+  NumericErrors(engine, input, &labeled, &mae, &rmse);
+  JsonValue final = JsonValue::Object();
+  final.Set("labeled_tasks", labeled);
+  if (labeled > 0) {
+    final.Set("mae", mae);
+    final.Set("rmse", rmse);
+  }
+  report.Set("final", std::move(final));
+
+  std::vector<std::pair<std::string, std::string>> estimates;
+  const auto& method_ref = engine.method();
+  estimates.reserve(method_ref.num_tasks());
+  for (int t = 0; t < method_ref.num_tasks(); ++t) {
+    estimates.emplace_back(engine.tasks().Name(t),
+                           std::to_string(method_ref.Estimate(t)));
+  }
+  std::vector<std::pair<std::string, std::string>> workers;
+  workers.reserve(method_ref.num_workers());
+  for (int w = 0; w < method_ref.num_workers(); ++w) {
+    workers.emplace_back(engine.workers().Name(w),
+                         std::to_string(method_ref.WorkerQuality(w)));
+  }
+  return FinishWithOutputs(flags, std::move(report), estimates, workers);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {{"log", ""},
+                     {"truth", ""},
+                     {"method", ""},
+                     {"num_choices", "0"},
+                     {"resync_interval", "1000"},
+                     {"final_resync", "true"},
+                     {"local_sweeps", "2"},
+                     {"max_dirty_tasks", "32"},
+                     {"report_interval", "0"},
+                     {"simulate", ""},
+                     {"strategy", "uncertainty"},
+                     {"budget", "0"},
+                     {"scale", "0.1"},
+                     {"seed", "42"},
+                     {"log_out", ""},
+                     {"truth_out", ""},
+                     {"snapshot_in", ""},
+                     {"snapshot_out", ""},
+                     {"output", ""},
+                     {"workers_output", ""},
+                     {"json_out", ""},
+                     {"trace", "false"}});
+  const bool simulate = !flags.Get("simulate").empty();
+  if (simulate == !flags.Get("log").empty()) {
+    std::cerr << "error: exactly one of --log or --simulate is required\n";
+    return 2;
+  }
+  StreamInput input;
+  const Status status =
+      simulate ? SimulateInput(flags, &input) : LoadLogInput(flags, &input);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << '\n';
+    return status.code() == crowdtruth::util::StatusCode::kInvalidArgument
+               ? 2
+               : 1;
+  }
+  const std::string mode = simulate ? "simulate" : "replay";
+  return input.type == data::AnswerLogType::kCategorical
+             ? RunCategorical(flags, input, mode)
+             : RunNumeric(flags, input, mode);
+}
