@@ -1,8 +1,13 @@
 // Google-benchmark microbenchmarks: per-method inference throughput as a
-// function of dataset size. Complements the wall-clock Time column of the
-// Table 6 reproduction with statistically robust per-method timings, and
-// demonstrates the efficiency ordering of §6.3.1(2): direct computation <
-// light EM/optimization < sampling/variational < gradient-based.
+// function of dataset size and thread count. Complements the wall-clock
+// Time column of the Table 6 reproduction with statistically robust
+// per-method timings, demonstrates the efficiency ordering of §6.3.1(2)
+// (direct computation < light EM/optimization < sampling/variational <
+// gradient-based), and measures the speedup of the EM driver's sharded
+// truth/quality kernels — whose results are bit-identical at any thread
+// count, so the threads axis trades nothing for speed.
+//
+// Benchmark names read BM_Categorical/<method>/<permille>/<threads>.
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -24,9 +29,10 @@ uint64_t ProfileSeedOrDefault(const char* name) {
   return g_seed != 0 ? g_seed : crowdtruth::sim::ProfileSeed(name);
 }
 
-InferenceOptions SeededOptions() {
+InferenceOptions SeededOptions(int num_threads) {
   InferenceOptions options;
   if (g_seed != 0) options.seed = g_seed;
+  options.num_threads = num_threads;
   return options;
 }
 
@@ -51,7 +57,8 @@ void BM_CategoricalMethod(benchmark::State& state,
                           const std::string& method_name) {
   const auto& dataset = DatasetForScale(static_cast<int>(state.range(0)));
   const auto method = MakeCategoricalMethod(method_name);
-  const InferenceOptions options = SeededOptions();
+  const InferenceOptions options =
+      SeededOptions(static_cast<int>(state.range(1)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(method->Infer(dataset, options));
   }
@@ -65,7 +72,8 @@ void BM_NumericMethod(benchmark::State& state,
       crowdtruth::sim::GenerateNumericProfile(
           "N_Emotion", 1.0, ProfileSeedOrDefault("N_Emotion")));
   const auto method = MakeNumericMethod(method_name);
-  const InferenceOptions options = SeededOptions();
+  const InferenceOptions options =
+      SeededOptions(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(method->Infer(dataset, options));
   }
@@ -73,15 +81,18 @@ void BM_NumericMethod(benchmark::State& state,
 }
 
 void RegisterAll() {
-  // Fast methods get a size sweep; slow gradient/sampling methods run at a
-  // single small scale to keep the suite's wall time bounded.
+  // Fast methods get a size sweep at one thread plus a thread sweep at the
+  // largest size; slow gradient/sampling methods run at a single small
+  // scale to keep the suite's wall time bounded.
   for (const char* name : {"MV", "ZC", "D&S", "LFC", "CATD", "PM", "KOS"}) {
     benchmark::RegisterBenchmark(
         (std::string("BM_Categorical/") + name).c_str(),
         [name](benchmark::State& state) { BM_CategoricalMethod(state, name); })
-        ->Arg(50)
-        ->Arg(200)
-        ->Arg(500)
+        ->Args({50, 1})
+        ->Args({200, 1})
+        ->Args({500, 1})
+        ->Args({500, 2})
+        ->Args({500, 4})
         ->Unit(benchmark::kMillisecond);
   }
   for (const char* name :
@@ -89,7 +100,8 @@ void RegisterAll() {
     benchmark::RegisterBenchmark(
         (std::string("BM_Categorical/") + name).c_str(),
         [name](benchmark::State& state) { BM_CategoricalMethod(state, name); })
-        ->Arg(50)
+        ->Args({50, 1})
+        ->Args({50, 4})
         ->Unit(benchmark::kMillisecond)
         ->Iterations(2);
   }
@@ -97,6 +109,8 @@ void RegisterAll() {
     benchmark::RegisterBenchmark(
         (std::string("BM_Numeric/") + name).c_str(),
         [name](benchmark::State& state) { BM_NumericMethod(state, name); })
+        ->Arg(1)
+        ->Arg(4)
         ->Unit(benchmark::kMillisecond);
   }
 }

@@ -1,0 +1,60 @@
+#include "core/em_loop.h"
+
+#include "util/parallel.h"
+
+namespace crowdtruth::core {
+
+void EmContext::ParallelShards(int count,
+                               const std::function<void(int, int)>& fn) const {
+  util::ParallelForSlotted(count, num_threads_, fn);
+}
+
+EmDriver EmDriver::FromOptions(const InferenceOptions& options) {
+  EmDriver driver;
+  driver.max_iterations = options.max_iterations;
+  driver.tolerance = options.tolerance;
+  driver.num_threads = options.num_threads <= 0 ? util::DefaultThreads()
+                                                : options.num_threads;
+  driver.trace = options.trace;
+  return driver;
+}
+
+EmLoopStats RunEmLoop(const EmDriver& driver, const std::vector<EmStep>& steps,
+                      const std::function<double(bool)>& measure) {
+  EmLoopStats stats;
+  IterationTracer tracer(driver.trace);
+  EmContext context(driver.num_threads);
+  for (int iteration = 0; iteration < driver.max_iterations; ++iteration) {
+    context.iteration_ = iteration;
+    tracer.BeginIteration();
+    for (const EmStep& step : steps) {
+      step.run(context);
+      tracer.EndPhase(step.phase);
+    }
+    const bool delta_needed =
+        driver.convergence != EmConvergence::kFixedIterations ||
+        tracer.active();
+    const double delta = measure(delta_needed);
+    stats.iterations = iteration + 1;
+    if (driver.record_trace) stats.convergence_trace.push_back(delta);
+    tracer.EndIteration(stats.iterations, delta);
+    bool converged = false;
+    switch (driver.convergence) {
+      case EmConvergence::kDeltaBelowTolerance:
+        converged = delta < driver.tolerance;
+        break;
+      case EmConvergence::kDeltaIsZero:
+        converged = delta == 0.0;
+        break;
+      case EmConvergence::kFixedIterations:
+        break;
+    }
+    if (converged && stats.iterations >= driver.min_iterations) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace crowdtruth::core

@@ -36,6 +36,14 @@ struct InferenceOptions {
   // Seed for any randomized step (tie-breaking, Gibbs sampling, message
   // initialization). The same seed yields the same result.
   uint64_t seed = 42;
+  // Intra-method data parallelism (core/em_loop.h): the iterative methods'
+  // truth step shards over tasks and their quality step over workers. Each
+  // task's belief and each worker's quality is reduced serially over its
+  // own votes, so results are bit-identical at any thread count. 1 runs
+  // serially; <= 0 resolves to util::DefaultThreads(). The Gibbs samplers
+  // (BCC, CBCC) consume a single sequential RNG stream and always run
+  // their kernels serially.
+  int num_threads = 1;
 
   // Qualification test (§6.3.2). When non-empty, must have one entry per
   // worker. For categorical datasets the entry is the worker's estimated

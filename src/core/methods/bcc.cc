@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
-#include "core/trace.h"
+#include "core/em_loop.h"
 #include "util/rng.h"
 
 namespace crowdtruth::core {
@@ -33,13 +33,21 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> log_weights(l);
 
   const int total_sweeps = burn_in_ + samples_;
-  IterationTracer tracer(options.trace);
+  EmDriver driver = EmDriver::FromOptions(options);
+  driver.convergence = EmConvergence::kFixedIterations;
+  driver.max_iterations = total_sweeps;
+  driver.record_trace = false;
+
   // Previous sweep's assignment, kept only when tracing: the per-sweep
   // "delta" of a Gibbs sampler is the fraction of truth labels that flipped.
   std::vector<data::LabelId> previous_truth;
-  for (int sweep = 0; sweep < total_sweeps; ++sweep) {
-    tracer.BeginIteration();
-    if (tracer.active()) previous_truth = truth;
+
+  // Both kernels run serially: every sample is drawn from the one
+  // sequential RNG stream, so the chain is identical at any thread count.
+  std::vector<EmStep> steps;
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
+    const int sweep = context.iteration();
+    if (options.trace != nullptr) previous_truth = truth;
     // Sample confusion matrices.
     for (data::WorkerId w = 0; w < num_workers; ++w) {
       for (int j = 0; j < l; ++j) {
@@ -70,8 +78,9 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
       log_class[j] = std::log(std::max(class_prior[j], 1e-12));
       if (sweep >= burn_in_) class_prior_sum[j] += class_prior[j];
     }
-    tracer.EndPhase(TracePhase::kQualityStep);
-
+  }});
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    const int sweep = context.iteration();
     // Sample task truths.
     for (data::TaskId t = 0; t < n; ++t) {
       const auto& votes = dataset.AnswersForTask(t);
@@ -85,18 +94,20 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
       truth[t] = rng.CategoricalFromLog(log_weights);
       if (sweep >= burn_in_) marginal[t][truth[t]] += 1.0;
     }
-    tracer.EndPhase(TracePhase::kTruthStep);
-    if (tracer.active()) {
-      int flips = 0;
-      for (data::TaskId t = 0; t < n; ++t) {
-        if (truth[t] != previous_truth[t]) ++flips;
-      }
-      tracer.EndIteration(sweep + 1,
-                          static_cast<double>(flips) / std::max(n, 1));
-    }
-  }
+  }});
 
   CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool delta_needed) {
+                         if (!delta_needed) return 0.0;
+                         int flips = 0;
+                         for (data::TaskId t = 0; t < n; ++t) {
+                           if (truth[t] != previous_truth[t]) ++flips;
+                         }
+                         return static_cast<double>(flips) / std::max(n, 1);
+                       }),
+             &result);
+
   result.iterations = total_sweeps;
   result.converged = true;
   for (data::TaskId t = 0; t < n; ++t) {

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
-#include "core/trace.h"
+#include "core/em_loop.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -55,66 +55,73 @@ CategoricalResult CatdCategorical::Infer(
     }
   }
 
-  CategoricalResult result;
+  EmDriver driver = EmDriver::FromOptions(options);
+  driver.convergence = EmConvergence::kDeltaIsZero;
+  driver.min_iterations = 2;
+
   std::vector<data::LabelId> labels(n, 0);
-  std::vector<double> scores(l);
-  std::vector<int> ties;
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
-    // Truth step: weighted vote.
-    std::vector<data::LabelId> next(n, 0);
-    for (data::TaskId t = 0; t < n; ++t) {
+  std::vector<data::LabelId> next(n, 0);
+  std::vector<std::vector<double>> scores(driver.num_threads,
+                                          std::vector<double>(l));
+  // Tasks whose weighted vote tied; the random tie-break happens in a serial
+  // task-order pass so the RNG stream matches the serial algorithm.
+  std::vector<std::vector<int>> tie_sets(n);
+
+  std::vector<EmStep> steps;
+  // Truth step: weighted vote.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    context.ParallelShards(n, [&](int t, int slot) {
+      tie_sets[t].clear();
       if (golden && options.golden_labels[t] != data::kNoTruth) {
         next[t] = options.golden_labels[t];
-        continue;
+        return;
       }
-      std::fill(scores.begin(), scores.end(), 0.0);
+      std::vector<double>& score = scores[slot];
+      std::fill(score.begin(), score.end(), 0.0);
       for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
-        scores[vote.label] += quality[vote.worker];
+        score[vote.label] += quality[vote.worker];
       }
       double best = -1.0;
-      ties.clear();
+      std::vector<int>& ties = tie_sets[t];
       for (int z = 0; z < l; ++z) {
-        if (scores[z] > best + 1e-12) {
-          best = scores[z];
+        if (score[z] > best + 1e-12) {
+          best = score[z];
           ties.assign(1, z);
-        } else if (std::fabs(scores[z] - best) <= 1e-12) {
+        } else if (std::fabs(score[z] - best) <= 1e-12) {
           ties.push_back(z);
         }
       }
-      next[t] = ties.size() == 1
-                    ? ties[0]
-                    : ties[rng.UniformInt(
-                          0, static_cast<int>(ties.size()) - 1)];
+      if (ties.size() == 1) next[t] = ties[0];
+    });
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (tie_sets[t].size() > 1) {
+        next[t] = tie_sets[t][rng.UniformInt(
+            0, static_cast<int>(tie_sets[t].size()) - 1)];
+      }
     }
-    tracer.EndPhase(TracePhase::kTruthStep);
-
-    // Weight step: confidence-scaled inverse error.
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
+  }});
+  // Weight step: confidence-scaled inverse error.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
+    context.ParallelShards(num_workers, [&](int w, int) {
       double error = 0.0;
       for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
         if (vote.label != next[vote.task]) error += 1.0;
       }
       quality[w] = chi2[w] / (error + kErrorEpsilon);
-    }
-    tracer.EndPhase(TracePhase::kQualityStep);
+    });
+  }});
 
-    result.iterations = iteration + 1;
-    int changed = 0;
-    for (data::TaskId t = 0; t < n; ++t) {
-      if (next[t] != labels[t]) ++changed;
-    }
-    result.convergence_trace.push_back(static_cast<double>(changed) /
-                                       std::max(n, 1));
-    tracer.EndIteration(result.iterations, result.convergence_trace.back());
-    const bool unchanged = iteration > 0 && changed == 0;
-    labels = std::move(next);
-    if (unchanged) {
-      result.converged = true;
-      break;
-    }
-  }
+  CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         int changed = 0;
+                         for (data::TaskId t = 0; t < n; ++t) {
+                           if (next[t] != labels[t]) ++changed;
+                         }
+                         labels = next;
+                         return static_cast<double>(changed) / std::max(n, 1);
+                       }),
+             &result);
 
   result.labels = std::move(labels);
   result.worker_quality = std::move(quality);
@@ -142,16 +149,21 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
     }
   }
 
-  NumericResult result;
+  EmDriver driver = EmDriver::FromOptions(options);
+  driver.min_iterations = 2;
+
   std::vector<double> values = MeanValues(dataset, options);
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
-    // Truth step: weighted mean.
-    std::vector<double> next(n, 0.0);
-    for (data::TaskId t = 0; t < n; ++t) {
+  std::vector<double> next(n, 0.0);
+
+  std::vector<EmStep> steps;
+  // Truth step: weighted mean.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    context.ParallelShards(n, [&](int t, int) {
       const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
+      if (votes.empty()) {
+        next[t] = 0.0;
+        return;
+      }
       double weighted_sum = 0.0;
       double weight_total = 0.0;
       for (const data::NumericTaskVote& vote : votes) {
@@ -160,34 +172,33 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
         weight_total += weight;
       }
       next[t] = weighted_sum / weight_total;
-    }
+    });
     ClampGoldenValues(dataset, options, next);
-    tracer.EndPhase(TracePhase::kTruthStep);
-
-    // Weight step.
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
+  }});
+  // Weight step.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
+    context.ParallelShards(num_workers, [&](int w, int) {
       double error = 0.0;
       for (const data::NumericWorkerVote& vote : dataset.AnswersByWorker(w)) {
         const double err = vote.value - next[vote.task];
         error += err * err;
       }
       quality[w] = chi2[w] / (error + kErrorEpsilon);
-    }
-    tracer.EndPhase(TracePhase::kQualityStep);
+    });
+  }});
 
-    double change = 0.0;
-    for (data::TaskId t = 0; t < n; ++t) {
-      change = std::max(change, std::fabs(next[t] - values[t]));
-    }
-    values = std::move(next);
-    result.convergence_trace.push_back(change);
-    result.iterations = iteration + 1;
-    tracer.EndIteration(result.iterations, change);
-    if (iteration > 0 && change < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  NumericResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         double change = 0.0;
+                         for (data::TaskId t = 0; t < n; ++t) {
+                           change =
+                               std::max(change, std::fabs(next[t] - values[t]));
+                         }
+                         values = next;
+                         return change;
+                       }),
+             &result);
 
   result.values = std::move(values);
   result.worker_quality = std::move(quality);

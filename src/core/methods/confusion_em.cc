@@ -4,7 +4,7 @@
 #include <cmath>
 #include <vector>
 
-#include "core/trace.h"
+#include "core/em_loop.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -30,61 +30,49 @@ ConfusionMatrices MatricesFromInitialQuality(
   return matrices;
 }
 
-void MStep(const data::CategoricalDataset& dataset, const Posterior& posterior,
-           const ConfusionEmConfig& config, ConfusionMatrices& matrices,
-           std::vector<double>& class_prior) {
+// M-step half for one worker: confusion matrix from expected co-occurrence
+// counts over the worker's own votes.
+void EstimateWorkerMatrix(const data::CategoricalDataset& dataset,
+                          const Posterior& posterior,
+                          const ConfusionEmConfig& config, data::WorkerId w,
+                          std::vector<double>& matrix) {
   const int l = dataset.num_choices();
-
-  // Class prior from expected class counts.
-  std::fill(class_prior.begin(), class_prior.end(), config.prior_class);
-  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
-    if (dataset.AnswersForTask(t).empty()) continue;
-    for (int j = 0; j < l; ++j) class_prior[j] += posterior[t][j];
+  for (int j = 0; j < l; ++j) {
+    for (int k = 0; k < l; ++k) {
+      matrix[j * l + k] =
+          config.smoothing + (j == k ? config.prior_diag : config.prior_off);
+    }
   }
-  double prior_total = 0.0;
-  for (double p : class_prior) prior_total += p;
-  for (double& p : class_prior) p /= prior_total;
-
-  // Confusion matrices from expected co-occurrence counts.
-  for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
-    auto& matrix = matrices[w];
+  for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
     for (int j = 0; j < l; ++j) {
-      for (int k = 0; k < l; ++k) {
-        matrix[j * l + k] =
-            config.smoothing + (j == k ? config.prior_diag : config.prior_off);
-      }
+      matrix[j * l + vote.label] += posterior[vote.task][j];
     }
-    for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
-      for (int j = 0; j < l; ++j) {
-        matrix[j * l + vote.label] += posterior[vote.task][j];
-      }
-    }
-    for (int j = 0; j < l; ++j) {
-      double row_total = 0.0;
-      for (int k = 0; k < l; ++k) row_total += matrix[j * l + k];
-      for (int k = 0; k < l; ++k) matrix[j * l + k] /= row_total;
-    }
+  }
+  for (int j = 0; j < l; ++j) {
+    double row_total = 0.0;
+    for (int k = 0; k < l; ++k) row_total += matrix[j * l + k];
+    for (int k = 0; k < l; ++k) matrix[j * l + k] /= row_total;
   }
 }
 
-void EStep(const data::CategoricalDataset& dataset,
-           const ConfusionMatrices& matrices,
-           const std::vector<double>& class_prior, Posterior& posterior) {
+// E-step half for one task, via scratch `log_belief`. Shared between the
+// pre-loop qualification pass and the truth kernel.
+void EstimateTaskBelief(const data::CategoricalDataset& dataset,
+                        const ConfusionMatrices& matrices,
+                        const std::vector<double>& class_prior, data::TaskId t,
+                        std::vector<double>& log_belief, Posterior& posterior) {
   const int l = dataset.num_choices();
-  std::vector<double> log_belief(l);
-  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
-    const auto& votes = dataset.AnswersForTask(t);
-    if (votes.empty()) continue;
-    for (int j = 0; j < l; ++j) log_belief[j] = std::log(class_prior[j]);
-    for (const data::TaskVote& vote : votes) {
-      const auto& matrix = matrices[vote.worker];
-      for (int j = 0; j < l; ++j) {
-        log_belief[j] += std::log(matrix[j * l + vote.label]);
-      }
+  const auto& votes = dataset.AnswersForTask(t);
+  if (votes.empty()) return;
+  for (int j = 0; j < l; ++j) log_belief[j] = std::log(class_prior[j]);
+  for (const data::TaskVote& vote : votes) {
+    const auto& matrix = matrices[vote.worker];
+    for (int j = 0; j < l; ++j) {
+      log_belief[j] += std::log(matrix[j * l + vote.label]);
     }
-    util::SoftmaxInPlace(log_belief);
-    posterior[t] = log_belief;
   }
+  util::SoftmaxInPlace(log_belief);
+  posterior[t] = log_belief;
 }
 
 }  // namespace
@@ -92,6 +80,7 @@ void EStep(const data::CategoricalDataset& dataset,
 CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,
                                  const InferenceOptions& options,
                                  const ConfusionEmConfig& config) {
+  const int n = dataset.num_tasks();
   const int l = dataset.num_choices();
   const int num_workers = dataset.num_workers();
   util::Rng rng(options.seed);
@@ -101,35 +90,57 @@ CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,
                              std::vector<double>(l * l, 1.0 / l));
   std::vector<double> class_prior(l, 1.0 / l);
 
+  const EmDriver driver = EmDriver::FromOptions(options);
+  std::vector<std::vector<double>> log_belief(driver.num_threads,
+                                              std::vector<double>(l));
+
   // Qualification test: the initial E-step runs with matrices built from
   // the supplied accuracies instead of a vote-count M-step.
   if (!options.initial_worker_quality.empty()) {
     matrices = MatricesFromInitialQuality(options.initial_worker_quality,
                                           num_workers, l);
-    EStep(dataset, matrices, class_prior, posterior);
+    for (data::TaskId t = 0; t < n; ++t) {
+      EstimateTaskBelief(dataset, matrices, class_prior, t, log_belief[0],
+                         posterior);
+    }
     ClampGolden(dataset, options, posterior);
   }
 
-  CategoricalResult result;
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
-    MStep(dataset, posterior, config, matrices, class_prior);
-    tracer.EndPhase(TracePhase::kQualityStep);
-    Posterior next = posterior;
-    EStep(dataset, matrices, class_prior, next);
-    ClampGolden(dataset, options, next);
-    const double change = MaxAbsDiff(posterior, next);
-    tracer.EndPhase(TracePhase::kTruthStep);
-    posterior = std::move(next);
-    result.convergence_trace.push_back(change);
-    result.iterations = iteration + 1;
-    tracer.EndIteration(result.iterations, change);
-    if (change < options.tolerance) {
-      result.converged = true;
-      break;
+  Posterior next;
+  std::vector<EmStep> steps;
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
+    // Class prior from expected class counts: a short serial reduce over
+    // tasks (the parallel payoff is in the per-worker matrices below).
+    std::fill(class_prior.begin(), class_prior.end(), config.prior_class);
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (dataset.AnswersForTask(t).empty()) continue;
+      for (int j = 0; j < l; ++j) class_prior[j] += posterior[t][j];
     }
-  }
+    double prior_total = 0.0;
+    for (double p : class_prior) prior_total += p;
+    for (double& p : class_prior) p /= prior_total;
+
+    context.ParallelShards(num_workers, [&](int w, int) {
+      EstimateWorkerMatrix(dataset, posterior, config, w, matrices[w]);
+    });
+  }});
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    next = posterior;
+    context.ParallelShards(n, [&](int t, int slot) {
+      EstimateTaskBelief(dataset, matrices, class_prior, t, log_belief[slot],
+                         next);
+    });
+    ClampGolden(dataset, options, next);
+  }});
+
+  CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         const double change = MaxAbsDiff(posterior, next);
+                         posterior = std::move(next);
+                         return change;
+                       }),
+             &result);
 
   result.labels = ArgmaxLabels(posterior, rng);
   result.worker_quality.assign(num_workers, 0.0);

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
-#include "core/trace.h"
+#include "core/em_loop.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -51,31 +51,44 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
     task_scale[t] = 1.0 / std::max<size_t>(dataset.AnswersForTask(t).size(), 1);
   }
 
-  CategoricalResult result;
-  std::vector<double> log_belief(l);
+  const EmDriver driver = EmDriver::FromOptions(options);
+  std::vector<std::vector<double>> log_belief(driver.num_threads,
+                                              std::vector<double>(l));
   std::vector<double> grad_alpha(num_workers);
   std::vector<double> grad_b(n);
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
-    // M-step: gradient ascent on the expected complete log-likelihood.
+  Posterior next;
+
+  std::vector<EmStep> steps;
+  // M-step: gradient ascent on the expected complete log-likelihood. Both
+  // gradients are sharded by the parameter they update — grad_alpha[w]
+  // reduces over the worker's own answers, grad_b[t] over the task's — so
+  // each shard owns its accumulator and the reduction order per parameter
+  // is fixed regardless of thread count.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     for (int step = 0; step < gradient_steps_; ++step) {
-      // Gaussian priors contribute (mean - value) to each gradient.
-      for (data::WorkerId w = 0; w < num_workers; ++w) {
-        grad_alpha[w] = 0.2 * (1.0 - alpha[w]);
-      }
-      for (data::TaskId t = 0; t < n; ++t) grad_b[t] = 0.2 * (1.0 - b[t]);
-      for (data::TaskId t = 0; t < n; ++t) {
+      context.ParallelShards(num_workers, [&](int w, int) {
+        // Gaussian prior contributes (mean - value) to the gradient.
+        double grad = 0.2 * (1.0 - alpha[w]);
+        for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+          const double beta = std::exp(b[vote.task]);
+          const double p_correct = posterior[vote.task][vote.label];
+          const double sigma = util::Sigmoid(alpha[w] * beta);
+          // d/d(alpha*beta) of the expected log-likelihood per answer.
+          grad += (p_correct - sigma) * beta * worker_scale[w];
+        }
+        grad_alpha[w] = grad;
+      });
+      context.ParallelShards(n, [&](int t, int) {
+        double grad = 0.2 * (1.0 - b[t]);
         const double beta = std::exp(b[t]);
         for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
           const double p_correct = posterior[t][vote.label];
           const double sigma = util::Sigmoid(alpha[vote.worker] * beta);
-          // d/d(alpha*beta) of the expected log-likelihood per answer.
-          const double core = p_correct - sigma;
-          grad_alpha[vote.worker] += core * beta * worker_scale[vote.worker];
-          grad_b[t] += core * alpha[vote.worker] * beta * task_scale[t];
+          grad += (p_correct - sigma) * alpha[vote.worker] * beta *
+                  task_scale[t];
         }
-      }
+        grad_b[t] = grad;
+      });
       for (data::WorkerId w = 0; w < num_workers; ++w) {
         alpha[w] = std::clamp(alpha[w] + learning_rate_ * grad_alpha[w],
                               -8.0, 8.0);
@@ -84,39 +97,38 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
         b[t] = std::clamp(b[t] + learning_rate_ * grad_b[t], -4.0, 4.0);
       }
     }
-    tracer.EndPhase(TracePhase::kQualityStep);
-
-    // E-step: recompute the belief.
-    Posterior next = posterior;
-    for (data::TaskId t = 0; t < n; ++t) {
+  }});
+  // E-step: recompute the belief.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    next = posterior;
+    context.ParallelShards(n, [&](int t, int slot) {
       const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
+      if (votes.empty()) return;
       const double beta = std::exp(b[t]);
-      std::fill(log_belief.begin(), log_belief.end(), 0.0);
+      std::vector<double>& belief = log_belief[slot];
+      std::fill(belief.begin(), belief.end(), 0.0);
       for (const data::TaskVote& vote : votes) {
         const double sigma = util::Sigmoid(alpha[vote.worker] * beta);
         const double log_right = SafeLog(sigma);
         const double log_wrong = SafeLog((1.0 - sigma) / (l - 1));
         for (int z = 0; z < l; ++z) {
-          log_belief[z] += vote.label == z ? log_right : log_wrong;
+          belief[z] += vote.label == z ? log_right : log_wrong;
         }
       }
-      util::SoftmaxInPlace(log_belief);
-      next[t] = log_belief;
-    }
+      util::SoftmaxInPlace(belief);
+      next[t] = belief;
+    });
     ClampGolden(dataset, options, next);
+  }});
 
-    const double change = MaxAbsDiff(posterior, next);
-    tracer.EndPhase(TracePhase::kTruthStep);
-    posterior = std::move(next);
-    result.convergence_trace.push_back(change);
-    result.iterations = iteration + 1;
-    tracer.EndIteration(result.iterations, change);
-    if (change < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         const double change = MaxAbsDiff(posterior, next);
+                         posterior = std::move(next);
+                         return change;
+                       }),
+             &result);
 
   result.labels = ArgmaxLabels(posterior, rng);
   result.posterior = std::move(posterior);

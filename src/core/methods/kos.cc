@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
-#include "core/trace.h"
+#include "core/em_loop.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -49,39 +49,51 @@ CategoricalResult Kos::Infer(const data::CategoricalDataset& dataset,
     }
   };
 
-  IterationTracer tracer(options.trace);
+  EmDriver driver = EmDriver::FromOptions(options);
+  driver.convergence = EmConvergence::kFixedIterations;
+  driver.max_iterations = message_rounds_;
+  driver.record_trace = false;
+
   // Kept only when tracing: per-round delta = max worker-message change
   // after renormalization.
   std::vector<double> previous_y;
-  for (int round = 0; round < message_rounds_; ++round) {
-    tracer.BeginIteration();
-    if (tracer.active()) previous_y = y;
-    // Task -> worker: exclude the receiving edge's own contribution.
-    for (data::TaskId t = 0; t < n; ++t) {
+
+  std::vector<EmStep> steps;
+  // Task -> worker: exclude the receiving edge's own contribution. Each
+  // task writes x only on its own edges.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    if (options.trace != nullptr) previous_y = y;
+    context.ParallelShards(n, [&](int t, int) {
       double total = 0.0;
       for (int e : task_edges[t]) total += edges[e].spin * y[e];
       for (int e : task_edges[t]) x[e] = total - edges[e].spin * y[e];
-    }
-    tracer.EndPhase(TracePhase::kTruthStep);
-    // Worker -> task: likewise.
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
+    });
+  }});
+  // Worker -> task: likewise, each worker owns its edges' y entries. The
+  // renormalization is a cheap whole-array pass kept serial.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
+    context.ParallelShards(num_workers, [&](int w, int) {
       double total = 0.0;
       for (int e : worker_edges[w]) total += edges[e].spin * x[e];
       for (int e : worker_edges[w]) y[e] = total - edges[e].spin * x[e];
-    }
+    });
     renormalize(x);
     renormalize(y);
-    tracer.EndPhase(TracePhase::kQualityStep);
-    if (tracer.active()) {
-      double change = 0.0;
-      for (size_t e = 0; e < y.size(); ++e) {
-        change = std::max(change, std::fabs(y[e] - previous_y[e]));
-      }
-      tracer.EndIteration(round + 1, change);
-    }
-  }
+  }});
 
   CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool delta_needed) {
+                         if (!delta_needed) return 0.0;
+                         double change = 0.0;
+                         for (size_t e = 0; e < y.size(); ++e) {
+                           change = std::max(change,
+                                             std::fabs(y[e] - previous_y[e]));
+                         }
+                         return change;
+                       }),
+             &result);
+
   result.labels.assign(n, 0);
   for (data::TaskId t = 0; t < n; ++t) {
     double score = 0.0;

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
-#include "core/trace.h"
+#include "core/em_loop.h"
 
 namespace crowdtruth::core {
 
@@ -38,12 +38,13 @@ NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
     ClampGoldenValues(dataset, options, values);
   }
 
-  NumericResult result;
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
-    // Variance step.
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
+  const EmDriver driver = EmDriver::FromOptions(options);
+  std::vector<double> next(n, 0.0);
+
+  std::vector<EmStep> steps;
+  // Variance step.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
+    context.ParallelShards(num_workers, [&](int w, int) {
       const auto& votes = dataset.AnswersByWorker(w);
       double sum_sq = 0.0;
       for (const data::NumericWorkerVote& vote : votes) {
@@ -51,14 +52,16 @@ NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
         sum_sq += err * err;
       }
       variance[w] = (prior_b_ + sum_sq) / (prior_a_ + votes.size());
-    }
-    tracer.EndPhase(TracePhase::kQualityStep);
-
-    // Truth step: precision-weighted mean.
-    std::vector<double> next(n, 0.0);
-    for (data::TaskId t = 0; t < n; ++t) {
+    });
+  }});
+  // Truth step: precision-weighted mean.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    context.ParallelShards(n, [&](int t, int) {
       const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
+      if (votes.empty()) {
+        next[t] = 0.0;
+        return;
+      }
       double weighted_sum = 0.0;
       double weight_total = 0.0;
       for (const data::NumericTaskVote& vote : votes) {
@@ -67,23 +70,22 @@ NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
         weight_total += weight;
       }
       next[t] = weighted_sum / weight_total;
-    }
+    });
     ClampGoldenValues(dataset, options, next);
-    tracer.EndPhase(TracePhase::kTruthStep);
+  }});
 
-    double change = 0.0;
-    for (data::TaskId t = 0; t < n; ++t) {
-      change = std::max(change, std::fabs(next[t] - values[t]));
-    }
-    values = std::move(next);
-    result.convergence_trace.push_back(change);
-    result.iterations = iteration + 1;
-    tracer.EndIteration(result.iterations, change);
-    if (change < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  NumericResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         double change = 0.0;
+                         for (data::TaskId t = 0; t < n; ++t) {
+                           change =
+                               std::max(change, std::fabs(next[t] - values[t]));
+                         }
+                         values = next;
+                         return change;
+                       }),
+             &result);
 
   result.values = std::move(values);
   // Quality summary: negative standard deviation (higher = better).

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
-#include "core/trace.h"
+#include "core/em_loop.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -59,24 +59,26 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> grad_tau(static_cast<size_t>(n) * l);
   std::vector<std::vector<double>> grad_sigma(
       num_workers, std::vector<double>(l * l));
-  std::vector<double> p(l);
-  std::vector<double> log_belief(l);
 
-  CategoricalResult result;
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
-    // Parameter update: gradient ascent on the expected log-likelihood.
+  const EmDriver driver = EmDriver::FromOptions(options);
+  std::vector<std::vector<double>> p_scratch(driver.num_threads,
+                                             std::vector<double>(l));
+  std::vector<std::vector<double>> log_belief(driver.num_threads,
+                                              std::vector<double>(l));
+  Posterior next;
+
+  std::vector<EmStep> steps;
+  // Parameter update: gradient ascent on the expected log-likelihood.
+  // grad_tau shards by task and grad_sigma by worker, so each accumulator
+  // is owned by exactly one shard.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     for (int step = 0; step < gradient_steps_; ++step) {
-      for (size_t i = 0; i < grad_tau.size(); ++i) {
-        grad_tau[i] = -regularization_tau_ * tau[i];
-      }
-      for (data::WorkerId w = 0; w < num_workers; ++w) {
-        for (int jk = 0; jk < l * l; ++jk) {
-          grad_sigma[w][jk] = -regularization_sigma_ * sigma[w][jk];
+      context.ParallelShards(n, [&](int t, int slot) {
+        std::vector<double>& p = p_scratch[slot];
+        double* gt = &grad_tau[static_cast<size_t>(t) * l];
+        for (int k = 0; k < l; ++k) {
+          gt[k] = -regularization_tau_ * tau[static_cast<size_t>(t) * l + k];
         }
-      }
-      for (data::TaskId t = 0; t < n; ++t) {
         for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
           for (int j = 0; j < l; ++j) {
             const double weight = labels[t][j];
@@ -86,13 +88,31 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
             for (int k = 0; k < l; ++k) {
               const double g =
                   weight * ((vote.label == k ? 1.0 : 0.0) - p[k]);
-              grad_tau[static_cast<size_t>(t) * l + k] += g * task_scale[t];
-              grad_sigma[vote.worker][j * l + k] +=
-                  g * worker_scale[vote.worker];
+              gt[k] += g * task_scale[t];
             }
           }
         }
-      }
+      });
+      context.ParallelShards(num_workers, [&](int w, int slot) {
+        std::vector<double>& p = p_scratch[slot];
+        for (int jk = 0; jk < l * l; ++jk) {
+          grad_sigma[w][jk] = -regularization_sigma_ * sigma[w][jk];
+        }
+        for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+          const data::TaskId t = vote.task;
+          for (int j = 0; j < l; ++j) {
+            const double weight = labels[t][j];
+            if (weight < 1e-9) continue;
+            AnswerDistribution(&tau[static_cast<size_t>(t) * l],
+                               &sigma[w][j * l], l, p);
+            for (int k = 0; k < l; ++k) {
+              const double g =
+                  weight * ((vote.label == k ? 1.0 : 0.0) - p[k]);
+              grad_sigma[w][j * l + k] += g * worker_scale[w];
+            }
+          }
+        }
+      });
       for (size_t i = 0; i < tau.size(); ++i) {
         tau[i] += learning_rate_ * grad_tau[i];
       }
@@ -102,12 +122,12 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
         }
       }
     }
-    tracer.EndPhase(TracePhase::kQualityStep);
-
-    // Label update. A smoothed class prior estimated from the current
-    // labels anchors the classes — without it, heavily imbalanced data
-    // (D_Product's 12:88 split) lets the per-class sigma rows drift into
-    // label-swapped solutions.
+  }});
+  // Label update. A smoothed class prior estimated from the current
+  // labels anchors the classes — without it, heavily imbalanced data
+  // (D_Product's 12:88 split) lets the per-class sigma rows drift into
+  // label-swapped solutions.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
     std::vector<double> log_prior(l);
     {
       std::vector<double> class_mass(l, 1.0);
@@ -121,37 +141,38 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
         log_prior[j] = std::log(class_mass[j] / total_mass);
       }
     }
-    Posterior next = labels;
-    for (data::TaskId t = 0; t < n; ++t) {
+    next = labels;
+    context.ParallelShards(n, [&](int t, int slot) {
       const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
-      log_belief = log_prior;
+      if (votes.empty()) return;
+      std::vector<double>& p = p_scratch[slot];
+      std::vector<double>& belief = log_belief[slot];
+      belief = log_prior;
       for (const data::TaskVote& vote : votes) {
         for (int j = 0; j < l; ++j) {
           AnswerDistribution(&tau[static_cast<size_t>(t) * l],
                              &sigma[vote.worker][j * l], l, p);
-          log_belief[j] += std::log(std::max(p[vote.label], 1e-12));
+          belief[j] += std::log(std::max(p[vote.label], 1e-12));
         }
       }
-      util::SoftmaxInPlace(log_belief);
-      next[t] = log_belief;
-    }
+      util::SoftmaxInPlace(belief);
+      next[t] = belief;
+    });
     ClampGolden(dataset, options, next);
+  }});
 
-    const double change = MaxAbsDiff(labels, next);
-    tracer.EndPhase(TracePhase::kTruthStep);
-    labels = std::move(next);
-    result.convergence_trace.push_back(change);
-    result.iterations = iteration + 1;
-    tracer.EndIteration(result.iterations, change);
-    if (change < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         const double change = MaxAbsDiff(labels, next);
+                         labels = std::move(next);
+                         return change;
+                       }),
+             &result);
 
   result.labels = ArgmaxLabels(labels, rng);
   result.worker_quality.assign(num_workers, 0.0);
+  std::vector<double> p(l);
   for (data::WorkerId w = 0; w < num_workers; ++w) {
     // Average probability of answering correctly, by class, ignoring
     // task-side tendencies.

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
-#include "core/trace.h"
+#include "core/em_loop.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
@@ -62,30 +62,30 @@ CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
         1.0 / std::max<size_t>(dataset.AnswersForTask(t).size(), 1);
   }
 
+  EmDriver driver = EmDriver::FromOptions(options);
+  driver.convergence = EmConvergence::kDeltaIsZero;
+  driver.min_iterations = 2;
+  driver.record_trace = false;
+
   std::vector<data::LabelId> labels(n, 0);
-  CategoricalResult result;
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
+  std::vector<data::LabelId> next(n, 0);
+  std::vector<std::vector<double>> grad_x(n, std::vector<double>(k, 0.0));
+  std::vector<std::vector<double>> grad_u(num_workers,
+                                          std::vector<double>(k, 0.0));
+  std::vector<double> grad_tau(num_workers, 0.0);
+  // Tasks whose decode score was exactly zero take a coin-flip label; the
+  // draw happens in a serial task-order pass to preserve the RNG stream.
+  std::vector<char> coin_flip(n, 0);
+
+  std::vector<EmStep> steps;
+  // Gradient of the penalized logistic log-likelihood. grad_x shards by
+  // task, grad_u / grad_tau by worker.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     for (int step = 0; step < gradient_steps_; ++step) {
-      // Gradient of the penalized logistic log-likelihood.
-      std::vector<std::vector<double>> grad_x(n, std::vector<double>(k, 0.0));
-      std::vector<std::vector<double>> grad_u(num_workers,
-                                              std::vector<double>(k, 0.0));
-      std::vector<double> grad_tau(num_workers, 0.0);
-      for (data::TaskId t = 0; t < n; ++t) {
+      context.ParallelShards(n, [&](int t, int) {
         for (int d = 0; d < k; ++d) {
-          grad_x[t][d] -= kLambdaX * x[t][d] * task_scale[t];
+          grad_x[t][d] = -kLambdaX * x[t][d] * task_scale[t];
         }
-      }
-      for (data::WorkerId w = 0; w < num_workers; ++w) {
-        grad_u[w][0] -= kLambdaU * (u[w][0] - 1.0) * worker_scale[w];
-        for (int d = 1; d < k; ++d) {
-          grad_u[w][d] -= kLambdaU * u[w][d] * worker_scale[w];
-        }
-        grad_tau[w] -= kLambdaTau * tau[w] * worker_scale[w];
-      }
-      for (data::TaskId t = 0; t < n; ++t) {
         for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
           const data::WorkerId w = vote.worker;
           double score = -tau[w];
@@ -96,11 +96,28 @@ CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
               spin * (1.0 - util::Sigmoid(spin * score));
           for (int d = 0; d < k; ++d) {
             grad_x[t][d] += coefficient * u[w][d] * task_scale[t];
+          }
+        }
+      });
+      context.ParallelShards(num_workers, [&](int w, int) {
+        grad_u[w][0] = -kLambdaU * (u[w][0] - 1.0) * worker_scale[w];
+        for (int d = 1; d < k; ++d) {
+          grad_u[w][d] = -kLambdaU * u[w][d] * worker_scale[w];
+        }
+        grad_tau[w] = -kLambdaTau * tau[w] * worker_scale[w];
+        for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
+          const data::TaskId t = vote.task;
+          double score = -tau[w];
+          for (int d = 0; d < k; ++d) score += u[w][d] * x[t][d];
+          const double spin = vote.label == 0 ? 1.0 : -1.0;
+          const double coefficient =
+              spin * (1.0 - util::Sigmoid(spin * score));
+          for (int d = 0; d < k; ++d) {
             grad_u[w][d] += coefficient * x[t][d] * worker_scale[w];
           }
           grad_tau[w] -= coefficient * worker_scale[w];
         }
-      }
+      });
       for (data::TaskId t = 0; t < n; ++t) {
         for (int d = 0; d < k; ++d) {
           x[t][d] += learning_rate_ * grad_x[t][d];
@@ -113,46 +130,43 @@ CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
         tau[w] += learning_rate_ * grad_tau[w];
       }
     }
-    tracer.EndPhase(TracePhase::kQualityStep);
-
-    // Decode truth: project each task onto the mean worker direction.
+  }});
+  // Decode truth: project each task onto the mean worker direction.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
     std::vector<double> mean_u(k, 0.0);
     for (data::WorkerId w = 0; w < num_workers; ++w) {
       for (int d = 0; d < k; ++d) mean_u[d] += u[w][d];
     }
     for (int d = 0; d < k; ++d) mean_u[d] /= std::max(num_workers, 1);
 
-    std::vector<data::LabelId> next(n, 0);
-    for (data::TaskId t = 0; t < n; ++t) {
+    context.ParallelShards(n, [&](int t, int) {
       double score = 0.0;
       for (int d = 0; d < k; ++d) score += mean_u[d] * x[t][d];
+      coin_flip[t] = 0;
       if (score > 0.0) {
         next[t] = 0;
       } else if (score < 0.0) {
         next[t] = 1;
       } else {
-        next[t] = rng.UniformInt(0, 1);
+        coin_flip[t] = 1;
       }
+    });
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (coin_flip[t]) next[t] = rng.UniformInt(0, 1);
     }
+  }});
 
-    tracer.EndPhase(TracePhase::kTruthStep);
-
-    result.iterations = iteration + 1;
-    if (tracer.active()) {
-      int flips = 0;
-      for (data::TaskId t = 0; t < n; ++t) {
-        if (next[t] != labels[t]) ++flips;
-      }
-      tracer.EndIteration(result.iterations,
-                          static_cast<double>(flips) / std::max(n, 1));
-    }
-    const bool unchanged = iteration > 0 && next == labels;
-    labels = std::move(next);
-    if (unchanged) {
-      result.converged = true;
-      break;
-    }
-  }
+  CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         int flips = 0;
+                         for (data::TaskId t = 0; t < n; ++t) {
+                           if (next[t] != labels[t]) ++flips;
+                         }
+                         labels = next;
+                         return static_cast<double>(flips) / std::max(n, 1);
+                       }),
+             &result);
 
   // Worker quality: projection of the worker's direction onto the
   // consensus direction (negative = adversarial, ~0 = spammer).

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
-#include "core/trace.h"
+#include "core/em_loop.h"
 #include "util/rng.h"
 
 namespace crowdtruth::core {
@@ -46,75 +46,83 @@ CategoricalResult PmCategorical::Infer(
     }
   }
 
-  CategoricalResult result;
+  EmDriver driver = EmDriver::FromOptions(options);
+  driver.convergence = EmConvergence::kDeltaIsZero;
+  driver.min_iterations = 2;
+
   std::vector<data::LabelId> labels(n, 0);
-  std::vector<double> scores(l);
-  std::vector<int> ties;
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
-    // Step 1: weighted vote per task.
-    std::vector<data::LabelId> next(n, 0);
-    for (data::TaskId t = 0; t < n; ++t) {
+  std::vector<data::LabelId> next(n, 0);
+  std::vector<double> errors(num_workers, 0.0);
+  std::vector<std::vector<double>> scores(driver.num_threads,
+                                          std::vector<double>(l));
+  // Tasks whose weighted vote tied (rare); the random tie-break happens in a
+  // serial task-order pass so the RNG stream matches the serial algorithm.
+  std::vector<std::vector<int>> tie_sets(n);
+
+  std::vector<EmStep> steps;
+  // Step 1: weighted vote per task.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    context.ParallelShards(n, [&](int t, int slot) {
+      tie_sets[t].clear();
       if (golden && options.golden_labels[t] != data::kNoTruth) {
         next[t] = options.golden_labels[t];
-        continue;
+        return;
       }
-      std::fill(scores.begin(), scores.end(), 0.0);
+      std::vector<double>& score = scores[slot];
+      std::fill(score.begin(), score.end(), 0.0);
       double score_total = 0.0;
       for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
-        scores[vote.label] += quality[vote.worker];
+        score[vote.label] += quality[vote.worker];
         score_total += quality[vote.worker];
       }
       if (score_total <= 0.0) {
         // All weights are zero ("everyone is equally bad"): degrade to an
         // unweighted vote rather than a uniformly random choice.
         for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
-          scores[vote.label] += 1.0;
+          score[vote.label] += 1.0;
         }
       }
       double best = -1.0;
-      ties.clear();
+      std::vector<int>& ties = tie_sets[t];
       for (int z = 0; z < l; ++z) {
-        if (scores[z] > best + 1e-12) {
-          best = scores[z];
+        if (score[z] > best + 1e-12) {
+          best = score[z];
           ties.assign(1, z);
-        } else if (std::fabs(scores[z] - best) <= 1e-12) {
+        } else if (std::fabs(score[z] - best) <= 1e-12) {
           ties.push_back(z);
         }
       }
-      next[t] = ties.size() == 1
-                    ? ties[0]
-                    : ties[rng.UniformInt(
-                          0, static_cast<int>(ties.size()) - 1)];
+      if (ties.size() == 1) next[t] = ties[0];
+    });
+    for (data::TaskId t = 0; t < n; ++t) {
+      if (tie_sets[t].size() > 1) {
+        next[t] = tie_sets[t][rng.UniformInt(
+            0, static_cast<int>(tie_sets[t].size()) - 1)];
+      }
     }
-    tracer.EndPhase(TracePhase::kTruthStep);
-
-    // Step 2: mistake counts -> weights.
-    std::vector<double> errors(num_workers, 0.0);
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
+  }});
+  // Step 2: mistake counts -> weights.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
+    context.ParallelShards(num_workers, [&](int w, int) {
+      errors[w] = 0.0;
       for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
         if (vote.label != next[vote.task]) errors[w] += 1.0;
       }
-    }
+    });
     quality = WeightsFromErrors(errors);
-    tracer.EndPhase(TracePhase::kQualityStep);
+  }});
 
-    result.iterations = iteration + 1;
-    int changed = 0;
-    for (data::TaskId t = 0; t < n; ++t) {
-      if (next[t] != labels[t]) ++changed;
-    }
-    result.convergence_trace.push_back(static_cast<double>(changed) /
-                                       std::max(n, 1));
-    tracer.EndIteration(result.iterations, result.convergence_trace.back());
-    const bool unchanged = iteration > 0 && changed == 0;
-    labels = std::move(next);
-    if (unchanged) {
-      result.converged = true;
-      break;
-    }
-  }
+  CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         int changed = 0;
+                         for (data::TaskId t = 0; t < n; ++t) {
+                           if (next[t] != labels[t]) ++changed;
+                         }
+                         labels = next;
+                         return static_cast<double>(changed) / std::max(n, 1);
+                       }),
+             &result);
 
   result.labels = std::move(labels);
   result.worker_quality = std::move(quality);
@@ -142,16 +150,22 @@ NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
     }
   }
 
-  NumericResult result;
+  EmDriver driver = EmDriver::FromOptions(options);
+  driver.min_iterations = 2;
+
   std::vector<double> values(n, 0.0);
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
-    // Step 1: weighted mean per task.
-    std::vector<double> next(n, 0.0);
-    for (data::TaskId t = 0; t < n; ++t) {
+  std::vector<double> next(n, 0.0);
+  std::vector<double> errors(num_workers, 0.0);
+
+  std::vector<EmStep> steps;
+  // Step 1: weighted mean per task.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    context.ParallelShards(n, [&](int t, int) {
       const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
+      if (votes.empty()) {
+        next[t] = 0.0;
+        return;
+      }
       double weighted_sum = 0.0;
       double weight_total = 0.0;
       for (const data::NumericTaskVote& vote : votes) {
@@ -160,34 +174,33 @@ NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
         weight_total += weight;
       }
       next[t] = weighted_sum / weight_total;
-    }
+    });
     ClampGoldenValues(dataset, options, next);
-    tracer.EndPhase(TracePhase::kTruthStep);
-
-    // Step 2: squared-error losses -> weights.
-    std::vector<double> errors(num_workers, 0.0);
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
+  }});
+  // Step 2: squared-error losses -> weights.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
+    context.ParallelShards(num_workers, [&](int w, int) {
+      errors[w] = 0.0;
       for (const data::NumericWorkerVote& vote : dataset.AnswersByWorker(w)) {
         const double err = vote.value - next[vote.task];
         errors[w] += err * err;
       }
-    }
+    });
     quality = WeightsFromErrors(errors);
-    tracer.EndPhase(TracePhase::kQualityStep);
+  }});
 
-    double change = 0.0;
-    for (data::TaskId t = 0; t < n; ++t) {
-      change = std::max(change, std::fabs(next[t] - values[t]));
-    }
-    values = std::move(next);
-    result.convergence_trace.push_back(change);
-    result.iterations = iteration + 1;
-    tracer.EndIteration(result.iterations, change);
-    if (iteration > 0 && change < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  NumericResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         double change = 0.0;
+                         for (data::TaskId t = 0; t < n; ++t) {
+                           change =
+                               std::max(change, std::fabs(next[t] - values[t]));
+                         }
+                         values = next;
+                         return change;
+                       }),
+             &result);
 
   result.values = std::move(values);
   result.worker_quality = std::move(quality);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
+#include "core/em_loop.h"
 
 namespace crowdtruth::core {
 namespace {
@@ -26,6 +27,18 @@ double BisquareLoss(double standardized_residual, double c) {
   if (std::fabs(ratio) >= 1.0) return cap;
   const double core = 1.0 - ratio * ratio;
   return cap * (1.0 - core * core * core);
+}
+
+// MAD-based robust scale over a buffer of absolute residuals; sorts the
+// buffer in place.
+double MadSigma(std::vector<double>& abs_residuals) {
+  std::sort(abs_residuals.begin(), abs_residuals.end());
+  const size_t mid = abs_residuals.size() / 2;
+  const double mad = abs_residuals.size() % 2 == 1
+                         ? abs_residuals[mid]
+                         : 0.5 * (abs_residuals[mid - 1] +
+                                  abs_residuals[mid]);
+  return 1.4826 * mad;
 }
 
 }  // namespace
@@ -63,60 +76,61 @@ NumericResult RobustNumeric::Infer(const data::NumericDataset& dataset,
     }
   }
 
-  NumericResult result;
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    // Worker-scale step: MAD-based (median absolute residual x 1.4826),
-    // which stays anchored to the inlier noise even under heavy per-answer
-    // contamination — a Huber-weighted variance would inflate and let
-    // outliers back in through the standardization.
-    std::vector<double> abs_residuals;
-    auto mad_sigma = [&abs_residuals]() {
-      std::sort(abs_residuals.begin(), abs_residuals.end());
-      const size_t mid = abs_residuals.size() / 2;
-      const double mad = abs_residuals.size() % 2 == 1
-                             ? abs_residuals[mid]
-                             : 0.5 * (abs_residuals[mid - 1] +
-                                      abs_residuals[mid]);
-      return 1.4826 * mad;
-    };
+  EmDriver driver = EmDriver::FromOptions(options);
+  driver.min_iterations = 2;
+
+  std::vector<double> next(n, 0.0);
+  std::vector<std::vector<double>> residual_scratch(driver.num_threads);
+
+  std::vector<EmStep> steps;
+  // Worker-scale step: MAD-based (median absolute residual x 1.4826),
+  // which stays anchored to the inlier noise even under heavy per-answer
+  // contamination — a Huber-weighted variance would inflate and let
+  // outliers back in through the standardization.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     // Global robust scale: floors the per-worker scales so that a worker
     // whose few answers happen to sit on the estimate cannot acquire
     // unbounded weight.
-    abs_residuals.clear();
+    std::vector<double>& all_residuals = residual_scratch[0];
+    all_residuals.clear();
     for (data::WorkerId w = 0; w < num_workers; ++w) {
       for (const data::NumericWorkerVote& vote :
            dataset.AnswersByWorker(w)) {
-        abs_residuals.push_back(std::fabs(vote.value - values[vote.task]));
+        all_residuals.push_back(std::fabs(vote.value - values[vote.task]));
       }
     }
     const double global_sigma =
-        abs_residuals.empty() ? 1.0 : std::max(mad_sigma(), 1e-6);
+        all_residuals.empty() ? 1.0 : std::max(MadSigma(all_residuals), 1e-6);
     const double variance_floor =
         0.25 * global_sigma * global_sigma;  // sigma_w >= global_sigma / 2.
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
+    context.ParallelShards(num_workers, [&](int w, int slot) {
       const auto& votes = dataset.AnswersByWorker(w);
-      if (votes.empty()) continue;
+      if (votes.empty()) return;
+      std::vector<double>& abs_residuals = residual_scratch[slot];
       abs_residuals.clear();
       for (const data::NumericWorkerVote& vote : votes) {
         abs_residuals.push_back(std::fabs(vote.value - values[vote.task]));
       }
-      const double sigma = mad_sigma();
+      const double sigma = MadSigma(abs_residuals);
       const double count = static_cast<double>(votes.size());
       variance[w] = std::max(
           (prior_b_ + count * sigma * sigma) / (prior_a_ + count),
           variance_floor);
-    }
-
-    // Truth step: bisquare IRLS. The objective is non-convex, so iterate
-    // from two starts — the previous (median-anchored) estimate, which is
-    // right when outliers are answer-level, and the precision-weighted
-    // mean, which is right when a task is dominated by answers from
-    // high-variance (garbage) workers — and keep the lower-loss fixed
-    // point.
-    std::vector<double> next(n, 0.0);
-    for (data::TaskId t = 0; t < n; ++t) {
+    });
+  }});
+  // Truth step: bisquare IRLS. The objective is non-convex, so iterate
+  // from two starts — the previous (median-anchored) estimate, which is
+  // right when outliers are answer-level, and the precision-weighted
+  // mean, which is right when a task is dominated by answers from
+  // high-variance (garbage) workers — and keep the lower-loss fixed
+  // point.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    context.ParallelShards(n, [&](int t, int) {
       const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
+      if (votes.empty()) {
+        next[t] = 0.0;
+        return;
+      }
 
       double precision_mean = 0.0;
       {
@@ -162,21 +176,22 @@ NumericResult RobustNumeric::Infer(const data::NumericDataset& dataset,
       const double from_precision = refine(precision_mean);
       next[t] = loss(from_precision) < loss(from_previous) ? from_precision
                                                            : from_previous;
-    }
+    });
     ClampGoldenValues(dataset, options, next);
+  }});
 
-    double change = 0.0;
-    for (data::TaskId t = 0; t < n; ++t) {
-      change = std::max(change, std::fabs(next[t] - values[t]));
-    }
-    values = std::move(next);
-    result.convergence_trace.push_back(change);
-    result.iterations = iteration + 1;
-    if (iteration > 0 && change < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  NumericResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         double change = 0.0;
+                         for (data::TaskId t = 0; t < n; ++t) {
+                           change =
+                               std::max(change, std::fabs(next[t] - values[t]));
+                         }
+                         values = next;
+                         return change;
+                       }),
+             &result);
 
   result.values = std::move(values);
   result.worker_quality.assign(num_workers, 0.0);

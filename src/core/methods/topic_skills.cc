@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
+#include "core/em_loop.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
@@ -54,42 +55,52 @@ CategoricalResult TopicSkills::Infer(const data::CategoricalDataset& dataset,
     }
   }
 
-  CategoricalResult result;
-  std::vector<double> log_belief(l);
-  std::vector<double> group_correct(num_groups);
-  std::vector<double> group_count(num_groups);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    // M-step: per-worker overall probability, then per-topic probabilities
-    // shrunk toward it.
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
+  const EmDriver driver = EmDriver::FromOptions(options);
+  std::vector<std::vector<double>> log_belief(driver.num_threads,
+                                              std::vector<double>(l));
+  std::vector<std::vector<double>> group_correct(
+      driver.num_threads, std::vector<double>(num_groups));
+  std::vector<std::vector<double>> group_count(
+      driver.num_threads, std::vector<double>(num_groups));
+  Posterior next;
+
+  std::vector<EmStep> steps;
+  // M-step: per-worker overall probability, then per-topic probabilities
+  // shrunk toward it.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
+    context.ParallelShards(num_workers, [&](int w, int slot) {
       const auto& votes = dataset.AnswersByWorker(w);
-      if (votes.empty()) continue;
-      std::fill(group_correct.begin(), group_correct.end(), 0.0);
-      std::fill(group_count.begin(), group_count.end(), 0.0);
+      if (votes.empty()) return;
+      std::vector<double>& correct = group_correct[slot];
+      std::vector<double>& count = group_count[slot];
+      std::fill(correct.begin(), correct.end(), 0.0);
+      std::fill(count.begin(), count.end(), 0.0);
       double total_correct = 0.0;
       for (const data::WorkerVote& vote : votes) {
         const double p = posterior[vote.task][vote.label];
-        group_correct[groups[vote.task]] += p;
-        group_count[groups[vote.task]] += 1.0;
+        correct[groups[vote.task]] += p;
+        count[groups[vote.task]] += 1.0;
         total_correct += p;
       }
       overall[w] = std::clamp(total_correct / votes.size(), kQualityFloor,
                               1.0 - kQualityFloor);
       for (int g = 0; g < num_groups; ++g) {
         const double estimate =
-            (prior_strength_ * overall[w] + group_correct[g]) /
-            (prior_strength_ + group_count[g]);
+            (prior_strength_ * overall[w] + correct[g]) /
+            (prior_strength_ + count[g]);
         quality[static_cast<size_t>(w) * num_groups + g] =
             std::clamp(estimate, kQualityFloor, 1.0 - kQualityFloor);
       }
-    }
-
-    // E-step with topic-specific probabilities.
-    Posterior next = posterior;
-    for (data::TaskId t = 0; t < n; ++t) {
+    });
+  }});
+  // E-step with topic-specific probabilities.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    next = posterior;
+    context.ParallelShards(n, [&](int t, int slot) {
       const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
-      std::fill(log_belief.begin(), log_belief.end(), 0.0);
+      if (votes.empty()) return;
+      std::vector<double>& belief = log_belief[slot];
+      std::fill(belief.begin(), belief.end(), 0.0);
       const int g = groups[t];
       for (const data::TaskVote& vote : votes) {
         const double q =
@@ -97,23 +108,23 @@ CategoricalResult TopicSkills::Infer(const data::CategoricalDataset& dataset,
         const double log_right = std::log(q);
         const double log_wrong = std::log((1.0 - q) / (l - 1));
         for (int z = 0; z < l; ++z) {
-          log_belief[z] += vote.label == z ? log_right : log_wrong;
+          belief[z] += vote.label == z ? log_right : log_wrong;
         }
       }
-      util::SoftmaxInPlace(log_belief);
-      next[t] = log_belief;
-    }
+      util::SoftmaxInPlace(belief);
+      next[t] = belief;
+    });
     ClampGolden(dataset, options, next);
+  }});
 
-    const double change = MaxAbsDiff(posterior, next);
-    posterior = std::move(next);
-    result.convergence_trace.push_back(change);
-    result.iterations = iteration + 1;
-    if (change < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         const double change = MaxAbsDiff(posterior, next);
+                         posterior = std::move(next);
+                         return change;
+                       }),
+             &result);
 
   result.labels = ArgmaxLabels(posterior, rng);
   result.posterior = std::move(posterior);

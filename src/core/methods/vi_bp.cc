@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
-#include "core/trace.h"
+#include "core/em_loop.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -54,13 +54,17 @@ CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
   // worker_msg[e] = m_{w->i}(truth = answer on edge e).
   std::vector<double> worker_msg(edges.size(), 0.5);
 
-  CategoricalResult result;
   std::vector<double> expected_reliability(num_workers, 0.5);
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
-    // Worker -> task: posterior-mean reliability from the other edges.
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
+  const EmDriver driver = EmDriver::FromOptions(options);
+  // Per-task max message change; measure() folds these into the round's
+  // delta (max is order-independent, so the fold stays deterministic).
+  std::vector<double> task_change(n, 0.0);
+
+  std::vector<EmStep> steps;
+  // Worker -> task: posterior-mean reliability from the other edges. Each
+  // worker owns its edges' worker_msg entries.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
+    context.ParallelShards(num_workers, [&](int w, int) {
       double correct_total = 0.0;
       for (int e : worker_edges[w]) correct_total += task_msg[e];
       const double count = static_cast<double>(worker_edges[w].size());
@@ -74,13 +78,13 @@ CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
       const double a_full = prior_alpha_ + correct_total;
       const double b_full = prior_beta_ + (count - correct_total);
       expected_reliability[w] = a_full / (a_full + b_full);
-    }
-    tracer.EndPhase(TracePhase::kQualityStep);
-
-    // Task -> worker: combine the other workers' messages (log space).
-    double change = 0.0;
-    for (data::TaskId t = 0; t < n; ++t) {
-      if (task_edges[t].empty()) continue;
+    });
+  }});
+  // Task -> worker: combine the other workers' messages (log space).
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    context.ParallelShards(n, [&](int t, int) {
+      task_change[t] = 0.0;
+      if (task_edges[t].empty()) return;
       double log_total0 = 0.0;
       double log_total1 = 0.0;
       for (int e : task_edges[t]) {
@@ -98,21 +102,23 @@ CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
         const double belief0 = 1.0 / (1.0 + std::exp(log1 - log0));
         const double next =
             edges[e].label == 0 ? belief0 : 1.0 - belief0;
-        change = std::max(change, std::fabs(next - task_msg[e]));
+        task_change[t] =
+            std::max(task_change[t], std::fabs(next - task_msg[e]));
         task_msg[e] = next;
       }
-    }
+    });
+  }});
 
-    tracer.EndPhase(TracePhase::kTruthStep);
-
-    result.convergence_trace.push_back(change);
-    result.iterations = iteration + 1;
-    tracer.EndIteration(result.iterations, change);
-    if (change < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         double change = 0.0;
+                         for (data::TaskId t = 0; t < n; ++t) {
+                           change = std::max(change, task_change[t]);
+                         }
+                         return change;
+                       }),
+             &result);
 
   // Final beliefs combine all worker messages.
   result.labels.assign(n, 0);

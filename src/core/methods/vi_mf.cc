@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/common.h"
-#include "core/trace.h"
+#include "core/em_loop.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -41,36 +41,40 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
   std::vector<std::vector<double>> elog(num_workers,
                                         std::vector<double>(l * l, 0.0));
   std::vector<double> elog_class(l, std::log(1.0 / l));
-  std::vector<double> counts(l * l);
 
-  CategoricalResult result;
-  std::vector<double> log_belief(l);
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
+  const EmDriver driver = EmDriver::FromOptions(options);
+  std::vector<std::vector<double>> counts(driver.num_threads,
+                                          std::vector<double>(l * l));
+  std::vector<std::vector<double>> log_belief(driver.num_threads,
+                                              std::vector<double>(l));
+  Posterior next;
+
+  std::vector<EmStep> steps;
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     // Update Dirichlet posteriors and their expected log parameters.
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
+    context.ParallelShards(num_workers, [&](int w, int slot) {
+      std::vector<double>& count = counts[slot];
       for (int j = 0; j < l; ++j) {
         for (int k = 0; k < l; ++k) {
-          counts[j * l + k] = j == k ? prior_diag[w] : prior_off[w];
+          count[j * l + k] = j == k ? prior_diag[w] : prior_off[w];
         }
       }
       for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
         for (int j = 0; j < l; ++j) {
-          counts[j * l + vote.label] += posterior[vote.task][j];
+          count[j * l + vote.label] += posterior[vote.task][j];
         }
       }
       for (int j = 0; j < l; ++j) {
         double row_total = 0.0;
-        for (int k = 0; k < l; ++k) row_total += counts[j * l + k];
+        for (int k = 0; k < l; ++k) row_total += count[j * l + k];
         const double digamma_total = util::Digamma(row_total);
         for (int k = 0; k < l; ++k) {
-          elog[w][j * l + k] = util::Digamma(counts[j * l + k]) -
+          elog[w][j * l + k] = util::Digamma(count[j * l + k]) -
                                digamma_total;
         }
       }
-    }
-    // Class-prior Dirichlet posterior.
+    });
+    // Class-prior Dirichlet posterior: a short serial reduce over tasks.
     std::vector<double> class_counts(l, 1.0);
     for (data::TaskId t = 0; t < n; ++t) {
       if (dataset.AnswersForTask(t).empty()) continue;
@@ -82,36 +86,33 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
     for (int j = 0; j < l; ++j) {
       elog_class[j] = util::Digamma(class_counts[j]) - digamma_class_total;
     }
-
-    tracer.EndPhase(TracePhase::kQualityStep);
-
-    // Update the task beliefs.
-    Posterior next = posterior;
-    for (data::TaskId t = 0; t < n; ++t) {
+  }});
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    next = posterior;
+    context.ParallelShards(n, [&](int t, int slot) {
       const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
-      log_belief = elog_class;
+      if (votes.empty()) return;
+      std::vector<double>& belief = log_belief[slot];
+      belief = elog_class;
       for (const data::TaskVote& vote : votes) {
         for (int j = 0; j < l; ++j) {
-          log_belief[j] += elog[vote.worker][j * l + vote.label];
+          belief[j] += elog[vote.worker][j * l + vote.label];
         }
       }
-      util::SoftmaxInPlace(log_belief);
-      next[t] = log_belief;
-    }
+      util::SoftmaxInPlace(belief);
+      next[t] = belief;
+    });
     ClampGolden(dataset, options, next);
+  }});
 
-    const double change = MaxAbsDiff(posterior, next);
-    tracer.EndPhase(TracePhase::kTruthStep);
-    posterior = std::move(next);
-    result.convergence_trace.push_back(change);
-    result.iterations = iteration + 1;
-    tracer.EndIteration(result.iterations, change);
-    if (change < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         const double change = MaxAbsDiff(posterior, next);
+                         posterior = std::move(next);
+                         return change;
+                       }),
+             &result);
 
   result.labels = ArgmaxLabels(posterior, rng);
   result.worker_quality.assign(num_workers, 0.0);

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "core/common.h"
-#include "core/trace.h"
+#include "core/em_loop.h"
 #include "util/rng.h"
 #include "util/special_functions.h"
 
@@ -33,54 +33,55 @@ CategoricalResult Zc::Infer(const data::CategoricalDataset& dataset,
     }
   }
 
-  CategoricalResult result;
-  std::vector<double> log_belief(l);
-  IterationTracer tracer(options.trace);
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    tracer.BeginIteration();
-    // M-step: re-estimate worker probabilities from the current belief.
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
+  const EmDriver driver = EmDriver::FromOptions(options);
+  std::vector<std::vector<double>> log_belief(driver.num_threads,
+                                              std::vector<double>(l));
+  Posterior next;
+
+  std::vector<EmStep> steps;
+  // M-step: re-estimate worker probabilities from the current belief.
+  steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
+    context.ParallelShards(num_workers, [&](int w, int) {
       const auto& votes = dataset.AnswersByWorker(w);
-      if (votes.empty()) continue;
+      if (votes.empty()) return;
       double expected_correct = 0.0;
       for (const data::WorkerVote& vote : votes) {
         expected_correct += posterior[vote.task][vote.label];
       }
       quality[w] = std::clamp(expected_correct / votes.size(), kQualityFloor,
                               1.0 - kQualityFloor);
-    }
-    tracer.EndPhase(TracePhase::kQualityStep);
-
-    // E-step: recompute the task belief from worker probabilities.
-    Posterior next = posterior;
-    for (data::TaskId t = 0; t < n; ++t) {
+    });
+  }});
+  // E-step: recompute the task belief from worker probabilities.
+  steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    next = posterior;
+    context.ParallelShards(n, [&](int t, int slot) {
       const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
-      std::fill(log_belief.begin(), log_belief.end(), 0.0);
+      if (votes.empty()) return;
+      std::vector<double>& belief = log_belief[slot];
+      std::fill(belief.begin(), belief.end(), 0.0);
       for (const data::TaskVote& vote : votes) {
         const double q = quality[vote.worker];
         const double log_wrong = std::log((1.0 - q) / (l - 1));
         const double log_right = std::log(q);
         for (int z = 0; z < l; ++z) {
-          log_belief[z] += vote.label == z ? log_right : log_wrong;
+          belief[z] += vote.label == z ? log_right : log_wrong;
         }
       }
-      util::SoftmaxInPlace(log_belief);
-      next[t] = log_belief;
-    }
+      util::SoftmaxInPlace(belief);
+      next[t] = belief;
+    });
     ClampGolden(dataset, options, next);
+  }});
 
-    const double change = MaxAbsDiff(posterior, next);
-    tracer.EndPhase(TracePhase::kTruthStep);
-    posterior = std::move(next);
-    result.convergence_trace.push_back(change);
-    result.iterations = iteration + 1;
-    tracer.EndIteration(result.iterations, change);
-    if (change < options.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
+  CategoricalResult result;
+  AdoptStats(RunEmLoop(driver, steps,
+                       [&](bool) {
+                         const double change = MaxAbsDiff(posterior, next);
+                         posterior = std::move(next);
+                         return change;
+                       }),
+             &result);
 
   result.labels = ArgmaxLabels(posterior, rng);
   result.posterior = std::move(posterior);

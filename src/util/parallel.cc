@@ -2,10 +2,97 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace crowdtruth::util {
+namespace {
+
+// Persistent worker pool behind ParallelForSlotted. Workers are created
+// on first demand (up to the largest num_threads ever requested), park on a
+// condition variable between regions, and are intentionally leaked at
+// process exit (they hold no resources beyond their stacks). One region
+// runs at a time: Run() serializes concurrent callers, which keeps the
+// shard/slot contract simple and avoids oversubscription when an outer
+// ParallelFor (experiment trials) wraps inner slotted loops.
+class SlottedPool {
+ public:
+  static SlottedPool& Instance() {
+    static SlottedPool* pool = new SlottedPool();
+    return *pool;
+  }
+
+  void Run(int count, int num_threads, const std::function<void(int, int)>& fn) {
+    const std::lock_guard<std::mutex> run_lock(run_mutex_);
+    const int helpers = std::min(num_threads, count) - 1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (static_cast<int>(workers_.size()) < helpers) {
+        const int slot = static_cast<int>(workers_.size()) + 1;
+        workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+        workers_.back().detach();
+      }
+      fn_ = &fn;
+      count_ = count;
+      next_.store(0, std::memory_order_relaxed);
+      active_helpers_ = helpers;
+      remaining_ = helpers;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+
+    Drain(0);  // The caller participates as slot 0.
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop(int slot) {
+    uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [this, slot, seen] {
+          return generation_ != seen && slot <= active_helpers_;
+        });
+        seen = generation_;
+      }
+      Drain(slot);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --remaining_;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  void Drain(int slot) {
+    while (true) {
+      const int index = next_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count_) break;
+      (*fn_)(index, slot);
+    }
+  }
+
+  std::mutex run_mutex_;  // Serializes whole regions across callers.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(int, int)>* fn_ = nullptr;
+  int count_ = 0;
+  std::atomic<int> next_{0};
+  int active_helpers_ = 0;
+  int remaining_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace
 
 void ParallelFor(int count, int num_threads,
                  const std::function<void(int)>& fn) {
@@ -30,9 +117,25 @@ void ParallelFor(int count, int num_threads,
   for (std::thread& thread : threads) thread.join();
 }
 
+void ParallelForSlotted(int count, int num_threads,
+                        const std::function<void(int, int)>& fn) {
+  if (count <= 0) return;
+  if (std::min(num_threads, count) <= 1) {
+    for (int i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  SlottedPool::Instance().Run(count, num_threads, fn);
+}
+
 int DefaultThreads(int cap) {
+  const char* env = std::getenv("CROWDTRUTH_THREADS");
+  if (env != nullptr) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
   const unsigned hardware = std::thread::hardware_concurrency();
-  return std::max(1, std::min<int>(cap, hardware == 0 ? 1 : hardware));
+  const int fallback = hardware == 0 ? 1 : static_cast<int>(hardware);
+  return std::max(1, cap > 0 ? std::min(cap, fallback) : fallback);
 }
 
 }  // namespace crowdtruth::util

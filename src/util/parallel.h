@@ -1,7 +1,17 @@
-// Minimal data-parallel helper for embarrassingly parallel loops
-// (independent experiment trials). Deterministic: the work function
-// receives the loop index, so results land in pre-assigned slots
-// regardless of scheduling.
+// Minimal data-parallel helpers for embarrassingly parallel loops.
+// Deterministic: work functions receive the loop index, so results land in
+// pre-assigned slots regardless of scheduling.
+//
+// Two flavours:
+//   * ParallelFor       — spawns threads per call; used by the experiment
+//                         layer for coarse, long-running trial loops.
+//   * ParallelForSlotted — runs on a persistent process-wide worker pool and
+//                         additionally hands each invocation the slot index
+//                         of the executing worker (0 = caller thread), for
+//                         per-slot scratch reuse. Built for the EM driver
+//                         (core/em_loop.h), whose sharded truth/quality
+//                         steps run many short regions per inference call;
+//                         re-spawning threads per region would dominate.
 #ifndef CROWDTRUTH_UTIL_PARALLEL_H_
 #define CROWDTRUTH_UTIL_PARALLEL_H_
 
@@ -15,8 +25,21 @@ namespace crowdtruth::util {
 void ParallelFor(int count, int num_threads,
                  const std::function<void(int)>& fn);
 
-// A reasonable default thread count: hardware concurrency capped at `cap`.
-int DefaultThreads(int cap = 8);
+// Runs fn(index, slot) for index in [0, count) across up to `num_threads`
+// workers of a shared persistent pool; slot in [0, num_threads) identifies
+// the executing worker so callers can maintain per-slot scratch buffers
+// (slot 0 is the calling thread). fn must not throw, and must write only
+// state owned by its index (plus its slot's scratch). Invocations are
+// serialized across concurrent callers — nested calls from inside fn
+// deadlock. num_threads <= 1 runs inline with slot 0.
+void ParallelForSlotted(int count, int num_threads,
+                        const std::function<void(int, int)>& fn);
+
+// The default worker count: the CROWDTRUTH_THREADS environment variable
+// when set to a positive integer, otherwise the full hardware concurrency.
+// A positive `cap` bounds the hardware fallback (the env override is the
+// operator's word and is not capped).
+int DefaultThreads(int cap = 0);
 
 }  // namespace crowdtruth::util
 

@@ -1,0 +1,194 @@
+// Deterministic text dump of method outputs on fixed simulated workloads.
+//
+// BuildEmGoldenDump() runs every iterative method on small instances of the
+// simulated profiles and renders the results — labels, posterior prefix,
+// worker qualities, convergence trace, order-sensitive checksums — with
+// %.17g doubles, so two builds agree iff they are bit-identical. The
+// checked-in tests/testdata/em_goldens.txt was produced by the pre-driver
+// (hand-rolled loop) implementations; method_threading_test compares the
+// current build against it, pinning the em_loop refactor to the exact
+// numeric behaviour of the original code.
+#ifndef CROWDTRUTH_TESTS_GOLDEN_DUMP_H_
+#define CROWDTRUTH_TESTS_GOLDEN_DUMP_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/inference.h"
+#include "core/methods/robust_numeric.h"
+#include "core/methods/topic_skills.h"
+#include "core/registry.h"
+#include "simulation/profiles.h"
+
+namespace crowdtruth::tests {
+
+inline std::string FormatDouble(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+inline void AppendDoubles(const std::string& key,
+                          const std::vector<double>& values, size_t limit,
+                          std::string* out) {
+  *out += key + "=";
+  const size_t count = values.size() < limit ? values.size() : limit;
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) *out += ",";
+    *out += FormatDouble(values[i]);
+  }
+  // Order-sensitive plain sum over the full vector: catches drift past the
+  // printed prefix without dumping everything.
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  *out += " sum=" + FormatDouble(sum) + "\n";
+}
+
+inline void AppendMatrix(const std::string& key,
+                         const std::vector<std::vector<double>>& rows,
+                         size_t row_limit, std::string* out) {
+  *out += key + "_rows=" + std::to_string(rows.size()) + "\n";
+  const size_t count = rows.size() < row_limit ? rows.size() : row_limit;
+  for (size_t r = 0; r < count; ++r) {
+    AppendDoubles(key + "[" + std::to_string(r) + "]", rows[r],
+                  rows[r].size(), out);
+  }
+  double sum = 0.0;
+  for (const auto& row : rows) {
+    for (double v : row) sum += v;
+  }
+  *out += key + "_sum=" + FormatDouble(sum) + "\n";
+}
+
+inline std::string DumpCategoricalResult(const core::CategoricalResult& r) {
+  std::string out;
+  out += "iterations=" + std::to_string(r.iterations) +
+         " converged=" + std::to_string(r.converged ? 1 : 0) + "\n";
+  out += "labels=";
+  for (size_t t = 0; t < r.labels.size(); ++t) {
+    if (t > 0) out += ",";
+    out += std::to_string(r.labels[t]);
+  }
+  out += "\n";
+  AppendMatrix("posterior", r.posterior, 8, &out);
+  AppendDoubles("worker_quality", r.worker_quality, 20, &out);
+  AppendMatrix("worker_confusion", r.worker_confusion, 2, &out);
+  AppendDoubles("task_easiness", r.task_easiness, 10, &out);
+  AppendDoubles("convergence_trace", r.convergence_trace,
+                r.convergence_trace.size(), &out);
+  return out;
+}
+
+inline std::string DumpNumericResult(const core::NumericResult& r) {
+  std::string out;
+  out += "iterations=" + std::to_string(r.iterations) +
+         " converged=" + std::to_string(r.converged ? 1 : 0) + "\n";
+  AppendDoubles("values", r.values, 20, &out);
+  AppendDoubles("worker_quality", r.worker_quality, 20, &out);
+  AppendDoubles("convergence_trace", r.convergence_trace,
+                r.convergence_trace.size(), &out);
+  return out;
+}
+
+// The scale keeps every method (including the Gibbs samplers and
+// gradient-based optimizers) fast enough to re-run inside a unit test.
+inline constexpr double kGoldenScale = 0.05;
+
+// num_threads feeds InferenceOptions::num_threads for every run; the dump
+// must be byte-identical for any value (the determinism contract).
+inline std::string BuildEmGoldenDump(int num_threads = 1) {
+  std::string out;
+  const data::CategoricalDataset binary =
+      sim::GenerateCategoricalProfile("D_Product", kGoldenScale);
+  const data::CategoricalDataset multi =
+      sim::GenerateCategoricalProfile("S_Rel", kGoldenScale);
+  const data::NumericDataset numeric =
+      sim::GenerateNumericProfile("N_Emotion", kGoldenScale);
+
+  core::InferenceOptions defaults;
+  defaults.num_threads = num_threads;
+
+  auto run_categorical = [&out](const std::string& header,
+                                const core::CategoricalMethod& method,
+                                const data::CategoricalDataset& dataset,
+                                const core::InferenceOptions& options) {
+    out += "== " + header + "\n";
+    out += DumpCategoricalResult(method.Infer(dataset, options));
+  };
+
+  for (const char* name :
+       {"ZC", "D&S", "GLAD", "LFC", "Minimax", "BCC", "CBCC", "KOS", "VI-BP",
+        "VI-MF", "Multi", "PM", "CATD"}) {
+    run_categorical(std::string(name) + " binary",
+                    *core::MakeCategoricalMethod(name), binary, defaults);
+  }
+  for (const char* name :
+       {"ZC", "D&S", "GLAD", "LFC", "Minimax", "VI-MF", "PM", "CATD"}) {
+    run_categorical(std::string(name) + " multi",
+                    *core::MakeCategoricalMethod(name), multi, defaults);
+  }
+
+  // TopicSkills with a synthetic 3-topic assignment.
+  {
+    core::InferenceOptions options;
+    options.num_threads = num_threads;
+    options.task_groups.resize(binary.num_tasks());
+    for (int t = 0; t < binary.num_tasks(); ++t) {
+      options.task_groups[t] = t % 3;
+    }
+    run_categorical("TopicSkills binary", core::TopicSkills(), binary,
+                    options);
+  }
+
+  // Qualification-test initialization (ZC) and hidden golden tasks (D&S).
+  {
+    core::InferenceOptions options;
+    options.num_threads = num_threads;
+    options.initial_worker_quality.resize(binary.num_workers());
+    for (int w = 0; w < binary.num_workers(); ++w) {
+      options.initial_worker_quality[w] = 0.55 + 0.04 * (w % 10);
+    }
+    run_categorical("ZC binary qualification",
+                    *core::MakeCategoricalMethod("ZC"), binary, options);
+  }
+  {
+    core::InferenceOptions options;
+    options.num_threads = num_threads;
+    options.golden_labels.assign(binary.num_tasks(), data::kNoTruth);
+    for (int t = 0; t < binary.num_tasks() / 5; ++t) {
+      options.golden_labels[t] = t % 2;
+    }
+    run_categorical("D&S binary golden", *core::MakeCategoricalMethod("D&S"),
+                    binary, options);
+  }
+
+  auto run_numeric = [&out](const std::string& header,
+                            const core::NumericMethod& method,
+                            const data::NumericDataset& dataset,
+                            const core::InferenceOptions& options) {
+    out += "== " + header + "\n";
+    out += DumpNumericResult(method.Infer(dataset, options));
+  };
+
+  for (const char* name : {"PM", "CATD", "LFC_N"}) {
+    run_numeric(std::string(name) + " numeric",
+                *core::MakeNumericMethod(name), numeric, defaults);
+  }
+  run_numeric("Robust numeric", core::RobustNumeric(), numeric, defaults);
+  {
+    core::InferenceOptions options;
+    options.num_threads = num_threads;
+    options.golden_values.assign(numeric.num_tasks(), core::kNoGoldenValue);
+    for (int t = 0; t < numeric.num_tasks() / 5; ++t) {
+      options.golden_values[t] = 10.0 + t;
+    }
+    run_numeric("PM numeric golden", *core::MakeNumericMethod("PM"), numeric,
+                options);
+  }
+  return out;
+}
+
+}  // namespace crowdtruth::tests
+
+#endif  // CROWDTRUTH_TESTS_GOLDEN_DUMP_H_

@@ -1,6 +1,7 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <vector>
 
@@ -42,10 +43,88 @@ TEST(ParallelForTest, MoreThreadsThanWork) {
   for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
 }
 
+TEST(ParallelForSlottedTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(100);
+  ParallelForSlotted(100, 4, [&](int i, int) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForSlottedTest, SlotsStayWithinPoolWidth) {
+  constexpr int kThreads = 4;
+  std::atomic<bool> out_of_range{false};
+  ParallelForSlotted(200, kThreads, [&](int, int slot) {
+    if (slot < 0 || slot >= kThreads) out_of_range.store(true);
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ParallelForSlottedTest, SingleThreadRunsInlineOnSlotZero) {
+  std::vector<int> order;
+  ParallelForSlotted(5, 1, [&](int i, int slot) {
+    EXPECT_EQ(slot, 0);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForSlottedTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelForSlotted(0, 4, [&](int, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForSlottedTest, SlotScratchPartitionsWrites) {
+  // The intended usage: each slot owns a scratch accumulator and no two
+  // concurrent invocations share one. Summing the per-slot accumulators
+  // must reproduce the serial total exactly.
+  constexpr int kThreads = 4;
+  constexpr int kCount = 1000;
+  std::vector<long long> scratch(kThreads, 0);
+  ParallelForSlotted(kCount, kThreads,
+                     [&](int i, int slot) { scratch[slot] += i; });
+  const long long total =
+      std::accumulate(scratch.begin(), scratch.end(), 0LL);
+  EXPECT_EQ(total, static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+TEST(ParallelForSlottedTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelForSlotted(3, 16, [&](int i, int) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForSlottedTest, RepeatedRegionsReuseThePool) {
+  // The EM driver issues many short regions per inference; exercise that
+  // pattern against the persistent pool.
+  std::vector<std::atomic<int>> visits(32);
+  for (int round = 0; round < 50; ++round) {
+    ParallelForSlotted(32, 3, [&](int i, int) { visits[i].fetch_add(1); });
+  }
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 50);
+}
+
 TEST(DefaultThreadsTest, WithinBounds) {
   const int threads = DefaultThreads(8);
   EXPECT_GE(threads, 1);
   EXPECT_LE(threads, 8);
+}
+
+TEST(DefaultThreadsTest, EnvOverrideWins) {
+  ASSERT_EQ(setenv("CROWDTRUTH_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(DefaultThreads(), 3);
+  // The operator's word is not capped.
+  EXPECT_EQ(DefaultThreads(2), 3);
+  ASSERT_EQ(unsetenv("CROWDTRUTH_THREADS"), 0);
+}
+
+TEST(DefaultThreadsTest, InvalidEnvFallsBackToHardware) {
+  for (const char* bogus : {"0", "-4", "lots", ""}) {
+    ASSERT_EQ(setenv("CROWDTRUTH_THREADS", bogus, /*overwrite=*/1), 0);
+    const int threads = DefaultThreads(8);
+    EXPECT_GE(threads, 1) << "env=" << bogus;
+    EXPECT_LE(threads, 8) << "env=" << bogus;
+  }
+  ASSERT_EQ(unsetenv("CROWDTRUTH_THREADS"), 0);
 }
 
 }  // namespace

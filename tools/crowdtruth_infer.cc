@@ -4,6 +4,7 @@
 //       [--truth=truth.csv] [--type=categorical|numeric]
 //       [--num_choices=0] [--output=inferred.csv]
 //       [--workers_output=workers.csv] [--seed=42]
+//       [--threads=1] [--max_iterations=100] [--tolerance=1e-4]
 //       [--trace] [--report=report.json]
 //
 // The answers file needs the header "task,worker,answer"; the optional
@@ -13,8 +14,11 @@
 // "worker,quality" rows. --trace streams one line per iteration (delta +
 // per-phase wall-clock) to stderr while the method converges; --report
 // writes the full machine-readable run report (metrics, timings,
-// iteration trajectory) as JSON. Available methods: run with
-// --method=list.
+// iteration trajectory) as JSON. --threads sets the deterministic
+// intra-method parallelism (0 = auto: CROWDTRUTH_THREADS env or the
+// hardware concurrency); results are bit-identical at any thread count.
+// --max_iterations / --tolerance override Algorithm 1's outer-loop
+// controls. Available methods: run with --method=list.
 #include <iostream>
 #include <string>
 
@@ -97,6 +101,9 @@ int RunCategorical(const crowdtruth::util::Flags& flags) {
   }
   crowdtruth::core::InferenceOptions options;
   options.seed = flags.GetInt("seed");
+  options.num_threads = flags.GetInt("threads");
+  options.max_iterations = flags.GetInt("max_iterations");
+  options.tolerance = flags.GetDouble("tolerance");
   crowdtruth::experiments::RunReport report;
   const bool want_report = !flags.Get("report").empty();
   const auto eval = crowdtruth::experiments::EvaluateCategorical(
@@ -167,6 +174,9 @@ int RunNumeric(const crowdtruth::util::Flags& flags) {
   }
   crowdtruth::core::InferenceOptions options;
   options.seed = flags.GetInt("seed");
+  options.num_threads = flags.GetInt("threads");
+  options.max_iterations = flags.GetInt("max_iterations");
+  options.tolerance = flags.GetDouble("tolerance");
   crowdtruth::experiments::RunReport report;
   const bool want_report = !flags.Get("report").empty();
   const auto eval = crowdtruth::experiments::EvaluateNumeric(
@@ -226,6 +236,9 @@ int main(int argc, char** argv) {
                                        {"output", ""},
                                        {"workers_output", ""},
                                        {"seed", "42"},
+                                       {"threads", "1"},
+                                       {"max_iterations", "100"},
+                                       {"tolerance", "1e-4"},
                                        {"trace", "false"},
                                        {"report", ""}});
   if (flags.Get("method") == "list") return ListMethods();

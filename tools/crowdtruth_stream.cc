@@ -422,6 +422,9 @@ streaming::StreamingOptions MakeStreamingOptions(const Flags& flags) {
   options.local_sweeps = flags.GetInt("local_sweeps");
   options.max_dirty_tasks = flags.GetInt("max_dirty_tasks");
   options.batch.seed = flags.GetInt("seed");
+  // Deterministic intra-method parallelism for the full Resync solves;
+  // results are bit-identical at any thread count.
+  options.batch.num_threads = flags.GetInt("threads");
   return options;
 }
 
@@ -568,6 +571,7 @@ int main(int argc, char** argv) {
                      {"budget", "0"},
                      {"scale", "0.1"},
                      {"seed", "42"},
+                     {"threads", "1"},
                      {"log_out", ""},
                      {"truth_out", ""},
                      {"snapshot_in", ""},
