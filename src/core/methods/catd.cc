@@ -7,6 +7,7 @@
 #include "core/common.h"
 #include "core/em_loop.h"
 #include "util/rng.h"
+#include "util/safe_math.h"
 #include "util/special_functions.h"
 
 namespace crowdtruth::core {
@@ -171,7 +172,9 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
         weighted_sum += weight * vote.value;
         weight_total += weight;
       }
-      next[t] = weighted_sum / weight_total;
+      // weight_total > 0 by the floor above; the fallback only fires when
+      // weighted_sum itself overflowed.
+      next[t] = util::SafeDiv(weighted_sum, weight_total, 0.0);
     });
     ClampGoldenValues(dataset, options, next);
   }});
@@ -183,7 +186,9 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
         const double err = vote.value - next[vote.task];
         error += err * err;
       }
-      quality[w] = chi2[w] / (error + kErrorEpsilon);
+      // Identical to chi2 / (error + eps) for finite error; an overflowed
+      // (inf) error yields weight 0 and a NaN falls back to 0 as well.
+      quality[w] = util::SafeDiv(chi2[w], error + kErrorEpsilon, 0.0);
     });
   }});
 

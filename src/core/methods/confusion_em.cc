@@ -6,6 +6,7 @@
 
 #include "core/em_loop.h"
 #include "util/rng.h"
+#include "util/safe_math.h"
 #include "util/special_functions.h"
 
 namespace crowdtruth::core::internal {
@@ -20,7 +21,7 @@ ConfusionMatrices MatricesFromInitialQuality(
     const std::vector<double>& initial_quality, int num_workers, int l) {
   ConfusionMatrices matrices(num_workers, std::vector<double>(l * l));
   for (int w = 0; w < num_workers; ++w) {
-    const double q = std::clamp(initial_quality[w], 0.05, 0.95);
+    const double q = util::ClampProb(initial_quality[w], 0.05);
     for (int j = 0; j < l; ++j) {
       for (int k = 0; k < l; ++k) {
         matrices[w][j * l + k] = j == k ? q : (1.0 - q) / (l - 1);
@@ -51,6 +52,12 @@ void EstimateWorkerMatrix(const data::CategoricalDataset& dataset,
   for (int j = 0; j < l; ++j) {
     double row_total = 0.0;
     for (int k = 0; k < l; ++k) row_total += matrix[j * l + k];
+    if (!std::isfinite(row_total) || row_total <= 0.0) {
+      // Saturated posteriors can overflow the expected counts; reset the
+      // row to uniform rather than dividing a non-finite total through.
+      for (int k = 0; k < l; ++k) matrix[j * l + k] = 1.0 / l;
+      continue;
+    }
     for (int k = 0; k < l; ++k) matrix[j * l + k] /= row_total;
   }
 }
@@ -64,11 +71,13 @@ void EstimateTaskBelief(const data::CategoricalDataset& dataset,
   const int l = dataset.num_choices();
   const auto& votes = dataset.AnswersForTask(t);
   if (votes.empty()) return;
-  for (int j = 0; j < l; ++j) log_belief[j] = std::log(class_prior[j]);
+  // Smoothing keeps priors and matrix cells positive on well-formed runs;
+  // SafeLog covers a fully collapsed class or cell.
+  for (int j = 0; j < l; ++j) log_belief[j] = util::SafeLog(class_prior[j]);
   for (const data::TaskVote& vote : votes) {
     const auto& matrix = matrices[vote.worker];
     for (int j = 0; j < l; ++j) {
-      log_belief[j] += std::log(matrix[j * l + vote.label]);
+      log_belief[j] += util::SafeLog(matrix[j * l + vote.label]);
     }
   }
   util::SoftmaxInPlace(log_belief);
@@ -118,7 +127,11 @@ CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,
     }
     double prior_total = 0.0;
     for (double p : class_prior) prior_total += p;
-    for (double& p : class_prior) p /= prior_total;
+    if (!std::isfinite(prior_total) || prior_total <= 0.0) {
+      std::fill(class_prior.begin(), class_prior.end(), 1.0 / l);
+    } else {
+      for (double& p : class_prior) p /= prior_total;
+    }
 
     context.ParallelShards(num_workers, [&](int w, int) {
       EstimateWorkerMatrix(dataset, posterior, config, w, matrices[w]);

@@ -7,15 +7,10 @@
 #include "core/common.h"
 #include "core/em_loop.h"
 #include "util/rng.h"
+#include "util/safe_math.h"
 #include "util/special_functions.h"
 
 namespace crowdtruth::core {
-namespace {
-
-// Keeps sigmoid outputs away from {0, 1} in log computations.
-double SafeLog(double x) { return std::log(std::max(x, 1e-12)); }
-
-}  // namespace
 
 CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
                               const InferenceOptions& options) const {
@@ -30,8 +25,7 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> b(n, 1.0);
   if (!options.initial_worker_quality.empty()) {
     for (data::WorkerId w = 0; w < num_workers; ++w) {
-      const double q =
-          std::clamp(options.initial_worker_quality[w], 0.05, 0.95);
+      const double q = util::ClampProb(options.initial_worker_quality[w], 0.05);
       alpha[w] = std::log(q / (1.0 - q));
     }
   }
@@ -108,9 +102,11 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
       std::vector<double>& belief = log_belief[slot];
       std::fill(belief.begin(), belief.end(), 0.0);
       for (const data::TaskVote& vote : votes) {
+        // Sigmoid saturates at the clamped |alpha * beta| extremes; SafeLog
+        // keeps the log-likelihood finite there.
         const double sigma = util::Sigmoid(alpha[vote.worker] * beta);
-        const double log_right = SafeLog(sigma);
-        const double log_wrong = SafeLog((1.0 - sigma) / (l - 1));
+        const double log_right = util::SafeLog(sigma);
+        const double log_wrong = util::SafeLog((1.0 - sigma) / (l - 1));
         for (int z = 0; z < l; ++z) {
           belief[z] += vote.label == z ? log_right : log_wrong;
         }

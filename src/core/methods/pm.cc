@@ -7,6 +7,7 @@
 #include "core/common.h"
 #include "core/em_loop.h"
 #include "util/rng.h"
+#include "util/safe_math.h"
 
 namespace crowdtruth::core {
 namespace {
@@ -17,13 +18,21 @@ namespace {
 constexpr double kErrorEpsilon = 1e-7;
 
 // Step 2 shared by both task types: map accumulated distances to weights.
+// No log floor here: an error-free worker against a huge max_error takes a
+// ratio far below any generic floor, and flooring it would change
+// well-formed results.
 std::vector<double> WeightsFromErrors(const std::vector<double>& errors) {
   double max_error = 0.0;
-  for (double e : errors) max_error = std::max(max_error, e);
+  for (double e : errors) {
+    if (std::isfinite(e)) max_error = std::max(max_error, e);
+  }
   std::vector<double> weights(errors.size(), 0.0);
   for (size_t w = 0; w < errors.size(); ++w) {
+    // A non-finite accumulated distance (squared-error overflow on extreme
+    // numeric answers) counts as the worst observed error: weight 0.
+    const double e = std::isfinite(errors[w]) ? errors[w] : max_error;
     weights[w] =
-        -std::log((errors[w] + kErrorEpsilon) / (max_error + kErrorEpsilon));
+        -std::log((e + kErrorEpsilon) / (max_error + kErrorEpsilon));
   }
   return weights;
 }
@@ -173,7 +182,9 @@ NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
         weighted_sum += weight * vote.value;
         weight_total += weight;
       }
-      next[t] = weighted_sum / weight_total;
+      // weight_total > 0 by the floor above; the fallback only fires when
+      // weighted_sum itself overflowed.
+      next[t] = util::SafeDiv(weighted_sum, weight_total, 0.0);
     });
     ClampGoldenValues(dataset, options, next);
   }});

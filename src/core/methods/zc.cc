@@ -6,6 +6,7 @@
 #include "core/common.h"
 #include "core/em_loop.h"
 #include "util/rng.h"
+#include "util/safe_math.h"
 #include "util/special_functions.h"
 
 namespace crowdtruth::core {
@@ -28,8 +29,8 @@ CategoricalResult Zc::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> quality(num_workers, 0.7);
   if (!options.initial_worker_quality.empty()) {
     for (data::WorkerId w = 0; w < num_workers; ++w) {
-      quality[w] = std::clamp(options.initial_worker_quality[w],
-                              kQualityFloor, 1.0 - kQualityFloor);
+      quality[w] =
+          util::ClampProb(options.initial_worker_quality[w], kQualityFloor);
     }
   }
 
@@ -48,8 +49,8 @@ CategoricalResult Zc::Infer(const data::CategoricalDataset& dataset,
       for (const data::WorkerVote& vote : votes) {
         expected_correct += posterior[vote.task][vote.label];
       }
-      quality[w] = std::clamp(expected_correct / votes.size(), kQualityFloor,
-                              1.0 - kQualityFloor);
+      quality[w] =
+          util::ClampProb(expected_correct / votes.size(), kQualityFloor);
     });
   }});
   // E-step: recompute the task belief from worker probabilities.
@@ -61,9 +62,12 @@ CategoricalResult Zc::Infer(const data::CategoricalDataset& dataset,
       std::vector<double>& belief = log_belief[slot];
       std::fill(belief.begin(), belief.end(), 0.0);
       for (const data::TaskVote& vote : votes) {
+        // The quality step clamps q into [floor, 1 - floor], so both logs
+        // are finite; SafeLog guards the boundary all the same (a saturated
+        // quality must never poison the posterior).
         const double q = quality[vote.worker];
-        const double log_wrong = std::log((1.0 - q) / (l - 1));
-        const double log_right = std::log(q);
+        const double log_wrong = util::SafeLog((1.0 - q) / (l - 1));
+        const double log_right = util::SafeLog(q);
         for (int z = 0; z < l; ++z) {
           belief[z] += vote.label == z ? log_right : log_wrong;
         }

@@ -1,7 +1,10 @@
 #include "data/answer_log.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <utility>
 #include <vector>
@@ -44,7 +47,8 @@ Status ParseHeader(const std::vector<std::string>& fields,
     if (fields.size() > 3) {
       char* end = nullptr;
       const long choices = std::strtol(fields[3].c_str(), &end, 10);
-      if (end == fields[3].c_str() || *end != '\0' || choices < 0) {
+      if (end == fields[3].c_str() || *end != '\0' || choices < 0 ||
+          choices > kMaxLabelSpace) {
         return Status::ParseError(path + ": bad num_choices \"" + fields[3] +
                                   "\"");
       }
@@ -142,6 +146,7 @@ Status AnswerLogReader::Open(const std::string& path) {
   if (!std::getline(in_, header_line)) {
     return Status::ParseError(path + ": empty file (missing header)");
   }
+  util::StripUtf8Bom(&header_line);
   return ParseHeader(util::ParseCsvLine(header_line), path, &header_);
 }
 
@@ -168,8 +173,10 @@ Status AnswerLogReader::Next(AnswerLogRecord* record, bool* eof) {
   record->answer = fields[2];
   char* end = nullptr;
   if (header_.type == AnswerLogType::kCategorical) {
+    errno = 0;
     const long label = std::strtol(fields[2].c_str(), &end, 10);
-    if (end == fields[2].c_str() || *end != '\0' || label < 0) {
+    if (end == fields[2].c_str() || *end != '\0' || label < 0 ||
+        errno == ERANGE || label > std::numeric_limits<int>::max()) {
       return Status::ParseError(path_ + ":" + std::to_string(line_) +
                                 ": bad label \"" + fields[2] + "\"");
     }
@@ -179,6 +186,12 @@ Status AnswerLogReader::Next(AnswerLogRecord* record, bool* eof) {
     if (end == fields[2].c_str() || *end != '\0') {
       return Status::ParseError(path_ + ":" + std::to_string(line_) +
                                 ": bad value \"" + fields[2] + "\"");
+    }
+    // "nan"/"inf" parse cleanly through strtod but poison every weighted
+    // mean downstream; a log record carrying one is malformed.
+    if (!std::isfinite(record->value)) {
+      return Status::ParseError(path_ + ":" + std::to_string(line_) +
+                                ": non-finite value \"" + fields[2] + "\"");
     }
   }
   return Status::Ok();
@@ -221,7 +234,14 @@ Status WriteAnswerLog(const NumericDataset& dataset,
 
 Status LoadCategoricalLog(const std::string& path,
                           const std::string& truth_path, int num_choices,
-                          CategoricalDataset* out) {
+                          const ValidationOptions& validation,
+                          CategoricalDataset* out,
+                          ValidationReport* report) {
+  if (num_choices > kMaxLabelSpace) {
+    return Status::InvalidArgument(
+        "num_choices " + std::to_string(num_choices) +
+        " exceeds the label-space cap " + std::to_string(kMaxLabelSpace));
+  }
   AnswerLogReader reader;
   Status status = reader.Open(path);
   if (!status.ok()) return status;
@@ -231,64 +251,81 @@ Status LoadCategoricalLog(const std::string& path,
 
   IdInterner tasks;
   IdInterner workers;
-  struct Raw {
-    int task;
-    int worker;
-    LabelId label;
-  };
-  std::vector<Raw> raw;
-  int max_label = 1;
+  std::vector<RawCategoricalAnswer> raw;
   AnswerLogRecord record;
   bool eof = false;
+  int64_t row = 1;
   while (true) {
     status = reader.Next(&record, &eof);
     if (!status.ok()) return status;
     if (eof) break;
-    max_label = std::max(max_label, record.label);
-    raw.push_back(
-        {tasks.Intern(record.task), workers.Intern(record.worker),
-         record.label});
+    ++row;
+    raw.push_back({tasks.Intern(record.task), workers.Intern(record.worker),
+                   record.label, row});
   }
 
-  struct RawTruth {
-    int task;
-    LabelId label;
-  };
-  std::vector<RawTruth> raw_truth;
+  std::vector<RawCategoricalTruth> raw_truth;
   if (!truth_path.empty()) {
     std::vector<std::pair<std::string, std::string>> rows;
     status = ReadTruthRows(truth_path, &rows);
     if (!status.ok()) return status;
+    int64_t truth_row = 1;
     for (const auto& [task, truth] : rows) {
+      ++truth_row;
       char* end = nullptr;
+      errno = 0;
       const long label = std::strtol(truth.c_str(), &end, 10);
-      if (end == truth.c_str() || *end != '\0' || label < 0) {
+      if (end == truth.c_str() || *end != '\0' || label < 0 ||
+          errno == ERANGE || label > std::numeric_limits<int>::max()) {
         return Status::ParseError(truth_path + ": bad truth \"" + truth +
                                   "\"");
       }
-      max_label = std::max(max_label, static_cast<int>(label));
-      raw_truth.push_back({tasks.Intern(task), static_cast<LabelId>(label)});
+      raw_truth.push_back(
+          {tasks.Intern(task), static_cast<LabelId>(label), truth_row});
     }
   }
 
-  int choices = num_choices > 0 ? num_choices : reader.header().num_choices;
-  if (choices <= 0) choices = std::max(2, max_label + 1);
-  if (max_label >= choices) {
-    return Status::InvalidArgument(
-        path + ": label " + std::to_string(max_label) +
-        " out of range for num_choices=" + std::to_string(choices));
+  // The label range check needs the final label space: explicit
+  // num_choices, else the header value, else inferred after validation.
+  const int declared =
+      num_choices > 0 ? num_choices : reader.header().num_choices;
+
+  ValidationReport local_report;
+  ValidationReport* tally = report != nullptr ? report : &local_report;
+  status = ValidateCategoricalRecords(path, declared, validation, &raw,
+                                      tally);
+  if (!status.ok()) return status;
+  status = ValidateCategoricalTruth(truth_path, declared, validation,
+                                    &raw_truth, tally);
+  if (!status.ok()) return status;
+
+  int max_label = 1;
+  for (const RawCategoricalAnswer& r : raw) {
+    max_label = std::max(max_label, r.label);
   }
+  for (const RawCategoricalTruth& r : raw_truth) {
+    max_label = std::max(max_label, r.label);
+  }
+  const int choices = declared > 0 ? declared : std::max(2, max_label + 1);
 
   CategoricalDatasetBuilder builder(tasks.size(), workers.size(), choices);
   builder.set_name(path);
-  for (const Raw& r : raw) builder.AddAnswer(r.task, r.worker, r.label);
-  for (const RawTruth& r : raw_truth) builder.SetTruth(r.task, r.label);
-  *out = std::move(builder).Build();
+  for (const RawCategoricalAnswer& r : raw) {
+    builder.AddAnswer(r.task, r.worker, r.label);
+  }
+  for (const RawCategoricalTruth& r : raw_truth) {
+    builder.SetTruth(r.task, r.label);
+  }
+  CategoricalDataset dataset;
+  status = std::move(builder).TryBuild(&dataset);
+  if (!status.ok()) return status;
+  *out = std::move(dataset);
   return Status::Ok();
 }
 
 Status LoadNumericLog(const std::string& path, const std::string& truth_path,
-                      NumericDataset* out) {
+                      const ValidationOptions& validation,
+                      NumericDataset* out, ValidationReport* report) {
   AnswerLogReader reader;
   Status status = reader.Open(path);
   if (!status.ok()) return status;
@@ -298,49 +335,70 @@ Status LoadNumericLog(const std::string& path, const std::string& truth_path,
 
   IdInterner tasks;
   IdInterner workers;
-  struct Raw {
-    int task;
-    int worker;
-    double value;
-  };
-  std::vector<Raw> raw;
+  std::vector<RawNumericAnswer> raw;
   AnswerLogRecord record;
   bool eof = false;
+  int64_t row = 1;
   while (true) {
     status = reader.Next(&record, &eof);
     if (!status.ok()) return status;
     if (eof) break;
-    raw.push_back(
-        {tasks.Intern(record.task), workers.Intern(record.worker),
-         record.value});
+    ++row;
+    raw.push_back({tasks.Intern(record.task), workers.Intern(record.worker),
+                   record.value, row});
   }
 
-  struct RawTruth {
-    int task;
-    double value;
-  };
-  std::vector<RawTruth> raw_truth;
+  std::vector<RawNumericTruth> raw_truth;
   if (!truth_path.empty()) {
     std::vector<std::pair<std::string, std::string>> rows;
     status = ReadTruthRows(truth_path, &rows);
     if (!status.ok()) return status;
+    int64_t truth_row = 1;
     for (const auto& [task, truth] : rows) {
+      ++truth_row;
       char* end = nullptr;
       const double value = std::strtod(truth.c_str(), &end);
       if (end == truth.c_str() || *end != '\0') {
         return Status::ParseError(truth_path + ": bad truth \"" + truth +
                                   "\"");
       }
-      raw_truth.push_back({tasks.Intern(task), value});
+      raw_truth.push_back({tasks.Intern(task), value, truth_row});
     }
   }
 
+  ValidationReport local_report;
+  ValidationReport* tally = report != nullptr ? report : &local_report;
+  status = ValidateNumericRecords(path, validation, &raw, tally);
+  if (!status.ok()) return status;
+  status = ValidateNumericTruth(truth_path, validation, &raw_truth, tally);
+  if (!status.ok()) return status;
+
   NumericDatasetBuilder builder(tasks.size(), workers.size());
   builder.set_name(path);
-  for (const Raw& r : raw) builder.AddAnswer(r.task, r.worker, r.value);
-  for (const RawTruth& r : raw_truth) builder.SetTruth(r.task, r.value);
-  *out = std::move(builder).Build();
+  for (const RawNumericAnswer& r : raw) {
+    builder.AddAnswer(r.task, r.worker, r.value);
+  }
+  for (const RawNumericTruth& r : raw_truth) {
+    builder.SetTruth(r.task, r.value);
+  }
+  NumericDataset dataset;
+  status = std::move(builder).TryBuild(&dataset);
+  if (!status.ok()) return status;
+  *out = std::move(dataset);
   return Status::Ok();
+}
+
+Status LoadCategoricalLog(const std::string& path,
+                          const std::string& truth_path, int num_choices,
+                          CategoricalDataset* out) {
+  return LoadCategoricalLog(path, truth_path, num_choices,
+                            ValidationOptions(), out, /*report=*/nullptr);
+}
+
+Status LoadNumericLog(const std::string& path, const std::string& truth_path,
+                      NumericDataset* out) {
+  return LoadNumericLog(path, truth_path, ValidationOptions(), out,
+                        /*report=*/nullptr);
 }
 
 }  // namespace crowdtruth::data

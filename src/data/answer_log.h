@@ -21,6 +21,7 @@
 #include <string>
 
 #include "data/dataset.h"
+#include "data/validate.h"
 #include "util/status.h"
 
 namespace crowdtruth::data {
@@ -97,7 +98,21 @@ util::Status WriteAnswerLog(const NumericDataset& dataset,
 // order — the same order a streaming replay assigns, so task/worker indices
 // line up between the incremental and batch runs. `truth_path` is an
 // optional `task,truth` CSV keyed by the log's string ids. `num_choices`
-// <= 0 falls back to the header value, then to max label + 1.
+// <= 0 falls back to the header value, then to max label + 1. Records pass
+// through the validator (data/validate.h) under `validation.policy`;
+// `report` (optional) receives the tally.
+util::Status LoadCategoricalLog(const std::string& path,
+                                const std::string& truth_path,
+                                int num_choices,
+                                const ValidationOptions& validation,
+                                CategoricalDataset* out,
+                                ValidationReport* report);
+util::Status LoadNumericLog(const std::string& path,
+                            const std::string& truth_path,
+                            const ValidationOptions& validation,
+                            NumericDataset* out, ValidationReport* report);
+
+// Strict-validation convenience overloads (policy kReject, no report).
 util::Status LoadCategoricalLog(const std::string& path,
                                 const std::string& truth_path,
                                 int num_choices, CategoricalDataset* out);

@@ -16,6 +16,19 @@ bool HasDuplicateWorker(const VoteList& votes) {
   return std::adjacent_find(workers.begin(), workers.end()) != workers.end();
 }
 
+template <typename ByTask>
+util::Status CheckNoDuplicates(const ByTask& by_task,
+                               const std::string& name) {
+  for (size_t t = 0; t < by_task.size(); ++t) {
+    if (HasDuplicateWorker(by_task[t])) {
+      return util::Status::ValidationError(
+          (name.empty() ? std::string("dataset") : name) + ": task " +
+          std::to_string(t) + " has duplicate worker answers");
+    }
+  }
+  return util::Status::Ok();
+}
+
 }  // namespace
 
 CategoricalDatasetBuilder::CategoricalDatasetBuilder(int num_tasks,
@@ -52,14 +65,14 @@ void CategoricalDatasetBuilder::SetTruth(TaskId task, LabelId truth) {
   truth_[task] = truth;
 }
 
-CategoricalDataset CategoricalDatasetBuilder::Build() && {
+util::Status CategoricalDatasetBuilder::TryBuild(CategoricalDataset* out) && {
+  util::Status status = CheckNoDuplicates(by_task_, name_);
+  if (!status.ok()) return status;
   CategoricalDataset dataset;
   dataset.name_ = std::move(name_);
   dataset.num_choices_ = num_choices_;
   int answers = 0;
   for (TaskId t = 0; t < num_tasks_; ++t) {
-    CROWDTRUTH_CHECK(!HasDuplicateWorker(by_task_[t]))
-        << "task " << t << " has duplicate worker answers";
     answers += static_cast<int>(by_task_[t].size());
   }
   dataset.num_answers_ = answers;
@@ -69,6 +82,14 @@ CategoricalDataset CategoricalDatasetBuilder::Build() && {
   dataset.by_task_ = std::move(by_task_);
   dataset.by_worker_ = std::move(by_worker_);
   dataset.truth_ = std::move(truth_);
+  *out = std::move(dataset);
+  return util::Status::Ok();
+}
+
+CategoricalDataset CategoricalDatasetBuilder::Build() && {
+  CategoricalDataset dataset;
+  const util::Status status = std::move(*this).TryBuild(&dataset);
+  CROWDTRUTH_CHECK(status.ok()) << status.ToString();
   return dataset;
 }
 
@@ -100,13 +121,13 @@ void NumericDatasetBuilder::SetTruth(TaskId task, double truth) {
   has_truth_[task] = true;
 }
 
-NumericDataset NumericDatasetBuilder::Build() && {
+util::Status NumericDatasetBuilder::TryBuild(NumericDataset* out) && {
+  util::Status status = CheckNoDuplicates(by_task_, name_);
+  if (!status.ok()) return status;
   NumericDataset dataset;
   dataset.name_ = std::move(name_);
   int answers = 0;
   for (TaskId t = 0; t < num_tasks_; ++t) {
-    CROWDTRUTH_CHECK(!HasDuplicateWorker(by_task_[t]))
-        << "task " << t << " has duplicate worker answers";
     answers += static_cast<int>(by_task_[t].size());
   }
   dataset.num_answers_ = answers;
@@ -116,6 +137,14 @@ NumericDataset NumericDatasetBuilder::Build() && {
   dataset.by_worker_ = std::move(by_worker_);
   dataset.truth_ = std::move(truth_);
   dataset.has_truth_ = std::move(has_truth_);
+  *out = std::move(dataset);
+  return util::Status::Ok();
+}
+
+NumericDataset NumericDatasetBuilder::Build() && {
+  NumericDataset dataset;
+  const util::Status status = std::move(*this).TryBuild(&dataset);
+  CROWDTRUTH_CHECK(status.ok()) << status.ToString();
   return dataset;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace crowdtruth::data {
 
@@ -105,6 +106,13 @@ class CategoricalDatasetBuilder {
 
   void SetTruth(TaskId task, LabelId truth);
 
+  // Validating build for file-derived data: duplicate (task, worker) pairs
+  // are reported as a ValidationError Status instead of aborting. On error
+  // `*out` is untouched.
+  util::Status TryBuild(CategoricalDataset* out) &&;
+
+  // Build for programmatically constructed data (tests, simulation), where
+  // a duplicate answer is a programming error: aborts via CHECK.
   CategoricalDataset Build() &&;
 
  private:
@@ -165,6 +173,8 @@ class NumericDatasetBuilder {
   void AddAnswer(TaskId task, WorkerId worker, double value);
   void SetTruth(TaskId task, double truth);
 
+  // See CategoricalDatasetBuilder::TryBuild / Build.
+  util::Status TryBuild(NumericDataset* out) &&;
   NumericDataset Build() &&;
 
  private:

@@ -1,6 +1,10 @@
 #include "data/io.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -43,8 +47,11 @@ Status CheckHeader(const std::vector<std::vector<std::string>>& rows,
 Status ParseIntField(const std::string& field, const std::string& path,
                      int* out) {
   char* end = nullptr;
+  errno = 0;
   const long value = std::strtol(field.c_str(), &end, 10);
-  if (end == field.c_str() || *end != '\0') {
+  if (end == field.c_str() || *end != '\0' || errno == ERANGE ||
+      value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
     return Status::ParseError(path + ": not an integer: \"" + field + "\"");
   }
   *out = static_cast<int>(value);
@@ -66,7 +73,13 @@ Status ParseDoubleField(const std::string& field, const std::string& path,
 
 Status LoadCategorical(const std::string& answers_path,
                        const std::string& truth_path, int num_choices,
-                       CategoricalDataset* out) {
+                       const ValidationOptions& validation,
+                       CategoricalDataset* out, ValidationReport* report) {
+  if (num_choices > kMaxLabelSpace) {
+    return Status::InvalidArgument(
+        "num_choices " + std::to_string(num_choices) +
+        " exceeds the label-space cap " + std::to_string(kMaxLabelSpace));
+  }
   std::vector<std::vector<std::string>> answer_rows;
   Status status = util::ReadCsvFile(answers_path, &answer_rows);
   if (!status.ok()) return status;
@@ -76,14 +89,8 @@ Status LoadCategorical(const std::string& answers_path,
 
   IdInterner tasks;
   IdInterner workers;
-  struct Raw {
-    int task;
-    int worker;
-    int label;
-  };
-  std::vector<Raw> raw;
+  std::vector<RawCategoricalAnswer> raw;
   raw.reserve(answer_rows.size());
-  int max_label = 1;
   for (size_t i = 1; i < answer_rows.size(); ++i) {
     const auto& row = answer_rows[i];
     if (row.size() != 3) {
@@ -93,18 +100,11 @@ Status LoadCategorical(const std::string& answers_path,
     int label = 0;
     status = ParseIntField(row[2], answers_path, &label);
     if (!status.ok()) return status;
-    if (label < 0) {
-      return Status::ParseError(answers_path + ": negative label");
-    }
-    max_label = std::max(max_label, label);
-    raw.push_back({tasks.Intern(row[0]), workers.Intern(row[1]), label});
+    raw.push_back({tasks.Intern(row[0]), workers.Intern(row[1]), label,
+                   static_cast<int64_t>(i + 1)});
   }
 
-  struct RawTruth {
-    int task;
-    int label;
-  };
-  std::vector<RawTruth> raw_truth;
+  std::vector<RawCategoricalTruth> raw_truth;
   if (!truth_path.empty()) {
     std::vector<std::vector<std::string>> truth_rows;
     status = util::ReadCsvFile(truth_path, &truth_rows);
@@ -120,31 +120,59 @@ Status LoadCategorical(const std::string& answers_path,
       int label = 0;
       status = ParseIntField(row[1], truth_path, &label);
       if (!status.ok()) return status;
-      max_label = std::max(max_label, label);
       // Truth rows may mention tasks with no answers; intern them too so the
       // dataset covers the full task set.
-      raw_truth.push_back({tasks.Intern(row[0]), label});
+      raw_truth.push_back(
+          {tasks.Intern(row[0]), label, static_cast<int64_t>(i + 1)});
     }
   }
 
+  ValidationReport local_report;
+  ValidationReport* tally = report != nullptr ? report : &local_report;
+  status = ValidateCategoricalRecords(answers_path, num_choices, validation,
+                                      &raw, tally);
+  if (!status.ok()) return status;
+  status = ValidateCategoricalTruth(truth_path, num_choices, validation,
+                                    &raw_truth, tally);
+  if (!status.ok()) return status;
+
+  // Label space: explicit num_choices, else inferred from the surviving
+  // answers and truth rows (validation has already removed negatives).
+  int max_label = 1;
+  for (const RawCategoricalAnswer& r : raw) {
+    max_label = std::max(max_label, r.label);
+  }
+  for (const RawCategoricalTruth& r : raw_truth) {
+    max_label = std::max(max_label, r.label);
+  }
   const int choices =
       num_choices > 0 ? num_choices : std::max(2, max_label + 1);
-  if (max_label >= choices) {
-    return Status::InvalidArgument(
-        answers_path + ": label " + std::to_string(max_label) +
-        " out of range for num_choices=" + std::to_string(choices));
-  }
 
   CategoricalDatasetBuilder builder(tasks.size(), workers.size(), choices);
   builder.set_name(answers_path);
-  for (const Raw& r : raw) builder.AddAnswer(r.task, r.worker, r.label);
-  for (const RawTruth& r : raw_truth) builder.SetTruth(r.task, r.label);
-  *out = std::move(builder).Build();
+  for (const RawCategoricalAnswer& r : raw) {
+    builder.AddAnswer(r.task, r.worker, r.label);
+  }
+  for (const RawCategoricalTruth& r : raw_truth) {
+    builder.SetTruth(r.task, r.label);
+  }
+  CategoricalDataset dataset;
+  status = std::move(builder).TryBuild(&dataset);
+  if (!status.ok()) return status;
+  if (report != nullptr) {
+    ValidationReport structural = ValidateDataset(dataset);
+    structural.answers_seen = 0;  // already counted at the record level
+    structural.answers_kept = 0;
+    report->Merge(structural);
+  }
+  *out = std::move(dataset);
   return Status::Ok();
 }
 
 Status LoadNumeric(const std::string& answers_path,
-                   const std::string& truth_path, NumericDataset* out) {
+                   const std::string& truth_path,
+                   const ValidationOptions& validation, NumericDataset* out,
+                   ValidationReport* report) {
   std::vector<std::vector<std::string>> answer_rows;
   Status status = util::ReadCsvFile(answers_path, &answer_rows);
   if (!status.ok()) return status;
@@ -154,12 +182,7 @@ Status LoadNumeric(const std::string& answers_path,
 
   IdInterner tasks;
   IdInterner workers;
-  struct Raw {
-    int task;
-    int worker;
-    double value;
-  };
-  std::vector<Raw> raw;
+  std::vector<RawNumericAnswer> raw;
   raw.reserve(answer_rows.size());
   for (size_t i = 1; i < answer_rows.size(); ++i) {
     const auto& row = answer_rows[i];
@@ -170,14 +193,11 @@ Status LoadNumeric(const std::string& answers_path,
     double value = 0.0;
     status = ParseDoubleField(row[2], answers_path, &value);
     if (!status.ok()) return status;
-    raw.push_back({tasks.Intern(row[0]), workers.Intern(row[1]), value});
+    raw.push_back({tasks.Intern(row[0]), workers.Intern(row[1]), value,
+                   static_cast<int64_t>(i + 1)});
   }
 
-  struct RawTruth {
-    int task;
-    double value;
-  };
-  std::vector<RawTruth> raw_truth;
+  std::vector<RawNumericTruth> raw_truth;
   if (!truth_path.empty()) {
     std::vector<std::vector<std::string>> truth_rows;
     status = util::ReadCsvFile(truth_path, &truth_rows);
@@ -193,16 +213,50 @@ Status LoadNumeric(const std::string& answers_path,
       double value = 0.0;
       status = ParseDoubleField(row[1], truth_path, &value);
       if (!status.ok()) return status;
-      raw_truth.push_back({tasks.Intern(row[0]), value});
+      raw_truth.push_back(
+          {tasks.Intern(row[0]), value, static_cast<int64_t>(i + 1)});
     }
   }
 
+  ValidationReport local_report;
+  ValidationReport* tally = report != nullptr ? report : &local_report;
+  status = ValidateNumericRecords(answers_path, validation, &raw, tally);
+  if (!status.ok()) return status;
+  status = ValidateNumericTruth(truth_path, validation, &raw_truth, tally);
+  if (!status.ok()) return status;
+
   NumericDatasetBuilder builder(tasks.size(), workers.size());
   builder.set_name(answers_path);
-  for (const Raw& r : raw) builder.AddAnswer(r.task, r.worker, r.value);
-  for (const RawTruth& r : raw_truth) builder.SetTruth(r.task, r.value);
-  *out = std::move(builder).Build();
+  for (const RawNumericAnswer& r : raw) {
+    builder.AddAnswer(r.task, r.worker, r.value);
+  }
+  for (const RawNumericTruth& r : raw_truth) {
+    builder.SetTruth(r.task, r.value);
+  }
+  NumericDataset dataset;
+  status = std::move(builder).TryBuild(&dataset);
+  if (!status.ok()) return status;
+  if (report != nullptr) {
+    ValidationReport structural = ValidateDataset(dataset);
+    structural.answers_seen = 0;
+    structural.answers_kept = 0;
+    report->Merge(structural);
+  }
+  *out = std::move(dataset);
   return Status::Ok();
+}
+
+Status LoadCategorical(const std::string& answers_path,
+                       const std::string& truth_path, int num_choices,
+                       CategoricalDataset* out) {
+  return LoadCategorical(answers_path, truth_path, num_choices,
+                         ValidationOptions(), out, /*report=*/nullptr);
+}
+
+Status LoadNumeric(const std::string& answers_path,
+                   const std::string& truth_path, NumericDataset* out) {
+  return LoadNumeric(answers_path, truth_path, ValidationOptions(), out,
+                     /*report=*/nullptr);
 }
 
 Status SaveCategorical(const CategoricalDataset& dataset,

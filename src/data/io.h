@@ -11,12 +11,31 @@
 #include <string>
 
 #include "data/dataset.h"
+#include "data/validate.h"
 #include "util/status.h"
 
 namespace crowdtruth::data {
 
 // Loads a categorical dataset. `truth_path` may be empty (no ground truth).
 // `num_choices` <= 0 means "infer from the data" (max label + 1, at least 2).
+//
+// Every record passes through the validator (data/validate.h):
+// `validation.policy` decides whether duplicate pairs, out-of-range labels
+// and conflicting truth rows fail the load (kReject, the default) or are
+// repaired in place. `report`, when non-null, receives the full tally
+// (including post-build structural diagnostics).
+util::Status LoadCategorical(const std::string& answers_path,
+                             const std::string& truth_path, int num_choices,
+                             const ValidationOptions& validation,
+                             CategoricalDataset* out,
+                             ValidationReport* report);
+
+util::Status LoadNumeric(const std::string& answers_path,
+                         const std::string& truth_path,
+                         const ValidationOptions& validation,
+                         NumericDataset* out, ValidationReport* report);
+
+// Strict-validation convenience overloads (policy kReject, no report).
 util::Status LoadCategorical(const std::string& answers_path,
                              const std::string& truth_path, int num_choices,
                              CategoricalDataset* out);

@@ -1,0 +1,323 @@
+#include "data/validate.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+namespace crowdtruth::data {
+namespace {
+
+using util::Status;
+
+// Key for (task, worker) duplicate detection. Task/worker ids are dense
+// interned ints, so a single 64-bit key is collision-free.
+uint64_t PairKey(int task, int worker) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(task)) << 32) |
+         static_cast<uint32_t>(worker);
+}
+
+void AddExample(const ValidationOptions& options, ValidationReport* report,
+                std::string message) {
+  if (static_cast<int>(report->examples.size()) < options.max_examples) {
+    report->examples.push_back(std::move(message));
+  }
+}
+
+std::string RowPrefix(const std::string& source, int64_t row) {
+  return source + (row > 0 ? ":" + std::to_string(row) : "") + ": ";
+}
+
+void AppendCount(int64_t count, const char* what, std::string* out) {
+  if (count == 0) return;
+  if (!out->empty()) *out += ", ";
+  *out += std::to_string(count) + " " + what;
+  if (count != 1) *out += "s";
+}
+
+// Shared duplicate/dedupe sweep over answer records. `keep` receives the
+// indices that survive, in input order.
+template <typename Record>
+Status SweepDuplicates(const std::string& source,
+                       const ValidationOptions& options,
+                       std::vector<Record>* records,
+                       ValidationReport* report) {
+  std::unordered_map<uint64_t, size_t> first_seen;
+  first_seen.reserve(records->size());
+  std::vector<bool> drop(records->size(), false);
+  for (size_t i = 0; i < records->size(); ++i) {
+    const Record& r = (*records)[i];
+    auto [it, inserted] = first_seen.emplace(PairKey(r.task, r.worker), i);
+    if (inserted) continue;
+    ++report->duplicate_answers;
+    AddExample(options, report,
+               RowPrefix(source, r.row) + "duplicate answer (task " +
+                   std::to_string(r.task) + ", worker " +
+                   std::to_string(r.worker) + ")");
+    switch (options.policy) {
+      case BadRecordPolicy::kReject:
+        return Status::ValidationError(
+            RowPrefix(source, r.row) + "duplicate answer: worker " +
+            std::to_string(r.worker) + " already answered task " +
+            std::to_string(r.task));
+      case BadRecordPolicy::kDedupeKeepLast:
+        // The later record supersedes: overwrite the survivor in place so
+        // the kept row keeps its original position.
+        (*records)[it->second] = r;
+        drop[i] = true;
+        break;
+      case BadRecordPolicy::kDropRow:
+        drop[i] = true;
+        break;
+    }
+  }
+  size_t kept = 0;
+  for (size_t i = 0; i < records->size(); ++i) {
+    if (!drop[i]) (*records)[kept++] = (*records)[i];
+  }
+  records->resize(kept);
+  return Status::Ok();
+}
+
+// Drops (or rejects on) records failing `bad`, counting into `counter`.
+template <typename Record, typename BadFn, typename DescribeFn>
+Status SweepBadRows(const std::string& source,
+                    const ValidationOptions& options,
+                    std::vector<Record>* records, ValidationReport* report,
+                    int64_t* counter, BadFn bad, DescribeFn describe) {
+  size_t kept = 0;
+  for (size_t i = 0; i < records->size(); ++i) {
+    const Record& r = (*records)[i];
+    if (bad(r)) {
+      ++*counter;
+      AddExample(options, report, RowPrefix(source, r.row) + describe(r));
+      if (options.policy == BadRecordPolicy::kReject) {
+        return Status::ValidationError(RowPrefix(source, r.row) +
+                                       describe(r));
+      }
+      continue;
+    }
+    (*records)[kept++] = r;
+  }
+  records->resize(kept);
+  return Status::Ok();
+}
+
+// Truth rows: same-task duplicates. Agreeing duplicates collapse silently;
+// conflicting ones follow the policy (keep-last under kDedupeKeepLast,
+// keep-first under kDropRow, error under kReject).
+template <typename Row, typename SameFn>
+Status SweepTruthDuplicates(const std::string& source,
+                            const ValidationOptions& options,
+                            std::vector<Row>* rows, ValidationReport* report,
+                            SameFn same_value) {
+  std::unordered_map<int, size_t> first_seen;
+  first_seen.reserve(rows->size());
+  std::vector<bool> drop(rows->size(), false);
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const Row& r = (*rows)[i];
+    auto [it, inserted] = first_seen.emplace(r.task, i);
+    if (inserted) continue;
+    drop[i] = true;
+    if (same_value((*rows)[it->second], r)) continue;
+    ++report->duplicate_truth;
+    AddExample(options, report,
+               RowPrefix(source, r.row) + "conflicting truth for task " +
+                   std::to_string(r.task));
+    switch (options.policy) {
+      case BadRecordPolicy::kReject:
+        return Status::ValidationError(RowPrefix(source, r.row) +
+                                       "conflicting truth for task " +
+                                       std::to_string(r.task));
+      case BadRecordPolicy::kDedupeKeepLast:
+        (*rows)[it->second] = r;
+        break;
+      case BadRecordPolicy::kDropRow:
+        break;
+    }
+  }
+  size_t kept = 0;
+  for (size_t i = 0; i < rows->size(); ++i) {
+    if (!drop[i]) (*rows)[kept++] = (*rows)[i];
+  }
+  rows->resize(kept);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ParseBadRecordPolicy(const std::string& name, BadRecordPolicy* out) {
+  if (name == "reject") {
+    *out = BadRecordPolicy::kReject;
+  } else if (name == "dedupe" || name == "dedupe-keep-last") {
+    *out = BadRecordPolicy::kDedupeKeepLast;
+  } else if (name == "drop" || name == "drop-row") {
+    *out = BadRecordPolicy::kDropRow;
+  } else {
+    return Status::InvalidArgument(
+        "unknown bad-record policy \"" + name +
+        "\" (expected reject, dedupe, or drop)");
+  }
+  return Status::Ok();
+}
+
+std::string BadRecordPolicyName(BadRecordPolicy policy) {
+  switch (policy) {
+    case BadRecordPolicy::kReject: return "reject";
+    case BadRecordPolicy::kDedupeKeepLast: return "dedupe-keep-last";
+    case BadRecordPolicy::kDropRow: return "drop-row";
+  }
+  return "unknown";
+}
+
+std::string ValidationReport::Summary() const {
+  std::string findings;
+  AppendCount(duplicate_answers, "duplicate answer", &findings);
+  AppendCount(out_of_range_labels, "out-of-range label", &findings);
+  AppendCount(non_finite_values, "non-finite value", &findings);
+  AppendCount(duplicate_truth, "conflicting truth row", &findings);
+  AppendCount(out_of_range_truth, "out-of-range truth label", &findings);
+  AppendCount(non_finite_truth, "non-finite truth value", &findings);
+  AppendCount(empty_tasks, "empty task", &findings);
+  AppendCount(idle_workers, "idle worker", &findings);
+  AppendCount(truth_only_tasks, "truth-only task", &findings);
+  if (findings.empty()) findings = "no findings";
+  std::string summary = std::to_string(answers_seen) + " answers seen, " +
+                        std::to_string(answers_kept) + " kept; " + findings;
+  return summary;
+}
+
+void ValidationReport::Merge(const ValidationReport& other) {
+  answers_seen += other.answers_seen;
+  answers_kept += other.answers_kept;
+  duplicate_answers += other.duplicate_answers;
+  out_of_range_labels += other.out_of_range_labels;
+  non_finite_values += other.non_finite_values;
+  duplicate_truth += other.duplicate_truth;
+  out_of_range_truth += other.out_of_range_truth;
+  non_finite_truth += other.non_finite_truth;
+  empty_tasks += other.empty_tasks;
+  idle_workers += other.idle_workers;
+  truth_only_tasks += other.truth_only_tasks;
+  for (const std::string& example : other.examples) {
+    examples.push_back(example);
+  }
+}
+
+Status ValidateCategoricalRecords(
+    const std::string& source, int num_choices,
+    const ValidationOptions& options,
+    std::vector<RawCategoricalAnswer>* records, ValidationReport* report) {
+  report->answers_seen += static_cast<int64_t>(records->size());
+  // Inferred label spaces are capped at kMaxLabelSpace (see validate.h).
+  const int bound = num_choices > 0 ? num_choices : kMaxLabelSpace;
+  Status status = SweepBadRows(
+      source, options, records, report, &report->out_of_range_labels,
+      [bound](const RawCategoricalAnswer& r) {
+        return r.label < 0 || r.label >= bound;
+      },
+      [num_choices, bound](const RawCategoricalAnswer& r) {
+        return "label " + std::to_string(r.label) + " out of range" +
+               (num_choices > 0
+                    ? " for num_choices=" + std::to_string(num_choices)
+                    : " (label-space cap " + std::to_string(bound) + ")");
+      });
+  if (!status.ok()) return status;
+  status = SweepDuplicates(source, options, records, report);
+  if (!status.ok()) return status;
+  report->answers_kept += static_cast<int64_t>(records->size());
+  return Status::Ok();
+}
+
+Status ValidateNumericRecords(const std::string& source,
+                              const ValidationOptions& options,
+                              std::vector<RawNumericAnswer>* records,
+                              ValidationReport* report) {
+  report->answers_seen += static_cast<int64_t>(records->size());
+  Status status = SweepBadRows(
+      source, options, records, report, &report->non_finite_values,
+      [](const RawNumericAnswer& r) { return !std::isfinite(r.value); },
+      [](const RawNumericAnswer&) {
+        return std::string("non-finite answer value");
+      });
+  if (!status.ok()) return status;
+  status = SweepDuplicates(source, options, records, report);
+  if (!status.ok()) return status;
+  report->answers_kept += static_cast<int64_t>(records->size());
+  return Status::Ok();
+}
+
+Status ValidateCategoricalTruth(const std::string& source, int num_choices,
+                                const ValidationOptions& options,
+                                std::vector<RawCategoricalTruth>* rows,
+                                ValidationReport* report) {
+  const int bound = num_choices > 0 ? num_choices : kMaxLabelSpace;
+  Status status = SweepBadRows(
+      source, options, rows, report, &report->out_of_range_truth,
+      [bound](const RawCategoricalTruth& r) {
+        return r.label < 0 || r.label >= bound;
+      },
+      [num_choices, bound](const RawCategoricalTruth& r) {
+        return "truth label " + std::to_string(r.label) + " out of range" +
+               (num_choices > 0
+                    ? " for num_choices=" + std::to_string(num_choices)
+                    : " (label-space cap " + std::to_string(bound) + ")");
+      });
+  if (!status.ok()) return status;
+  return SweepTruthDuplicates(
+      source, options, rows, report,
+      [](const RawCategoricalTruth& a, const RawCategoricalTruth& b) {
+        return a.label == b.label;
+      });
+}
+
+Status ValidateNumericTruth(const std::string& source,
+                            const ValidationOptions& options,
+                            std::vector<RawNumericTruth>* rows,
+                            ValidationReport* report) {
+  Status status = SweepBadRows(
+      source, options, rows, report, &report->non_finite_truth,
+      [](const RawNumericTruth& r) { return !std::isfinite(r.value); },
+      [](const RawNumericTruth&) {
+        return std::string("non-finite truth value");
+      });
+  if (!status.ok()) return status;
+  return SweepTruthDuplicates(
+      source, options, rows, report,
+      [](const RawNumericTruth& a, const RawNumericTruth& b) {
+        return a.value == b.value;
+      });
+}
+
+ValidationReport ValidateDataset(const CategoricalDataset& dataset) {
+  ValidationReport report;
+  report.answers_seen = dataset.num_answers();
+  report.answers_kept = dataset.num_answers();
+  for (TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (dataset.AnswersForTask(t).empty()) {
+      ++report.empty_tasks;
+      if (dataset.HasTruth(t)) ++report.truth_only_tasks;
+    }
+  }
+  for (WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    if (dataset.AnswersByWorker(w).empty()) ++report.idle_workers;
+  }
+  return report;
+}
+
+ValidationReport ValidateDataset(const NumericDataset& dataset) {
+  ValidationReport report;
+  report.answers_seen = dataset.num_answers();
+  report.answers_kept = dataset.num_answers();
+  for (TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    if (dataset.AnswersForTask(t).empty()) {
+      ++report.empty_tasks;
+      if (dataset.HasTruth(t)) ++report.truth_only_tasks;
+    }
+  }
+  for (WorkerId w = 0; w < dataset.num_workers(); ++w) {
+    if (dataset.AnswersByWorker(w).empty()) ++report.idle_workers;
+  }
+  return report;
+}
+
+}  // namespace crowdtruth::data

@@ -1,0 +1,159 @@
+// Validation subsystem for the untrusted-input path.
+//
+// Real crowdsourcing dumps are messy: duplicate (task, worker) pairs,
+// out-of-range labels, NaN/Inf numeric answers, truth rows for tasks nobody
+// answered, conflicting truth rows. The loaders (data/io.h,
+// data/answer_log.h) route every file-derived record through the
+// record-level validators below before building a dataset, so malformed
+// input surfaces as a recoverable util::Status — never a CHECK abort and
+// never a silent NaN inside the inference kernels.
+//
+// Two layers:
+//   * Record validation (ValidateCategoricalRecords, ...) — mutates a raw
+//     record list according to a BadRecordPolicy and accumulates a
+//     ValidationReport. kReject turns the first finding into a
+//     ValidationError Status; the repair policies drop or dedupe offending
+//     rows and keep going.
+//   * Dataset diagnostics (ValidateDataset) — non-mutating structural scan
+//     of a built dataset (empty tasks, idle workers, truth coverage);
+//     informational, never an error.
+#ifndef CROWDTRUTH_DATA_VALIDATE_H_
+#define CROWDTRUTH_DATA_VALIDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace crowdtruth::data {
+
+// What to do with a record the validator flags.
+//   kReject        — fail the whole load with a ValidationError Status.
+//   kDedupeKeepLast— duplicates collapse to the last occurrence (later
+//                    answers supersede earlier ones, matching an
+//                    append-only collection log); other bad rows drop.
+//   kDropRow       — duplicates collapse to the first occurrence; other
+//                    bad rows drop.
+enum class BadRecordPolicy { kReject, kDedupeKeepLast, kDropRow };
+
+// Parses "reject" / "dedupe" / "dedupe-keep-last" / "drop" / "drop-row".
+util::Status ParseBadRecordPolicy(const std::string& name,
+                                  BadRecordPolicy* out);
+std::string BadRecordPolicyName(BadRecordPolicy policy);
+
+// Largest label space the validators accept when `num_choices` is inferred
+// from the data. Several methods keep per-worker l x l confusion matrices,
+// so a single corrupt row carrying label 10^6 would otherwise make the
+// loader build a dataset whose inference needs terabytes. Real single-choice
+// label spaces are tiny (the paper's datasets top out at l = 8).
+inline constexpr int kMaxLabelSpace = 1024;
+
+struct ValidationOptions {
+  BadRecordPolicy policy = BadRecordPolicy::kReject;
+  // Example messages retained in ValidationReport::examples; further
+  // findings only bump the counters.
+  int max_examples = 8;
+};
+
+// Structured tally of everything the validators found. `rows_dropped()`
+// tells a caller how much repair happened; the per-kind counters say why.
+struct ValidationReport {
+  // Record-level findings (mutating validators).
+  int64_t answers_seen = 0;
+  int64_t answers_kept = 0;
+  int64_t duplicate_answers = 0;
+  int64_t out_of_range_labels = 0;
+  int64_t non_finite_values = 0;
+  int64_t duplicate_truth = 0;
+  int64_t out_of_range_truth = 0;
+  int64_t non_finite_truth = 0;
+
+  // Structural diagnostics (ValidateDataset).
+  int64_t empty_tasks = 0;       // tasks with zero answers
+  int64_t idle_workers = 0;      // workers with zero answers
+  int64_t truth_only_tasks = 0;  // labeled tasks nobody answered
+
+  // First max_examples human-readable findings, in input order.
+  std::vector<std::string> examples;
+
+  // Total records the repair policies removed or collapsed.
+  int64_t rows_dropped() const {
+    return answers_seen - answers_kept;
+  }
+  // True when any record-level finding fired.
+  bool clean() const {
+    return duplicate_answers == 0 && out_of_range_labels == 0 &&
+           non_finite_values == 0 && duplicate_truth == 0 &&
+           out_of_range_truth == 0 && non_finite_truth == 0;
+  }
+  // One-line summary
+  // ("5 answers seen, 3 kept; 1 duplicate answer, 1 out-of-range label").
+  std::string Summary() const;
+
+  void Merge(const ValidationReport& other);
+};
+
+// Raw records as the loaders see them after id interning, before the
+// dataset is built. `row` is the 1-based source line for error messages.
+struct RawCategoricalAnswer {
+  int task = 0;
+  int worker = 0;
+  LabelId label = 0;
+  int64_t row = 0;
+};
+struct RawNumericAnswer {
+  int task = 0;
+  int worker = 0;
+  double value = 0.0;
+  int64_t row = 0;
+};
+struct RawCategoricalTruth {
+  int task = 0;
+  LabelId label = 0;
+  int64_t row = 0;
+};
+struct RawNumericTruth {
+  int task = 0;
+  double value = 0.0;
+  int64_t row = 0;
+};
+
+// Record-level validators. Mutate `*records` in place according to
+// `options.policy` and accumulate into `*report` (which is not reset, so
+// one report can cover an answers file plus a truth file). `source` names
+// the input in error messages. `num_choices` <= 0 disables the label range
+// check (the caller infers the label space from the data afterwards).
+util::Status ValidateCategoricalRecords(
+    const std::string& source, int num_choices,
+    const ValidationOptions& options,
+    std::vector<RawCategoricalAnswer>* records, ValidationReport* report);
+
+util::Status ValidateNumericRecords(const std::string& source,
+                                    const ValidationOptions& options,
+                                    std::vector<RawNumericAnswer>* records,
+                                    ValidationReport* report);
+
+// Truth-row validators: range/finiteness plus conflicting duplicates
+// (two truth rows for one task). A duplicate pair that agrees is collapsed
+// silently under every policy; a conflicting one follows the policy.
+util::Status ValidateCategoricalTruth(const std::string& source,
+                                      int num_choices,
+                                      const ValidationOptions& options,
+                                      std::vector<RawCategoricalTruth>* rows,
+                                      ValidationReport* report);
+
+util::Status ValidateNumericTruth(const std::string& source,
+                                  const ValidationOptions& options,
+                                  std::vector<RawNumericTruth>* rows,
+                                  ValidationReport* report);
+
+// Structural diagnostics over a built dataset: empty tasks, idle workers,
+// labeled-but-unanswered tasks. Purely informational.
+ValidationReport ValidateDataset(const CategoricalDataset& dataset);
+ValidationReport ValidateDataset(const NumericDataset& dataset);
+
+}  // namespace crowdtruth::data
+
+#endif  // CROWDTRUTH_DATA_VALIDATE_H_

@@ -1,5 +1,7 @@
 #include "streaming/incremental.h"
 
+#include <cmath>
+#include <string>
 #include <utility>
 
 #include "streaming/snapshot_util.h"
@@ -240,6 +242,10 @@ IncrementalNumericMethod::IncrementalNumericMethod(StreamingOptions options)
 Status IncrementalNumericMethod::Observe(const NumericAnswer& answer) {
   if (answer.task < 0 || answer.worker < 0) {
     return Status::InvalidArgument("negative task or worker id");
+  }
+  if (!std::isfinite(answer.value)) {
+    return Status::InvalidArgument(
+        "non-finite answer value for task " + std::to_string(answer.task));
   }
   if (answer.task < num_tasks()) {
     for (const data::NumericTaskVote& vote : by_task_[answer.task]) {

@@ -5,6 +5,13 @@
 
 namespace crowdtruth::util {
 
+void StripUtf8Bom(std::string* line) {
+  if (line->size() >= 3 && (*line)[0] == '\xef' && (*line)[1] == '\xbb' &&
+      (*line)[2] == '\xbf') {
+    line->erase(0, 3);
+  }
+}
+
 std::vector<std::string> ParseCsvLine(const std::string& line) {
   std::vector<std::string> fields;
   std::string current;
@@ -62,7 +69,12 @@ Status ReadCsvFile(const std::string& path,
   if (!in) return Status::IoError("cannot open for reading: " + path);
   rows->clear();
   std::string line;
+  bool first = true;
   while (std::getline(in, line)) {
+    if (first) {
+      StripUtf8Bom(&line);
+      first = false;
+    }
     if (line.empty() || line == "\r") continue;
     rows->push_back(ParseCsvLine(line));
   }

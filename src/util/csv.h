@@ -11,6 +11,10 @@
 
 namespace crowdtruth::util {
 
+// Removes a leading UTF-8 byte-order mark, if present. Spreadsheet exports
+// routinely prepend one; left in place it corrupts the first header field.
+void StripUtf8Bom(std::string* line);
+
 // Splits one CSV line into fields.
 std::vector<std::string> ParseCsvLine(const std::string& line);
 

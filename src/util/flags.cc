@@ -1,7 +1,9 @@
 #include "util/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -17,11 +19,20 @@ namespace {
   std::exit(2);
 }
 
+// A flag declared with a boolean default is a switch: it takes a value only
+// via `--key=value`, never from the following operand.
+bool IsBooleanFlag(const std::map<std::string, std::string>& defaults,
+                   const std::string& key) {
+  auto it = defaults.find(key);
+  return it != defaults.end() &&
+         (it->second == "true" || it->second == "false");
+}
+
 }  // namespace
 
 Flags::Flags(int argc, char** argv,
              const std::map<std::string, std::string>& defaults)
-    : values_(defaults) {
+    : defaults_(defaults), values_(defaults) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) Usage(defaults, "unexpected argument " + arg);
@@ -35,8 +46,11 @@ Flags::Flags(int argc, char** argv,
     } else {
       key = arg;
       // A flag with no value and no following operand is a boolean switch:
-      // `--trace` is shorthand for `--trace=true`.
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // `--trace` is shorthand for `--trace=true`. Declared booleans never
+      // take the next operand, so `--trace report.json` does not eat the
+      // filename (report.json then fails as an unexpected argument).
+      if (!IsBooleanFlag(defaults, key) && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
         value = argv[++i];
       } else {
         value = "true";
@@ -56,11 +70,27 @@ const std::string& Flags::Get(const std::string& key) const {
 }
 
 int Flags::GetInt(const std::string& key) const {
-  return std::atoi(Get(key).c_str());
+  const std::string& v = Get(key);
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE ||
+      value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    Usage(defaults_, "--" + key + " expects an integer, got \"" + v + "\"");
+  }
+  return static_cast<int>(value);
 }
 
 double Flags::GetDouble(const std::string& key) const {
-  return std::atof(Get(key).c_str());
+  const std::string& v = Get(key);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    Usage(defaults_, "--" + key + " expects a number, got \"" + v + "\"");
+  }
+  return value;
 }
 
 bool Flags::GetBool(const std::string& key) const {

@@ -1,6 +1,15 @@
 // Tiny command-line flag parser for the bench and example binaries.
 // Supports `--key=value`, `--key value`, and bare `--key` (parsed as the
 // boolean "true"); unknown flags are fatal so typos surface immediately.
+//
+// A flag whose default is "true" or "false" is a declared boolean: it never
+// consumes the following operand (`--trace report.json` leaves report.json
+// as a positional, which is then rejected), so a boolean switch in front of
+// a filename cannot silently swallow it.
+//
+// GetInt/GetDouble require the whole value to parse ("12abc", "", and
+// out-of-range values exit with the usage message) — numeric typos fail
+// loudly instead of truncating to a prefix or defaulting to 0.
 #ifndef CROWDTRUTH_UTIL_FLAGS_H_
 #define CROWDTRUTH_UTIL_FLAGS_H_
 
@@ -11,7 +20,7 @@ namespace crowdtruth::util {
 
 class Flags {
  public:
-  // Parses argv; aborts with a message listing allowed keys on error.
+  // Parses argv; exits with a message listing allowed keys on error.
   Flags(int argc, char** argv,
         const std::map<std::string, std::string>& defaults);
 
@@ -21,6 +30,7 @@ class Flags {
   bool GetBool(const std::string& key) const;
 
  private:
+  std::map<std::string, std::string> defaults_;
   std::map<std::string, std::string> values_;
 };
 

@@ -1,0 +1,55 @@
+// Numeric guards for the quality -> truth boundary of the inference
+// kernels. Real crowdsourcing dumps produce degenerate workloads — workers
+// whose estimated quality saturates at 0 or 1, tasks with a single answer,
+// single-class datasets — under which the naive updates take log(0) or
+// divide by zero. These helpers keep every such computation finite while
+// remaining bit-identical to the unguarded expressions on well-formed
+// inputs: each function is the identity whenever its argument is already
+// inside the guarded region.
+#ifndef CROWDTRUTH_UTIL_SAFE_MATH_H_
+#define CROWDTRUTH_UTIL_SAFE_MATH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace crowdtruth::util {
+
+// Smallest probability the guarded log computations accept. log(kProbFloor)
+// is ~ -27.6, far from overflow but decisive enough that a floored outcome
+// still loses every vote against a regular one.
+inline constexpr double kProbFloor = 1e-12;
+
+// Clamps a probability into [eps, 1 - eps]. NaN input maps to 0.5 (the
+// uninformative value) so a poisoned quality estimate degrades the method
+// to majority-vote behavior instead of propagating.
+inline double ClampProb(double p, double eps) {
+  if (std::isnan(p)) return 0.5;
+  return std::clamp(p, eps, 1.0 - eps);
+}
+
+// log(x) with a floor keeping the result finite: SafeLog(x) == log(x) for
+// every x >= `floor`, and log(floor) below (including x <= 0 and NaN).
+inline double SafeLog(double x, double floor = kProbFloor) {
+  if (!(x >= floor)) return std::log(floor);  // catches NaN too
+  return std::log(x);
+}
+
+// num / den, falling back when the quotient would be non-finite (den == 0,
+// or either operand NaN/Inf).
+inline double SafeDiv(double num, double den, double fallback) {
+  const double q = num / den;
+  return std::isfinite(q) ? q : fallback;
+}
+
+// True when every element is finite.
+inline bool AllFinite(const std::vector<double>& values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace crowdtruth::util
+
+#endif  // CROWDTRUTH_UTIL_SAFE_MATH_H_

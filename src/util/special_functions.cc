@@ -80,6 +80,15 @@ double LogSumExp(const std::vector<double>& values) {
 
 void SoftmaxInPlace(std::vector<double>& log_weights) {
   const double lse = LogSumExp(log_weights);
+  if (!std::isfinite(lse)) {
+    // Degenerate weight vector (all -inf, or a +inf/NaN entry): fall back
+    // to the uniform distribution instead of emitting NaN. Never reached
+    // for well-formed inputs, where at least one weight is finite.
+    const double uniform =
+        log_weights.empty() ? 0.0 : 1.0 / log_weights.size();
+    for (double& v : log_weights) v = uniform;
+    return;
+  }
   for (double& v : log_weights) v = std::exp(v - lse);
 }
 

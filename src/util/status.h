@@ -13,7 +13,22 @@ enum class StatusCode {
   kNotFound,
   kIoError,
   kParseError,
+  kValidationError,
 };
+
+// Stable name for each code, suitable for error messages and for scripts
+// that classify failures ("ParseError", "ValidationError", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kValidationError: return "ValidationError";
+  }
+  return "Unknown";
+}
 
 // Value-semantic success/error carrier. An OK status has an empty message.
 class Status {
@@ -35,14 +50,19 @@ class Status {
   static Status ParseError(std::string message) {
     return Status(StatusCode::kParseError, std::move(message));
   }
+  static Status ValidationError(std::string message) {
+    return Status(StatusCode::kValidationError, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // "ParseError: answers.csv:3: not an integer". The code name leads so
+  // callers (and CI scripts) can classify failures from the message alone.
   std::string ToString() const {
     if (ok()) return "OK";
-    return message_;
+    return std::string(StatusCodeName(code_)) + ": " + message_;
   }
 
  private:

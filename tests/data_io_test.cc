@@ -118,7 +118,9 @@ TEST(DataIoTest, LabelOutOfDeclaredRangeRejected) {
   CategoricalDataset dataset;
   const util::Status status = LoadCategorical(answers, "", 2, &dataset);
   EXPECT_FALSE(status.ok());
-  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  // Out-of-range labels are a record-validation finding (data/validate.h),
+  // rejected under the default BadRecordPolicy::kReject.
+  EXPECT_EQ(status.code(), util::StatusCode::kValidationError);
   std::remove(answers.c_str());
 }
 

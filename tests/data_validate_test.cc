@@ -1,0 +1,193 @@
+// Unit tests for the record-level validators and structural diagnostics in
+// data/validate.h (the loaders' integration is covered by data_io_test and
+// fuzz_input_test).
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/validate.h"
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace crowdtruth::data {
+namespace {
+
+TEST(BadRecordPolicyTest, ParsesAllSpellings) {
+  const std::pair<const char*, BadRecordPolicy> cases[] = {
+      {"reject", BadRecordPolicy::kReject},
+      {"dedupe", BadRecordPolicy::kDedupeKeepLast},
+      {"dedupe-keep-last", BadRecordPolicy::kDedupeKeepLast},
+      {"drop", BadRecordPolicy::kDropRow},
+      {"drop-row", BadRecordPolicy::kDropRow},
+  };
+  for (const auto& [name, want] : cases) {
+    BadRecordPolicy policy;
+    ASSERT_TRUE(ParseBadRecordPolicy(name, &policy).ok()) << name;
+    EXPECT_EQ(policy, want) << name;
+  }
+  BadRecordPolicy policy;
+  EXPECT_FALSE(ParseBadRecordPolicy("ignore", &policy).ok());
+}
+
+TEST(ValidateCategoricalRecordsTest, RejectStopsAtFirstDuplicate) {
+  std::vector<RawCategoricalAnswer> records = {
+      {0, 0, 1, 2}, {0, 1, 0, 3}, {0, 0, 0, 4}};
+  ValidationOptions options;
+  ValidationReport report;
+  const util::Status status =
+      ValidateCategoricalRecords("answers.csv", 2, options, &records,
+                                 &report);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kValidationError);
+  EXPECT_NE(status.message().find("answers.csv"), std::string::npos);
+}
+
+TEST(ValidateCategoricalRecordsTest, DedupeKeepsLastInOriginalPosition) {
+  std::vector<RawCategoricalAnswer> records = {
+      {0, 0, 1, 2}, {0, 1, 0, 3}, {0, 0, 0, 4}};
+  ValidationOptions options;
+  options.policy = BadRecordPolicy::kDedupeKeepLast;
+  ValidationReport report;
+  ASSERT_TRUE(ValidateCategoricalRecords("answers.csv", 2, options,
+                                         &records, &report)
+                  .ok());
+  ASSERT_EQ(records.size(), 2u);
+  // The survivor keeps the first occurrence's position but the last
+  // occurrence's payload.
+  EXPECT_EQ(records[0].task, 0);
+  EXPECT_EQ(records[0].worker, 0);
+  EXPECT_EQ(records[0].label, 0);
+  EXPECT_EQ(report.duplicate_answers, 1);
+  EXPECT_EQ(report.answers_seen, 3);
+  EXPECT_EQ(report.answers_kept, 2);
+  EXPECT_EQ(report.rows_dropped(), 1);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(ValidateCategoricalRecordsTest, DropKeepsFirstOccurrence) {
+  std::vector<RawCategoricalAnswer> records = {
+      {0, 0, 1, 2}, {0, 0, 0, 3}};
+  ValidationOptions options;
+  options.policy = BadRecordPolicy::kDropRow;
+  ValidationReport report;
+  ASSERT_TRUE(ValidateCategoricalRecords("answers.csv", 2, options,
+                                         &records, &report)
+                  .ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].label, 1);
+}
+
+TEST(ValidateCategoricalRecordsTest, RangeCheckNeedsDeclaredChoices) {
+  std::vector<RawCategoricalAnswer> records = {{0, 0, 7, 2}, {1, 0, 1, 3}};
+  ValidationOptions options;
+  options.policy = BadRecordPolicy::kDropRow;
+  ValidationReport report;
+  // num_choices = 0: the label space is inferred later, 7 is legal.
+  ASSERT_TRUE(ValidateCategoricalRecords("answers.csv", 0, options,
+                                         &records, &report)
+                  .ok());
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(report.out_of_range_labels, 0);
+
+  // num_choices = 2: label 7 drops.
+  report = ValidationReport();
+  ASSERT_TRUE(ValidateCategoricalRecords("answers.csv", 2, options,
+                                         &records, &report)
+                  .ok());
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(report.out_of_range_labels, 1);
+}
+
+TEST(ValidateNumericRecordsTest, NonFiniteValuesDrop) {
+  std::vector<RawNumericAnswer> records = {
+      {0, 0, 1.5, 2},
+      {0, 1, std::numeric_limits<double>::quiet_NaN(), 3},
+      {1, 0, std::numeric_limits<double>::infinity(), 4}};
+  ValidationOptions options;
+  options.policy = BadRecordPolicy::kDropRow;
+  ValidationReport report;
+  ASSERT_TRUE(
+      ValidateNumericRecords("answers.csv", options, &records, &report)
+          .ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].value, 1.5);
+  EXPECT_EQ(report.non_finite_values, 2);
+}
+
+TEST(ValidateCategoricalTruthTest, AgreeingDuplicatesCollapseSilently) {
+  std::vector<RawCategoricalTruth> rows = {{0, 1, 2}, {0, 1, 3}};
+  ValidationOptions options;  // kReject — agreement is not a conflict
+  ValidationReport report;
+  ASSERT_TRUE(
+      ValidateCategoricalTruth("truth.csv", 2, options, &rows, &report)
+          .ok());
+  EXPECT_EQ(rows.size(), 1u);
+  EXPECT_EQ(report.duplicate_truth, 0);
+}
+
+TEST(ValidateCategoricalTruthTest, ConflictingDuplicatesFollowPolicy) {
+  std::vector<RawCategoricalTruth> rows = {{0, 1, 2}, {0, 0, 3}};
+  ValidationOptions options;
+  ValidationReport report;
+  EXPECT_FALSE(
+      ValidateCategoricalTruth("truth.csv", 2, options, &rows, &report)
+          .ok());
+
+  rows = {{0, 1, 2}, {0, 0, 3}};
+  options.policy = BadRecordPolicy::kDedupeKeepLast;
+  report = ValidationReport();
+  ASSERT_TRUE(
+      ValidateCategoricalTruth("truth.csv", 2, options, &rows, &report)
+          .ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].label, 0);
+  EXPECT_EQ(report.duplicate_truth, 1);
+}
+
+TEST(ValidationReportTest, SummaryAndMerge) {
+  ValidationReport a;
+  a.answers_seen = 5;
+  a.answers_kept = 4;
+  a.duplicate_answers = 1;
+  ValidationReport b;
+  b.answers_seen = 2;
+  b.answers_kept = 2;
+  b.empty_tasks = 3;
+  b.examples.push_back("truth.csv:4: example finding");
+  a.Merge(b);
+  EXPECT_EQ(a.answers_seen, 7);
+  EXPECT_EQ(a.answers_kept, 6);
+  EXPECT_EQ(a.empty_tasks, 3);
+  ASSERT_EQ(a.examples.size(), 1u);
+  const std::string summary = a.Summary();
+  EXPECT_NE(summary.find("duplicate"), std::string::npos) << summary;
+}
+
+TEST(ValidateDatasetTest, StructuralDiagnostics) {
+  CategoricalDatasetBuilder builder(3, 3, 2);
+  builder.AddAnswer(0, 0, 1);
+  builder.AddAnswer(0, 1, 1);
+  builder.SetTruth(2, 0);  // task 2 has truth but no answers
+  const CategoricalDataset dataset = std::move(builder).Build();
+  const ValidationReport report = ValidateDataset(dataset);
+  EXPECT_EQ(report.empty_tasks, 2);       // tasks 1 and 2
+  EXPECT_EQ(report.idle_workers, 1);      // worker 2
+  EXPECT_EQ(report.truth_only_tasks, 1);  // task 2
+  EXPECT_TRUE(report.clean());  // structural findings are informational
+}
+
+TEST(TryBuildTest, DuplicateAnswersAreAValidationError) {
+  CategoricalDatasetBuilder builder(1, 1, 2);
+  builder.AddAnswer(0, 0, 0);
+  builder.AddAnswer(0, 0, 1);
+  CategoricalDataset dataset;
+  const util::Status status = std::move(builder).TryBuild(&dataset);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kValidationError);
+}
+
+}  // namespace
+}  // namespace crowdtruth::data

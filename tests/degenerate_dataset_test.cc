@@ -1,0 +1,194 @@
+// Degenerate-workload guards (util/safe_math.h and the per-method floors):
+// every method must produce finite posteriors/values on the workloads where
+// the naive updates saturate — no tasks at all, a single task, a single
+// worker, unanimous answers, workers with zero answers. These datasets are
+// well-formed (the validator accepts them); the guarantee under test is
+// purely numeric.
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/inference.h"
+#include "core/registry.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+
+namespace crowdtruth {
+namespace {
+
+struct CategoricalCase {
+  std::string name;
+  data::CategoricalDataset dataset;
+};
+
+data::CategoricalDataset BuildCategorical(
+    int num_tasks, int num_workers, int num_choices,
+    const std::vector<std::tuple<int, int, int>>& answers) {
+  data::CategoricalDatasetBuilder builder(num_tasks, num_workers,
+                                          num_choices);
+  for (const auto& [t, w, label] : answers) builder.AddAnswer(t, w, label);
+  return std::move(builder).Build();
+}
+
+std::vector<CategoricalCase> CategoricalCases() {
+  std::vector<CategoricalCase> cases;
+  cases.push_back({"empty", BuildCategorical(0, 0, 2, {})});
+  cases.push_back({"single_task_single_worker",
+                   BuildCategorical(1, 1, 2, {{0, 0, 1}})});
+  cases.push_back(
+      {"single_worker_many_tasks",
+       BuildCategorical(3, 1, 2, {{0, 0, 0}, {1, 0, 1}, {2, 0, 1}})});
+  cases.push_back({"single_task_many_workers",
+                   BuildCategorical(1, 3, 3, {{0, 0, 2}, {0, 1, 2},
+                                              {0, 2, 0}})});
+  // Unanimous single-class answers: worker error rates saturate at zero.
+  cases.push_back(
+      {"all_agreeing",
+       BuildCategorical(3, 3, 2,
+                        {{0, 0, 1}, {0, 1, 1}, {0, 2, 1},
+                         {1, 0, 1}, {1, 1, 1}, {1, 2, 1},
+                         {2, 0, 1}, {2, 1, 1}, {2, 2, 1}})});
+  // Worker 2 exists but never answers; task 2 exists but gets no answers.
+  cases.push_back(
+      {"zero_answer_worker_and_task",
+       BuildCategorical(3, 3, 2, {{0, 0, 0}, {0, 1, 1}, {1, 0, 1},
+                                  {1, 1, 1}})});
+  return cases;
+}
+
+TEST(DegenerateDatasetTest, AllCategoricalMethodsStayFinite) {
+  core::InferenceOptions options;
+  options.max_iterations = 20;
+  for (const CategoricalCase& test_case : CategoricalCases()) {
+    for (const core::MethodInfo& info : core::AllMethods()) {
+      std::unique_ptr<core::CategoricalMethod> method =
+          core::MakeCategoricalMethod(info.name);
+      if (method == nullptr) continue;
+      if (test_case.dataset.num_choices() > 2 && !info.single_choice) {
+        continue;
+      }
+      SCOPED_TRACE(test_case.name + " method=" + info.name);
+      const core::CategoricalResult result =
+          method->Infer(test_case.dataset, options);
+      ASSERT_EQ(static_cast<int>(result.labels.size()),
+                test_case.dataset.num_tasks());
+      for (data::LabelId label : result.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, test_case.dataset.num_choices());
+      }
+      for (double q : result.worker_quality) {
+        EXPECT_TRUE(std::isfinite(q)) << "worker quality " << q;
+      }
+      for (const std::vector<double>& row : result.posterior) {
+        for (double p : row) {
+          EXPECT_TRUE(std::isfinite(p)) << "posterior " << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(DegenerateDatasetTest, UnanimousAnswersRecoverTheConsensus) {
+  // On the all-agreeing workload every method must behave like majority
+  // vote: the unanimous label wins on every task.
+  const data::CategoricalDataset dataset =
+      BuildCategorical(3, 3, 2, {{0, 0, 1}, {0, 1, 1}, {0, 2, 1},
+                                 {1, 0, 1}, {1, 1, 1}, {1, 2, 1},
+                                 {2, 0, 1}, {2, 1, 1}, {2, 2, 1}});
+  core::InferenceOptions options;
+  options.max_iterations = 20;
+  for (const core::MethodInfo& info : core::AllMethods()) {
+    std::unique_ptr<core::CategoricalMethod> method =
+        core::MakeCategoricalMethod(info.name);
+    if (method == nullptr) continue;
+    SCOPED_TRACE(info.name);
+    const core::CategoricalResult result = method->Infer(dataset, options);
+    for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+      EXPECT_EQ(result.labels[t], 1);
+    }
+  }
+}
+
+struct NumericCase {
+  std::string name;
+  data::NumericDataset dataset;
+};
+
+data::NumericDataset BuildNumeric(
+    int num_tasks, int num_workers,
+    const std::vector<std::tuple<int, int, double>>& answers) {
+  data::NumericDatasetBuilder builder(num_tasks, num_workers);
+  for (const auto& [t, w, value] : answers) builder.AddAnswer(t, w, value);
+  return std::move(builder).Build();
+}
+
+std::vector<NumericCase> NumericCases() {
+  std::vector<NumericCase> cases;
+  cases.push_back({"empty", BuildNumeric(0, 0, {})});
+  cases.push_back({"single_task_single_worker",
+                   BuildNumeric(1, 1, {{0, 0, 4.5}})});
+  cases.push_back(
+      {"single_worker_many_tasks",
+       BuildNumeric(3, 1, {{0, 0, 1.0}, {1, 0, 2.0}, {2, 0, 3.0}})});
+  // Identical answers: every worker's error saturates at zero.
+  cases.push_back(
+      {"all_agreeing",
+       BuildNumeric(2, 3, {{0, 0, 7.0}, {0, 1, 7.0}, {0, 2, 7.0},
+                           {1, 0, 7.0}, {1, 1, 7.0}, {1, 2, 7.0}})});
+  cases.push_back(
+      {"zero_answer_worker_and_task",
+       BuildNumeric(3, 3, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 1.5}})});
+  // One worker far off scale: the others' errors are tiny in comparison.
+  cases.push_back(
+      {"extreme_outlier",
+       BuildNumeric(2, 3, {{0, 0, 1.0}, {0, 1, 1.0}, {0, 2, 1e9},
+                           {1, 0, 2.0}, {1, 1, 2.0}, {1, 2, -1e9}})});
+  return cases;
+}
+
+TEST(DegenerateDatasetTest, AllNumericMethodsStayFinite) {
+  core::InferenceOptions options;
+  options.max_iterations = 20;
+  for (const NumericCase& test_case : NumericCases()) {
+    for (const core::MethodInfo& info : core::AllMethods()) {
+      std::unique_ptr<core::NumericMethod> method =
+          core::MakeNumericMethod(info.name);
+      if (method == nullptr) continue;
+      SCOPED_TRACE(test_case.name + " method=" + info.name);
+      const core::NumericResult result =
+          method->Infer(test_case.dataset, options);
+      ASSERT_EQ(static_cast<int>(result.values.size()),
+                test_case.dataset.num_tasks());
+      for (double v : result.values) {
+        EXPECT_TRUE(std::isfinite(v)) << "value " << v;
+      }
+      for (double q : result.worker_quality) {
+        EXPECT_TRUE(std::isfinite(q)) << "worker quality " << q;
+      }
+    }
+  }
+}
+
+TEST(DegenerateDatasetTest, AllAgreeingNumericRecoversTheValue) {
+  const data::NumericDataset dataset =
+      BuildNumeric(2, 3, {{0, 0, 7.0}, {0, 1, 7.0}, {0, 2, 7.0},
+                          {1, 0, 7.0}, {1, 1, 7.0}, {1, 2, 7.0}});
+  core::InferenceOptions options;
+  options.max_iterations = 20;
+  for (const core::MethodInfo& info : core::AllMethods()) {
+    std::unique_ptr<core::NumericMethod> method =
+        core::MakeNumericMethod(info.name);
+    if (method == nullptr) continue;
+    SCOPED_TRACE(info.name);
+    const core::NumericResult result = method->Infer(dataset, options);
+    for (double v : result.values) {
+      EXPECT_NEAR(v, 7.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdtruth

@@ -1,0 +1,364 @@
+// Deterministic fuzz/property harness over the malformed-input corpus in
+// tests/testdata/corrupt/. Every corpus file is fed to every loader under
+// every BadRecordPolicy, to the snapshot Restore path, and — when a load
+// succeeds — to all 17 inference methods. The contract under test: finite
+// outputs or a clean util::Status, never a crash. The suite runs under
+// ASan/UBSan in CI, so "never a crash" includes "no UB the sanitizers can
+// see".
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/inference.h"
+#include "core/registry.h"
+#include "data/answer_log.h"
+#include "data/io.h"
+#include "data/validate.h"
+#include "gtest/gtest.h"
+#include "streaming/engine.h"
+#include "streaming/registry.h"
+#include "util/json_writer.h"
+#include "util/status.h"
+
+namespace crowdtruth {
+namespace {
+
+const char kCorpusDir[] = CROWDTRUTH_SOURCE_DIR "/tests/testdata/corrupt";
+
+const data::BadRecordPolicy kAllPolicies[] = {
+    data::BadRecordPolicy::kReject, data::BadRecordPolicy::kDedupeKeepLast,
+    data::BadRecordPolicy::kDropRow};
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(kCorpusDir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  EXPECT_GE(files.size(), 30u) << "corpus unexpectedly small";
+  return files;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Label of the load attempt, for failure messages.
+std::string Context(const std::string& path, data::BadRecordPolicy policy) {
+  return path + " [policy=" + data::BadRecordPolicyName(policy) + "]";
+}
+
+void ExpectAllFinite(const std::vector<double>& values,
+                     const std::string& what) {
+  for (double v : values) {
+    ASSERT_TRUE(std::isfinite(v)) << what << " produced non-finite " << v;
+  }
+}
+
+// Runs every categorical method on the dataset and asserts finite
+// posteriors and qualities. A short iteration budget keeps the corpus
+// sweep fast; degenerate inputs blow up in the first iterations if at all.
+void RunAllCategoricalMethods(const data::CategoricalDataset& dataset,
+                              const std::string& what) {
+  core::InferenceOptions options;
+  options.max_iterations = 5;
+  for (const core::MethodInfo& info : core::AllMethods()) {
+    std::unique_ptr<core::CategoricalMethod> method =
+        core::MakeCategoricalMethod(info.name);
+    if (method == nullptr) continue;
+    if (dataset.num_choices() > 2 && !info.single_choice) continue;
+    SCOPED_TRACE(what + " method=" + info.name);
+    const core::CategoricalResult result = method->Infer(dataset, options);
+    ASSERT_EQ(static_cast<int>(result.labels.size()), dataset.num_tasks());
+    ExpectAllFinite(result.worker_quality, what + "/" + info.name +
+                                               " worker_quality");
+    for (const std::vector<double>& row : result.posterior) {
+      ExpectAllFinite(row, what + "/" + info.name + " posterior");
+    }
+  }
+}
+
+void RunAllNumericMethods(const data::NumericDataset& dataset,
+                          const std::string& what) {
+  core::InferenceOptions options;
+  options.max_iterations = 5;
+  for (const core::MethodInfo& info : core::AllMethods()) {
+    std::unique_ptr<core::NumericMethod> method =
+        core::MakeNumericMethod(info.name);
+    if (method == nullptr) continue;
+    SCOPED_TRACE(what + " method=" + info.name);
+    const core::NumericResult result = method->Infer(dataset, options);
+    ASSERT_EQ(static_cast<int>(result.values.size()), dataset.num_tasks());
+    ExpectAllFinite(result.values, what + "/" + info.name + " values");
+    ExpectAllFinite(result.worker_quality, what + "/" + info.name +
+                                               " worker_quality");
+  }
+}
+
+// Every corpus file through the categorical CSV loader, with and without a
+// declared label space, under every policy.
+TEST(FuzzInputTest, CategoricalCsvLoaderNeverCrashes) {
+  for (const std::string& path : CorpusFiles()) {
+    for (data::BadRecordPolicy policy : kAllPolicies) {
+      for (int num_choices : {0, 3}) {
+        data::ValidationOptions options;
+        options.policy = policy;
+        data::CategoricalDataset dataset;
+        data::ValidationReport report;
+        const util::Status status = data::LoadCategorical(
+            path, "", num_choices, options, &dataset, &report);
+        if (status.ok()) {
+          RunAllCategoricalMethods(dataset, Context(path, policy));
+        } else {
+          EXPECT_FALSE(status.message().empty()) << Context(path, policy);
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzInputTest, NumericCsvLoaderNeverCrashes) {
+  for (const std::string& path : CorpusFiles()) {
+    for (data::BadRecordPolicy policy : kAllPolicies) {
+      data::ValidationOptions options;
+      options.policy = policy;
+      data::NumericDataset dataset;
+      data::ValidationReport report;
+      const util::Status status =
+          data::LoadNumeric(path, "", options, &dataset, &report);
+      if (status.ok()) {
+        RunAllNumericMethods(dataset, Context(path, policy));
+      } else {
+        EXPECT_FALSE(status.message().empty()) << Context(path, policy);
+      }
+    }
+  }
+}
+
+// Every corpus file as the *truth* side of an otherwise valid load.
+TEST(FuzzInputTest, TruthLoaderNeverCrashes) {
+  const std::string answers = testing::TempDir() + "/fuzz_valid_answers.csv";
+  {
+    std::ofstream out(answers);
+    out << "task,worker,answer\nt1,w1,0\nt1,w2,1\nt2,w1,1\nt2,w2,1\n";
+  }
+  for (const std::string& path : CorpusFiles()) {
+    for (data::BadRecordPolicy policy : kAllPolicies) {
+      data::ValidationOptions options;
+      options.policy = policy;
+      data::CategoricalDataset categorical;
+      data::ValidationReport report;
+      util::Status status = data::LoadCategorical(answers, path, 0, options,
+                                                  &categorical, &report);
+      if (status.ok()) {
+        RunAllCategoricalMethods(categorical, Context(path, policy));
+      }
+      data::NumericDataset numeric;
+      data::ValidationReport numeric_report;
+      status = data::LoadNumeric(answers, path, options, &numeric,
+                                 &numeric_report);
+      if (status.ok()) {
+        RunAllNumericMethods(numeric, Context(path, policy));
+      }
+    }
+  }
+}
+
+TEST(FuzzInputTest, AnswerLogLoadersNeverCrash) {
+  for (const std::string& path : CorpusFiles()) {
+    for (data::BadRecordPolicy policy : kAllPolicies) {
+      data::ValidationOptions options;
+      options.policy = policy;
+      data::CategoricalDataset categorical;
+      data::ValidationReport report;
+      util::Status status = data::LoadCategoricalLog(path, "", 0, options,
+                                                     &categorical, &report);
+      if (status.ok()) {
+        RunAllCategoricalMethods(categorical, Context(path, policy));
+      } else {
+        EXPECT_FALSE(status.message().empty()) << Context(path, policy);
+      }
+      data::NumericDataset numeric;
+      data::ValidationReport numeric_report;
+      status = data::LoadNumericLog(path, "", options, &numeric,
+                                    &numeric_report);
+      if (status.ok()) {
+        RunAllNumericMethods(numeric, Context(path, policy));
+      } else {
+        EXPECT_FALSE(status.message().empty()) << Context(path, policy);
+      }
+    }
+  }
+}
+
+// Every corpus file as a snapshot document: parse errors and structurally
+// wrong documents must come back as Status, and a rejected Restore must
+// leave the engine usable.
+TEST(FuzzInputTest, SnapshotRestoreNeverCrashes) {
+  for (const std::string& path : CorpusFiles()) {
+    const std::string bytes = ReadFileBytes(path);
+    util::JsonValue document;
+    const util::Status parsed = util::ParseJson(bytes, &document);
+    if (!parsed.ok()) continue;
+
+    streaming::CategoricalStreamEngine categorical(
+        streaming::MakeIncrementalCategorical("MV", 2,
+                                              streaming::StreamingOptions()),
+        streaming::EngineConfig{});
+    const util::Status restored = categorical.Restore(document);
+    // Whether or not the restore succeeded, the engine must keep working.
+    ASSERT_TRUE(categorical.Observe("t-after", "w-after", 1).ok()) << path;
+
+    streaming::NumericStreamEngine numeric(
+        streaming::MakeIncrementalNumeric("Mean",
+                                          streaming::StreamingOptions()),
+        streaming::EngineConfig{});
+    (void)numeric.Restore(document);
+    ASSERT_TRUE(numeric.Observe("t-after", "w-after", 2.5).ok()) << path;
+    (void)restored;
+  }
+}
+
+// ---- Targeted properties on specific corpus files ----
+
+std::string Corpus(const std::string& name) {
+  return std::string(kCorpusDir) + "/" + name;
+}
+
+TEST(FuzzInputTest, DuplicateAnswersFollowPolicy) {
+  // duplicate_answers.csv: t1 answered twice by w1 (0 then 1).
+  data::CategoricalDataset dataset;
+  data::ValidationReport report;
+  data::ValidationOptions options;
+
+  options.policy = data::BadRecordPolicy::kReject;
+  util::Status status = data::LoadCategorical(
+      Corpus("duplicate_answers.csv"), "", 0, options, &dataset, &report);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kValidationError);
+
+  options.policy = data::BadRecordPolicy::kDedupeKeepLast;
+  report = data::ValidationReport();
+  status = data::LoadCategorical(Corpus("duplicate_answers.csv"), "", 0,
+                                 options, &dataset, &report);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(report.duplicate_answers, 1);
+  EXPECT_EQ(report.rows_dropped(), 1);
+  ASSERT_EQ(dataset.AnswersForTask(0).size(), 2u);
+  EXPECT_EQ(dataset.AnswersForTask(0)[0].label, 1);  // last wins
+
+  options.policy = data::BadRecordPolicy::kDropRow;
+  report = data::ValidationReport();
+  status = data::LoadCategorical(Corpus("duplicate_answers.csv"), "", 0,
+                                 options, &dataset, &report);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(dataset.AnswersForTask(0)[0].label, 0);  // first wins
+}
+
+TEST(FuzzInputTest, BomAndCrlfFilesLoadCleanly) {
+  for (const char* name : {"utf8_bom.csv", "crlf_line_endings.csv"}) {
+    SCOPED_TRACE(name);
+    data::CategoricalDataset dataset;
+    data::ValidationReport report;
+    const util::Status status = data::LoadCategorical(
+        Corpus(name), "", 0, data::ValidationOptions(), &dataset, &report);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_TRUE(report.clean()) << report.Summary();
+    EXPECT_EQ(dataset.num_tasks(), 2);
+    EXPECT_EQ(dataset.num_workers(), 2);
+  }
+}
+
+TEST(FuzzInputTest, NonFiniteNumericValuesAreFlagged) {
+  data::ValidationOptions options;
+  options.policy = data::BadRecordPolicy::kDropRow;
+  for (const char* name : {"nan_value.csv", "inf_value.csv"}) {
+    SCOPED_TRACE(name);
+    data::NumericDataset dataset;
+    data::ValidationReport report;
+    const util::Status status =
+        data::LoadNumeric(Corpus(name), "", options, &dataset, &report);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_GT(report.non_finite_values, 0);
+    for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+      for (const data::NumericTaskVote& vote : dataset.AnswersForTask(t)) {
+        EXPECT_TRUE(std::isfinite(vote.value));
+      }
+    }
+  }
+
+  options.policy = data::BadRecordPolicy::kReject;
+  data::NumericDataset dataset;
+  data::ValidationReport report;
+  const util::Status status = data::LoadNumeric(Corpus("nan_value.csv"), "",
+                                                options, &dataset, &report);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kValidationError);
+}
+
+TEST(FuzzInputTest, OutOfRangeLabelsAreFlagged) {
+  data::ValidationOptions options;
+  options.policy = data::BadRecordPolicy::kDropRow;
+  data::CategoricalDataset dataset;
+  data::ValidationReport report;
+  // huge_label.csv declares label 1000000; with num_choices=2 it is out of
+  // range and must drop, leaving only the in-range rows.
+  const util::Status status = data::LoadCategorical(
+      Corpus("huge_label.csv"), "", 2, options, &dataset, &report);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GT(report.out_of_range_labels, 0);
+  EXPECT_EQ(dataset.num_choices(), 2);
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+      EXPECT_LT(vote.label, 2);
+    }
+  }
+}
+
+TEST(FuzzInputTest, ConflictingTruthFollowsPolicy) {
+  const std::string answers = testing::TempDir() + "/fuzz_truth_answers.csv";
+  {
+    std::ofstream out(answers);
+    out << "task,worker,answer\nt1,w1,0\nt2,w1,1\n";
+  }
+  data::ValidationOptions options;
+  options.policy = data::BadRecordPolicy::kReject;
+  data::CategoricalDataset dataset;
+  data::ValidationReport report;
+  util::Status status =
+      data::LoadCategorical(answers, Corpus("truth_duplicate_conflict.csv"),
+                            0, options, &dataset, &report);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kValidationError);
+
+  options.policy = data::BadRecordPolicy::kDedupeKeepLast;
+  report = data::ValidationReport();
+  status =
+      data::LoadCategorical(answers, Corpus("truth_duplicate_conflict.csv"),
+                            0, options, &dataset, &report);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(report.duplicate_truth, 1);
+  ASSERT_TRUE(dataset.HasTruth(0));
+  EXPECT_EQ(dataset.Truth(0), 1);  // last truth row wins
+}
+
+TEST(FuzzInputTest, ParseErrorsNameTheOffendingFile) {
+  data::CategoricalDataset dataset;
+  const util::Status status =
+      data::LoadCategorical(Corpus("bad_header.csv"), "", 0, &dataset);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kParseError);
+  EXPECT_NE(status.message().find("bad_header.csv"), std::string::npos);
+  EXPECT_NE(status.ToString().find("ParseError"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowdtruth

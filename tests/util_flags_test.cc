@@ -1,0 +1,114 @@
+// Flags parser hardening: malformed numeric values exit through the usage
+// message instead of silently truncating (atoi/atof semantics), and a
+// declared boolean flag never swallows the operand that follows it.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/flags.h"
+
+namespace crowdtruth {
+namespace {
+
+// Builds a mutable argv for the Flags constructor.
+class Argv {
+ public:
+  explicit Argv(const std::vector<std::string>& args) : storage_(args) {
+    for (std::string& arg : storage_) pointers_.push_back(arg.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+const std::map<std::string, std::string> kDefaults = {
+    {"iterations", "100"}, {"tolerance", "1e-4"},  {"name", ""},
+    {"trace", "false"},    {"validate", "false"},
+};
+
+TEST(FlagsTest, ParsesWellFormedValues) {
+  Argv argv({"prog", "--iterations=25", "--tolerance", "0.5", "--name=run1"});
+  util::Flags flags(argv.argc(), argv.argv(), kDefaults);
+  EXPECT_EQ(flags.GetInt("iterations"), 25);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("tolerance"), 0.5);
+  EXPECT_EQ(flags.Get("name"), "run1");
+  EXPECT_FALSE(flags.GetBool("trace"));
+}
+
+TEST(FlagsTest, MalformedIntExitsWithUsage) {
+  Argv argv({"prog", "--iterations=12abc"});
+  util::Flags flags(argv.argc(), argv.argv(), kDefaults);
+  EXPECT_EXIT(flags.GetInt("iterations"), testing::ExitedWithCode(2),
+              "expects an integer");
+}
+
+TEST(FlagsTest, EmptyIntExitsWithUsage) {
+  Argv argv({"prog", "--iterations="});
+  util::Flags flags(argv.argc(), argv.argv(), kDefaults);
+  EXPECT_EXIT(flags.GetInt("iterations"), testing::ExitedWithCode(2),
+              "expects an integer");
+}
+
+TEST(FlagsTest, OverflowingIntExitsWithUsage) {
+  Argv argv({"prog", "--iterations=99999999999999999999"});
+  util::Flags flags(argv.argc(), argv.argv(), kDefaults);
+  EXPECT_EXIT(flags.GetInt("iterations"), testing::ExitedWithCode(2),
+              "expects an integer");
+}
+
+TEST(FlagsTest, MalformedDoubleExitsWithUsage) {
+  Argv argv({"prog", "--tolerance=fast"});
+  util::Flags flags(argv.argc(), argv.argv(), kDefaults);
+  EXPECT_EXIT(flags.GetDouble("tolerance"), testing::ExitedWithCode(2),
+              "expects a number");
+}
+
+TEST(FlagsTest, TrailingGarbageDoubleExitsWithUsage) {
+  Argv argv({"prog", "--tolerance=1.5x"});
+  util::Flags flags(argv.argc(), argv.argv(), kDefaults);
+  EXPECT_EXIT(flags.GetDouble("tolerance"), testing::ExitedWithCode(2),
+              "expects a number");
+}
+
+// Regression: `--trace report.json` used to consume report.json as the
+// value of --trace. A declared boolean must leave the operand alone — it
+// then fails loudly as an unexpected argument.
+TEST(FlagsTest, BooleanFlagDoesNotSwallowFollowingOperand) {
+  Argv argv({"prog", "--trace", "report.json"});
+  EXPECT_EXIT(util::Flags(argv.argc(), argv.argv(), kDefaults),
+              testing::ExitedWithCode(2), "unexpected argument report.json");
+}
+
+TEST(FlagsTest, BareBooleanFlagIsTrue) {
+  Argv argv({"prog", "--trace", "--validate"});
+  util::Flags flags(argv.argc(), argv.argv(), kDefaults);
+  EXPECT_TRUE(flags.GetBool("trace"));
+  EXPECT_TRUE(flags.GetBool("validate"));
+}
+
+TEST(FlagsTest, BooleanFlagAcceptsEqualsValue) {
+  Argv argv({"prog", "--trace=false", "--validate=yes"});
+  util::Flags flags(argv.argc(), argv.argv(), kDefaults);
+  EXPECT_FALSE(flags.GetBool("trace"));
+  EXPECT_TRUE(flags.GetBool("validate"));
+}
+
+TEST(FlagsTest, NonBooleanFlagStillTakesFollowingOperand) {
+  Argv argv({"prog", "--name", "run7", "--iterations", "3"});
+  util::Flags flags(argv.argc(), argv.argv(), kDefaults);
+  EXPECT_EQ(flags.Get("name"), "run7");
+  EXPECT_EQ(flags.GetInt("iterations"), 3);
+}
+
+TEST(FlagsTest, UnknownFlagExitsWithUsage) {
+  Argv argv({"prog", "--iteratons=5"});
+  EXPECT_EXIT(util::Flags(argv.argc(), argv.argv(), kDefaults),
+              testing::ExitedWithCode(2), "unknown flag --iteratons");
+}
+
+}  // namespace
+}  // namespace crowdtruth

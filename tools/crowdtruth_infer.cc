@@ -6,6 +6,7 @@
 //       [--workers_output=workers.csv] [--seed=42]
 //       [--threads=1] [--max_iterations=100] [--tolerance=1e-4]
 //       [--trace] [--report=report.json]
+//       [--validate] [--on-bad-record=reject|dedupe|drop]
 //
 // The answers file needs the header "task,worker,answer"; the optional
 // truth file needs "task,truth" and enables quality reporting. The output
@@ -18,13 +19,19 @@
 // intra-method parallelism (0 = auto: CROWDTRUTH_THREADS env or the
 // hardware concurrency); results are bit-identical at any thread count.
 // --max_iterations / --tolerance override Algorithm 1's outer-loop
-// controls. Available methods: run with --method=list.
+// controls. --on-bad-record picks the validation policy for malformed
+// records (default reject: any duplicate / out-of-range / non-finite
+// record fails the load; dedupe and drop repair instead). --validate
+// prints the validation report (what was found and repaired) after
+// loading. Available methods: run with --method=list.
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "core/registry.h"
 #include "core/trace.h"
 #include "data/io.h"
+#include "data/validate.h"
 #include "experiments/runner.h"
 #include "util/csv.h"
 #include "util/flags.h"
@@ -83,15 +90,39 @@ int WriteReport(const std::string& path,
   return 0;
 }
 
+// Shared by both task types: resolve --on-bad-record, or exit 2.
+crowdtruth::data::ValidationOptions ValidationFromFlags(
+    const crowdtruth::util::Flags& flags) {
+  crowdtruth::data::ValidationOptions options;
+  const Status status = crowdtruth::data::ParseBadRecordPolicy(
+      flags.Get("on-bad-record"), &options.policy);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << '\n';
+    std::exit(2);
+  }
+  return options;
+}
+
+void MaybePrintValidation(const crowdtruth::util::Flags& flags,
+                          const crowdtruth::data::ValidationReport& report) {
+  if (!flags.GetBool("validate")) return;
+  std::cout << "validation: " << report.Summary() << '\n';
+  for (const std::string& example : report.examples) {
+    std::cout << "  " << example << '\n';
+  }
+}
+
 int RunCategorical(const crowdtruth::util::Flags& flags) {
   crowdtruth::data::CategoricalDataset dataset;
+  crowdtruth::data::ValidationReport validation;
   Status status = crowdtruth::data::LoadCategorical(
       flags.Get("answers"), flags.Get("truth"), flags.GetInt("num_choices"),
-      &dataset);
+      ValidationFromFlags(flags), &dataset, &validation);
   if (!status.ok()) {
     std::cerr << "error: " << status.ToString() << '\n';
     return 1;
   }
+  MaybePrintValidation(flags, validation);
   const auto method =
       crowdtruth::core::MakeCategoricalMethod(flags.Get("method"));
   if (method == nullptr) {
@@ -159,12 +190,15 @@ int RunCategorical(const crowdtruth::util::Flags& flags) {
 
 int RunNumeric(const crowdtruth::util::Flags& flags) {
   crowdtruth::data::NumericDataset dataset;
-  Status status = crowdtruth::data::LoadNumeric(flags.Get("answers"),
-                                                flags.Get("truth"), &dataset);
+  crowdtruth::data::ValidationReport validation;
+  Status status = crowdtruth::data::LoadNumeric(
+      flags.Get("answers"), flags.Get("truth"), ValidationFromFlags(flags),
+      &dataset, &validation);
   if (!status.ok()) {
     std::cerr << "error: " << status.ToString() << '\n';
     return 1;
   }
+  MaybePrintValidation(flags, validation);
   const auto method =
       crowdtruth::core::MakeNumericMethod(flags.Get("method"));
   if (method == nullptr) {
@@ -240,7 +274,9 @@ int main(int argc, char** argv) {
                                        {"max_iterations", "100"},
                                        {"tolerance", "1e-4"},
                                        {"trace", "false"},
-                                       {"report", ""}});
+                                       {"report", ""},
+                                       {"validate", "false"},
+                                       {"on-bad-record", "reject"}});
   if (flags.Get("method") == "list") return ListMethods();
   if (flags.Get("answers").empty()) {
     std::cerr << "error: --answers is required (or --method=list)\n";

@@ -9,6 +9,7 @@
 //       [--snapshot_in=s.json] [--snapshot_out=s.json]
 //       [--output=inferred.csv] [--workers_output=workers.csv]
 //       [--json_out=report.json] [--trace] [--seed=42]
+//       [--on-bad-record=reject|dedupe|drop]
 //
 // Or generate the stream live with the online-assignment simulator
 // (categorical profiles only):
@@ -27,7 +28,9 @@
 // --json_out writes the machine-readable run summary including per-answer
 // observe latency percentiles. Snapshots capture the full engine state:
 // restoring one and replaying the same log resumes where it left off
-// (already-seen answers are skipped as duplicates).
+// (already-seen answers are skipped as duplicates). --on-bad-record picks
+// what a malformed record does to the replay: reject (default) fails it,
+// the repair policies skip the record and keep streaming.
 //
 // Streaming methods: MV, ZC, D&S (categorical); Mean, Median (numeric).
 // The log type (header line) selects the domain.
@@ -309,6 +312,16 @@ int RunStream(const Flags& flags, const StreamInput& input, Engine& engine,
               << " answers already ingested\n";
   }
 
+  crowdtruth::data::BadRecordPolicy policy;
+  {
+    const Status status = crowdtruth::data::ParseBadRecordPolicy(
+        flags.Get("on-bad-record"), &policy);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 2;
+    }
+  }
+
   const int report_interval = flags.GetInt("report_interval");
   int64_t skipped = 0;
   int64_t replayed = 0;
@@ -318,6 +331,12 @@ int RunStream(const Flags& flags, const StreamInput& input, Engine& engine,
     if (!status.ok()) {
       // A resumed replay re-reads answers the snapshot already contains.
       if (status.message().find("duplicate") != std::string::npos) {
+        ++skipped;
+        continue;
+      }
+      // Repair policies skip any other bad record (out-of-range label,
+      // non-finite value) and keep streaming; reject fails the replay.
+      if (policy != crowdtruth::data::BadRecordPolicy::kReject) {
         ++skipped;
         continue;
       }
@@ -579,7 +598,8 @@ int main(int argc, char** argv) {
                      {"output", ""},
                      {"workers_output", ""},
                      {"json_out", ""},
-                     {"trace", "false"}});
+                     {"trace", "false"},
+                     {"on-bad-record", "reject"}});
   const bool simulate = !flags.Get("simulate").empty();
   if (simulate == !flags.Get("log").empty()) {
     std::cerr << "error: exactly one of --log or --simulate is required\n";
