@@ -7,13 +7,23 @@
 // truth/quality kernels — whose results are bit-identical at any thread
 // count, so the threads axis trades nothing for speed.
 //
-// Benchmark names read BM_Categorical/<method>/<permille>/<threads>.
+// Benchmark names read BM_Categorical/<method>/<permille>/<threads>; the
+// `/metrics` variants of D&S and GLAD run with the process-wide metric
+// registry installed, putting a number on the instrumentation's cost.
+// `--check_overhead` skips the benchmark harness entirely and instead runs
+// paired metrics-off/metrics-on inference, failing (exit 1) if the registry
+// costs more than 1% wall-clock on either method.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "core/registry.h"
+#include "obs/metrics.h"
+#include "obs/resource_sampler.h"
 #include "simulation/profiles.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -66,6 +76,17 @@ void BM_CategoricalMethod(benchmark::State& state,
   state.counters["answers"] = dataset.num_answers();
 }
 
+// Same loop with the process-wide registry installed: the EM kernel and
+// collectors record into it exactly as a metrics-enabled CLI run would.
+void BM_CategoricalMethodWithMetrics(benchmark::State& state,
+                                     const std::string& method_name) {
+  crowdtruth::obs::MetricRegistry registry;
+  crowdtruth::obs::RegisterProcessCollectors(&registry);
+  crowdtruth::obs::InstallProcessMetrics(&registry);
+  BM_CategoricalMethod(state, method_name);
+  crowdtruth::obs::InstallProcessMetrics(nullptr);
+}
+
 void BM_NumericMethod(benchmark::State& state,
                       const std::string& method_name) {
   static const auto& dataset = *new crowdtruth::data::NumericDataset(
@@ -105,6 +126,25 @@ void RegisterAll() {
         ->Unit(benchmark::kMillisecond)
         ->Iterations(2);
   }
+  // Metrics-on variants of one EM method and one gradient method; compare
+  // against the plain rows above for the instrumentation's cost.
+  benchmark::RegisterBenchmark(
+      "BM_Categorical/D&S/metrics",
+      [](benchmark::State& state) {
+        BM_CategoricalMethodWithMetrics(state, "D&S");
+      })
+      ->Args({500, 1})
+      ->Args({500, 4})
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "BM_Categorical/GLAD/metrics",
+      [](benchmark::State& state) {
+        BM_CategoricalMethodWithMetrics(state, "GLAD");
+      })
+      ->Args({50, 1})
+      ->Args({50, 4})
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(2);
   for (const char* name : {"Mean", "Median", "LFC_N", "PM", "CATD"}) {
     benchmark::RegisterBenchmark(
         (std::string("BM_Numeric/") + name).c_str(),
@@ -113,6 +153,68 @@ void RegisterAll() {
         ->Arg(4)
         ->Unit(benchmark::kMillisecond);
   }
+}
+
+double TimeInferSeconds(const crowdtruth::core::CategoricalMethod& method,
+                        const crowdtruth::data::CategoricalDataset& dataset,
+                        const InferenceOptions& options, int repetitions) {
+  crowdtruth::util::Stopwatch watch;
+  for (int i = 0; i < repetitions; ++i) {
+    benchmark::DoNotOptimize(method.Infer(dataset, options));
+  }
+  return watch.ElapsedSeconds();
+}
+
+// Paired metrics-off/metrics-on timing for one EM method and one gradient
+// method. Best-of-N on each side (the minimum is the noise-robust
+// statistic for wall-clock), interleaved so frequency drift hits both
+// sides equally. The 1% budget is the contract docs/observability.md
+// states for the instrumentation.
+int RunOverheadCheck() {
+  struct Case {
+    const char* method;
+    int permille;
+    int repetitions;
+  };
+  constexpr Case kCases[] = {{"D&S", 500, 24}, {"GLAD", 50, 12}};
+  constexpr int kReps = 9;
+  constexpr double kBudget = 0.01;
+  bool ok = true;
+  for (const Case& c : kCases) {
+    const auto& dataset = DatasetForScale(c.permille);
+    const auto method = MakeCategoricalMethod(c.method);
+    const InferenceOptions options = SeededOptions(1);
+    benchmark::DoNotOptimize(method->Infer(dataset, options));  // Warm-up.
+    crowdtruth::obs::MetricRegistry registry;
+    crowdtruth::obs::RegisterProcessCollectors(&registry);
+    double best_off = 1e300;
+    double best_on = 1e300;
+    // Whichever side runs second in a pair measures slightly slow on a
+    // busy machine (cache/frequency drift across the pair); alternating
+    // the order each rep cancels that bias out of the minima.
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (int side = 0; side < 2; ++side) {
+        const bool with_metrics = (side == 0) == (rep % 2 == 0);
+        crowdtruth::obs::InstallProcessMetrics(with_metrics ? &registry
+                                                            : nullptr);
+        const double seconds =
+            TimeInferSeconds(*method, dataset, options, c.repetitions);
+        (with_metrics ? best_on : best_off) =
+            std::min(with_metrics ? best_on : best_off, seconds);
+      }
+      crowdtruth::obs::InstallProcessMetrics(nullptr);
+    }
+    const double overhead = best_on / best_off - 1.0;
+    std::printf("%-8s metrics off %.3fms  on %.3fms  overhead %+.2f%%\n",
+                c.method, best_off * 1e3 / c.repetitions,
+                best_on * 1e3 / c.repetitions, overhead * 100.0);
+    if (overhead > kBudget) {
+      std::printf("FAIL: %s metrics overhead %.2f%% exceeds %.0f%% budget\n",
+                  c.method, overhead * 100.0, kBudget * 100.0);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -125,9 +227,12 @@ int main(int argc, char** argv) {
   // dataset-generation and inference seeds (0 = profile defaults).
   std::vector<char*> args;
   std::vector<std::string> storage;
+  bool check_overhead = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--json_out=", 0) == 0) {
+    if (arg == "--check_overhead") {
+      check_overhead = true;
+    } else if (arg.rfind("--json_out=", 0) == 0) {
       storage.push_back("--benchmark_out=" + arg.substr(11));
       storage.push_back("--benchmark_out_format=json");
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -136,6 +241,7 @@ int main(int argc, char** argv) {
       storage.push_back(arg);
     }
   }
+  if (check_overhead) return RunOverheadCheck();
   RegisterAll();
   bool has_min_time = false;
   for (const std::string& arg : storage) {

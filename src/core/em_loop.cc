@@ -1,16 +1,79 @@
 #include "core/em_loop.h"
 
+#include <string>
+
+#include "obs/metrics.h"
 #include "util/parallel.h"
+#include "util/stopwatch.h"
 
 namespace crowdtruth::core {
+namespace {
+
+// Commits one finished loop to the process-wide registry. Family lookups
+// run once per Infer call (not per iteration), so the mutex-guarded name
+// resolution is off the hot path.
+void RecordEmRunMetrics(obs::MetricRegistry* metrics, const EmDriver& driver,
+                        const EmLoopStats& stats, double truth_seconds,
+                        double quality_seconds) {
+  const std::vector<std::string> label = {driver.method};
+  metrics
+      ->AddCounterFamily("crowdtruth_em_runs_total",
+                         "Completed Algorithm-1 outer loops per method.",
+                         {"method"})
+      .WithLabels(label)
+      .Increment();
+  if (stats.converged) {
+    metrics
+        ->AddCounterFamily(
+            "crowdtruth_em_converged_runs_total",
+            "Loops that met their convergence rule before max_iterations.",
+            {"method"})
+        .WithLabels(label)
+        .Increment();
+  }
+  metrics
+      ->AddCounterFamily("crowdtruth_em_iterations_total",
+                         "Outer iterations executed per method.", {"method"})
+      .WithLabels(label)
+      .Increment(stats.iterations);
+  metrics
+      ->AddCounterFamily(
+          "crowdtruth_em_truth_step_seconds_total",
+          "Wall-clock spent in truth-step kernels per method.", {"method"})
+      .WithLabels(label)
+      .Increment(truth_seconds);
+  metrics
+      ->AddCounterFamily(
+          "crowdtruth_em_quality_step_seconds_total",
+          "Wall-clock spent in quality-step kernels per method.", {"method"})
+      .WithLabels(label)
+      .Increment(quality_seconds);
+  if (!stats.convergence_trace.empty()) {
+    obs::Histogram& deltas =
+        metrics
+            ->AddHistogramFamily(
+                "crowdtruth_em_convergence_delta",
+                "Per-iteration parameter change (convergence_trace values).",
+                {"method"},
+                obs::HistogramBuckets::LogScale(1e-10, 10.0, 12))
+            .WithLabels(label);
+    for (const double delta : stats.convergence_trace) {
+      deltas.Observe(delta);
+    }
+  }
+}
+
+}  // namespace
 
 void EmContext::ParallelShards(int count,
                                const std::function<void(int, int)>& fn) const {
   util::ParallelForSlotted(count, num_threads_, fn);
 }
 
-EmDriver EmDriver::FromOptions(const InferenceOptions& options) {
+EmDriver EmDriver::FromOptions(const InferenceOptions& options,
+                               const char* method) {
   EmDriver driver;
+  driver.method = method;
   driver.max_iterations = options.max_iterations;
   driver.tolerance = options.tolerance;
   driver.num_threads = options.num_threads <= 0 ? util::DefaultThreads()
@@ -24,12 +87,25 @@ EmLoopStats RunEmLoop(const EmDriver& driver, const std::vector<EmStep>& steps,
   EmLoopStats stats;
   IterationTracer tracer(driver.trace);
   EmContext context(driver.num_threads);
+  // Metrics phase timing is independent of the tracer: activating the
+  // tracer changes what methods compute for their delta (see
+  // IterationTracer::active), and metrics must never perturb a run.
+  obs::MetricRegistry* const metrics = obs::ProcessMetrics();
+  util::Stopwatch phase_watch;
+  double truth_seconds = 0.0;
+  double quality_seconds = 0.0;
   for (int iteration = 0; iteration < driver.max_iterations; ++iteration) {
     context.iteration_ = iteration;
     tracer.BeginIteration();
     for (const EmStep& step : steps) {
+      if (metrics != nullptr) phase_watch.Restart();
       step.run(context);
       tracer.EndPhase(step.phase);
+      if (metrics != nullptr) {
+        (step.phase == TracePhase::kTruthStep ? truth_seconds
+                                              : quality_seconds) +=
+            phase_watch.ElapsedSeconds();
+      }
     }
     const bool delta_needed =
         driver.convergence != EmConvergence::kFixedIterations ||
@@ -53,6 +129,10 @@ EmLoopStats RunEmLoop(const EmDriver& driver, const std::vector<EmStep>& steps,
       stats.converged = true;
       break;
     }
+  }
+  if (metrics != nullptr) {
+    RecordEmRunMetrics(metrics, driver, stats, truth_seconds,
+                       quality_seconds);
   }
   return stats;
 }

@@ -85,6 +85,10 @@ struct EmDriver {
   double tolerance = 1e-4;
   int num_threads = 1;
   TraceSink* trace = nullptr;
+  // Registry-facing method name: the `method` label on the process-wide
+  // EM metrics (obs/metrics.h). Purely observational — never branches the
+  // math. String literals only; the driver does not copy it.
+  const char* method = "unknown";
   EmConvergence convergence = EmConvergence::kDeltaBelowTolerance;
   // Completed iterations required before convergence may fire. The
   // PM-family methods demand two, so the quality step runs at least once
@@ -94,7 +98,8 @@ struct EmDriver {
   // methods historically keep the trace empty.
   bool record_trace = true;
 
-  static EmDriver FromOptions(const InferenceOptions& options);
+  static EmDriver FromOptions(const InferenceOptions& options,
+                              const char* method = "unknown");
 };
 
 // The bookkeeping RunEmLoop accumulates; mirrors the trailing fields of

@@ -33,7 +33,7 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> log_weights(l);
 
   const int total_sweeps = burn_in_ + samples_;
-  EmDriver driver = EmDriver::FromOptions(options);
+  EmDriver driver = EmDriver::FromOptions(options, "BCC");
   driver.convergence = EmConvergence::kFixedIterations;
   driver.max_iterations = total_sweeps;
   driver.record_trace = false;

@@ -56,7 +56,7 @@ CategoricalResult CatdCategorical::Infer(
     }
   }
 
-  EmDriver driver = EmDriver::FromOptions(options);
+  EmDriver driver = EmDriver::FromOptions(options, "CATD");
   driver.convergence = EmConvergence::kDeltaIsZero;
   driver.min_iterations = 2;
 
@@ -150,7 +150,7 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
     }
   }
 
-  EmDriver driver = EmDriver::FromOptions(options);
+  EmDriver driver = EmDriver::FromOptions(options, "CATD");
   driver.min_iterations = 2;
 
   std::vector<double> values = MeanValues(dataset, options);

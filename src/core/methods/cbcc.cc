@@ -38,7 +38,7 @@ CategoricalResult Cbcc::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> log_weights_community(m);
 
   const int total_sweeps = burn_in_ + samples_;
-  EmDriver driver = EmDriver::FromOptions(options);
+  EmDriver driver = EmDriver::FromOptions(options, "CBCC");
   driver.convergence = EmConvergence::kFixedIterations;
   driver.max_iterations = total_sweeps;
   driver.record_trace = false;

@@ -99,7 +99,7 @@ CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,
                              std::vector<double>(l * l, 1.0 / l));
   std::vector<double> class_prior(l, 1.0 / l);
 
-  const EmDriver driver = EmDriver::FromOptions(options);
+  const EmDriver driver = EmDriver::FromOptions(options, config.method_name);
   std::vector<std::vector<double>> log_belief(driver.num_threads,
                                               std::vector<double>(l));
 

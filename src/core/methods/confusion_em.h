@@ -26,6 +26,8 @@ struct ConfusionEmConfig {
   double smoothing = 1e-6;
   // Pseudo-count for the class prior.
   double prior_class = 1e-6;
+  // `method` label on the process-wide EM metrics; string literal only.
+  const char* method_name = "ConfusionEM";
 };
 
 CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,

@@ -7,6 +7,7 @@ namespace crowdtruth::core {
 CategoricalResult DawidSkene::Infer(const data::CategoricalDataset& dataset,
                                     const InferenceOptions& options) const {
   internal::ConfusionEmConfig config;  // Pure MLE: no informative priors.
+  config.method_name = "D&S";
   return internal::RunConfusionEm(dataset, options, config);
 }
 

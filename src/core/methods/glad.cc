@@ -45,7 +45,7 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
     task_scale[t] = 1.0 / std::max<size_t>(dataset.AnswersForTask(t).size(), 1);
   }
 
-  const EmDriver driver = EmDriver::FromOptions(options);
+  const EmDriver driver = EmDriver::FromOptions(options, "GLAD");
   std::vector<std::vector<double>> log_belief(driver.num_threads,
                                               std::vector<double>(l));
   std::vector<double> grad_alpha(num_workers);

@@ -49,7 +49,7 @@ CategoricalResult Kos::Infer(const data::CategoricalDataset& dataset,
     }
   };
 
-  EmDriver driver = EmDriver::FromOptions(options);
+  EmDriver driver = EmDriver::FromOptions(options, "KOS");
   driver.convergence = EmConvergence::kFixedIterations;
   driver.max_iterations = message_rounds_;
   driver.record_trace = false;

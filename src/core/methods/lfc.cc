@@ -7,6 +7,7 @@ namespace crowdtruth::core {
 CategoricalResult Lfc::Infer(const data::CategoricalDataset& dataset,
                              const InferenceOptions& options) const {
   internal::ConfusionEmConfig config;
+  config.method_name = "LFC";
   config.prior_diag = prior_diag_;
   config.prior_off = prior_off_;
   config.prior_class = 1.0;

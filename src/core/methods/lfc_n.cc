@@ -38,7 +38,7 @@ NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
     ClampGoldenValues(dataset, options, values);
   }
 
-  const EmDriver driver = EmDriver::FromOptions(options);
+  const EmDriver driver = EmDriver::FromOptions(options, "LFC_N");
   std::vector<double> next(n, 0.0);
 
   std::vector<EmStep> steps;

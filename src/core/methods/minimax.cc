@@ -60,7 +60,7 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
   std::vector<std::vector<double>> grad_sigma(
       num_workers, std::vector<double>(l * l));
 
-  const EmDriver driver = EmDriver::FromOptions(options);
+  const EmDriver driver = EmDriver::FromOptions(options, "Minimax");
   std::vector<std::vector<double>> p_scratch(driver.num_threads,
                                              std::vector<double>(l));
   std::vector<std::vector<double>> log_belief(driver.num_threads,

@@ -62,7 +62,7 @@ CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
         1.0 / std::max<size_t>(dataset.AnswersForTask(t).size(), 1);
   }
 
-  EmDriver driver = EmDriver::FromOptions(options);
+  EmDriver driver = EmDriver::FromOptions(options, "Multi");
   driver.convergence = EmConvergence::kDeltaIsZero;
   driver.min_iterations = 2;
   driver.record_trace = false;

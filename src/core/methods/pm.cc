@@ -55,7 +55,7 @@ CategoricalResult PmCategorical::Infer(
     }
   }
 
-  EmDriver driver = EmDriver::FromOptions(options);
+  EmDriver driver = EmDriver::FromOptions(options, "PM");
   driver.convergence = EmConvergence::kDeltaIsZero;
   driver.min_iterations = 2;
 
@@ -159,7 +159,7 @@ NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
     }
   }
 
-  EmDriver driver = EmDriver::FromOptions(options);
+  EmDriver driver = EmDriver::FromOptions(options, "PM");
   driver.min_iterations = 2;
 
   std::vector<double> values(n, 0.0);

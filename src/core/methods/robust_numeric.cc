@@ -76,7 +76,7 @@ NumericResult RobustNumeric::Infer(const data::NumericDataset& dataset,
     }
   }
 
-  EmDriver driver = EmDriver::FromOptions(options);
+  EmDriver driver = EmDriver::FromOptions(options, "Robust");
   driver.min_iterations = 2;
 
   std::vector<double> next(n, 0.0);

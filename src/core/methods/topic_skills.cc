@@ -55,7 +55,7 @@ CategoricalResult TopicSkills::Infer(const data::CategoricalDataset& dataset,
     }
   }
 
-  const EmDriver driver = EmDriver::FromOptions(options);
+  const EmDriver driver = EmDriver::FromOptions(options, "TopicSkills");
   std::vector<std::vector<double>> log_belief(driver.num_threads,
                                               std::vector<double>(l));
   std::vector<std::vector<double>> group_correct(

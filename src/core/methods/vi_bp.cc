@@ -55,7 +55,7 @@ CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> worker_msg(edges.size(), 0.5);
 
   std::vector<double> expected_reliability(num_workers, 0.5);
-  const EmDriver driver = EmDriver::FromOptions(options);
+  const EmDriver driver = EmDriver::FromOptions(options, "VI-BP");
   // Per-task max message change; measure() folds these into the round's
   // delta (max is order-independent, so the fold stays deterministic).
   std::vector<double> task_change(n, 0.0);

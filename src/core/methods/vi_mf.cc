@@ -42,7 +42,7 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
                                         std::vector<double>(l * l, 0.0));
   std::vector<double> elog_class(l, std::log(1.0 / l));
 
-  const EmDriver driver = EmDriver::FromOptions(options);
+  const EmDriver driver = EmDriver::FromOptions(options, "VI-MF");
   std::vector<std::vector<double>> counts(driver.num_threads,
                                           std::vector<double>(l * l));
   std::vector<std::vector<double>> log_belief(driver.num_threads,

@@ -34,7 +34,7 @@ CategoricalResult Zc::Infer(const data::CategoricalDataset& dataset,
     }
   }
 
-  const EmDriver driver = EmDriver::FromOptions(options);
+  const EmDriver driver = EmDriver::FromOptions(options, "ZC");
   std::vector<std::vector<double>> log_belief(driver.num_threads,
                                               std::vector<double>(l));
   Posterior next;

@@ -9,13 +9,16 @@
 // persist run trajectories, and attribute time to the phase that consumed
 // it.
 //
-// Sinks are not synchronized: share a sink across concurrent Infer calls
-// only if the sink itself is thread-safe (the bundled sinks are not; the
-// experiment runner creates one per run).
+// Sinks are not synchronized by default: share a sink across concurrent
+// Infer calls only if the sink itself is thread-safe. The bundled
+// CollectingTraceSink / StreamTraceSink are not (the experiment runner
+// creates one per run); wrap any sink in SynchronizedTraceSink to share it
+// across threads.
 #ifndef CROWDTRUTH_CORE_TRACE_H_
 #define CROWDTRUTH_CORE_TRACE_H_
 
 #include <iosfwd>
+#include <mutex>
 #include <vector>
 
 #include "util/stopwatch.h"
@@ -63,6 +66,26 @@ class CollectingTraceSink : public TraceSink {
  private:
   std::vector<IterationEvent> events_;
   TraceSink* forward_;
+};
+
+// Serializes OnIteration calls onto a wrapped sink, making any sink safe
+// to share across concurrent Infer calls (e.g. one CollectingTraceSink
+// observing several methods running in parallel threads). Events from
+// different runs interleave in lock-acquisition order; events from one run
+// keep their order.
+class SynchronizedTraceSink : public TraceSink {
+ public:
+  explicit SynchronizedTraceSink(TraceSink* wrapped) : wrapped_(wrapped) {}
+
+  void OnIteration(const IterationEvent& event) override {
+    if (wrapped_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    wrapped_->OnIteration(event);
+  }
+
+ private:
+  TraceSink* wrapped_;
+  std::mutex mutex_;
 };
 
 // Prints one human-readable line per iteration; used by

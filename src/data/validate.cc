@@ -1,6 +1,9 @@
 #include "data/validate.h"
 
 #include <cmath>
+#include <cstdint>
+
+#include "obs/metrics.h"
 #include <unordered_map>
 #include <utility>
 
@@ -143,6 +146,71 @@ Status SweepTruthDuplicates(const std::string& source,
   return Status::Ok();
 }
 
+// Commits the report delta a validator call produced to the process-wide
+// registry. Scoped so early returns (kReject) still publish whatever the
+// sweep counted before failing.
+void RecordValidationMetrics(BadRecordPolicy policy,
+                             const ValidationReport& before,
+                             const ValidationReport& after) {
+  obs::MetricRegistry* const metrics = obs::ProcessMetrics();
+  if (metrics == nullptr) return;
+  const int64_t seen = after.answers_seen - before.answers_seen;
+  if (seen > 0) {
+    metrics
+        ->AddCounter(
+            "crowdtruth_validation_records_seen_total",
+            "Records routed through the record-level validators.")
+        .Increment(seen);
+  }
+  const int64_t dropped = after.rows_dropped() - before.rows_dropped();
+  if (dropped > 0) {
+    metrics
+        ->AddCounterFamily(
+            "crowdtruth_validation_rows_dropped_total",
+            "Rows removed or collapsed by a repair policy.", {"policy"})
+        .WithLabels({BadRecordPolicyName(policy)})
+        .Increment(dropped);
+  }
+  const auto bump_kind = [metrics](const char* kind, int64_t delta) {
+    if (delta <= 0) return;
+    metrics
+        ->AddCounterFamily("crowdtruth_validation_findings_total",
+                           "Record-level validation findings by kind.",
+                           {"kind"})
+        .WithLabels({kind})
+        .Increment(delta);
+  };
+  bump_kind("duplicate_answer",
+            after.duplicate_answers - before.duplicate_answers);
+  bump_kind("out_of_range_label",
+            after.out_of_range_labels - before.out_of_range_labels);
+  bump_kind("non_finite_value",
+            after.non_finite_values - before.non_finite_values);
+  bump_kind("duplicate_truth", after.duplicate_truth - before.duplicate_truth);
+  bump_kind("out_of_range_truth",
+            after.out_of_range_truth - before.out_of_range_truth);
+  bump_kind("non_finite_truth",
+            after.non_finite_truth - before.non_finite_truth);
+}
+
+// One per validator call: snapshots the report on entry, publishes the
+// delta on every exit path.
+class ValidationMetricsScope {
+ public:
+  ValidationMetricsScope(BadRecordPolicy policy, ValidationReport* report)
+      : policy_(policy), report_(report), before_(*report) {}
+  ~ValidationMetricsScope() {
+    RecordValidationMetrics(policy_, before_, *report_);
+  }
+  ValidationMetricsScope(const ValidationMetricsScope&) = delete;
+  ValidationMetricsScope& operator=(const ValidationMetricsScope&) = delete;
+
+ private:
+  BadRecordPolicy policy_;
+  ValidationReport* report_;
+  ValidationReport before_;
+};
+
 }  // namespace
 
 Status ParseBadRecordPolicy(const std::string& name, BadRecordPolicy* out) {
@@ -207,6 +275,7 @@ Status ValidateCategoricalRecords(
     const std::string& source, int num_choices,
     const ValidationOptions& options,
     std::vector<RawCategoricalAnswer>* records, ValidationReport* report) {
+  ValidationMetricsScope metrics_scope(options.policy, report);
   report->answers_seen += static_cast<int64_t>(records->size());
   // Inferred label spaces are capped at kMaxLabelSpace (see validate.h).
   const int bound = num_choices > 0 ? num_choices : kMaxLabelSpace;
@@ -232,6 +301,7 @@ Status ValidateNumericRecords(const std::string& source,
                               const ValidationOptions& options,
                               std::vector<RawNumericAnswer>* records,
                               ValidationReport* report) {
+  ValidationMetricsScope metrics_scope(options.policy, report);
   report->answers_seen += static_cast<int64_t>(records->size());
   Status status = SweepBadRows(
       source, options, records, report, &report->non_finite_values,
@@ -250,6 +320,7 @@ Status ValidateCategoricalTruth(const std::string& source, int num_choices,
                                 const ValidationOptions& options,
                                 std::vector<RawCategoricalTruth>* rows,
                                 ValidationReport* report) {
+  ValidationMetricsScope metrics_scope(options.policy, report);
   const int bound = num_choices > 0 ? num_choices : kMaxLabelSpace;
   Status status = SweepBadRows(
       source, options, rows, report, &report->out_of_range_truth,
@@ -274,6 +345,7 @@ Status ValidateNumericTruth(const std::string& source,
                             const ValidationOptions& options,
                             std::vector<RawNumericTruth>* rows,
                             ValidationReport* report) {
+  ValidationMetricsScope metrics_scope(options.policy, report);
   Status status = SweepBadRows(
       source, options, rows, report, &report->non_finite_truth,
       [](const RawNumericTruth& r) { return !std::isfinite(r.value); },

@@ -29,6 +29,7 @@ void FillCommonReport(const std::string& method_name, const Result& result,
     report->quality_step_seconds += event.quality_seconds;
   }
   report->events = std::move(events);
+  report->resources = obs::SampleResourceUsage();
 }
 
 }  // namespace
@@ -65,6 +66,7 @@ util::JsonValue RunReportJson(const RunReport& report, bool include_events) {
     }
     json.Set("iterations_trace", std::move(trace));
   }
+  json.Set("resources", obs::ResourceUsageJson(report.resources));
   return json;
 }
 

@@ -16,6 +16,7 @@
 #include "core/inference.h"
 #include "core/trace.h"
 #include "data/dataset.h"
+#include "obs/resource_sampler.h"
 #include "util/json_writer.h"
 
 namespace crowdtruth::experiments {
@@ -64,6 +65,10 @@ struct RunReport {
   // One event per outer iteration (empty for untraced methods). The deltas
   // mirror CategoricalResult/NumericResult::convergence_trace.
   std::vector<core::IterationEvent> events;
+
+  // Process resource usage sampled when the report was filled (getrusage:
+  // cumulative CPU seconds and peak RSS — process-wide, not per-run).
+  obs::ResourceUsage resources;
 };
 
 // Serializes a report; when `include_events` is set the per-iteration

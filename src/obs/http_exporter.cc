@@ -1,0 +1,233 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace crowdtruth::obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.0 200 OK\r\n";
+    case 404:
+      return "HTTP/1.0 404 Not Found\r\n";
+    case 405:
+      return "HTTP/1.0 405 Method Not Allowed\r\n";
+    default:
+      return "HTTP/1.0 400 Bad Request\r\n";
+  }
+}
+
+std::string MakeResponse(int code, const std::string& content_type,
+                         const std::string& body) {
+  std::string response = StatusLine(code);
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  return response;
+}
+
+}  // namespace
+
+util::Status MetricsHttpServer::Start(int port) {
+  if (listen_fd_ >= 0) {
+    return util::Status::InvalidArgument("metrics server already started");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::IoError(std::string("socket: ") +
+                                  std::strerror(errno));
+  }
+  const int reuse = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = std::string("bind 127.0.0.1:") +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno);
+    close(fd);
+    return util::Status::IoError(message);
+  }
+  if (listen(fd, 16) != 0) {
+    const std::string message = std::string("listen: ") +
+                                std::strerror(errno);
+    close(fd);
+    return util::Status::IoError(message);
+  }
+  if (!SetNonBlocking(fd)) {
+    close(fd);
+    return util::Status::IoError("cannot make listener non-blocking");
+  }
+
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    close(fd);
+    return util::Status::IoError("getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  return util::Status::Ok();
+}
+
+void MetricsHttpServer::Stop() {
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (Connection& connection : connections_) {
+    if (connection.fd >= 0) close(connection.fd);
+  }
+  connections_.clear();
+  port_ = 0;
+}
+
+std::string MetricsHttpServer::BuildResponse(
+    const std::string& request_line) {
+  // "METHOD SP PATH SP VERSION"; tolerate a missing version.
+  const size_t method_end = request_line.find(' ');
+  if (method_end == std::string::npos) {
+    return MakeResponse(400, "text/plain", "bad request\n");
+  }
+  const std::string method = request_line.substr(0, method_end);
+  size_t path_end = request_line.find(' ', method_end + 1);
+  if (path_end == std::string::npos) path_end = request_line.size();
+  std::string path =
+      request_line.substr(method_end + 1, path_end - method_end - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    return MakeResponse(405, "text/plain", "method not allowed\n");
+  }
+  if (path == "/healthz") {
+    return MakeResponse(200, "text/plain", "ok\n");
+  }
+  if (path == "/metrics") {
+    return MakeResponse(200, "text/plain; version=0.0.4",
+                        registry_->PrometheusText());
+  }
+  if (path == "/metrics.json") {
+    return MakeResponse(200, "application/json",
+                        registry_->ToJson().Dump(2) + "\n");
+  }
+  return MakeResponse(404, "text/plain", "not found\n");
+}
+
+void MetricsHttpServer::HandleReadable(Connection* connection) {
+  char buffer[4096];
+  while (true) {
+    const ssize_t got = read(connection->fd, buffer, sizeof(buffer));
+    if (got > 0) {
+      connection->request.append(buffer, static_cast<size_t>(got));
+      if (connection->request.size() > kMaxRequestBytes) {
+        connection->response = MakeResponse(400, "text/plain",
+                                            "request too large\n");
+        return;
+      }
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or error: if we never saw a full header, drop the connection.
+    if (connection->request.find("\r\n\r\n") == std::string::npos &&
+        connection->request.find("\n\n") == std::string::npos) {
+      close(connection->fd);
+      connection->fd = -1;
+    }
+    break;
+  }
+  if (connection->fd < 0 || !connection->response.empty()) return;
+  // Serve as soon as the header block is complete (GET has no body).
+  if (connection->request.find("\r\n\r\n") != std::string::npos ||
+      connection->request.find("\n\n") != std::string::npos) {
+    const size_t line_end = connection->request.find_first_of("\r\n");
+    connection->response =
+        BuildResponse(connection->request.substr(0, line_end));
+  }
+}
+
+bool MetricsHttpServer::FlushWrites(Connection* connection) {
+  while (!connection->response.empty()) {
+    const ssize_t wrote = write(connection->fd, connection->response.data(),
+                                connection->response.size());
+    if (wrote > 0) {
+      connection->response.erase(0, static_cast<size_t>(wrote));
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    break;  // error: give up on the connection
+  }
+  close(connection->fd);
+  connection->fd = -1;
+  return false;
+}
+
+int MetricsHttpServer::Poll(int timeout_ms) {
+  if (listen_fd_ < 0) return 0;
+
+  std::vector<pollfd> fds;
+  fds.push_back({listen_fd_, POLLIN, 0});
+  for (const Connection& connection : connections_) {
+    short events = POLLIN;
+    if (!connection.response.empty()) events |= POLLOUT;
+    fds.push_back({connection.fd, events, 0});
+  }
+  const int ready = poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return 0;
+
+  int served = 0;
+  if ((fds[0].revents & POLLIN) != 0) {
+    while (true) {
+      const int client = accept(listen_fd_, nullptr, nullptr);
+      if (client < 0) break;
+      if (!SetNonBlocking(client)) {
+        close(client);
+        continue;
+      }
+      connections_.push_back({client, "", ""});
+    }
+  }
+
+  for (size_t i = 0; i < connections_.size(); ++i) {
+    Connection& connection = connections_[i];
+    // Newly accepted connections are not in `fds`; probe them too.
+    const bool in_poll_set = i + 1 < fds.size();
+    const short revents = in_poll_set ? fds[i + 1].revents : POLLIN;
+    if (connection.fd < 0) continue;
+    if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+        connection.response.empty()) {
+      HandleReadable(&connection);
+    }
+    if (connection.fd >= 0 && !connection.response.empty()) {
+      if (!FlushWrites(&connection)) ++served;
+    }
+  }
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [](const Connection& c) { return c.fd < 0; }),
+      connections_.end());
+  return served;
+}
+
+}  // namespace crowdtruth::obs

@@ -1,0 +1,75 @@
+// Minimal dependency-free HTTP exporter for MetricRegistry.
+//
+// Single-threaded and poll-based by design: the server owns no thread.
+// The host loop (crowdtruth_stream's replay loop, a bench driver, a test)
+// calls Poll() periodically; each call accepts pending connections with a
+// non-blocking poll(2), reads whatever request bytes are available, and
+// answers complete requests. A scraper therefore observes the process
+// without introducing any concurrency into it — exposition reads the
+// registry with the same thread-safe snapshots the instrumented code
+// writes through.
+//
+// Endpoints:
+//   GET /metrics       Prometheus text exposition (format 0.0.4)
+//   GET /metrics.json  the same registry as JSON
+//   GET /healthz       200 "ok" liveness probe
+// Anything else answers 404; non-GET methods answer 405. Connections are
+// close-after-response (HTTP/1.0 style), which keeps the state machine
+// trivial and is exactly what curl and Prometheus scrapers do per request.
+#ifndef CROWDTRUTH_OBS_HTTP_EXPORTER_H_
+#define CROWDTRUTH_OBS_HTTP_EXPORTER_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace crowdtruth::obs {
+
+class MetricsHttpServer {
+ public:
+  explicit MetricsHttpServer(MetricRegistry* registry)
+      : registry_(registry) {}
+  ~MetricsHttpServer() { Stop(); }
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port — see port()) and
+  // starts listening. The listener and all client sockets are
+  // non-blocking; nothing is served until Poll() runs.
+  util::Status Start(int port);
+
+  // The bound port; 0 before Start().
+  int port() const { return port_; }
+  bool serving() const { return listen_fd_ >= 0; }
+
+  // Accepts pending connections and answers complete requests, waiting at
+  // most `timeout_ms` for activity (0 = pure poll, never blocks). Returns
+  // the number of requests answered. Safe to call when not started
+  // (returns 0).
+  int Poll(int timeout_ms = 0);
+
+  // Closes the listener and any in-flight connections.
+  void Stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string request;   // bytes read so far
+    std::string response;  // bytes still to write
+  };
+
+  void HandleReadable(Connection* connection);
+  bool FlushWrites(Connection* connection);  // false once fully written
+  std::string BuildResponse(const std::string& request_line);
+
+  MetricRegistry* registry_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace crowdtruth::obs
+
+#endif  // CROWDTRUTH_OBS_HTTP_EXPORTER_H_

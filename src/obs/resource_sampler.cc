@@ -1,0 +1,82 @@
+#include "obs/resource_sampler.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <string>
+
+#include "util/parallel.h"
+
+namespace crowdtruth::obs {
+
+ResourceUsage SampleResourceUsage() {
+  ResourceUsage usage;
+  struct rusage raw;
+  if (getrusage(RUSAGE_SELF, &raw) != 0) return usage;
+  usage.user_cpu_seconds =
+      raw.ru_utime.tv_sec + raw.ru_utime.tv_usec * 1e-6;
+  usage.system_cpu_seconds =
+      raw.ru_stime.tv_sec + raw.ru_stime.tv_usec * 1e-6;
+  // Linux reports ru_maxrss in kilobytes.
+  usage.peak_rss_bytes = static_cast<int64_t>(raw.ru_maxrss) * 1024;
+  return usage;
+}
+
+util::JsonValue ResourceUsageJson(const ResourceUsage& usage) {
+  util::JsonValue json = util::JsonValue::Object();
+  json.Set("user_cpu_seconds", usage.user_cpu_seconds);
+  json.Set("system_cpu_seconds", usage.system_cpu_seconds);
+  json.Set("peak_rss_bytes", usage.peak_rss_bytes);
+  return json;
+}
+
+void RegisterProcessCollectors(MetricRegistry* registry) {
+  Gauge& peak_rss = registry->AddGauge(
+      "crowdtruth_process_peak_rss_bytes",
+      "High-water-mark resident set size of the process.");
+  Counter& user_cpu = registry->AddCounter(
+      "crowdtruth_process_cpu_user_seconds_total",
+      "Cumulative user-mode CPU consumed by the process.");
+  Counter& system_cpu = registry->AddCounter(
+      "crowdtruth_process_cpu_system_seconds_total",
+      "Cumulative kernel-mode CPU consumed by the process.");
+  Counter& regions = registry->AddCounter(
+      "crowdtruth_parallel_regions_total",
+      "ParallelForSlotted regions executed (EM kernel sharded steps).");
+  Counter& tasks = registry->AddCounter(
+      "crowdtruth_parallel_tasks_total",
+      "Task invocations executed across all ParallelForSlotted regions.");
+  Family<Counter>& slot_tasks = registry->AddCounterFamily(
+      "crowdtruth_parallel_slot_tasks_total",
+      "Task invocations executed by each worker-pool slot (0 = caller).",
+      {"slot"});
+  Gauge& imbalance = registry->AddGauge(
+      "crowdtruth_parallel_slot_imbalance",
+      "Busiest slot's task share divided by the mean share; 1.0 is "
+      "perfectly balanced.");
+
+  registry->AddCollectionHook([&peak_rss, &user_cpu, &system_cpu, &regions,
+                               &tasks, &slot_tasks, &imbalance] {
+    const ResourceUsage usage = SampleResourceUsage();
+    peak_rss.Set(static_cast<double>(usage.peak_rss_bytes));
+    user_cpu.AdvanceTo(usage.user_cpu_seconds);
+    system_cpu.AdvanceTo(usage.system_cpu_seconds);
+
+    const util::SlottedPoolStats pool = util::GetSlottedPoolStats();
+    regions.AdvanceTo(static_cast<double>(pool.regions));
+    tasks.AdvanceTo(static_cast<double>(pool.tasks));
+    int64_t busiest = 0;
+    for (size_t slot = 0; slot < pool.per_slot_tasks.size(); ++slot) {
+      slot_tasks.WithLabels({std::to_string(slot)})
+          .AdvanceTo(static_cast<double>(pool.per_slot_tasks[slot]));
+      busiest = std::max(busiest, pool.per_slot_tasks[slot]);
+    }
+    if (pool.tasks > 0 && !pool.per_slot_tasks.empty()) {
+      const double mean = static_cast<double>(pool.tasks) /
+                          static_cast<double>(pool.per_slot_tasks.size());
+      imbalance.Set(static_cast<double>(busiest) / mean);
+    }
+  });
+}
+
+}  // namespace crowdtruth::obs

@@ -1,0 +1,48 @@
+// Process resource sampling (getrusage) and the standard collection hooks
+// that surface process- and pool-level state as registry gauges.
+//
+// SampleResourceUsage is a cheap point-in-time snapshot callers can embed
+// directly (experiments::RunReport carries one per run).
+// RegisterProcessCollectors wires the same snapshot — plus the
+// util::ParallelForSlotted pool counters — into a MetricRegistry as gauges
+// and counters refreshed by a collection hook on every exposition, so a
+// scrape always sees current values without anything polling in between.
+#ifndef CROWDTRUTH_OBS_RESOURCE_SAMPLER_H_
+#define CROWDTRUTH_OBS_RESOURCE_SAMPLER_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "util/json_writer.h"
+
+namespace crowdtruth::obs {
+
+struct ResourceUsage {
+  // Cumulative CPU consumed by the process (all threads).
+  double user_cpu_seconds = 0.0;
+  double system_cpu_seconds = 0.0;
+  // High-water-mark resident set size.
+  int64_t peak_rss_bytes = 0;
+};
+
+// Snapshot via getrusage(RUSAGE_SELF); zeros if the call fails.
+ResourceUsage SampleResourceUsage();
+
+// {"user_cpu_seconds", "system_cpu_seconds", "peak_rss_bytes"}.
+util::JsonValue ResourceUsageJson(const ResourceUsage& usage);
+
+// Registers the process-level metrics on `registry` and a collection hook
+// that refreshes them before every exposition:
+//   crowdtruth_process_peak_rss_bytes           gauge
+//   crowdtruth_process_cpu_user_seconds_total   counter
+//   crowdtruth_process_cpu_system_seconds_total counter
+//   crowdtruth_parallel_regions_total           counter
+//   crowdtruth_parallel_tasks_total             counter
+//   crowdtruth_parallel_slot_tasks_total{slot}  counter
+//   crowdtruth_parallel_slot_imbalance          gauge (max/mean slot share)
+// Call once per registry, before installing it.
+void RegisterProcessCollectors(MetricRegistry* registry);
+
+}  // namespace crowdtruth::obs
+
+#endif  // CROWDTRUTH_OBS_RESOURCE_SAMPLER_H_

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/trace.h"
+#include "obs/metrics.h"
 #include "streaming/incremental.h"
 #include "util/json_writer.h"
 #include "util/latency.h"
@@ -163,8 +164,15 @@ class StreamEngine {
     internal_engine::SetPayload(answer, payload);
     util::Status status = method_->Observe(answer);
     if (!status.ok()) return status;
-    stats_.observe_latency.Record(stopwatch.ElapsedSeconds());
+    const double seconds = stopwatch.ElapsedSeconds();
+    stats_.observe_latency.Record(seconds);
     ++stats_.answers;
+    if (EngineMetricSet* m = Metrics()) {
+      m->answers->Increment();
+      m->observe_latency->Observe(seconds);
+      m->sweep_depth->Observe(method_->last_observe_swept());
+      m->backlog->Set(static_cast<double>(method_->backlog_size()));
+    }
     if (config_.resync_interval > 0 &&
         stats_.answers % config_.resync_interval == 0) {
       Resync();
@@ -180,6 +188,12 @@ class StreamEngine {
     const double seconds = stopwatch.ElapsedSeconds();
     stats_.resync_seconds += seconds;
     ++stats_.resyncs;
+    if (EngineMetricSet* m = Metrics()) {
+      m->resyncs->Increment();
+      m->resync_seconds->Increment(seconds);
+      m->resync_duration->Observe(seconds);
+      m->backlog->Set(static_cast<double>(method_->backlog_size()));
+    }
     if (trace_ != nullptr) {
       core::IterationEvent event;
       event.iteration = stats_.resyncs;
@@ -253,6 +267,77 @@ class StreamEngine {
   void set_trace(core::TraceSink* trace) { trace_ = trace; }
 
  private:
+  // Cached children of the process-wide stream metric families, labeled by
+  // the wrapped method's name. Resolved once per installed registry so the
+  // per-answer cost is a relaxed pointer load plus atomic bumps.
+  struct EngineMetricSet {
+    obs::Counter* answers = nullptr;
+    obs::Histogram* observe_latency = nullptr;
+    obs::Histogram* sweep_depth = nullptr;
+    obs::Gauge* backlog = nullptr;
+    obs::Counter* resyncs = nullptr;
+    obs::Counter* resync_seconds = nullptr;
+    obs::Histogram* resync_duration = nullptr;
+  };
+
+  EngineMetricSet* Metrics() {
+    obs::MetricRegistry* const registry = obs::ProcessMetrics();
+    if (registry == nullptr) return nullptr;
+    if (metrics_registry_ != registry) {
+      const std::vector<std::string> label = {method_->name()};
+      metric_set_.answers =
+          &registry
+               ->AddCounterFamily("crowdtruth_stream_answers_total",
+                                  "Answers ingested by the stream engine.",
+                                  {"method"})
+               .WithLabels(label);
+      metric_set_.observe_latency =
+          &registry
+               ->AddHistogramFamily(
+                   "crowdtruth_stream_observe_latency_seconds",
+                   "Per-answer Observe cost (interning + incremental "
+                   "update).",
+                   {"method"}, obs::HistogramBuckets::LatencySeconds())
+               .WithLabels(label);
+      metric_set_.sweep_depth =
+          &registry
+               ->AddHistogramFamily(
+                   "crowdtruth_stream_sweep_depth_tasks",
+                   "Tasks re-estimated by one Observe's dirty-task sweeps.",
+                   {"method"}, obs::HistogramBuckets::PowersOfTwo(13))
+               .WithLabels(label);
+      metric_set_.backlog =
+          &registry
+               ->AddGaugeFamily(
+                   "crowdtruth_stream_backlog_tasks",
+                   "Dirty tasks deferred by max_dirty_tasks, awaiting a "
+                   "sweep.",
+                   {"method"})
+               .WithLabels(label);
+      metric_set_.resyncs =
+          &registry
+               ->AddCounterFamily("crowdtruth_stream_resyncs_total",
+                                  "Full batch resyncs run by the engine.",
+                                  {"method"})
+               .WithLabels(label);
+      metric_set_.resync_seconds =
+          &registry
+               ->AddCounterFamily(
+                   "crowdtruth_stream_resync_seconds_total",
+                   "Total wall-clock spent inside resyncs.", {"method"})
+               .WithLabels(label);
+      metric_set_.resync_duration =
+          &registry
+               ->AddHistogramFamily(
+                   "crowdtruth_stream_resync_duration_seconds",
+                   "Wall-clock cost of individual resyncs.", {"method"},
+                   obs::HistogramBuckets::LatencySeconds())
+               .WithLabels(label);
+      metrics_registry_ = registry;
+    }
+    return &metric_set_;
+  }
+
   std::unique_ptr<Method> method_;
   EngineConfig config_;
   StreamIdInterner tasks_;
@@ -261,6 +346,8 @@ class StreamEngine {
   core::TraceSink* trace_ = nullptr;
   // Observe seconds already attributed to an emitted trace event.
   double observe_seconds_traced_ = 0.0;
+  EngineMetricSet metric_set_;
+  obs::MetricRegistry* metrics_registry_ = nullptr;
 };
 
 using CategoricalStreamEngine = StreamEngine<IncrementalCategoricalMethod>;

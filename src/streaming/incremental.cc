@@ -98,6 +98,7 @@ Status IncrementalCategoricalMethod::Observe(
   by_task_[answer.task].push_back({answer.worker, answer.label});
   by_worker_[answer.worker].push_back({answer.task, answer.label});
   if (grew) OnGrow();
+  last_swept_ = 0;
   OnObserve(answer);
   return Status::Ok();
 }

@@ -128,6 +128,14 @@ class IncrementalCategoricalMethod {
   }
   const StreamingOptions& options() const { return options_; }
 
+  // Dirty tasks deferred by max_dirty_tasks and still awaiting a sweep.
+  int64_t backlog_size() const {
+    return static_cast<int64_t>(backlog_.size());
+  }
+  // Tasks re-estimated by the most recent Observe's propagation sweeps
+  // (0 for methods without localized re-estimation, e.g. MV).
+  int last_observe_swept() const { return last_swept_; }
+
   // Current estimates. Estimate/TaskPosterior/WorkerQuality require a valid
   // index; Estimates()/WorkerQualities() gather all of them.
   virtual data::LabelId Estimate(data::TaskId task) const = 0;
@@ -180,6 +188,9 @@ class IncrementalCategoricalMethod {
   // Dirty tasks deferred by max_dirty_tasks; drained by later Observes,
   // cleared by Resync (the batch solution subsumes the pending work).
   std::set<data::TaskId> backlog_;
+  // Tasks refreshed by the current Observe; reset by the base before
+  // OnObserve, accumulated by subclass sweep loops.
+  int last_swept_ = 0;
 };
 
 // Base of the numeric incremental methods (Mean, Median).
@@ -201,6 +212,11 @@ class IncrementalNumericMethod {
     return static_cast<int64_t>(answers_.size());
   }
   const StreamingOptions& options() const { return options_; }
+
+  // The numeric methods keep exact running state per task, so there is no
+  // deferred work; the accessors exist for engine-metrics symmetry.
+  int64_t backlog_size() const { return 0; }
+  int last_observe_swept() const { return 0; }
 
   virtual double Estimate(data::TaskId task) const = 0;
   virtual double WorkerQuality(data::WorkerId worker) const = 0;

@@ -120,6 +120,7 @@ void StreamingDs::OnObserve(const CategoricalAnswer& answer) {
        ++sweep) {
     std::set<data::WorkerId> touched;
     for (data::TaskId task : dirty) RefreshTask(task, &touched);
+    last_swept_ += static_cast<int>(dirty.size());
     RefreshClassPrior();
     std::set<data::TaskId> next;
     for (data::WorkerId worker : touched) {

@@ -78,6 +78,7 @@ void StreamingZc::OnObserve(const CategoricalAnswer& answer) {
        ++sweep) {
     std::set<data::WorkerId> touched;
     for (data::TaskId task : dirty) RefreshTask(task, &touched);
+    last_swept_ += static_cast<int>(dirty.size());
     std::set<data::TaskId> next;
     for (data::WorkerId worker : touched) {
       const double old_quality = quality_[worker];

@@ -11,6 +11,22 @@
 namespace crowdtruth::util {
 namespace {
 
+// Cumulative ParallelForSlotted accounting (see SlottedPoolStats). Fixed
+// slot capacity keeps the counters lock-free; DefaultThreads tops out far
+// below this on any machine we target.
+constexpr int kMaxTrackedSlots = 256;
+std::atomic<int64_t> g_regions{0};
+std::atomic<int64_t> g_tasks{0};
+std::atomic<int64_t> g_slot_tasks[kMaxTrackedSlots];
+
+inline void NoteSlotTasks(int slot, int64_t executed) {
+  if (executed == 0) return;
+  g_tasks.fetch_add(executed, std::memory_order_relaxed);
+  if (slot < kMaxTrackedSlots) {
+    g_slot_tasks[slot].fetch_add(executed, std::memory_order_relaxed);
+  }
+}
+
 // Persistent worker pool behind ParallelForSlotted. Workers are created
 // on first demand (up to the largest num_threads ever requested), park on a
 // condition variable between regions, and are intentionally leaked at
@@ -72,11 +88,14 @@ class SlottedPool {
   }
 
   void Drain(int slot) {
+    int64_t executed = 0;
     while (true) {
       const int index = next_.fetch_add(1, std::memory_order_relaxed);
       if (index >= count_) break;
       (*fn_)(index, slot);
+      ++executed;
     }
+    NoteSlotTasks(slot, executed);
   }
 
   std::mutex run_mutex_;  // Serializes whole regions across callers.
@@ -120,11 +139,30 @@ void ParallelFor(int count, int num_threads,
 void ParallelForSlotted(int count, int num_threads,
                         const std::function<void(int, int)>& fn) {
   if (count <= 0) return;
+  g_regions.fetch_add(1, std::memory_order_relaxed);
   if (std::min(num_threads, count) <= 1) {
     for (int i = 0; i < count; ++i) fn(i, 0);
+    NoteSlotTasks(0, count);
     return;
   }
   SlottedPool::Instance().Run(count, num_threads, fn);
+}
+
+SlottedPoolStats GetSlottedPoolStats() {
+  SlottedPoolStats stats;
+  stats.regions = g_regions.load(std::memory_order_relaxed);
+  stats.tasks = g_tasks.load(std::memory_order_relaxed);
+  int top = kMaxTrackedSlots;
+  while (top > 0 &&
+         g_slot_tasks[top - 1].load(std::memory_order_relaxed) == 0) {
+    --top;
+  }
+  stats.per_slot_tasks.reserve(top);
+  for (int slot = 0; slot < top; ++slot) {
+    stats.per_slot_tasks.push_back(
+        g_slot_tasks[slot].load(std::memory_order_relaxed));
+  }
+  return stats;
 }
 
 int DefaultThreads(int cap) {

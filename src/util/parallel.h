@@ -15,7 +15,9 @@
 #ifndef CROWDTRUTH_UTIL_PARALLEL_H_
 #define CROWDTRUTH_UTIL_PARALLEL_H_
 
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace crowdtruth::util {
 
@@ -34,6 +36,23 @@ void ParallelFor(int count, int num_threads,
 // deadlock. num_threads <= 1 runs inline with slot 0.
 void ParallelForSlotted(int count, int num_threads,
                         const std::function<void(int, int)>& fn);
+
+// Cumulative process-lifetime accounting for ParallelForSlotted (both the
+// pooled and the inline single-thread path). Maintained with relaxed
+// atomics inside the pool — a handful of adds per region, nothing per
+// task — and read by the observability layer's collection hook
+// (obs::RegisterProcessCollectors), which derives the slot-imbalance gauge
+// from per_slot_tasks.
+struct SlottedPoolStats {
+  // Regions executed (one per ParallelForSlotted call with count > 0).
+  int64_t regions = 0;
+  // Task invocations across all regions.
+  int64_t tasks = 0;
+  // Tasks executed by each slot (0 = caller thread); sized to the highest
+  // slot that ever ran work.
+  std::vector<int64_t> per_slot_tasks;
+};
+SlottedPoolStats GetSlottedPoolStats();
 
 // The default worker count: the CROWDTRUTH_THREADS environment variable
 // when set to a positive integer, otherwise the full hardware concurrency.

@@ -186,3 +186,270 @@ TEST(WorkerStatsTest, BucketValuesClampsAndCounts) {
 
 }  // namespace
 }  // namespace crowdtruth::metrics
+
+// ---------------------------------------------------------------------------
+// Process-wide metric registry (src/obs): instruments, families, exposition
+// formats, collection hooks, concurrency (run under TSan in CI), and the
+// poll-based HTTP exporter.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/resource_sampler.h"
+
+namespace crowdtruth::obs {
+namespace {
+
+TEST(MetricRegistryTest, CounterGaugeBasics) {
+  MetricRegistry registry;
+  Counter& counter = registry.AddCounter("test_events_total", "Events.");
+  counter.Increment();
+  counter.Increment(2.5);
+  EXPECT_DOUBLE_EQ(counter.Value(), 3.5);
+  counter.AdvanceTo(10.0);
+  EXPECT_DOUBLE_EQ(counter.Value(), 10.0);
+  counter.AdvanceTo(5.0);  // Never moves backwards.
+  EXPECT_DOUBLE_EQ(counter.Value(), 10.0);
+
+  Gauge& gauge = registry.AddGauge("test_depth", "Depth.");
+  gauge.Set(7.0);
+  gauge.Add(-2.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 5.0);
+}
+
+TEST(MetricRegistryTest, RegistrationIsIdempotent) {
+  MetricRegistry registry;
+  Counter& a = registry.AddCounter("test_total", "Help.");
+  Counter& b = registry.AddCounter("test_total", "Help.");
+  EXPECT_EQ(&a, &b);
+  Family<Counter>& fa =
+      registry.AddCounterFamily("test_labeled_total", "Help.", {"method"});
+  Family<Counter>& fb =
+      registry.AddCounterFamily("test_labeled_total", "Help.", {"method"});
+  EXPECT_EQ(&fa, &fb);
+  EXPECT_EQ(&fa.WithLabels({"ZC"}), &fb.WithLabels({"ZC"}));
+  EXPECT_NE(&fa.WithLabels({"ZC"}), &fa.WithLabels({"D&S"}));
+}
+
+TEST(MetricRegistryTest, HistogramBucketsAndNonFiniteSamples) {
+  MetricRegistry registry;
+  Histogram& histogram = registry.AddHistogram(
+      "test_hist", "Help.", HistogramBuckets::LogScale(1.0, 10.0, 3));
+  // Bounds: 1, 10, 100. le is an inclusive upper bound.
+  histogram.Observe(1.0);
+  histogram.Observe(5.0);
+  histogram.Observe(1000.0);
+  histogram.Observe(std::nan(""));  // +Inf bucket, no sum contribution.
+  const Histogram::Snapshot snap = histogram.Snap();
+  ASSERT_EQ(snap.cumulative.size(), 4u);
+  EXPECT_EQ(snap.cumulative[0], 1);  // le=1
+  EXPECT_EQ(snap.cumulative[1], 2);  // le=10
+  EXPECT_EQ(snap.cumulative[2], 2);  // le=100
+  EXPECT_EQ(snap.cumulative[3], 4);  // +Inf
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_DOUBLE_EQ(snap.sum, 1006.0);
+}
+
+TEST(MetricRegistryTest, PrometheusExpositionFormat) {
+  MetricRegistry registry;
+  registry.AddCounter("test_events_total", "Events observed.").Increment(3);
+  registry.AddCounterFamily("test_runs_total", "Runs.", {"method"})
+      .WithLabels({"D&S"})
+      .Increment();
+  registry
+      .AddHistogram("test_latency_seconds", "Latency.",
+                    HistogramBuckets::LogScale(0.1, 10.0, 2))
+      .Observe(0.05);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# HELP test_events_total Events observed.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_events_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_events_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("test_runs_total{method=\"D&S\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_count 1\n"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, PrometheusEscapesLabelValues) {
+  MetricRegistry registry;
+  registry.AddCounterFamily("test_esc_total", "Help.", {"name"})
+      .WithLabels({"a\"b\\c\nd"})
+      .Increment();
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("test_esc_total{name=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricRegistryTest, JsonExposition) {
+  MetricRegistry registry;
+  registry.AddCounter("test_total", "Help.").Increment(2);
+  const util::JsonValue json = registry.ToJson();
+  ASSERT_NE(json.Find("format"), nullptr);
+  EXPECT_EQ(json.Find("format")->string(), "crowdtruth_metrics");
+  ASSERT_NE(json.Find("metrics"), nullptr);
+  ASSERT_EQ(json.Find("metrics")->items().size(), 1u);
+  const util::JsonValue& metric = json.Find("metrics")->items()[0];
+  EXPECT_EQ(metric.Find("name")->string(), "test_total");
+  EXPECT_EQ(metric.Find("kind")->string(), "counter");
+}
+
+TEST(MetricRegistryTest, CollectionHooksRefreshBeforeExposition) {
+  MetricRegistry registry;
+  Gauge& gauge = registry.AddGauge("test_refreshed", "Help.");
+  int calls = 0;
+  registry.AddCollectionHook([&gauge, &calls] {
+    ++calls;
+    gauge.Set(static_cast<double>(calls));
+  });
+  EXPECT_NE(registry.PrometheusText().find("test_refreshed 1\n"),
+            std::string::npos);
+  EXPECT_NE(registry.PrometheusText().find("test_refreshed 2\n"),
+            std::string::npos);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(MetricRegistryTest, ProcessCollectorsExposeResourceUsage) {
+  MetricRegistry registry;
+  RegisterProcessCollectors(&registry);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("crowdtruth_process_peak_rss_bytes"),
+            std::string::npos);
+  EXPECT_NE(text.find("crowdtruth_process_cpu_user_seconds_total"),
+            std::string::npos);
+  const ResourceUsage usage = SampleResourceUsage();
+  EXPECT_GT(usage.peak_rss_bytes, 0);
+}
+
+// The TSan target: writers hammer counters, gauges, histograms and labeled
+// children from many threads while a reader scrapes concurrently.
+TEST(MetricRegistryTest, ConcurrentWritersAndScrapers) {
+  MetricRegistry registry;
+  Counter& counter = registry.AddCounter("test_conc_total", "Help.");
+  Gauge& gauge = registry.AddGauge("test_conc_gauge", "Help.");
+  Histogram& histogram = registry.AddHistogram(
+      "test_conc_hist", "Help.", HistogramBuckets::PowersOfTwo(8));
+  Family<Counter>& family =
+      registry.AddCounterFamily("test_conc_labeled_total", "Help.", {"w"});
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::atomic<bool> stop{false};
+  std::thread scraper([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string text = registry.PrometheusText();
+      ASSERT_NE(text.find("test_conc_total"), std::string::npos);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      Counter& child = family.WithLabels({std::to_string(t % 2)});
+      for (int i = 0; i < kOps; ++i) {
+        counter.Increment();
+        gauge.Set(static_cast<double>(i));
+        histogram.Observe(static_cast<double>(i % 100));
+        child.Increment();
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_DOUBLE_EQ(counter.Value(), kThreads * kOps);
+  EXPECT_EQ(histogram.Snap().count, kThreads * kOps);
+  EXPECT_DOUBLE_EQ(family.WithLabels({"0"}).Value() +
+                       family.WithLabels({"1"}).Value(),
+                   kThreads * kOps);
+}
+
+// Blocking client socket helper for the exporter test: sends `request` to
+// 127.0.0.1:`port` and reads the full close-terminated response while the
+// caller's lambda pumps the server.
+std::string HttpRoundTrip(MetricsHttpServer* server, int port,
+                          const std::string& request) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  for (int spins = 0; spins < 1000; ++spins) {
+    server->Poll(1);
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), MSG_DONTWAIT);
+    if (n > 0) {
+      response.append(buffer, static_cast<size_t>(n));
+    } else if (n == 0) {
+      break;  // Server closed after the response: message complete.
+    }
+  }
+  close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServerTest, ServesMetricsHealthzAnd404) {
+  MetricRegistry registry;
+  registry.AddCounter("test_http_total", "Help.").Increment(5);
+  MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string metrics = HttpRoundTrip(
+      &server, server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("test_http_total 5\n"), std::string::npos);
+
+  const std::string health = HttpRoundTrip(
+      &server, server.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string json = HttpRoundTrip(
+      &server, server.port(), "GET /metrics.json HTTP/1.0\r\n\r\n");
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("crowdtruth_metrics"), std::string::npos);
+
+  const std::string missing = HttpRoundTrip(
+      &server, server.port(), "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  const std::string post = HttpRoundTrip(
+      &server, server.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.serving());
+}
+
+TEST(ProcessMetricsTest, InstallAndClear) {
+  EXPECT_EQ(ProcessMetrics(), nullptr);
+  MetricRegistry registry;
+  InstallProcessMetrics(&registry);
+  EXPECT_EQ(ProcessMetrics(), &registry);
+  InstallProcessMetrics(nullptr);
+  EXPECT_EQ(ProcessMetrics(), nullptr);
+}
+
+}  // namespace
+}  // namespace crowdtruth::obs

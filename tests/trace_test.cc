@@ -4,6 +4,7 @@
 // and tracing must not perturb the inference itself.
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -231,6 +232,42 @@ TEST(RunReportTest, NumericReportUsesMaeRmse) {
   ASSERT_NE(json.Find("mae"), nullptr);
   ASSERT_NE(json.Find("rmse"), nullptr);
   EXPECT_EQ(json.Find("task_type")->string(), "numeric");
+}
+
+TEST(SynchronizedTraceSinkTest, SerializesConcurrentEmitters) {
+  CollectingTraceSink collector;
+  SynchronizedTraceSink synchronized(&collector);
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 500;
+  std::vector<std::thread> emitters;
+  emitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([&synchronized, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        IterationEvent event;
+        event.iteration = i + 1;
+        event.delta = static_cast<double>(t);
+        synchronized.OnIteration(event);
+      }
+    });
+  }
+  for (std::thread& emitter : emitters) emitter.join();
+  // Every event arrived exactly once; per-thread order is preserved.
+  ASSERT_EQ(collector.events().size(),
+            static_cast<size_t>(kThreads * kEvents));
+  std::vector<int> next(kThreads, 1);
+  for (const IterationEvent& event : collector.events()) {
+    const int t = static_cast<int>(event.delta);
+    EXPECT_EQ(event.iteration, next[t]);
+    ++next[t];
+  }
+}
+
+TEST(SynchronizedTraceSinkTest, NullWrappedSinkIsNoOp) {
+  SynchronizedTraceSink synchronized(nullptr);
+  IterationEvent event;
+  event.iteration = 1;
+  synchronized.OnIteration(event);  // Must not crash.
 }
 
 }  // namespace

@@ -1,0 +1,97 @@
+// LatencyRecorder edge cases: empty recorders, single samples, percentile
+// boundaries, and the lazy re-sort after interleaved Record/Percentile
+// calls (Record invalidates the sorted order; Percentile must restore it).
+#include "util/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json_writer.h"
+
+namespace crowdtruth::util {
+namespace {
+
+TEST(LatencyRecorderTest, EmptyRecorderReportsZeros) {
+  LatencyRecorder recorder;
+  EXPECT_EQ(recorder.count(), 0);
+  EXPECT_EQ(recorder.total_seconds(), 0.0);
+  EXPECT_EQ(recorder.mean(), 0.0);
+  EXPECT_EQ(recorder.max(), 0.0);
+  EXPECT_EQ(recorder.Percentile(0.0), 0.0);
+  EXPECT_EQ(recorder.Percentile(50.0), 0.0);
+  EXPECT_EQ(recorder.Percentile(100.0), 0.0);
+}
+
+TEST(LatencyRecorderTest, SingleSampleIsEveryPercentile) {
+  LatencyRecorder recorder;
+  recorder.Record(0.25);
+  EXPECT_EQ(recorder.count(), 1);
+  EXPECT_EQ(recorder.mean(), 0.25);
+  EXPECT_EQ(recorder.max(), 0.25);
+  EXPECT_EQ(recorder.Percentile(0.0), 0.25);
+  EXPECT_EQ(recorder.Percentile(50.0), 0.25);
+  EXPECT_EQ(recorder.Percentile(100.0), 0.25);
+}
+
+TEST(LatencyRecorderTest, PercentileBoundaries) {
+  LatencyRecorder recorder;
+  // Recorded out of order on purpose.
+  recorder.Record(0.3);
+  recorder.Record(0.1);
+  recorder.Record(0.4);
+  recorder.Record(0.2);
+  // Nearest rank: p=0 clamps to the first sample, p=100 to the last.
+  EXPECT_EQ(recorder.Percentile(0.0), 0.1);
+  EXPECT_EQ(recorder.Percentile(100.0), 0.4);
+  // ceil(0.5 * 4) = rank 2 -> 0.2; ceil(0.75 * 4) = rank 3 -> 0.3.
+  EXPECT_EQ(recorder.Percentile(50.0), 0.2);
+  EXPECT_EQ(recorder.Percentile(75.0), 0.3);
+  // Out-of-range p clamps rather than reading out of bounds.
+  EXPECT_EQ(recorder.Percentile(-10.0), 0.1);
+  EXPECT_EQ(recorder.Percentile(250.0), 0.4);
+}
+
+TEST(LatencyRecorderTest, ResortsAfterInterleavedRecordAndPercentile) {
+  LatencyRecorder recorder;
+  recorder.Record(0.5);
+  recorder.Record(0.1);
+  // This Percentile call sorts the samples in place...
+  EXPECT_EQ(recorder.Percentile(100.0), 0.5);
+  // ...and a later Record must invalidate that order, even when the new
+  // sample belongs before existing ones.
+  recorder.Record(0.3);
+  EXPECT_EQ(recorder.Percentile(0.0), 0.1);
+  EXPECT_EQ(recorder.Percentile(50.0), 0.3);
+  EXPECT_EQ(recorder.Percentile(100.0), 0.5);
+  recorder.Record(0.05);
+  EXPECT_EQ(recorder.Percentile(0.0), 0.05);
+  EXPECT_EQ(recorder.max(), 0.5);
+  EXPECT_EQ(recorder.count(), 4);
+}
+
+TEST(LatencyRecorderTest, TotalsAccumulateIndependentlyOfSorting) {
+  LatencyRecorder recorder;
+  recorder.Record(1.0);
+  recorder.Record(2.0);
+  (void)recorder.Percentile(50.0);
+  recorder.Record(3.0);
+  EXPECT_DOUBLE_EQ(recorder.total_seconds(), 6.0);
+  EXPECT_DOUBLE_EQ(recorder.mean(), 2.0);
+}
+
+TEST(LatencyRecorderTest, ToJsonSummaryFields) {
+  LatencyRecorder recorder;
+  recorder.Record(0.2);
+  recorder.Record(0.1);
+  const JsonValue json = recorder.ToJson();
+  ASSERT_NE(json.Find("count"), nullptr);
+  EXPECT_EQ(json.Find("count")->number(), 2.0);
+  ASSERT_NE(json.Find("p50_seconds"), nullptr);
+  EXPECT_EQ(json.Find("p50_seconds")->number(), 0.1);
+  ASSERT_NE(json.Find("p99_seconds"), nullptr);
+  EXPECT_EQ(json.Find("p99_seconds")->number(), 0.2);
+  ASSERT_NE(json.Find("max_seconds"), nullptr);
+  EXPECT_EQ(json.Find("max_seconds")->number(), 0.2);
+}
+
+}  // namespace
+}  // namespace crowdtruth::util

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) scrape from the metrics layer.
+
+Usage: check_metrics_exposition.py FILE [--require SERIES_NAME ...]
+
+Checks, beyond "it parses":
+  * every sample line belongs to a family announced by # HELP and # TYPE;
+  * HELP/TYPE come in pairs with a recognized type;
+  * no duplicate series (same name + same label set);
+  * every sample value is finite (+Inf is allowed only as a histogram
+    bucket *bound*, i.e. the le label, never as a value);
+  * histogram bucket counts are cumulative, end in an le="+Inf" bucket,
+    and that bucket equals the family's _count series;
+  * counters are non-negative;
+  * each --require name is present with at least one sample.
+
+Exits 0 when the scrape is well-formed, 1 with a line-numbered complaint
+otherwise. CI runs this against a live scrape of
+`crowdtruth_stream --metrics_port` (see .github/workflows/ci.yml).
+"""
+
+import math
+import re
+import sys
+
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<timestamp>-?\d+))?$"
+)
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def base_family(name, types):
+    """Map a sample name to its announced family (histogram suffixes)."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    required = []
+    if "--require" in argv:
+        required = argv[argv.index("--require") + 1 :]
+
+    errors = []
+    helps = {}
+    types = {}
+    seen_series = set()
+    sample_names = set()
+    # family -> sorted list of (le_bound, count) and family -> count value.
+    buckets = {}
+    hist_counts = {}
+
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3]:
+                errors.append(f"{lineno}: HELP line without help text: {line}")
+            else:
+                helps[parts[2]] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or parts[3] not in VALID_TYPES:
+                errors.append(f"{lineno}: malformed TYPE line: {line}")
+                continue
+            name = parts[2]
+            if name not in helps:
+                errors.append(f"{lineno}: TYPE for {name} without prior HELP")
+            if name in types:
+                errors.append(f"{lineno}: duplicate TYPE for {name}")
+            types[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # Other comments are legal and ignored.
+
+        match = SAMPLE.match(line)
+        if not match:
+            errors.append(f"{lineno}: unparseable sample line: {line}")
+            continue
+        name = match.group("name")
+        labels_text = match.group("labels") or ""
+        labels = dict(LABEL.findall(labels_text))
+        try:
+            value = parse_value(match.group("value"))
+        except ValueError:
+            errors.append(f"{lineno}: bad sample value: {line}")
+            continue
+
+        family = base_family(name, types)
+        if family is None:
+            errors.append(f"{lineno}: sample {name} has no HELP/TYPE family")
+            family = name
+        sample_names.add(family)
+
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            errors.append(f"{lineno}: duplicate series: {line}")
+        seen_series.add(series_key)
+
+        if not math.isfinite(value):
+            errors.append(f"{lineno}: non-finite sample value: {line}")
+        if types.get(family) == "counter" and value < 0:
+            errors.append(f"{lineno}: negative counter: {line}")
+
+        if types.get(family) == "histogram":
+            child = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"{lineno}: bucket without le label: {line}")
+                    continue
+                bound = parse_value(labels["le"])
+                buckets.setdefault((family, child), []).append(
+                    (lineno, bound, value)
+                )
+            elif name.endswith("_count"):
+                hist_counts[(family, child)] = (lineno, value)
+
+    for (family, child), rows in sorted(buckets.items()):
+        rows.sort(key=lambda r: r[1])
+        prev = -math.inf
+        for lineno, bound, count in rows:
+            if count < prev:
+                errors.append(
+                    f"{lineno}: {family} bucket le={bound} count {count} "
+                    f"below previous bucket's {prev} (not cumulative)"
+                )
+            prev = count
+        last_bound = rows[-1][1]
+        if last_bound != math.inf:
+            errors.append(f"{family}{dict(child)}: no le=\"+Inf\" bucket")
+        elif (family, child) in hist_counts:
+            count_line, count_value = hist_counts[(family, child)]
+            if rows[-1][2] != count_value:
+                errors.append(
+                    f"{count_line}: {family}_count {count_value} != "
+                    f"+Inf bucket {rows[-1][2]}"
+                )
+        else:
+            errors.append(f"{family}{dict(child)}: missing _count series")
+
+    for name in required:
+        if name not in sample_names:
+            errors.append(f"required series missing from scrape: {name}")
+
+    if errors:
+        print(f"{path}: {len(errors)} problem(s)")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(
+        f"{path}: ok — {len(types)} families, {len(seen_series)} series"
+        + (f", {len(required)} required present" if required else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

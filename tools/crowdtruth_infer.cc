@@ -5,7 +5,7 @@
 //       [--num_choices=0] [--output=inferred.csv]
 //       [--workers_output=workers.csv] [--seed=42]
 //       [--threads=1] [--max_iterations=100] [--tolerance=1e-4]
-//       [--trace] [--report=report.json]
+//       [--trace] [--report=report.json] [--metrics_out=metrics.prom]
 //       [--validate] [--on-bad-record=reject|dedupe|drop]
 //
 // The answers file needs the header "task,worker,answer"; the optional
@@ -23,8 +23,12 @@
 // records (default reject: any duplicate / out-of-range / non-finite
 // record fails the load; dedupe and drop repair instead). --validate
 // prints the validation report (what was found and repaired) after
-// loading. Available methods: run with --method=list.
+// loading. --metrics_out installs the process-wide metric registry for the
+// run and dumps it on exit — Prometheus text exposition by default, the
+// JSON form when the path ends in ".json". Available methods: run with
+// --method=list.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -33,6 +37,8 @@
 #include "data/io.h"
 #include "data/validate.h"
 #include "experiments/runner.h"
+#include "obs/metrics.h"
+#include "obs/resource_sampler.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/json_writer.h"
@@ -258,6 +264,35 @@ int RunNumeric(const crowdtruth::util::Flags& flags) {
   return 0;
 }
 
+// Dumps the registry to `path`: JSON when the extension says so, otherwise
+// Prometheus text exposition. Returns 1 on I/O failure.
+int DumpMetrics(crowdtruth::obs::MetricRegistry* registry,
+                const std::string& path) {
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    const Status status =
+        crowdtruth::util::WriteJsonFile(path, registry->ToJson());
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+  } else {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot open " << path << " for writing\n";
+      return 1;
+    }
+    registry->WritePrometheus(out);
+    if (!out.good()) {
+      std::cerr << "error: failed writing " << path << '\n';
+      return 1;
+    }
+  }
+  std::cout << "wrote metrics to " << path << '\n';
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -275,6 +310,7 @@ int main(int argc, char** argv) {
                                        {"tolerance", "1e-4"},
                                        {"trace", "false"},
                                        {"report", ""},
+                                       {"metrics_out", ""},
                                        {"validate", "false"},
                                        {"on-bad-record", "reject"}});
   if (flags.Get("method") == "list") return ListMethods();
@@ -282,8 +318,27 @@ int main(int argc, char** argv) {
     std::cerr << "error: --answers is required (or --method=list)\n";
     return 2;
   }
-  if (flags.Get("type") == "numeric") return RunNumeric(flags);
-  if (flags.Get("type") == "categorical") return RunCategorical(flags);
-  std::cerr << "error: --type must be categorical or numeric\n";
-  return 2;
+  // The registry outlives the run; instrumentation sites read it through
+  // ProcessMetrics() and must never observe a dangling pointer.
+  crowdtruth::obs::MetricRegistry registry;
+  const std::string metrics_out = flags.Get("metrics_out");
+  if (!metrics_out.empty()) {
+    crowdtruth::obs::RegisterProcessCollectors(&registry);
+    crowdtruth::obs::InstallProcessMetrics(&registry);
+  }
+  int code;
+  if (flags.Get("type") == "numeric") {
+    code = RunNumeric(flags);
+  } else if (flags.Get("type") == "categorical") {
+    code = RunCategorical(flags);
+  } else {
+    std::cerr << "error: --type must be categorical or numeric\n";
+    code = 2;
+  }
+  if (!metrics_out.empty()) {
+    crowdtruth::obs::InstallProcessMetrics(nullptr);
+    const int dump_code = DumpMetrics(&registry, metrics_out);
+    if (code == 0) code = dump_code;
+  }
+  return code;
 }

@@ -10,6 +10,7 @@
 //       [--output=inferred.csv] [--workers_output=workers.csv]
 //       [--json_out=report.json] [--trace] [--seed=42]
 //       [--on-bad-record=reject|dedupe|drop]
+//       [--metrics_port=-1] [--metrics_linger=0] [--metrics_out=FILE]
 //
 // Or generate the stream live with the online-assignment simulator
 // (categorical profiles only):
@@ -32,6 +33,16 @@
 // what a malformed record does to the replay: reject (default) fails it,
 // the repair policies skip the record and keep streaming.
 //
+// --metrics_port=N (>= 0; 0 picks an ephemeral port, printed on startup)
+// installs the process-wide metric registry and serves live Prometheus
+// exposition on 127.0.0.1:N during the replay: GET /metrics (text),
+// /metrics.json, /healthz. The server is poll-based and single-threaded —
+// the replay loop pumps it between answers, so scraping never introduces
+// concurrency into the engine. --metrics_linger=SECONDS keeps serving
+// after the stream ends (so a scraper can collect the final state of a
+// fast replay); --metrics_out dumps the registry to a file on exit
+// (Prometheus text, or JSON when the path ends in ".json").
+//
 // Streaming methods: MV, ZC, D&S (categorical); Mean, Median (numeric).
 // The log type (header line) selects the domain.
 #include <cmath>
@@ -45,6 +56,9 @@
 
 #include "core/trace.h"
 #include "data/answer_log.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/resource_sampler.h"
 #include "simulation/online_assignment.h"
 #include "simulation/profiles.h"
 #include "streaming/engine.h"
@@ -52,6 +66,7 @@
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/json_writer.h"
+#include "util/stopwatch.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -63,6 +78,10 @@ using crowdtruth::util::Flags;
 using crowdtruth::util::JsonValue;
 using crowdtruth::util::Status;
 using crowdtruth::util::TablePrinter;
+
+// The live exporter, when --metrics_port enabled one. Pumped by the replay
+// loop and the post-stream linger loop; null otherwise.
+crowdtruth::obs::MetricsHttpServer* g_metrics_server = nullptr;
 
 // One stream element, keyed by string ids; `label` is used for categorical
 // streams, `value` for numeric ones.
@@ -344,6 +363,7 @@ int RunStream(const Flags& flags, const StreamInput& input, Engine& engine,
       return 1;
     }
     ++replayed;
+    if (g_metrics_server != nullptr) g_metrics_server->Poll(0);
     if (report_interval > 0 && replayed % report_interval == 0) {
       std::cout << "[stream] answers=" << engine.stats().answers
                 << quality_line(engine) << " p50_observe="
@@ -599,7 +619,10 @@ int main(int argc, char** argv) {
                      {"workers_output", ""},
                      {"json_out", ""},
                      {"trace", "false"},
-                     {"on-bad-record", "reject"}});
+                     {"on-bad-record", "reject"},
+                     {"metrics_port", "-1"},
+                     {"metrics_linger", "0"},
+                     {"metrics_out", ""}});
   const bool simulate = !flags.Get("simulate").empty();
   if (simulate == !flags.Get("log").empty()) {
     std::cerr << "error: exactly one of --log or --simulate is required\n";
@@ -614,8 +637,66 @@ int main(int argc, char** argv) {
                ? 2
                : 1;
   }
+
+  // Metrics: install the process-wide registry when any metrics surface is
+  // requested, and start the live exporter when --metrics_port >= 0.
+  crowdtruth::obs::MetricRegistry registry;
+  crowdtruth::obs::MetricsHttpServer server(&registry);
+  const int metrics_port = flags.GetInt("metrics_port");
+  const std::string metrics_out = flags.Get("metrics_out");
+  if (metrics_port >= 0 || !metrics_out.empty()) {
+    crowdtruth::obs::RegisterProcessCollectors(&registry);
+    crowdtruth::obs::InstallProcessMetrics(&registry);
+  }
+  if (metrics_port >= 0) {
+    const Status started = server.Start(metrics_port);
+    if (!started.ok()) {
+      std::cerr << "error: " << started.ToString() << '\n';
+      return 1;
+    }
+    g_metrics_server = &server;
+    std::cout << "metrics: serving http://127.0.0.1:" << server.port()
+              << "/metrics\n";
+  }
+
   const std::string mode = simulate ? "simulate" : "replay";
-  return input.type == data::AnswerLogType::kCategorical
-             ? RunCategorical(flags, input, mode)
-             : RunNumeric(flags, input, mode);
+  int code = input.type == data::AnswerLogType::kCategorical
+                 ? RunCategorical(flags, input, mode)
+                 : RunNumeric(flags, input, mode);
+
+  const double linger = flags.GetDouble("metrics_linger");
+  if (g_metrics_server != nullptr && linger > 0) {
+    std::cout << "metrics: lingering "
+              << TablePrinter::Fixed(linger, 1) << "s on port "
+              << server.port() << '\n';
+    crowdtruth::util::Stopwatch stopwatch;
+    while (stopwatch.ElapsedSeconds() < linger) {
+      server.Poll(/*timeout_ms=*/50);
+    }
+  }
+  g_metrics_server = nullptr;
+  server.Stop();
+  if (!metrics_out.empty()) {
+    crowdtruth::obs::InstallProcessMetrics(nullptr);
+    const bool json =
+        metrics_out.size() >= 5 &&
+        metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0;
+    Status dump;
+    if (json) {
+      dump = crowdtruth::util::WriteJsonFile(metrics_out, registry.ToJson());
+    } else {
+      std::ofstream out(metrics_out);
+      if (out) registry.WritePrometheus(out);
+      if (!out.good()) {
+        dump = Status::IoError("cannot write " + metrics_out);
+      }
+    }
+    if (!dump.ok()) {
+      std::cerr << "error: " << dump.ToString() << '\n';
+      if (code == 0) code = 1;
+    } else {
+      std::cout << "wrote metrics to " << metrics_out << '\n';
+    }
+  }
+  return code;
 }
