@@ -18,11 +18,18 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/registry.h"
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
 #include "simulation/profiles.h"
+#include "util/json_writer.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -217,24 +224,147 @@ int RunOverheadCheck() {
   return ok ? 0 : 1;
 }
 
+// The compiler/flag fingerprint recorded next to every --json_out run.
+// Timings are only comparable between runs with matching shapes, so the
+// shape lives in the JSON header where tools/compare_bench.py can warn on
+// a mismatch (see docs/performance.md).
+crowdtruth::util::JsonValue MachineShape() {
+  using crowdtruth::util::JsonValue;
+  JsonValue shape = JsonValue::Object();
+  const unsigned hardware = std::thread::hardware_concurrency();
+  shape.Set("cores", JsonValue(static_cast<int>(hardware == 0 ? 1 : hardware)));
+#if defined(__VERSION__)
+  shape.Set("compiler", JsonValue(std::string(__VERSION__)));
+#else
+  shape.Set("compiler", JsonValue("unknown"));
+#endif
+#if defined(__OPTIMIZE__)
+  const bool optimized = true;
+#else
+  const bool optimized = false;
+#endif
+#if defined(NDEBUG)
+  const bool ndebug = true;
+#else
+  const bool ndebug = false;
+#endif
+  std::string flags = optimized ? "optimized" : "unoptimized";
+  flags += ndebug ? ",NDEBUG" : ",asserts";
+  shape.Set("flags", JsonValue(flags));
+  const char* env = std::getenv("CROWDTRUTH_THREADS");
+  if (env != nullptr) shape.Set("crowdtruth_threads", JsonValue(env));
+  return shape;
+}
+
+bool LoadBenchJson(const std::string& path, crowdtruth::util::JsonValue* doc) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const crowdtruth::util::Status status =
+      crowdtruth::util::ParseJson(buffer.str(), doc);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", path.c_str(),
+                 status.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+// Rewrites `path` with machine_shape injected into the google-benchmark
+// context header. Round-trips through JsonValue: numbers re-serialize with
+// %.17g so no timing precision is lost.
+void StampMachineShape(const std::string& path) {
+  crowdtruth::util::JsonValue doc;
+  if (!LoadBenchJson(path, &doc)) return;
+  crowdtruth::util::JsonValue context =
+      doc.Find("context") != nullptr ? *doc.Find("context")
+                                     : crowdtruth::util::JsonValue::Object();
+  context.Set("machine_shape", MachineShape());
+  doc.Set("context", context);
+  const crowdtruth::util::Status status =
+      crowdtruth::util::WriteJsonFile(path, doc);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot rewrite %s: %s\n", path.c_str(),
+                 status.message().c_str());
+  }
+}
+
+// Report-only comparison of this run's --json_out against a baseline file:
+// per-benchmark speedup ratios (baseline real_time / current real_time).
+// Never fails the process — regressions are for humans (or the CI log) to
+// judge; tools/compare_bench.py is the standalone equivalent.
+void CompareAgainstBaseline(const std::string& baseline_path,
+                            const std::string& current_path) {
+  crowdtruth::util::JsonValue baseline;
+  crowdtruth::util::JsonValue current;
+  if (!LoadBenchJson(baseline_path, &baseline) ||
+      !LoadBenchJson(current_path, &current)) {
+    return;
+  }
+  const crowdtruth::util::JsonValue* baseline_runs = baseline.Find("benchmarks");
+  const crowdtruth::util::JsonValue* current_runs = current.Find("benchmarks");
+  if (baseline_runs == nullptr || current_runs == nullptr) {
+    std::fprintf(stderr, "missing benchmarks array in %s or %s\n",
+                 baseline_path.c_str(), current_path.c_str());
+    return;
+  }
+  std::map<std::string, double> baseline_times;
+  for (const auto& run : baseline_runs->items()) {
+    const auto* name = run.Find("name");
+    const auto* real_time = run.Find("real_time");
+    if (name != nullptr && real_time != nullptr) {
+      baseline_times[name->string()] = real_time->number();
+    }
+  }
+  std::printf("\n%-40s %12s %12s %9s\n", "benchmark", "baseline_ms",
+              "current_ms", "speedup");
+  for (const auto& run : current_runs->items()) {
+    const auto* name = run.Find("name");
+    const auto* real_time = run.Find("real_time");
+    if (name == nullptr || real_time == nullptr) continue;
+    const auto it = baseline_times.find(name->string());
+    if (it == baseline_times.end()) {
+      std::printf("%-40s %12s %12.3f %9s\n", name->string().c_str(), "-",
+                  real_time->number(), "new");
+      continue;
+    }
+    const double speedup =
+        real_time->number() > 0.0 ? it->second / real_time->number() : 0.0;
+    std::printf("%-40s %12.3f %12.3f %8.2fx\n", name->string().c_str(),
+                it->second, real_time->number(), speedup);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Default to a short measurement window; the full-precision run is a
   // --benchmark_min_time override away. --json_out=path and --seed=N are
   // accepted for uniformity with the other benches: the former maps onto
-  // google-benchmark's native JSON reporter, the latter overrides the
-  // dataset-generation and inference seeds (0 = profile defaults).
+  // google-benchmark's native JSON reporter (plus a machine_shape stamp in
+  // the context header), the latter overrides the dataset-generation and
+  // inference seeds (0 = profile defaults). --baseline_json=path prints a
+  // report-only per-benchmark speedup table against a previous --json_out
+  // file after the run (requires --json_out this run too).
   std::vector<char*> args;
   std::vector<std::string> storage;
   bool check_overhead = false;
+  std::string json_out_path;
+  std::string baseline_path;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--check_overhead") {
       check_overhead = true;
     } else if (arg.rfind("--json_out=", 0) == 0) {
-      storage.push_back("--benchmark_out=" + arg.substr(11));
+      json_out_path = arg.substr(11);
+      storage.push_back("--benchmark_out=" + json_out_path);
       storage.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--baseline_json=", 0) == 0) {
+      baseline_path = arg.substr(16);
     } else if (arg.rfind("--seed=", 0) == 0) {
       g_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else {
@@ -254,5 +384,14 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&adjusted_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_out_path.empty()) StampMachineShape(json_out_path);
+  if (!baseline_path.empty()) {
+    if (json_out_path.empty()) {
+      std::fprintf(stderr,
+                   "--baseline_json needs --json_out for the current run\n");
+    } else {
+      CompareAgainstBaseline(baseline_path, json_out_path);
+    }
+  }
   return 0;
 }

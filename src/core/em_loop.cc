@@ -1,5 +1,6 @@
 #include "core/em_loop.h"
 
+#include <algorithm>
 #include <string>
 
 #include "obs/metrics.h"
@@ -76,8 +77,14 @@ EmDriver EmDriver::FromOptions(const InferenceOptions& options,
   driver.method = method;
   driver.max_iterations = options.max_iterations;
   driver.tolerance = options.tolerance;
-  driver.num_threads = options.num_threads <= 0 ? util::DefaultThreads()
-                                                : options.num_threads;
+  // An explicit request is still capped at the hardware width: extra pool
+  // workers on a saturated machine cannot speed up a CPU-bound shard loop,
+  // they only add scheduler thrash per region. Results are unaffected by
+  // construction — kernels are bit-identical at any thread count.
+  driver.num_threads = options.num_threads <= 0
+                           ? util::DefaultThreads()
+                           : std::min(options.num_threads,
+                                      util::DefaultThreads());
   driver.trace = options.trace;
   return driver;
 }

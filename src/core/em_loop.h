@@ -13,8 +13,10 @@
 // ParallelShards() runs a deterministic sharded loop on the process-wide
 // worker pool: truth steps shard over tasks, quality steps over workers,
 // and gradient kernels alternate both. Determinism is structural, not
-// statistical — each shard serially reduces over its own adjacency list
-// (AnswersForTask / AnswersByWorker) and writes only state it owns, so the
+// statistical — each shard serially reduces over its own adjacency row
+// (the dataset's CSR layout: task-major task_offsets/task_workers/
+// task_labels for truth steps, the worker-major transpose for quality
+// steps; see data/dataset.h) and writes only state it owns, so the
 // floating-point evaluation order per task/worker is independent of the
 // thread count and the results are bit-identical for any
 // InferenceOptions::num_threads. Kernels that need shared sequential state

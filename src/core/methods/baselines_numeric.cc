@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -11,16 +12,18 @@ namespace {
 
 std::vector<double> WorkerNegativeRmsDeviation(
     const data::NumericDataset& dataset, const std::vector<double>& values) {
+  const data::NumericCsr& csr = dataset.csr();
   std::vector<double> quality(dataset.num_workers(), 0.0);
   for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
-    const auto& votes = dataset.AnswersByWorker(w);
-    if (votes.empty()) continue;
+    const int32_t begin = csr.worker_offsets[w];
+    const int32_t end = csr.worker_offsets[w + 1];
+    if (begin == end) continue;
     double sum_sq = 0.0;
-    for (const data::NumericWorkerVote& vote : votes) {
-      const double err = vote.value - values[vote.task];
+    for (int32_t a = begin; a < end; ++a) {
+      const double err = csr.worker_values[a] - values[csr.worker_tasks[a]];
       sum_sq += err * err;
     }
-    quality[w] = -std::sqrt(sum_sq / votes.size());
+    quality[w] = -std::sqrt(sum_sq / (end - begin));
   }
   return quality;
 }
@@ -40,15 +43,15 @@ NumericResult MeanBaseline::Infer(const data::NumericDataset& dataset,
 NumericResult MedianBaseline::Infer(const data::NumericDataset& dataset,
                                     const InferenceOptions& options) const {
   NumericResult result;
+  const data::NumericCsr& csr = dataset.csr();
   result.values.assign(dataset.num_tasks(), 0.0);
   std::vector<double> buffer;
   for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
-    const auto& votes = dataset.AnswersForTask(t);
-    if (votes.empty()) continue;
-    buffer.clear();
-    for (const data::NumericTaskVote& vote : votes) {
-      buffer.push_back(vote.value);
-    }
+    const int32_t begin = csr.task_offsets[t];
+    const int32_t end = csr.task_offsets[t + 1];
+    if (begin == end) continue;
+    buffer.assign(csr.task_values.begin() + begin,
+                  csr.task_values.begin() + end);
     std::sort(buffer.begin(), buffer.end());
     const size_t mid = buffer.size() / 2;
     result.values[t] = buffer.size() % 2 == 1

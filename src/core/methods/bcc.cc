@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -15,6 +16,7 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
   const int n = dataset.num_tasks();
   const int l = dataset.num_choices();
   const int num_workers = dataset.num_workers();
+  const data::CategoricalCsr& csr = dataset.csr();
   util::Rng rng(options.seed);
 
   // State: hard truth assignment, per-worker confusion matrices (flattened
@@ -30,6 +32,7 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
   std::vector<double> class_prior_sum(l, 0.0);
 
   std::vector<double> row_counts(l);
+  std::vector<double> count_matrix(static_cast<size_t>(l) * l);
   std::vector<double> log_weights(l);
 
   const int total_sweeps = burn_in_ + samples_;
@@ -48,15 +51,23 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     const int sweep = context.iteration();
     if (options.trace != nullptr) previous_truth = truth;
-    // Sample confusion matrices.
+    // Sample confusion matrices. One scatter pass over the worker's
+    // answers replaces the per-class filter passes: each cell still starts
+    // at its prior and receives the same ordered sequence of +1.0 adds, so
+    // the counts (and the RNG draw order) are unchanged.
     for (data::WorkerId w = 0; w < num_workers; ++w) {
       for (int j = 0; j < l; ++j) {
         for (int k = 0; k < l; ++k) {
-          row_counts[k] = j == k ? prior_diag_ : prior_off_;
+          count_matrix[j * l + k] = j == k ? prior_diag_ : prior_off_;
         }
-        for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
-          if (truth[vote.task] == j) row_counts[vote.label] += 1.0;
-        }
+      }
+      for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1];
+           ++a) {
+        count_matrix[truth[csr.worker_tasks[a]] * l + csr.worker_labels[a]] +=
+            1.0;
+      }
+      for (int j = 0; j < l; ++j) {
+        for (int k = 0; k < l; ++k) row_counts[k] = count_matrix[j * l + k];
         const std::vector<double> row = rng.Dirichlet(row_counts);
         for (int k = 0; k < l; ++k) {
           log_confusion[w][j * l + k] = std::log(std::max(row[k], 1e-12));
@@ -70,7 +81,7 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
     // Sample the class prior.
     std::vector<double> class_counts(l, 1.0);
     for (data::TaskId t = 0; t < n; ++t) {
-      if (dataset.AnswersForTask(t).empty()) continue;
+      if (csr.task_offsets[t] == csr.task_offsets[t + 1]) continue;
       class_counts[truth[t]] += 1.0;
     }
     const std::vector<double> class_prior = rng.Dirichlet(class_counts);
@@ -83,12 +94,15 @@ CategoricalResult Bcc::Infer(const data::CategoricalDataset& dataset,
     const int sweep = context.iteration();
     // Sample task truths.
     for (data::TaskId t = 0; t < n; ++t) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) continue;
       log_weights = log_class;
-      for (const data::TaskVote& vote : votes) {
+      for (int32_t a = begin; a < end; ++a) {
+        const auto& matrix = log_confusion[csr.task_workers[a]];
+        const int32_t label = csr.task_labels[a];
         for (int j = 0; j < l; ++j) {
-          log_weights[j] += log_confusion[vote.worker][j * l + vote.label];
+          log_weights[j] += matrix[j * l + label];
         }
       }
       truth[t] = rng.CategoricalFromLog(log_weights);

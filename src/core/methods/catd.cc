@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -35,6 +36,7 @@ CategoricalResult CatdCategorical::Infer(
   const int n = dataset.num_tasks();
   const int l = dataset.num_choices();
   const int num_workers = dataset.num_workers();
+  const data::CategoricalCsr& csr = dataset.csr();
   const bool golden = HasGoldenLabels(dataset, options);
   util::Rng rng(options.seed);
 
@@ -79,8 +81,9 @@ CategoricalResult CatdCategorical::Infer(
       }
       std::vector<double>& score = scores[slot];
       std::fill(score.begin(), score.end(), 0.0);
-      for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
-        score[vote.label] += quality[vote.worker];
+      for (int32_t a = csr.task_offsets[t]; a < csr.task_offsets[t + 1];
+           ++a) {
+        score[csr.task_labels[a]] += quality[csr.task_workers[a]];
       }
       double best = -1.0;
       std::vector<int>& ties = tie_sets[t];
@@ -105,8 +108,9 @@ CategoricalResult CatdCategorical::Infer(
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     context.ParallelShards(num_workers, [&](int w, int) {
       double error = 0.0;
-      for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
-        if (vote.label != next[vote.task]) error += 1.0;
+      for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1];
+           ++a) {
+        if (csr.worker_labels[a] != next[csr.worker_tasks[a]]) error += 1.0;
       }
       quality[w] = chi2[w] / (error + kErrorEpsilon);
     });
@@ -133,6 +137,7 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
                                  const InferenceOptions& options) const {
   const int n = dataset.num_tasks();
   const int num_workers = dataset.num_workers();
+  const data::NumericCsr& csr = dataset.csr();
 
   std::vector<int> answer_counts(num_workers, 0);
   for (data::WorkerId w = 0; w < num_workers; ++w) {
@@ -160,16 +165,17 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
   // Truth step: weighted mean.
   steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
     context.ParallelShards(n, [&](int t, int) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) {
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) {
         next[t] = 0.0;
         return;
       }
       double weighted_sum = 0.0;
       double weight_total = 0.0;
-      for (const data::NumericTaskVote& vote : votes) {
-        const double weight = std::max(quality[vote.worker], 1e-12);
-        weighted_sum += weight * vote.value;
+      for (int32_t a = begin; a < end; ++a) {
+        const double weight = std::max(quality[csr.task_workers[a]], 1e-12);
+        weighted_sum += weight * csr.task_values[a];
         weight_total += weight;
       }
       // weight_total > 0 by the floor above; the fallback only fires when
@@ -182,8 +188,9 @@ NumericResult CatdNumeric::Infer(const data::NumericDataset& dataset,
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     context.ParallelShards(num_workers, [&](int w, int) {
       double error = 0.0;
-      for (const data::NumericWorkerVote& vote : dataset.AnswersByWorker(w)) {
-        const double err = vote.value - next[vote.task];
+      for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1];
+           ++a) {
+        const double err = csr.worker_values[a] - next[csr.worker_tasks[a]];
         error += err * err;
       }
       // Identical to chi2 / (error + eps) for finite error; an overflowed

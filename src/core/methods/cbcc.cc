@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -16,6 +17,7 @@ CategoricalResult Cbcc::Infer(const data::CategoricalDataset& dataset,
   const int l = dataset.num_choices();
   const int num_workers = dataset.num_workers();
   const int m = num_communities_;
+  const data::CategoricalCsr& csr = dataset.csr();
   util::Rng rng(options.seed);
 
   std::vector<data::LabelId> truth = MajorityVoteLabels(dataset, options, rng);
@@ -34,6 +36,7 @@ CategoricalResult Cbcc::Infer(const data::CategoricalDataset& dataset,
   std::vector<std::vector<double>> diag(m, std::vector<double>(l, 0.0));
 
   std::vector<double> row_counts(l);
+  std::vector<double> count_matrix(static_cast<size_t>(l) * l);
   std::vector<double> log_weights_label(l);
   std::vector<double> log_weights_community(m);
 
@@ -52,17 +55,26 @@ CategoricalResult Cbcc::Infer(const data::CategoricalDataset& dataset,
     const int sweep = context.iteration();
     if (options.trace != nullptr) previous_truth = truth;
     // Sample community matrices from the pooled counts of their members.
+    // One scatter pass over each member's answers replaces the per-class
+    // filter passes: each cell still starts at its prior and receives the
+    // same ordered sequence of +1.0 adds (members ascending, answers in
+    // worker-major order), so the counts and RNG draw order are unchanged.
     for (int c = 0; c < m; ++c) {
       for (int j = 0; j < l; ++j) {
         for (int k = 0; k < l; ++k) {
-          row_counts[k] = j == k ? prior_diag_ : prior_off_;
+          count_matrix[j * l + k] = j == k ? prior_diag_ : prior_off_;
         }
-        for (data::WorkerId w = 0; w < num_workers; ++w) {
-          if (community[w] != c) continue;
-          for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
-            if (truth[vote.task] == j) row_counts[vote.label] += 1.0;
-          }
+      }
+      for (data::WorkerId w = 0; w < num_workers; ++w) {
+        if (community[w] != c) continue;
+        for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1];
+             ++a) {
+          count_matrix[truth[csr.worker_tasks[a]] * l +
+                       csr.worker_labels[a]] += 1.0;
         }
+      }
+      for (int j = 0; j < l; ++j) {
+        for (int k = 0; k < l; ++k) row_counts[k] = count_matrix[j * l + k];
         const std::vector<double> row = rng.Dirichlet(row_counts);
         for (int k = 0; k < l; ++k) {
           log_confusion[c][j * l + k] = std::log(std::max(row[k], 1e-12));
@@ -84,10 +96,12 @@ CategoricalResult Cbcc::Infer(const data::CategoricalDataset& dataset,
     // Sample worker community assignments.
     for (data::WorkerId w = 0; w < num_workers; ++w) {
       log_weights_community = log_mixing;
-      for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
-        const int j = truth[vote.task];
+      for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1];
+           ++a) {
+        const int j = truth[csr.worker_tasks[a]];
+        const int32_t label = csr.worker_labels[a];
         for (int c = 0; c < m; ++c) {
-          log_weights_community[c] += log_confusion[c][j * l + vote.label];
+          log_weights_community[c] += log_confusion[c][j * l + label];
         }
       }
       community[w] = rng.CategoricalFromLog(log_weights_community);
@@ -101,7 +115,7 @@ CategoricalResult Cbcc::Infer(const data::CategoricalDataset& dataset,
     // Sample the class prior.
     std::vector<double> class_counts(l, 1.0);
     for (data::TaskId t = 0; t < n; ++t) {
-      if (dataset.AnswersForTask(t).empty()) continue;
+      if (csr.task_offsets[t] == csr.task_offsets[t + 1]) continue;
       class_counts[truth[t]] += 1.0;
     }
     const std::vector<double> class_prior = rng.Dirichlet(class_counts);
@@ -113,13 +127,15 @@ CategoricalResult Cbcc::Infer(const data::CategoricalDataset& dataset,
     const int sweep = context.iteration();
     // Sample task truths through community matrices.
     for (data::TaskId t = 0; t < n; ++t) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) continue;
       log_weights_label = log_class;
-      for (const data::TaskVote& vote : votes) {
-        const auto& matrix = log_confusion[community[vote.worker]];
+      for (int32_t a = begin; a < end; ++a) {
+        const auto& matrix = log_confusion[community[csr.task_workers[a]]];
+        const int32_t label = csr.task_labels[a];
         for (int j = 0; j < l; ++j) {
-          log_weights_label[j] += matrix[j * l + vote.label];
+          log_weights_label[j] += matrix[j * l + label];
         }
       }
       truth[t] = rng.CategoricalFromLog(log_weights_label);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/em_loop.h"
@@ -31,23 +32,37 @@ ConfusionMatrices MatricesFromInitialQuality(
   return matrices;
 }
 
+// Transposed log view of one confusion matrix: logm_t[k * l + j] =
+// SafeLog(matrix[j * l + k]). Refreshing this once per iteration replaces
+// the l SafeLog calls per answer in the E-step with l unit-stride adds —
+// same SafeLog inputs, so the doubles are bitwise unchanged.
+void FillTransposedLogTable(const std::vector<double>& matrix, int l,
+                            std::vector<double>& logm_t) {
+  for (int j = 0; j < l; ++j) {
+    for (int k = 0; k < l; ++k) {
+      logm_t[k * l + j] = util::SafeLog(matrix[j * l + k]);
+    }
+  }
+}
+
 // M-step half for one worker: confusion matrix from expected co-occurrence
-// counts over the worker's own votes.
-void EstimateWorkerMatrix(const data::CategoricalDataset& dataset,
-                          const Posterior& posterior,
+// counts over the worker's own votes, streamed from the worker-major CSR.
+// `posterior` is the flat n*l row-major belief array: one indirection per
+// answer instead of the two a nested vector-of-vectors would cost.
+void EstimateWorkerMatrix(const data::CategoricalCsr& csr, int l,
+                          const double* posterior,
                           const ConfusionEmConfig& config, data::WorkerId w,
                           std::vector<double>& matrix) {
-  const int l = dataset.num_choices();
   for (int j = 0; j < l; ++j) {
     for (int k = 0; k < l; ++k) {
       matrix[j * l + k] =
           config.smoothing + (j == k ? config.prior_diag : config.prior_off);
     }
   }
-  for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
-    for (int j = 0; j < l; ++j) {
-      matrix[j * l + vote.label] += posterior[vote.task][j];
-    }
+  for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1]; ++a) {
+    const double* post = posterior + csr.worker_tasks[a] * l;
+    const int32_t label = csr.worker_labels[a];
+    for (int j = 0; j < l; ++j) matrix[j * l + label] += post[j];
   }
   for (int j = 0; j < l; ++j) {
     double row_total = 0.0;
@@ -62,26 +77,43 @@ void EstimateWorkerMatrix(const data::CategoricalDataset& dataset,
   }
 }
 
-// E-step half for one task, via scratch `log_belief`. Shared between the
-// pre-loop qualification pass and the truth kernel.
-void EstimateTaskBelief(const data::CategoricalDataset& dataset,
-                        const ConfusionMatrices& matrices,
-                        const std::vector<double>& class_prior, data::TaskId t,
-                        std::vector<double>& log_belief, Posterior& posterior) {
-  const int l = dataset.num_choices();
-  const auto& votes = dataset.AnswersForTask(t);
-  if (votes.empty()) return;
+// E-step half for one task, via scratch `log_belief`. Streams the task's
+// answers from the task-major CSR; each answer contributes one contiguous
+// row of its worker's transposed log table. Shared between the pre-loop
+// qualification pass and the truth kernel.
+void EstimateTaskBelief(const data::CategoricalCsr& csr, int l,
+                        const ConfusionMatrices& log_matrices_t,
+                        const std::vector<double>& log_class_prior,
+                        data::TaskId t, std::vector<double>& log_belief,
+                        double* posterior) {
+  const int32_t begin = csr.task_offsets[t];
+  const int32_t end = csr.task_offsets[t + 1];
+  if (begin == end) return;
   // Smoothing keeps priors and matrix cells positive on well-formed runs;
-  // SafeLog covers a fully collapsed class or cell.
-  for (int j = 0; j < l; ++j) log_belief[j] = util::SafeLog(class_prior[j]);
-  for (const data::TaskVote& vote : votes) {
-    const auto& matrix = matrices[vote.worker];
-    for (int j = 0; j < l; ++j) {
-      log_belief[j] += util::SafeLog(matrix[j * l + vote.label]);
-    }
+  // SafeLog (applied when the tables were filled) covers a fully collapsed
+  // class or cell.
+  for (int j = 0; j < l; ++j) log_belief[j] = log_class_prior[j];
+  for (int32_t a = begin; a < end; ++a) {
+    const double* row =
+        log_matrices_t[csr.task_workers[a]].data() + csr.task_labels[a] * l;
+    for (int j = 0; j < l; ++j) log_belief[j] += row[j];
   }
   util::SoftmaxInPlace(log_belief);
-  posterior[t] = log_belief;
+  std::copy(log_belief.begin(), log_belief.end(), posterior + t * l);
+}
+
+// Flat-array twin of ClampGolden (core/common.cc): identical writes (zero
+// the row, set the golden class to exactly 1.0), different layout.
+void ClampGoldenFlat(const data::CategoricalDataset& dataset,
+                     const InferenceOptions& options, int l,
+                     std::vector<double>& posterior) {
+  if (!HasGoldenLabels(dataset, options)) return;
+  for (data::TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    const data::LabelId g = options.golden_labels[t];
+    if (g == data::kNoTruth) continue;
+    std::fill(posterior.begin() + t * l, posterior.begin() + (t + 1) * l, 0.0);
+    posterior[t * l + g] = 1.0;
+  }
 }
 
 }  // namespace
@@ -92,12 +124,28 @@ CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,
   const int n = dataset.num_tasks();
   const int l = dataset.num_choices();
   const int num_workers = dataset.num_workers();
+  const data::CategoricalCsr& csr = dataset.csr();
   util::Rng rng(options.seed);
 
-  Posterior posterior = InitialPosterior(dataset, options);
+  // Flat n*l row-major belief arrays. The nested Posterior puts every
+  // task's row in its own heap block, so each of the |V| M-step reads pays
+  // a double indirection into a scattered allocation; one contiguous array
+  // halves the pointer chasing and keeps the whole belief state (n*l
+  // doubles) cache-resident. The arithmetic per row is untouched, so the
+  // bits are too.
+  std::vector<double> posterior(static_cast<size_t>(n) * l);
+  {
+    const Posterior initial = InitialPosterior(dataset, options);
+    for (data::TaskId t = 0; t < n; ++t) {
+      std::copy(initial[t].begin(), initial[t].end(),
+                posterior.begin() + static_cast<size_t>(t) * l);
+    }
+  }
   ConfusionMatrices matrices(num_workers,
                              std::vector<double>(l * l, 1.0 / l));
+  ConfusionMatrices log_matrices_t(num_workers, std::vector<double>(l * l));
   std::vector<double> class_prior(l, 1.0 / l);
+  std::vector<double> log_class_prior(l, util::SafeLog(1.0 / l));
 
   const EmDriver driver = EmDriver::FromOptions(options, config.method_name);
   std::vector<std::vector<double>> log_belief(driver.num_threads,
@@ -108,22 +156,26 @@ CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,
   if (!options.initial_worker_quality.empty()) {
     matrices = MatricesFromInitialQuality(options.initial_worker_quality,
                                           num_workers, l);
-    for (data::TaskId t = 0; t < n; ++t) {
-      EstimateTaskBelief(dataset, matrices, class_prior, t, log_belief[0],
-                         posterior);
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      FillTransposedLogTable(matrices[w], l, log_matrices_t[w]);
     }
-    ClampGolden(dataset, options, posterior);
+    for (data::TaskId t = 0; t < n; ++t) {
+      EstimateTaskBelief(csr, l, log_matrices_t, log_class_prior, t,
+                         log_belief[0], posterior.data());
+    }
+    ClampGoldenFlat(dataset, options, l, posterior);
   }
 
-  Posterior next;
+  std::vector<double> next;
   std::vector<EmStep> steps;
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     // Class prior from expected class counts: a short serial reduce over
     // tasks (the parallel payoff is in the per-worker matrices below).
     std::fill(class_prior.begin(), class_prior.end(), config.prior_class);
     for (data::TaskId t = 0; t < n; ++t) {
-      if (dataset.AnswersForTask(t).empty()) continue;
-      for (int j = 0; j < l; ++j) class_prior[j] += posterior[t][j];
+      if (csr.task_offsets[t] == csr.task_offsets[t + 1]) continue;
+      const double* post = posterior.data() + static_cast<size_t>(t) * l;
+      for (int j = 0; j < l; ++j) class_prior[j] += post[j];
     }
     double prior_total = 0.0;
     for (double p : class_prior) prior_total += p;
@@ -132,30 +184,46 @@ CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,
     } else {
       for (double& p : class_prior) p /= prior_total;
     }
+    for (int j = 0; j < l; ++j) {
+      log_class_prior[j] = util::SafeLog(class_prior[j]);
+    }
 
     context.ParallelShards(num_workers, [&](int w, int) {
-      EstimateWorkerMatrix(dataset, posterior, config, w, matrices[w]);
+      EstimateWorkerMatrix(csr, l, posterior.data(), config, w, matrices[w]);
+      FillTransposedLogTable(matrices[w], l, log_matrices_t[w]);
     });
   }});
   steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
-    next = posterior;
+    next = posterior;  // Answerless tasks keep their belief.
     context.ParallelShards(n, [&](int t, int slot) {
-      EstimateTaskBelief(dataset, matrices, class_prior, t, log_belief[slot],
-                         next);
+      EstimateTaskBelief(csr, l, log_matrices_t, log_class_prior, t,
+                         log_belief[slot], next.data());
     });
-    ClampGolden(dataset, options, next);
+    ClampGoldenFlat(dataset, options, l, next);
   }});
 
   CategoricalResult result;
   AdoptStats(RunEmLoop(driver, steps,
                        [&](bool) {
-                         const double change = MaxAbsDiff(posterior, next);
-                         posterior = std::move(next);
+                         // MaxAbsDiff on the flat rows: same |a - b| set,
+                         // and max is order-independent.
+                         double change = 0.0;
+                         for (size_t i = 0; i < posterior.size(); ++i) {
+                           change = std::max(change,
+                                             std::fabs(posterior[i] - next[i]));
+                         }
+                         posterior.swap(next);
                          return change;
                        }),
              &result);
 
-  result.labels = ArgmaxLabels(posterior, rng);
+  Posterior posterior_rows(n, std::vector<double>(l));
+  for (data::TaskId t = 0; t < n; ++t) {
+    std::copy(posterior.begin() + static_cast<size_t>(t) * l,
+              posterior.begin() + static_cast<size_t>(t + 1) * l,
+              posterior_rows[t].begin());
+  }
+  result.labels = ArgmaxLabels(posterior_rows, rng);
   result.worker_quality.assign(num_workers, 0.0);
   for (data::WorkerId w = 0; w < num_workers; ++w) {
     // Scalar summary: prior-weighted diagonal of the confusion matrix,
@@ -167,7 +235,7 @@ CategoricalResult RunConfusionEm(const data::CategoricalDataset& dataset,
     result.worker_quality[w] = expected_correct;
   }
   result.worker_confusion = std::move(matrices);
-  result.posterior = std::move(posterior);
+  result.posterior = std::move(posterior_rows);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -17,6 +18,7 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
   const int n = dataset.num_tasks();
   const int l = dataset.num_choices();
   const int num_workers = dataset.num_workers();
+  const data::CategoricalCsr& csr = dataset.csr();
   util::Rng rng(options.seed);
 
   // alpha: worker ability (prior N(1,1)); b: log task easiness (prior
@@ -30,7 +32,18 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
     }
   }
 
-  Posterior posterior = InitialPosterior(dataset, options);
+  // Flat n*l row-major belief array (see docs/performance.md): both
+  // gradient loops read the posterior once per answer, and one contiguous
+  // block costs a single indirection per read. Same arithmetic per row —
+  // same bits.
+  std::vector<double> posterior(static_cast<size_t>(n) * l);
+  {
+    const Posterior initial = InitialPosterior(dataset, options);
+    for (data::TaskId t = 0; t < n; ++t) {
+      std::copy(initial[t].begin(), initial[t].end(),
+                posterior.begin() + static_cast<size_t>(t) * l);
+    }
+  }
 
   // Per-answer normalization keeps the gradient magnitude independent of
   // how many tasks a worker answered, so one learning rate fits both the
@@ -50,7 +63,15 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
                                               std::vector<double>(l));
   std::vector<double> grad_alpha(num_workers);
   std::vector<double> grad_b(n);
-  Posterior next;
+  // Per-gradient-step caches. Both gradients evaluate exp(b[t]) and
+  // Sigmoid(alpha[w] * beta[t]) for every answer; computing each once per
+  // step (task-major) and reading the worker-major copies through the CSR
+  // cross-link drops the per-step transcendental count from ~4|V| to
+  // |V| + n. Same inputs and expressions, so every double is bitwise
+  // unchanged.
+  std::vector<double> beta_cache(n);
+  std::vector<double> sigma_cache(csr.num_answers());
+  std::vector<double> next;
 
   std::vector<EmStep> steps;
   // M-step: gradient ascent on the expected complete log-likelihood. Both
@@ -60,13 +81,23 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
   // is fixed regardless of thread count.
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     for (int step = 0; step < gradient_steps_; ++step) {
+      context.ParallelShards(n, [&](int t, int) {
+        const double beta = std::exp(b[t]);
+        beta_cache[t] = beta;
+        for (int32_t a = csr.task_offsets[t]; a < csr.task_offsets[t + 1];
+             ++a) {
+          sigma_cache[a] = util::Sigmoid(alpha[csr.task_workers[a]] * beta);
+        }
+      });
       context.ParallelShards(num_workers, [&](int w, int) {
         // Gaussian prior contributes (mean - value) to the gradient.
         double grad = 0.2 * (1.0 - alpha[w]);
-        for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
-          const double beta = std::exp(b[vote.task]);
-          const double p_correct = posterior[vote.task][vote.label];
-          const double sigma = util::Sigmoid(alpha[w] * beta);
+        for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1];
+             ++a) {
+          const data::TaskId t = csr.worker_tasks[a];
+          const double beta = beta_cache[t];
+          const double p_correct = posterior[t * l + csr.worker_labels[a]];
+          const double sigma = sigma_cache[csr.worker_to_task[a]];
           // d/d(alpha*beta) of the expected log-likelihood per answer.
           grad += (p_correct - sigma) * beta * worker_scale[w];
         }
@@ -74,11 +105,12 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
       });
       context.ParallelShards(n, [&](int t, int) {
         double grad = 0.2 * (1.0 - b[t]);
-        const double beta = std::exp(b[t]);
-        for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
-          const double p_correct = posterior[t][vote.label];
-          const double sigma = util::Sigmoid(alpha[vote.worker] * beta);
-          grad += (p_correct - sigma) * alpha[vote.worker] * beta *
+        const double beta = beta_cache[t];
+        for (int32_t a = csr.task_offsets[t]; a < csr.task_offsets[t + 1];
+             ++a) {
+          const data::WorkerId w = csr.task_workers[a];
+          const double p_correct = posterior[t * l + csr.task_labels[a]];
+          grad += (p_correct - sigma_cache[a]) * alpha[w] * beta *
                   task_scale[t];
         }
         grad_b[t] = grad;
@@ -94,40 +126,61 @@ CategoricalResult Glad::Infer(const data::CategoricalDataset& dataset,
   }});
   // E-step: recompute the belief.
   steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
-    next = posterior;
+    next = posterior;  // Answerless tasks keep their belief.
     context.ParallelShards(n, [&](int t, int slot) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) return;
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) return;
       const double beta = std::exp(b[t]);
       std::vector<double>& belief = log_belief[slot];
       std::fill(belief.begin(), belief.end(), 0.0);
-      for (const data::TaskVote& vote : votes) {
+      for (int32_t a = begin; a < end; ++a) {
         // Sigmoid saturates at the clamped |alpha * beta| extremes; SafeLog
         // keeps the log-likelihood finite there.
-        const double sigma = util::Sigmoid(alpha[vote.worker] * beta);
+        const double sigma = util::Sigmoid(alpha[csr.task_workers[a]] * beta);
         const double log_right = util::SafeLog(sigma);
         const double log_wrong = util::SafeLog((1.0 - sigma) / (l - 1));
+        const int32_t label = csr.task_labels[a];
         for (int z = 0; z < l; ++z) {
-          belief[z] += vote.label == z ? log_right : log_wrong;
+          belief[z] += label == z ? log_right : log_wrong;
         }
       }
       util::SoftmaxInPlace(belief);
-      next[t] = belief;
+      std::copy(belief.begin(), belief.end(),
+                next.begin() + static_cast<size_t>(t) * l);
     });
-    ClampGolden(dataset, options, next);
+    if (HasGoldenLabels(dataset, options)) {
+      for (data::TaskId t = 0; t < n; ++t) {
+        const data::LabelId g = options.golden_labels[t];
+        if (g == data::kNoTruth) continue;
+        std::fill(next.begin() + static_cast<size_t>(t) * l,
+                  next.begin() + static_cast<size_t>(t + 1) * l, 0.0);
+        next[static_cast<size_t>(t) * l + g] = 1.0;
+      }
+    }
   }});
 
   CategoricalResult result;
   AdoptStats(RunEmLoop(driver, steps,
                        [&](bool) {
-                         const double change = MaxAbsDiff(posterior, next);
-                         posterior = std::move(next);
+                         double change = 0.0;
+                         for (size_t i = 0; i < posterior.size(); ++i) {
+                           change = std::max(change,
+                                             std::fabs(posterior[i] - next[i]));
+                         }
+                         posterior.swap(next);
                          return change;
                        }),
              &result);
 
-  result.labels = ArgmaxLabels(posterior, rng);
-  result.posterior = std::move(posterior);
+  Posterior posterior_rows(n, std::vector<double>(l));
+  for (data::TaskId t = 0; t < n; ++t) {
+    std::copy(posterior.begin() + static_cast<size_t>(t) * l,
+              posterior.begin() + static_cast<size_t>(t + 1) * l,
+              posterior_rows[t].begin());
+  }
+  result.labels = ArgmaxLabels(posterior_rows, rng);
+  result.posterior = std::move(posterior_rows);
   result.worker_quality = std::move(alpha);
   result.task_easiness.resize(n);
   for (data::TaskId t = 0; t < n; ++t) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -17,29 +18,34 @@ CategoricalResult Kos::Infer(const data::CategoricalDataset& dataset,
       << "KOS supports decision-making (binary) tasks only";
   const int n = dataset.num_tasks();
   const int num_workers = dataset.num_workers();
+  const data::CategoricalCsr& csr = dataset.csr();
   util::Rng rng(options.seed);
 
-  // Flatten the answer graph once; messages live on edges. Edge order
-  // follows the per-task lists; per-worker we keep edge indices.
-  struct Edge {
-    data::TaskId task;
-    data::WorkerId worker;
-    double spin;  // +1 for choice 0, -1 for choice 1.
-  };
-  std::vector<Edge> edges;
-  std::vector<std::vector<int>> task_edges(n);
-  std::vector<std::vector<int>> worker_edges(num_workers);
-  for (data::TaskId t = 0; t < n; ++t) {
-    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
-      task_edges[t].push_back(static_cast<int>(edges.size()));
-      worker_edges[vote.worker].push_back(static_cast<int>(edges.size()));
-      edges.push_back({t, vote.worker, vote.label == 0 ? 1.0 : -1.0});
+  // Messages live on edges; an edge IS a task-major CSR position, so the
+  // task-side message loops stream csr.task_offsets directly. The
+  // worker-side edge lists are rebuilt in task-ascending order (matching
+  // the original edge flattening, not the worker-major insertion order) so
+  // each worker's message reduction keeps its exact summation order.
+  const int num_edges = csr.num_answers();
+  std::vector<double> spin(num_edges);  // +1 for choice 0, -1 for choice 1.
+  for (int a = 0; a < num_edges; ++a) {
+    spin[a] = csr.task_labels[a] == 0 ? 1.0 : -1.0;
+  }
+  std::vector<int32_t> worker_edge(num_edges);
+  {
+    std::vector<int32_t> cursor(csr.worker_offsets.begin(),
+                                csr.worker_offsets.end() - 1);
+    for (data::TaskId t = 0; t < n; ++t) {
+      for (int32_t a = csr.task_offsets[t]; a < csr.task_offsets[t + 1];
+           ++a) {
+        worker_edge[cursor[csr.task_workers[a]]++] = a;
+      }
     }
   }
 
-  std::vector<double> y(edges.size());
+  std::vector<double> y(num_edges);
   for (double& value : y) value = rng.Normal(1.0, 1.0);
-  std::vector<double> x(edges.size(), 0.0);
+  std::vector<double> x(num_edges, 0.0);
 
   auto renormalize = [](std::vector<double>& messages) {
     double max_abs = 0.0;
@@ -64,18 +70,28 @@ CategoricalResult Kos::Infer(const data::CategoricalDataset& dataset,
   steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
     if (options.trace != nullptr) previous_y = y;
     context.ParallelShards(n, [&](int t, int) {
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
       double total = 0.0;
-      for (int e : task_edges[t]) total += edges[e].spin * y[e];
-      for (int e : task_edges[t]) x[e] = total - edges[e].spin * y[e];
+      for (int32_t e = begin; e < end; ++e) total += spin[e] * y[e];
+      for (int32_t e = begin; e < end; ++e) x[e] = total - spin[e] * y[e];
     });
   }});
   // Worker -> task: likewise, each worker owns its edges' y entries. The
   // renormalization is a cheap whole-array pass kept serial.
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     context.ParallelShards(num_workers, [&](int w, int) {
+      const int32_t begin = csr.worker_offsets[w];
+      const int32_t end = csr.worker_offsets[w + 1];
       double total = 0.0;
-      for (int e : worker_edges[w]) total += edges[e].spin * x[e];
-      for (int e : worker_edges[w]) y[e] = total - edges[e].spin * x[e];
+      for (int32_t i = begin; i < end; ++i) {
+        const int32_t e = worker_edge[i];
+        total += spin[e] * x[e];
+      }
+      for (int32_t i = begin; i < end; ++i) {
+        const int32_t e = worker_edge[i];
+        y[e] = total - spin[e] * x[e];
+      }
     });
     renormalize(x);
     renormalize(y);
@@ -97,7 +113,9 @@ CategoricalResult Kos::Infer(const data::CategoricalDataset& dataset,
   result.labels.assign(n, 0);
   for (data::TaskId t = 0; t < n; ++t) {
     double score = 0.0;
-    for (int e : task_edges[t]) score += edges[e].spin * y[e];
+    for (int32_t e = csr.task_offsets[t]; e < csr.task_offsets[t + 1]; ++e) {
+      score += spin[e] * y[e];
+    }
     if (score > 0.0) {
       result.labels[t] = 0;
     } else if (score < 0.0) {
@@ -109,15 +127,21 @@ CategoricalResult Kos::Infer(const data::CategoricalDataset& dataset,
 
   // Worker quality summary: normalized correlation of the worker's spins
   // with the final task scores (positive = reliable, negative = adversary).
+  // Each term is ±1, so the sum is exact and any per-worker answer order
+  // gives the same double; the worker-major CSR view is used directly.
   result.worker_quality.assign(num_workers, 0.0);
   for (data::WorkerId w = 0; w < num_workers; ++w) {
-    if (worker_edges[w].empty()) continue;
+    const int32_t begin = csr.worker_offsets[w];
+    const int32_t end = csr.worker_offsets[w + 1];
+    if (begin == end) continue;
     double agree = 0.0;
-    for (int e : worker_edges[w]) {
-      const double spin_truth = result.labels[edges[e].task] == 0 ? 1.0 : -1.0;
-      agree += edges[e].spin * spin_truth;
+    for (int32_t a = begin; a < end; ++a) {
+      const double spin_w = csr.worker_labels[a] == 0 ? 1.0 : -1.0;
+      const double spin_truth =
+          result.labels[csr.worker_tasks[a]] == 0 ? 1.0 : -1.0;
+      agree += spin_w * spin_truth;
     }
-    result.worker_quality[w] = agree / worker_edges[w].size();
+    result.worker_quality[w] = agree / (end - begin);
   }
   result.iterations = message_rounds_;
   result.converged = true;

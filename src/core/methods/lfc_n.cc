@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -13,6 +14,7 @@ NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
                                 const InferenceOptions& options) const {
   const int n = dataset.num_tasks();
   const int num_workers = dataset.num_workers();
+  const data::NumericCsr& csr = dataset.csr();
 
   std::vector<double> values = MeanValues(dataset, options);
   std::vector<double> variance(num_workers, 1.0);
@@ -24,13 +26,14 @@ NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
       variance[w] = rmse * rmse;
     }
     for (data::TaskId t = 0; t < n; ++t) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) continue;
       double weighted_sum = 0.0;
       double weight_total = 0.0;
-      for (const data::NumericTaskVote& vote : votes) {
-        const double weight = 1.0 / variance[vote.worker];
-        weighted_sum += weight * vote.value;
+      for (int32_t a = begin; a < end; ++a) {
+        const double weight = 1.0 / variance[csr.task_workers[a]];
+        weighted_sum += weight * csr.task_values[a];
         weight_total += weight;
       }
       values[t] = weighted_sum / weight_total;
@@ -45,28 +48,31 @@ NumericResult LfcNumeric::Infer(const data::NumericDataset& dataset,
   // Variance step.
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     context.ParallelShards(num_workers, [&](int w, int) {
-      const auto& votes = dataset.AnswersByWorker(w);
+      const int32_t begin = csr.worker_offsets[w];
+      const int32_t end = csr.worker_offsets[w + 1];
       double sum_sq = 0.0;
-      for (const data::NumericWorkerVote& vote : votes) {
-        const double err = vote.value - values[vote.task];
+      for (int32_t a = begin; a < end; ++a) {
+        const double err = csr.worker_values[a] - values[csr.worker_tasks[a]];
         sum_sq += err * err;
       }
-      variance[w] = (prior_b_ + sum_sq) / (prior_a_ + votes.size());
+      variance[w] = (prior_b_ + sum_sq) / (prior_a_ + (end - begin));
     });
   }});
   // Truth step: precision-weighted mean.
   steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
     context.ParallelShards(n, [&](int t, int) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) {
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) {
         next[t] = 0.0;
         return;
       }
       double weighted_sum = 0.0;
       double weight_total = 0.0;
-      for (const data::NumericTaskVote& vote : votes) {
-        const double weight = 1.0 / std::max(variance[vote.worker], 1e-9);
-        weighted_sum += weight * vote.value;
+      for (int32_t a = begin; a < end; ++a) {
+        const double weight =
+            1.0 / std::max(variance[csr.task_workers[a]], 1e-9);
+        weighted_sum += weight * csr.task_values[a];
         weight_total += weight;
       }
       next[t] = weighted_sum / weight_total;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -35,6 +36,7 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
   const int n = dataset.num_tasks();
   const int l = dataset.num_choices();
   const int num_workers = dataset.num_workers();
+  const data::CategoricalCsr& csr = dataset.csr();
   util::Rng rng(options.seed);
 
   Posterior labels = InitialPosterior(dataset, options);
@@ -79,15 +81,17 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
         for (int k = 0; k < l; ++k) {
           gt[k] = -regularization_tau_ * tau[static_cast<size_t>(t) * l + k];
         }
-        for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+        for (int32_t a = csr.task_offsets[t]; a < csr.task_offsets[t + 1];
+             ++a) {
+          const data::WorkerId w = csr.task_workers[a];
+          const int32_t label = csr.task_labels[a];
           for (int j = 0; j < l; ++j) {
             const double weight = labels[t][j];
             if (weight < 1e-9) continue;
             AnswerDistribution(&tau[static_cast<size_t>(t) * l],
-                               &sigma[vote.worker][j * l], l, p);
+                               &sigma[w][j * l], l, p);
             for (int k = 0; k < l; ++k) {
-              const double g =
-                  weight * ((vote.label == k ? 1.0 : 0.0) - p[k]);
+              const double g = weight * ((label == k ? 1.0 : 0.0) - p[k]);
               gt[k] += g * task_scale[t];
             }
           }
@@ -98,16 +102,17 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
         for (int jk = 0; jk < l * l; ++jk) {
           grad_sigma[w][jk] = -regularization_sigma_ * sigma[w][jk];
         }
-        for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
-          const data::TaskId t = vote.task;
+        for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1];
+             ++a) {
+          const data::TaskId t = csr.worker_tasks[a];
+          const int32_t label = csr.worker_labels[a];
           for (int j = 0; j < l; ++j) {
             const double weight = labels[t][j];
             if (weight < 1e-9) continue;
             AnswerDistribution(&tau[static_cast<size_t>(t) * l],
                                &sigma[w][j * l], l, p);
             for (int k = 0; k < l; ++k) {
-              const double g =
-                  weight * ((vote.label == k ? 1.0 : 0.0) - p[k]);
+              const double g = weight * ((label == k ? 1.0 : 0.0) - p[k]);
               grad_sigma[w][j * l + k] += g * worker_scale[w];
             }
           }
@@ -133,7 +138,7 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
       std::vector<double> class_mass(l, 1.0);
       double total_mass = l;
       for (data::TaskId t = 0; t < n; ++t) {
-        if (dataset.AnswersForTask(t).empty()) continue;
+        if (csr.task_offsets[t] == csr.task_offsets[t + 1]) continue;
         for (int j = 0; j < l; ++j) class_mass[j] += labels[t][j];
         total_mass += 1.0;
       }
@@ -143,16 +148,17 @@ CategoricalResult Minimax::Infer(const data::CategoricalDataset& dataset,
     }
     next = labels;
     context.ParallelShards(n, [&](int t, int slot) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) return;
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) return;
       std::vector<double>& p = p_scratch[slot];
       std::vector<double>& belief = log_belief[slot];
       belief = log_prior;
-      for (const data::TaskVote& vote : votes) {
+      for (int32_t a = begin; a < end; ++a) {
         for (int j = 0; j < l; ++j) {
           AnswerDistribution(&tau[static_cast<size_t>(t) * l],
-                             &sigma[vote.worker][j * l], l, p);
-          belief[j] += std::log(std::max(p[vote.label], 1e-12));
+                             &sigma[csr.task_workers[a]][j * l], l, p);
+          belief[j] += std::log(std::max(p[csr.task_labels[a]], 1e-12));
         }
       }
       util::SoftmaxInPlace(belief);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -19,6 +20,7 @@ CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
   const int n = dataset.num_tasks();
   const int num_workers = dataset.num_workers();
   const int k = num_dimensions_;
+  const data::CategoricalCsr& csr = dataset.csr();
   util::Rng rng(options.seed);
 
   // Gaussian prior strengths for task embeddings, worker directions
@@ -73,6 +75,12 @@ CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
   std::vector<std::vector<double>> grad_u(num_workers,
                                           std::vector<double>(k, 0.0));
   std::vector<double> grad_tau(num_workers, 0.0);
+  // Per-answer logistic coefficients, computed once per gradient step in
+  // the task-major pass and read by the worker-major pass through the CSR
+  // cross-link. Both passes evaluate the identical score expression on the
+  // same parameters, so caching changes no bits — it just halves the
+  // per-step Sigmoid and dot-product count.
+  std::vector<double> coefficient_cache(csr.num_answers());
   // Tasks whose decode score was exactly zero take a coin-flip label; the
   // draw happens in a serial task-order pass to preserve the RNG stream.
   std::vector<char> coin_flip(n, 0);
@@ -86,14 +94,16 @@ CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
         for (int d = 0; d < k; ++d) {
           grad_x[t][d] = -kLambdaX * x[t][d] * task_scale[t];
         }
-        for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
-          const data::WorkerId w = vote.worker;
+        for (int32_t a = csr.task_offsets[t]; a < csr.task_offsets[t + 1];
+             ++a) {
+          const data::WorkerId w = csr.task_workers[a];
           double score = -tau[w];
           for (int d = 0; d < k; ++d) score += u[w][d] * x[t][d];
-          const double spin = vote.label == 0 ? 1.0 : -1.0;
+          const double spin = csr.task_labels[a] == 0 ? 1.0 : -1.0;
           // d/d(score) log sigmoid(spin * score) = spin * (1 - sigmoid).
           const double coefficient =
               spin * (1.0 - util::Sigmoid(spin * score));
+          coefficient_cache[a] = coefficient;
           for (int d = 0; d < k; ++d) {
             grad_x[t][d] += coefficient * u[w][d] * task_scale[t];
           }
@@ -105,13 +115,10 @@ CategoricalResult Multi::Infer(const data::CategoricalDataset& dataset,
           grad_u[w][d] = -kLambdaU * u[w][d] * worker_scale[w];
         }
         grad_tau[w] = -kLambdaTau * tau[w] * worker_scale[w];
-        for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
-          const data::TaskId t = vote.task;
-          double score = -tau[w];
-          for (int d = 0; d < k; ++d) score += u[w][d] * x[t][d];
-          const double spin = vote.label == 0 ? 1.0 : -1.0;
-          const double coefficient =
-              spin * (1.0 - util::Sigmoid(spin * score));
+        for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1];
+             ++a) {
+          const data::TaskId t = csr.worker_tasks[a];
+          const double coefficient = coefficient_cache[csr.worker_to_task[a]];
           for (int d = 0; d < k; ++d) {
             grad_u[w][d] += coefficient * x[t][d] * worker_scale[w];
           }

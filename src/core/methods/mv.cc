@@ -1,5 +1,7 @@
 #include "core/methods/mv.h"
 
+#include <cstdint>
+
 #include "core/common.h"
 #include "util/rng.h"
 
@@ -14,15 +16,17 @@ CategoricalResult MajorityVoting::Infer(
   result.iterations = 1;
   result.converged = true;
 
+  const data::CategoricalCsr& csr = dataset.csr();
   result.worker_quality.assign(dataset.num_workers(), 0.0);
   for (data::WorkerId w = 0; w < dataset.num_workers(); ++w) {
-    const auto& votes = dataset.AnswersByWorker(w);
-    if (votes.empty()) continue;
+    const int32_t begin = csr.worker_offsets[w];
+    const int32_t end = csr.worker_offsets[w + 1];
+    if (begin == end) continue;
     int agree = 0;
-    for (const data::WorkerVote& vote : votes) {
-      if (vote.label == result.labels[vote.task]) ++agree;
+    for (int32_t a = begin; a < end; ++a) {
+      if (csr.worker_labels[a] == result.labels[csr.worker_tasks[a]]) ++agree;
     }
-    result.worker_quality[w] = static_cast<double>(agree) / votes.size();
+    result.worker_quality[w] = static_cast<double>(agree) / (end - begin);
   }
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -45,6 +46,7 @@ CategoricalResult PmCategorical::Infer(
   const int n = dataset.num_tasks();
   const int l = dataset.num_choices();
   const int num_workers = dataset.num_workers();
+  const data::CategoricalCsr& csr = dataset.csr();
   const bool golden = HasGoldenLabels(dataset, options);
   util::Rng rng(options.seed);
 
@@ -80,15 +82,17 @@ CategoricalResult PmCategorical::Infer(
       std::vector<double>& score = scores[slot];
       std::fill(score.begin(), score.end(), 0.0);
       double score_total = 0.0;
-      for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
-        score[vote.label] += quality[vote.worker];
-        score_total += quality[vote.worker];
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      for (int32_t a = begin; a < end; ++a) {
+        score[csr.task_labels[a]] += quality[csr.task_workers[a]];
+        score_total += quality[csr.task_workers[a]];
       }
       if (score_total <= 0.0) {
         // All weights are zero ("everyone is equally bad"): degrade to an
         // unweighted vote rather than a uniformly random choice.
-        for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
-          score[vote.label] += 1.0;
+        for (int32_t a = begin; a < end; ++a) {
+          score[csr.task_labels[a]] += 1.0;
         }
       }
       double best = -1.0;
@@ -114,8 +118,11 @@ CategoricalResult PmCategorical::Infer(
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     context.ParallelShards(num_workers, [&](int w, int) {
       errors[w] = 0.0;
-      for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
-        if (vote.label != next[vote.task]) errors[w] += 1.0;
+      for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1];
+           ++a) {
+        if (csr.worker_labels[a] != next[csr.worker_tasks[a]]) {
+          errors[w] += 1.0;
+        }
       }
     });
     quality = WeightsFromErrors(errors);
@@ -142,6 +149,7 @@ NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
                                const InferenceOptions& options) const {
   const int n = dataset.num_tasks();
   const int num_workers = dataset.num_workers();
+  const data::NumericCsr& csr = dataset.csr();
 
   std::vector<double> quality(num_workers, 1.0);
   if (!options.initial_worker_quality.empty()) {
@@ -170,16 +178,17 @@ NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
   // Step 1: weighted mean per task.
   steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
     context.ParallelShards(n, [&](int t, int) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) {
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) {
         next[t] = 0.0;
         return;
       }
       double weighted_sum = 0.0;
       double weight_total = 0.0;
-      for (const data::NumericTaskVote& vote : votes) {
-        const double weight = std::max(quality[vote.worker], 1e-9);
-        weighted_sum += weight * vote.value;
+      for (int32_t a = begin; a < end; ++a) {
+        const double weight = std::max(quality[csr.task_workers[a]], 1e-9);
+        weighted_sum += weight * csr.task_values[a];
         weight_total += weight;
       }
       // weight_total > 0 by the floor above; the fallback only fires when
@@ -192,8 +201,9 @@ NumericResult PmNumeric::Infer(const data::NumericDataset& dataset,
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     context.ParallelShards(num_workers, [&](int w, int) {
       errors[w] = 0.0;
-      for (const data::NumericWorkerVote& vote : dataset.AnswersByWorker(w)) {
-        const double err = vote.value - next[vote.task];
+      for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1];
+           ++a) {
+        const double err = csr.worker_values[a] - next[csr.worker_tasks[a]];
         errors[w] += err * err;
       }
     });

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -47,18 +48,18 @@ NumericResult RobustNumeric::Infer(const data::NumericDataset& dataset,
                                    const InferenceOptions& options) const {
   const int n = dataset.num_tasks();
   const int num_workers = dataset.num_workers();
+  const data::NumericCsr& csr = dataset.csr();
 
   // Median init: already outlier-safe.
   std::vector<double> values(n, 0.0);
   {
     std::vector<double> buffer;
     for (data::TaskId t = 0; t < n; ++t) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) continue;
-      buffer.clear();
-      for (const data::NumericTaskVote& vote : votes) {
-        buffer.push_back(vote.value);
-      }
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) continue;
+      buffer.assign(csr.task_values.begin() + begin,
+                    csr.task_values.begin() + end);
       std::sort(buffer.begin(), buffer.end());
       const size_t mid = buffer.size() / 2;
       values[t] = buffer.size() % 2 == 1
@@ -80,6 +81,7 @@ NumericResult RobustNumeric::Infer(const data::NumericDataset& dataset,
   driver.min_iterations = 2;
 
   std::vector<double> next(n, 0.0);
+  std::vector<double> sigma_cache(num_workers, 1.0);
   std::vector<std::vector<double>> residual_scratch(driver.num_threads);
 
   std::vector<EmStep> steps;
@@ -93,26 +95,26 @@ NumericResult RobustNumeric::Infer(const data::NumericDataset& dataset,
     // unbounded weight.
     std::vector<double>& all_residuals = residual_scratch[0];
     all_residuals.clear();
-    for (data::WorkerId w = 0; w < num_workers; ++w) {
-      for (const data::NumericWorkerVote& vote :
-           dataset.AnswersByWorker(w)) {
-        all_residuals.push_back(std::fabs(vote.value - values[vote.task]));
-      }
+    for (int32_t a = 0; a < csr.num_answers(); ++a) {
+      all_residuals.push_back(
+          std::fabs(csr.worker_values[a] - values[csr.worker_tasks[a]]));
     }
     const double global_sigma =
         all_residuals.empty() ? 1.0 : std::max(MadSigma(all_residuals), 1e-6);
     const double variance_floor =
         0.25 * global_sigma * global_sigma;  // sigma_w >= global_sigma / 2.
     context.ParallelShards(num_workers, [&](int w, int slot) {
-      const auto& votes = dataset.AnswersByWorker(w);
-      if (votes.empty()) return;
+      const int32_t begin = csr.worker_offsets[w];
+      const int32_t end = csr.worker_offsets[w + 1];
+      if (begin == end) return;
       std::vector<double>& abs_residuals = residual_scratch[slot];
       abs_residuals.clear();
-      for (const data::NumericWorkerVote& vote : votes) {
-        abs_residuals.push_back(std::fabs(vote.value - values[vote.task]));
+      for (int32_t a = begin; a < end; ++a) {
+        abs_residuals.push_back(
+            std::fabs(csr.worker_values[a] - values[csr.worker_tasks[a]]));
       }
       const double sigma = MadSigma(abs_residuals);
-      const double count = static_cast<double>(votes.size());
+      const double count = static_cast<double>(end - begin);
       variance[w] = std::max(
           (prior_b_ + count * sigma * sigma) / (prior_a_ + count),
           variance_floor);
@@ -125,9 +127,16 @@ NumericResult RobustNumeric::Infer(const data::NumericDataset& dataset,
   // high-variance (garbage) workers — and keep the lower-loss fixed
   // point.
   steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
+    // Per-worker scales are fixed for the whole truth step; hoisting the
+    // sqrt out of the IRLS inner loops (2 starts x 5 refines + 2 loss
+    // evaluations per task) changes no bits — same sqrt inputs.
+    for (data::WorkerId w = 0; w < num_workers; ++w) {
+      sigma_cache[w] = std::max(std::sqrt(variance[w]), 1e-9);
+    }
     context.ParallelShards(n, [&](int t, int) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) {
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) {
         next[t] = 0.0;
         return;
       }
@@ -136,10 +145,10 @@ NumericResult RobustNumeric::Infer(const data::NumericDataset& dataset,
       {
         double weighted_sum = 0.0;
         double weight_total = 0.0;
-        for (const data::NumericTaskVote& vote : votes) {
+        for (int32_t a = begin; a < end; ++a) {
           const double weight =
-              1.0 / std::max(variance[vote.worker], 1e-9);
-          weighted_sum += weight * vote.value;
+              1.0 / std::max(variance[csr.task_workers[a]], 1e-9);
+          weighted_sum += weight * csr.task_values[a];
           weight_total += weight;
         }
         precision_mean = weighted_sum / weight_total;
@@ -149,13 +158,13 @@ NumericResult RobustNumeric::Infer(const data::NumericDataset& dataset,
         for (int inner = 0; inner < 5; ++inner) {
           double weighted_sum = 0.0;
           double weight_total = 0.0;
-          for (const data::NumericTaskVote& vote : votes) {
-            const double sigma =
-                std::max(std::sqrt(variance[vote.worker]), 1e-9);
-            const double standardized = (vote.value - estimate) / sigma;
+          for (int32_t a = begin; a < end; ++a) {
+            const double sigma = sigma_cache[csr.task_workers[a]];
+            const double value = csr.task_values[a];
+            const double standardized = (value - estimate) / sigma;
             const double weight =
                 BisquareWeight(standardized, tuning_c_) / (sigma * sigma);
-            weighted_sum += weight * vote.value;
+            weighted_sum += weight * value;
             weight_total += weight;
           }
           if (weight_total <= 0.0) break;  // Everything rejected: stop.
@@ -165,10 +174,10 @@ NumericResult RobustNumeric::Infer(const data::NumericDataset& dataset,
       };
       auto loss = [&](double estimate) {
         double total = 0.0;
-        for (const data::NumericTaskVote& vote : votes) {
-          const double sigma =
-              std::max(std::sqrt(variance[vote.worker]), 1e-9);
-          total += BisquareLoss((vote.value - estimate) / sigma, tuning_c_);
+        for (int32_t a = begin; a < end; ++a) {
+          const double sigma = sigma_cache[csr.task_workers[a]];
+          total += BisquareLoss((csr.task_values[a] - estimate) / sigma,
+                                tuning_c_);
         }
         return total;
       };

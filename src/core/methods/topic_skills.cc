@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -22,6 +23,7 @@ CategoricalResult TopicSkills::Infer(const data::CategoricalDataset& dataset,
   const int n = dataset.num_tasks();
   const int l = dataset.num_choices();
   const int num_workers = dataset.num_workers();
+  const data::CategoricalCsr& csr = dataset.csr();
   util::Rng rng(options.seed);
 
   // Topic assignment; a single group when none is supplied (= ZC).
@@ -62,6 +64,11 @@ CategoricalResult TopicSkills::Infer(const data::CategoricalDataset& dataset,
       driver.num_threads, std::vector<double>(num_groups));
   std::vector<std::vector<double>> group_count(
       driver.num_threads, std::vector<double>(num_groups));
+  // Per-(worker, group) log tables refreshed by the quality step: the
+  // truth step's two std::log calls per answer become two reads. Same log
+  // inputs, so the doubles are bitwise unchanged.
+  std::vector<double> log_right(quality.size());
+  std::vector<double> log_wrong(quality.size());
   Posterior next;
 
   std::vector<EmStep> steps;
@@ -69,27 +76,35 @@ CategoricalResult TopicSkills::Infer(const data::CategoricalDataset& dataset,
   // shrunk toward it.
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     context.ParallelShards(num_workers, [&](int w, int slot) {
-      const auto& votes = dataset.AnswersByWorker(w);
-      if (votes.empty()) return;
-      std::vector<double>& correct = group_correct[slot];
-      std::vector<double>& count = group_count[slot];
-      std::fill(correct.begin(), correct.end(), 0.0);
-      std::fill(count.begin(), count.end(), 0.0);
-      double total_correct = 0.0;
-      for (const data::WorkerVote& vote : votes) {
-        const double p = posterior[vote.task][vote.label];
-        correct[groups[vote.task]] += p;
-        count[groups[vote.task]] += 1.0;
-        total_correct += p;
+      const int32_t begin = csr.worker_offsets[w];
+      const int32_t end = csr.worker_offsets[w + 1];
+      if (begin != end) {
+        std::vector<double>& correct = group_correct[slot];
+        std::vector<double>& count = group_count[slot];
+        std::fill(correct.begin(), correct.end(), 0.0);
+        std::fill(count.begin(), count.end(), 0.0);
+        double total_correct = 0.0;
+        for (int32_t a = begin; a < end; ++a) {
+          const data::TaskId task = csr.worker_tasks[a];
+          const double p = posterior[task][csr.worker_labels[a]];
+          correct[groups[task]] += p;
+          count[groups[task]] += 1.0;
+          total_correct += p;
+        }
+        overall[w] = std::clamp(total_correct / (end - begin), kQualityFloor,
+                                1.0 - kQualityFloor);
+        for (int g = 0; g < num_groups; ++g) {
+          const double estimate =
+              (prior_strength_ * overall[w] + correct[g]) /
+              (prior_strength_ + count[g]);
+          quality[static_cast<size_t>(w) * num_groups + g] =
+              std::clamp(estimate, kQualityFloor, 1.0 - kQualityFloor);
+        }
       }
-      overall[w] = std::clamp(total_correct / votes.size(), kQualityFloor,
-                              1.0 - kQualityFloor);
       for (int g = 0; g < num_groups; ++g) {
-        const double estimate =
-            (prior_strength_ * overall[w] + correct[g]) /
-            (prior_strength_ + count[g]);
-        quality[static_cast<size_t>(w) * num_groups + g] =
-            std::clamp(estimate, kQualityFloor, 1.0 - kQualityFloor);
+        const size_t wg = static_cast<size_t>(w) * num_groups + g;
+        log_right[wg] = std::log(quality[wg]);
+        log_wrong[wg] = std::log((1.0 - quality[wg]) / (l - 1));
       }
     });
   }});
@@ -97,18 +112,20 @@ CategoricalResult TopicSkills::Infer(const data::CategoricalDataset& dataset,
   steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
     next = posterior;
     context.ParallelShards(n, [&](int t, int slot) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) return;
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) return;
       std::vector<double>& belief = log_belief[slot];
       std::fill(belief.begin(), belief.end(), 0.0);
       const int g = groups[t];
-      for (const data::TaskVote& vote : votes) {
-        const double q =
-            quality[static_cast<size_t>(vote.worker) * num_groups + g];
-        const double log_right = std::log(q);
-        const double log_wrong = std::log((1.0 - q) / (l - 1));
+      for (int32_t a = begin; a < end; ++a) {
+        const size_t wg =
+            static_cast<size_t>(csr.task_workers[a]) * num_groups + g;
+        const double right = log_right[wg];
+        const double wrong = log_wrong[wg];
+        const int32_t label = csr.task_labels[a];
         for (int z = 0; z < l; ++z) {
-          belief[z] += vote.label == z ? log_right : log_wrong;
+          belief[z] += label == z ? right : wrong;
         }
       }
       util::SoftmaxInPlace(belief);

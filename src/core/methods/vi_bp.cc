@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -17,42 +18,46 @@ CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
       << "VI-BP supports decision-making (binary) tasks only";
   const int n = dataset.num_tasks();
   const int num_workers = dataset.num_workers();
+  const data::CategoricalCsr& csr = dataset.csr();
   util::Rng rng(options.seed);
 
-  struct Edge {
-    data::TaskId task;
-    data::WorkerId worker;
-    data::LabelId label;
-  };
-  std::vector<Edge> edges;
-  std::vector<std::vector<int>> task_edges(n);
-  std::vector<std::vector<int>> worker_edges(num_workers);
-  for (data::TaskId t = 0; t < n; ++t) {
-    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
-      task_edges[t].push_back(static_cast<int>(edges.size()));
-      worker_edges[vote.worker].push_back(static_cast<int>(edges.size()));
-      edges.push_back({t, vote.worker, vote.label});
+  // An edge IS a task-major CSR position; the task-side loops stream
+  // csr.task_offsets directly. The worker-side edge lists are rebuilt in
+  // task-ascending order (matching the original edge flattening, not the
+  // worker-major insertion order) so each worker's message reduction keeps
+  // its exact summation order.
+  const int num_edges = csr.num_answers();
+  std::vector<int32_t> worker_edge(num_edges);
+  {
+    std::vector<int32_t> cursor(csr.worker_offsets.begin(),
+                                csr.worker_offsets.end() - 1);
+    for (data::TaskId t = 0; t < n; ++t) {
+      for (int32_t a = csr.task_offsets[t]; a < csr.task_offsets[t + 1];
+           ++a) {
+        worker_edge[cursor[csr.task_workers[a]]++] = a;
+      }
     }
   }
 
   // task_msg[e] = m_{i->w}(truth = answer on edge e), a scalar because the
   // binary message is determined by its "matches the worker's answer"
   // component. Initialized from the task's vote share.
-  std::vector<double> task_msg(edges.size(), 0.5);
+  std::vector<double> task_msg(num_edges, 0.5);
   for (data::TaskId t = 0; t < n; ++t) {
-    if (task_edges[t].empty()) continue;
+    const int32_t begin = csr.task_offsets[t];
+    const int32_t end = csr.task_offsets[t + 1];
+    if (begin == end) continue;
     int count0 = 0;
-    for (int e : task_edges[t]) {
-      if (edges[e].label == 0) ++count0;
+    for (int32_t e = begin; e < end; ++e) {
+      if (csr.task_labels[e] == 0) ++count0;
     }
-    const double share0 =
-        static_cast<double>(count0) / task_edges[t].size();
-    for (int e : task_edges[t]) {
-      task_msg[e] = edges[e].label == 0 ? share0 : 1.0 - share0;
+    const double share0 = static_cast<double>(count0) / (end - begin);
+    for (int32_t e = begin; e < end; ++e) {
+      task_msg[e] = csr.task_labels[e] == 0 ? share0 : 1.0 - share0;
     }
   }
   // worker_msg[e] = m_{w->i}(truth = answer on edge e).
-  std::vector<double> worker_msg(edges.size(), 0.5);
+  std::vector<double> worker_msg(num_edges, 0.5);
 
   std::vector<double> expected_reliability(num_workers, 0.5);
   const EmDriver driver = EmDriver::FromOptions(options, "VI-BP");
@@ -65,10 +70,15 @@ CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
   // worker owns its edges' worker_msg entries.
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     context.ParallelShards(num_workers, [&](int w, int) {
+      const int32_t begin = csr.worker_offsets[w];
+      const int32_t end = csr.worker_offsets[w + 1];
       double correct_total = 0.0;
-      for (int e : worker_edges[w]) correct_total += task_msg[e];
-      const double count = static_cast<double>(worker_edges[w].size());
-      for (int e : worker_edges[w]) {
+      for (int32_t i = begin; i < end; ++i) {
+        correct_total += task_msg[worker_edge[i]];
+      }
+      const double count = static_cast<double>(end - begin);
+      for (int32_t i = begin; i < end; ++i) {
+        const int32_t e = worker_edge[i];
         const double correct_others = correct_total - task_msg[e];
         const double incorrect_others = (count - 1.0) - correct_others;
         const double a = prior_alpha_ + correct_others;
@@ -84,24 +94,26 @@ CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
   steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
     context.ParallelShards(n, [&](int t, int) {
       task_change[t] = 0.0;
-      if (task_edges[t].empty()) return;
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) return;
       double log_total0 = 0.0;
       double log_total1 = 0.0;
-      for (int e : task_edges[t]) {
+      for (int32_t e = begin; e < end; ++e) {
         const double match = std::clamp(worker_msg[e], 1e-9, 1.0 - 1e-9);
         // Message as a distribution over {choice0, choice1}.
-        const double m0 = edges[e].label == 0 ? match : 1.0 - match;
+        const double m0 = csr.task_labels[e] == 0 ? match : 1.0 - match;
         log_total0 += std::log(m0);
         log_total1 += std::log(1.0 - m0);
       }
-      for (int e : task_edges[t]) {
+      for (int32_t e = begin; e < end; ++e) {
         const double match = std::clamp(worker_msg[e], 1e-9, 1.0 - 1e-9);
-        const double m0 = edges[e].label == 0 ? match : 1.0 - match;
+        const double m0 = csr.task_labels[e] == 0 ? match : 1.0 - match;
         const double log0 = log_total0 - std::log(m0);
         const double log1 = log_total1 - std::log(1.0 - m0);
         const double belief0 = 1.0 / (1.0 + std::exp(log1 - log0));
         const double next =
-            edges[e].label == 0 ? belief0 : 1.0 - belief0;
+            csr.task_labels[e] == 0 ? belief0 : 1.0 - belief0;
         task_change[t] =
             std::max(task_change[t], std::fabs(next - task_msg[e]));
         task_msg[e] = next;
@@ -124,15 +136,17 @@ CategoricalResult ViBp::Infer(const data::CategoricalDataset& dataset,
   result.labels.assign(n, 0);
   result.posterior.assign(n, {0.5, 0.5});
   for (data::TaskId t = 0; t < n; ++t) {
-    if (task_edges[t].empty()) {
+    const int32_t begin = csr.task_offsets[t];
+    const int32_t end = csr.task_offsets[t + 1];
+    if (begin == end) {
       result.labels[t] = rng.UniformInt(0, 1);
       continue;
     }
     double log0 = 0.0;
     double log1 = 0.0;
-    for (int e : task_edges[t]) {
+    for (int32_t e = begin; e < end; ++e) {
       const double match = std::clamp(worker_msg[e], 1e-9, 1.0 - 1e-9);
-      const double m0 = edges[e].label == 0 ? match : 1.0 - match;
+      const double m0 = csr.task_labels[e] == 0 ? match : 1.0 - match;
       log0 += std::log(m0);
       log1 += std::log(1.0 - m0);
     }

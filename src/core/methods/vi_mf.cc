@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/common.h"
@@ -16,6 +17,7 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
   const int n = dataset.num_tasks();
   const int l = dataset.num_choices();
   const int num_workers = dataset.num_workers();
+  const data::CategoricalCsr& csr = dataset.csr();
   util::Rng rng(options.seed);
 
   Posterior posterior = InitialPosterior(dataset, options);
@@ -36,8 +38,9 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
     }
   }
 
-  // elog[w][j*l+k] = E[log pi^w_{j,k}] under the current Dirichlet
-  // posterior.
+  // elog[w][k*l+j] = E[log pi^w_{j,k}] under the current Dirichlet
+  // posterior, stored transposed (answered label major) so the truth step's
+  // per-answer row read is unit-stride.
   std::vector<std::vector<double>> elog(num_workers,
                                         std::vector<double>(l * l, 0.0));
   std::vector<double> elog_class(l, std::log(1.0 / l));
@@ -59,17 +62,18 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
           count[j * l + k] = j == k ? prior_diag[w] : prior_off[w];
         }
       }
-      for (const data::WorkerVote& vote : dataset.AnswersByWorker(w)) {
-        for (int j = 0; j < l; ++j) {
-          count[j * l + vote.label] += posterior[vote.task][j];
-        }
+      for (int32_t a = csr.worker_offsets[w]; a < csr.worker_offsets[w + 1];
+           ++a) {
+        const double* post = posterior[csr.worker_tasks[a]].data();
+        const int32_t label = csr.worker_labels[a];
+        for (int j = 0; j < l; ++j) count[j * l + label] += post[j];
       }
       for (int j = 0; j < l; ++j) {
         double row_total = 0.0;
         for (int k = 0; k < l; ++k) row_total += count[j * l + k];
         const double digamma_total = util::Digamma(row_total);
         for (int k = 0; k < l; ++k) {
-          elog[w][j * l + k] = util::Digamma(count[j * l + k]) -
+          elog[w][k * l + j] = util::Digamma(count[j * l + k]) -
                                digamma_total;
         }
       }
@@ -77,7 +81,7 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
     // Class-prior Dirichlet posterior: a short serial reduce over tasks.
     std::vector<double> class_counts(l, 1.0);
     for (data::TaskId t = 0; t < n; ++t) {
-      if (dataset.AnswersForTask(t).empty()) continue;
+      if (csr.task_offsets[t] == csr.task_offsets[t + 1]) continue;
       for (int j = 0; j < l; ++j) class_counts[j] += posterior[t][j];
     }
     double class_total = 0.0;
@@ -90,14 +94,15 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
   steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
     next = posterior;
     context.ParallelShards(n, [&](int t, int slot) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) return;
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) return;
       std::vector<double>& belief = log_belief[slot];
       belief = elog_class;
-      for (const data::TaskVote& vote : votes) {
-        for (int j = 0; j < l; ++j) {
-          belief[j] += elog[vote.worker][j * l + vote.label];
-        }
+      for (int32_t a = begin; a < end; ++a) {
+        const double* row =
+            elog[csr.task_workers[a]].data() + csr.task_labels[a] * l;
+        for (int j = 0; j < l; ++j) belief[j] += row[j];
       }
       util::SoftmaxInPlace(belief);
       next[t] = belief;
@@ -117,7 +122,8 @@ CategoricalResult ViMf::Infer(const data::CategoricalDataset& dataset,
   result.labels = ArgmaxLabels(posterior, rng);
   result.worker_quality.assign(num_workers, 0.0);
   for (data::WorkerId w = 0; w < num_workers; ++w) {
-    // Posterior-mean diagonal averaged over classes.
+    // Posterior-mean diagonal averaged over classes (the diagonal is
+    // invariant under the transposed storage).
     double total = 0.0;
     for (int j = 0; j < l; ++j) {
       total += std::exp(elog[w][j * l + j]);

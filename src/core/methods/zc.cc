@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "core/common.h"
 #include "core/em_loop.h"
@@ -23,9 +24,20 @@ CategoricalResult Zc::Infer(const data::CategoricalDataset& dataset,
   const int n = dataset.num_tasks();
   const int l = dataset.num_choices();
   const int num_workers = dataset.num_workers();
+  const data::CategoricalCsr& csr = dataset.csr();
   util::Rng rng(options.seed);
 
-  Posterior posterior = InitialPosterior(dataset, options);
+  // Flat n*l row-major belief array: one contiguous block instead of a
+  // heap vector per task, so the quality step's per-answer reads are a
+  // single indirection. Same arithmetic per row — same bits.
+  std::vector<double> posterior(static_cast<size_t>(n) * l);
+  {
+    const Posterior initial = InitialPosterior(dataset, options);
+    for (data::TaskId t = 0; t < n; ++t) {
+      std::copy(initial[t].begin(), initial[t].end(),
+                posterior.begin() + static_cast<size_t>(t) * l);
+    }
+  }
   std::vector<double> quality(num_workers, 0.7);
   if (!options.initial_worker_quality.empty()) {
     for (data::WorkerId w = 0; w < num_workers; ++w) {
@@ -33,62 +45,94 @@ CategoricalResult Zc::Infer(const data::CategoricalDataset& dataset,
           util::ClampProb(options.initial_worker_quality[w], kQualityFloor);
     }
   }
+  // Per-worker log tables refreshed by the quality step. Hoisting the two
+  // SafeLog calls out of the truth step's per-answer loop turns |V| * 2
+  // transcendental calls per iteration into num_workers * 2 — same inputs,
+  // so the doubles (and the goldens) are bitwise unchanged.
+  std::vector<double> log_right(num_workers);
+  std::vector<double> log_wrong(num_workers);
 
   const EmDriver driver = EmDriver::FromOptions(options, "ZC");
   std::vector<std::vector<double>> log_belief(driver.num_threads,
                                               std::vector<double>(l));
-  Posterior next;
+  std::vector<double> next;
 
   std::vector<EmStep> steps;
   // M-step: re-estimate worker probabilities from the current belief.
   steps.push_back({TracePhase::kQualityStep, [&](const EmContext& context) {
     context.ParallelShards(num_workers, [&](int w, int) {
-      const auto& votes = dataset.AnswersByWorker(w);
-      if (votes.empty()) return;
-      double expected_correct = 0.0;
-      for (const data::WorkerVote& vote : votes) {
-        expected_correct += posterior[vote.task][vote.label];
+      const int32_t begin = csr.worker_offsets[w];
+      const int32_t end = csr.worker_offsets[w + 1];
+      if (begin != end) {
+        double expected_correct = 0.0;
+        for (int32_t a = begin; a < end; ++a) {
+          expected_correct +=
+              posterior[csr.worker_tasks[a] * l + csr.worker_labels[a]];
+        }
+        quality[w] =
+            util::ClampProb(expected_correct / (end - begin), kQualityFloor);
       }
-      quality[w] =
-          util::ClampProb(expected_correct / votes.size(), kQualityFloor);
+      // ClampProb keeps q inside [floor, 1 - floor], so both logs are
+      // finite; SafeLog guards the boundary all the same (a saturated
+      // quality must never poison the posterior).
+      const double q = quality[w];
+      log_wrong[w] = util::SafeLog((1.0 - q) / (l - 1));
+      log_right[w] = util::SafeLog(q);
     });
   }});
   // E-step: recompute the task belief from worker probabilities.
   steps.push_back({TracePhase::kTruthStep, [&](const EmContext& context) {
-    next = posterior;
+    next = posterior;  // Answerless tasks keep their belief.
     context.ParallelShards(n, [&](int t, int slot) {
-      const auto& votes = dataset.AnswersForTask(t);
-      if (votes.empty()) return;
+      const int32_t begin = csr.task_offsets[t];
+      const int32_t end = csr.task_offsets[t + 1];
+      if (begin == end) return;
       std::vector<double>& belief = log_belief[slot];
       std::fill(belief.begin(), belief.end(), 0.0);
-      for (const data::TaskVote& vote : votes) {
-        // The quality step clamps q into [floor, 1 - floor], so both logs
-        // are finite; SafeLog guards the boundary all the same (a saturated
-        // quality must never poison the posterior).
-        const double q = quality[vote.worker];
-        const double log_wrong = util::SafeLog((1.0 - q) / (l - 1));
-        const double log_right = util::SafeLog(q);
+      for (int32_t a = begin; a < end; ++a) {
+        const double right = log_right[csr.task_workers[a]];
+        const double wrong = log_wrong[csr.task_workers[a]];
+        const int32_t label = csr.task_labels[a];
         for (int z = 0; z < l; ++z) {
-          belief[z] += vote.label == z ? log_right : log_wrong;
+          belief[z] += label == z ? right : wrong;
         }
       }
       util::SoftmaxInPlace(belief);
-      next[t] = belief;
+      std::copy(belief.begin(), belief.end(),
+                next.begin() + static_cast<size_t>(t) * l);
     });
-    ClampGolden(dataset, options, next);
+    if (HasGoldenLabels(dataset, options)) {
+      for (data::TaskId t = 0; t < n; ++t) {
+        const data::LabelId g = options.golden_labels[t];
+        if (g == data::kNoTruth) continue;
+        std::fill(next.begin() + static_cast<size_t>(t) * l,
+                  next.begin() + static_cast<size_t>(t + 1) * l, 0.0);
+        next[static_cast<size_t>(t) * l + g] = 1.0;
+      }
+    }
   }});
 
   CategoricalResult result;
   AdoptStats(RunEmLoop(driver, steps,
                        [&](bool) {
-                         const double change = MaxAbsDiff(posterior, next);
-                         posterior = std::move(next);
+                         double change = 0.0;
+                         for (size_t i = 0; i < posterior.size(); ++i) {
+                           change = std::max(change,
+                                             std::fabs(posterior[i] - next[i]));
+                         }
+                         posterior.swap(next);
                          return change;
                        }),
              &result);
 
-  result.labels = ArgmaxLabels(posterior, rng);
-  result.posterior = std::move(posterior);
+  Posterior posterior_rows(n, std::vector<double>(l));
+  for (data::TaskId t = 0; t < n; ++t) {
+    std::copy(posterior.begin() + static_cast<size_t>(t) * l,
+              posterior.begin() + static_cast<size_t>(t + 1) * l,
+              posterior_rows[t].begin());
+  }
+  result.labels = ArgmaxLabels(posterior_rows, rng);
+  result.posterior = std::move(posterior_rows);
   result.worker_quality = std::move(quality);
   return result;
 }

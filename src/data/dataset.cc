@@ -29,6 +29,111 @@ util::Status CheckNoDuplicates(const ByTask& by_task,
   return util::Status::Ok();
 }
 
+// Prefix sums of the row sizes: offsets[r+1] - offsets[r] == rows[r].size().
+template <typename Rows>
+std::vector<int32_t> RowOffsets(const Rows& rows) {
+  std::vector<int32_t> offsets(rows.size() + 1, 0);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    offsets[r + 1] = offsets[r] + static_cast<int32_t>(rows[r].size());
+  }
+  return offsets;
+}
+
+// worker_to_task from the two orientations alone. A task-ascending scan of
+// the task-major arrays hands each worker its task-major positions sorted
+// by task id; each worker-major entry then finds its twin by binary search
+// on the task id (unique per worker — duplicates are rejected before the
+// CSR is built).
+std::vector<int32_t> CrossLinkWorkerToTask(
+    const std::vector<int32_t>& task_offsets,
+    const std::vector<int32_t>& task_workers,
+    const std::vector<int32_t>& worker_offsets,
+    const std::vector<int32_t>& worker_tasks) {
+  const int num_answers = static_cast<int>(task_workers.size());
+  const int num_tasks = static_cast<int>(task_offsets.size()) - 1;
+  const int num_workers = static_cast<int>(worker_offsets.size()) - 1;
+  std::vector<int32_t> cursor(worker_offsets.begin(),
+                              worker_offsets.end() - 1);
+  std::vector<int32_t> sorted_tasks(num_answers);
+  std::vector<int32_t> sorted_pos(num_answers);
+  for (int t = 0; t < num_tasks; ++t) {
+    for (int32_t a = task_offsets[t]; a < task_offsets[t + 1]; ++a) {
+      const int32_t slot = cursor[task_workers[a]]++;
+      sorted_tasks[slot] = t;
+      sorted_pos[slot] = a;
+    }
+  }
+  std::vector<int32_t> link(num_answers, 0);
+  for (int w = 0; w < num_workers; ++w) {
+    const int32_t begin = worker_offsets[w];
+    const int32_t end = worker_offsets[w + 1];
+    for (int32_t a = begin; a < end; ++a) {
+      const auto first = sorted_tasks.begin() + begin;
+      const auto it =
+          std::lower_bound(first, sorted_tasks.begin() + end, worker_tasks[a]);
+      link[a] = sorted_pos[begin + (it - first)];
+    }
+  }
+  return link;
+}
+
+CategoricalCsr BuildCsr(const std::vector<std::vector<TaskVote>>& by_task,
+                        const std::vector<std::vector<WorkerVote>>& by_worker) {
+  CategoricalCsr csr;
+  csr.task_offsets = RowOffsets(by_task);
+  csr.worker_offsets = RowOffsets(by_worker);
+  const int num_answers = csr.task_offsets.back();
+  csr.task_workers.reserve(num_answers);
+  csr.task_labels.reserve(num_answers);
+  for (const auto& row : by_task) {
+    for (const TaskVote& vote : row) {
+      csr.task_workers.push_back(vote.worker);
+      csr.task_labels.push_back(vote.label);
+    }
+  }
+  csr.worker_tasks.reserve(num_answers);
+  csr.worker_labels.reserve(num_answers);
+  for (const auto& row : by_worker) {
+    for (const WorkerVote& vote : row) {
+      csr.worker_tasks.push_back(vote.task);
+      csr.worker_labels.push_back(vote.label);
+    }
+  }
+  csr.worker_to_task = CrossLinkWorkerToTask(
+      csr.task_offsets, csr.task_workers, csr.worker_offsets,
+      csr.worker_tasks);
+  return csr;
+}
+
+NumericCsr BuildCsr(const std::vector<std::vector<NumericTaskVote>>& by_task,
+                    const std::vector<std::vector<NumericWorkerVote>>&
+                        by_worker) {
+  NumericCsr csr;
+  csr.task_offsets = RowOffsets(by_task);
+  csr.worker_offsets = RowOffsets(by_worker);
+  const int num_answers = csr.task_offsets.back();
+  csr.task_workers.reserve(num_answers);
+  csr.task_values.reserve(num_answers);
+  for (const auto& row : by_task) {
+    for (const NumericTaskVote& vote : row) {
+      csr.task_workers.push_back(vote.worker);
+      csr.task_values.push_back(vote.value);
+    }
+  }
+  csr.worker_tasks.reserve(num_answers);
+  csr.worker_values.reserve(num_answers);
+  for (const auto& row : by_worker) {
+    for (const NumericWorkerVote& vote : row) {
+      csr.worker_tasks.push_back(vote.task);
+      csr.worker_values.push_back(vote.value);
+    }
+  }
+  csr.worker_to_task = CrossLinkWorkerToTask(
+      csr.task_offsets, csr.task_workers, csr.worker_offsets,
+      csr.worker_tasks);
+  return csr;
+}
+
 }  // namespace
 
 CategoricalDatasetBuilder::CategoricalDatasetBuilder(int num_tasks,
@@ -81,6 +186,7 @@ util::Status CategoricalDatasetBuilder::TryBuild(CategoricalDataset* out) && {
                     [](LabelId v) { return v != kNoTruth; }));
   dataset.by_task_ = std::move(by_task_);
   dataset.by_worker_ = std::move(by_worker_);
+  dataset.csr_ = BuildCsr(dataset.by_task_, dataset.by_worker_);
   dataset.truth_ = std::move(truth_);
   *out = std::move(dataset);
   return util::Status::Ok();
@@ -135,6 +241,7 @@ util::Status NumericDatasetBuilder::TryBuild(NumericDataset* out) && {
       std::count(has_truth_.begin(), has_truth_.end(), true));
   dataset.by_task_ = std::move(by_task_);
   dataset.by_worker_ = std::move(by_worker_);
+  dataset.csr_ = BuildCsr(dataset.by_task_, dataset.by_worker_);
   dataset.truth_ = std::move(truth_);
   dataset.has_truth_ = std::move(has_truth_);
   *out = std::move(dataset);

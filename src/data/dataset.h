@@ -14,6 +14,7 @@
 #ifndef CROWDTRUTH_DATA_DATASET_H_
 #define CROWDTRUTH_DATA_DATASET_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,51 @@ struct NumericWorkerVote {
   double value;
 };
 
+// Flat CSR (compressed sparse row) view over the answer adjacency, in SoA
+// form: one contiguous array per field instead of an array of small vote
+// structs behind a per-row pointer. The iterative kernels (core/em_loop.h
+// and everything built on it) stream these arrays in their inner loops —
+// the layout removes the per-row pointer chase of AnswersForTask /
+// AnswersByWorker and gives the autovectorizer unit-stride loads (see
+// docs/performance.md).
+//
+// Order contract: the answers of row r occupy [offsets[r], offsets[r + 1])
+// and appear in exactly the order the corresponding AnswersForTask /
+// AnswersByWorker list stores them. A kernel may therefore switch between
+// the list view and the CSR view without changing its floating-point
+// reduction order — the basis of the bit-identical-goldens policy.
+struct CategoricalCsr {
+  // Task-major: answers of task t at [task_offsets[t], task_offsets[t+1]).
+  std::vector<int32_t> task_offsets;  // num_tasks + 1
+  std::vector<int32_t> task_workers;  // |V|
+  std::vector<int32_t> task_labels;   // |V|
+  // Worker-major (transposed view): answers of worker w at
+  // [worker_offsets[w], worker_offsets[w+1]).
+  std::vector<int32_t> worker_offsets;  // num_workers + 1
+  std::vector<int32_t> worker_tasks;    // |V|
+  std::vector<int32_t> worker_labels;   // |V|
+  // Cross-link: worker_to_task[a] is the task-major position of the answer
+  // stored at worker-major position a. Lets a kernel compute a per-answer
+  // quantity once in one orientation and read it from the other (GLAD's
+  // per-answer sigmoids) without recomputing or re-deriving indices.
+  std::vector<int32_t> worker_to_task;  // |V|
+
+  int num_answers() const { return static_cast<int>(task_workers.size()); }
+};
+
+// Numeric twin of CategoricalCsr; values replace label ids.
+struct NumericCsr {
+  std::vector<int32_t> task_offsets;
+  std::vector<int32_t> task_workers;
+  std::vector<double> task_values;
+  std::vector<int32_t> worker_offsets;
+  std::vector<int32_t> worker_tasks;
+  std::vector<double> worker_values;
+  std::vector<int32_t> worker_to_task;
+
+  int num_answers() const { return static_cast<int>(task_workers.size()); }
+};
+
 // Immutable categorical dataset. Build with CategoricalDatasetBuilder.
 class CategoricalDataset {
  public:
@@ -69,6 +115,9 @@ class CategoricalDataset {
   const std::vector<WorkerVote>& AnswersByWorker(WorkerId worker) const {
     return by_worker_[worker];
   }
+
+  // Contiguous SoA view over the same answers; built once at Build() time.
+  const CategoricalCsr& csr() const { return csr_; }
 
   bool HasTruth(TaskId task) const { return truth_[task] != kNoTruth; }
   LabelId Truth(TaskId task) const { return truth_[task]; }
@@ -90,6 +139,7 @@ class CategoricalDataset {
   int num_labeled_ = 0;
   std::vector<std::vector<TaskVote>> by_task_;
   std::vector<std::vector<WorkerVote>> by_worker_;
+  CategoricalCsr csr_;
   std::vector<LabelId> truth_;
 };
 
@@ -143,6 +193,9 @@ class NumericDataset {
     return by_worker_[worker];
   }
 
+  // Contiguous SoA view over the same answers; built once at Build() time.
+  const NumericCsr& csr() const { return csr_; }
+
   bool HasTruth(TaskId task) const { return has_truth_[task]; }
   double Truth(TaskId task) const { return truth_[task]; }
   int num_labeled_tasks() const { return num_labeled_; }
@@ -161,6 +214,7 @@ class NumericDataset {
   int num_labeled_ = 0;
   std::vector<std::vector<NumericTaskVote>> by_task_;
   std::vector<std::vector<NumericWorkerVote>> by_worker_;
+  NumericCsr csr_;
   std::vector<double> truth_;
   std::vector<bool> has_truth_;
 };

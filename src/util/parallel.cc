@@ -8,23 +8,28 @@
 #include <thread>
 #include <vector>
 
+#include "util/sharded_counter.h"
+
 namespace crowdtruth::util {
 namespace {
 
 // Cumulative ParallelForSlotted accounting (see SlottedPoolStats). Fixed
 // slot capacity keeps the counters lock-free; DefaultThreads tops out far
-// below this on any machine we target.
+// below this on any machine we target. Each slot's counter lives on its
+// own cache line (ShardedCounter), so the one relaxed add a worker issues
+// per region never false-shares with its neighbours — with a packed
+// atomic array, eight workers' end-of-region adds would bounce the same
+// line even though each touches only its own slot.
 constexpr int kMaxTrackedSlots = 256;
 std::atomic<int64_t> g_regions{0};
 std::atomic<int64_t> g_tasks{0};
-std::atomic<int64_t> g_slot_tasks[kMaxTrackedSlots];
+ShardedCounter<kMaxTrackedSlots>& g_slot_tasks =
+    *new ShardedCounter<kMaxTrackedSlots>();
 
 inline void NoteSlotTasks(int slot, int64_t executed) {
   if (executed == 0) return;
   g_tasks.fetch_add(executed, std::memory_order_relaxed);
-  if (slot < kMaxTrackedSlots) {
-    g_slot_tasks[slot].fetch_add(executed, std::memory_order_relaxed);
-  }
+  g_slot_tasks.Add(slot, executed);
 }
 
 // Persistent worker pool behind ParallelForSlotted. Workers are created
@@ -152,15 +157,10 @@ SlottedPoolStats GetSlottedPoolStats() {
   SlottedPoolStats stats;
   stats.regions = g_regions.load(std::memory_order_relaxed);
   stats.tasks = g_tasks.load(std::memory_order_relaxed);
-  int top = kMaxTrackedSlots;
-  while (top > 0 &&
-         g_slot_tasks[top - 1].load(std::memory_order_relaxed) == 0) {
-    --top;
-  }
+  const int top = g_slot_tasks.HighWatermark();
   stats.per_slot_tasks.reserve(top);
   for (int slot = 0; slot < top; ++slot) {
-    stats.per_slot_tasks.push_back(
-        g_slot_tasks[slot].load(std::memory_order_relaxed));
+    stats.per_slot_tasks.push_back(g_slot_tasks.SlotValue(slot));
   }
   return stats;
 }

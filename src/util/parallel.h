@@ -40,7 +40,9 @@ void ParallelForSlotted(int count, int num_threads,
 // Cumulative process-lifetime accounting for ParallelForSlotted (both the
 // pooled and the inline single-thread path). Maintained with relaxed
 // atomics inside the pool — a handful of adds per region, nothing per
-// task — and read by the observability layer's collection hook
+// task; the per-slot counters are cache-line-sharded
+// (util/sharded_counter.h) so workers never false-share — and read by the
+// observability layer's collection hook
 // (obs::RegisterProcessCollectors), which derives the slot-imbalance gauge
 // from per_slot_tasks.
 struct SlottedPoolStats {

@@ -1,0 +1,80 @@
+// Cache-line-sharded atomic counters for hot multi-writer accounting.
+//
+// A plain std::atomic<int64_t>[N] packs eight counters per 64-byte cache
+// line, so concurrent writers on adjacent slots false-share even though
+// they never touch the same counter. ShardedCounter pads each slot to its
+// own cache line: a writer that owns a slot (e.g. one worker of the
+// ParallelForSlotted pool) increments without invalidating any other
+// writer's line. Reads (Total / SlotValue) walk all slots and are meant
+// for cold observation paths — scrape handlers, end-of-run stats — not
+// hot loops.
+//
+// All operations use relaxed ordering: the counters are statistics, not
+// synchronization. Totals observed concurrently with writers are
+// per-slot-atomic but not a point-in-time snapshot across slots.
+#ifndef CROWDTRUTH_UTIL_SHARDED_COUNTER_H_
+#define CROWDTRUTH_UTIL_SHARDED_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace crowdtruth::util {
+
+// Destructive-interference padding. std::hardware_destructive_interference
+// _size is still patchily supported (and warns under GCC's -Winterference
+// -size); 64 bytes covers x86-64 and the common AArch64 parts.
+inline constexpr int kCacheLineBytes = 64;
+
+template <int N>
+class ShardedCounter {
+  static_assert(N > 0, "ShardedCounter needs at least one slot");
+
+ public:
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  static constexpr int capacity() { return N; }
+
+  // Adds `delta` to `slot`'s counter. Out-of-range slots are ignored (the
+  // caller's slot space may legitimately exceed the tracked capacity; see
+  // kMaxTrackedSlots in parallel.cc).
+  void Add(int slot, int64_t delta) {
+    if (slot < 0 || slot >= N) return;
+    slots_[slot].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t SlotValue(int slot) const {
+    if (slot < 0 || slot >= N) return 0;
+    return slots_[slot].value.load(std::memory_order_relaxed);
+  }
+
+  int64_t Total() const {
+    int64_t total = 0;
+    for (int slot = 0; slot < N; ++slot) {
+      total += slots_[slot].value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Highest slot index that ever received a nonzero add, plus one; the
+  // natural size for a dense per-slot dump.
+  int HighWatermark() const {
+    int top = N;
+    while (top > 0 &&
+           slots_[top - 1].value.load(std::memory_order_relaxed) == 0) {
+      --top;
+    }
+    return top;
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) PaddedSlot {
+    std::atomic<int64_t> value{0};
+  };
+  PaddedSlot slots_[N];
+};
+
+}  // namespace crowdtruth::util
+
+#endif  // CROWDTRUTH_UTIL_SHARDED_COUNTER_H_

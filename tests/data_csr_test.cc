@@ -1,0 +1,259 @@
+// Tests for the CSR adjacency layout built by the dataset builders
+// (data/dataset.h): structural invariants, the order contract against the
+// list views, the worker_to_task cross-link, and method-level equivalence
+// — a dataset rebuilt purely from its CSR arrays must drive every
+// registered method to bit-identical results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "data/dataset.h"
+#include "test_util.h"
+
+namespace crowdtruth::data {
+namespace {
+
+// Every structural invariant of a categorical CSR against its dataset:
+// offset monotonicity, row contents equal to the list views element by
+// element, and the cross-link mapping worker-major positions onto their
+// task-major twins.
+void CheckCsrInvariants(const CategoricalDataset& dataset) {
+  const CategoricalCsr& csr = dataset.csr();
+  const int n = dataset.num_tasks();
+  const int num_workers = dataset.num_workers();
+
+  ASSERT_EQ(csr.task_offsets.size(), static_cast<size_t>(n) + 1);
+  ASSERT_EQ(csr.worker_offsets.size(), static_cast<size_t>(num_workers) + 1);
+  EXPECT_EQ(csr.task_offsets.front(), 0);
+  EXPECT_EQ(csr.worker_offsets.front(), 0);
+  EXPECT_EQ(csr.num_answers(), dataset.num_answers());
+  EXPECT_EQ(csr.task_offsets.back(), csr.num_answers());
+  EXPECT_EQ(csr.worker_offsets.back(), csr.num_answers());
+  ASSERT_EQ(csr.task_labels.size(), csr.task_workers.size());
+  ASSERT_EQ(csr.worker_tasks.size(), csr.task_workers.size());
+  ASSERT_EQ(csr.worker_labels.size(), csr.task_workers.size());
+  ASSERT_EQ(csr.worker_to_task.size(), csr.task_workers.size());
+
+  // Task-major rows match AnswersForTask in content AND order.
+  for (TaskId t = 0; t < n; ++t) {
+    ASSERT_LE(csr.task_offsets[t], csr.task_offsets[t + 1]);
+    const auto& votes = dataset.AnswersForTask(t);
+    ASSERT_EQ(csr.task_offsets[t + 1] - csr.task_offsets[t],
+              static_cast<int32_t>(votes.size()));
+    for (size_t i = 0; i < votes.size(); ++i) {
+      const int32_t a = csr.task_offsets[t] + static_cast<int32_t>(i);
+      EXPECT_EQ(csr.task_workers[a], votes[i].worker);
+      EXPECT_EQ(csr.task_labels[a], votes[i].label);
+    }
+  }
+
+  // Worker-major rows match AnswersByWorker, and the cross-link lands on
+  // a task-major entry with the same (task, worker, label).
+  for (WorkerId w = 0; w < num_workers; ++w) {
+    ASSERT_LE(csr.worker_offsets[w], csr.worker_offsets[w + 1]);
+    const auto& votes = dataset.AnswersByWorker(w);
+    ASSERT_EQ(csr.worker_offsets[w + 1] - csr.worker_offsets[w],
+              static_cast<int32_t>(votes.size()));
+    for (size_t i = 0; i < votes.size(); ++i) {
+      const int32_t a = csr.worker_offsets[w] + static_cast<int32_t>(i);
+      EXPECT_EQ(csr.worker_tasks[a], votes[i].task);
+      EXPECT_EQ(csr.worker_labels[a], votes[i].label);
+      const int32_t p = csr.worker_to_task[a];
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, csr.num_answers());
+      EXPECT_EQ(csr.task_workers[p], w);
+      EXPECT_EQ(csr.task_labels[p], votes[i].label);
+      // p must sit inside the row of the task this answer belongs to.
+      EXPECT_GE(p, csr.task_offsets[votes[i].task]);
+      EXPECT_LT(p, csr.task_offsets[votes[i].task + 1]);
+    }
+  }
+}
+
+void CheckCsrInvariants(const NumericDataset& dataset) {
+  const NumericCsr& csr = dataset.csr();
+  const int n = dataset.num_tasks();
+  const int num_workers = dataset.num_workers();
+  ASSERT_EQ(csr.task_offsets.size(), static_cast<size_t>(n) + 1);
+  ASSERT_EQ(csr.worker_offsets.size(), static_cast<size_t>(num_workers) + 1);
+  EXPECT_EQ(csr.num_answers(), dataset.num_answers());
+  for (TaskId t = 0; t < n; ++t) {
+    const auto& votes = dataset.AnswersForTask(t);
+    ASSERT_EQ(csr.task_offsets[t + 1] - csr.task_offsets[t],
+              static_cast<int32_t>(votes.size()));
+    for (size_t i = 0; i < votes.size(); ++i) {
+      const int32_t a = csr.task_offsets[t] + static_cast<int32_t>(i);
+      EXPECT_EQ(csr.task_workers[a], votes[i].worker);
+      EXPECT_EQ(csr.task_values[a], votes[i].value);  // Bitwise.
+    }
+  }
+  for (WorkerId w = 0; w < num_workers; ++w) {
+    const auto& votes = dataset.AnswersByWorker(w);
+    ASSERT_EQ(csr.worker_offsets[w + 1] - csr.worker_offsets[w],
+              static_cast<int32_t>(votes.size()));
+    for (size_t i = 0; i < votes.size(); ++i) {
+      const int32_t a = csr.worker_offsets[w] + static_cast<int32_t>(i);
+      EXPECT_EQ(csr.worker_tasks[a], votes[i].task);
+      EXPECT_EQ(csr.worker_values[a], votes[i].value);
+      const int32_t p = csr.worker_to_task[a];
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, csr.num_answers());
+      EXPECT_EQ(csr.task_workers[p], w);
+      EXPECT_EQ(csr.task_values[p], votes[i].value);
+    }
+  }
+}
+
+TEST(CsrTest, EmptyDataset) {
+  CategoricalDatasetBuilder builder(0, 0, 2);
+  const CategoricalDataset dataset = std::move(builder).Build();
+  const CategoricalCsr& csr = dataset.csr();
+  ASSERT_EQ(csr.task_offsets.size(), 1u);
+  ASSERT_EQ(csr.worker_offsets.size(), 1u);
+  EXPECT_EQ(csr.task_offsets[0], 0);
+  EXPECT_EQ(csr.worker_offsets[0], 0);
+  EXPECT_EQ(csr.num_answers(), 0);
+  EXPECT_TRUE(csr.task_workers.empty());
+  EXPECT_TRUE(csr.worker_to_task.empty());
+  CheckCsrInvariants(dataset);
+}
+
+TEST(CsrTest, TasksAndWorkersWithoutAnswers) {
+  // Tasks/workers with no answers must get empty rows, not be skipped.
+  CategoricalDatasetBuilder builder(4, 3, 2);
+  builder.AddAnswer(1, 2, 0);
+  const CategoricalDataset dataset = std::move(builder).Build();
+  const CategoricalCsr& csr = dataset.csr();
+  EXPECT_EQ(csr.task_offsets, (std::vector<int32_t>{0, 0, 1, 1, 1}));
+  EXPECT_EQ(csr.worker_offsets, (std::vector<int32_t>{0, 0, 0, 1}));
+  EXPECT_EQ(csr.worker_to_task, (std::vector<int32_t>{0}));
+  CheckCsrInvariants(dataset);
+}
+
+TEST(CsrTest, SingleTaskSingleWorker) {
+  CategoricalDatasetBuilder builder(1, 1, 3);
+  builder.AddAnswer(0, 0, 2);
+  const CategoricalDataset dataset = std::move(builder).Build();
+  const CategoricalCsr& csr = dataset.csr();
+  EXPECT_EQ(csr.task_offsets, (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(csr.task_workers, (std::vector<int32_t>{0}));
+  EXPECT_EQ(csr.task_labels, (std::vector<int32_t>{2}));
+  EXPECT_EQ(csr.worker_tasks, (std::vector<int32_t>{0}));
+  EXPECT_EQ(csr.worker_to_task, (std::vector<int32_t>{0}));
+  CheckCsrInvariants(dataset);
+}
+
+TEST(CsrTest, MatchesAdjacencyListsOnTable2) {
+  CheckCsrInvariants(testing::Table2Dataset());
+}
+
+TEST(CsrTest, MatchesAdjacencyListsOnPlantedDataset) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 150;
+  spec.num_workers = 25;
+  spec.num_choices = 4;
+  spec.redundancy = 7;
+  CheckCsrInvariants(testing::PlantedDataset(spec, /*seed=*/17));
+}
+
+TEST(CsrTest, NumericMatchesAdjacencyLists) {
+  CheckCsrInvariants(
+      testing::PlantedNumericDataset(60, 12, 5, {2.0}, /*seed=*/5));
+}
+
+TEST(CsrTest, DuplicateAnswersRejectedBeforeCsrBuild) {
+  // The cross-link builder relies on (task, worker) pairs being unique;
+  // validation must reject duplicates before any CSR is built.
+  CategoricalDatasetBuilder builder(2, 2, 2);
+  builder.AddAnswer(0, 0, 0);
+  builder.AddAnswer(0, 0, 1);
+  CategoricalDataset dataset;
+  EXPECT_FALSE(std::move(builder).TryBuild(&dataset).ok());
+}
+
+// Rebuilds a dataset purely from its CSR arrays. If the CSR view is a
+// faithful, order-preserving copy of the adjacency lists, the rebuilt
+// dataset is indistinguishable from the original — including to methods.
+CategoricalDataset RebuildFromCsr(const CategoricalDataset& dataset) {
+  const CategoricalCsr& csr = dataset.csr();
+  CategoricalDatasetBuilder builder(dataset.num_tasks(), dataset.num_workers(),
+                                    dataset.num_choices());
+  for (TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    for (int32_t a = csr.task_offsets[t]; a < csr.task_offsets[t + 1]; ++a) {
+      builder.AddAnswer(t, csr.task_workers[a], csr.task_labels[a]);
+    }
+    if (dataset.HasTruth(t)) builder.SetTruth(t, dataset.Truth(t));
+  }
+  return std::move(builder).Build();
+}
+
+NumericDataset RebuildFromCsr(const NumericDataset& dataset) {
+  const NumericCsr& csr = dataset.csr();
+  NumericDatasetBuilder builder(dataset.num_tasks(), dataset.num_workers());
+  for (TaskId t = 0; t < dataset.num_tasks(); ++t) {
+    for (int32_t a = csr.task_offsets[t]; a < csr.task_offsets[t + 1]; ++a) {
+      builder.AddAnswer(t, csr.task_workers[a], csr.task_values[a]);
+    }
+    if (dataset.HasTruth(t)) builder.SetTruth(t, dataset.Truth(t));
+  }
+  return std::move(builder).Build();
+}
+
+TEST(CsrEquivalenceTest, AllCategoricalMethodsMatchOnRebuiltDataset) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 60;
+  spec.num_workers = 15;
+  spec.num_choices = 2;  // KOS is binary-only.
+  spec.redundancy = 5;
+  const CategoricalDataset original = testing::PlantedDataset(spec, 23);
+  const CategoricalDataset rebuilt = RebuildFromCsr(original);
+
+  core::InferenceOptions options;
+  options.num_threads = 2;
+
+  std::set<std::string> names;
+  for (const std::string& name : core::DecisionMakingMethodNames()) {
+    names.insert(name);
+  }
+  for (const std::string& name : core::SingleChoiceMethodNames()) {
+    names.insert(name);
+  }
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    const auto method = core::MakeCategoricalMethod(name);
+    const core::CategoricalResult a = method->Infer(original, options);
+    const core::CategoricalResult b = method->Infer(rebuilt, options);
+    EXPECT_EQ(a.labels, b.labels);
+    ASSERT_EQ(a.posterior.size(), b.posterior.size());
+    for (size_t t = 0; t < a.posterior.size(); ++t) {
+      ASSERT_EQ(a.posterior[t], b.posterior[t]);  // Bitwise per element.
+    }
+    EXPECT_EQ(a.worker_quality, b.worker_quality);
+  }
+}
+
+TEST(CsrEquivalenceTest, AllNumericMethodsMatchOnRebuiltDataset) {
+  const NumericDataset original =
+      testing::PlantedNumericDataset(50, 10, 4, {1.5}, 31);
+  const NumericDataset rebuilt = RebuildFromCsr(original);
+
+  core::InferenceOptions options;
+  options.num_threads = 2;
+
+  for (const std::string& name : core::NumericMethodNames()) {
+    SCOPED_TRACE(name);
+    const auto method = core::MakeNumericMethod(name);
+    const core::NumericResult a = method->Infer(original, options);
+    const core::NumericResult b = method->Infer(rebuilt, options);
+    EXPECT_EQ(a.values, b.values);  // Bitwise.
+    EXPECT_EQ(a.worker_quality, b.worker_quality);
+  }
+}
+
+}  // namespace
+}  // namespace crowdtruth::data

@@ -3,6 +3,7 @@
 // and the delta_needed contract of the measure callback.
 #include "core/em_loop.h"
 
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
@@ -10,6 +11,7 @@
 
 #include "core/inference.h"
 #include "core/trace.h"
+#include "util/parallel.h"
 
 namespace crowdtruth::core {
 namespace {
@@ -205,7 +207,10 @@ TEST(EmDriverTest, FromOptionsCopiesAlgorithmControls) {
   const EmDriver driver = EmDriver::FromOptions(options);
   EXPECT_EQ(driver.max_iterations, 42);
   EXPECT_DOUBLE_EQ(driver.tolerance, 0.5);
-  EXPECT_EQ(driver.num_threads, 3);
+  // Explicit requests are honored up to the hardware width — oversubscribing
+  // a CPU-bound shard loop only adds scheduler thrash, and results are
+  // bit-identical at any width, so the clamp is unobservable in outputs.
+  EXPECT_EQ(driver.num_threads, std::min(3, util::DefaultThreads()));
   EXPECT_EQ(driver.trace, &sink);
   EXPECT_EQ(driver.convergence, EmConvergence::kDeltaBelowTolerance);
   EXPECT_EQ(driver.min_iterations, 1);
@@ -217,6 +222,13 @@ TEST(EmDriverTest, FromOptionsResolvesAutoThreads) {
   options.num_threads = 0;  // Auto: DefaultThreads().
   const EmDriver driver = EmDriver::FromOptions(options);
   EXPECT_GE(driver.num_threads, 1);
+}
+
+TEST(EmDriverTest, FromOptionsClampsToHardwareWidth) {
+  InferenceOptions options;
+  options.num_threads = 1 << 20;  // Absurd request: capped, not honored.
+  const EmDriver driver = EmDriver::FromOptions(options);
+  EXPECT_EQ(driver.num_threads, util::DefaultThreads());
 }
 
 }  // namespace

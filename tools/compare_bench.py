@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Diff two bench_micro_methods --json_out files, one speedup row per bench.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--fail-below RATIO]
+                        [--only SUBSTRING ...]
+
+Both inputs are google-benchmark native JSON (what --json_out writes).
+Rows are matched by benchmark name; the speedup column is
+baseline real_time / current real_time, so >1.00x means the current run
+is faster. Benchmarks present in only one file are listed as `new` /
+`removed` rather than dropped, so a renamed bench can't silently vanish
+from the comparison.
+
+By default the tool is report-only and always exits 0 — that is the mode
+CI runs it in, because shared runners are too noisy for a hard latency
+gate (see docs/performance.md for the methodology and the baseline
+refresh procedure). Passing --fail-below RATIO turns on a local gate:
+exit 1 if any matched benchmark's speedup falls below RATIO.
+
+If either file carries the machine_shape stamp in its context header and
+the shapes differ (cores / compiler / flags), a warning is printed:
+cross-shape ratios measure the machines, not the code.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    runs = {}
+    for run in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev of --benchmark_repetitions)
+        # would collide with the iteration rows under the same name.
+        if run.get("run_type") == "aggregate":
+            continue
+        name = run.get("name")
+        time = run.get("real_time")
+        if name is not None and time is not None:
+            runs[name] = float(time)
+    return doc, runs
+
+
+def machine_shape(doc):
+    return doc.get("context", {}).get("machine_shape")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Per-benchmark speedup report between two bench JSONs.")
+    parser.add_argument("baseline", help="google-benchmark JSON (old run)")
+    parser.add_argument("current", help="google-benchmark JSON (new run)")
+    parser.add_argument(
+        "--fail-below", type=float, default=None, metavar="RATIO",
+        help="exit 1 if any matched benchmark's speedup is below RATIO "
+             "(default: report-only, always exit 0)")
+    parser.add_argument(
+        "--only", action="append", default=[], metavar="SUBSTRING",
+        help="restrict the report to benchmarks whose name contains "
+             "SUBSTRING (repeatable)")
+    args = parser.parse_args()
+
+    baseline_doc, baseline_runs = load_runs(args.baseline)
+    current_doc, current_runs = load_runs(args.current)
+
+    old_shape = machine_shape(baseline_doc)
+    new_shape = machine_shape(current_doc)
+    if old_shape is not None and new_shape is not None and \
+            old_shape != new_shape:
+        print("WARNING: machine shapes differ; ratios compare machines, "
+              "not code.", file=sys.stderr)
+        print(f"  baseline: {old_shape}", file=sys.stderr)
+        print(f"  current:  {new_shape}", file=sys.stderr)
+
+    def selected(name):
+        return not args.only or any(token in name for token in args.only)
+
+    names = sorted(set(baseline_runs) | set(current_runs))
+    print(f"{'benchmark':<44} {'baseline_ms':>12} {'current_ms':>12} "
+          f"{'speedup':>9}")
+    worst = None
+    for name in names:
+        if not selected(name):
+            continue
+        old = baseline_runs.get(name)
+        new = current_runs.get(name)
+        if old is None:
+            print(f"{name:<44} {'-':>12} {new:>12.3f} {'new':>9}")
+            continue
+        if new is None:
+            print(f"{name:<44} {old:>12.3f} {'-':>12} {'removed':>9}")
+            continue
+        speedup = old / new if new > 0 else float("inf")
+        print(f"{name:<44} {old:>12.3f} {new:>12.3f} {speedup:>8.2f}x")
+        if worst is None or speedup < worst[1]:
+            worst = (name, speedup)
+
+    if worst is not None:
+        print(f"\nworst matched speedup: {worst[1]:.2f}x ({worst[0]})")
+        if args.fail_below is not None and worst[1] < args.fail_below:
+            print(f"FAIL: below --fail-below {args.fail_below:.2f}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
