@@ -139,6 +139,7 @@ void MetricsHttpServer::HandleReadable(Connection* connection) {
   char buffer[4096];
   while (true) {
     const ssize_t got = read(connection->fd, buffer, sizeof(buffer));
+    if (got < 0 && errno == EINTR) continue;
     if (got > 0) {
       connection->request.append(buffer, static_cast<size_t>(got));
       if (connection->request.size() > kMaxRequestBytes) {
@@ -175,6 +176,7 @@ bool MetricsHttpServer::FlushWrites(Connection* connection) {
       connection->response.erase(0, static_cast<size_t>(wrote));
       continue;
     }
+    if (wrote < 0 && errno == EINTR) continue;
     if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
     break;  // error: give up on the connection
   }
@@ -193,14 +195,23 @@ int MetricsHttpServer::Poll(int timeout_ms) {
     if (!connection.response.empty()) events |= POLLOUT;
     fds.push_back({connection.fd, events, 0});
   }
-  const int ready = poll(fds.data(), fds.size(), timeout_ms);
+  // A signal (SIGCHLD from a harness, a profiler tick) interrupting the
+  // wait is not "no activity": retry so callers never lose a poll cycle
+  // to EINTR.
+  int ready;
+  do {
+    ready = poll(fds.data(), fds.size(), timeout_ms);
+  } while (ready < 0 && errno == EINTR);
   if (ready <= 0) return 0;
 
   int served = 0;
   if ((fds[0].revents & POLLIN) != 0) {
     while (true) {
       const int client = accept(listen_fd_, nullptr, nullptr);
-      if (client < 0) break;
+      if (client < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
       if (!SetNonBlocking(client)) {
         close(client);
         continue;

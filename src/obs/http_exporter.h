@@ -47,7 +47,8 @@ class MetricsHttpServer {
   // Accepts pending connections and answers complete requests, waiting at
   // most `timeout_ms` for activity (0 = pure poll, never blocks). Returns
   // the number of requests answered. Safe to call when not started
-  // (returns 0).
+  // (returns 0). Signal-interrupted syscalls (EINTR) are retried, never
+  // reported as inactivity or connection errors.
   int Poll(int timeout_ms = 0);
 
   // Closes the listener and any in-flight connections.

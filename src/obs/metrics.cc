@@ -160,10 +160,70 @@ Family<T>& MetricRegistry::AddFamily(const std::string& name,
   family->name_ = name;
   family->help_ = help;
   family->label_names_ = labels;
+  family->registry_ = this;
   if (buckets != nullptr) family->buckets_ = *buckets;
   Family<T>& ref = *family;
   families_.push_back(std::move(family));
   return ref;
+}
+
+template <typename T>
+Family<T>* MetricRegistry::FindFamily(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& family : families_) {
+    if (family->name() == name) {
+      return dynamic_cast<Family<T>*>(family.get());
+    }
+  }
+  return nullptr;
+}
+
+Family<Counter>* MetricRegistry::FindCounterFamily(const std::string& name) {
+  return FindFamily<Counter>(name);
+}
+
+Family<Gauge>* MetricRegistry::FindGaugeFamily(const std::string& name) {
+  return FindFamily<Gauge>(name);
+}
+
+Family<Histogram>* MetricRegistry::FindHistogramFamily(
+    const std::string& name) {
+  return FindFamily<Histogram>(name);
+}
+
+void MetricRegistry::SetLabelCardinalityCap(const std::string& name, int cap,
+                                            const std::string& overflow_value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (cap <= 0) {
+    label_caps_.erase(name);
+    return;
+  }
+  LabelCap& entry = label_caps_[name];
+  entry.cap = cap;
+  entry.overflow_value = overflow_value;
+}
+
+std::string MetricRegistry::InternLabelValue(const std::string& name,
+                                             const std::string& value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = label_caps_.find(name);
+  if (it == label_caps_.end()) return value;
+  LabelCap& cap = it->second;
+  if (value == cap.overflow_value) return value;
+  if (cap.values.count(value) > 0) return value;
+  if (static_cast<int>(cap.values.size()) < cap.cap) {
+    cap.values.insert(value);
+    return value;
+  }
+  return cap.overflow_value;
+}
+
+int MetricRegistry::LabelCardinality(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = label_caps_.find(name);
+  return it == label_caps_.end()
+             ? 0
+             : static_cast<int>(it->second.values.size());
 }
 
 Counter& MetricRegistry::AddCounter(const std::string& name,

@@ -40,9 +40,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -167,6 +169,9 @@ class FamilyBase {
   std::string name_;
   std::string help_;
   std::vector<std::string> label_names_;
+  // The owning registry, for label-value interning in WithLabels. Never
+  // null for families created through MetricRegistry::Add*Family.
+  MetricRegistry* registry_ = nullptr;
 };
 
 template <typename T>
@@ -174,14 +179,10 @@ class Family : public FamilyBase {
  public:
   // Returns the child for `values` (sized like label_names), creating it on
   // first use. Takes the family mutex — cache the reference on hot paths.
-  T& WithLabels(const std::vector<std::string>& values) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& entry : children_) {
-      if (entry.labels == values) return *entry.child;
-    }
-    children_.push_back({values, MakeChild()});
-    return *children_.back().child;
-  }
+  // Label values pass through the owning registry's interner first, so a
+  // label name with a cardinality cap collapses overflow values into the
+  // cap's overflow child (defined after MetricRegistry below).
+  T& WithLabels(const std::vector<std::string>& values);
 
   const char* kind() const override;
 
@@ -233,6 +234,35 @@ class MetricRegistry {
       const std::vector<std::string>& labels,
       const HistogramBuckets& buckets);
 
+  // Lookup by family name for consumers that read metrics back out of the
+  // registry (the server's adaptive controller). Returns nullptr when the
+  // name is unregistered or registered as a different kind.
+  Family<Counter>* FindCounterFamily(const std::string& name);
+  Family<Gauge>* FindGaugeFamily(const std::string& name);
+  Family<Histogram>* FindHistogramFamily(const std::string& name);
+
+  // --- Label interning with a cardinality cap ---
+  //
+  // Per-tenant series turn an unbounded id space (tenant names arrive from
+  // the network) into an unbounded number of children unless the registry
+  // bounds them. SetLabelCardinalityCap declares that the label `name` may
+  // take at most `cap` distinct values; every WithLabels call routes its
+  // values through InternLabelValue, so once the cap is reached further
+  // distinct values collapse into the shared `overflow_value` child
+  // ("other") instead of materializing new series. Values seen before the
+  // cap was hit keep their own series forever. cap <= 0 removes the cap.
+  void SetLabelCardinalityCap(const std::string& name, int cap,
+                              const std::string& overflow_value = "other");
+
+  // The canonical value for one label: `value` itself while the label is
+  // uncapped or under its cap, the cap's overflow value afterwards. The
+  // overflow value itself always passes through.
+  std::string InternLabelValue(const std::string& name,
+                               const std::string& value);
+
+  // Distinct values currently interned for a capped label (0 if uncapped).
+  int LabelCardinality(const std::string& name);
+
   // Hooks run (in registration order) at the start of every exposition —
   // the pull-model refresh point for gauges mirroring external state
   // (resource usage, pool stats).
@@ -253,11 +283,37 @@ class MetricRegistry {
   Family<T>& AddFamily(const std::string& name, const std::string& help,
                        const std::vector<std::string>& labels,
                        const HistogramBuckets* buckets);
+  template <typename T>
+  Family<T>* FindFamily(const std::string& name);
+
+  struct LabelCap {
+    int cap = 0;
+    std::string overflow_value;
+    std::set<std::string> values;  // distinct values admitted so far
+  };
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<FamilyBase>> families_;  // registration order
   std::vector<std::function<void()>> hooks_;
+  std::map<std::string, LabelCap> label_caps_;  // keyed by label name
 };
+
+template <typename T>
+T& Family<T>::WithLabels(const std::vector<std::string>& values) {
+  std::vector<std::string> canonical = values;
+  if (registry_ != nullptr) {
+    for (size_t i = 0; i < label_names_.size() && i < canonical.size(); ++i) {
+      canonical[i] =
+          registry_->InternLabelValue(label_names_[i], canonical[i]);
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : children_) {
+    if (entry.labels == canonical) return *entry.child;
+  }
+  children_.push_back({std::move(canonical), MakeChild()});
+  return *children_.back().child;
+}
 
 // The registry the instrumented layers report to; nullptr (the default)
 // disables collection everywhere. The registry is not owned and must

@@ -1,0 +1,218 @@
+#include "server/event_loop.h"
+
+#include <sys/epoll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace crowdtruth::server {
+
+TimerWheel::TimerWheel(int64_t tick_ms, int num_slots)
+    : tick_ms_(tick_ms), slots_(static_cast<size_t>(num_slots)) {
+  CROWDTRUTH_CHECK(tick_ms > 0 && num_slots > 1);
+}
+
+int64_t TimerWheel::TickFor(int64_t at_ms) const {
+  // Round up: a deadline mid-tick belongs to the tick that ends after it.
+  return (at_ms + tick_ms_ - 1) / tick_ms_;
+}
+
+void TimerWheel::Insert(Entry entry) {
+  const size_t slot = static_cast<size_t>(
+      entry.deadline_tick % static_cast<int64_t>(slots_.size()));
+  slots_[slot].push_back(std::move(entry));
+  ++pending_;
+}
+
+uint64_t TimerWheel::Add(int64_t now_ms, int64_t delay_ms, int64_t period_ms,
+                         std::function<void()> callback) {
+  if (!anchored_) {
+    current_tick_ = now_ms / tick_ms_;
+    anchored_ = true;
+  }
+  Entry entry;
+  entry.id = next_id_++;
+  entry.deadline_tick =
+      std::max(TickFor(now_ms + std::max<int64_t>(delay_ms, 0)),
+               current_tick_ + 1);
+  entry.period_ticks = period_ms > 0 ? std::max<int64_t>(1, period_ms / tick_ms_)
+                                     : 0;
+  entry.callback = std::move(callback);
+  const uint64_t id = entry.id;
+  Insert(std::move(entry));
+  return id;
+}
+
+bool TimerWheel::Cancel(uint64_t id) {
+  for (auto& slot : slots_) {
+    for (auto it = slot.begin(); it != slot.end(); ++it) {
+      if (it->id == id) {
+        slot.erase(it);
+        --pending_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void TimerWheel::Advance(int64_t now_ms) {
+  if (!anchored_) {
+    current_tick_ = now_ms / tick_ms_;
+    anchored_ = true;
+    return;
+  }
+  const int64_t target_tick = now_ms / tick_ms_;
+  while (current_tick_ < target_tick) {
+    ++current_tick_;
+    auto& slot =
+        slots_[static_cast<size_t>(current_tick_ %
+                                   static_cast<int64_t>(slots_.size()))];
+    // Entries due this revolution fire; later revolutions stay. Fired
+    // callbacks may Add()/Cancel() timers, so collect first, then run.
+    std::vector<Entry> due;
+    for (auto it = slot.begin(); it != slot.end();) {
+      if (it->deadline_tick <= current_tick_) {
+        due.push_back(std::move(*it));
+        it = slot.erase(it);
+        --pending_;
+      } else {
+        ++it;
+      }
+    }
+    for (Entry& entry : due) {
+      entry.callback();
+      if (entry.period_ticks > 0) {
+        entry.deadline_tick = current_tick_ + entry.period_ticks;
+        Insert(std::move(entry));
+      }
+    }
+  }
+}
+
+int64_t TimerWheel::MsUntilNext(int64_t now_ms) const {
+  int64_t best_tick = -1;
+  for (const auto& slot : slots_) {
+    for (const Entry& entry : slot) {
+      if (best_tick < 0 || entry.deadline_tick < best_tick) {
+        best_tick = entry.deadline_tick;
+      }
+    }
+  }
+  if (best_tick < 0) return -1;
+  return std::max<int64_t>(0, best_tick * tick_ms_ - now_ms);
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+util::Status EventLoop::Init() {
+  if (epoll_fd_ >= 0) {
+    return util::Status::InvalidArgument("event loop already initialized");
+  }
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return util::Status::IoError(std::string("epoll_create1: ") +
+                                 std::strerror(errno));
+  }
+  return util::Status::Ok();
+}
+
+util::Status EventLoop::Add(int fd, uint32_t events, IoCallback callback) {
+  CROWDTRUTH_CHECK(epoll_fd_ >= 0);
+  const uint64_t generation = next_generation_++;
+  epoll_event event{};
+  event.events = events;
+  event.data.u64 = (generation << 32) | static_cast<uint32_t>(fd);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    return util::Status::IoError(std::string("epoll_ctl(ADD): ") +
+                                 std::strerror(errno));
+  }
+  handlers_[fd] = Handler{generation, std::move(callback)};
+  return util::Status::Ok();
+}
+
+util::Status EventLoop::Modify(int fd, uint32_t events) {
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) {
+    return util::Status::InvalidArgument("fd not registered");
+  }
+  epoll_event event{};
+  event.events = events;
+  event.data.u64 =
+      (it->second.generation << 32) | static_cast<uint32_t>(fd);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    return util::Status::IoError(std::string("epoll_ctl(MOD): ") +
+                                 std::strerror(errno));
+  }
+  return util::Status::Ok();
+}
+
+void EventLoop::Remove(int fd) {
+  if (handlers_.erase(fd) > 0 && epoll_fd_ >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+uint64_t EventLoop::AddTimer(int64_t delay_ms, int64_t period_ms,
+                             std::function<void()> callback) {
+  return wheel_.Add(NowMs(), delay_ms, period_ms, std::move(callback));
+}
+
+void EventLoop::CancelTimer(uint64_t id) { wheel_.Cancel(id); }
+
+int64_t EventLoop::NowMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+int EventLoop::RunOnce(int max_wait_ms) {
+  CROWDTRUTH_CHECK(epoll_fd_ >= 0);
+  int64_t wait = max_wait_ms;
+  const int64_t until_timer = wheel_.MsUntilNext(NowMs());
+  if (until_timer >= 0) wait = std::min<int64_t>(wait, until_timer);
+  wait = std::max<int64_t>(wait, 0);
+
+  epoll_event events[64];
+  const int ready = epoll_wait(epoll_fd_, events, 64,
+                               static_cast<int>(wait));
+  int dispatched = 0;
+  if (ready > 0) {
+    for (int i = 0; i < ready; ++i) {
+      const int fd = static_cast<int>(events[i].data.u64 & 0xffffffffu);
+      const uint64_t generation = events[i].data.u64 >> 32;
+      const auto it = handlers_.find(fd);
+      // The fd may have been removed (and its number recycled) by an
+      // earlier callback in this very batch; the generation stamp makes
+      // that case detectable instead of silently misdelivered.
+      if (it == handlers_.end() || it->second.generation != generation) {
+        continue;
+      }
+      // Copy: the callback may Remove(fd) and invalidate the map entry.
+      const IoCallback callback = it->second.callback;
+      callback(events[i].events);
+      ++dispatched;
+    }
+  }
+  // ready < 0 is EINTR (or a transient error): fall through so the caller
+  // re-checks its stop flag; timers still advance.
+  wheel_.Advance(NowMs());
+  return dispatched;
+}
+
+void EventLoop::Run() {
+  stop_.store(false, std::memory_order_release);
+  while (!stop_requested()) {
+    RunOnce(100);
+  }
+}
+
+}  // namespace crowdtruth::server

@@ -1,0 +1,134 @@
+// Epoll event loop for the serving plane.
+//
+// One thread owns the loop; every registered callback runs on it, so the
+// tenants' StreamEngines need no locking — exactly the property that keeps
+// streamed inference deterministic (same ingestion order in, same
+// estimates out). The loop multiplexes:
+//
+//   * I/O readiness — non-blocking fds registered with Add()/Modify(),
+//     dispatched by fd with a generation stamp so a callback that closes
+//     one connection and accepts another on the recycled fd number never
+//     receives the stale event;
+//   * timers — a classic timer wheel (fixed tick, slotted by deadline,
+//     rounds counter for deadlines beyond one revolution) driving the
+//     adaptive controller's periodic tick and any delayed work;
+//   * shutdown — RequestStop() is one atomic store, safe from a signal
+//     handler; the loop re-checks it every wakeup and epoll_wait's EINTR
+//     (the signal itself) forces that wakeup immediately.
+#ifndef CROWDTRUTH_SERVER_EVENT_LOOP_H_
+#define CROWDTRUTH_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crowdtruth::server {
+
+// Fixed-tick hashed timer wheel. All times are caller-supplied monotonic
+// milliseconds (EventLoop::NowMs); the wheel never reads a clock, which
+// keeps it deterministic under test.
+class TimerWheel {
+ public:
+  explicit TimerWheel(int64_t tick_ms = 10, int num_slots = 256);
+
+  // Schedules `callback` to fire `delay_ms` after `now_ms`; a positive
+  // `period_ms` reschedules it every period after that. Returns an id for
+  // Cancel. Delays round up to the next tick (a 0ms delay fires on the
+  // next Advance).
+  uint64_t Add(int64_t now_ms, int64_t delay_ms, int64_t period_ms,
+               std::function<void()> callback);
+  // Cancels a pending timer; false when the id is unknown (already fired
+  // one-shot, or never existed). Safe to call from inside a callback.
+  bool Cancel(uint64_t id);
+
+  // Fires everything due at or before `now_ms`, in tick order.
+  void Advance(int64_t now_ms);
+  // Milliseconds from `now_ms` until the earliest pending deadline
+  // (clamped to >= 0), or -1 when no timer is pending.
+  int64_t MsUntilNext(int64_t now_ms) const;
+
+  size_t pending() const { return pending_; }
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    int64_t deadline_tick = 0;
+    int64_t period_ticks = 0;  // 0 = one-shot
+    std::function<void()> callback;
+  };
+
+  int64_t TickFor(int64_t at_ms) const;
+  void Insert(Entry entry);
+
+  int64_t tick_ms_;
+  std::vector<std::vector<Entry>> slots_;
+  int64_t current_tick_ = 0;   // last fully processed tick
+  bool anchored_ = false;      // current_tick_ initialized from a clock yet?
+  uint64_t next_id_ = 1;
+  size_t pending_ = 0;
+};
+
+// The epoll loop. Not thread-safe except where noted: construct, register
+// and run on one thread. RequestStop() alone may be called from other
+// threads and from signal handlers.
+class EventLoop {
+ public:
+  using IoCallback = std::function<void(uint32_t epoll_events)>;
+
+  EventLoop() = default;
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  util::Status Init();
+  bool initialized() const { return epoll_fd_ >= 0; }
+
+  // Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...). The loop does not
+  // own the fd; Remove() before closing it.
+  util::Status Add(int fd, uint32_t events, IoCallback callback);
+  util::Status Modify(int fd, uint32_t events);
+  void Remove(int fd);
+
+  uint64_t AddTimer(int64_t delay_ms, int64_t period_ms,
+                    std::function<void()> callback);
+  void CancelTimer(uint64_t id);
+
+  // One wait-and-dispatch cycle: waits at most `max_wait_ms` (bounded
+  // further by the next timer deadline), dispatches ready I/O, then fires
+  // due timers. EINTR returns immediately (so Run can re-check the stop
+  // flag). Returns the number of I/O events dispatched.
+  int RunOnce(int max_wait_ms = 100);
+
+  // RunOnce until RequestStop(). Clears the stop flag on entry so a loop
+  // can be re-run after a previous stop.
+  void Run();
+
+  // Async-signal-safe stop request: a single atomic store.
+  void RequestStop() { stop_.store(true, std::memory_order_release); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  // Monotonic milliseconds (CLOCK_MONOTONIC).
+  static int64_t NowMs();
+
+ private:
+  struct Handler {
+    uint64_t generation = 0;
+    IoCallback callback;
+  };
+
+  int epoll_fd_ = -1;
+  std::unordered_map<int, Handler> handlers_;
+  uint64_t next_generation_ = 1;
+  TimerWheel wheel_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace crowdtruth::server
+
+#endif  // CROWDTRUTH_SERVER_EVENT_LOOP_H_

@@ -1,0 +1,242 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace crowdtruth::server {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+
+std::string ToLower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// %xx and '+' decoding for query components.
+std::string UrlDecode(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      out += ' ';
+    } else if (text[i] == '%' && i + 2 < text.size() &&
+               HexDigit(text[i + 1]) >= 0 && HexDigit(text[i + 2]) >= 0) {
+      out += static_cast<char>(HexDigit(text[i + 1]) * 16 +
+                               HexDigit(text[i + 2]));
+      i += 2;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+void ParseQuery(const std::string& text,
+                std::map<std::string, std::string>* query) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('&', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string pair = text.substr(start, end - start);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        (*query)[UrlDecode(pair)] = "";
+      } else {
+        (*query)[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+      }
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpStatusReason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpResponse JsonErrorResponse(int status, const std::string& code,
+                               const std::string& message) {
+  std::string escaped;
+  escaped.reserve(message.size());
+  for (const char c : message) {
+    switch (c) {
+      case '\\': escaped += "\\\\"; break;
+      case '"': escaped += "\\\""; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // drop controls
+        escaped += c;
+    }
+  }
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body =
+      "{\"error\": \"" + code + "\", \"message\": \"" + escaped + "\"}\n";
+  return response;
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 const std::string& message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = message;
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::ParseHeaderBlock(
+    size_t header_end, size_t separator_size) {
+  const std::string head = buffer_.substr(0, header_end);
+  size_t line_end = head.find_first_of("\r\n");
+  if (line_end == std::string::npos) line_end = head.size();
+  const std::string request_line = head.substr(0, line_end);
+
+  const size_t method_end = request_line.find(' ');
+  if (method_end == std::string::npos || method_end == 0) {
+    return Fail(400, "malformed request line");
+  }
+  request_.method = request_line.substr(0, method_end);
+  size_t target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string::npos) target_end = request_line.size();
+  std::string target =
+      request_line.substr(method_end + 1, target_end - method_end - 1);
+  if (target.empty() || target[0] != '/') {
+    return Fail(400, "malformed request target");
+  }
+  const size_t query = target.find('?');
+  if (query != std::string::npos) {
+    ParseQuery(target.substr(query + 1), &request_.query);
+    target.resize(query);
+  }
+  request_.path = target;
+
+  // Header fields: "Name: value", one per line; continuations unsupported.
+  size_t cursor = line_end;
+  while (cursor < head.size()) {
+    // Skip the line terminator(s) of the previous line.
+    while (cursor < head.size() &&
+           (head[cursor] == '\r' || head[cursor] == '\n')) {
+      ++cursor;
+    }
+    if (cursor >= head.size()) break;
+    size_t end = head.find_first_of("\r\n", cursor);
+    if (end == std::string::npos) end = head.size();
+    const std::string line = head.substr(cursor, end - cursor);
+    cursor = end;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Fail(400, "malformed header line");
+    }
+    request_.headers[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+
+  body_expected_ = 0;
+  const auto length = request_.headers.find("content-length");
+  if (length != request_.headers.end()) {
+    char* end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(length->second.c_str(), &end, 10);
+    if (end == length->second.c_str() || *end != '\0') {
+      return Fail(400, "malformed Content-Length");
+    }
+    if (parsed > max_body_bytes_) {
+      return Fail(413, "request body exceeds " +
+                           std::to_string(max_body_bytes_) + " bytes");
+    }
+    body_expected_ = static_cast<size_t>(parsed);
+  }
+  if (request_.headers.count("transfer-encoding") > 0) {
+    return Fail(400, "chunked transfer encoding is not supported");
+  }
+
+  buffer_.erase(0, header_end + separator_size);
+  state_ = State::kBody;
+  return FinishIfBodyComplete();
+}
+
+HttpRequestParser::State HttpRequestParser::FinishIfBodyComplete() {
+  if (buffer_.size() < body_expected_) return state_;
+  request_.body = buffer_.substr(0, body_expected_);
+  // Trailing bytes beyond Content-Length are pipelining we do not support;
+  // close-after-response makes ignoring them safe.
+  state_ = State::kDone;
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(const char* data,
+                                                 size_t size) {
+  if (state_ == State::kDone || state_ == State::kError) return state_;
+  buffer_.append(data, size);
+  if (state_ == State::kBody) return FinishIfBodyComplete();
+
+  const size_t crlf = buffer_.find("\r\n\r\n");
+  if (crlf != std::string::npos) return ParseHeaderBlock(crlf, 4);
+  const size_t lf = buffer_.find("\n\n");
+  if (lf != std::string::npos) return ParseHeaderBlock(lf, 2);
+  if (buffer_.size() > kMaxHeaderBytes) {
+    return Fail(431, "request header block exceeds " +
+                         std::to_string(kMaxHeaderBytes) + " bytes");
+  }
+  return state_;
+}
+
+}  // namespace crowdtruth::server

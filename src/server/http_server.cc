@@ -1,0 +1,196 @@
+#include "server/http_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace crowdtruth::server {
+
+HttpListener::HttpListener(EventLoop* loop, Handler handler,
+                           size_t max_body_bytes)
+    : loop_(loop), handler_(std::move(handler)),
+      max_body_bytes_(max_body_bytes) {
+  CROWDTRUTH_CHECK(loop_ != nullptr);
+}
+
+HttpListener::~HttpListener() { Close(); }
+
+util::Status HttpListener::Listen(int port) {
+  if (listen_fd_ >= 0) {
+    return util::Status::InvalidArgument("listener already bound");
+  }
+  const int fd =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return util::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  const int enable = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = std::string("bind: ") + std::strerror(errno);
+    close(fd);
+    return util::Status::IoError(message);
+  }
+  if (listen(fd, 64) != 0) {
+    const std::string message = std::string("listen: ") + std::strerror(errno);
+    close(fd);
+    return util::Status::IoError(message);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_size) != 0) {
+    const std::string message =
+        std::string("getsockname: ") + std::strerror(errno);
+    close(fd);
+    return util::Status::IoError(message);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  util::Status added = loop_->Add(fd, EPOLLIN, [this](uint32_t) {
+    OnAcceptable();
+  });
+  if (!added.ok()) {
+    close(fd);
+    return added;
+  }
+  listen_fd_ = fd;
+  return util::Status::Ok();
+}
+
+void HttpListener::Close() {
+  if (listen_fd_ >= 0) {
+    loop_->Remove(listen_fd_);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  while (!connections_.empty()) {
+    CloseConnection(connections_.begin()->first);
+  }
+}
+
+void HttpListener::OnAcceptable() {
+  // Drain the accept queue: level-triggered epoll would re-report it, but
+  // one pass per wakeup keeps latency down under connection bursts.
+  while (true) {
+    const int client = accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or a transient per-connection error; epoll retries
+    }
+    const int enable = 1;
+    setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    auto connection = std::make_unique<Connection>(max_body_bytes_);
+    connection->fd = client;
+    util::Status added =
+        loop_->Add(client, EPOLLIN, [this, client](uint32_t events) {
+          OnConnectionEvent(client, events);
+        });
+    if (!added.ok()) {
+      close(client);
+      continue;
+    }
+    connections_[client] = std::move(connection);
+  }
+}
+
+void HttpListener::OnConnectionEvent(int fd, uint32_t events) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection* connection = it->second.get();
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    CloseConnection(fd);
+    return;
+  }
+  if ((events & EPOLLIN) != 0 && !connection->responded) {
+    ReadAndMaybeRespond(connection);
+    // ReadAndMaybeRespond may have closed the connection.
+    if (connections_.find(fd) == connections_.end()) return;
+  }
+  if ((events & EPOLLOUT) != 0 && connection->responded) {
+    FlushWrites(connection);
+  }
+}
+
+void HttpListener::ReadAndMaybeRespond(Connection* connection) {
+  char buffer[16 * 1024];
+  while (true) {
+    const ssize_t got = read(connection->fd, buffer, sizeof(buffer));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // need more bytes
+      CloseConnection(connection->fd);
+      return;
+    }
+    if (got == 0) {
+      // Peer closed before completing a request.
+      CloseConnection(connection->fd);
+      return;
+    }
+    const HttpRequestParser::State state =
+        connection->parser.Feed(buffer, static_cast<size_t>(got));
+    if (state == HttpRequestParser::State::kDone) {
+      HttpResponse response = handler_(connection->parser.request());
+      ++requests_served_;
+      connection->output = SerializeHttpResponse(response);
+      connection->responded = true;
+      FlushWrites(connection);
+      return;
+    }
+    if (state == HttpRequestParser::State::kError) {
+      const HttpResponse response = JsonErrorResponse(
+          connection->parser.error_status(), "ParseError",
+          connection->parser.error());
+      ++requests_served_;
+      connection->output = SerializeHttpResponse(response);
+      connection->responded = true;
+      FlushWrites(connection);
+      return;
+    }
+  }
+}
+
+void HttpListener::FlushWrites(Connection* connection) {
+  while (connection->written < connection->output.size()) {
+    const ssize_t wrote =
+        write(connection->fd, connection->output.data() + connection->written,
+              connection->output.size() - connection->written);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Socket buffer full: wait for writability, stop reading.
+        loop_->Modify(connection->fd, EPOLLOUT);
+        return;
+      }
+      CloseConnection(connection->fd);
+      return;
+    }
+    connection->written += static_cast<size_t>(wrote);
+  }
+  // Response fully flushed; close-after-response.
+  CloseConnection(connection->fd);
+}
+
+void HttpListener::CloseConnection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  loop_->Remove(fd);
+  close(fd);
+  connections_.erase(it);
+}
+
+}  // namespace crowdtruth::server

@@ -1,0 +1,78 @@
+// HTTP listener on an EventLoop: non-blocking accept, per-connection
+// incremental request parsing, buffered non-blocking writes, and
+// close-after-response connection lifecycle.
+//
+// The handler runs synchronously on the loop thread — the tenants'
+// engines are single-threaded by design, so "handle a request" and
+// "advance an engine" are the same serialized timeline. Slow handlers
+// therefore delay other connections; the admission controller exists to
+// keep per-request work bounded instead of queueing unboundedly.
+#ifndef CROWDTRUTH_SERVER_HTTP_SERVER_H_
+#define CROWDTRUTH_SERVER_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "server/event_loop.h"
+#include "server/http.h"
+#include "util/status.h"
+
+namespace crowdtruth::server {
+
+class HttpListener {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  // `loop` must outlive the listener. `max_body_bytes` bounds POST bodies
+  // (oversized requests answer 413 without buffering the excess).
+  HttpListener(EventLoop* loop, Handler handler, size_t max_body_bytes);
+  ~HttpListener();
+  HttpListener(const HttpListener&) = delete;
+  HttpListener& operator=(const HttpListener&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port, reported by
+  // port()) and registers with the loop.
+  util::Status Listen(int port);
+  int port() const { return port_; }
+  bool listening() const { return listen_fd_ >= 0; }
+
+  // Closes the listener and every open connection.
+  void Close();
+
+  int64_t requests_served() const { return requests_served_; }
+  size_t open_connections() const { return connections_.size(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    HttpRequestParser parser;
+    std::string output;      // serialized response bytes not yet written
+    size_t written = 0;
+    bool responded = false;
+
+    explicit Connection(size_t max_body_bytes) : parser(max_body_bytes) {}
+  };
+
+  void OnAcceptable();
+  void OnConnectionEvent(int fd, uint32_t events);
+  void ReadAndMaybeRespond(Connection* connection);
+  // Writes what the socket will take; closes the connection when the
+  // response is fully flushed (or on error).
+  void FlushWrites(Connection* connection);
+  void CloseConnection(int fd);
+
+  EventLoop* loop_;
+  Handler handler_;
+  size_t max_body_bytes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int64_t requests_served_ = 0;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace crowdtruth::server
+
+#endif  // CROWDTRUTH_SERVER_HTTP_SERVER_H_

@@ -97,6 +97,9 @@ struct EngineConfig {
   // resyncs (the caller may still Resync() explicitly, e.g. once at the end
   // of a replay).
   int resync_interval = 1000;
+  // Extra metric label for multi-tenant serving (src/server/): every stream
+  // metric series carries {method, tenant}. Empty outside the server.
+  std::string tenant;
 };
 
 struct EngineStats {
@@ -266,10 +269,31 @@ class StreamEngine {
   const StreamIdInterner& workers() const { return workers_; }
   void set_trace(core::TraceSink* trace) { trace_ = trace; }
 
+  // --- Runtime retuning (the server's adaptive controller) ---
+  //
+  // Both knobs are safe to change mid-stream: they only steer *future*
+  // periodic-resync scheduling and dirty-task spills, never recorded
+  // answers or adopted batch state. Because Resync() adopts the batch
+  // solution verbatim, a retuned engine and a fresh engine replaying the
+  // same log are bit-identical again after their next resync
+  // (tests/streaming_test.cc pins this).
+  void set_resync_interval(int interval) {
+    config_.resync_interval = interval;
+  }
+  void set_max_dirty_tasks(int cap) { method_->set_max_dirty_tasks(cap); }
+
+  // Relabels the engine's metric series (new tenant label children are
+  // resolved lazily on the next Observe/Resync).
+  void set_tenant_label(const std::string& tenant) {
+    config_.tenant = tenant;
+    metrics_registry_ = nullptr;
+  }
+
  private:
   // Cached children of the process-wide stream metric families, labeled by
-  // the wrapped method's name. Resolved once per installed registry so the
-  // per-answer cost is a relaxed pointer load plus atomic bumps.
+  // the wrapped method's name and the owning tenant ("" outside the
+  // server). Resolved once per installed registry so the per-answer cost is
+  // a relaxed pointer load plus atomic bumps.
   struct EngineMetricSet {
     obs::Counter* answers = nullptr;
     obs::Histogram* observe_latency = nullptr;
@@ -284,12 +308,14 @@ class StreamEngine {
     obs::MetricRegistry* const registry = obs::ProcessMetrics();
     if (registry == nullptr) return nullptr;
     if (metrics_registry_ != registry) {
-      const std::vector<std::string> label = {method_->name()};
+      const std::vector<std::string> names = {"method", "tenant"};
+      const std::vector<std::string> label = {method_->name(),
+                                              config_.tenant};
       metric_set_.answers =
           &registry
                ->AddCounterFamily("crowdtruth_stream_answers_total",
                                   "Answers ingested by the stream engine.",
-                                  {"method"})
+                                  names)
                .WithLabels(label);
       metric_set_.observe_latency =
           &registry
@@ -297,14 +323,14 @@ class StreamEngine {
                    "crowdtruth_stream_observe_latency_seconds",
                    "Per-answer Observe cost (interning + incremental "
                    "update).",
-                   {"method"}, obs::HistogramBuckets::LatencySeconds())
+                   names, obs::HistogramBuckets::LatencySeconds())
                .WithLabels(label);
       metric_set_.sweep_depth =
           &registry
                ->AddHistogramFamily(
                    "crowdtruth_stream_sweep_depth_tasks",
                    "Tasks re-estimated by one Observe's dirty-task sweeps.",
-                   {"method"}, obs::HistogramBuckets::PowersOfTwo(13))
+                   names, obs::HistogramBuckets::PowersOfTwo(13))
                .WithLabels(label);
       metric_set_.backlog =
           &registry
@@ -312,25 +338,25 @@ class StreamEngine {
                    "crowdtruth_stream_backlog_tasks",
                    "Dirty tasks deferred by max_dirty_tasks, awaiting a "
                    "sweep.",
-                   {"method"})
+                   names)
                .WithLabels(label);
       metric_set_.resyncs =
           &registry
                ->AddCounterFamily("crowdtruth_stream_resyncs_total",
                                   "Full batch resyncs run by the engine.",
-                                  {"method"})
+                                  names)
                .WithLabels(label);
       metric_set_.resync_seconds =
           &registry
                ->AddCounterFamily(
                    "crowdtruth_stream_resync_seconds_total",
-                   "Total wall-clock spent inside resyncs.", {"method"})
+                   "Total wall-clock spent inside resyncs.", names)
                .WithLabels(label);
       metric_set_.resync_duration =
           &registry
                ->AddHistogramFamily(
                    "crowdtruth_stream_resync_duration_seconds",
-                   "Wall-clock cost of individual resyncs.", {"method"},
+                   "Wall-clock cost of individual resyncs.", names,
                    obs::HistogramBuckets::LatencySeconds())
                .WithLabels(label);
       metrics_registry_ = registry;

@@ -128,6 +128,13 @@ class IncrementalCategoricalMethod {
   }
   const StreamingOptions& options() const { return options_; }
 
+  // Runtime retune of the dirty-task spill bound (<= 0 removes it). Only
+  // future sweeps are affected: the current backlog keeps draining under
+  // the new cap, and the next Resync adopts the batch solution regardless
+  // of sweep history, so retuning mid-stream never changes what a
+  // resynced engine converges to.
+  void set_max_dirty_tasks(int cap) { options_.max_dirty_tasks = cap; }
+
   // Dirty tasks deferred by max_dirty_tasks and still awaiting a sweep.
   int64_t backlog_size() const {
     return static_cast<int64_t>(backlog_.size());
@@ -212,6 +219,10 @@ class IncrementalNumericMethod {
     return static_cast<int64_t>(answers_.size());
   }
   const StreamingOptions& options() const { return options_; }
+
+  // Accepted for engine symmetry; the numeric methods keep exact running
+  // state and never defer work, so the cap has nothing to bound.
+  void set_max_dirty_tasks(int cap) { options_.max_dirty_tasks = cap; }
 
   // The numeric methods keep exact running state per task, so there is no
   // deferred work; the accessors exist for engine-metrics symmetry.

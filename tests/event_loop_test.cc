@@ -1,0 +1,306 @@
+// Tests for the serving plane's foundations: the timer wheel (pure,
+// clock-free), the epoll event loop, the HTTP codec and the HttpListener
+// socket path.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/event_loop.h"
+#include "server/http.h"
+#include "server/http_server.h"
+
+namespace server = crowdtruth::server;
+
+namespace {
+
+TEST(TimerWheelTest, OneShotFiresOnceAtDeadline) {
+  server::TimerWheel wheel(/*tick_ms=*/10, /*num_slots=*/16);
+  int fired = 0;
+  wheel.Add(/*now_ms=*/0, /*delay_ms=*/50, /*period_ms=*/0,
+            [&fired]() { ++fired; });
+  wheel.Advance(40);
+  EXPECT_EQ(fired, 0);
+  wheel.Advance(50);
+  EXPECT_EQ(fired, 1);
+  wheel.Advance(500);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, ZeroDelayFiresOnNextAdvance) {
+  server::TimerWheel wheel(10, 16);
+  int fired = 0;
+  wheel.Add(0, 0, 0, [&fired]() { ++fired; });
+  wheel.Advance(10);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, PeriodicReschedules) {
+  server::TimerWheel wheel(10, 16);
+  int fired = 0;
+  wheel.Add(0, 20, 20, [&fired]() { ++fired; });
+  wheel.Advance(100);
+  // Due at 20, 40, 60, 80, 100.
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(wheel.pending(), 1u);  // still scheduled
+}
+
+TEST(TimerWheelTest, CancelPreventsFiring) {
+  server::TimerWheel wheel(10, 16);
+  int fired = 0;
+  const uint64_t id = wheel.Add(0, 30, 0, [&fired]() { ++fired; });
+  EXPECT_TRUE(wheel.Cancel(id));
+  EXPECT_FALSE(wheel.Cancel(id));  // already gone
+  wheel.Advance(100);
+  EXPECT_EQ(fired, 0);
+}
+
+// A deadline more than one wheel revolution away must not fire on the
+// first pass over its slot.
+TEST(TimerWheelTest, DeadlineBeyondOneRevolution) {
+  server::TimerWheel wheel(/*tick_ms=*/10, /*num_slots=*/8);  // 80ms/rev
+  int fired = 0;
+  wheel.Add(0, 250, 0, [&fired]() { ++fired; });
+  wheel.Advance(240);
+  EXPECT_EQ(fired, 0);
+  wheel.Advance(250);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, CallbackMayAddTimers) {
+  server::TimerWheel wheel(10, 16);
+  int second = 0;
+  wheel.Add(0, 10, 0, [&wheel, &second]() {
+    wheel.Add(10, 10, 0, [&second]() { ++second; });
+  });
+  wheel.Advance(10);
+  EXPECT_EQ(second, 0);
+  wheel.Advance(20);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(TimerWheelTest, MsUntilNextTracksEarliestDeadline) {
+  server::TimerWheel wheel(10, 16);
+  EXPECT_EQ(wheel.MsUntilNext(0), -1);
+  wheel.Add(0, 70, 0, []() {});
+  wheel.Add(0, 30, 0, []() {});
+  EXPECT_EQ(wheel.MsUntilNext(0), 30);
+  EXPECT_EQ(wheel.MsUntilNext(25), 5);
+  EXPECT_EQ(wheel.MsUntilNext(45), 0);  // overdue clamps to 0
+}
+
+TEST(HttpParserTest, ParsesRequestLineHeadersAndBody) {
+  server::HttpRequestParser parser(/*max_body_bytes=*/1024);
+  const std::string wire =
+      "POST /v1/tenants/alpha/answers?method=MV&num_choices=3 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 8\r\n"
+      "\r\n"
+      "w1,t1,0\n";
+  EXPECT_EQ(parser.Feed(wire.data(), wire.size()),
+            server::HttpRequestParser::State::kDone);
+  const server::HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.path, "/v1/tenants/alpha/answers");
+  EXPECT_EQ(request.query.at("method"), "MV");
+  EXPECT_EQ(request.query.at("num_choices"), "3");
+  EXPECT_EQ(request.headers.at("host"), "localhost");
+  EXPECT_EQ(request.body, "w1,t1,0\n");
+}
+
+TEST(HttpParserTest, IncrementalFeedAcrossBoundaries) {
+  server::HttpRequestParser parser(1024);
+  const std::string wire =
+      "POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+  for (const char c : wire) {
+    parser.Feed(&c, 1);
+  }
+  ASSERT_EQ(parser.state(), server::HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(HttpParserTest, OversizedBodyIs413) {
+  server::HttpRequestParser parser(/*max_body_bytes=*/16);
+  const std::string wire = "POST /x HTTP/1.1\r\nContent-Length: 17\r\n\r\n";
+  EXPECT_EQ(parser.Feed(wire.data(), wire.size()),
+            server::HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, MalformedFramingIs400) {
+  server::HttpRequestParser bad_line(1024);
+  const std::string wire = "NONSENSE\r\n\r\n";
+  EXPECT_EQ(bad_line.Feed(wire.data(), wire.size()),
+            server::HttpRequestParser::State::kError);
+  EXPECT_EQ(bad_line.error_status(), 400);
+
+  server::HttpRequestParser bad_length(1024);
+  const std::string wire2 =
+      "POST /x HTTP/1.1\r\nContent-Length: soon\r\n\r\n";
+  EXPECT_EQ(bad_length.Feed(wire2.data(), wire2.size()),
+            server::HttpRequestParser::State::kError);
+  EXPECT_EQ(bad_length.error_status(), 400);
+
+  server::HttpRequestParser chunked(1024);
+  const std::string wire3 =
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  EXPECT_EQ(chunked.Feed(wire3.data(), wire3.size()),
+            server::HttpRequestParser::State::kError);
+  EXPECT_EQ(chunked.error_status(), 400);
+}
+
+TEST(HttpParserTest, OversizedHeaderBlockIs431) {
+  server::HttpRequestParser parser(1024);
+  std::string wire = "GET /x HTTP/1.1\r\n";
+  wire += "X-Pad: " + std::string(70 * 1024, 'a') + "\r\n";
+  EXPECT_EQ(parser.Feed(wire.data(), wire.size()),
+            server::HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpResponseTest, SerializationCarriesStatusAndExtraHeaders) {
+  server::HttpResponse response;
+  response.status = 429;
+  response.body = "slow down";
+  response.headers.emplace_back("Retry-After", "1");
+  const std::string wire = server::SerializeHttpResponse(response);
+  EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 9\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(EventLoopTest, DispatchesPipeReadiness) {
+  server::EventLoop loop;
+  ASSERT_TRUE(loop.Init().ok());
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::string received;
+  ASSERT_TRUE(loop.Add(fds[0], EPOLLIN, [&](uint32_t) {
+    char buffer[64];
+    const ssize_t got = read(fds[0], buffer, sizeof(buffer));
+    if (got > 0) received.assign(buffer, static_cast<size_t>(got));
+  }).ok());
+  ASSERT_EQ(write(fds[1], "ping", 4), 4);
+  // One iteration must see the readiness.
+  EXPECT_EQ(loop.RunOnce(100), 1);
+  EXPECT_EQ(received, "ping");
+  loop.Remove(fds[0]);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(EventLoopTest, TimersFireThroughRunOnce) {
+  server::EventLoop loop;
+  ASSERT_TRUE(loop.Init().ok());
+  int fired = 0;
+  loop.AddTimer(/*delay_ms=*/20, /*period_ms=*/0, [&fired]() { ++fired; });
+  const int64_t start = server::EventLoop::NowMs();
+  while (fired == 0 && server::EventLoop::NowMs() - start < 2000) {
+    loop.RunOnce(50);
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, TimerCanStopRun) {
+  server::EventLoop loop;
+  ASSERT_TRUE(loop.Init().ok());
+  // Run() clears any stale stop flag on entry, then serves until the
+  // timer requests a stop.
+  loop.RequestStop();
+  loop.AddTimer(20, 0, [&loop]() { loop.RequestStop(); });
+  loop.Run();
+  EXPECT_TRUE(loop.stop_requested());
+}
+
+// Full socket round trip: blocking client on a helper thread, the listener
+// on the loop thread.
+std::string HttpRoundTrip(int port, const std::string& wire,
+                          server::EventLoop* loop) {
+  std::string response;
+  std::atomic<bool> done{false};
+  std::thread client([&]() {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      close(fd);
+      return;
+    }
+    size_t written = 0;
+    while (written < wire.size()) {
+      const ssize_t wrote =
+          write(fd, wire.data() + written, wire.size() - written);
+      if (wrote <= 0) break;
+      written += static_cast<size_t>(wrote);
+    }
+    char buffer[4096];
+    while (true) {
+      const ssize_t got = read(fd, buffer, sizeof(buffer));
+      if (got <= 0) break;
+      response.append(buffer, static_cast<size_t>(got));
+    }
+    close(fd);
+    done.store(true, std::memory_order_release);
+  });
+  const int64_t start = server::EventLoop::NowMs();
+  // Pump the loop until the client saw the close-after-response EOF.
+  while (!done.load(std::memory_order_acquire) &&
+         server::EventLoop::NowMs() - start < 5000) {
+    loop->RunOnce(10);
+  }
+  client.join();
+  return response;
+}
+
+TEST(HttpListenerTest, ServesRequestOverRealSocket) {
+  server::EventLoop loop;
+  ASSERT_TRUE(loop.Init().ok());
+  server::HttpListener listener(
+      &loop,
+      [](const server::HttpRequest& request) {
+        server::HttpResponse response;
+        response.body = "echo:" + request.body;
+        return response;
+      },
+      /*max_body_bytes=*/1024);
+  ASSERT_TRUE(listener.Listen(/*port=*/0).ok());
+  EXPECT_GT(listener.port(), 0);  // ephemeral port reported
+
+  const std::string response = HttpRoundTrip(
+      listener.port(),
+      "POST /in HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello", &loop);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("echo:hello"), std::string::npos);
+  EXPECT_EQ(listener.requests_served(), 1);
+  EXPECT_EQ(listener.open_connections(), 0u);  // close-after-response
+  listener.Close();
+}
+
+TEST(HttpListenerTest, OversizedBodyAnswers413OverSocket) {
+  server::EventLoop loop;
+  ASSERT_TRUE(loop.Init().ok());
+  server::HttpListener listener(
+      &loop,
+      [](const server::HttpRequest&) { return server::HttpResponse(); },
+      /*max_body_bytes=*/8);
+  ASSERT_TRUE(listener.Listen(0).ok());
+  const std::string response = HttpRoundTrip(
+      listener.port(),
+      "POST /in HTTP/1.1\r\nContent-Length: 9999\r\n\r\n", &loop);
+  EXPECT_NE(response.find("413"), std::string::npos);
+  listener.Close();
+}
+
+}  // namespace

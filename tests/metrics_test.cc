@@ -308,6 +308,60 @@ TEST(MetricRegistryTest, JsonExposition) {
   EXPECT_EQ(metric.Find("kind")->string(), "counter");
 }
 
+TEST(MetricRegistryTest, FamilyLookupByNameAndKind) {
+  MetricRegistry registry;
+  Family<Counter>& counters =
+      registry.AddCounterFamily("test_lookup_total", "Help.", {"k"});
+  registry.AddGaugeFamily("test_lookup_depth", "Help.", {"k"});
+  EXPECT_EQ(registry.FindCounterFamily("test_lookup_total"), &counters);
+  EXPECT_NE(registry.FindGaugeFamily("test_lookup_depth"), nullptr);
+  // Wrong kind and unknown names both miss.
+  EXPECT_EQ(registry.FindGaugeFamily("test_lookup_total"), nullptr);
+  EXPECT_EQ(registry.FindHistogramFamily("test_lookup_total"), nullptr);
+  EXPECT_EQ(registry.FindCounterFamily("test_absent"), nullptr);
+}
+
+TEST(MetricRegistryTest, LabelCardinalityCapCollapsesOverflow) {
+  MetricRegistry registry;
+  registry.SetLabelCardinalityCap("tenant", 2);
+  EXPECT_EQ(registry.InternLabelValue("tenant", "a"), "a");
+  EXPECT_EQ(registry.InternLabelValue("tenant", "b"), "b");
+  EXPECT_EQ(registry.InternLabelValue("tenant", "c"), "other");
+  // Values admitted before the cap was hit keep their identity.
+  EXPECT_EQ(registry.InternLabelValue("tenant", "a"), "a");
+  // The overflow value always passes through; unrelated labels are uncapped.
+  EXPECT_EQ(registry.InternLabelValue("tenant", "other"), "other");
+  EXPECT_EQ(registry.InternLabelValue("method", "anything"), "anything");
+  EXPECT_EQ(registry.LabelCardinality("tenant"), 2);
+  EXPECT_EQ(registry.LabelCardinality("method"), 0);
+
+  // WithLabels routes through the cap: the third tenant shares a series
+  // with every later one.
+  Family<Counter>& family =
+      registry.AddCounterFamily("test_capped_total", "Help.", {"tenant"});
+  Counter& c = family.WithLabels({"c"});
+  Counter& d = family.WithLabels({"d"});
+  EXPECT_EQ(&c, &d);
+  EXPECT_NE(&family.WithLabels({"a"}), &c);
+  c.Increment(2);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("test_capped_total{tenant=\"other\"} 2\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("tenant=\"c\""), std::string::npos);
+}
+
+TEST(MetricRegistryTest, RemovingLabelCapRestoresDistinctSeries) {
+  MetricRegistry registry;
+  registry.SetLabelCardinalityCap("tenant", 1);
+  Family<Gauge>& family =
+      registry.AddGaugeFamily("test_uncapped_depth", "Help.", {"tenant"});
+  family.WithLabels({"a"});
+  EXPECT_EQ(&family.WithLabels({"b"}), &family.WithLabels({"z"}));
+  registry.SetLabelCardinalityCap("tenant", 0);  // remove the cap
+  EXPECT_EQ(registry.LabelCardinality("tenant"), 0);
+  EXPECT_NE(&family.WithLabels({"b"}), &family.WithLabels({"z"}));
+}
+
 TEST(MetricRegistryTest, CollectionHooksRefreshBeforeExposition) {
   MetricRegistry registry;
   Gauge& gauge = registry.AddGauge("test_refreshed", "Help.");

@@ -239,6 +239,60 @@ TEST(StreamEngineTest, RejectsOutOfRangeLabel) {
   EXPECT_EQ(engine.stats().answers, 0);
 }
 
+// Satellite of the serving PR: the adaptive controller retunes
+// resync_interval / max_dirty_tasks while a stream is live. Both knobs only
+// steer scheduling, so a retuned engine must land on exactly the fresh
+// replay's estimates once both have resynced.
+TEST(StreamEngineTest, MidStreamRetuneIsBitIdenticalToFreshReplayAtResync) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = 90;
+  spec.num_workers = 12;
+  spec.num_choices = 3;
+  spec.redundancy = 4;
+  spec.worker_accuracy = {0.9, 0.8, 0.7, 0.85, 0.6, 0.95,
+                          0.55, 0.75, 0.8, 0.65, 0.9, 0.7};
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, 3);
+  const std::vector<CategoricalStreamAnswer> stream =
+      ShuffledStream(dataset, 17);
+
+  for (const std::string& method_name : IncrementalCategoricalNames()) {
+    CategoricalStreamEngine retuned(
+        MakeIncrementalCategorical(method_name, spec.num_choices, {}),
+        EngineConfig{/*resync_interval=*/50});
+    CategoricalStreamEngine fresh(
+        MakeIncrementalCategorical(method_name, spec.num_choices, {}),
+        EngineConfig{/*resync_interval=*/50});
+    size_t i = 0;
+    for (const CategoricalStreamAnswer& answer : stream) {
+      // Whipsaw the knobs the way a controller under shifting load would.
+      if (i == stream.size() / 4) {
+        retuned.set_resync_interval(7);
+        retuned.set_max_dirty_tasks(1);
+      } else if (i == stream.size() / 2) {
+        retuned.set_resync_interval(191);
+        retuned.set_max_dirty_tasks(4096);
+      } else if (i == 3 * stream.size() / 4) {
+        retuned.set_resync_interval(0);  // periodic resyncs off
+        retuned.set_max_dirty_tasks(2);
+      }
+      ++i;
+      ASSERT_TRUE(
+          retuned.Observe(answer.task, answer.worker, answer.label).ok());
+      ASSERT_TRUE(
+          fresh.Observe(answer.task, answer.worker, answer.label).ok());
+    }
+    retuned.Resync();
+    fresh.Resync();
+    EXPECT_EQ(retuned.method().Estimates(), fresh.method().Estimates())
+        << method_name;
+    EXPECT_EQ(retuned.method().WorkerQualities(),
+              fresh.method().WorkerQualities())
+        << method_name;
+    // The schedules genuinely diverged mid-stream.
+    EXPECT_NE(retuned.stats().resyncs, fresh.stats().resyncs) << method_name;
+  }
+}
+
 TEST(StreamEngineTest, RestoreRejectsForeignDocuments) {
   CategoricalStreamEngine engine(MakeIncrementalCategorical("MV", 2, {}),
                                  EngineConfig{});

@@ -43,9 +43,18 @@
 // fast replay); --metrics_out dumps the registry to a file on exit
 // (Prometheus text, or JSON when the path ends in ".json").
 //
+// --serve_port=N (>= 0; 0 = ephemeral) promotes the replayed categorical
+// engine into tenant "default" of the epoll streaming server
+// (src/server/) after the replay finishes: POST more answers to
+// /v1/tenants/default/answers, read /v1/tenants/default/truth, scrape
+// /metrics — all on one loop, with the adaptive controller driving the
+// resync/admission knobs. --serve_seconds bounds the serving phase (0 =
+// until SIGINT/SIGTERM).
+//
 // Streaming methods: MV, ZC, D&S (categorical); Mean, Median (numeric).
 // The log type (header line) selects the domain.
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -59,6 +68,7 @@
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
+#include "server/server.h"
 #include "simulation/online_assignment.h"
 #include "simulation/profiles.h"
 #include "streaming/engine.h"
@@ -82,6 +92,14 @@ using crowdtruth::util::TablePrinter;
 // The live exporter, when --metrics_port enabled one. Pumped by the replay
 // loop and the post-stream linger loop; null otherwise.
 crowdtruth::obs::MetricsHttpServer* g_metrics_server = nullptr;
+
+// The epoll server, when --serve_port promoted the replay into a live
+// tenant; set only while Run() is blocking, for the signal handler.
+crowdtruth::server::StreamingServer* g_serve_server = nullptr;
+
+void HandleServeSignal(int /*sig*/) {
+  if (g_serve_server != nullptr) g_serve_server->RequestStop();
+}
 
 // One stream element, keyed by string ids; `label` is used for categorical
 // streams, `value` for numeric ones.
@@ -467,6 +485,60 @@ streaming::StreamingOptions MakeStreamingOptions(const Flags& flags) {
   return options;
 }
 
+// --serve_port: promote the just-replayed engine into tenant "default" of
+// an epoll StreamingServer (src/server/) and keep serving — ingest appends
+// to the same engine, /truth serves its estimates, the adaptive controller
+// takes over the resync/admission knobs. Serves until SIGINT/SIGTERM, or
+// for --serve_seconds when positive.
+int ServeAdopted(
+    const Flags& flags,
+    std::unique_ptr<streaming::CategoricalStreamEngine> engine) {
+  namespace server = crowdtruth::server;
+  server::ServerConfig config;
+  config.port = flags.GetInt("serve_port");
+  config.tenant_defaults.method = engine->method().name();
+  config.tenant_defaults.num_choices = engine->method().num_choices();
+  config.tenant_defaults.resync_interval = flags.GetInt("resync_interval");
+  config.tenant_defaults.local_sweeps = flags.GetInt("local_sweeps");
+  config.tenant_defaults.max_dirty_tasks = flags.GetInt("max_dirty_tasks");
+  config.tenant_defaults.seed = flags.GetInt("seed");
+
+  server::TenantOptions options = config.tenant_defaults;
+  const Status policy_status = crowdtruth::data::ParseBadRecordPolicy(
+      flags.Get("on-bad-record"), &options.bad_record_policy);
+  if (!policy_status.ok()) {
+    std::cerr << "error: " << policy_status.ToString() << '\n';
+    return 2;
+  }
+
+  server::StreamingServer serve(config, crowdtruth::obs::ProcessMetrics());
+  Status status = serve.Start();
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << '\n';
+    return 1;
+  }
+  status = serve.AddTenant(
+      server::Tenant::Adopt("default", options, std::move(engine)));
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << '\n';
+    return 1;
+  }
+  const int serve_seconds = flags.GetInt("serve_seconds");
+  if (serve_seconds > 0) {
+    serve.loop().AddTimer(static_cast<int64_t>(serve_seconds) * 1000, 0,
+                          [&serve]() { serve.RequestStop(); });
+  }
+  g_serve_server = &serve;
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  std::cout << "serving replayed engine as tenant \"default\" on "
+            << "http://127.0.0.1:" << serve.port() << std::endl;
+  serve.Run();
+  g_serve_server = nullptr;
+  serve.Stop();
+  return 0;
+}
+
 int RunCategorical(const Flags& flags, const StreamInput& input,
                    const std::string& mode) {
   std::string method_name = flags.Get("method");
@@ -485,7 +557,9 @@ int RunCategorical(const Flags& flags, const StreamInput& input,
   }
   streaming::EngineConfig config;
   config.resync_interval = flags.GetInt("resync_interval");
-  streaming::CategoricalStreamEngine engine(std::move(method), config);
+  auto engine_ptr = std::make_unique<streaming::CategoricalStreamEngine>(
+      std::move(method), config);
+  streaming::CategoricalStreamEngine& engine = *engine_ptr;
 
   const auto quality_line = [&input](
                                 const streaming::CategoricalStreamEngine&
@@ -524,11 +598,21 @@ int RunCategorical(const Flags& flags, const StreamInput& input,
     workers.emplace_back(engine.workers().Name(w),
                          std::to_string(method_ref.WorkerQuality(w)));
   }
-  return FinishWithOutputs(flags, std::move(report), estimates, workers);
+  const int outputs_code =
+      FinishWithOutputs(flags, std::move(report), estimates, workers);
+  if (outputs_code != 0) return outputs_code;
+  if (flags.GetInt("serve_port") >= 0) {
+    return ServeAdopted(flags, std::move(engine_ptr));
+  }
+  return 0;
 }
 
 int RunNumeric(const Flags& flags, const StreamInput& input,
                const std::string& mode) {
+  if (flags.GetInt("serve_port") >= 0) {
+    std::cerr << "error: --serve_port supports categorical streams only\n";
+    return 2;
+  }
   std::string method_name = flags.Get("method");
   if (method_name.empty()) method_name = "Mean";
   auto method = streaming::MakeIncrementalNumeric(method_name,
@@ -622,7 +706,9 @@ int main(int argc, char** argv) {
                      {"on-bad-record", "reject"},
                      {"metrics_port", "-1"},
                      {"metrics_linger", "0"},
-                     {"metrics_out", ""}});
+                     {"metrics_out", ""},
+                     {"serve_port", "-1"},
+                     {"serve_seconds", "0"}});
   const bool simulate = !flags.Get("simulate").empty();
   if (simulate == !flags.Get("log").empty()) {
     std::cerr << "error: exactly one of --log or --simulate is required\n";
@@ -644,7 +730,8 @@ int main(int argc, char** argv) {
   crowdtruth::obs::MetricsHttpServer server(&registry);
   const int metrics_port = flags.GetInt("metrics_port");
   const std::string metrics_out = flags.Get("metrics_out");
-  if (metrics_port >= 0 || !metrics_out.empty()) {
+  if (metrics_port >= 0 || !metrics_out.empty() ||
+      flags.GetInt("serve_port") >= 0) {
     crowdtruth::obs::RegisterProcessCollectors(&registry);
     crowdtruth::obs::InstallProcessMetrics(&registry);
   }
