@@ -101,6 +101,18 @@ Status ReadTruthRows(const std::string& truth_path,
 
 }  // namespace
 
+int ShardOfTask(const std::string& task, int shard_count) {
+  if (shard_count <= 1) return 0;
+  // FNV-1a, 64-bit: stable across platforms and builds (the assignment is
+  // part of the on-disk contract between shards).
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : task) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ull;
+  }
+  return static_cast<int>(hash % static_cast<uint64_t>(shard_count));
+}
+
 Status AnswerLogWriter::Create(const std::string& path,
                                const AnswerLogHeader& header,
                                AnswerLogWriter* out) {
@@ -140,6 +152,7 @@ Status AnswerLogWriter::Append(const std::string& task,
 Status AnswerLogReader::Open(const std::string& path) {
   path_ = path;
   line_ = 1;
+  sequence_ = 0;
   in_.open(path);
   if (!in_) return Status::NotFound("cannot open " + path);
   std::string header_line;
@@ -150,51 +163,71 @@ Status AnswerLogReader::Open(const std::string& path) {
   return ParseHeader(util::ParseCsvLine(header_line), path, &header_);
 }
 
+Status AnswerLogReader::SetShardSlice(int shard_index, int shard_count) {
+  if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
+    return Status::InvalidArgument(
+        "bad shard slice " + std::to_string(shard_index) + "/" +
+        std::to_string(shard_count));
+  }
+  shard_index_ = shard_index;
+  shard_count_ = shard_count;
+  return Status::Ok();
+}
+
 Status AnswerLogReader::Next(AnswerLogRecord* record, bool* eof) {
   *eof = false;
-  std::string row;
-  // Skip blank lines (a crashed writer may leave a trailing newline).
-  do {
-    if (!std::getline(in_, row)) {
-      *eof = true;
+  while (true) {
+    std::string row;
+    // Skip blank lines (a crashed writer may leave a trailing newline).
+    do {
+      if (!std::getline(in_, row)) {
+        *eof = true;
+        return Status::Ok();
+      }
+      ++line_;
+    } while (row.empty());
+
+    const std::vector<std::string> fields = util::ParseCsvLine(row);
+    if (fields.size() != 3) {
+      return Status::ParseError(path_ + ":" + std::to_string(line_) +
+                                ": expected 3 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    record->task = fields[0];
+    record->worker = fields[1];
+    record->answer = fields[2];
+    char* end = nullptr;
+    if (header_.type == AnswerLogType::kCategorical) {
+      errno = 0;
+      const long label = std::strtol(fields[2].c_str(), &end, 10);
+      if (end == fields[2].c_str() || *end != '\0' || label < 0 ||
+          errno == ERANGE || label > std::numeric_limits<int>::max()) {
+        return Status::ParseError(path_ + ":" + std::to_string(line_) +
+                                  ": bad label \"" + fields[2] + "\"");
+      }
+      record->label = static_cast<LabelId>(label);
+    } else {
+      record->value = std::strtod(fields[2].c_str(), &end);
+      if (end == fields[2].c_str() || *end != '\0') {
+        return Status::ParseError(path_ + ":" + std::to_string(line_) +
+                                  ": bad value \"" + fields[2] + "\"");
+      }
+      // "nan"/"inf" parse cleanly through strtod but poison every weighted
+      // mean downstream; a log record carrying one is malformed.
+      if (!std::isfinite(record->value)) {
+        return Status::ParseError(path_ + ":" + std::to_string(line_) +
+                                  ": non-finite value \"" + fields[2] +
+                                  "\"");
+      }
+    }
+    // Every well-formed row consumes a global sequence number, whether or
+    // not this slice yields it — shards agree on record positions.
+    record->sequence = sequence_++;
+    if (shard_count_ <= 1 ||
+        ShardOfTask(record->task, shard_count_) == shard_index_) {
       return Status::Ok();
     }
-    ++line_;
-  } while (row.empty());
-
-  const std::vector<std::string> fields = util::ParseCsvLine(row);
-  if (fields.size() != 3) {
-    return Status::ParseError(path_ + ":" + std::to_string(line_) +
-                              ": expected 3 fields, got " +
-                              std::to_string(fields.size()));
   }
-  record->task = fields[0];
-  record->worker = fields[1];
-  record->answer = fields[2];
-  char* end = nullptr;
-  if (header_.type == AnswerLogType::kCategorical) {
-    errno = 0;
-    const long label = std::strtol(fields[2].c_str(), &end, 10);
-    if (end == fields[2].c_str() || *end != '\0' || label < 0 ||
-        errno == ERANGE || label > std::numeric_limits<int>::max()) {
-      return Status::ParseError(path_ + ":" + std::to_string(line_) +
-                                ": bad label \"" + fields[2] + "\"");
-    }
-    record->label = static_cast<LabelId>(label);
-  } else {
-    record->value = std::strtod(fields[2].c_str(), &end);
-    if (end == fields[2].c_str() || *end != '\0') {
-      return Status::ParseError(path_ + ":" + std::to_string(line_) +
-                                ": bad value \"" + fields[2] + "\"");
-    }
-    // "nan"/"inf" parse cleanly through strtod but poison every weighted
-    // mean downstream; a log record carrying one is malformed.
-    if (!std::isfinite(record->value)) {
-      return Status::ParseError(path_ + ":" + std::to_string(line_) +
-                                ": non-finite value \"" + fields[2] + "\"");
-    }
-  }
-  return Status::Ok();
 }
 
 Status WriteAnswerLog(const CategoricalDataset& dataset,

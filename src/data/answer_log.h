@@ -17,6 +17,7 @@
 #ifndef CROWDTRUTH_DATA_ANSWER_LOG_H_
 #define CROWDTRUTH_DATA_ANSWER_LOG_H_
 
+#include <cstdint>
 #include <fstream>
 #include <string>
 
@@ -35,14 +36,25 @@ struct AnswerLogHeader {
 };
 
 // One logged answer. `label` is filled for categorical logs, `value` for
-// numeric logs; `answer` always carries the raw field text.
+// numeric logs; `answer` always carries the raw field text. `sequence` is
+// the record's 0-based position in the *whole* log — global even when the
+// reader only yields a shard slice, so every shard agrees on where barriers
+// and checkpoints fall.
 struct AnswerLogRecord {
   std::string task;
   std::string worker;
   std::string answer;
   LabelId label = 0;
   double value = 0.0;
+  int64_t sequence = 0;
 };
+
+// Deterministic task -> shard assignment: FNV-1a over the task's string id,
+// mod `shard_count`. Every process that hashes the same id agrees on the
+// owner, with no coordination and no dependence on arrival order. All of a
+// task's answers land on one shard, so the only cross-shard coupling left
+// is per-worker state (streaming/worker_summary.h).
+int ShardOfTask(const std::string& task, int shard_count);
 
 // Sequential writer. Create() truncates and writes the header; Append()
 // adds one answer row. The stream is flushed per Append so a concurrently
@@ -75,15 +87,30 @@ class AnswerLogReader {
   util::Status Open(const std::string& path);
   const AnswerLogHeader& header() const { return header_; }
 
-  // On success either fills `*record` or sets `*eof`. Malformed rows are a
-  // ParseError carrying the line number.
+  // Restricts Next() to the deterministic hash-partitioned slice
+  // ShardOfTask(task, shard_count) == shard_index. Every row is still
+  // parsed and validated (a malformed row fails the read on every shard,
+  // not just its owner) and still consumes a global sequence number; rows
+  // owned by other shards are silently skipped. The default (0, 1) yields
+  // the whole log. Call before or between Next() calls.
+  util::Status SetShardSlice(int shard_index, int shard_count);
+
+  // On success either fills `*record` (with its global `sequence`) or sets
+  // `*eof`. Malformed rows are a ParseError carrying the line number.
   util::Status Next(AnswerLogRecord* record, bool* eof);
+
+  // Global sequence number the next record would get == records consumed
+  // from the underlying file so far (across all shards' slices).
+  int64_t next_sequence() const { return sequence_; }
 
  private:
   std::ifstream in_;
   AnswerLogHeader header_;
   std::string path_;
   int line_ = 1;
+  int shard_index_ = 0;
+  int shard_count_ = 1;
+  int64_t sequence_ = 0;
 };
 
 // Dumps every answer of a dataset as a log (task-major, preserving each

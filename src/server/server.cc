@@ -165,6 +165,16 @@ util::Status StreamingServer::ResolveTenant(const HttpRequest& request,
     }
     options.num_choices = static_cast<int>(parsed);
   }
+  const auto shards = request.query.find("shards");
+  if (shards != request.query.end()) {
+    char* end = nullptr;
+    const long parsed = std::strtol(shards->second.c_str(), &end, 10);
+    if (end == shards->second.c_str() || *end != '\0' || parsed < 1) {
+      return util::Status::InvalidArgument(
+          "shards \"" + shards->second + "\" is not a positive integer");
+    }
+    options.shards = static_cast<int>(parsed);
+  }
   const auto policy = request.query.find("on_bad_record");
   if (policy != request.query.end()) {
     util::Status status = data::ParseBadRecordPolicy(
@@ -265,9 +275,10 @@ HttpResponse StreamingServer::HandleTenants(const HttpRequest& request) {
     for (Tenant* tenant : Tenants()) {
       util::JsonValue entry = util::JsonValue::Object();
       entry.Set("tenant", tenant->name());
-      entry.Set("method", tenant->engine().method().name());
-      entry.Set("answers",
-                static_cast<int64_t>(tenant->engine().stats().answers));
+      entry.Set("method", tenant->method_name());
+      entry.Set("shards",
+                tenant->sharded() ? tenant->coordinator().shard_count() : 1);
+      entry.Set("answers", tenant->answers_seen());
       entry.Set("accepted", tenant->total_accepted());
       entry.Set("dropped", tenant->total_dropped());
       entry.Set("shed", tenant->total_shed());

@@ -49,6 +49,15 @@ Tenant::Tenant(std::string name, TenantOptions options,
   max_dirty_tasks_ = engine_->method().options().max_dirty_tasks;
 }
 
+Tenant::Tenant(std::string name, TenantOptions options,
+               std::unique_ptr<shard::CategoricalShardCoordinator> coordinator)
+    : name_(std::move(name)), options_(std::move(options)),
+      coordinator_(std::move(coordinator)) {
+  resync_interval_ =
+      static_cast<int>(coordinator_->config().barrier_interval);
+  max_dirty_tasks_ = options_.max_dirty_tasks;
+}
+
 util::Status Tenant::Create(const std::string& name,
                             const TenantOptions& options,
                             std::unique_ptr<Tenant>* out) {
@@ -60,19 +69,39 @@ util::Status Tenant::Create(const std::string& name,
   streaming_options.local_sweeps = options.local_sweeps;
   streaming_options.max_dirty_tasks = options.max_dirty_tasks;
   streaming_options.batch.seed = options.seed;
-  auto method = streaming::MakeIncrementalCategorical(
-      options.method, options.num_choices, streaming_options);
-  if (method == nullptr) {
-    return util::Status::InvalidArgument(
-        "tenant \"" + name + "\": no streaming implementation of \"" +
-        options.method + "\"");
+
+  std::unique_ptr<Tenant> tenant;
+  if (options.shards > 1) {
+    shard::CoordinatorConfig coordinator_config;
+    coordinator_config.shard_count = options.shards;
+    coordinator_config.method = options.method;
+    coordinator_config.num_choices = options.num_choices;
+    coordinator_config.options = streaming_options;
+    // The tenant's resync cadence becomes the cross-shard barrier cadence.
+    coordinator_config.barrier_interval = options.resync_interval;
+    coordinator_config.tenant = name;
+    std::unique_ptr<shard::CategoricalShardCoordinator> coordinator;
+    util::Status status = shard::CategoricalShardCoordinator::Create(
+        coordinator_config, &coordinator);
+    if (!status.ok()) {
+      return util::Status::InvalidArgument("tenant \"" + name + "\": " +
+                                           status.message());
+    }
+    tenant.reset(new Tenant(name, options, std::move(coordinator)));
+  } else {
+    auto method = streaming::MakeIncrementalCategorical(
+        options.method, options.num_choices, streaming_options);
+    if (method == nullptr) {
+      return util::Status::InvalidArgument(
+          "tenant \"" + name + "\": no streaming implementation of \"" +
+          options.method + "\"");
+    }
+    streaming::EngineConfig config;
+    config.resync_interval = options.resync_interval;
+    auto engine = std::make_unique<streaming::CategoricalStreamEngine>(
+        std::move(method), config);
+    tenant.reset(new Tenant(name, options, std::move(engine)));
   }
-  streaming::EngineConfig config;
-  config.resync_interval = options.resync_interval;
-  auto engine = std::make_unique<streaming::CategoricalStreamEngine>(
-      std::move(method), config);
-  std::unique_ptr<Tenant> tenant(
-      new Tenant(name, options, std::move(engine)));
 
   if (!options.data_dir.empty()) {
     data::AnswerLogHeader header;
@@ -167,8 +196,7 @@ util::Status Tenant::Ingest(const std::string& body, IngestResult* result) {
   data::ValidationReport report;
   const size_t before_validation = records.size();
   util::Status status = data::ValidateCategoricalRecords(
-      "ingest", engine_->method().num_choices(), validation, &records,
-      &report);
+      "ingest", num_choices(), validation, &records, &report);
   if (!status.ok()) return status;
   result->duplicates += report.duplicate_answers;
   result->out_of_range += report.out_of_range_labels;
@@ -179,7 +207,7 @@ util::Status Tenant::Ingest(const std::string& body, IngestResult* result) {
   // *earlier requests* (its answer store is the cross-request state).
   for (const data::RawCategoricalAnswer& record : records) {
     const auto& [worker, task] = id_strings[record.task];
-    status = engine_->Observe(task, worker, record.label);
+    status = ObserveAnswer(task, worker, record.label);
     if (!status.ok()) {
       const bool duplicate =
           status.message().find("duplicate") != std::string::npos;
@@ -203,13 +231,58 @@ util::Status Tenant::Ingest(const std::string& body, IngestResult* result) {
   return util::Status::Ok();
 }
 
+util::Status Tenant::ObserveAnswer(const std::string& task,
+                                   const std::string& worker,
+                                   data::LabelId label) {
+  if (coordinator_ != nullptr) {
+    return coordinator_->Observe(task, worker, label);
+  }
+  return engine_->Observe(task, worker, label);
+}
+
+std::string Tenant::method_name() const {
+  return engine_ != nullptr ? engine_->method().name()
+                            : coordinator_->config().method;
+}
+
+int Tenant::num_choices() const {
+  return engine_ != nullptr ? engine_->method().num_choices()
+                            : coordinator_->config().num_choices;
+}
+
+int64_t Tenant::answers_seen() const {
+  return engine_ != nullptr ? engine_->stats().answers
+                            : coordinator_->answers_accepted();
+}
+
+// The serving estimate of one global task of a sharded tenant: the owning
+// shard's current (approximate, globally informed) answer. Tasks seen only
+// in rejected records have no owner and report label 0, matching a fresh
+// engine's default estimate.
+namespace {
+data::LabelId ShardedEstimate(
+    const shard::CategoricalShardCoordinator& coordinator, int gid) {
+  const int owner = coordinator.TaskOwner(gid);
+  if (owner < 0) return 0;
+  return coordinator.engine(owner).method().Estimate(
+      coordinator.TaskLocal(gid));
+}
+}  // namespace
+
 std::string Tenant::TruthCsv() const {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"task", "truth"});
-  const auto& method = engine_->method();
-  for (int t = 0; t < method.num_tasks(); ++t) {
-    rows.push_back({engine_->tasks().Name(t),
-                    std::to_string(method.Estimate(t))});
+  if (coordinator_ != nullptr) {
+    for (int gid = 0; gid < coordinator_->global_num_tasks(); ++gid) {
+      rows.push_back({coordinator_->tasks().Name(gid),
+                      std::to_string(ShardedEstimate(*coordinator_, gid))});
+    }
+  } else {
+    const auto& method = engine_->method();
+    for (int t = 0; t < method.num_tasks(); ++t) {
+      rows.push_back({engine_->tasks().Name(t),
+                      std::to_string(method.Estimate(t))});
+    }
   }
   std::string out;
   for (const auto& row : rows) out += util::FormatCsvLine(row) + "\n";
@@ -217,30 +290,58 @@ std::string Tenant::TruthCsv() const {
 }
 
 std::string Tenant::TruthJson() const {
-  const auto& method = engine_->method();
   util::JsonValue root = util::JsonValue::Object();
   root.Set("tenant", name_);
-  root.Set("method", method.name());
-  root.Set("answers", static_cast<int64_t>(engine_->stats().answers));
-  root.Set("resyncs", engine_->stats().resyncs);
-  root.Set("num_tasks", method.num_tasks());
-  root.Set("num_workers", method.num_workers());
+  root.Set("method", method_name());
+  root.Set("answers", answers_seen());
   util::JsonValue tasks = util::JsonValue::Array();
-  for (int t = 0; t < method.num_tasks(); ++t) {
-    util::JsonValue entry = util::JsonValue::Object();
-    entry.Set("task", engine_->tasks().Name(t));
-    entry.Set("truth", static_cast<int64_t>(method.Estimate(t)));
-    tasks.Append(std::move(entry));
+  if (coordinator_ != nullptr) {
+    int64_t resyncs = 0;
+    for (int s = 0; s < coordinator_->shard_count(); ++s) {
+      resyncs += coordinator_->engine(s).stats().resyncs;
+    }
+    root.Set("resyncs", resyncs);
+    root.Set("shards", coordinator_->shard_count());
+    root.Set("barriers", coordinator_->barriers_run());
+    root.Set("num_tasks", coordinator_->global_num_tasks());
+    root.Set("num_workers", coordinator_->global_num_workers());
+    for (int gid = 0; gid < coordinator_->global_num_tasks(); ++gid) {
+      util::JsonValue entry = util::JsonValue::Object();
+      entry.Set("task", coordinator_->tasks().Name(gid));
+      entry.Set("truth",
+                static_cast<int64_t>(ShardedEstimate(*coordinator_, gid)));
+      tasks.Append(std::move(entry));
+    }
+  } else {
+    const auto& method = engine_->method();
+    root.Set("resyncs", engine_->stats().resyncs);
+    root.Set("num_tasks", method.num_tasks());
+    root.Set("num_workers", method.num_workers());
+    for (int t = 0; t < method.num_tasks(); ++t) {
+      util::JsonValue entry = util::JsonValue::Object();
+      entry.Set("task", engine_->tasks().Name(t));
+      entry.Set("truth", static_cast<int64_t>(method.Estimate(t)));
+      tasks.Append(std::move(entry));
+    }
   }
   root.Set("tasks", std::move(tasks));
   return root.Dump(2) + "\n";
 }
 
 void Tenant::ForceResync() {
+  if (coordinator_ != nullptr) {
+    if (coordinator_->answers_accepted() > 0) {
+      (void)coordinator_->GlobalResync();
+    }
+    return;
+  }
   if (engine_->stats().answers > 0) engine_->Resync();
 }
 
 std::string Tenant::SnapshotJson() const {
+  if (coordinator_ != nullptr) {
+    return coordinator_->MakeCheckpoint().Dump(2) + "\n";
+  }
   return engine_->Snapshot().Dump(2) + "\n";
 }
 
@@ -252,6 +353,15 @@ bool Tenant::Admit(int64_t records) {
 void Tenant::Retune(int resync_interval, int max_dirty_tasks) {
   resync_interval_ = resync_interval;
   max_dirty_tasks_ = max_dirty_tasks;
+  if (coordinator_ != nullptr) {
+    // For a sharded tenant the resync knob drives the barrier cadence;
+    // the dirty-task cap still applies per shard engine.
+    coordinator_->set_barrier_interval(resync_interval);
+    for (int s = 0; s < coordinator_->shard_count(); ++s) {
+      coordinator_->engine(s).set_max_dirty_tasks(max_dirty_tasks);
+    }
+    return;
+  }
   engine_->set_resync_interval(resync_interval);
   engine_->set_max_dirty_tasks(max_dirty_tasks);
 }

@@ -23,6 +23,7 @@
 
 #include "data/answer_log.h"
 #include "data/validate.h"
+#include "shard/coordinator.h"
 #include "streaming/engine.h"
 #include "util/status.h"
 
@@ -31,6 +32,10 @@ namespace crowdtruth::server {
 struct TenantOptions {
   std::string method = "ZC";
   int num_choices = 2;
+  // > 1 runs the tenant as a task-partitioned shard coordinator
+  // (src/shard/) instead of a single engine: resync_interval becomes the
+  // cross-shard barrier interval and ?resync=1 triggers the global solve.
+  int shards = 1;
   // Forwarded to streaming::EngineConfig / StreamingOptions.
   int resync_interval = 1000;
   int local_sweeps = 2;
@@ -73,10 +78,19 @@ class Tenant {
 
   const std::string& name() const { return name_; }
   const TenantOptions& options() const { return options_; }
+  // Single-shard tenants only (sharded tenants have no single engine;
+  // check sharded() first).
   streaming::CategoricalStreamEngine& engine() { return *engine_; }
   const streaming::CategoricalStreamEngine& engine() const {
     return *engine_;
   }
+  bool sharded() const { return coordinator_ != nullptr; }
+  shard::CategoricalShardCoordinator& coordinator() { return *coordinator_; }
+
+  // Engine-or-coordinator-agnostic facts the HTTP layer reports.
+  std::string method_name() const;
+  int num_choices() const;
+  int64_t answers_seen() const;
 
   // Ingests a newline-delimited `worker,task,label` body. Typed failures:
   // ParseError (malformed row under kReject), ValidationError (validator
@@ -122,10 +136,19 @@ class Tenant {
  private:
   Tenant(std::string name, TenantOptions options,
          std::unique_ptr<streaming::CategoricalStreamEngine> engine);
+  Tenant(std::string name, TenantOptions options,
+         std::unique_ptr<shard::CategoricalShardCoordinator> coordinator);
+
+  // One accepted answer into whichever backend this tenant runs.
+  util::Status ObserveAnswer(const std::string& task,
+                             const std::string& worker, data::LabelId label);
 
   std::string name_;
   TenantOptions options_;
+  // Exactly one of these is set: engine_ for shards == 1, coordinator_
+  // for a task-partitioned tenant.
   std::unique_ptr<streaming::CategoricalStreamEngine> engine_;
+  std::unique_ptr<shard::CategoricalShardCoordinator> coordinator_;
   std::unique_ptr<data::AnswerLogWriter> log_;
   std::string log_path_;
 

@@ -1,0 +1,189 @@
+#include "shard/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace crowdtruth::shard {
+
+using util::JsonValue;
+using util::Status;
+
+namespace {
+
+Status ReadString(const JsonValue& doc, const char* key, std::string* out) {
+  const JsonValue* value = doc.Find(key);
+  if (value == nullptr || value->kind() != JsonValue::Kind::kString) {
+    return Status::InvalidArgument(std::string("checkpoint field \"") + key +
+                                   "\" missing or not a string");
+  }
+  *out = value->string();
+  return Status::Ok();
+}
+
+Status ReadInt64(const JsonValue& doc, const char* key, int64_t* out) {
+  const JsonValue* value = doc.Find(key);
+  if (value == nullptr || value->kind() != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument(std::string("checkpoint field \"") + key +
+                                   "\" missing or not a number");
+  }
+  *out = static_cast<int64_t>(value->number());
+  return Status::Ok();
+}
+
+}  // namespace
+
+JsonValue MakeCheckpointDoc(const CheckpointMeta& meta,
+                            std::vector<JsonValue> engine_snapshots) {
+  JsonValue root = JsonValue::Object();
+  root.Set("format", kCheckpointFormat);
+  root.Set("version", kCheckpointVersion);
+  root.Set("shard_count", meta.shard_count);
+  root.Set("shard_index", meta.shard_index);
+  root.Set("next_sequence", meta.next_sequence);
+  root.Set("method", meta.method);
+  root.Set("kind", meta.kind);
+  root.Set("num_choices", meta.num_choices);
+  JsonValue shards = JsonValue::Array();
+  for (JsonValue& snapshot : engine_snapshots) {
+    shards.Append(std::move(snapshot));
+  }
+  root.Set("shards", std::move(shards));
+  return root;
+}
+
+Status ParseCheckpointDoc(const JsonValue& doc, CheckpointMeta* meta,
+                          const JsonValue** shards) {
+  const JsonValue* format = doc.Find("format");
+  if (format == nullptr || format->kind() != JsonValue::Kind::kString ||
+      format->string() != kCheckpointFormat) {
+    return Status::InvalidArgument(
+        "not a crowdtruth_shard_checkpoint document");
+  }
+  int64_t version = 0;
+  Status status = ReadInt64(doc, "version", &version);
+  if (!status.ok()) return status;
+  if (version != kCheckpointVersion) {
+    return Status::ValidationError("unsupported shard checkpoint version " +
+                                   std::to_string(version));
+  }
+  int64_t shard_count = 0;
+  int64_t shard_index = 0;
+  int64_t num_choices = 0;
+  status = ReadInt64(doc, "shard_count", &shard_count);
+  if (!status.ok()) return status;
+  status = ReadInt64(doc, "shard_index", &shard_index);
+  if (!status.ok()) return status;
+  status = ReadInt64(doc, "next_sequence", &meta->next_sequence);
+  if (!status.ok()) return status;
+  status = ReadString(doc, "method", &meta->method);
+  if (!status.ok()) return status;
+  status = ReadString(doc, "kind", &meta->kind);
+  if (!status.ok()) return status;
+  status = ReadInt64(doc, "num_choices", &num_choices);
+  if (!status.ok()) return status;
+  if (shard_count < 1 || shard_index < -1 || shard_index >= shard_count ||
+      meta->next_sequence < 0) {
+    return Status::InvalidArgument("checkpoint meta out of range");
+  }
+  meta->shard_count = static_cast<int>(shard_count);
+  meta->shard_index = static_cast<int>(shard_index);
+  meta->num_choices = static_cast<int>(num_choices);
+  const JsonValue* array = doc.Find("shards");
+  if (array == nullptr || array->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(
+        "checkpoint field \"shards\" missing or not an array");
+  }
+  const size_t expected = meta->shard_index < 0
+                              ? static_cast<size_t>(meta->shard_count)
+                              : 1;
+  if (array->items().size() != expected) {
+    return Status::InvalidArgument(
+        "checkpoint carries " + std::to_string(array->items().size()) +
+        " shard snapshots, expected " + std::to_string(expected));
+  }
+  *shards = array;
+  return Status::Ok();
+}
+
+std::string CheckpointFileName(const std::string& prefix,
+                               int64_t next_sequence) {
+  std::string digits = std::to_string(next_sequence);
+  if (digits.size() < 12) digits.insert(0, 12 - digits.size(), '0');
+  return prefix + "_" + digits + ".json";
+}
+
+Status WriteJsonFileAtomic(const std::string& path, const JsonValue& doc) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
+    out << doc.Dump(/*indent=*/1) << '\n';
+    out.flush();
+    if (!out) return Status::IoError("write failed on " + tmp);
+  }
+  std::error_code error;
+  std::filesystem::rename(tmp, path, error);
+  if (error) {
+    return Status::IoError("cannot rename " + tmp + " to " + path + ": " +
+                           error.message());
+  }
+  return Status::Ok();
+}
+
+Status ReadJsonFile(const std::string& path, JsonValue* out) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed on " + path);
+  return util::ParseJson(buffer.str(), out);
+}
+
+Status FindLatestCheckpoint(const std::string& dir,
+                            const std::string& prefix, std::string* path,
+                            int64_t* next_sequence) {
+  std::error_code error;
+  std::filesystem::directory_iterator it(dir, error);
+  if (error) {
+    return Status::NotFound("cannot list " + dir + ": " + error.message());
+  }
+  const std::string head = prefix + "_";
+  const std::string tail = ".json";
+  bool found = false;
+  int64_t best = -1;
+  std::string best_path;
+  for (const std::filesystem::directory_entry& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= head.size() + tail.size() ||
+        name.compare(0, head.size(), head) != 0 ||
+        name.compare(name.size() - tail.size(), tail.size(), tail) != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(head.size(), name.size() - head.size() - tail.size());
+    char* end = nullptr;
+    errno = 0;
+    const long long seq = std::strtoll(digits.c_str(), &end, 10);
+    if (end == digits.c_str() || *end != '\0' || errno == ERANGE || seq < 0) {
+      continue;
+    }
+    if (!found || seq > best) {
+      found = true;
+      best = seq;
+      best_path = entry.path().string();
+    }
+  }
+  if (!found) {
+    return Status::NotFound("no \"" + prefix + "_*\" checkpoint in " + dir);
+  }
+  *path = best_path;
+  *next_sequence = best;
+  return Status::Ok();
+}
+
+}  // namespace crowdtruth::shard

@@ -1,0 +1,543 @@
+// Partitioned streaming inference: one logical engine as N cooperating
+// shards.
+//
+// Tasks are hash-partitioned across shards (data::ShardOfTask over the
+// task's string id), so every answer of a task lands on one shard and the
+// only state that couples shards is per-worker quality. The coordinator
+// drives the shards through the round structure
+//
+//   observe*  ->  barrier  ->  observe*  ->  barrier  ->  ...  -> resync
+//
+// where a barrier is: every shard runs a local batch resync over its own
+// slice, exports its per-worker sufficient statistics (WorkerSummary),
+// the summaries are all-reduced in shard order, and every shard adopts the
+// merged result — between barriers a shard serves approximate but
+// *globally informed* estimates.
+//
+// Determinism contract (pinned by tests/shard_test.cc and
+// tools/shard_e2e.sh): the final truth is produced by GlobalResync(),
+// which materializes every accepted answer in global arrival order with
+// global first-appearance interning — exactly the dataset a single-process
+// replay's final resync solves — and runs the batch method once. The final
+// output is therefore bit-identical for any shard count and for any
+// kill-and-restart from a checkpoint; see docs/sharding.md for why the
+// exchange of intermediate summaries cannot (and need not) carry that
+// guarantee.
+//
+// Checkpoint/restart: MakeCheckpoint() emits a shard/checkpoint.h document
+// holding every shard's engine snapshot plus the consumed-record count.
+// Restore() loads the engines; the caller then replays the already-
+// consumed input prefix through ReplayRouting() (routing is deterministic,
+// so the rebuilt global state matches the run that wrote the checkpoint)
+// and resumes Observe() at next_sequence().
+#ifndef CROWDTRUTH_SHARD_COORDINATOR_H_
+#define CROWDTRUTH_SHARD_COORDINATOR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/registry.h"
+#include "data/answer_log.h"
+#include "data/dataset.h"
+#include "shard/checkpoint.h"
+#include "shard/metrics.h"
+#include "streaming/engine.h"
+#include "streaming/registry.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace crowdtruth::shard {
+
+struct CoordinatorConfig {
+  int shard_count = 1;
+  // Batch-registry method name ("MV", "ZC", "D&S" / "Mean", "Median").
+  std::string method;
+  int num_choices = 0;  // categorical only
+  streaming::StreamingOptions options;
+  // Run a cross-shard barrier every this many consumed records; 0 leaves
+  // barriers to explicit RunBarrier()/GlobalResync() calls.
+  int64_t barrier_interval = 0;
+  // Metric label for server-owned coordinators ("" elsewhere).
+  std::string tenant;
+};
+
+template <typename Method>
+class ShardCoordinator {
+  static constexpr bool kCategorical =
+      std::is_same_v<Method, streaming::IncrementalCategoricalMethod>;
+
+ public:
+  using Engine = streaming::StreamEngine<Method>;
+  using BatchResult = typename Method::BatchResult;
+  using Payload = std::conditional_t<kCategorical, data::LabelId, double>;
+
+  static util::Status Create(const CoordinatorConfig& config,
+                             std::unique_ptr<ShardCoordinator>* out) {
+    if (config.shard_count < 1) {
+      return util::Status::InvalidArgument(
+          "shard_count must be >= 1, got " +
+          std::to_string(config.shard_count));
+    }
+    auto coordinator =
+        std::unique_ptr<ShardCoordinator>(new ShardCoordinator(config));
+    for (int s = 0; s < config.shard_count; ++s) {
+      std::unique_ptr<Method> method;
+      if constexpr (kCategorical) {
+        method = streaming::MakeIncrementalCategorical(
+            config.method, config.num_choices, config.options);
+      } else {
+        method =
+            streaming::MakeIncrementalNumeric(config.method, config.options);
+      }
+      if (method == nullptr) {
+        return util::Status::InvalidArgument(
+            "no incremental implementation for method \"" + config.method +
+            "\"");
+      }
+      streaming::EngineConfig engine_config;
+      // The coordinator owns resync scheduling; engines never self-resync.
+      engine_config.resync_interval = 0;
+      engine_config.tenant = config.tenant;
+      coordinator->engines_.push_back(
+          std::make_unique<Engine>(std::move(method), engine_config));
+      coordinator->shard_tasks_.emplace_back();
+      coordinator->shard_workers_.emplace_back();
+      coordinator->worker_local_.emplace_back();
+    }
+    *out = std::move(coordinator);
+    return util::Status::Ok();
+  }
+
+  // Consumes one record (one global sequence slot) and routes it to the
+  // owning shard. Rejected records — out-of-range labels, non-finite
+  // values, duplicate (task, worker) pairs — still consume their slot and
+  // still intern their ids (mirroring StreamEngine::Observe); the caller
+  // applies its bad-record policy to the returned status. A barrier due at
+  // this position fires after the record is consumed, whether or not it
+  // was accepted.
+  util::Status Observe(const std::string& task, const std::string& worker,
+                       Payload payload) {
+    const util::Status status =
+        Route(task, worker, payload, /*drive_engine=*/true);
+    ++consumed_;
+    util::Status barrier_status = util::Status::Ok();
+    if (config_.barrier_interval > 0 &&
+        consumed_ % config_.barrier_interval == 0) {
+      barrier_status = RunBarrier();
+    }
+    return status.ok() ? barrier_status : status;
+  }
+
+  // Barrier: local resync per shard, worker-summary all-reduce in shard
+  // order, merged summary adopted everywhere.
+  util::Status RunBarrier() {
+    util::Stopwatch total;
+    std::vector<double> local_seconds(engines_.size(), 0.0);
+    for (size_t s = 0; s < engines_.size(); ++s) {
+      util::Stopwatch watch;
+      engines_[s]->Resync();
+      local_seconds[s] = watch.ElapsedSeconds();
+    }
+    streaming::WorkerSummary merged;
+    for (size_t s = 0; s < engines_.size(); ++s) {
+      streaming::WorkerSummary summary = engines_[s]->ExportWorkerSummary();
+      if (ShardMetricSet* m = Metrics(static_cast<int>(s))) {
+        m->summary_bytes->Increment(
+            static_cast<double>(summary.ToJson().Dump().size()));
+      }
+      if (s == 0) {
+        merged = std::move(summary);
+      } else {
+        util::Status status = merged.Merge(summary);
+        if (!status.ok()) return status;
+      }
+    }
+    for (auto& engine : engines_) {
+      util::Status status = engine->AdoptWorkerSummary(merged);
+      if (!status.ok()) return status;
+    }
+    ++barriers_;
+    const double elapsed = total.ElapsedSeconds();
+    for (size_t s = 0; s < engines_.size(); ++s) {
+      if (ShardMetricSet* m = Metrics(static_cast<int>(s))) {
+        m->barriers->Increment();
+        // In-process shards run the barrier serially; a shard's "wait" is
+        // the barrier's span minus its own local resync.
+        m->barrier_wait->Observe(std::max(0.0, elapsed - local_seconds[s]));
+      }
+    }
+    return util::Status::Ok();
+  }
+
+  // The deterministic global solve (see the header comment): batch-solves
+  // the global arrival-order dataset once, hands every shard its slice of
+  // the solution, and returns the global result (task/worker indices are
+  // the coordinator's global interners).
+  util::Status GlobalResync(BatchResult* out = nullptr) {
+    BatchResult global;
+    if (!global_answers_.empty()) {
+      global = SolveGlobal();
+      for (size_t s = 0; s < engines_.size(); ++s) {
+        engines_[s]->AdoptResult(
+            LocalizeResult(global, static_cast<int>(s)));
+      }
+    }
+    if (out != nullptr) *out = std::move(global);
+    return util::Status::Ok();
+  }
+
+  // One document carrying every shard's engine snapshot; see
+  // shard/checkpoint.h.
+  util::JsonValue MakeCheckpoint() const {
+    CheckpointMeta meta;
+    meta.shard_count = config_.shard_count;
+    meta.shard_index = -1;
+    meta.next_sequence = consumed_;
+    meta.method = config_.method;
+    meta.kind = Method::kKind;
+    meta.num_choices = config_.num_choices;
+    std::vector<util::JsonValue> snapshots;
+    snapshots.reserve(engines_.size());
+    for (const auto& engine : engines_) {
+      snapshots.push_back(engine->Snapshot());
+    }
+    return MakeCheckpointDoc(meta, std::move(snapshots));
+  }
+
+  // Records checkpoint cost in the per-shard metric families (the caller
+  // owns the file write and times it).
+  void NoteCheckpoint(double seconds) {
+    for (int s = 0; s < config_.shard_count; ++s) {
+      if (ShardMetricSet* m = Metrics(s)) {
+        m->checkpoints->Increment();
+        m->checkpoint_seconds->Observe(seconds);
+      }
+    }
+  }
+
+  // Restores the engines and counters from a coordinator checkpoint. The
+  // caller must then feed every already-consumed input record (sequence <
+  // next_sequence()) through ReplayRouting(), call FinishReplay(), and
+  // resume Observe() with the rest of the input.
+  util::Status Restore(const util::JsonValue& doc) {
+    CheckpointMeta meta;
+    const util::JsonValue* shards = nullptr;
+    util::Status status = ParseCheckpointDoc(doc, &meta, &shards);
+    if (!status.ok()) return status;
+    if (meta.shard_index != -1) {
+      return util::Status::InvalidArgument(
+          "checkpoint carries a single shard, not a coordinator document");
+    }
+    if (meta.shard_count != config_.shard_count) {
+      return util::Status::InvalidArgument(
+          "checkpoint was taken with shard_count=" +
+          std::to_string(meta.shard_count) + ", this coordinator runs " +
+          std::to_string(config_.shard_count));
+    }
+    if (meta.kind != Method::kKind || meta.method != config_.method ||
+        (kCategorical && meta.num_choices != config_.num_choices)) {
+      return util::Status::InvalidArgument(
+          "checkpoint method " + meta.kind + "/" + meta.method + "/" +
+          std::to_string(meta.num_choices) + " does not match this "
+          "coordinator");
+    }
+    for (size_t s = 0; s < engines_.size(); ++s) {
+      status = engines_[s]->Restore(shards->items()[s]);
+      if (!status.ok()) return status;
+    }
+    consumed_ = meta.next_sequence;
+    barriers_ = 0;
+    tasks_ = streaming::StreamIdInterner();
+    workers_ = streaming::StreamIdInterner();
+    global_answers_.clear();
+    seen_pairs_.clear();
+    task_owner_.clear();
+    task_local_.clear();
+    global_num_tasks_ = 0;
+    global_num_workers_ = 0;
+    for (int s = 0; s < config_.shard_count; ++s) {
+      shard_tasks_[s].clear();
+      shard_workers_[s].clear();
+      worker_local_[s].clear();
+      if (ShardMetricSet* m = Metrics(s)) m->restarts->Increment();
+    }
+    return util::Status::Ok();
+  }
+
+  // Rebuilds the routing/global state for one already-consumed record
+  // without re-driving the (already restored) engines. Deterministic
+  // rejections are re-derived, not errors; the status is returned so
+  // merge tooling can tell accepted from rejected records, and callers
+  // replaying a checkpointed prefix simply ignore it.
+  util::Status ReplayRouting(const std::string& task,
+                             const std::string& worker, Payload payload) {
+    return Route(task, worker, payload, /*drive_engine=*/false);
+  }
+
+  // The batch solve of GlobalResync() without adopting the result into
+  // the engines (merge tooling solves over routing state alone).
+  BatchResult Solve() const { return SolveGlobal(); }
+
+  // Verifies the replayed prefix actually matches the restored engines:
+  // every shard's rebuilt task/worker membership must agree with its
+  // engine's interners, id by id.
+  util::Status FinishReplay() const {
+    for (size_t s = 0; s < engines_.size(); ++s) {
+      const streaming::StreamIdInterner& tasks = engines_[s]->tasks();
+      const streaming::StreamIdInterner& workers = engines_[s]->workers();
+      if (static_cast<int>(shard_tasks_[s].size()) != tasks.size() ||
+          static_cast<int>(shard_workers_[s].size()) != workers.size()) {
+        return util::Status::InvalidArgument(
+            "shard " + std::to_string(s) + ": replayed input prefix does "
+            "not match the checkpoint (task/worker counts differ)");
+      }
+      for (int lid = 0; lid < tasks.size(); ++lid) {
+        if (tasks.Name(lid) != tasks_.Name(shard_tasks_[s][lid])) {
+          return util::Status::InvalidArgument(
+              "shard " + std::to_string(s) + ": replayed task order does "
+              "not match the checkpoint");
+        }
+      }
+      for (int lid = 0; lid < workers.size(); ++lid) {
+        if (workers.Name(lid) != workers_.Name(shard_workers_[s][lid])) {
+          return util::Status::InvalidArgument(
+              "shard " + std::to_string(s) + ": replayed worker order does "
+              "not match the checkpoint");
+        }
+      }
+    }
+    return util::Status::Ok();
+  }
+
+  // --- Accessors ---
+
+  int shard_count() const { return config_.shard_count; }
+  const CoordinatorConfig& config() const { return config_; }
+  // Live retuning knob (the server's adaptive controller): how often
+  // Observe() runs a cross-shard barrier. 0 stops periodic barriers.
+  void set_barrier_interval(int64_t interval) {
+    config_.barrier_interval = interval;
+  }
+  Engine& engine(int s) { return *engines_[s]; }
+  const Engine& engine(int s) const { return *engines_[s]; }
+  // Records consumed == the global sequence number of the next record.
+  int64_t next_sequence() const { return consumed_; }
+  int64_t answers_accepted() const {
+    return static_cast<int64_t>(global_answers_.size());
+  }
+  int64_t barriers_run() const { return barriers_; }
+  // Global first-appearance interners (include ids seen only in rejected
+  // records, mirroring a single engine's interner).
+  const streaming::StreamIdInterner& tasks() const { return tasks_; }
+  const streaming::StreamIdInterner& workers() const { return workers_; }
+  // Global dense bounds of *accepted* answers (the solve's matrix sizes).
+  int global_num_tasks() const { return global_num_tasks_; }
+  int global_num_workers() const { return global_num_workers_; }
+  // Owning shard / local dense id of a global task (-1 when the task has
+  // no accepted answers).
+  int TaskOwner(int task_gid) const {
+    return task_gid < static_cast<int>(task_owner_.size())
+               ? task_owner_[task_gid]
+               : -1;
+  }
+  int TaskLocal(int task_gid) const {
+    return task_gid < static_cast<int>(task_local_.size())
+               ? task_local_[task_gid]
+               : -1;
+  }
+
+ private:
+  explicit ShardCoordinator(CoordinatorConfig config)
+      : config_(std::move(config)) {}
+
+  static uint64_t PairKey(int task_gid, int worker_gid) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(task_gid)) << 32) |
+           static_cast<uint32_t>(worker_gid);
+  }
+
+  util::Status Route(const std::string& task, const std::string& worker,
+                     Payload payload, bool drive_engine) {
+    const int task_gid = tasks_.Intern(task);
+    const int worker_gid = workers_.Intern(worker);
+    if constexpr (kCategorical) {
+      if (payload < 0 || payload >= config_.num_choices) {
+        return util::Status::InvalidArgument(
+            "label " + std::to_string(payload) +
+            " out of range for num_choices=" +
+            std::to_string(config_.num_choices));
+      }
+    } else {
+      if (!std::isfinite(payload)) {
+        return util::Status::InvalidArgument(
+            "non-finite answer value for task \"" + task + "\"");
+      }
+    }
+    if (!seen_pairs_.insert(PairKey(task_gid, worker_gid)).second) {
+      return util::Status::InvalidArgument(
+          "duplicate answer: worker \"" + worker +
+          "\" already answered task \"" + task + "\"");
+    }
+
+    if (static_cast<int>(task_owner_.size()) <= task_gid) {
+      task_owner_.resize(task_gid + 1, -1);
+      task_local_.resize(task_gid + 1, -1);
+    }
+    if (task_owner_[task_gid] < 0) {
+      const int owner = data::ShardOfTask(task, config_.shard_count);
+      task_owner_[task_gid] = owner;
+      task_local_[task_gid] = static_cast<int>(shard_tasks_[owner].size());
+      shard_tasks_[owner].push_back(task_gid);
+    }
+    const int owner = task_owner_[task_gid];
+    const bool new_worker =
+        worker_local_[owner]
+            .emplace(worker_gid,
+                     static_cast<int>(shard_workers_[owner].size()))
+            .second;
+    if (new_worker) shard_workers_[owner].push_back(worker_gid);
+
+    typename Method::Answer answer;
+    answer.task = task_gid;
+    answer.worker = worker_gid;
+    streaming::internal_engine::SetPayload(answer, payload);
+    global_answers_.push_back(answer);
+    global_num_tasks_ = std::max(global_num_tasks_, task_gid + 1);
+    global_num_workers_ = std::max(global_num_workers_, worker_gid + 1);
+
+    if (drive_engine) {
+      // Pre-validated above, so the engine accepts; a failure here means
+      // the coordinator's checks drifted from the method's.
+      util::Status status = engines_[owner]->Observe(task, worker, payload);
+      if (!status.ok()) return status;
+    }
+    return util::Status::Ok();
+  }
+
+  BatchResult SolveGlobal() const {
+    if constexpr (kCategorical) {
+      data::CategoricalDatasetBuilder builder(
+          global_num_tasks_, global_num_workers_, config_.num_choices);
+      builder.set_name(config_.method + "_stream");
+      for (const typename Method::Answer& a : global_answers_) {
+        builder.AddAnswer(a.task, a.worker, a.label);
+      }
+      const data::CategoricalDataset dataset = std::move(builder).Build();
+      auto batch = core::MakeCategoricalMethod(config_.method);
+      CROWDTRUTH_CHECK(batch != nullptr);
+      return batch->Infer(dataset, config_.options.batch);
+    } else {
+      data::NumericDatasetBuilder builder(global_num_tasks_,
+                                          global_num_workers_);
+      builder.set_name(config_.method + "_stream");
+      for (const typename Method::Answer& a : global_answers_) {
+        builder.AddAnswer(a.task, a.worker, a.value);
+      }
+      const data::NumericDataset dataset = std::move(builder).Build();
+      auto batch = core::MakeNumericMethod(config_.method);
+      CROWDTRUTH_CHECK(batch != nullptr);
+      return batch->Infer(dataset, config_.options.batch);
+    }
+  }
+
+  // Slices the global solution down to one shard's local dense spaces.
+  BatchResult LocalizeResult(const BatchResult& global, int s) const {
+    BatchResult local;
+    const std::vector<int>& task_gids = shard_tasks_[s];
+    const std::vector<int>& worker_gids = shard_workers_[s];
+    if constexpr (kCategorical) {
+      local.labels.resize(task_gids.size());
+      for (size_t i = 0; i < task_gids.size(); ++i) {
+        local.labels[i] = global.labels[task_gids[i]];
+      }
+      if (!global.posterior.empty()) {
+        local.posterior.resize(task_gids.size());
+        for (size_t i = 0; i < task_gids.size(); ++i) {
+          local.posterior[i] = global.posterior[task_gids[i]];
+        }
+      }
+      local.worker_quality.resize(worker_gids.size());
+      for (size_t i = 0; i < worker_gids.size(); ++i) {
+        local.worker_quality[i] = global.worker_quality[worker_gids[i]];
+      }
+      if (!global.worker_confusion.empty()) {
+        local.worker_confusion.resize(worker_gids.size());
+        for (size_t i = 0; i < worker_gids.size(); ++i) {
+          local.worker_confusion[i] = global.worker_confusion[worker_gids[i]];
+        }
+      }
+    } else {
+      local.values.resize(task_gids.size());
+      for (size_t i = 0; i < task_gids.size(); ++i) {
+        local.values[i] = global.values[task_gids[i]];
+      }
+      local.worker_quality.resize(worker_gids.size());
+      for (size_t i = 0; i < worker_gids.size(); ++i) {
+        local.worker_quality[i] = global.worker_quality[worker_gids[i]];
+      }
+    }
+    local.iterations = global.iterations;
+    local.converged = global.converged;
+    return local;
+  }
+
+  ShardMetricSet* Metrics(int s) {
+    obs::MetricRegistry* const registry = obs::ProcessMetrics();
+    if (registry == nullptr) return nullptr;
+    if (metrics_registry_ != registry) {
+      metric_sets_.clear();
+      metric_sets_.reserve(config_.shard_count);
+      for (int i = 0; i < config_.shard_count; ++i) {
+        metric_sets_.push_back(
+            ResolveShardMetricSet(registry, std::to_string(i)));
+      }
+      metrics_registry_ = registry;
+    }
+    return &metric_sets_[s];
+  }
+
+  CoordinatorConfig config_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+
+  // Global first-appearance interners over every consumed record.
+  streaming::StreamIdInterner tasks_;
+  streaming::StreamIdInterner workers_;
+  // Accepted answers in global arrival order, keyed by global dense ids —
+  // the replay log GlobalResync solves.
+  std::vector<typename Method::Answer> global_answers_;
+  std::unordered_set<uint64_t> seen_pairs_;
+  int global_num_tasks_ = 0;
+  int global_num_workers_ = 0;
+
+  // Routing: global task gid -> owning shard and local dense id;
+  // per-shard local order -> gid (tasks exactly once; workers per shard).
+  std::vector<int> task_owner_;
+  std::vector<int> task_local_;
+  std::vector<std::vector<int>> shard_tasks_;
+  std::vector<std::vector<int>> shard_workers_;
+  std::vector<std::unordered_map<int, int>> worker_local_;
+
+  int64_t consumed_ = 0;
+  int64_t barriers_ = 0;
+
+  std::vector<ShardMetricSet> metric_sets_;
+  obs::MetricRegistry* metrics_registry_ = nullptr;
+};
+
+using CategoricalShardCoordinator =
+    ShardCoordinator<streaming::IncrementalCategoricalMethod>;
+using NumericShardCoordinator =
+    ShardCoordinator<streaming::IncrementalNumericMethod>;
+
+}  // namespace crowdtruth::shard
+
+#endif  // CROWDTRUTH_SHARD_COORDINATOR_H_

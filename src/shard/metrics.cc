@@ -1,0 +1,52 @@
+#include "shard/metrics.h"
+
+#include <vector>
+
+namespace crowdtruth::shard {
+
+ShardMetricSet ResolveShardMetricSet(obs::MetricRegistry* registry,
+                                     const std::string& shard) {
+  const std::vector<std::string> names = {"shard"};
+  const std::vector<std::string> label = {shard};
+  ShardMetricSet set;
+  set.barrier_wait =
+      &registry
+           ->AddHistogramFamily(
+               "crowdtruth_shard_barrier_wait_seconds",
+               "Time a shard spent waiting at a barrier for its peers.",
+               names, obs::HistogramBuckets::LatencySeconds())
+           .WithLabels(label);
+  set.summary_bytes =
+      &registry
+           ->AddCounterFamily(
+               "crowdtruth_shard_summary_bytes_total",
+               "Serialized worker-summary bytes contributed to barrier "
+               "all-reduces.",
+               names)
+           .WithLabels(label);
+  set.checkpoint_seconds =
+      &registry
+           ->AddHistogramFamily("crowdtruth_shard_checkpoint_seconds",
+                                "Wall-clock cost of writing one checkpoint.",
+                                names,
+                                obs::HistogramBuckets::LatencySeconds())
+           .WithLabels(label);
+  set.checkpoints =
+      &registry
+           ->AddCounterFamily("crowdtruth_shard_checkpoints_total",
+                              "Checkpoints written.", names)
+           .WithLabels(label);
+  set.barriers =
+      &registry
+           ->AddCounterFamily("crowdtruth_shard_barriers_total",
+                              "Cross-shard barriers completed.", names)
+           .WithLabels(label);
+  set.restarts =
+      &registry
+           ->AddCounterFamily("crowdtruth_shard_restarts_total",
+                              "Restores from a checkpoint.", names)
+           .WithLabels(label);
+  return set;
+}
+
+}  // namespace crowdtruth::shard

@@ -31,6 +31,7 @@
 #include "core/trace.h"
 #include "obs/metrics.h"
 #include "streaming/incremental.h"
+#include "streaming/worker_summary.h"
 #include "util/json_writer.h"
 #include "util/latency.h"
 #include "util/logging.h"
@@ -50,6 +51,12 @@ class StreamIdInterner {
     index_.emplace(id, dense);
     ids_.push_back(id);
     return dense;
+  }
+
+  // Dense id for `id`, or -1 when it has not been interned.
+  int Find(const std::string& id) const {
+    auto it = index_.find(id);
+    return it == index_.end() ? -1 : it->second;
   }
 
   int size() const { return static_cast<int>(ids_.size()); }
@@ -211,10 +218,88 @@ class StreamEngine {
     return result;
   }
 
+  // Adopts an externally computed batch solution (a shard coordinator's
+  // global resync) exactly like Resync() adopts its own; counts as a resync
+  // in stats and metrics.
+  void AdoptResult(const BatchResult& result) {
+    util::Stopwatch stopwatch;
+    method_->AdoptResult(result);
+    const double seconds = stopwatch.ElapsedSeconds();
+    stats_.resync_seconds += seconds;
+    ++stats_.resyncs;
+    if (EngineMetricSet* m = Metrics()) {
+      m->resyncs->Increment();
+      m->resync_seconds->Increment(seconds);
+      m->resync_duration->Observe(seconds);
+      m->backlog->Set(static_cast<double>(method_->backlog_size()));
+    }
+  }
+
+  // --- Cross-shard summary exchange ---
+  //
+  // At a shard barrier every shard exports its per-worker sufficient
+  // statistics keyed by worker *string* id (dense ids differ across
+  // shards), the coordinator merges them element-wise, and each shard
+  // adopts the merged summary so its serving estimates reflect workers'
+  // answers on every shard, not just the local slice.
+  WorkerSummary ExportWorkerSummary() const {
+    WorkerSummary summary;
+    summary.method = method_->name();
+    summary.kind = Method::kKind;
+    if constexpr (requires { method_->num_choices(); }) {
+      summary.num_choices = method_->num_choices();
+    }
+    for (int w = 0; w < workers_.size(); ++w) {
+      WorkerSummaryEntry entry;
+      entry.answer_count = method_->WorkerAnswerCount(w);
+      entry.stats = method_->ExportWorkerStats(w);
+      summary.workers.emplace(workers_.Name(w), std::move(entry));
+    }
+    return summary;
+  }
+
+  // Adopts a (merged) summary: workers unknown to this shard are ignored,
+  // known workers get their parameters re-derived from the global
+  // statistics via the method's AdoptWorkerStats.
+  util::Status AdoptWorkerSummary(const WorkerSummary& summary) {
+    if (summary.kind != Method::kKind ||
+        summary.method != method_->name()) {
+      return util::Status::InvalidArgument(
+          "worker summary is for " + summary.kind + " method \"" +
+          summary.method + "\"; engine runs \"" + method_->name() + "\"");
+    }
+    if constexpr (requires { method_->num_choices(); }) {
+      if (summary.num_choices != method_->num_choices()) {
+        return util::Status::InvalidArgument(
+            "worker summary num_choices " +
+            std::to_string(summary.num_choices) + " != engine's " +
+            std::to_string(method_->num_choices()));
+      }
+    }
+    for (int w = 0; w < workers_.size(); ++w) {
+      auto it = summary.workers.find(workers_.Name(w));
+      if (it == summary.workers.end()) continue;
+      method_->AdoptWorkerStats(w, it->second.answer_count,
+                                it->second.stats);
+    }
+    return util::Status::Ok();
+  }
+
+  // Version 2 snapshots are self-describing: they carry the method kind
+  // ("categorical"/"numeric"), the method name, the label-space size and
+  // the resync interval, so a restorer (or a shard coordinator reading a
+  // checkpoint) can validate compatibility before touching state. Version 1
+  // documents (no descriptor fields) restore unchanged.
   util::JsonValue Snapshot() const {
     util::JsonValue root = util::JsonValue::Object();
     root.Set("format", "crowdtruth_stream_snapshot");
-    root.Set("version", 1);
+    root.Set("version", 2);
+    root.Set("kind", Method::kKind);
+    root.Set("method_name", method_->name());
+    if constexpr (requires { method_->num_choices(); }) {
+      root.Set("num_choices", method_->num_choices());
+    }
+    root.Set("resync_interval", config_.resync_interval);
     root.Set("task_ids", tasks_.ToJson());
     root.Set("worker_ids", workers_.ToJson());
     root.Set("answers_seen", static_cast<int64_t>(stats_.answers));
@@ -225,6 +310,8 @@ class StreamEngine {
 
   // Restores id tables, counters and the method state. Latency samples are
   // not carried across snapshots (they describe a process, not the state).
+  // Unknown snapshot versions are a typed kValidationError so callers can
+  // distinguish "from a newer build" from plain corruption.
   util::Status Restore(const util::JsonValue& snapshot) {
     const util::JsonValue* format = snapshot.Find("format");
     if (format == nullptr ||
@@ -232,6 +319,36 @@ class StreamEngine {
         format->string() != "crowdtruth_stream_snapshot") {
       return util::Status::InvalidArgument(
           "not a crowdtruth_stream_snapshot document");
+    }
+    const util::JsonValue* version = snapshot.Find("version");
+    if (version == nullptr ||
+        version->kind() != util::JsonValue::Kind::kNumber) {
+      return util::Status::InvalidArgument(
+          "snapshot field \"version\" missing or not a number");
+    }
+    const int snapshot_version = static_cast<int>(version->number());
+    if (snapshot_version != 1 && snapshot_version != 2) {
+      return util::Status::ValidationError(
+          "unsupported stream snapshot version " +
+          std::to_string(snapshot_version));
+    }
+    if (snapshot_version >= 2) {
+      const util::JsonValue* kind = snapshot.Find("kind");
+      if (kind == nullptr ||
+          kind->kind() != util::JsonValue::Kind::kString ||
+          kind->string() != Method::kKind) {
+        return util::Status::InvalidArgument(
+            std::string("snapshot kind does not match this engine (want ") +
+            Method::kKind + ")");
+      }
+      const util::JsonValue* method_name = snapshot.Find("method_name");
+      if (method_name == nullptr ||
+          method_name->kind() != util::JsonValue::Kind::kString ||
+          method_name->string() != method_->name()) {
+        return util::Status::InvalidArgument(
+            "snapshot method_name does not match \"" + method_->name() +
+            "\"");
+      }
     }
     util::Status status = tasks_.Restore(snapshot.Find("task_ids"),
                                          "task_ids");

@@ -24,7 +24,9 @@ Status CheckVersion(const JsonValue& snapshot) {
   status = internal::ReadInt(snapshot.Find("version"), "version", &version);
   if (!status.ok()) return status;
   if (version != kVersion) {
-    return Status::InvalidArgument("unsupported snapshot version " +
+    // A typed error so callers (checkpoint restore, the server) can tell
+    // "future/unknown format" apart from plain malformed input.
+    return Status::ValidationError("unsupported method snapshot version " +
                                    std::to_string(version));
   }
   return Status::Ok();

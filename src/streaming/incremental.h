@@ -107,6 +107,8 @@ class IncrementalCategoricalMethod {
  public:
   using Answer = CategoricalAnswer;
   using BatchResult = core::CategoricalResult;
+  // Domain tag recorded in snapshots and worker summaries.
+  static constexpr const char* kKind = "categorical";
 
   IncrementalCategoricalMethod(int num_choices, StreamingOptions options);
   virtual ~IncrementalCategoricalMethod() = default;
@@ -160,6 +162,33 @@ class IncrementalCategoricalMethod {
   // empty result before the first answer.
   core::CategoricalResult Resync();
 
+  // Adopts an externally computed batch solution over the current answers
+  // (the shard coordinator's global resync, restricted to this shard's
+  // slice). Vectors must be sized to the current task/worker spaces; like
+  // Resync, the adopted solution subsumes any deferred backlog.
+  void AdoptResult(const core::CategoricalResult& result) {
+    AdoptBatch(result);
+    backlog_.clear();
+  }
+
+  // --- Cross-shard worker state (streaming/worker_summary.h) ---
+  //
+  // Worker quality is the only cross-task coupling in Algorithm 1, so it is
+  // the only state task-partitioned shards exchange. ExportWorkerStats
+  // returns the additive sufficient statistics one worker's quality is
+  // derived from (empty for methods whose quality never feeds the truth);
+  // AdoptWorkerStats re-derives the quality from shard-merged statistics.
+  int64_t WorkerAnswerCount(data::WorkerId worker) const {
+    return static_cast<int64_t>(by_worker_[worker].size());
+  }
+  virtual std::vector<double> ExportWorkerStats(
+      data::WorkerId /*worker*/) const {
+    return {};
+  }
+  virtual void AdoptWorkerStats(data::WorkerId /*worker*/,
+                                int64_t /*answer_count*/,
+                                const std::vector<double>& /*stats*/) {}
+
   // The answers seen so far as a batch dataset, added in arrival order —
   // bit-identical to a CategoricalDatasetBuilder fed the same stream.
   data::CategoricalDataset MaterializeDataset() const;
@@ -205,6 +234,7 @@ class IncrementalNumericMethod {
  public:
   using Answer = NumericAnswer;
   using BatchResult = core::NumericResult;
+  static constexpr const char* kKind = "numeric";
 
   explicit IncrementalNumericMethod(StreamingOptions options);
   virtual ~IncrementalNumericMethod() = default;
@@ -235,6 +265,26 @@ class IncrementalNumericMethod {
   std::vector<double> WorkerQualities() const;
 
   core::NumericResult Resync();
+
+  // See IncrementalCategoricalMethod::AdoptResult.
+  void AdoptResult(const core::NumericResult& result) {
+    AdoptBatch(result);
+  }
+
+  // See IncrementalCategoricalMethod — the numeric methods' worker quality
+  // is a local diagnostic (negative RMS vs the estimates) that never feeds
+  // the truth, so only the answer counts travel between shards.
+  int64_t WorkerAnswerCount(data::WorkerId worker) const {
+    return static_cast<int64_t>(by_worker_[worker].size());
+  }
+  virtual std::vector<double> ExportWorkerStats(
+      data::WorkerId /*worker*/) const {
+    return {};
+  }
+  virtual void AdoptWorkerStats(data::WorkerId /*worker*/,
+                                int64_t /*answer_count*/,
+                                const std::vector<double>& /*stats*/) {}
+
   data::NumericDataset MaterializeDataset() const;
   util::JsonValue Snapshot() const;
   util::Status Restore(const util::JsonValue& snapshot);

@@ -53,8 +53,12 @@ void StreamingDs::RefreshClassPrior() {
 }
 
 void StreamingDs::RenormalizeWorker(data::WorkerId worker) {
+  RenormalizeWorkerFrom(worker, counts_[worker]);
+}
+
+void StreamingDs::RenormalizeWorkerFrom(data::WorkerId worker,
+                                        const std::vector<double>& counts) {
   const int l = num_choices_;
-  const std::vector<double>& counts = counts_[worker];
   std::vector<double>& matrix = matrices_[worker];
   for (int j = 0; j < l; ++j) {
     double row_total = 0.0;
@@ -138,6 +142,16 @@ void StreamingDs::OnObserve(const CategoricalAnswer& answer) {
   }
 }
 
+void StreamingDs::AdoptWorkerStats(data::WorkerId worker,
+                                   int64_t answer_count,
+                                   const std::vector<double>& stats) {
+  if (answer_count <= 0 ||
+      stats.size() != static_cast<size_t>(num_choices_ * num_choices_)) {
+    return;
+  }
+  RenormalizeWorkerFrom(worker, stats);
+}
+
 void StreamingDs::AdoptBatch(const core::CategoricalResult& result) {
   const int l = num_choices_;
   posterior_ = result.posterior;
@@ -195,6 +209,17 @@ Status StreamingDs::RestoreState(const JsonValue& state) {
   status = internal::FromJson(state.Find("matrices"), "matrices",
                               num_workers(), l * l, &matrices_);
   if (!status.ok()) return status;
+  // A method that never grew (e.g. an empty shard in a coordinator
+  // checkpoint) snapshots class_sum/class_prior before their lazy OnGrow
+  // initialization; restore that state verbatim.
+  const JsonValue* class_sum = state.Find("class_sum");
+  if (class_sum != nullptr &&
+      class_sum->kind() == JsonValue::Kind::kArray &&
+      class_sum->items().empty()) {
+    class_sum_.clear();
+    class_prior_.clear();
+    return Status::Ok();
+  }
   status = internal::FromJson(state.Find("class_sum"), "class_sum", l,
                               &class_sum_);
   if (!status.ok()) return status;

@@ -48,6 +48,18 @@ class StreamingDs : public IncrementalCategoricalMethod {
     return matrices_[worker];
   }
 
+  // Cross-shard sufficient statistic: the flattened l*l expected-count
+  // matrix (the batch M-step's accumulator). Adopting shard-merged counts
+  // renormalizes them into the serving confusion matrix exactly like the
+  // batch M-step; the local counts_ stay untouched so local delta updates
+  // remain consistent.
+  std::vector<double> ExportWorkerStats(
+      data::WorkerId worker) const override {
+    return counts_[worker];
+  }
+  void AdoptWorkerStats(data::WorkerId worker, int64_t answer_count,
+                        const std::vector<double>& stats) override;
+
  protected:
   void OnGrow() override;
   void OnObserve(const CategoricalAnswer& answer) override;
@@ -61,6 +73,10 @@ class StreamingDs : public IncrementalCategoricalMethod {
   // Rebuilds matrices_[worker] from counts_[worker] (the batch M-step's
   // normalization) and refreshes the cached scalar quality.
   void RenormalizeWorker(data::WorkerId worker);
+  // Same normalization from an arbitrary count matrix (shard-merged
+  // statistics).
+  void RenormalizeWorkerFrom(data::WorkerId worker,
+                             const std::vector<double>& counts);
   // Batch E-step restricted to `task`; delta-updates voters' counts_ and
   // class_sum_, collecting the voters into `touched`.
   void RefreshTask(data::TaskId task, std::set<data::WorkerId>* touched);

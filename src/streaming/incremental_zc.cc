@@ -97,6 +97,17 @@ void StreamingZc::OnObserve(const CategoricalAnswer& answer) {
   }
 }
 
+void StreamingZc::AdoptWorkerStats(data::WorkerId worker,
+                                   int64_t answer_count,
+                                   const std::vector<double>& stats) {
+  if (answer_count <= 0 || stats.size() != 1) return;
+  // The batch M-step over the merged statistics: quality is the clamped
+  // expected-correct fraction across every shard's answers.
+  SetQuality(worker,
+             std::clamp(stats[0] / static_cast<double>(answer_count),
+                        kQualityFloor, 1.0 - kQualityFloor));
+}
+
 void StreamingZc::AdoptBatch(const core::CategoricalResult& result) {
   posterior_ = result.posterior;
   labels_ = result.labels;

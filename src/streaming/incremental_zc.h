@@ -39,6 +39,17 @@ class StreamingZc : public IncrementalCategoricalMethod {
     return quality_[worker];
   }
 
+  // Cross-shard sufficient statistic: the M-step numerator agree_sum_[w].
+  // Adopting shard-merged stats re-derives the quality with the batch
+  // clamp, so a shard's serving quality reflects the worker's answers on
+  // every shard, not just the local slice.
+  std::vector<double> ExportWorkerStats(
+      data::WorkerId worker) const override {
+    return {agree_sum_[worker]};
+  }
+  void AdoptWorkerStats(data::WorkerId worker, int64_t answer_count,
+                        const std::vector<double>& stats) override;
+
  protected:
   void OnGrow() override;
   void OnObserve(const CategoricalAnswer& answer) override;

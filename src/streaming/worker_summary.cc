@@ -1,0 +1,129 @@
+#include "streaming/worker_summary.h"
+
+#include <utility>
+
+namespace crowdtruth::streaming {
+
+using util::JsonValue;
+using util::Status;
+
+namespace {
+
+constexpr char kFormat[] = "crowdtruth_worker_summary";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+Status WorkerSummary::Merge(const WorkerSummary& other) {
+  if (other.method != method || other.kind != kind ||
+      other.num_choices != num_choices) {
+    return Status::InvalidArgument(
+        "cannot merge worker summary for " + other.kind + "/" +
+        other.method + "/" + std::to_string(other.num_choices) +
+        " into one for " + kind + "/" + method + "/" +
+        std::to_string(num_choices));
+  }
+  for (const auto& [id, entry] : other.workers) {
+    auto [it, inserted] = workers.emplace(id, entry);
+    if (inserted) continue;
+    WorkerSummaryEntry& mine = it->second;
+    if (mine.stats.size() != entry.stats.size()) {
+      return Status::InvalidArgument(
+          "worker \"" + id + "\": stats length mismatch (" +
+          std::to_string(mine.stats.size()) + " vs " +
+          std::to_string(entry.stats.size()) + ")");
+    }
+    mine.answer_count += entry.answer_count;
+    for (size_t i = 0; i < entry.stats.size(); ++i) {
+      mine.stats[i] += entry.stats[i];
+    }
+  }
+  return Status::Ok();
+}
+
+JsonValue WorkerSummary::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  root.Set("format", kFormat);
+  root.Set("version", kVersion);
+  root.Set("method", method);
+  root.Set("kind", kind);
+  root.Set("num_choices", num_choices);
+  JsonValue table = JsonValue::Object();
+  for (const auto& [id, entry] : workers) {
+    JsonValue row = JsonValue::Object();
+    row.Set("count", entry.answer_count);
+    JsonValue stats = JsonValue::Array();
+    for (double s : entry.stats) stats.Append(s);
+    row.Set("stats", std::move(stats));
+    table.Set(id, std::move(row));
+  }
+  root.Set("workers", std::move(table));
+  return root;
+}
+
+Status WorkerSummary::FromJson(const JsonValue& doc, WorkerSummary* out) {
+  const JsonValue* format = doc.Find("format");
+  if (format == nullptr || format->kind() != JsonValue::Kind::kString ||
+      format->string() != kFormat) {
+    return Status::InvalidArgument(
+        "not a crowdtruth_worker_summary document");
+  }
+  const JsonValue* version = doc.Find("version");
+  if (version == nullptr || version->kind() != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument("worker summary version missing");
+  }
+  if (static_cast<int>(version->number()) != kVersion) {
+    return Status::ValidationError(
+        "unsupported worker summary version " +
+        std::to_string(static_cast<int>(version->number())));
+  }
+  const JsonValue* method = doc.Find("method");
+  const JsonValue* kind = doc.Find("kind");
+  const JsonValue* choices = doc.Find("num_choices");
+  if (method == nullptr || method->kind() != JsonValue::Kind::kString ||
+      kind == nullptr || kind->kind() != JsonValue::Kind::kString ||
+      choices == nullptr || choices->kind() != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument("worker summary header malformed");
+  }
+  const JsonValue* table = doc.Find("workers");
+  if (table == nullptr || table->kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument(
+        "worker summary field \"workers\" missing or not an object");
+  }
+  WorkerSummary parsed;
+  parsed.method = method->string();
+  parsed.kind = kind->string();
+  parsed.num_choices = static_cast<int>(choices->number());
+  for (const auto& [id, row] : table->fields()) {
+    if (row.kind() != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("worker \"" + id +
+                                     "\": entry is not an object");
+    }
+    const JsonValue* count = row.Find("count");
+    const JsonValue* stats = row.Find("stats");
+    if (count == nullptr || count->kind() != JsonValue::Kind::kNumber ||
+        stats == nullptr || stats->kind() != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument("worker \"" + id +
+                                     "\": malformed entry");
+    }
+    WorkerSummaryEntry entry;
+    entry.answer_count = static_cast<int64_t>(count->number());
+    if (entry.answer_count < 0) {
+      return Status::InvalidArgument("worker \"" + id +
+                                     "\": negative answer count");
+    }
+    entry.stats.reserve(stats->items().size());
+    for (const JsonValue& s : stats->items()) {
+      if (s.kind() != JsonValue::Kind::kNumber) {
+        return Status::InvalidArgument("worker \"" + id +
+                                       "\": non-numeric stat");
+      }
+      entry.stats.push_back(s.number());
+    }
+    parsed.workers.emplace(id, std::move(entry));
+  }
+  *out = std::move(parsed);
+  return Status::Ok();
+}
+
+}  // namespace crowdtruth::streaming

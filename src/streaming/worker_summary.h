@@ -1,0 +1,65 @@
+// Serializable cross-shard worker state.
+//
+// In Algorithm 1 the only coupling between tasks is the per-worker quality
+// estimate, so a task-partitioned deployment (src/shard/) needs to exchange
+// exactly one thing between shards: each worker's answer count plus the
+// method-specific sufficient statistics their quality is derived from.
+// WorkerSummary is that exchange unit — keyed by *string* worker ids (the
+// shards' dense indices differ), merged by element-wise addition in shard
+// order, and serialized as a small JSON document so child-process shards
+// can all-reduce through files.
+//
+// What each method contributes (see ExportWorkerStats in incremental.h):
+//
+//   ZC      — {agree_sum}: the M-step numerator; merged quality is
+//             clamp(agree_sum / answer_count).
+//   D&S     — the flattened l*l expected-count matrix; merged counts are
+//             row-normalized into a confusion matrix exactly like the batch
+//             M-step.
+//   MV, Mean, Median — answer counts only. Their worker quality is a local
+//             diagnostic that never feeds the truth estimates, so there is
+//             no cross-shard coupling to exchange.
+#ifndef CROWDTRUTH_STREAMING_WORKER_SUMMARY_H_
+#define CROWDTRUTH_STREAMING_WORKER_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json_writer.h"
+#include "util/status.h"
+
+namespace crowdtruth::streaming {
+
+struct WorkerSummaryEntry {
+  int64_t answer_count = 0;
+  // Method-specific sufficient statistics (may be empty for methods whose
+  // quality does not feed the truth estimates).
+  std::vector<double> stats;
+};
+
+struct WorkerSummary {
+  // Compatibility header: summaries only merge into summaries produced by
+  // the same method over the same label space.
+  std::string method;
+  std::string kind;  // "categorical" | "numeric"
+  int num_choices = 0;  // 0 for numeric
+
+  // Keyed by worker string id; std::map keeps iteration (and therefore the
+  // serialized form) deterministic.
+  std::map<std::string, WorkerSummaryEntry> workers;
+
+  // Element-wise addition: counts add, stats vectors add per slot. New
+  // workers are inserted. Fails with InvalidArgument on a method/kind/
+  // num_choices mismatch or on stats-length disagreement for a worker.
+  util::Status Merge(const WorkerSummary& other);
+
+  util::JsonValue ToJson() const;
+  static util::Status FromJson(const util::JsonValue& doc,
+                               WorkerSummary* out);
+};
+
+}  // namespace crowdtruth::streaming
+
+#endif  // CROWDTRUTH_STREAMING_WORKER_SUMMARY_H_

@@ -1,0 +1,473 @@
+// Tests for the sharded engine (src/shard/): the determinism contract
+// (same log, any shard count, kill-and-restart at any checkpoint -> the
+// same truth, bit for bit), checkpoint envelope versioning, deterministic
+// task partitioning, answer-log shard slices and worker-summary merging.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/answer_log.h"
+#include "shard/checkpoint.h"
+#include "shard/coordinator.h"
+#include "streaming/engine.h"
+#include "streaming/registry.h"
+#include "streaming/worker_summary.h"
+#include "test_util.h"
+#include "util/json_writer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace crowdtruth::shard {
+namespace {
+
+struct StreamAnswer {
+  std::string task;
+  std::string worker;
+  data::LabelId label;
+};
+
+// Flattens a planted dataset into a shuffled arrival-order stream.
+std::vector<StreamAnswer> MakeStream(int num_tasks, int num_workers,
+                                     uint64_t seed) {
+  testing::PlantedSpec spec;
+  spec.num_tasks = num_tasks;
+  spec.num_workers = num_workers;
+  spec.num_choices = 3;
+  spec.redundancy = 4;
+  spec.worker_accuracy = {0.9, 0.7, 0.8, 0.6, 0.85};
+  const data::CategoricalDataset dataset = testing::PlantedDataset(spec, seed);
+  std::vector<StreamAnswer> stream;
+  for (int t = 0; t < dataset.num_tasks(); ++t) {
+    for (const data::TaskVote& vote : dataset.AnswersForTask(t)) {
+      stream.push_back({"t" + std::to_string(t),
+                        "w" + std::to_string(vote.worker), vote.label});
+    }
+  }
+  util::Rng rng(seed + 1);
+  rng.Shuffle(stream);
+  return stream;
+}
+
+CoordinatorConfig MakeConfig(const std::string& method, int shards,
+                             int64_t barrier_interval) {
+  CoordinatorConfig config;
+  config.shard_count = shards;
+  config.method = method;
+  config.num_choices = 3;
+  config.barrier_interval = barrier_interval;
+  return config;
+}
+
+// --- data::ShardOfTask -------------------------------------------------
+
+TEST(ShardOfTaskTest, StableInRangeAndDegenerate) {
+  for (int count : {1, 2, 4, 7}) {
+    for (int i = 0; i < 200; ++i) {
+      const std::string task = "task_" + std::to_string(i);
+      const int shard = data::ShardOfTask(task, count);
+      EXPECT_GE(shard, 0);
+      EXPECT_LT(shard, count);
+      // Deterministic: hashing again must agree (this is the whole routing
+      // contract — every process computes the owner independently).
+      EXPECT_EQ(shard, data::ShardOfTask(task, count));
+    }
+    EXPECT_EQ(data::ShardOfTask("anything", 1), 0);
+  }
+}
+
+TEST(ShardOfTaskTest, SpreadsTasksOverAllShards) {
+  const int count = 4;
+  std::set<int> hit;
+  for (int i = 0; i < 64; ++i) {
+    hit.insert(data::ShardOfTask("t" + std::to_string(i), count));
+  }
+  EXPECT_EQ(static_cast<int>(hit.size()), count);
+}
+
+// --- AnswerLogReader shard slices --------------------------------------
+
+TEST(AnswerLogSliceTest, SlicesPartitionTheLogWithGlobalSequences) {
+  const std::string path = ::testing::TempDir() + "/slice_test.log";
+  data::AnswerLogHeader header;
+  header.type = data::AnswerLogType::kCategorical;
+  header.num_choices = 3;
+  data::AnswerLogWriter writer;
+  ASSERT_TRUE(data::AnswerLogWriter::Create(path, header, &writer).ok());
+  const int kRecords = 120;
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE(writer
+                    .Append("t" + std::to_string(i % 40),
+                            "w" + std::to_string(i / 40),
+                            static_cast<data::LabelId>(i % 3))
+                    .ok());
+  }
+
+  const int kShards = 3;
+  std::set<int64_t> seen;
+  for (int s = 0; s < kShards; ++s) {
+    data::AnswerLogReader reader;
+    ASSERT_TRUE(reader.Open(path).ok());
+    ASSERT_TRUE(reader.SetShardSlice(s, kShards).ok());
+    data::AnswerLogRecord record;
+    bool eof = false;
+    while (true) {
+      ASSERT_TRUE(reader.Next(&record, &eof).ok());
+      if (eof) break;
+      // Slice membership matches the routing hash, sequences stay global.
+      EXPECT_EQ(data::ShardOfTask(record.task, kShards), s);
+      EXPECT_TRUE(seen.insert(record.sequence).second)
+          << "sequence " << record.sequence << " yielded twice";
+    }
+    // Every slice consumed the whole log's sequence space.
+    EXPECT_EQ(reader.next_sequence(), kRecords);
+  }
+  // The union of the slices is exactly the log.
+  EXPECT_EQ(static_cast<int>(seen.size()), kRecords);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), kRecords - 1);
+  std::remove(path.c_str());
+}
+
+// --- The determinism contract ------------------------------------------
+
+class ShardIdentityTest : public ::testing::TestWithParam<std::string> {};
+
+// Acceptance pin: GlobalResync over any shard count equals a single
+// engine's final resync on the same stream — exactly, not approximately.
+TEST_P(ShardIdentityTest, GlobalResyncBitIdenticalAcrossShardCounts) {
+  const std::string method = GetParam();
+  const std::vector<StreamAnswer> stream = MakeStream(60, 5, 11);
+
+  streaming::CategoricalStreamEngine single(
+      streaming::MakeIncrementalCategorical(method, 3, {}),
+      streaming::EngineConfig{/*resync_interval=*/0});
+  for (const StreamAnswer& a : stream) {
+    ASSERT_TRUE(single.Observe(a.task, a.worker, a.label).ok());
+  }
+  const core::CategoricalResult reference = single.Resync();
+
+  for (int shards : {1, 2, 4}) {
+    std::unique_ptr<CategoricalShardCoordinator> coordinator;
+    ASSERT_TRUE(CategoricalShardCoordinator::Create(
+                    MakeConfig(method, shards, /*barrier_interval=*/37),
+                    &coordinator)
+                    .ok());
+    for (const StreamAnswer& a : stream) {
+      ASSERT_TRUE(coordinator->Observe(a.task, a.worker, a.label).ok());
+    }
+    EXPECT_GT(coordinator->barriers_run(), 0);
+    core::CategoricalResult global;
+    ASSERT_TRUE(coordinator->GlobalResync(&global).ok());
+    EXPECT_EQ(global.labels, reference.labels) << shards << " shards";
+    EXPECT_EQ(global.worker_quality, reference.worker_quality)
+        << shards << " shards";
+    // The adopted per-shard estimates must agree with the global solution
+    // task by task (the serving path between barriers).
+    for (int gid = 0; gid < coordinator->global_num_tasks(); ++gid) {
+      const int owner = coordinator->TaskOwner(gid);
+      ASSERT_GE(owner, 0);
+      EXPECT_EQ(coordinator->engine(owner).method().Estimate(
+                    coordinator->TaskLocal(gid)),
+                global.labels[gid]);
+    }
+  }
+}
+
+// Kill-and-restart: checkpoint at an arbitrary cut, restore into a fresh
+// coordinator, replay the prefix, stream the rest — same truth, bit for
+// bit, at every cut point tried.
+TEST_P(ShardIdentityTest, CheckpointRestartBitIdentical) {
+  const std::string method = GetParam();
+  const std::vector<StreamAnswer> stream = MakeStream(50, 5, 23);
+  const int n = static_cast<int>(stream.size());
+
+  std::unique_ptr<CategoricalShardCoordinator> reference;
+  ASSERT_TRUE(CategoricalShardCoordinator::Create(MakeConfig(method, 4, 29),
+                                                  &reference)
+                    .ok());
+  for (const StreamAnswer& a : stream) {
+    ASSERT_TRUE(reference->Observe(a.task, a.worker, a.label).ok());
+  }
+  core::CategoricalResult expected;
+  ASSERT_TRUE(reference->GlobalResync(&expected).ok());
+
+  for (int cut : {1, n / 3, n / 2, n - 1}) {
+    // The run that "crashed": consumed `cut` records, checkpointed.
+    std::unique_ptr<CategoricalShardCoordinator> first;
+    ASSERT_TRUE(CategoricalShardCoordinator::Create(MakeConfig(method, 4, 29),
+                                                    &first)
+                    .ok());
+    for (int i = 0; i < cut; ++i) {
+      ASSERT_TRUE(
+          first->Observe(stream[i].task, stream[i].worker, stream[i].label)
+              .ok());
+    }
+    const util::JsonValue checkpoint = first->MakeCheckpoint();
+
+    // The restarted run: restore, replay the consumed prefix, continue.
+    std::unique_ptr<CategoricalShardCoordinator> second;
+    ASSERT_TRUE(CategoricalShardCoordinator::Create(MakeConfig(method, 4, 29),
+                                                    &second)
+                    .ok());
+    ASSERT_TRUE(second->Restore(checkpoint).ok());
+    ASSERT_EQ(second->next_sequence(), cut);
+    for (int i = 0; i < cut; ++i) {
+      (void)second->ReplayRouting(stream[i].task, stream[i].worker,
+                                  stream[i].label);
+    }
+    ASSERT_TRUE(second->FinishReplay().ok()) << "cut=" << cut;
+    for (int i = cut; i < n; ++i) {
+      ASSERT_TRUE(
+          second->Observe(stream[i].task, stream[i].worker, stream[i].label)
+              .ok());
+    }
+    core::CategoricalResult resumed;
+    ASSERT_TRUE(second->GlobalResync(&resumed).ok());
+    EXPECT_EQ(resumed.labels, expected.labels) << "cut=" << cut;
+    EXPECT_EQ(resumed.worker_quality, expected.worker_quality)
+        << "cut=" << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIncrementalMethods, ShardIdentityTest,
+                         ::testing::Values("MV", "ZC", "D&S"));
+
+TEST(NumericShardTest, GlobalResyncMatchesSingleEngine) {
+  // Numeric payloads through Mean and Median coordinators.
+  for (const std::string method : {"Mean", "Median"}) {
+    util::Rng rng(5);
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int t = 0; t < 40; ++t) {
+      for (int w = 0; w < 5; ++w) {
+        pairs.emplace_back("t" + std::to_string(t), "w" + std::to_string(w));
+      }
+    }
+    rng.Shuffle(pairs);
+    std::vector<double> values;
+    values.reserve(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      values.push_back(10.0 * rng.Uniform() - 5.0);
+    }
+
+    streaming::NumericStreamEngine single(
+        streaming::MakeIncrementalNumeric(method, {}),
+        streaming::EngineConfig{/*resync_interval=*/0});
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      ASSERT_TRUE(
+          single.Observe(pairs[i].first, pairs[i].second, values[i]).ok());
+    }
+    const core::NumericResult reference = single.Resync();
+
+    for (int shards : {1, 2, 4}) {
+      CoordinatorConfig config;
+      config.shard_count = shards;
+      config.method = method;
+      config.barrier_interval = 31;
+      std::unique_ptr<NumericShardCoordinator> coordinator;
+      ASSERT_TRUE(NumericShardCoordinator::Create(config, &coordinator).ok());
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        ASSERT_TRUE(
+            coordinator->Observe(pairs[i].first, pairs[i].second, values[i])
+                .ok());
+      }
+      core::NumericResult global;
+      ASSERT_TRUE(coordinator->GlobalResync(&global).ok());
+      EXPECT_EQ(global.values, reference.values)
+          << method << " with " << shards << " shards";
+      EXPECT_EQ(global.worker_quality, reference.worker_quality)
+          << method << " with " << shards << " shards";
+    }
+  }
+}
+
+// --- Rejected records --------------------------------------------------
+
+TEST(ShardCoordinatorTest, RejectionsMirrorSingleEngineSemantics) {
+  std::unique_ptr<CategoricalShardCoordinator> coordinator;
+  ASSERT_TRUE(CategoricalShardCoordinator::Create(MakeConfig("ZC", 2, 0),
+                                                  &coordinator)
+                  .ok());
+  ASSERT_TRUE(coordinator->Observe("t0", "w0", 1).ok());
+  // Out-of-range label: rejected, but the slot is consumed.
+  EXPECT_FALSE(coordinator->Observe("t1", "w0", 7).ok());
+  // Duplicate (task, worker) pair: rejected.
+  EXPECT_FALSE(coordinator->Observe("t0", "w0", 0).ok());
+  EXPECT_EQ(coordinator->next_sequence(), 3);
+  EXPECT_EQ(coordinator->answers_accepted(), 1);
+  // Rejected records still intern their ids, mirroring a single engine.
+  EXPECT_EQ(coordinator->tasks().size(), 2);
+  EXPECT_EQ(coordinator->workers().size(), 1);
+  // ...but the dense solve space only covers accepted answers.
+  EXPECT_EQ(coordinator->global_num_tasks(), 1);
+  EXPECT_EQ(coordinator->TaskOwner(1), -1);
+}
+
+// --- Checkpoint envelope -----------------------------------------------
+
+TEST(CheckpointTest, UnknownVersionIsTypedValidationError) {
+  std::unique_ptr<CategoricalShardCoordinator> coordinator;
+  ASSERT_TRUE(CategoricalShardCoordinator::Create(MakeConfig("ZC", 2, 0),
+                                                  &coordinator)
+                  .ok());
+  ASSERT_TRUE(coordinator->Observe("t0", "w0", 1).ok());
+  util::JsonValue doc = coordinator->MakeCheckpoint();
+  doc.Set("version", 99);
+
+  CheckpointMeta meta;
+  const util::JsonValue* shards = nullptr;
+  const util::Status parsed = ParseCheckpointDoc(doc, &meta, &shards);
+  EXPECT_EQ(parsed.code(), util::StatusCode::kValidationError);
+
+  std::unique_ptr<CategoricalShardCoordinator> fresh;
+  ASSERT_TRUE(
+      CategoricalShardCoordinator::Create(MakeConfig("ZC", 2, 0), &fresh)
+          .ok());
+  EXPECT_EQ(fresh->Restore(doc).code(), util::StatusCode::kValidationError);
+}
+
+TEST(CheckpointTest, RestoreRejectsMismatchedTopology) {
+  std::unique_ptr<CategoricalShardCoordinator> coordinator;
+  ASSERT_TRUE(CategoricalShardCoordinator::Create(MakeConfig("ZC", 2, 0),
+                                                  &coordinator)
+                  .ok());
+  ASSERT_TRUE(coordinator->Observe("t0", "w0", 1).ok());
+  const util::JsonValue checkpoint = coordinator->MakeCheckpoint();
+
+  // Different shard count.
+  std::unique_ptr<CategoricalShardCoordinator> wrong_count;
+  ASSERT_TRUE(CategoricalShardCoordinator::Create(MakeConfig("ZC", 4, 0),
+                                                  &wrong_count)
+                  .ok());
+  EXPECT_EQ(wrong_count->Restore(checkpoint).code(),
+            util::StatusCode::kInvalidArgument);
+
+  // Different method.
+  std::unique_ptr<CategoricalShardCoordinator> wrong_method;
+  ASSERT_TRUE(CategoricalShardCoordinator::Create(MakeConfig("MV", 2, 0),
+                                                  &wrong_method)
+                  .ok());
+  EXPECT_EQ(wrong_method->Restore(checkpoint).code(),
+            util::StatusCode::kInvalidArgument);
+
+  // A worker document (shard_index >= 0) is not a coordinator checkpoint.
+  CheckpointMeta meta;
+  meta.shard_count = 2;
+  meta.shard_index = 0;
+  meta.next_sequence = 1;
+  meta.method = "ZC";
+  meta.kind = "categorical";
+  meta.num_choices = 3;
+  std::vector<util::JsonValue> snapshots;
+  snapshots.push_back(coordinator->engine(0).Snapshot());
+  const util::JsonValue worker_doc =
+      MakeCheckpointDoc(meta, std::move(snapshots));
+  std::unique_ptr<CategoricalShardCoordinator> fresh;
+  ASSERT_TRUE(
+      CategoricalShardCoordinator::Create(MakeConfig("ZC", 2, 0), &fresh)
+          .ok());
+  EXPECT_EQ(fresh->Restore(worker_doc).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, FinishReplayCatchesWrongPrefix) {
+  const std::vector<StreamAnswer> stream = MakeStream(30, 5, 31);
+  std::unique_ptr<CategoricalShardCoordinator> coordinator;
+  ASSERT_TRUE(CategoricalShardCoordinator::Create(MakeConfig("ZC", 2, 0),
+                                                  &coordinator)
+                  .ok());
+  const int cut = static_cast<int>(stream.size()) / 2;
+  for (int i = 0; i < cut; ++i) {
+    ASSERT_TRUE(
+        coordinator->Observe(stream[i].task, stream[i].worker, stream[i].label)
+            .ok());
+  }
+  const util::JsonValue checkpoint = coordinator->MakeCheckpoint();
+
+  std::unique_ptr<CategoricalShardCoordinator> fresh;
+  ASSERT_TRUE(
+      CategoricalShardCoordinator::Create(MakeConfig("ZC", 2, 0), &fresh)
+          .ok());
+  ASSERT_TRUE(fresh->Restore(checkpoint).ok());
+  // Replay only half the consumed prefix: the rebuilt routing state cannot
+  // match the restored engines and FinishReplay must say so.
+  for (int i = 0; i < cut / 2; ++i) {
+    (void)fresh->ReplayRouting(stream[i].task, stream[i].worker,
+                               stream[i].label);
+  }
+  EXPECT_FALSE(fresh->FinishReplay().ok());
+}
+
+TEST(CheckpointTest, FileNamesSortAndLatestWins) {
+  EXPECT_EQ(CheckpointFileName("checkpoint", 400),
+            "checkpoint_000000000400.json");
+  const std::string dir = ::testing::TempDir() + "/ckpt_latest_test";
+  ASSERT_EQ(0, system(("mkdir -p " + dir).c_str()));
+  util::JsonValue doc = util::JsonValue::Object();
+  doc.Set("probe", 1);
+  for (int64_t seq : {200, 1000, 600}) {
+    ASSERT_TRUE(WriteJsonFileAtomic(dir + "/" + CheckpointFileName("w0", seq),
+                                    doc)
+                    .ok());
+  }
+  std::string latest;
+  int64_t latest_seq = 0;
+  ASSERT_TRUE(FindLatestCheckpoint(dir, "w0", &latest, &latest_seq).ok());
+  EXPECT_EQ(latest_seq, 1000);
+  EXPECT_EQ(latest, dir + "/" + CheckpointFileName("w0", 1000));
+  util::JsonValue read_back;
+  ASSERT_TRUE(ReadJsonFile(latest, &read_back).ok());
+  const util::JsonValue* probe = read_back.Find("probe");
+  ASSERT_NE(probe, nullptr);
+
+  // A different prefix in the same directory is invisible.
+  EXPECT_EQ(FindLatestCheckpoint(dir, "w1", &latest, &latest_seq).code(),
+            util::StatusCode::kNotFound);
+  ASSERT_EQ(0, system(("rm -rf " + dir).c_str()));
+}
+
+// --- WorkerSummary -----------------------------------------------------
+
+TEST(WorkerSummaryTest, MergeAddsAndInserts) {
+  streaming::WorkerSummary a;
+  a.method = "ZC";
+  a.kind = "categorical";
+  a.num_choices = 2;
+  a.workers["w0"] = {4, {3.0}};
+  a.workers["w1"] = {2, {1.0}};
+  streaming::WorkerSummary b = a;
+  b.workers.erase("w1");
+  b.workers["w0"] = {6, {5.0}};
+  b.workers["w2"] = {1, {1.0}};
+
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.workers["w0"].answer_count, 10);
+  EXPECT_EQ(a.workers["w0"].stats, std::vector<double>({8.0}));
+  EXPECT_EQ(a.workers["w1"].answer_count, 2);
+  EXPECT_EQ(a.workers["w2"].answer_count, 1);
+
+  // Header mismatches refuse to merge.
+  streaming::WorkerSummary other_method = b;
+  other_method.method = "D&S";
+  EXPECT_FALSE(a.Merge(other_method).ok());
+  streaming::WorkerSummary other_space = b;
+  other_space.num_choices = 3;
+  EXPECT_FALSE(a.Merge(other_space).ok());
+
+  // Round trip through JSON (the worker-process all-reduce path).
+  const util::JsonValue doc = a.ToJson();
+  streaming::WorkerSummary decoded;
+  ASSERT_TRUE(streaming::WorkerSummary::FromJson(doc, &decoded).ok());
+  EXPECT_EQ(decoded.workers.size(), a.workers.size());
+  EXPECT_EQ(decoded.workers["w0"].answer_count, 10);
+  EXPECT_EQ(decoded.workers["w0"].stats, a.workers["w0"].stats);
+}
+
+}  // namespace
+}  // namespace crowdtruth::shard

@@ -293,6 +293,162 @@ TEST(StreamEngineTest, MidStreamRetuneIsBitIdenticalToFreshReplayAtResync) {
   }
 }
 
+// Version-1 snapshots (no kind/method_name/num_choices descriptor fields)
+// must keep restoring: durable state outlives builds.
+TEST(SnapshotVersioningTest, V1DocumentRestoresUnchanged) {
+  CategoricalStreamEngine original(MakeIncrementalCategorical("ZC", 2, {}),
+                                   EngineConfig{});
+  ASSERT_TRUE(original.Observe("t0", "w0", 1).ok());
+  ASSERT_TRUE(original.Observe("t1", "w0", 0).ok());
+  ASSERT_TRUE(original.Observe("t0", "w1", 1).ok());
+  const util::JsonValue v2 = original.Snapshot();
+
+  // Reconstruct the document a v1 build would have written: the same
+  // payload without the self-description header.
+  util::JsonValue v1 = util::JsonValue::Object();
+  v1.Set("format", "crowdtruth_stream_snapshot");
+  v1.Set("version", 1);
+  for (const char* field :
+       {"task_ids", "worker_ids", "answers_seen", "resyncs", "method"}) {
+    const util::JsonValue* value = v2.Find(field);
+    ASSERT_NE(value, nullptr) << field;
+    v1.Set(field, *value);
+  }
+
+  CategoricalStreamEngine restored(MakeIncrementalCategorical("ZC", 2, {}),
+                                   EngineConfig{});
+  ASSERT_TRUE(restored.Restore(v1).ok());
+  EXPECT_EQ(restored.stats().answers, original.stats().answers);
+  EXPECT_EQ(restored.tasks().ids(), original.tasks().ids());
+  EXPECT_EQ(restored.method().Estimates(), original.method().Estimates());
+}
+
+TEST(SnapshotVersioningTest, UnknownEngineVersionIsTypedValidationError) {
+  CategoricalStreamEngine engine(MakeIncrementalCategorical("ZC", 2, {}),
+                                 EngineConfig{});
+  ASSERT_TRUE(engine.Observe("t0", "w0", 1).ok());
+  util::JsonValue snapshot = engine.Snapshot();
+  snapshot.Set("version", 3);
+  CategoricalStreamEngine fresh(MakeIncrementalCategorical("ZC", 2, {}),
+                                EngineConfig{});
+  EXPECT_EQ(fresh.Restore(snapshot).code(),
+            util::StatusCode::kValidationError);
+}
+
+TEST(SnapshotVersioningTest, UnknownMethodVersionIsTypedValidationError) {
+  CategoricalStreamEngine engine(MakeIncrementalCategorical("ZC", 2, {}),
+                                 EngineConfig{});
+  ASSERT_TRUE(engine.Observe("t0", "w0", 1).ok());
+  util::JsonValue snapshot = engine.Snapshot();
+  const util::JsonValue* method = snapshot.Find("method");
+  ASSERT_NE(method, nullptr);
+  util::JsonValue doctored = *method;
+  doctored.Set("version", 99);
+  snapshot.Set("method", std::move(doctored));
+  CategoricalStreamEngine fresh(MakeIncrementalCategorical("ZC", 2, {}),
+                                EngineConfig{});
+  EXPECT_EQ(fresh.Restore(snapshot).code(),
+            util::StatusCode::kValidationError);
+}
+
+// Mid-stream snapshot -> restore -> continue must hold at *any* cut point,
+// not just the half-way mark the round-trip test uses — first answer,
+// resync boundaries, last answer.
+TEST(SnapshotVersioningTest, CategoricalCutPointsContinueIdentically) {
+  for (const std::string method_name : {"MV", "ZC", "D&S"}) {
+    testing::PlantedSpec spec;
+    spec.num_tasks = 40;
+    spec.num_workers = 8;
+    spec.num_choices = 2;
+    spec.redundancy = 4;
+    const data::CategoricalDataset dataset =
+        testing::PlantedDataset(spec, 43);
+    const std::vector<CategoricalStreamAnswer> stream =
+        ShuffledStream(dataset, 17);
+    const int n = static_cast<int>(stream.size());
+
+    for (const int cut : {1, n / 4, 50, n - 1}) {
+      CategoricalStreamEngine original(
+          MakeIncrementalCategorical(method_name, spec.num_choices, {}),
+          EngineConfig{/*resync_interval=*/50});
+      for (int i = 0; i < cut; ++i) {
+        ASSERT_TRUE(original
+                        .Observe(stream[i].task, stream[i].worker,
+                                 stream[i].label)
+                        .ok());
+      }
+      CategoricalStreamEngine restored(
+          MakeIncrementalCategorical(method_name, spec.num_choices, {}),
+          EngineConfig{/*resync_interval=*/50});
+      ASSERT_TRUE(restored.Restore(original.Snapshot()).ok());
+      for (int i = cut; i < n; ++i) {
+        ASSERT_TRUE(original
+                        .Observe(stream[i].task, stream[i].worker,
+                                 stream[i].label)
+                        .ok());
+        ASSERT_TRUE(restored
+                        .Observe(stream[i].task, stream[i].worker,
+                                 stream[i].label)
+                        .ok());
+      }
+      original.Resync();
+      restored.Resync();
+      EXPECT_EQ(restored.method().Estimates(), original.method().Estimates())
+          << method_name << " cut=" << cut;
+      EXPECT_EQ(restored.method().WorkerQualities(),
+                original.method().WorkerQualities())
+          << method_name << " cut=" << cut;
+    }
+  }
+}
+
+TEST(SnapshotVersioningTest, NumericCutPointsContinueIdentically) {
+  for (const std::string method_name : {"Mean", "Median"}) {
+    util::Rng rng(29);
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int t = 0; t < 30; ++t) {
+      for (int w = 0; w < 6; ++w) {
+        pairs.emplace_back("t" + std::to_string(t), "w" + std::to_string(w));
+      }
+    }
+    rng.Shuffle(pairs);
+    std::vector<double> values;
+    values.reserve(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      values.push_back(rng.Uniform(-4.0, 4.0));
+    }
+    const int n = static_cast<int>(pairs.size());
+
+    for (const int cut : {1, n / 3, n - 1}) {
+      NumericStreamEngine original(MakeIncrementalNumeric(method_name, {}),
+                                   EngineConfig{/*resync_interval=*/40});
+      for (int i = 0; i < cut; ++i) {
+        ASSERT_TRUE(
+            original.Observe(pairs[i].first, pairs[i].second, values[i])
+                .ok());
+      }
+      NumericStreamEngine restored(MakeIncrementalNumeric(method_name, {}),
+                                   EngineConfig{/*resync_interval=*/40});
+      ASSERT_TRUE(restored.Restore(original.Snapshot()).ok());
+      for (int i = cut; i < n; ++i) {
+        ASSERT_TRUE(
+            original.Observe(pairs[i].first, pairs[i].second, values[i])
+                .ok());
+        ASSERT_TRUE(
+            restored.Observe(pairs[i].first, pairs[i].second, values[i])
+                .ok());
+      }
+      original.Resync();
+      restored.Resync();
+      EXPECT_EQ(restored.method().Estimates(), original.method().Estimates())
+          << method_name << " cut=" << cut;
+      EXPECT_EQ(restored.method().WorkerQualities(),
+                original.method().WorkerQualities())
+          << method_name << " cut=" << cut;
+    }
+  }
+}
+
 TEST(StreamEngineTest, RestoreRejectsForeignDocuments) {
   CategoricalStreamEngine engine(MakeIncrementalCategorical("MV", 2, {}),
                                  EngineConfig{});

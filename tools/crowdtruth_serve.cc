@@ -2,7 +2,8 @@
 // (src/server/).
 //
 //   crowdtruth_serve [--port=8080] [--data_dir=DIR]
-//       [--method=ZC] [--num_choices=2] [--resync_interval=1000]
+//       [--method=ZC] [--num_choices=2] [--shards=1]
+//       [--resync_interval=1000]
 //       [--local_sweeps=2] [--max_dirty_tasks=32] [--seed=42]
 //       [--on-bad-record=reject|dedupe|drop]
 //       [--controller=true] [--controller_interval_ms=500]
@@ -20,7 +21,12 @@
 //   POST /v1/tenants/<id>/snapshot              engine snapshot (JSON)
 //
 // Tenants are auto-created on first ingest (creation-time overrides:
-// ?method=, ?num_choices=, ?on_bad_record=). With --data_dir each tenant
+// ?method=, ?num_choices=, ?shards=, ?on_bad_record=). --shards=N (or
+// ?shards=N at creation) runs a tenant as N task-partitioned shards of one
+// logical engine (src/shard/): ingest is routed by task hash,
+// resync_interval becomes the cross-shard barrier interval, and
+// /truth?resync=1 forces the deterministic global solve. With --data_dir
+// each tenant
 // appends its accepted answers to DIR/<tenant>.log — a crowdtruth_log,v1
 // file that `crowdtruth_stream --log` replays to the same estimates
 // bit-for-bit. The adaptive controller probes per-tenant admission budgets
@@ -56,6 +62,7 @@ int main(int argc, char** argv) {
                      {"data_dir", ""},
                      {"method", "ZC"},
                      {"num_choices", "2"},
+                     {"shards", "1"},
                      {"resync_interval", "1000"},
                      {"local_sweeps", "2"},
                      {"max_dirty_tasks", "32"},
@@ -81,6 +88,7 @@ int main(int argc, char** argv) {
   config.controller.initial_tickets = flags.GetInt("initial_tickets");
   config.tenant_defaults.method = flags.Get("method");
   config.tenant_defaults.num_choices = flags.GetInt("num_choices");
+  config.tenant_defaults.shards = flags.GetInt("shards");
   config.tenant_defaults.resync_interval = flags.GetInt("resync_interval");
   config.tenant_defaults.local_sweeps = flags.GetInt("local_sweeps");
   config.tenant_defaults.max_dirty_tasks = flags.GetInt("max_dirty_tasks");

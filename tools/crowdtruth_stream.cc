@@ -43,6 +43,17 @@
 // fast replay); --metrics_out dumps the registry to a file on exit
 // (Prometheus text, or JSON when the path ends in ".json").
 //
+// --shards=N (> 1), --checkpoint_every=N or --resume_from=FILE switch the
+// replay onto the in-process shard coordinator (src/shard/): tasks are
+// hash-partitioned across N engines, a cross-shard worker-summary barrier
+// runs every --resync_interval answers, and the final resync is one global
+// batch solve — so the inferred truth is bit-identical to the single-
+// engine replay for any shard count. --checkpoint_every=N (requires
+// --checkpoint_dir) writes an atomic, versioned checkpoint document every
+// N consumed answers; --resume_from=FILE restores one and continues the
+// replay where it left off. Sharded replay cannot be combined with
+// --snapshot_in/--snapshot_out (use checkpoints), --serve_port or --trace.
+//
 // --serve_port=N (>= 0; 0 = ephemeral) promotes the replayed categorical
 // engine into tenant "default" of the epoll streaming server
 // (src/server/) after the replay finishes: POST more answers to
@@ -55,12 +66,16 @@
 // The log type (header line) selects the domain.
 #include <cmath>
 #include <csignal>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/trace.h"
@@ -69,6 +84,8 @@
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
 #include "server/server.h"
+#include "shard/checkpoint.h"
+#include "shard/coordinator.h"
 #include "simulation/online_assignment.h"
 #include "simulation/profiles.h"
 #include "streaming/engine.h"
@@ -676,6 +693,280 @@ int RunNumeric(const Flags& flags, const StreamInput& input,
   return FinishWithOutputs(flags, std::move(report), estimates, workers);
 }
 
+// --shards / --checkpoint_every / --resume_from: drive the replay through
+// the in-process shard coordinator instead of a single engine. The final
+// estimates come from the coordinator's global resync, which solves the
+// same arrival-order dataset a single-engine replay's final resync does —
+// the truth CSV is bit-identical for any shard count.
+template <typename Coordinator>
+int RunSharded(const Flags& flags, const StreamInput& input,
+               const std::string& mode) {
+  constexpr bool kCategorical = std::is_same_v<
+      Coordinator, crowdtruth::shard::CategoricalShardCoordinator>;
+  namespace shard = crowdtruth::shard;
+
+  if (!flags.Get("snapshot_in").empty() ||
+      !flags.Get("snapshot_out").empty() ||
+      flags.GetInt("serve_port") >= 0 || flags.GetBool("trace")) {
+    std::cerr << "error: sharded replay (--shards/--checkpoint_every/"
+                 "--resume_from) cannot be combined with --snapshot_in, "
+                 "--snapshot_out, --serve_port or --trace\n";
+    return 2;
+  }
+  const int checkpoint_every = flags.GetInt("checkpoint_every");
+  const std::string checkpoint_dir = flags.Get("checkpoint_dir");
+  if (checkpoint_every > 0 && checkpoint_dir.empty()) {
+    std::cerr << "error: --checkpoint_every requires --checkpoint_dir\n";
+    return 2;
+  }
+
+  std::string method_name = flags.Get("method");
+  if (method_name.empty()) method_name = kCategorical ? "ZC" : "Mean";
+
+  shard::CoordinatorConfig config;
+  config.shard_count = flags.GetInt("shards");
+  config.method = method_name;
+  config.num_choices = input.num_choices;
+  config.options = MakeStreamingOptions(flags);
+  config.barrier_interval = flags.GetInt("resync_interval");
+  std::unique_ptr<Coordinator> coordinator;
+  Status status = Coordinator::Create(config, &coordinator);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << '\n';
+    return 2;
+  }
+
+  crowdtruth::data::BadRecordPolicy policy;
+  status = crowdtruth::data::ParseBadRecordPolicy(flags.Get("on-bad-record"),
+                                                  &policy);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << '\n';
+    return 2;
+  }
+
+  const auto payload = [](const StreamRecord& record) {
+    if constexpr (kCategorical) {
+      return record.label;
+    } else {
+      return record.value;
+    }
+  };
+
+  int64_t start = 0;
+  if (!flags.Get("resume_from").empty()) {
+    JsonValue doc;
+    status = shard::ReadJsonFile(flags.Get("resume_from"), &doc);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    status = coordinator->Restore(doc);
+    if (!status.ok()) {
+      std::cerr << "error: " << flags.Get("resume_from") << ": "
+                << status.ToString() << '\n';
+      return 1;
+    }
+    start = coordinator->next_sequence();
+    if (start > static_cast<int64_t>(input.records.size())) {
+      std::cerr << "error: checkpoint consumed " << start
+                << " records but the log holds only " << input.records.size()
+                << '\n';
+      return 1;
+    }
+    // Routing is deterministic, so the consumed prefix rebuilds the global
+    // state the checkpoint's engines were derived from; FinishReplay
+    // verifies the two actually agree.
+    for (int64_t i = 0; i < start; ++i) {
+      const StreamRecord& record = input.records[i];
+      (void)coordinator->ReplayRouting(record.task, record.worker,
+                                       payload(record));
+    }
+    status = coordinator->FinishReplay();
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+    std::cout << "restored checkpoint: " << start
+              << " answers already consumed\n";
+  }
+
+  const int report_interval = flags.GetInt("report_interval");
+  int64_t skipped = 0;
+  int64_t replayed = 0;
+  for (int64_t i = start; i < static_cast<int64_t>(input.records.size());
+       ++i) {
+    const StreamRecord& record = input.records[i];
+    status =
+        coordinator->Observe(record.task, record.worker, payload(record));
+    if (!status.ok()) {
+      const bool duplicate =
+          status.message().find("duplicate") != std::string::npos;
+      if (!duplicate &&
+          policy == crowdtruth::data::BadRecordPolicy::kReject) {
+        std::cerr << "error: " << status.ToString() << '\n';
+        return 1;
+      }
+      ++skipped;
+    } else {
+      ++replayed;
+      if (report_interval > 0 && replayed % report_interval == 0) {
+        std::cout << "[stream] answers=" << coordinator->answers_accepted()
+                  << " barriers=" << coordinator->barriers_run() << '\n';
+      }
+    }
+    if (checkpoint_every > 0 &&
+        coordinator->next_sequence() % checkpoint_every == 0) {
+      crowdtruth::util::Stopwatch watch;
+      const std::string path =
+          checkpoint_dir + "/" +
+          shard::CheckpointFileName("checkpoint",
+                                    coordinator->next_sequence());
+      status = shard::WriteJsonFileAtomic(path, coordinator->MakeCheckpoint());
+      if (!status.ok()) {
+        std::cerr << "error: " << status.ToString() << '\n';
+        return 1;
+      }
+      coordinator->NoteCheckpoint(watch.ElapsedSeconds());
+    }
+    if (g_metrics_server != nullptr) g_metrics_server->Poll(0);
+  }
+
+  typename Coordinator::BatchResult global;
+  const bool final_resync = flags.GetBool("final_resync");
+  if (final_resync) {
+    status = coordinator->GlobalResync(&global);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+  }
+
+  std::cout << "stream: " << coordinator->answers_accepted() << " answers ("
+            << replayed << " replayed, " << skipped << " skipped), "
+            << coordinator->global_num_tasks() << " tasks, "
+            << coordinator->global_num_workers() << " workers across "
+            << coordinator->shard_count() << " shards\n"
+            << "shard: " << coordinator->barriers_run()
+            << " barriers, final global resync "
+            << (final_resync ? "done" : "skipped") << '\n';
+
+  std::vector<std::pair<std::string, std::string>> estimates;
+  estimates.reserve(coordinator->global_num_tasks());
+  int labeled = 0;
+  [[maybe_unused]] int correct = 0;
+  [[maybe_unused]] double abs_sum = 0.0;
+  [[maybe_unused]] double sq_sum = 0.0;
+  for (int gid = 0; gid < coordinator->global_num_tasks(); ++gid) {
+    const std::string name = coordinator->tasks().Name(gid);
+    if constexpr (kCategorical) {
+      data::LabelId label = 0;
+      if (final_resync) {
+        label = global.labels[gid];
+      } else if (coordinator->TaskOwner(gid) >= 0) {
+        // Without the global solve, serve the owning shard's (approximate,
+        // globally informed) estimate.
+        label = coordinator->engine(coordinator->TaskOwner(gid))
+                    .method()
+                    .Estimate(coordinator->TaskLocal(gid));
+      }
+      const auto it = input.truth_labels.find(name);
+      if (it != input.truth_labels.end()) {
+        ++labeled;
+        if (label == it->second) ++correct;
+      }
+      estimates.emplace_back(name, std::to_string(label));
+    } else {
+      double value = 0.0;
+      if (final_resync) {
+        value = global.values[gid];
+      } else if (coordinator->TaskOwner(gid) >= 0) {
+        value = coordinator->engine(coordinator->TaskOwner(gid))
+                    .method()
+                    .Estimate(coordinator->TaskLocal(gid));
+      }
+      const auto it = input.truth_values.find(name);
+      if (it != input.truth_values.end()) {
+        ++labeled;
+        const double err = value - it->second;
+        abs_sum += std::fabs(err);
+        sq_sum += err * err;
+      }
+      estimates.emplace_back(name, std::to_string(value));
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> workers;
+  workers.reserve(coordinator->global_num_workers());
+  if (final_resync) {
+    for (int gid = 0; gid < coordinator->global_num_workers(); ++gid) {
+      workers.emplace_back(coordinator->workers().Name(gid),
+                           std::to_string(global.worker_quality[gid]));
+    }
+  } else {
+    std::vector<double> quality(coordinator->global_num_workers(), 0.0);
+    for (int s = 0; s < coordinator->shard_count(); ++s) {
+      const auto& engine = coordinator->engine(s);
+      for (int lid = 0; lid < engine.workers().size(); ++lid) {
+        const int gid =
+            coordinator->workers().Find(engine.workers().Name(lid));
+        if (gid >= 0 && gid < coordinator->global_num_workers()) {
+          quality[gid] = engine.method().WorkerQuality(lid);
+        }
+      }
+    }
+    for (int gid = 0; gid < coordinator->global_num_workers(); ++gid) {
+      workers.emplace_back(coordinator->workers().Name(gid),
+                           std::to_string(quality[gid]));
+    }
+  }
+
+  JsonValue report = JsonValue::Object();
+  report.Set("tool", "crowdtruth_stream");
+  report.Set("mode", mode);
+  report.Set("type", kCategorical ? "categorical" : "numeric");
+  report.Set("method", method_name);
+  report.Set("shards", coordinator->shard_count());
+  report.Set("answers", coordinator->answers_accepted());
+  report.Set("num_tasks", coordinator->global_num_tasks());
+  report.Set("num_workers", coordinator->global_num_workers());
+  report.Set("barrier_interval",
+             static_cast<int64_t>(config.barrier_interval));
+  report.Set("barriers", coordinator->barriers_run());
+  report.Set("checkpoint_every", checkpoint_every);
+  if constexpr (kCategorical) report.Set("num_choices", input.num_choices);
+  JsonValue final = JsonValue::Object();
+  final.Set("labeled_tasks", labeled);
+  if (labeled > 0) {
+    if constexpr (kCategorical) {
+      final.Set("accuracy", static_cast<double>(correct) / labeled);
+    } else {
+      final.Set("mae", abs_sum / labeled);
+      final.Set("rmse", std::sqrt(sq_sum / labeled));
+    }
+  }
+  report.Set("final", std::move(final));
+
+  if constexpr (kCategorical) {
+    std::cout << "final: accuracy="
+              << (labeled > 0
+                      ? TablePrinter::Percent(
+                            static_cast<double>(correct) / labeled, 2) +
+                            " (" + std::to_string(labeled) + " labeled)"
+                      : std::string("n/a"))
+              << '\n';
+  } else {
+    if (labeled > 0) {
+      std::cout << "final: mae=" << TablePrinter::Fixed(abs_sum / labeled, 3)
+                << " rmse="
+                << TablePrinter::Fixed(std::sqrt(sq_sum / labeled), 3)
+                << " (" << labeled << " labeled)\n";
+    } else {
+      std::cout << "final: mae=n/a\n";
+    }
+  }
+  return FinishWithOutputs(flags, std::move(report), estimates, workers);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -699,6 +990,10 @@ int main(int argc, char** argv) {
                      {"truth_out", ""},
                      {"snapshot_in", ""},
                      {"snapshot_out", ""},
+                     {"shards", "1"},
+                     {"checkpoint_every", "0"},
+                     {"checkpoint_dir", ""},
+                     {"resume_from", ""},
                      {"output", ""},
                      {"workers_output", ""},
                      {"json_out", ""},
@@ -747,9 +1042,21 @@ int main(int argc, char** argv) {
   }
 
   const std::string mode = simulate ? "simulate" : "replay";
-  int code = input.type == data::AnswerLogType::kCategorical
-                 ? RunCategorical(flags, input, mode)
-                 : RunNumeric(flags, input, mode);
+  const bool sharded = flags.GetInt("shards") != 1 ||
+                       flags.GetInt("checkpoint_every") > 0 ||
+                       !flags.Get("resume_from").empty();
+  int code;
+  if (sharded) {
+    code = input.type == data::AnswerLogType::kCategorical
+               ? RunSharded<crowdtruth::shard::CategoricalShardCoordinator>(
+                     flags, input, mode)
+               : RunSharded<crowdtruth::shard::NumericShardCoordinator>(
+                     flags, input, mode);
+  } else {
+    code = input.type == data::AnswerLogType::kCategorical
+               ? RunCategorical(flags, input, mode)
+               : RunNumeric(flags, input, mode);
+  }
 
   const double linger = flags.GetDouble("metrics_linger");
   if (g_metrics_server != nullptr && linger > 0) {
