@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "scenario/buggify.h"
 #include "util/csv.h"
 #include "util/json_writer.h"
 
@@ -176,6 +177,21 @@ Status AnswerLogReader::SetShardSlice(int shard_index, int shard_count) {
 
 Status AnswerLogReader::Next(AnswerLogRecord* record, bool* eof) {
   *eof = false;
+  // Buggify "answer_log_read": simulate a torn read by dropping the open
+  // stream, then recover the way a real tailer would — reopen the file and
+  // seek back to the saved offset. The next record yielded is identical,
+  // so no downstream state ever sees the fault.
+  if (CROWDTRUTH_BUGGIFY("answer_log_read") && in_.is_open()) {
+    const std::streampos offset = in_.tellg();
+    if (offset != std::streampos(-1)) {
+      in_.close();
+      in_.clear();
+      in_.open(path_);
+      if (!in_) return Status::IoError("cannot reopen " + path_);
+      in_.seekg(offset);
+      if (!in_) return Status::IoError("cannot seek in " + path_);
+    }
+  }
   while (true) {
     std::string row;
     // Skip blank lines (a crashed writer may leave a trailing newline).

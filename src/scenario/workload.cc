@@ -1,0 +1,417 @@
+#include "scenario/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "data/answer_log.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace crowdtruth::scenario {
+
+namespace {
+
+using util::Rng;
+using util::Status;
+
+constexpr double kPi = 3.14159265358979323846;
+
+// An answer before global time ordering, in dense generator-local ids.
+struct PendingAnswer {
+  double time = 0.0;
+  int task = 0;
+  int worker = 0;
+  data::LabelId label = 0;
+};
+
+// "w3", "c17", "t240". (Built via append, not `"w" + to_string(...)`,
+// which trips GCC 12's -Wrestrict false positive, PR105651.)
+std::string IdName(char prefix, int index) {
+  std::string name(1, prefix);
+  name += std::to_string(index);
+  return name;
+}
+
+// Correct with probability `accuracy`, else uniform over the wrong labels.
+data::LabelId AnswerLabel(Rng& rng, data::LabelId truth, int num_choices,
+                          double accuracy) {
+  if (rng.Bernoulli(std::clamp(accuracy, 0.0, 1.0))) return truth;
+  const int wrong = rng.UniformInt(0, num_choices - 2);
+  return static_cast<data::LabelId>(wrong >= truth ? wrong + 1 : wrong);
+}
+
+// `k` distinct indices sampled proportionally to `weights` (consumed).
+// Requires k <= number of positive weights.
+std::vector<int> SampleDistinct(Rng& rng, std::vector<double> weights,
+                                int k) {
+  std::vector<int> picks;
+  picks.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    const int pick = rng.Categorical(weights);
+    picks.push_back(pick);
+    weights[pick] = 0.0;
+  }
+  return picks;
+}
+
+// Shared scaffolding: concrete generators build a full answer schedule in
+// their constructor (every draw from the one seeded RNG, so the stream is
+// a pure function of the spec), then FinishSchedule sorts it by time and
+// splices in the kTaskPost/kWorkerJoin events at first appearance.
+class ScheduledGenerator : public WorkloadGenerator {
+ public:
+  bool Next(ScenarioEvent* event) override {
+    if (cursor_ >= events_.size()) return false;
+    *event = events_[cursor_++];
+    return true;
+  }
+
+ protected:
+  explicit ScheduledGenerator(ScenarioSpec spec)
+      : WorkloadGenerator(std::move(spec)) {}
+
+  void FinishSchedule(const std::vector<data::LabelId>& truth,
+                      std::vector<PendingAnswer> answers,
+                      const std::vector<std::string>& worker_names) {
+    // Stable: equal times keep construction order, so ordering is exact,
+    // not dependent on sort implementation details.
+    std::stable_sort(answers.begin(), answers.end(),
+                     [](const PendingAnswer& a, const PendingAnswer& b) {
+                       return a.time < b.time;
+                     });
+    std::vector<bool> task_posted(truth.size(), false);
+    std::vector<bool> worker_joined(worker_names.size(), false);
+    events_.reserve(answers.size() + truth.size() + worker_names.size());
+    for (const PendingAnswer& a : answers) {
+      const std::string task = IdName('t', a.task);
+      if (!task_posted[a.task]) {
+        task_posted[a.task] = true;
+        ScenarioEvent post;
+        post.kind = ScenarioEvent::Kind::kTaskPost;
+        post.time = a.time;
+        post.task = task;
+        post.truth = truth[a.task];
+        events_.push_back(std::move(post));
+      }
+      if (!worker_joined[a.worker]) {
+        worker_joined[a.worker] = true;
+        ScenarioEvent join;
+        join.kind = ScenarioEvent::Kind::kWorkerJoin;
+        join.time = a.time;
+        join.worker = worker_names[a.worker];
+        events_.push_back(std::move(join));
+      }
+      ScenarioEvent answer;
+      answer.kind = ScenarioEvent::Kind::kAnswer;
+      answer.time = a.time;
+      answer.task = task;
+      answer.worker = worker_names[a.worker];
+      answer.label = a.label;
+      answer.truth = truth[a.task];
+      events_.push_back(std::move(answer));
+    }
+  }
+
+ private:
+  std::vector<ScenarioEvent> events_;
+  size_t cursor_ = 0;
+};
+
+// Worker quality drifts over the run: a linear decay (tired or churning
+// crowds) plus a per-worker oscillation. Tests that quality estimates
+// tracked incrementally stay useful when the stationarity assumption every
+// batch method makes is violated.
+class DriftingQualityGenerator : public ScheduledGenerator {
+ public:
+  explicit DriftingQualityGenerator(ScenarioSpec spec)
+      : ScheduledGenerator(std::move(spec)) {
+    Rng rng(spec_.seed);
+    const int tasks = spec_.num_tasks;
+    const int workers = spec_.num_workers;
+    const int choices = spec_.num_choices;
+    const int redundancy = spec_.redundancy;
+    const double drift = spec_.Param("drift", 0.4);
+    const double amplitude = spec_.Param("amplitude", 0.15);
+    const double period = spec_.Param("period", 0.5);
+    const double duration = static_cast<double>(tasks);
+
+    std::vector<double> base(workers);
+    std::vector<double> phase(workers);
+    std::vector<std::string> names(workers);
+    for (int w = 0; w < workers; ++w) {
+      base[w] = rng.Uniform(0.82, 0.95);
+      phase[w] = rng.Uniform(0.0, 2.0 * kPi);
+      names[w] = IdName('w', w);
+    }
+    std::vector<data::LabelId> truth(tasks);
+    std::vector<PendingAnswer> answers;
+    answers.reserve(static_cast<size_t>(tasks) * redundancy);
+    for (int t = 0; t < tasks; ++t) {
+      truth[t] = static_cast<data::LabelId>(rng.UniformInt(0, choices - 1));
+      const double posted = t + rng.Uniform(0.0, 0.5);
+      for (const int w : rng.SampleWithoutReplacement(workers, redundancy)) {
+        const double at = posted + rng.Uniform(0.0, 0.9);
+        const double frac = at / duration;
+        const double accuracy =
+            std::clamp(base[w] - drift * frac +
+                           amplitude *
+                               std::sin(2.0 * kPi * frac / period + phase[w]),
+                       0.05, 0.99);
+        answers.push_back(
+            {at, t, w, AnswerLabel(rng, truth[t], choices, accuracy)});
+      }
+    }
+    FinishSchedule(truth, std::move(answers), names);
+  }
+};
+
+// A colluding adversary cohort behaves honestly outside burst windows,
+// then floods the bursts with a shared per-task distractor label — the
+// paper's adversarial-worker regime concentrated in time, where
+// quality-tracking methods must down-weight a worker whose history looks
+// clean.
+class AdversaryBurstGenerator : public ScheduledGenerator {
+ public:
+  explicit AdversaryBurstGenerator(ScenarioSpec spec)
+      : ScheduledGenerator(std::move(spec)) {
+    Rng rng(spec_.seed);
+    const int tasks = spec_.num_tasks;
+    const int workers = spec_.num_workers;
+    const int choices = spec_.num_choices;
+    const int redundancy = spec_.redundancy;
+    const double adversary_fraction = spec_.Param("adversary_fraction", 0.25);
+    const int bursts =
+        std::max(1, static_cast<int>(spec_.Param("burst_count", 2)));
+    const double burst_width = spec_.Param("burst_width", 0.12);
+    const double burst_weight = spec_.Param("burst_weight", 4.0);
+
+    std::vector<int> order(workers);
+    for (int w = 0; w < workers; ++w) order[w] = w;
+    rng.Shuffle(order);
+    const int adversary_count = std::clamp(
+        static_cast<int>(std::lround(adversary_fraction * workers)), 1,
+        workers - 1);
+    std::vector<bool> adversary(workers, false);
+    for (int i = 0; i < adversary_count; ++i) adversary[order[i]] = true;
+
+    std::vector<double> accuracy(workers);
+    std::vector<std::string> names(workers);
+    for (int w = 0; w < workers; ++w) {
+      accuracy[w] = rng.Uniform(0.7, 0.95);
+      names[w] = IdName('w', w);
+    }
+    std::vector<data::LabelId> truth(tasks);
+    std::vector<PendingAnswer> answers;
+    answers.reserve(static_cast<size_t>(tasks) * redundancy);
+    for (int t = 0; t < tasks; ++t) {
+      truth[t] = static_cast<data::LabelId>(rng.UniformInt(0, choices - 1));
+      const double posted = t + rng.Uniform(0.0, 0.5);
+      const double frac = posted / tasks;
+      bool in_burst = false;
+      for (int b = 0; b < bursts; ++b) {
+        if (std::fabs(frac - (b + 0.5) / bursts) < burst_width / 2.0) {
+          in_burst = true;
+          break;
+        }
+      }
+      // The cohort's shared wrong answer on this task.
+      const int wrong = rng.UniformInt(0, choices - 2);
+      const data::LabelId distractor =
+          static_cast<data::LabelId>(wrong >= truth[t] ? wrong + 1 : wrong);
+      std::vector<double> weights(workers, 1.0);
+      if (in_burst) {
+        for (int w = 0; w < workers; ++w) {
+          if (adversary[w]) weights[w] = burst_weight;
+        }
+      }
+      for (const int w : SampleDistinct(rng, weights, redundancy)) {
+        const double at = posted + rng.Uniform(0.0, 0.9);
+        const data::LabelId label =
+            in_burst && adversary[w]
+                ? distractor
+                : AnswerLabel(rng, truth[t], choices, accuracy[w]);
+        answers.push_back({at, t, w, label});
+      }
+    }
+    FinishSchedule(truth, std::move(answers), names);
+  }
+};
+
+// An arrival-rate spike: tasks suddenly arrive several times faster and a
+// wave of brand-new, lower-accuracy workers ("c<i>") absorbs the load —
+// the regime where interners, admission control and incremental quality
+// estimates all meet a cold-start cohort mid-stream.
+class FlashCrowdGenerator : public ScheduledGenerator {
+ public:
+  explicit FlashCrowdGenerator(ScenarioSpec spec)
+      : ScheduledGenerator(std::move(spec)) {
+    Rng rng(spec_.seed);
+    const int tasks = spec_.num_tasks;
+    const int base_workers = spec_.num_workers;
+    const int choices = spec_.num_choices;
+    const int redundancy = spec_.redundancy;
+    const double spike_start = spec_.Param("spike_start", 0.4);
+    const double spike_width = spec_.Param("spike_width", 0.2);
+    const double spike_factor = std::max(1.0, spec_.Param("spike_factor", 6));
+    const double crowd_factor = spec_.Param("crowd_factor", 1.5);
+    const double crowd_boost = spec_.Param("crowd_boost", 3.0);
+
+    const int crowd_workers = std::max(
+        1, static_cast<int>(std::lround(crowd_factor * base_workers)));
+    const int total_workers = base_workers + crowd_workers;
+    std::vector<double> accuracy(total_workers);
+    std::vector<std::string> names(total_workers);
+    for (int w = 0; w < base_workers; ++w) {
+      accuracy[w] = rng.Uniform(0.8, 0.95);
+      names[w] = IdName('w', w);
+    }
+    for (int c = 0; c < crowd_workers; ++c) {
+      accuracy[base_workers + c] = rng.Uniform(0.55, 0.78);
+      names[base_workers + c] = IdName('c', c);
+    }
+
+    std::vector<data::LabelId> truth(tasks);
+    std::vector<PendingAnswer> answers;
+    answers.reserve(static_cast<size_t>(tasks) * redundancy);
+    double clock = 0.0;
+    for (int t = 0; t < tasks; ++t) {
+      truth[t] = static_cast<data::LabelId>(rng.UniformInt(0, choices - 1));
+      const double progress = static_cast<double>(t) / tasks;
+      const bool in_spike = progress >= spike_start &&
+                            progress < spike_start + spike_width;
+      const double gap = (in_spike ? 1.0 / spike_factor : 1.0);
+      clock += gap * rng.Uniform(0.75, 1.25);
+      // Outside the spike the crowd is absent (weight 0 keeps them out of
+      // the draw); inside it they soak up most assignments.
+      std::vector<double> weights(total_workers, 0.0);
+      for (int w = 0; w < base_workers; ++w) weights[w] = 1.0;
+      if (in_spike) {
+        for (int c = 0; c < crowd_workers; ++c) {
+          weights[base_workers + c] = crowd_boost;
+        }
+      }
+      for (const int w : SampleDistinct(rng, weights, redundancy)) {
+        const double at = clock + gap * rng.Uniform(0.0, 0.9);
+        answers.push_back(
+            {at, t, w, AnswerLabel(rng, truth[t], choices, accuracy[w])});
+      }
+    }
+    FinishSchedule(truth, std::move(answers), names);
+  }
+};
+
+// Lognormal worker activity as a stream: a few workers answer most tasks
+// and a long tail answers a handful each — Figure 2's activity
+// distribution, which stresses per-worker state that almost never gets a
+// second sample.
+class LongTailGenerator : public ScheduledGenerator {
+ public:
+  explicit LongTailGenerator(ScenarioSpec spec)
+      : ScheduledGenerator(std::move(spec)) {
+    Rng rng(spec_.seed);
+    const int tasks = spec_.num_tasks;
+    const int workers = spec_.num_workers;
+    const int choices = spec_.num_choices;
+    const int redundancy = spec_.redundancy;
+    const double sigma = spec_.Param("activity_sigma", 1.6);
+
+    std::vector<double> activity(workers);
+    std::vector<double> accuracy(workers);
+    std::vector<std::string> names(workers);
+    for (int w = 0; w < workers; ++w) {
+      activity[w] = std::exp(sigma * rng.Normal(0.0, 1.0));
+      accuracy[w] = rng.Uniform(0.65, 0.95);
+      names[w] = IdName('w', w);
+    }
+    std::vector<data::LabelId> truth(tasks);
+    std::vector<PendingAnswer> answers;
+    answers.reserve(static_cast<size_t>(tasks) * redundancy);
+    for (int t = 0; t < tasks; ++t) {
+      truth[t] = static_cast<data::LabelId>(rng.UniformInt(0, choices - 1));
+      const double posted = t + rng.Uniform(0.0, 0.5);
+      for (const int w : SampleDistinct(rng, activity, redundancy)) {
+        const double at = posted + rng.Uniform(0.0, 0.9);
+        answers.push_back(
+            {at, t, w, AnswerLabel(rng, truth[t], choices, accuracy[w])});
+      }
+    }
+    FinishSchedule(truth, std::move(answers), names);
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> RegisteredScenarios() {
+  return {"drifting_quality", "adversary_burst", "flash_crowd", "long_tail"};
+}
+
+std::unique_ptr<WorkloadGenerator> MakeGenerator(const ScenarioSpec& spec) {
+  if (!(spec.scale > 0.0) || spec.num_tasks < 1 || spec.num_workers < 2 ||
+      spec.num_choices < 2 || spec.redundancy < 1) {
+    return nullptr;
+  }
+  // Workers scale with sqrt(scale) so per-worker load — and with it the
+  // scenario's difficulty — survives the benches' --scale knob, mirroring
+  // sim::ScaleSpec.
+  ScenarioSpec scaled = spec;
+  scaled.num_tasks = std::max(
+      1, static_cast<int>(std::lround(spec.num_tasks * spec.scale)));
+  scaled.num_workers = std::max(
+      2, static_cast<int>(
+             std::lround(spec.num_workers * std::sqrt(spec.scale))));
+  scaled.redundancy = std::min(scaled.redundancy, scaled.num_workers);
+  if (spec.name == "drifting_quality") {
+    return std::make_unique<DriftingQualityGenerator>(std::move(scaled));
+  }
+  if (spec.name == "adversary_burst") {
+    return std::make_unique<AdversaryBurstGenerator>(std::move(scaled));
+  }
+  if (spec.name == "flash_crowd") {
+    return std::make_unique<FlashCrowdGenerator>(std::move(scaled));
+  }
+  if (spec.name == "long_tail") {
+    return std::make_unique<LongTailGenerator>(std::move(scaled));
+  }
+  return nullptr;
+}
+
+Status WriteScenarioFiles(WorkloadGenerator& generator,
+                          const std::string& log_path,
+                          const std::string& truth_path,
+                          ScenarioFileStats* stats) {
+  data::AnswerLogHeader header;
+  header.type = data::AnswerLogType::kCategorical;
+  header.num_choices = generator.spec().num_choices;
+  data::AnswerLogWriter writer;
+  Status status = data::AnswerLogWriter::Create(log_path, header, &writer);
+  if (!status.ok()) return status;
+  std::vector<std::vector<std::string>> truth_rows;
+  truth_rows.push_back({"task", "truth"});
+  ScenarioFileStats local;
+  ScenarioEvent event;
+  while (generator.Next(&event)) {
+    switch (event.kind) {
+      case ScenarioEvent::Kind::kTaskPost:
+        ++local.tasks;
+        truth_rows.push_back({event.task, std::to_string(event.truth)});
+        break;
+      case ScenarioEvent::Kind::kWorkerJoin:
+        ++local.workers;
+        break;
+      case ScenarioEvent::Kind::kAnswer:
+        ++local.answers;
+        status = writer.Append(event.task, event.worker, event.label);
+        if (!status.ok()) return status;
+        break;
+    }
+  }
+  if (!truth_path.empty()) {
+    status = util::WriteCsvFile(truth_path, truth_rows);
+    if (!status.ok()) return status;
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::Ok();
+}
+
+}  // namespace crowdtruth::scenario

@@ -1,0 +1,118 @@
+// Pluggable workload generators: the scenario half of the diversity
+// harness (ROADMAP "Scenario-diversity harness"), after codes-workload's
+// generator-method interface (SNIPPETS.md §2).
+//
+// A generator owns a seeded RNG and emits a *timed stream* of events —
+// task posts (carrying ground truth), worker joins, and answers — through
+// a pull API (`Next`, the codes_workload_get_next analogue; end of stream
+// is the return value, the CODES_WK_END analogue). The same seed replays
+// the identical event stream, so every scenario is a reusable, sweepable
+// workload instead of a one-off bench setup:
+//
+//   ScenarioSpec spec;
+//   spec.name = "adversary_burst";
+//   auto gen = MakeGenerator(spec);
+//   ScenarioEvent event;
+//   while (gen->Next(&event)) { ... }        // feed an engine directly
+//
+// or, for the file-based tools (crowdtruth_stream/crowdtruth_shard and the
+// matrix runner), WriteScenarioFiles materializes the stream as an answer
+// log (data/answer_log.h) plus a `task,truth` CSV.
+//
+// Registered generators (docs/scenarios.md describes the knobs):
+//   drifting_quality — worker accuracy decays/oscillates over the run
+//   adversary_burst  — colluding adversary cohort floods burst windows
+//   flash_crowd      — arrival-rate spike brings a wave of new workers
+//   long_tail        — lognormal worker activity (Figure 2's tail) as a
+//                      stream
+#ifndef CROWDTRUTH_SCENARIO_WORKLOAD_H_
+#define CROWDTRUTH_SCENARIO_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace crowdtruth::scenario {
+
+struct ScenarioEvent {
+  enum class Kind { kTaskPost, kWorkerJoin, kAnswer };
+  Kind kind = Kind::kAnswer;
+  // Virtual seconds since scenario start; nondecreasing across the stream.
+  double time = 0.0;
+  std::string task;    // kTaskPost and kAnswer
+  std::string worker;  // kWorkerJoin and kAnswer
+  // kAnswer: the worker's label. kTaskPost: unused.
+  data::LabelId label = 0;
+  // kTaskPost: the task's ground truth.
+  data::LabelId truth = 0;
+};
+
+// Scenario shape shared by every generator; `params` carries
+// generator-specific knobs (see docs/scenarios.md), read via Param() so
+// unknown keys are simply inert.
+struct ScenarioSpec {
+  std::string name;
+  uint64_t seed = 42;
+  // Multiplies num_tasks (workers scale with sqrt, preserving per-worker
+  // load, mirroring sim::ScaleSpec). Must be > 0.
+  double scale = 1.0;
+  int num_tasks = 240;
+  int num_workers = 24;
+  int num_choices = 3;
+  // Target answers per task; clamped to the worker population.
+  int redundancy = 7;
+  std::map<std::string, double> params;
+
+  double Param(const std::string& key, double fallback) const {
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+};
+
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+  // Fills `*event` with the next event in time order; false = end of
+  // stream. Deterministic: two generators with equal specs yield equal
+  // streams.
+  virtual bool Next(ScenarioEvent* event) = 0;
+
+ protected:
+  explicit WorkloadGenerator(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+  ScenarioSpec spec_;
+};
+
+// Generator names accepted by MakeGenerator, in registry order.
+std::vector<std::string> RegisteredScenarios();
+
+// Builds the named generator with the spec's scale applied; nullptr for
+// unknown names or degenerate shapes (non-positive counts or scale).
+std::unique_ptr<WorkloadGenerator> MakeGenerator(const ScenarioSpec& spec);
+
+struct ScenarioFileStats {
+  int64_t answers = 0;
+  int tasks = 0;
+  int workers = 0;
+};
+
+// Drains `generator` into an answer log at `log_path` and (when
+// `truth_path` is non-empty) a `task,truth` CSV in task-post order — the
+// exact file pair every existing ingest path (crowdtruth_stream,
+// crowdtruth_shard, the matrix runner, LoadCategoricalLog) consumes.
+util::Status WriteScenarioFiles(WorkloadGenerator& generator,
+                                const std::string& log_path,
+                                const std::string& truth_path,
+                                ScenarioFileStats* stats);
+
+}  // namespace crowdtruth::scenario
+
+#endif  // CROWDTRUTH_SCENARIO_WORKLOAD_H_

@@ -3,12 +3,41 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <limits>
 
 namespace crowdtruth::server {
 
 namespace {
 
 constexpr size_t kMaxHeaderBytes = 64 * 1024;
+
+// Headers where a second copy changes message framing or routing — a
+// request-smuggling vector, not a list (RFC 7230 §3.2.2). A duplicate is
+// rejected outright; all other repeated headers merge into one
+// comma-separated field value.
+bool IsSingletonHeader(const std::string& lower_name) {
+  return lower_name == "content-length" ||
+         lower_name == "transfer-encoding" || lower_name == "host";
+}
+
+// Strict RFC 7230 Content-Length: 1*DIGIT, nothing else. strtoull (the
+// previous parser) also accepted leading whitespace, "+"/"-" signs and
+// locale surprises — each one a way for two implementations to disagree
+// about where the body ends.
+bool ParseContentLength(const std::string& text, unsigned long long* out) {
+  if (text.empty()) return false;
+  unsigned long long value = 0;
+  constexpr unsigned long long kMax =
+      std::numeric_limits<unsigned long long>::max();
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const unsigned long long digit = static_cast<unsigned long long>(c - '0');
+    if (value > (kMax - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
 
 std::string ToLower(std::string text) {
   std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
@@ -185,17 +214,25 @@ HttpRequestParser::State HttpRequestParser::ParseHeaderBlock(
     if (colon == std::string::npos) {
       return Fail(400, "malformed header line");
     }
-    request_.headers[ToLower(Trim(line.substr(0, colon)))] =
-        Trim(line.substr(colon + 1));
+    const std::string name = ToLower(Trim(line.substr(0, colon)));
+    if (name.empty()) return Fail(400, "malformed header line");
+    const std::string value = Trim(line.substr(colon + 1));
+    const auto [it, inserted] = request_.headers.emplace(name, value);
+    if (!inserted) {
+      // Last-wins overwrite here let a second conflicting Content-Length
+      // silently replace the first.
+      if (IsSingletonHeader(name)) {
+        return Fail(400, "duplicate " + name + " header");
+      }
+      it->second += ", " + value;
+    }
   }
 
   body_expected_ = 0;
   const auto length = request_.headers.find("content-length");
   if (length != request_.headers.end()) {
-    char* end = nullptr;
-    const unsigned long long parsed =
-        std::strtoull(length->second.c_str(), &end, 10);
-    if (end == length->second.c_str() || *end != '\0') {
+    unsigned long long parsed = 0;
+    if (!ParseContentLength(length->second, &parsed)) {
       return Fail(400, "malformed Content-Length");
     }
     if (parsed > max_body_bytes_) {

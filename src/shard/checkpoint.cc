@@ -1,12 +1,18 @@
 #include "shard/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
+
+#include "scenario/buggify.h"
 
 namespace crowdtruth::shard {
 
@@ -33,6 +39,61 @@ Status ReadInt64(const JsonValue& doc, const char* key, int64_t* out) {
   }
   *out = static_cast<int64_t>(value->number());
   return Status::Ok();
+}
+
+// Writes `text` to `path` and fsyncs it before closing, so the bytes are
+// durable before any rename publishes the file. Unlinks the file on
+// failure — a half-written temp must not survive to confuse a later
+// FindLatestCheckpoint or retry.
+Status WriteDurableFile(const std::string& path, const std::string& text) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + " for writing: " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = std::strerror(errno);
+      ::close(fd);
+      ::unlink(path.c_str());
+      return Status::IoError("write failed on " + path + ": " + detail);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return Status::IoError("fsync failed on " + path + ": " + detail);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(path.c_str());
+    return Status::IoError("close failed on " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+// Fsyncs a directory so a rename inside it survives a crash. An empty
+// `dir` (plain filename in the working directory) syncs ".".
+Status FsyncDir(const std::string& dir) {
+  const std::string target = dir.empty() ? "." : dir;
+  const int fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory " + target + ": " +
+                           std::strerror(errno));
+  }
+  Status status = Status::Ok();
+  if (::fsync(fd) != 0) {
+    status = Status::IoError("fsync failed on directory " + target + ": " +
+                             std::strerror(errno));
+  }
+  ::close(fd);
+  return status;
 }
 
 }  // namespace
@@ -118,21 +179,36 @@ std::string CheckpointFileName(const std::string& prefix,
 }
 
 Status WriteJsonFileAtomic(const std::string& path, const JsonValue& doc) {
+  // write tmp + fsync tmp + rename + fsync parent: the classic durable
+  // publish. Flushing alone only hands the bytes to the kernel — before
+  // this fix a "committed" checkpoint (and the rename itself) could vanish
+  // on power loss, and a failed rename leaked the stale `.tmp`.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::out | std::ios::trunc);
-    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
-    out << doc.Dump(/*indent=*/1) << '\n';
-    out.flush();
-    if (!out) return Status::IoError("write failed on " + tmp);
+  const std::string text = doc.Dump(/*indent=*/1) + "\n";
+  Status status = WriteDurableFile(tmp, text);
+  if (!status.ok()) return status;
+  // Buggify "checkpoint_write": fail the publish once. Recovery — unlink
+  // the stale tmp, rewrite, retry — is exactly the real failure path, and
+  // the retry succeeds, so checkpoint cadence is unchanged.
+  const bool simulate_failure = CROWDTRUTH_BUGGIFY("checkpoint_write");
+  for (int attempt = 0;; ++attempt) {
+    std::error_code error;
+    if (simulate_failure && attempt == 0) {
+      error = std::make_error_code(std::errc::io_error);
+    } else {
+      std::filesystem::rename(tmp, path, error);
+    }
+    if (!error) break;
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    if (attempt > 0 || !simulate_failure) {
+      return Status::IoError("cannot rename " + tmp + " to " + path + ": " +
+                             error.message());
+    }
+    status = WriteDurableFile(tmp, text);
+    if (!status.ok()) return status;
   }
-  std::error_code error;
-  std::filesystem::rename(tmp, path, error);
-  if (error) {
-    return Status::IoError("cannot rename " + tmp + " to " + path + ": " +
-                           error.message());
-  }
-  return Status::Ok();
+  return FsyncDir(std::filesystem::path(path).parent_path().string());
 }
 
 Status ReadJsonFile(const std::string& path, JsonValue* out) {
@@ -157,6 +233,8 @@ Status FindLatestCheckpoint(const std::string& dir,
   bool found = false;
   int64_t best = -1;
   std::string best_path;
+  int64_t older = -1;
+  std::string older_path;
   for (const std::filesystem::directory_entry& entry : it) {
     const std::string name = entry.path().filename().string();
     if (name.size() <= head.size() + tail.size() ||
@@ -173,13 +251,28 @@ Status FindLatestCheckpoint(const std::string& dir,
       continue;
     }
     if (!found || seq > best) {
+      if (found) {
+        older = best;
+        older_path = best_path;
+      }
       found = true;
       best = seq;
       best_path = entry.path().string();
+    } else if (seq > older && seq < best) {
+      older = seq;
+      older_path = entry.path().string();
     }
   }
   if (!found) {
     return Status::NotFound("no \"" + prefix + "_*\" checkpoint in " + dir);
+  }
+  // Buggify "snapshot_restore": pretend the newest checkpoint is torn and
+  // fall back to the next-older one — the replay-from-behind recovery
+  // path. Visited only when a fallback exists, so restore still succeeds
+  // and log replay makes up the difference.
+  if (older >= 0 && CROWDTRUTH_BUGGIFY("snapshot_restore")) {
+    best = older;
+    best_path = older_path;
   }
   *path = best_path;
   *next_sequence = best;

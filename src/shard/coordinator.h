@@ -34,10 +34,12 @@
 #define CROWDTRUTH_SHARD_COORDINATOR_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
@@ -45,6 +47,7 @@
 #include <vector>
 
 #include "core/registry.h"
+#include "scenario/buggify.h"
 #include "data/answer_log.h"
 #include "data/dataset.h"
 #include "shard/checkpoint.h"
@@ -141,6 +144,13 @@ class ShardCoordinator {
   // Barrier: local resync per shard, worker-summary all-reduce in shard
   // order, merged summary adopted everywhere.
   util::Status RunBarrier() {
+    // Buggify "barrier_wait": one straggler pause per barrier — planted
+    // here, never inside a poll loop, because poll iteration counts are
+    // wall-clock-dependent and would break fault-log determinism. Timing
+    // shifts; the all-reduce result cannot.
+    if (CROWDTRUTH_BUGGIFY("barrier_wait")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
     util::Stopwatch total;
     std::vector<double> local_seconds(engines_.size(), 0.0);
     for (size_t s = 0; s < engines_.size(); ++s) {
@@ -381,6 +391,18 @@ class ShardCoordinator {
         return util::Status::InvalidArgument(
             "non-finite answer value for task \"" + task + "\"");
       }
+    }
+    // Buggify "validator_accept": paranoid re-validation of a record the
+    // checks above just accepted — crash loudly if the validators drift.
+    // Never mutates state, so accepted streams are unchanged.
+    if (CROWDTRUTH_BUGGIFY("validator_accept")) {
+      if constexpr (kCategorical) {
+        CROWDTRUTH_CHECK(payload >= 0 && payload < config_.num_choices);
+      } else {
+        CROWDTRUTH_CHECK(std::isfinite(payload));
+      }
+      CROWDTRUTH_CHECK(seen_pairs_.count(PairKey(task_gid, worker_gid)) ==
+                       0);
     }
     if (!seen_pairs_.insert(PairKey(task_gid, worker_gid)).second) {
       return util::Status::InvalidArgument(

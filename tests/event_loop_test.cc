@@ -157,6 +157,76 @@ TEST(HttpParserTest, MalformedFramingIs400) {
   EXPECT_EQ(chunked.error_status(), 400);
 }
 
+TEST(HttpParserTest, DuplicateFramingHeadersAre400) {
+  // A second Content-Length is a request-smuggling vector: last-wins
+  // overwrite used to let it silently move the end of the body.
+  server::HttpRequestParser dup_length(1024);
+  const std::string wire =
+      "POST /x HTTP/1.1\r\n"
+      "Content-Length: 4\r\n"
+      "Content-Length: 8\r\n"
+      "\r\nabcd";
+  EXPECT_EQ(dup_length.Feed(wire.data(), wire.size()),
+            server::HttpRequestParser::State::kError);
+  EXPECT_EQ(dup_length.error_status(), 400);
+
+  // Even two *agreeing* copies are rejected — no reason to guess.
+  server::HttpRequestParser dup_same(1024);
+  const std::string wire2 =
+      "POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n";
+  EXPECT_EQ(dup_same.Feed(wire2.data(), wire2.size()),
+            server::HttpRequestParser::State::kError);
+  EXPECT_EQ(dup_same.error_status(), 400);
+
+  server::HttpRequestParser dup_host(1024);
+  const std::string wire3 =
+      "GET /x HTTP/1.1\r\nHost: a\r\nHost: b\r\n\r\n";
+  EXPECT_EQ(dup_host.Feed(wire3.data(), wire3.size()),
+            server::HttpRequestParser::State::kError);
+  EXPECT_EQ(dup_host.error_status(), 400);
+}
+
+TEST(HttpParserTest, RepeatedListHeadersMergeCommaSeparated) {
+  server::HttpRequestParser parser(1024);
+  const std::string wire =
+      "GET /x HTTP/1.1\r\n"
+      "Accept: text/plain\r\n"
+      "Accept: application/json\r\n"
+      "\r\n";
+  EXPECT_EQ(parser.Feed(wire.data(), wire.size()),
+            server::HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().headers.at("accept"),
+            "text/plain, application/json");
+}
+
+TEST(HttpParserTest, ContentLengthIsStrictDigits) {
+  // strtoull quietly accepted signs, embedded whitespace and hex — each one
+  // a way for two parsers to disagree about where the body ends. Anything
+  // that is not 1*DIGIT is a 400 now.
+  const std::vector<std::string> bad = {
+      "+4", "-4", "4 2", "0x10", "4,4", "",
+      "99999999999999999999999999",  // overflows unsigned long long
+  };
+  for (const std::string& value : bad) {
+    server::HttpRequestParser parser(1024);
+    const std::string wire =
+        "POST /x HTTP/1.1\r\nContent-Length: " + value + "\r\n\r\n";
+    EXPECT_EQ(parser.Feed(wire.data(), wire.size()),
+              server::HttpRequestParser::State::kError)
+        << "accepted Content-Length '" << value << "'";
+    EXPECT_EQ(parser.error_status(), 400) << value;
+  }
+
+  // Plain digits (with surrounding OWS, which header parsing trims) still
+  // parse; leading zeros are digits and stay legal.
+  server::HttpRequestParser parser(1024);
+  const std::string wire =
+      "POST /x HTTP/1.1\r\nContent-Length:  004  \r\n\r\nabcd";
+  EXPECT_EQ(parser.Feed(wire.data(), wire.size()),
+            server::HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().body, "abcd");
+}
+
 TEST(HttpParserTest, OversizedHeaderBlockIs431) {
   server::HttpRequestParser parser(1024);
   std::string wire = "GET /x HTTP/1.1\r\n";

@@ -432,6 +432,39 @@ TEST(CheckpointTest, FileNamesSortAndLatestWins) {
   ASSERT_EQ(0, system(("rm -rf " + dir).c_str()));
 }
 
+TEST(CheckpointTest, AtomicWriteLeavesNoTempFileBehind) {
+  const std::string dir = ::testing::TempDir() + "/ckpt_atomic_test";
+  ASSERT_EQ(0, system(("rm -rf " + dir + " && mkdir -p " + dir).c_str()));
+  util::JsonValue doc = util::JsonValue::Object();
+  doc.Set("probe", 7);
+
+  // Success path: the payload lands and the staging file is gone — a crash
+  // between write and rename must never leave a half-published checkpoint.
+  const std::string path = dir + "/ok.json";
+  ASSERT_TRUE(WriteJsonFileAtomic(path, doc).ok());
+  EXPECT_NE(0, system(("test -e " + path + ".tmp").c_str()));
+  util::JsonValue read_back;
+  ASSERT_TRUE(ReadJsonFile(path, &read_back).ok());
+  ASSERT_NE(read_back.Find("probe"), nullptr);
+
+  // Overwrite of an existing file is still atomic.
+  doc.Set("probe", 8);
+  ASSERT_TRUE(WriteJsonFileAtomic(path, doc).ok());
+  EXPECT_NE(0, system(("test -e " + path + ".tmp").c_str()));
+
+  // Failure path: the target is an occupied directory, so the final rename
+  // cannot succeed. The write must report the error AND unlink its staging
+  // file — stale .tmp files used to accumulate here.
+  const std::string blocked = dir + "/blocked";
+  ASSERT_EQ(0, system(("mkdir -p " + blocked + "/full").c_str()));
+  EXPECT_FALSE(WriteJsonFileAtomic(blocked, doc).ok());
+  EXPECT_NE(0, system(("test -e " + blocked + ".tmp").c_str()));
+
+  // An unwritable parent fails before anything is staged.
+  EXPECT_FALSE(WriteJsonFileAtomic(dir + "/no/such/dir/x.json", doc).ok());
+  ASSERT_EQ(0, system(("rm -rf " + dir).c_str()));
+}
+
 // --- WorkerSummary -----------------------------------------------------
 
 TEST(WorkerSummaryTest, MergeAddsAndInserts) {

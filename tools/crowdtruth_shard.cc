@@ -39,6 +39,7 @@
 #include <cmath>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -51,6 +52,7 @@
 
 #include "data/answer_log.h"
 #include "obs/metrics.h"
+#include "scenario/buggify.h"
 #include "shard/checkpoint.h"
 #include "shard/coordinator.h"
 #include "shard/metrics.h"
@@ -65,6 +67,7 @@
 namespace {
 
 namespace data = crowdtruth::data;
+namespace scenario = crowdtruth::scenario;
 namespace shard = crowdtruth::shard;
 namespace streaming = crowdtruth::streaming;
 using crowdtruth::util::Flags;
@@ -423,6 +426,13 @@ int RunWorker(const Flags& flags, int num_choices) {
   // Barrier at position E: local resync, publish own summary atomically,
   // poll for every peer's, merge in shard order, adopt the merged result.
   const auto do_barrier = [&](int64_t position) -> Status {
+    // Buggify "barrier_wait": straggle once before publishing this
+    // barrier's summary. Planted per barrier, never inside the poll loop
+    // below — poll iteration counts are wall-clock-nondeterministic and
+    // would wreck fault-log determinism. Peers just poll a little longer.
+    if (CROWDTRUTH_BUGGIFY("barrier_wait")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
     engine.Resync();
     const streaming::WorkerSummary own = engine.ExportWorkerSummary();
     const JsonValue own_doc = own.ToJson();
@@ -770,7 +780,11 @@ int main(int argc, char** argv) {
                      {"output", ""},
                      {"workers_output", ""},
                      {"json_out", ""},
-                     {"metrics_out", ""}});
+                     {"metrics_out", ""},
+                     {"buggify_seed", ""},
+                     {"buggify_activate", "25"},
+                     {"buggify_fire", "25"},
+                     {"buggify_log", ""}});
   if (flags.Get("log").empty()) {
     std::cerr << "error: --log is required\n";
     return 2;
@@ -783,6 +797,34 @@ int main(int argc, char** argv) {
   if (flags.GetInt("shards") < 1) {
     std::cerr << "error: --shards must be >= 1\n";
     return 2;
+  }
+
+  // Fault injection: an explicit --buggify_seed wins over the environment
+  // (CROWDTRUTH_BUGGIFY_SEED et al., see scenario/buggify.h). In a build
+  // without -DCROWDTRUTH_BUGGIFY=ON the schedule is still armed — the
+  // sites just compile to `false` — so runs report "compiled out" and the
+  // fault log stays empty.
+  if (!flags.Get("buggify_seed").empty()) {
+    const std::string& seed_text = flags.Get("buggify_seed");
+    char* end = nullptr;
+    const unsigned long long seed =
+        std::strtoull(seed_text.c_str(), &end, 10);
+    if (end == seed_text.c_str() || *end != '\0') {
+      std::cerr << "error: --buggify_seed must be an unsigned integer\n";
+      return 2;
+    }
+    scenario::BuggifyConfig buggify;
+    buggify.seed = seed;
+    buggify.activate_probability = flags.GetDouble("buggify_activate") / 100.0;
+    buggify.fire_probability = flags.GetDouble("buggify_fire") / 100.0;
+    scenario::EnableBuggify(buggify);
+  } else {
+    scenario::BuggifyInitFromEnv();
+  }
+  if (scenario::BuggifyEnabled()) {
+    std::cout << "buggify: "
+              << (scenario::kBuggifyCompiledIn ? "enabled" : "compiled out")
+              << '\n';
   }
 
   crowdtruth::obs::MetricRegistry registry;
@@ -854,6 +896,17 @@ int main(int argc, char** argv) {
       if (code == 0) code = 1;
     } else {
       std::cout << "wrote metrics to " << metrics_out << '\n';
+    }
+  }
+  // Written even when buggify is off or compiled out (an empty log plus
+  // "total 0"), so harnesses can diff fault logs unconditionally; and even
+  // on an injected-crash exit, so each incarnation's schedule is auditable.
+  if (!flags.Get("buggify_log").empty()) {
+    const Status log_status =
+        scenario::WriteBuggifyLog(flags.Get("buggify_log"));
+    if (!log_status.ok()) {
+      std::cerr << "error: " << log_status.ToString() << '\n';
+      if (code == 0) code = 1;
     }
   }
   return code;

@@ -80,6 +80,7 @@
 
 #include "core/trace.h"
 #include "data/answer_log.h"
+#include "scenario/buggify.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
@@ -1008,6 +1009,15 @@ int main(int argc, char** argv) {
   if (simulate == !flags.Get("log").empty()) {
     std::cerr << "error: exactly one of --log or --simulate is required\n";
     return 2;
+  }
+  // Arm fault injection from CROWDTRUTH_BUGGIFY_SEED (a no-op unless the
+  // build compiled the sites in) before any answer-log read can happen.
+  crowdtruth::scenario::BuggifyInitFromEnv();
+  if (crowdtruth::scenario::BuggifyEnabled()) {
+    std::cout << "buggify: "
+              << (crowdtruth::scenario::kBuggifyCompiledIn ? "enabled"
+                                                           : "compiled out")
+              << '\n';
   }
   StreamInput input;
   const Status status =

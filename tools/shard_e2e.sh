@@ -15,7 +15,14 @@
 #   4. killing one worker mid-run (injected crash, exit 7) and restarting
 #      it from its latest checkpoint still reproduces the same bytes;
 #   5. the drive-mode /metrics dump carries the per-shard
-#      crowdtruth_shard_* families and passes the exposition checker.
+#      crowdtruth_shard_* families and passes the exposition checker;
+#   6. Buggify (src/scenario/buggify.h) is deterministic: the same
+#      --buggify_seed produces an identical fault log and bit-identical
+#      truth at shard counts 1 and 4. In a default build the fault sites
+#      are compiled out and the assertion holds trivially (empty logs);
+#      CI also runs this script under -DCROWDTRUTH_BUGGIFY=ON with
+#      CROWDTRUTH_BUGGIFY_SEED exported, which arms every assertion above
+#      with live fault injection.
 #
 # Usage: tools/shard_e2e.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -156,5 +163,25 @@ python3 tools/check_metrics_exposition.py "$WORK/shard_metrics.prom" \
               crowdtruth_shard_checkpoints_total \
               crowdtruth_shard_checkpoint_seconds \
               crowdtruth_shard_barrier_wait_seconds
+
+# Assertion 6: fault-schedule determinism. Two runs with the same
+# --buggify_seed must write byte-identical fault logs, and the faulty runs
+# must still produce the single-engine truth bytes — at 1 and 4 shards.
+for shards in 1 4; do
+  for run in A B; do
+    mkdir -p "$WORK/bg$run$shards"
+    "$SHARD" --log="$WORK/answers.log" --shards="$shards" --method=ZC \
+        --barrier_interval=100 --checkpoint_every=100 \
+        --checkpoint_dir="$WORK/bg$run$shards" \
+        --output="$WORK/bg$run$shards/truth.csv" \
+        --buggify_seed=11 --buggify_activate=100 --buggify_fire=30 \
+        --buggify_log="$WORK/bg$run$shards/faults.log" > /dev/null \
+        || fail "buggify drive run $run ($shards shards) failed"
+  done
+  cmp "$WORK/bgA$shards/faults.log" "$WORK/bgB$shards/faults.log" \
+      || fail "fault logs differ across identical runs ($shards shards)"
+  cmp "$WORK/single.csv" "$WORK/bgA$shards/truth.csv" \
+      || fail "buggify run truth differs from fault-free replay ($shards shards)"
+done
 
 echo "shard e2e: all assertions passed"
