@@ -11,14 +11,16 @@
 // `/metrics` variants of D&S and GLAD run with the process-wide metric
 // registry installed, putting a number on the instrumentation's cost.
 // `--check_overhead` skips the benchmark harness entirely and instead runs
-// paired metrics-off/metrics-on inference, failing (exit 1) if the registry
-// costs more than 1% wall-clock on either method.
+// paired off/on inference per instrumentation axis — the metric registry
+// and the span flight recorder — failing (exit 1) if either axis costs
+// more than 1% wall-clock on either method.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <sstream>
 #include <string>
@@ -26,6 +28,7 @@
 #include <vector>
 
 #include "core/registry.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
 #include "simulation/profiles.h"
@@ -172,10 +175,37 @@ double TimeInferSeconds(const crowdtruth::core::CategoricalMethod& method,
   return watch.ElapsedSeconds();
 }
 
-// Paired metrics-off/metrics-on timing for one EM method and one gradient
-// method. Best-of-N on each side (the minimum is the noise-robust
-// statistic for wall-clock), interleaved so frequency drift hits both
-// sides equally. The 1% budget is the contract docs/observability.md
+// Paired off/on timing of one instrumentation axis for one method.
+// Best-of-N on each side (the minimum is the noise-robust statistic for
+// wall-clock), interleaved so frequency drift hits both sides equally.
+// `arm(true/false)` installs/uninstalls the instrumentation under test.
+double MeasurePairedOverhead(const crowdtruth::core::CategoricalMethod& method,
+                             const crowdtruth::data::CategoricalDataset& dataset,
+                             const InferenceOptions& options, int repetitions,
+                             int pairs, const std::function<void(bool)>& arm) {
+  double best_off = 1e300;
+  double best_on = 1e300;
+  // Whichever side runs second in a pair measures slightly slow on a
+  // busy machine (cache/frequency drift across the pair); alternating
+  // the order each rep cancels that bias out of the minima.
+  for (int rep = 0; rep < pairs; ++rep) {
+    for (int side = 0; side < 2; ++side) {
+      const bool armed = (side == 0) == (rep % 2 == 0);
+      arm(armed);
+      const double seconds =
+          TimeInferSeconds(method, dataset, options, repetitions);
+      (armed ? best_on : best_off) =
+          std::min(armed ? best_on : best_off, seconds);
+    }
+    arm(false);
+  }
+  return best_on / best_off - 1.0;
+}
+
+// Runs the paired overhead measurement per (method, axis): the metrics
+// axis installs the process-wide registry, the tracing axis arms the
+// flight recorder (the EM driver's spans go from one relaxed load to full
+// record). The 1% budget per axis is the contract docs/observability.md
 // states for the instrumentation.
 int RunOverheadCheck() {
   struct Case {
@@ -194,31 +224,39 @@ int RunOverheadCheck() {
     benchmark::DoNotOptimize(method->Infer(dataset, options));  // Warm-up.
     crowdtruth::obs::MetricRegistry registry;
     crowdtruth::obs::RegisterProcessCollectors(&registry);
-    double best_off = 1e300;
-    double best_on = 1e300;
-    // Whichever side runs second in a pair measures slightly slow on a
-    // busy machine (cache/frequency drift across the pair); alternating
-    // the order each rep cancels that bias out of the minima.
-    for (int rep = 0; rep < kReps; ++rep) {
-      for (int side = 0; side < 2; ++side) {
-        const bool with_metrics = (side == 0) == (rep % 2 == 0);
-        crowdtruth::obs::InstallProcessMetrics(with_metrics ? &registry
-                                                            : nullptr);
-        const double seconds =
-            TimeInferSeconds(*method, dataset, options, c.repetitions);
-        (with_metrics ? best_on : best_off) =
-            std::min(with_metrics ? best_on : best_off, seconds);
+    crowdtruth::obs::FlightRecorder recorder;
+    struct Axis {
+      const char* label;
+      std::function<void(bool)> arm;
+    };
+    const Axis axes[] = {
+        {"metrics",
+         [&registry](bool on) {
+           crowdtruth::obs::InstallProcessMetrics(on ? &registry : nullptr);
+         }},
+        {"tracing",
+         [&recorder](bool on) {
+           crowdtruth::obs::InstallFlightRecorder(on ? &recorder : nullptr);
+         }},
+    };
+    for (const Axis& axis : axes) {
+      double overhead = MeasurePairedOverhead(
+          *method, dataset, options, c.repetitions, kReps, axis.arm);
+      if (overhead > kBudget) {
+        // Minima over few pairs still wander on a busy machine; triple
+        // the sample once before declaring a regression.
+        std::printf("%-8s %-8s overhead %+.2f%% over budget, re-measuring\n",
+                    c.method, axis.label, overhead * 100.0);
+        overhead = MeasurePairedOverhead(*method, dataset, options,
+                                         c.repetitions, 3 * kReps, axis.arm);
       }
-      crowdtruth::obs::InstallProcessMetrics(nullptr);
-    }
-    const double overhead = best_on / best_off - 1.0;
-    std::printf("%-8s metrics off %.3fms  on %.3fms  overhead %+.2f%%\n",
-                c.method, best_off * 1e3 / c.repetitions,
-                best_on * 1e3 / c.repetitions, overhead * 100.0);
-    if (overhead > kBudget) {
-      std::printf("FAIL: %s metrics overhead %.2f%% exceeds %.0f%% budget\n",
-                  c.method, overhead * 100.0, kBudget * 100.0);
-      ok = false;
+      std::printf("%-8s %-8s overhead %+.2f%%\n", c.method, axis.label,
+                  overhead * 100.0);
+      if (overhead > kBudget) {
+        std::printf("FAIL: %s %s overhead %.2f%% exceeds %.0f%% budget\n",
+                    c.method, axis.label, overhead * 100.0, kBudget * 100.0);
+        ok = false;
+      }
     }
   }
   return ok ? 0 : 1;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -92,6 +93,8 @@ EmDriver EmDriver::FromOptions(const InferenceOptions& options,
 EmLoopStats RunEmLoop(const EmDriver& driver, const std::vector<EmStep>& steps,
                       const std::function<double(bool)>& measure) {
   EmLoopStats stats;
+  obs::Span run_span("em_run");
+  if (run_span.armed()) run_span.Annotate("method", driver.method);
   IterationTracer tracer(driver.trace);
   EmContext context(driver.num_threads);
   // Metrics phase timing is independent of the tracer: activating the
@@ -105,6 +108,12 @@ EmLoopStats RunEmLoop(const EmDriver& driver, const std::vector<EmStep>& steps,
     context.iteration_ = iteration;
     tracer.BeginIteration();
     for (const EmStep& step : steps) {
+      obs::Span step_span(step.phase == TracePhase::kTruthStep
+                              ? "em_truth_step"
+                              : "em_quality_step");
+      if (step_span.armed()) {
+        step_span.Annotate("iteration", static_cast<int64_t>(iteration));
+      }
       if (metrics != nullptr) phase_watch.Restart();
       step.run(context);
       tracer.EndPhase(step.phase);
@@ -140,6 +149,10 @@ EmLoopStats RunEmLoop(const EmDriver& driver, const std::vector<EmStep>& steps,
   if (metrics != nullptr) {
     RecordEmRunMetrics(metrics, driver, stats, truth_seconds,
                        quality_seconds);
+  }
+  if (run_span.armed()) {
+    run_span.Annotate("iterations", static_cast<int64_t>(stats.iterations));
+    run_span.Annotate("converged", std::string(stats.converged ? "1" : "0"));
   }
   return stats;
 }

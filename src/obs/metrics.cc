@@ -129,6 +129,10 @@ template <>
 const char* Family<Histogram>::kind() const {
   return "histogram";
 }
+template <>
+const char* Family<Digest>::kind() const {
+  return "summary";
+}
 
 template <>
 std::unique_ptr<Counter> Family<Counter>::MakeChild() const {
@@ -142,12 +146,17 @@ template <>
 std::unique_ptr<Histogram> Family<Histogram>::MakeChild() const {
   return std::make_unique<Histogram>(buckets_);
 }
+template <>
+std::unique_ptr<Digest> Family<Digest>::MakeChild() const {
+  return std::make_unique<Digest>(digest_options_);
+}
 
 template <typename T>
 Family<T>& MetricRegistry::AddFamily(const std::string& name,
                                      const std::string& help,
                                      const std::vector<std::string>& labels,
-                                     const HistogramBuckets* buckets) {
+                                     const HistogramBuckets* buckets,
+                                     const DigestOptions* digest_options) {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& family : families_) {
     if (family->name() != name) continue;
@@ -162,6 +171,7 @@ Family<T>& MetricRegistry::AddFamily(const std::string& name,
   family->label_names_ = labels;
   family->registry_ = this;
   if (buckets != nullptr) family->buckets_ = *buckets;
+  if (digest_options != nullptr) family->digest_options_ = *digest_options;
   Family<T>& ref = *family;
   families_.push_back(std::move(family));
   return ref;
@@ -189,6 +199,10 @@ Family<Gauge>* MetricRegistry::FindGaugeFamily(const std::string& name) {
 Family<Histogram>* MetricRegistry::FindHistogramFamily(
     const std::string& name) {
   return FindFamily<Histogram>(name);
+}
+
+Family<Digest>* MetricRegistry::FindDigestFamily(const std::string& name) {
+  return FindFamily<Digest>(name);
 }
 
 void MetricRegistry::SetLabelCardinalityCap(const std::string& name, int cap,
@@ -242,6 +256,12 @@ Histogram& MetricRegistry::AddHistogram(const std::string& name,
   return AddFamily<Histogram>(name, help, {}, &buckets).WithLabels({});
 }
 
+Digest& MetricRegistry::AddDigest(const std::string& name,
+                                  const std::string& help,
+                                  const DigestOptions& options) {
+  return AddFamily<Digest>(name, help, {}, nullptr, &options).WithLabels({});
+}
+
 Family<Counter>& MetricRegistry::AddCounterFamily(
     const std::string& name, const std::string& help,
     const std::vector<std::string>& labels) {
@@ -258,6 +278,12 @@ Family<Histogram>& MetricRegistry::AddHistogramFamily(
     const std::string& name, const std::string& help,
     const std::vector<std::string>& labels, const HistogramBuckets& buckets) {
   return AddFamily<Histogram>(name, help, labels, &buckets);
+}
+
+Family<Digest>& MetricRegistry::AddDigestFamily(
+    const std::string& name, const std::string& help,
+    const std::vector<std::string>& labels, const DigestOptions& options) {
+  return AddFamily<Digest>(name, help, labels, nullptr, &options);
 }
 
 void MetricRegistry::AddCollectionHook(std::function<void()> hook) {
@@ -306,6 +332,21 @@ void MetricRegistry::WritePrometheus(std::ostream& out) {
             << util::JsonNumber(snap.sum) << "\n";
         out << base->name() << "_count" << LabelSet(names, values) << " "
             << snap.count << "\n";
+      }
+    } else if (auto* digests = dynamic_cast<Family<Digest>*>(base)) {
+      for (const auto& [values, child] : digests->Children()) {
+        const TDigest snap = child->Snap();
+        for (const double q : child->options().quantiles) {
+          // Quantile of an empty digest is 0, which the exposition checker
+          // accepts; NaN would not survive the sample-value regex.
+          out << base->name()
+              << LabelSet(names, values, "quantile", FormatBound(q)) << " "
+              << util::JsonNumber(snap.Quantile(q)) << "\n";
+        }
+        out << base->name() << "_sum" << LabelSet(names, values) << " "
+            << util::JsonNumber(snap.sum()) << "\n";
+        out << base->name() << "_count" << LabelSet(names, values) << " "
+            << snap.count() << "\n";
       }
     }
   }
@@ -366,6 +407,23 @@ util::JsonValue MetricRegistry::ToJson() {
           buckets.Append(std::move(bucket));
         }
         point.Set("buckets", std::move(buckets));
+        series.Append(std::move(point));
+      }
+    } else if (auto* digests = dynamic_cast<Family<Digest>*>(base)) {
+      for (const auto& [values, child] : digests->Children()) {
+        const TDigest snap = child->Snap();
+        util::JsonValue point = util::JsonValue::Object();
+        point.Set("labels", LabelsJson(names, values));
+        point.Set("count", snap.count());
+        point.Set("sum", snap.sum());
+        util::JsonValue quantiles = util::JsonValue::Array();
+        for (const double q : child->options().quantiles) {
+          util::JsonValue entry_q = util::JsonValue::Object();
+          entry_q.Set("quantile", q);
+          entry_q.Set("value", snap.Quantile(q));
+          quantiles.Append(std::move(entry_q));
+        }
+        point.Set("quantiles", std::move(quantiles));
         series.Append(std::move(point));
       }
     }

@@ -7,8 +7,8 @@
 // Prometheus text format (for a scraper hitting obs::MetricsHttpServer) or
 // as JSON (via util/json_writer, for run reports and file dumps).
 //
-// Three instrument kinds, all thread-safe with lock-free atomics on the
-// hot path:
+// Four instrument kinds, thread-safe throughout (the first three with
+// lock-free atomics on the hot path):
 //
 //   * Counter   — monotonically increasing double (events, seconds).
 //   * Gauge     — arbitrary settable double (backlog depth, peak RSS).
@@ -17,6 +17,12 @@
 //                 count — the bounded alternative to util::LatencyRecorder,
 //                 which keeps every raw sample alive (8 bytes per answer,
 //                 forever, on a long-lived stream).
+//   * Digest    — a mutex-guarded obs::TDigest quantile sketch, exposed in
+//                 Prometheus summary form (quantile-labeled samples plus
+//                 _sum/_count). Buckets answer "how many samples fell
+//                 here"; digests answer "what is p99" with memory bounded
+//                 by the compression, not the bucket layout — the tail
+//                 signal the adaptive controller retunes on.
 //
 // Metrics come in families: a family has a name, a help string and a list
 // of label names; each distinct label-value vector materializes one child
@@ -49,6 +55,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/tdigest.h"
 #include "util/json_writer.h"
 
 namespace crowdtruth::obs {
@@ -144,6 +151,47 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+// Sketch layout shared by every child of a digest family.
+struct DigestOptions {
+  double compression = 100.0;
+  // Quantiles exposed by the summary exposition (and mirrored as the
+  // controller's quantile gauges); must be increasing in [0, 1].
+  std::vector<double> quantiles = {0.5, 0.9, 0.99};
+};
+
+// A TDigest child instrument. Observe takes a never-shared-in-practice
+// mutex (per child, uncontended except against a scrape); still cheap, but
+// digests belong on per-request paths, not inside per-iteration kernels.
+class Digest {
+ public:
+  explicit Digest(const DigestOptions& options)
+      : options_(options), digest_(options.compression) {}
+
+  void Observe(double value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    digest_.Add(value);
+  }
+
+  // Folds an externally built sketch in (shard barriers merging per-shard
+  // digests into the coordinator's series).
+  void MergeFrom(const TDigest& other) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    digest_.Merge(other);
+  }
+
+  TDigest Snap() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return digest_;
+  }
+
+  const DigestOptions& options() const { return options_; }
+
+ private:
+  DigestOptions options_;
+  mutable std::mutex mutex_;
+  TDigest digest_;
+};
+
 // One exposed series: the child instrument plus its label values (in the
 // family's label-name order).
 template <typename T>
@@ -204,7 +252,8 @@ class Family : public FamilyBase {
 
   mutable std::mutex mutex_;
   std::vector<LabeledChild<T>> children_;
-  HistogramBuckets buckets_;  // used only when T == Histogram
+  HistogramBuckets buckets_;      // used only when T == Histogram
+  DigestOptions digest_options_;  // used only when T == Digest
 };
 
 // The process-wide metric container. Thread-safe throughout; families and
@@ -222,6 +271,8 @@ class MetricRegistry {
   Gauge& AddGauge(const std::string& name, const std::string& help);
   Histogram& AddHistogram(const std::string& name, const std::string& help,
                           const HistogramBuckets& buckets);
+  Digest& AddDigest(const std::string& name, const std::string& help,
+                    const DigestOptions& options);
 
   Family<Counter>& AddCounterFamily(const std::string& name,
                                     const std::string& help,
@@ -233,6 +284,10 @@ class MetricRegistry {
       const std::string& name, const std::string& help,
       const std::vector<std::string>& labels,
       const HistogramBuckets& buckets);
+  Family<Digest>& AddDigestFamily(const std::string& name,
+                                  const std::string& help,
+                                  const std::vector<std::string>& labels,
+                                  const DigestOptions& options);
 
   // Lookup by family name for consumers that read metrics back out of the
   // registry (the server's adaptive controller). Returns nullptr when the
@@ -240,6 +295,7 @@ class MetricRegistry {
   Family<Counter>* FindCounterFamily(const std::string& name);
   Family<Gauge>* FindGaugeFamily(const std::string& name);
   Family<Histogram>* FindHistogramFamily(const std::string& name);
+  Family<Digest>* FindDigestFamily(const std::string& name);
 
   // --- Label interning with a cardinality cap ---
   //
@@ -270,7 +326,9 @@ class MetricRegistry {
 
   // Prometheus text exposition format 0.0.4: one HELP and TYPE line per
   // family, one series line per child (histograms expand into _bucket /
-  // _sum / _count). Runs the collection hooks first.
+  // _sum / _count; digests expose the summary form — one quantile-labeled
+  // sample per configured quantile plus _sum / _count). Runs the
+  // collection hooks first.
   void WritePrometheus(std::ostream& out);
   std::string PrometheusText();
 
@@ -282,7 +340,8 @@ class MetricRegistry {
   template <typename T>
   Family<T>& AddFamily(const std::string& name, const std::string& help,
                        const std::vector<std::string>& labels,
-                       const HistogramBuckets* buckets);
+                       const HistogramBuckets* buckets,
+                       const DigestOptions* digest_options = nullptr);
   template <typename T>
   Family<T>* FindFamily(const std::string& name);
 

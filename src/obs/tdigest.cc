@@ -1,0 +1,232 @@
+#include "obs/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdtruth::obs {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// The k1 scale function and its inverse: k(q) = (delta / 2pi) asin(2q - 1).
+// Cluster boundaries drawn in k-space give clusters O(1) k-width, which is
+// narrow (accurate) near q=0 and q=1 and wide in the body.
+double ScaleK(double q, double compression) {
+  return compression / (2.0 * kPi) * std::asin(2.0 * q - 1.0);
+}
+
+double ScaleQ(double k, double compression) {
+  return (std::sin(k * 2.0 * kPi / compression) + 1.0) / 2.0;
+}
+
+bool CentroidLess(const TDigestCentroid& a, const TDigestCentroid& b) {
+  if (a.mean != b.mean) return a.mean < b.mean;
+  return a.weight < b.weight;
+}
+
+}  // namespace
+
+TDigest::TDigest(double compression)
+    : compression_(compression < 10.0 ? 10.0 : compression) {
+  buffer_.reserve(static_cast<size_t>(compression_));
+}
+
+void TDigest::Add(double value, double weight) {
+  if (!std::isfinite(value) || !(weight > 0.0)) return;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += static_cast<int64_t>(weight);
+  sum_ += value * weight;
+  buffer_.push_back({value, weight});
+  if (buffer_.size() >= static_cast<size_t>(compression_)) Compress();
+}
+
+void TDigest::Merge(const TDigest& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  // Both sides' compacted and pending centroids join one multiset. The
+  // compaction is deferred to the next read: an N-way merge then feeds the
+  // identical multiset into one sorted compaction regardless of merge
+  // order, which is what makes shard all-reduces order-stable. Memory
+  // between reads is bounded by ~2x compression centroids per merge.
+  buffer_.insert(buffer_.end(), other.centroids_.begin(),
+                 other.centroids_.end());
+  buffer_.insert(buffer_.end(), other.buffer_.begin(), other.buffer_.end());
+}
+
+void TDigest::Compress() const {
+  if (buffer_.empty()) return;
+  std::vector<TDigestCentroid> merged;
+  merged.reserve(centroids_.size() + buffer_.size());
+  merged.insert(merged.end(), centroids_.begin(), centroids_.end());
+  merged.insert(merged.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  std::sort(merged.begin(), merged.end(), CentroidLess);
+
+  double total = 0.0;
+  for (const TDigestCentroid& c : merged) total += c.weight;
+
+  centroids_.clear();
+  TDigestCentroid current = merged.front();
+  double weight_before = 0.0;  // weight of clusters already emitted
+  double q_limit = ScaleQ(ScaleK(0.0, compression_) + 1.0, compression_);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    const TDigestCentroid& next = merged[i];
+    const double q = (weight_before + current.weight + next.weight) / total;
+    if (q <= q_limit) {
+      // Absorb: weighted-mean update in a fixed evaluation order, so the
+      // same sorted input always produces the same bits.
+      const double w = current.weight + next.weight;
+      current.mean += (next.weight / w) * (next.mean - current.mean);
+      current.weight = w;
+    } else {
+      centroids_.push_back(current);
+      weight_before += current.weight;
+      q_limit = ScaleQ(ScaleK(weight_before / total, compression_) + 1.0,
+                       compression_);
+      current = next;
+    }
+  }
+  centroids_.push_back(current);
+}
+
+const std::vector<TDigestCentroid>& TDigest::Centroids() const {
+  Compress();
+  return centroids_;
+}
+
+double TDigest::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  Compress();
+  q = std::clamp(q, 0.0, 1.0);
+  double total = 0.0;
+  for (const TDigestCentroid& c : centroids_) total += c.weight;
+  const double index = q * total;
+
+  // Each centroid is centered at its cumulative-weight midpoint; ranks
+  // before the first midpoint interpolate from min, ranks past the last
+  // from max.
+  double cumulative = 0.0;
+  double prev_midpoint = 0.0;
+  double prev_mean = min_;
+  for (const TDigestCentroid& c : centroids_) {
+    const double midpoint = cumulative + c.weight / 2.0;
+    if (index < midpoint) {
+      const double span = midpoint - prev_midpoint;
+      const double fraction =
+          span > 0.0 ? (index - prev_midpoint) / span : 0.0;
+      return prev_mean + fraction * (c.mean - prev_mean);
+    }
+    cumulative += c.weight;
+    prev_midpoint = midpoint;
+    prev_mean = c.mean;
+  }
+  const double span = total - prev_midpoint;
+  const double fraction = span > 0.0 ? (index - prev_midpoint) / span : 1.0;
+  return prev_mean + std::min(1.0, fraction) * (max_ - prev_mean);
+}
+
+util::JsonValue TDigest::ToJson() const {
+  Compress();
+  util::JsonValue root = util::JsonValue::Object();
+  root.Set("format", "crowdtruth_tdigest");
+  root.Set("version", 1);
+  root.Set("compression", compression_);
+  root.Set("count", count_);
+  root.Set("sum", sum_);
+  root.Set("min", min_);
+  root.Set("max", max_);
+  util::JsonValue centroids = util::JsonValue::Array();
+  for (const TDigestCentroid& c : centroids_) {
+    util::JsonValue entry = util::JsonValue::Object();
+    entry.Set("m", c.mean);
+    entry.Set("w", c.weight);
+    centroids.Append(std::move(entry));
+  }
+  root.Set("centroids", std::move(centroids));
+  return root;
+}
+
+util::Status TDigest::FromJson(const util::JsonValue& doc, TDigest* out) {
+  const util::JsonValue* format = doc.Find("format");
+  if (format == nullptr || format->kind() != util::JsonValue::Kind::kString ||
+      format->string() != "crowdtruth_tdigest") {
+    return util::Status::InvalidArgument(
+        "not a crowdtruth_tdigest document");
+  }
+  const util::JsonValue* version = doc.Find("version");
+  if (version == nullptr ||
+      version->kind() != util::JsonValue::Kind::kNumber) {
+    return util::Status::InvalidArgument(
+        "tdigest field \"version\" missing or not a number");
+  }
+  if (static_cast<int>(version->number()) != 1) {
+    return util::Status::ValidationError(
+        "unsupported tdigest version " +
+        std::to_string(static_cast<int>(version->number())));
+  }
+  const char* const scalar_fields[] = {"compression", "count", "sum", "min",
+                                       "max"};
+  double scalars[5];
+  for (int i = 0; i < 5; ++i) {
+    const util::JsonValue* field = doc.Find(scalar_fields[i]);
+    if (field == nullptr ||
+        field->kind() != util::JsonValue::Kind::kNumber) {
+      return util::Status::InvalidArgument(
+          std::string("tdigest field \"") + scalar_fields[i] +
+          "\" missing or not a number");
+    }
+    scalars[i] = field->number();
+  }
+  const util::JsonValue* centroids = doc.Find("centroids");
+  if (centroids == nullptr ||
+      centroids->kind() != util::JsonValue::Kind::kArray) {
+    return util::Status::InvalidArgument(
+        "tdigest field \"centroids\" missing or not an array");
+  }
+  TDigest digest(scalars[0]);
+  digest.count_ = static_cast<int64_t>(scalars[1]);
+  digest.sum_ = scalars[2];
+  digest.min_ = scalars[3];
+  digest.max_ = scalars[4];
+  for (const util::JsonValue& item : centroids->items()) {
+    const util::JsonValue* mean = item.Find("m");
+    const util::JsonValue* weight = item.Find("w");
+    if (mean == nullptr || mean->kind() != util::JsonValue::Kind::kNumber ||
+        weight == nullptr ||
+        weight->kind() != util::JsonValue::Kind::kNumber) {
+      return util::Status::InvalidArgument(
+          "tdigest centroid missing numeric \"m\"/\"w\"");
+    }
+    if (!std::isfinite(mean->number()) || !(weight->number() > 0.0)) {
+      return util::Status::ValidationError(
+          "tdigest centroid with non-finite mean or non-positive weight");
+    }
+    digest.centroids_.push_back({mean->number(), weight->number()});
+  }
+  if (!std::is_sorted(digest.centroids_.begin(), digest.centroids_.end(),
+                      CentroidLess)) {
+    return util::Status::ValidationError(
+        "tdigest centroids not sorted by (mean, weight)");
+  }
+  *out = std::move(digest);
+  return util::Status::Ok();
+}
+
+}  // namespace crowdtruth::obs

@@ -5,6 +5,21 @@
 
 namespace crowdtruth::server {
 
+namespace {
+
+// True when the t-digest's p99 exceeds the tail budget. A missing or
+// empty digest (p99 < 0) and a disabled factor (<= 0) both mean "no
+// veto", which reproduces the pre-digest controller exactly.
+bool TailPressure(const TenantSignals& signals,
+                  const AdaptiveControllerConfig& config) {
+  return config.p99_target_factor > 0 &&
+         signals.p99_observe_latency_seconds >= 0 &&
+         signals.p99_observe_latency_seconds >
+             config.target_latency_seconds * config.p99_target_factor;
+}
+
+}  // namespace
+
 const char* ProbeStateName(ProbeState state) {
   switch (state) {
     case ProbeState::kSteady: return "steady";
@@ -28,8 +43,9 @@ ProbeDecision ProbeStep(ProbeState state, int64_t tickets,
     return decision;
   }
   if (signals.mean_observe_latency_seconds <=
-      config.target_latency_seconds) {
-    // Healthy: probe for headroom.
+          config.target_latency_seconds &&
+      !TailPressure(signals, config)) {
+    // Healthy on both the mean and the tail: probe for headroom.
     decision.state = ProbeState::kProbing;
     decision.tickets = static_cast<int64_t>(
         std::ceil(static_cast<double>(tickets) * config.probe_factor));
@@ -53,18 +69,20 @@ RetuneDecision RetuneStep(int resync_interval, int max_dirty_tasks,
   RetuneDecision decision;
   decision.resync_interval = resync_interval;
   decision.max_dirty_tasks = max_dirty_tasks;
-  if (signals.backlog_tasks > config.backlog_high_watermark) {
-    // Sweeps are not keeping up. Resync more often (a resync clears the
-    // backlog wholesale) and let each sweep do more work.
+  if (signals.backlog_tasks > config.backlog_high_watermark ||
+      TailPressure(signals, config)) {
+    // Sweeps are not keeping up (growing backlog, or a p99 blown past the
+    // tail budget). Resync more often (a resync clears the backlog
+    // wholesale) and let each sweep do more work.
     decision.resync_interval =
         std::max(config.min_resync_interval, resync_interval / 2);
     decision.max_dirty_tasks =
         std::min(config.max_dirty_tasks_limit,
                  std::max(1, max_dirty_tasks) * 2);
   } else if (signals.backlog_tasks == 0) {
-    // Drained: relax one step per interval back toward the baseline
-    // (resyncs are the expensive lever; do not keep paying for a burst
-    // that has passed).
+    // Drained and the tail is healthy: relax one step per interval back
+    // toward the baseline (resyncs are the expensive lever; do not keep
+    // paying for a burst that has passed).
     if (resync_interval < baseline_resync_interval) {
       decision.resync_interval =
           std::min(baseline_resync_interval, resync_interval * 2);
@@ -119,11 +137,28 @@ TenantSignals AdaptiveController::Sample(const Tenant& tenant,
       break;
     }
   }
+  // True tail quantiles from the engine's t-digest twin of the latency
+  // histogram; histogram bucket interpolation is too coarse for a p99
+  // budget measured in hundreds of microseconds.
+  if (obs::Family<obs::Digest>* family = registry_->FindDigestFamily(
+          "crowdtruth_stream_observe_latency_digest_seconds")) {
+    for (const auto& [labels, digest] : family->Children()) {
+      if (labels.size() < 2 || labels[1] != tenant.name()) continue;
+      const obs::TDigest snap = digest->Snap();
+      if (snap.count() > 0) {
+        signals.p50_observe_latency_seconds = snap.Quantile(0.5);
+        signals.p90_observe_latency_seconds = snap.Quantile(0.9);
+        signals.p99_observe_latency_seconds = snap.Quantile(0.99);
+      }
+      break;
+    }
+  }
   return signals;
 }
 
 void AdaptiveController::Export(const Tenant& tenant,
-                                const TenantState& state) {
+                                const TenantState& state,
+                                const TenantSignals& signals) {
   if (registry_ == nullptr) return;
   const std::vector<std::string> names = {"tenant"};
   const std::vector<std::string> label = {tenant.name()};
@@ -154,6 +189,22 @@ void AdaptiveController::Export(const Tenant& tenant,
           "Admission probe state: 0 steady, 1 probing, 2 backoff.", names)
       .WithLabels(label)
       .Set(static_cast<double>(static_cast<int>(state.state)));
+  // Digest quantiles re-exported as gauges: what the controller actually
+  // steered on this tick, one series per quantile. Skipped until the
+  // tenant's digest has samples (a 0-valued p99 would read as "healthy").
+  if (signals.p50_observe_latency_seconds >= 0) {
+    obs::Family<obs::Gauge>& family = registry_->AddGaugeFamily(
+        "crowdtruth_server_observe_latency_quantile_seconds",
+        "Observe-latency quantiles (from the engine t-digest) the "
+        "controller last steered on.",
+        {"tenant", "quantile"});
+    family.WithLabels({tenant.name(), "0.5"})
+        .Set(signals.p50_observe_latency_seconds);
+    family.WithLabels({tenant.name(), "0.9"})
+        .Set(signals.p90_observe_latency_seconds);
+    family.WithLabels({tenant.name(), "0.99"})
+        .Set(signals.p99_observe_latency_seconds);
+  }
 }
 
 void AdaptiveController::Tick(const std::vector<Tenant*>& tenants) {
@@ -187,7 +238,7 @@ void AdaptiveController::Tick(const std::vector<Tenant*>& tenants) {
     if (retune.changed) {
       tenant->Retune(retune.resync_interval, retune.max_dirty_tasks);
     }
-    Export(*tenant, state);
+    Export(*tenant, state, signals);
   }
 }
 

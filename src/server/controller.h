@@ -8,15 +8,19 @@
 //
 //   * admission (throughput probing) — each tenant gets a ticket budget of
 //     answers per interval. While the interval's mean observe latency stays
-//     at or under the target the budget multiplicatively probes upward
-//     (there may be headroom); a latency regression multiplicatively backs
-//     it off and holds one interval before re-probing. The classic
-//     probe-up/back-off shape used by storage-engine admission controllers.
-//   * retuning — a growing dirty-task backlog means localized sweeps are
-//     not keeping up: the controller halves the engine's resync_interval
-//     (resyncs clear the backlog wholesale) and doubles max_dirty_tasks.
-//     When the backlog drains it relaxes both knobs back toward the
-//     tenant's configured baseline, one step per interval.
+//     at or under the target — and the t-digest's p99 stays under
+//     target * p99_target_factor — the budget multiplicatively probes
+//     upward (there may be headroom); a latency regression on either
+//     signal multiplicatively backs it off and holds one interval before
+//     re-probing. The classic probe-up/back-off shape used by
+//     storage-engine admission controllers, made tail-aware: a healthy
+//     mean can hide a degraded tail, so the p99 gets a veto.
+//   * retuning — a growing dirty-task backlog, or sustained p99 pressure,
+//     means localized sweeps are not keeping up: the controller halves the
+//     engine's resync_interval (resyncs clear the backlog wholesale) and
+//     doubles max_dirty_tasks. When the backlog drains and the tail
+//     recovers it relaxes both knobs back toward the tenant's configured
+//     baseline, one step per interval.
 //
 // The decision functions (ProbeStep, RetuneStep) are pure — state in,
 // decision out — so the state machine is unit-testable without a server,
@@ -51,6 +55,10 @@ struct AdaptiveControllerConfig {
   // Clamps for the retuned knobs.
   int min_resync_interval = 50;
   int max_dirty_tasks_limit = 4096;
+  // The tail budget: p99 observe latency above
+  // target_latency_seconds * p99_target_factor counts as a regression
+  // even when the mean looks healthy. <= 0 disables the p99 veto.
+  double p99_target_factor = 5.0;
 };
 
 enum class ProbeState { kSteady, kProbing, kBackoff };
@@ -62,6 +70,13 @@ struct TenantSignals {
   // (idle tenant — hold, neither probe nor back off).
   double mean_observe_latency_seconds = -1.0;
   int64_t backlog_tasks = 0;
+  // Quantiles of the tenant's observe-latency t-digest. Cumulative over
+  // the tenant's lifetime (sketches fold, they do not window), so they
+  // move slowly — right for retuning, too smooth for per-interval deltas.
+  // < 0 = digest missing or empty (quantile logic disabled this tick).
+  double p50_observe_latency_seconds = -1.0;
+  double p90_observe_latency_seconds = -1.0;
+  double p99_observe_latency_seconds = -1.0;
 };
 
 // Admission decision: the next interval's ticket budget.
@@ -115,7 +130,8 @@ class AdaptiveController {
   };
 
   TenantSignals Sample(const Tenant& tenant, TenantState* state);
-  void Export(const Tenant& tenant, const TenantState& state);
+  void Export(const Tenant& tenant, const TenantState& state,
+              const TenantSignals& signals);
 
   AdaptiveControllerConfig config_;
   obs::MetricRegistry* registry_;

@@ -3,7 +3,11 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 #include "util/json_writer.h"
+#include "util/stopwatch.h"
 
 namespace crowdtruth::server {
 
@@ -25,6 +29,26 @@ bool SplitTenantPath(const std::string& path, std::string* name,
     *verb = rest.substr(slash + 1);
   }
   return true;
+}
+
+// Coarse per-handler label for the request-duration digest and the
+// http_request span: paths embed tenant ids, so the raw path is never a
+// label value.
+const char* RouteLabel(const HttpRequest& request) {
+  if (request.path == "/healthz") return "healthz";
+  if (request.path == "/metrics") return "metrics";
+  if (request.path == "/metrics.json") return "metrics_json";
+  if (request.path == "/debug/trace") return "debug_trace";
+  if (request.path == "/v1/tenants") return "tenants";
+  std::string name;
+  std::string verb;
+  if (SplitTenantPath(request.path, &name, &verb)) {
+    if (verb == "answers") return "ingest";
+    if (verb == "truth") return "truth";
+    if (verb == "snapshot") return "snapshot";
+    return "tenants";
+  }
+  return "other";
 }
 
 }  // namespace
@@ -134,6 +158,17 @@ void StreamingServer::CountRequest(int status) {
                          {"status"})
       .WithLabels({std::to_string(status)})
       .Increment();
+}
+
+void StreamingServer::ObserveRequest(const char* route, double seconds) {
+  if (registry_ == nullptr) return;
+  registry_
+      ->AddDigestFamily("crowdtruth_server_request_duration_seconds",
+                        "T-digest sketch of request handling time per "
+                        "coarse route.",
+                        {"route"}, obs::DigestOptions())
+      .WithLabels({route})
+      .Observe(seconds);
 }
 
 util::Status StreamingServer::ResolveTenant(const HttpRequest& request,
@@ -319,6 +354,14 @@ HttpResponse StreamingServer::HandleTenants(const HttpRequest& request) {
 }
 
 HttpResponse StreamingServer::Handle(const HttpRequest& request) {
+  const char* const route = RouteLabel(request);
+  obs::Span span("http_request");
+  if (span.armed()) {
+    span.Annotate("route", std::string(route));
+    span.Annotate("path", request.path);
+    span.Annotate("http_method", request.method);
+  }
+  util::Stopwatch stopwatch;
   HttpResponse response;
   if (request.path == "/healthz") {
     response.body = "ok\n";
@@ -331,6 +374,17 @@ HttpResponse StreamingServer::Handle(const HttpRequest& request) {
     response.content_type = "application/json";
     response.body =
         registry_ != nullptr ? registry_->ToJson().Dump(2) + "\n" : "{}\n";
+  } else if (request.path == "/debug/trace") {
+    // Dumps what the recorder holds *now*; this request's own span is
+    // still open, so it shows up in the next dump, not this one.
+    obs::FlightRecorder* const recorder = obs::ProcessFlightRecorder();
+    if (recorder == nullptr) {
+      response = JsonErrorResponse(404, "NotFound",
+                                   "no flight recorder installed");
+    } else {
+      response.content_type = "application/json";
+      response.body = obs::TraceJsonText(*recorder);
+    }
   } else if (request.path.compare(0, 12, "/v1/tenants/") == 0 ||
              request.path == "/v1/tenants") {
     response = HandleTenants(request);
@@ -339,6 +393,8 @@ HttpResponse StreamingServer::Handle(const HttpRequest& request) {
         JsonErrorResponse(404, "NotFound", "no route for " + request.path);
   }
   CountRequest(response.status);
+  ObserveRequest(route, stopwatch.ElapsedSeconds());
+  if (span.armed()) span.Annotate("status", int64_t{response.status});
   return response;
 }
 

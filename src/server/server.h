@@ -5,6 +5,8 @@
 //     GET  /metrics           Prometheus text exposition
 //     GET  /metrics.json      JSON exposition
 //     GET  /healthz           liveness ("ok")
+//     GET  /debug/trace       flight-recorder dump as Chrome trace_event
+//                             JSON (requires an installed FlightRecorder)
 //
 //   ingestion / serving:
 //     GET  /v1/tenants                        list tenants
@@ -99,6 +101,10 @@ class StreamingServer {
                              const std::string& name, bool create,
                              Tenant** out);
   void CountRequest(int status);
+  // Feeds the route-labeled request-duration t-digest. `route` is a coarse
+  // handler label (ingest/truth/metrics/...), never the raw path — paths
+  // embed tenant ids and would blow up series cardinality.
+  void ObserveRequest(const char* route, double seconds);
 
   ServerConfig config_;
   obs::MetricRegistry* registry_;

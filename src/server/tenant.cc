@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/span.h"
 #include "streaming/registry.h"
 #include "util/csv.h"
 #include "util/json_writer.h"
@@ -125,6 +126,11 @@ std::unique_ptr<Tenant> Tenant::Adopt(
 }
 
 util::Status Tenant::Ingest(const std::string& body, IngestResult* result) {
+  obs::Span span("tenant_ingest");
+  if (span.armed()) {
+    span.Annotate("tenant", name_);
+    span.Annotate("body_bytes", static_cast<int64_t>(body.size()));
+  }
   const bool reject =
       options_.bad_record_policy == data::BadRecordPolicy::kReject;
   const std::vector<std::string> lines = SplitLines(body);
@@ -195,8 +201,18 @@ util::Status Tenant::Ingest(const std::string& body, IngestResult* result) {
   validation.policy = options_.bad_record_policy;
   data::ValidationReport report;
   const size_t before_validation = records.size();
-  util::Status status = data::ValidateCategoricalRecords(
-      "ingest", num_choices(), validation, &records, &report);
+  util::Status status;
+  {
+    // Scoped so validate_records closes before the engine observes: the
+    // observes are siblings under tenant_ingest, not validation children.
+    obs::Span validate_span("validate_records");
+    if (validate_span.armed()) {
+      validate_span.Annotate("records",
+                             static_cast<int64_t>(records.size()));
+    }
+    status = data::ValidateCategoricalRecords(
+        "ingest", num_choices(), validation, &records, &report);
+  }
   if (!status.ok()) return status;
   result->duplicates += report.duplicate_answers;
   result->out_of_range += report.out_of_range_labels;
@@ -228,6 +244,10 @@ util::Status Tenant::Ingest(const std::string& body, IngestResult* result) {
   }
   total_accepted_ += result->accepted;
   total_dropped_ += result->dropped;
+  if (span.armed()) {
+    span.Annotate("accepted", result->accepted);
+    span.Annotate("dropped", result->dropped);
+  }
   return util::Status::Ok();
 }
 

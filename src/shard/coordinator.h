@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "core/registry.h"
+#include "obs/span.h"
 #include "scenario/buggify.h"
 #include "data/answer_log.h"
 #include "data/dataset.h"
@@ -144,6 +145,11 @@ class ShardCoordinator {
   // Barrier: local resync per shard, worker-summary all-reduce in shard
   // order, merged summary adopted everywhere.
   util::Status RunBarrier() {
+    obs::Span span("shard_barrier");
+    if (span.armed()) {
+      span.Annotate("barrier_index", static_cast<int64_t>(barriers_));
+      span.Annotate("shards", static_cast<int64_t>(engines_.size()));
+    }
     // Buggify "barrier_wait": one straggler pause per barrier — planted
     // here, never inside a poll loop, because poll iteration counts are
     // wall-clock-dependent and would break fault-log determinism. Timing
@@ -194,6 +200,10 @@ class ShardCoordinator {
   // the solution, and returns the global result (task/worker indices are
   // the coordinator's global interners).
   util::Status GlobalResync(BatchResult* out = nullptr) {
+    obs::Span span("shard_global_resync");
+    if (span.armed()) {
+      span.Annotate("answers", static_cast<int64_t>(global_answers_.size()));
+    }
     BatchResult global;
     if (!global_answers_.empty()) {
       global = SolveGlobal();
@@ -209,6 +219,10 @@ class ShardCoordinator {
   // One document carrying every shard's engine snapshot; see
   // shard/checkpoint.h.
   util::JsonValue MakeCheckpoint() const {
+    obs::Span span("shard_checkpoint");
+    if (span.armed()) {
+      span.Annotate("next_sequence", static_cast<int64_t>(consumed_));
+    }
     CheckpointMeta meta;
     meta.shard_count = config_.shard_count;
     meta.shard_index = -1;

@@ -30,6 +30,7 @@
 
 #include "core/trace.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "streaming/incremental.h"
 #include "streaming/worker_summary.h"
 #include "util/json_writer.h"
@@ -167,6 +168,7 @@ class StreamEngine {
   template <typename Payload>
   util::Status Observe(const std::string& task, const std::string& worker,
                        Payload payload) {
+    obs::Span span("engine_observe");
     util::Stopwatch stopwatch;
     typename Method::Answer answer;
     answer.task = tasks_.Intern(task);
@@ -180,8 +182,14 @@ class StreamEngine {
     if (EngineMetricSet* m = Metrics()) {
       m->answers->Increment();
       m->observe_latency->Observe(seconds);
+      m->observe_latency_digest->Observe(seconds);
       m->sweep_depth->Observe(method_->last_observe_swept());
       m->backlog->Set(static_cast<double>(method_->backlog_size()));
+    }
+    if (span.armed()) {
+      span.Annotate("method", method_->name());
+      span.Annotate("swept",
+                    static_cast<int64_t>(method_->last_observe_swept()));
     }
     if (config_.resync_interval > 0 &&
         stats_.answers % config_.resync_interval == 0) {
@@ -192,6 +200,7 @@ class StreamEngine {
 
   // Full batch resync (see IncrementalCategoricalMethod::Resync).
   BatchResult Resync() {
+    obs::Span span("engine_resync");
     const auto before = method_->Estimates();
     util::Stopwatch stopwatch;
     BatchResult result = method_->Resync();
@@ -202,7 +211,12 @@ class StreamEngine {
       m->resyncs->Increment();
       m->resync_seconds->Increment(seconds);
       m->resync_duration->Observe(seconds);
+      m->resync_duration_digest->Observe(seconds);
       m->backlog->Set(static_cast<double>(method_->backlog_size()));
+    }
+    if (span.armed()) {
+      span.Annotate("method", method_->name());
+      span.Annotate("resync_index", static_cast<int64_t>(stats_.resyncs));
     }
     if (trace_ != nullptr) {
       core::IterationEvent event;
@@ -222,6 +236,7 @@ class StreamEngine {
   // global resync) exactly like Resync() adopts its own; counts as a resync
   // in stats and metrics.
   void AdoptResult(const BatchResult& result) {
+    obs::Span span("engine_adopt_result");
     util::Stopwatch stopwatch;
     method_->AdoptResult(result);
     const double seconds = stopwatch.ElapsedSeconds();
@@ -231,6 +246,7 @@ class StreamEngine {
       m->resyncs->Increment();
       m->resync_seconds->Increment(seconds);
       m->resync_duration->Observe(seconds);
+      m->resync_duration_digest->Observe(seconds);
       m->backlog->Set(static_cast<double>(method_->backlog_size()));
     }
   }
@@ -419,6 +435,11 @@ class StreamEngine {
     obs::Counter* resyncs = nullptr;
     obs::Counter* resync_seconds = nullptr;
     obs::Histogram* resync_duration = nullptr;
+    // T-digest twins of the latency histograms: true (approximate)
+    // quantiles for the adaptive controller's p99-aware retuning, where
+    // bucket interpolation is too coarse.
+    obs::Digest* observe_latency_digest = nullptr;
+    obs::Digest* resync_duration_digest = nullptr;
   };
 
   EngineMetricSet* Metrics() {
@@ -475,6 +496,20 @@ class StreamEngine {
                    "crowdtruth_stream_resync_duration_seconds",
                    "Wall-clock cost of individual resyncs.", names,
                    obs::HistogramBuckets::LatencySeconds())
+               .WithLabels(label);
+      metric_set_.observe_latency_digest =
+          &registry
+               ->AddDigestFamily(
+                   "crowdtruth_stream_observe_latency_digest_seconds",
+                   "T-digest sketch of per-answer Observe cost.", names,
+                   obs::DigestOptions())
+               .WithLabels(label);
+      metric_set_.resync_duration_digest =
+          &registry
+               ->AddDigestFamily(
+                   "crowdtruth_stream_resync_duration_digest_seconds",
+                   "T-digest sketch of individual resync cost.", names,
+                   obs::DigestOptions())
                .WithLabels(label);
       metrics_registry_ = registry;
     }

@@ -36,6 +36,17 @@ server::TenantSignals Signals(double latency, int64_t backlog = 0) {
   return signals;
 }
 
+// Signals with digest-derived tail quantiles attached. With TestConfig()
+// (target 100us, p99_target_factor 5) the tail budget is 500us.
+server::TenantSignals TailSignals(double latency, double p99,
+                                  int64_t backlog = 0) {
+  server::TenantSignals signals = Signals(latency, backlog);
+  signals.p50_observe_latency_seconds = latency;
+  signals.p90_observe_latency_seconds = (latency + p99) / 2.0;
+  signals.p99_observe_latency_seconds = p99;
+  return signals;
+}
+
 TEST(ProbeStepTest, HealthyLatencyProbesUp) {
   const auto config = TestConfig();
   const server::ProbeDecision decision = server::ProbeStep(
@@ -100,6 +111,44 @@ TEST(ProbeStepTest, FullCycleProbeRegressBackoffRecover) {
   EXPECT_EQ(decision.tickets, 4000);
 }
 
+TEST(ProbeStepTest, TailPressureVetoesProbeDespiteHealthyMean) {
+  const auto config = TestConfig();
+  // Mean well under target, but the digest p99 blows the 5x tail budget:
+  // the probe is vetoed and the budget backs off.
+  const server::ProbeDecision decision = server::ProbeStep(
+      server::ProbeState::kSteady, 1000, TailSignals(50e-6, 1e-3), config);
+  EXPECT_EQ(decision.state, server::ProbeState::kBackoff);
+  EXPECT_EQ(decision.tickets, 500);
+}
+
+TEST(ProbeStepTest, TailWithinBudgetStillProbes) {
+  const auto config = TestConfig();
+  const server::ProbeDecision decision = server::ProbeStep(
+      server::ProbeState::kSteady, 1000, TailSignals(50e-6, 400e-6), config);
+  EXPECT_EQ(decision.state, server::ProbeState::kProbing);
+  EXPECT_EQ(decision.tickets, 2000);
+}
+
+TEST(ProbeStepTest, MissingDigestReproducesPreDigestBehavior) {
+  // p99 < 0 (no digest, or an empty one) must leave every decision exactly
+  // as it was before tail steering existed.
+  const auto config = TestConfig();
+  server::TenantSignals signals = Signals(50e-6);
+  ASSERT_LT(signals.p99_observe_latency_seconds, 0.0);
+  const server::ProbeDecision decision = server::ProbeStep(
+      server::ProbeState::kSteady, 1000, signals, config);
+  EXPECT_EQ(decision.state, server::ProbeState::kProbing);
+  EXPECT_EQ(decision.tickets, 2000);
+}
+
+TEST(ProbeStepTest, DisabledFactorIgnoresTail) {
+  auto config = TestConfig();
+  config.p99_target_factor = 0.0;
+  const server::ProbeDecision decision = server::ProbeStep(
+      server::ProbeState::kSteady, 1000, TailSignals(50e-6, 10.0), config);
+  EXPECT_EQ(decision.state, server::ProbeState::kProbing);
+}
+
 TEST(RetuneStepTest, BacklogPressureTightensKnobs) {
   const auto config = TestConfig();
   const server::RetuneDecision decision = server::RetuneStep(
@@ -139,6 +188,33 @@ TEST(RetuneStepTest, ModerateBacklogHolds) {
   const server::RetuneDecision decision = server::RetuneStep(
       500, 64, 1000, 32, Signals(50e-6, /*backlog=*/5), config);
   EXPECT_FALSE(decision.changed);
+}
+
+TEST(RetuneStepTest, TailPressureTightensWithZeroBacklog) {
+  // The digest sees what the backlog gauge cannot: sweeps keep up on
+  // average but individual Observes stall. Tail pressure alone tightens.
+  const auto config = TestConfig();
+  const server::RetuneDecision decision = server::RetuneStep(
+      1000, 32, 1000, 32, TailSignals(50e-6, 1e-3, /*backlog=*/0), config);
+  EXPECT_TRUE(decision.changed);
+  EXPECT_EQ(decision.resync_interval, 500);
+  EXPECT_EQ(decision.max_dirty_tasks, 64);
+}
+
+TEST(RetuneStepTest, TailPressureBlocksRelaxation) {
+  // Drained backlog would normally relax toward the baseline; a blown p99
+  // keeps the knobs tight instead.
+  const auto config = TestConfig();
+  const server::RetuneDecision decision = server::RetuneStep(
+      250, 128, 1000, 32, TailSignals(50e-6, 1e-3, /*backlog=*/0), config);
+  EXPECT_EQ(decision.resync_interval, 125);
+  EXPECT_EQ(decision.max_dirty_tasks, 128);  // already at the limit
+
+  // The moment the tail recovers, relaxation resumes.
+  const server::RetuneDecision relaxed = server::RetuneStep(
+      250, 128, 1000, 32, TailSignals(50e-6, 200e-6, /*backlog=*/0), config);
+  EXPECT_EQ(relaxed.resync_interval, 500);
+  EXPECT_EQ(relaxed.max_dirty_tasks, 64);
 }
 
 // Integration: a controller reading real engine series out of a registry
@@ -211,6 +287,35 @@ TEST_F(ControllerIntegrationTest, RetunesEngineUnderSyntheticBacklog) {
   for (int i = 0; i < 16; ++i) controller.Tick({tenant_.get()});
   EXPECT_EQ(tenant_->resync_interval(), before);
   EXPECT_EQ(tenant_->max_dirty_tasks(), 32);
+}
+
+TEST_F(ControllerIntegrationTest, DigestTailDrivesRetuneAndQuantileGauges) {
+  auto config = TestConfig();
+  config.target_latency_seconds = 0.5;  // keep the mean path healthy
+  server::AdaptiveController controller(config, &registry_);
+  server::IngestResult result;
+  ASSERT_TRUE(tenant_->Ingest("w1,t1,1\n", &result).ok());
+  controller.Tick({tenant_.get()});  // seeds baselines
+  const int before = tenant_->resync_interval();
+
+  // Poison the tenant's observe-latency digest with stalls far past the
+  // 5 x 0.5s tail budget; the mean series stays untouched, so only the
+  // digest can explain a retune.
+  obs::Digest& digest =
+      registry_
+          .AddDigestFamily("crowdtruth_stream_observe_latency_digest_seconds",
+                           "", {"method", "tenant"}, obs::DigestOptions())
+          .WithLabels({"MV", "t0"});
+  for (int i = 0; i < 200; ++i) digest.Observe(10.0);
+  controller.Tick({tenant_.get()});
+  EXPECT_LT(tenant_->resync_interval(), before);
+
+  // The quantiles the controller steered on are re-exported as gauges.
+  const std::string text = registry_.PrometheusText();
+  EXPECT_NE(
+      text.find("crowdtruth_server_observe_latency_quantile_seconds{"
+                "tenant=\"t0\",quantile=\"0.99\"}"),
+      std::string::npos);
 }
 
 TEST_F(ControllerIntegrationTest, NullRegistryStillGrantsTickets) {

@@ -319,6 +319,75 @@ TEST(MetricRegistryTest, FamilyLookupByNameAndKind) {
   EXPECT_EQ(registry.FindGaugeFamily("test_lookup_total"), nullptr);
   EXPECT_EQ(registry.FindHistogramFamily("test_lookup_total"), nullptr);
   EXPECT_EQ(registry.FindCounterFamily("test_absent"), nullptr);
+  EXPECT_EQ(registry.FindDigestFamily("test_lookup_total"), nullptr);
+}
+
+TEST(MetricRegistryTest, DigestPrometheusSummaryExposition) {
+  MetricRegistry registry;
+  DigestOptions options;  // defaults: quantiles {0.5, 0.9, 0.99}
+  Digest& digest =
+      registry.AddDigest("test_latency_digest_seconds", "Help.", options);
+  for (int i = 1; i <= 100; ++i) digest.Observe(0.001 * i);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE test_latency_digest_seconds summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_digest_seconds{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_digest_seconds{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_digest_seconds_count 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_digest_seconds_sum"), std::string::npos);
+  // The exported quantile values come off one snapshot and are monotone.
+  const TDigest snap = digest.Snap();
+  EXPECT_LE(snap.Quantile(0.5), snap.Quantile(0.9));
+  EXPECT_LE(snap.Quantile(0.9), snap.Quantile(0.99));
+  EXPECT_NEAR(snap.Quantile(0.5), 0.050, 0.005);
+}
+
+TEST(MetricRegistryTest, DigestFamilyChildrenAndMerge) {
+  MetricRegistry registry;
+  Family<Digest>& family = registry.AddDigestFamily(
+      "test_digest_family_seconds", "Help.", {"shard"}, DigestOptions());
+  EXPECT_EQ(registry.FindDigestFamily("test_digest_family_seconds"),
+            &family);
+  family.WithLabels({"0"}).Observe(1.0);
+  family.WithLabels({"1"}).Observe(2.0);
+  // Cross-shard fold: the coordinator-side digest absorbs a shard's.
+  Digest& folded = family.WithLabels({"all"});
+  folded.MergeFrom(family.WithLabels({"0"}).Snap());
+  folded.MergeFrom(family.WithLabels({"1"}).Snap());
+  EXPECT_EQ(folded.Snap().count(), 2);
+  EXPECT_DOUBLE_EQ(folded.Snap().sum(), 3.0);
+}
+
+TEST(MetricRegistryTest, DigestJsonExposition) {
+  MetricRegistry registry;
+  DigestOptions options;
+  registry.AddDigest("test_digest_json_seconds", "Help.", options)
+      .Observe(0.25);
+  const util::JsonValue json = registry.ToJson();
+  const util::JsonValue* metrics = json.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const util::JsonValue* entry = nullptr;
+  for (const util::JsonValue& metric : metrics->items()) {
+    if (metric.Find("name")->string() == "test_digest_json_seconds") {
+      entry = &metric;
+    }
+  }
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->Find("kind")->string(), "summary");
+  const util::JsonValue* series = entry->Find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->items().size(), 1u);
+  const util::JsonValue& point = series->items()[0];
+  EXPECT_EQ(point.Find("count")->number(), 1.0);
+  EXPECT_DOUBLE_EQ(point.Find("sum")->number(), 0.25);
+  const util::JsonValue* quantiles = point.Find("quantiles");
+  ASSERT_NE(quantiles, nullptr);
+  ASSERT_EQ(quantiles->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(quantiles->items()[0].Find("quantile")->number(), 0.5);
+  EXPECT_DOUBLE_EQ(quantiles->items()[0].Find("value")->number(), 0.25);
 }
 
 TEST(MetricRegistryTest, LabelCardinalityCapCollapsesOverflow) {

@@ -1,0 +1,229 @@
+// Tests for span tracing (obs/span.h), the flight recorder
+// (obs/flight_recorder.h) and the Chrome trace_event export
+// (obs/trace_export.h): parenting via the thread-local stack, per-thread
+// rings with bounded memory, and the exported JSON shape.
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
+#include "util/json_writer.h"
+
+namespace crowdtruth::obs {
+namespace {
+
+// RAII install/uninstall so a failing test cannot leak a dangling
+// process-wide recorder into its neighbors.
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(FlightRecorderConfig config = {})
+      : recorder_(config) {
+    InstallFlightRecorder(&recorder_);
+  }
+  ~ScopedRecorder() { InstallFlightRecorder(nullptr); }
+  FlightRecorder* get() { return &recorder_; }
+
+ private:
+  FlightRecorder recorder_;
+};
+
+const SpanRecord* FindByName(const std::vector<SpanRecord>& spans,
+                             const std::string& name) {
+  for (const SpanRecord& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+TEST(SpanTest, DisarmedWithoutRecorder) {
+  ASSERT_EQ(ProcessFlightRecorder(), nullptr);
+  Span span("orphan");
+  EXPECT_FALSE(span.armed());
+  EXPECT_EQ(span.context().span_id, 0u);
+  span.Annotate("key", std::string("value"));  // must be a no-op, not a crash
+}
+
+TEST(SpanTest, RecordsOnDestruction) {
+  ScopedRecorder recorder;
+  { Span span("unit"); }
+  const std::vector<SpanRecord> spans = recorder.get()->Dump();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "unit");
+  EXPECT_NE(spans[0].span_id, 0u);
+  EXPECT_NE(spans[0].trace_id, 0u);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_GE(spans[0].duration_seconds, 0.0);
+}
+
+TEST(SpanTest, NestedSpansLinkParentChild) {
+  ScopedRecorder recorder;
+  {
+    Span root("request");
+    {
+      Span mid("ingest");
+      { Span leaf("observe"); }
+    }
+    { Span sibling("export"); }
+  }
+  const std::vector<SpanRecord> spans = recorder.get()->Dump();
+  ASSERT_EQ(spans.size(), 4u);
+  const SpanRecord* root = FindByName(spans, "request");
+  const SpanRecord* mid = FindByName(spans, "ingest");
+  const SpanRecord* leaf = FindByName(spans, "observe");
+  const SpanRecord* sibling = FindByName(spans, "export");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(mid->parent_id, root->span_id);
+  EXPECT_EQ(leaf->parent_id, mid->span_id);
+  EXPECT_EQ(sibling->parent_id, root->span_id);
+  // One causal tree, one trace id.
+  EXPECT_EQ(mid->trace_id, root->trace_id);
+  EXPECT_EQ(leaf->trace_id, root->trace_id);
+  EXPECT_EQ(sibling->trace_id, root->trace_id);
+}
+
+TEST(SpanTest, SequentialRootsGetDistinctTraces) {
+  ScopedRecorder recorder;
+  { Span a("first"); }
+  { Span b("second"); }
+  const std::vector<SpanRecord> spans = recorder.get()->Dump();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].trace_id, spans[1].trace_id);
+}
+
+TEST(SpanTest, AnnotationsAreRecorded) {
+  ScopedRecorder recorder;
+  {
+    Span span("annotated");
+    span.Annotate("tenant", std::string("alpha"));
+    span.Annotate("rows", int64_t{42});
+    span.Annotate("ratio", 0.5);
+  }
+  const std::vector<SpanRecord> spans = recorder.get()->Dump();
+  ASSERT_EQ(spans.size(), 1u);
+  std::map<std::string, std::string> notes(spans[0].annotations.begin(),
+                                           spans[0].annotations.end());
+  EXPECT_EQ(notes["tenant"], "alpha");
+  EXPECT_EQ(notes["rows"], "42");
+  EXPECT_EQ(notes["ratio"], "0.5");
+}
+
+TEST(SpanTest, ChildStartsNestWithinParentTimeline) {
+  ScopedRecorder recorder;
+  {
+    Span root("outer");
+    { Span child("inner"); }
+  }
+  const std::vector<SpanRecord> spans = recorder.get()->Dump();
+  const SpanRecord* root = FindByName(spans, "outer");
+  const SpanRecord* child = FindByName(spans, "inner");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_GE(child->start_seconds, root->start_seconds);
+  EXPECT_LE(child->start_seconds + child->duration_seconds,
+            root->start_seconds + root->duration_seconds + 1e-9);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestAndCountsDrops) {
+  FlightRecorderConfig config;
+  config.capacity_per_thread = 4;
+  ScopedRecorder recorder(config);
+  for (int i = 0; i < 10; ++i) {
+    Span span("burst");
+    span.Annotate("index", int64_t{i});
+  }
+  const std::vector<SpanRecord> spans = recorder.get()->Dump();
+  ASSERT_EQ(spans.size(), 4u);  // bounded by capacity
+  EXPECT_EQ(recorder.get()->recorded(), 10);
+  EXPECT_EQ(recorder.get()->dropped(), 6);
+  // The survivors are the newest four, in start order.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    ASSERT_EQ(spans[i].annotations.size(), 1u);
+    EXPECT_EQ(spans[i].annotations[0].second,
+              std::to_string(6 + static_cast<int>(i)));
+  }
+}
+
+TEST(FlightRecorderTest, ThreadsRecordIntoSeparateRings) {
+  ScopedRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr int kSpansEach = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t]() {
+      for (int i = 0; i < kSpansEach; ++i) {
+        Span span("worker");
+        span.Annotate("thread", int64_t{t});
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<SpanRecord> spans = recorder.get()->Dump();
+  EXPECT_EQ(spans.size(),
+            static_cast<size_t>(kThreads) * kSpansEach);
+  std::set<uint64_t> ids;
+  std::set<uint32_t> rings;
+  for (const SpanRecord& span : spans) {
+    ids.insert(span.span_id);
+    rings.insert(span.thread_index);
+  }
+  EXPECT_EQ(ids.size(), spans.size());  // span ids stay process-unique
+  EXPECT_EQ(rings.size(), static_cast<size_t>(kThreads));
+}
+
+TEST(TraceExportTest, ChromeTraceShape) {
+  ScopedRecorder recorder;
+  {
+    Span root("request");
+    Span child("work");
+  }
+  const util::JsonValue doc =
+      TraceEventsJson(recorder.get()->Dump(), recorder.get()->dropped());
+  const util::JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 2u);
+  const util::JsonValue& event = events->items()[0];
+  ASSERT_NE(event.Find("name"), nullptr);
+  EXPECT_EQ(event.Find("ph")->string(), "X");
+  EXPECT_GE(event.Find("dur")->number(), 0.0);
+  const util::JsonValue* args = event.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_NE(args->Find("trace_id"), nullptr);
+  EXPECT_NE(args->Find("span_id"), nullptr);
+  EXPECT_NE(args->Find("parent_id"), nullptr);
+  const util::JsonValue* other = doc.Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->Find("format")->string(), "crowdtruth_trace");
+  EXPECT_EQ(other->Find("dropped_spans")->number(), 0.0);
+}
+
+TEST(TraceExportTest, ParentIdsResolveWithinDump) {
+  ScopedRecorder recorder;
+  {
+    Span root("root");
+    { Span a("a"); }
+    { Span b("b"); }
+  }
+  const std::vector<SpanRecord> spans = recorder.get()->Dump();
+  std::set<uint64_t> ids;
+  for (const SpanRecord& span : spans) ids.insert(span.span_id);
+  for (const SpanRecord& span : spans) {
+    if (span.parent_id != 0) {
+      EXPECT_TRUE(ids.count(span.parent_id) > 0)
+          << span.name << " has dangling parent";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdtruth::obs

@@ -1,0 +1,249 @@
+// Tests for the merging t-digest (obs/tdigest.h): quantile accuracy
+// against exact order statistics, the deterministic merge contract
+// (order-independent, shard-order-stable), and JSON round-tripping.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/tdigest.h"
+#include "util/rng.h"
+
+namespace crowdtruth::obs {
+namespace {
+
+// Exact quantile by midpoint convention on a sorted sample, the same
+// convention the digest interpolates toward.
+double ExactQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+// Bitwise comparison of centroid lists: the determinism contract is
+// "identical doubles", not "close".
+void ExpectIdenticalCentroids(const TDigest& a, const TDigest& b) {
+  const auto& ca = a.Centroids();
+  const auto& cb = b.Centroids();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].mean, cb[i].mean) << "centroid " << i;
+    EXPECT_EQ(ca[i].weight, cb[i].weight) << "centroid " << i;
+  }
+}
+
+TEST(TDigestTest, EmptyDigestIsZero) {
+  const TDigest digest;
+  EXPECT_EQ(digest.count(), 0);
+  EXPECT_EQ(digest.sum(), 0.0);
+  EXPECT_EQ(digest.Quantile(0.5), 0.0);
+  EXPECT_TRUE(digest.Centroids().empty());
+}
+
+TEST(TDigestTest, SingleValue) {
+  TDigest digest;
+  digest.Add(3.5);
+  EXPECT_EQ(digest.count(), 1);
+  EXPECT_DOUBLE_EQ(digest.sum(), 3.5);
+  EXPECT_DOUBLE_EQ(digest.Quantile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(digest.Quantile(0.5), 3.5);
+  EXPECT_DOUBLE_EQ(digest.Quantile(1.0), 3.5);
+}
+
+TEST(TDigestTest, NonFiniteSamplesAreDropped) {
+  TDigest digest;
+  digest.Add(1.0);
+  digest.Add(std::nan(""));
+  digest.Add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(digest.count(), 1);
+  EXPECT_DOUBLE_EQ(digest.sum(), 1.0);
+}
+
+TEST(TDigestTest, MinMaxTracked) {
+  TDigest digest;
+  for (int i = 100; i >= 1; --i) digest.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(digest.min(), 1.0);
+  EXPECT_DOUBLE_EQ(digest.max(), 100.0);
+  EXPECT_DOUBLE_EQ(digest.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(digest.Quantile(1.0), 100.0);
+}
+
+TEST(TDigestTest, QuantileErrorBoundsUniform) {
+  // 20k uniform samples: rank error of the interpolated quantile against
+  // the exact order statistic must stay small in the body and tighter at
+  // the tails (the k1 scale function concentrates resolution there).
+  util::Rng rng(7);
+  TDigest digest(100.0);
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Uniform();
+    values.push_back(v);
+    digest.Add(v);
+  }
+  // Uniform on [0,1): value error ~= rank error.
+  for (const double q : {0.5, 0.9}) {
+    EXPECT_NEAR(digest.Quantile(q), ExactQuantile(values, q), 0.02)
+        << "q=" << q;
+  }
+  for (const double q : {0.01, 0.05, 0.95, 0.99, 0.999}) {
+    EXPECT_NEAR(digest.Quantile(q), ExactQuantile(values, q), 0.005)
+        << "q=" << q;
+  }
+}
+
+TEST(TDigestTest, QuantileErrorBoundsLogNormalTail) {
+  // Latency-shaped data: heavy right tail. Check relative error at the
+  // tail quantiles the controller steers on.
+  util::Rng rng(11);
+  TDigest digest(100.0);
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exp(rng.Normal(0.0, 1.0) * 1.5);
+    values.push_back(v);
+    digest.Add(v);
+  }
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact = ExactQuantile(values, q);
+    EXPECT_NEAR(digest.Quantile(q), exact, 0.05 * exact) << "q=" << q;
+  }
+}
+
+TEST(TDigestTest, QuantilesAreMonotone) {
+  util::Rng rng(3);
+  TDigest digest(50.0);
+  for (int i = 0; i < 5000; ++i) digest.Add(rng.Normal(0.0, 1.0));
+  double last = digest.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0 + 1e-9; q += 0.05) {
+    const double value = digest.Quantile(q);
+    EXPECT_GE(value, last) << "q=" << q;
+    last = value;
+  }
+}
+
+TEST(TDigestTest, MergeIsOrderIndependent) {
+  util::Rng rng(23);
+  TDigest a(100.0);
+  TDigest b(100.0);
+  for (int i = 0; i < 3000; ++i) a.Add(rng.Uniform() * 10.0);
+  for (int i = 0; i < 1700; ++i) b.Add(std::exp(rng.Normal(0.0, 1.0)));
+
+  TDigest ab(100.0);
+  ab.Merge(a);
+  ab.Merge(b);
+  TDigest ba(100.0);
+  ba.Merge(b);
+  ba.Merge(a);
+
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.sum(), ba.sum());
+  ExpectIdenticalCentroids(ab, ba);
+  EXPECT_EQ(ab.Quantile(0.99), ba.Quantile(0.99));
+}
+
+TEST(TDigestTest, ShardOrderStableNWayMerge) {
+  // Eight per-shard digests merged in shard order vs reverse vs pairwise
+  // tree: the coordinator's all-reduce must not depend on arrival order.
+  constexpr int kShards = 8;
+  std::vector<TDigest> shards;
+  util::Rng rng(99);
+  for (int s = 0; s < kShards; ++s) {
+    shards.emplace_back(100.0);
+    const int n = 500 + 37 * s;
+    for (int i = 0; i < n; ++i) {
+      shards.back().Add(std::exp(rng.Normal(0.0, 1.0) * 0.7) + s * 0.01);
+    }
+  }
+
+  TDigest forward(100.0);
+  for (int s = 0; s < kShards; ++s) forward.Merge(shards[s]);
+  TDigest reverse(100.0);
+  for (int s = kShards - 1; s >= 0; --s) reverse.Merge(shards[s]);
+
+  EXPECT_EQ(forward.count(), reverse.count());
+  ExpectIdenticalCentroids(forward, reverse);
+}
+
+TEST(TDigestTest, MergeMatchesCountsAndSum) {
+  TDigest a;
+  TDigest b;
+  for (int i = 0; i < 100; ++i) a.Add(static_cast<double>(i));
+  for (int i = 100; i < 250; ++i) b.Add(static_cast<double>(i));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 250);
+  EXPECT_DOUBLE_EQ(a.sum(), 249.0 * 250.0 / 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 249.0);
+}
+
+TEST(TDigestTest, JsonRoundTripIsExact) {
+  util::Rng rng(5);
+  TDigest digest(64.0);
+  for (int i = 0; i < 4000; ++i) digest.Add(std::exp(rng.Normal(0.0, 1.0)));
+
+  TDigest restored;
+  ASSERT_TRUE(TDigest::FromJson(digest.ToJson(), &restored).ok());
+  EXPECT_EQ(restored.count(), digest.count());
+  EXPECT_EQ(restored.sum(), digest.sum());
+  EXPECT_EQ(restored.min(), digest.min());
+  EXPECT_EQ(restored.max(), digest.max());
+  EXPECT_EQ(restored.compression(), digest.compression());
+  ExpectIdenticalCentroids(digest, restored);
+  EXPECT_EQ(restored.Quantile(0.99), digest.Quantile(0.99));
+}
+
+TEST(TDigestTest, SerializedMergeEqualsLocalMerge) {
+  // The shard-barrier path: a digest serialized on a shard and restored on
+  // the coordinator must merge exactly like the in-process original.
+  util::Rng rng(17);
+  TDigest local(100.0);
+  TDigest remote(100.0);
+  for (int i = 0; i < 2000; ++i) local.Add(rng.Uniform());
+  for (int i = 0; i < 2000; ++i) remote.Add(rng.Uniform() * 2.0);
+
+  TDigest via_wire(100.0);
+  via_wire.Merge(local);
+  TDigest restored;
+  ASSERT_TRUE(TDigest::FromJson(remote.ToJson(), &restored).ok());
+  via_wire.Merge(restored);
+
+  TDigest direct(100.0);
+  direct.Merge(local);
+  direct.Merge(remote);
+  ExpectIdenticalCentroids(via_wire, direct);
+}
+
+TEST(TDigestTest, FromJsonRejectsMalformedDocs) {
+  TDigest out;
+  util::JsonValue not_object = util::JsonValue::Array();
+  EXPECT_FALSE(TDigest::FromJson(not_object, &out).ok());
+
+  util::JsonValue wrong_format = util::JsonValue::Object();
+  wrong_format.Set("format", "something_else");
+  EXPECT_FALSE(TDigest::FromJson(wrong_format, &out).ok());
+
+  TDigest digest;
+  digest.Add(1.0);
+  util::JsonValue doc = digest.ToJson();
+  doc.Set("version", 999);
+  EXPECT_FALSE(TDigest::FromJson(doc, &out).ok());
+}
+
+TEST(TDigestTest, BoundedMemoryUnderLongStreams) {
+  TDigest digest(100.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 200000; ++i) digest.Add(rng.Uniform());
+  // Merging compaction keeps ~2x compression centroids.
+  EXPECT_LE(digest.Centroids().size(), 250u);
+  EXPECT_EQ(digest.count(), 200000);
+}
+
+}  // namespace
+}  // namespace crowdtruth::obs

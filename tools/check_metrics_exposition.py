@@ -12,6 +12,11 @@ Checks, beyond "it parses":
   * histogram bucket counts are cumulative, end in an le="+Inf" bucket,
     and that bucket equals the family's _count series;
   * counters are non-negative;
+  * summary families (the t-digest exposition) carry a quantile label in
+    [0, 1], their values are monotone non-decreasing in the quantile, and
+    each child has _sum and _count series;
+  * gauge families with a quantile label (the controller's re-exported
+    digest quantiles) are likewise monotone in the quantile;
   * each --require name is present with at least one sample.
 
 Exits 0 when the scrape is well-formed, 1 with a line-numbered complaint
@@ -69,6 +74,12 @@ def main(argv):
     # family -> sorted list of (le_bound, count) and family -> count value.
     buckets = {}
     hist_counts = {}
+    # (family, child) -> [(lineno, quantile, value)] for summary families
+    # and for gauge families that carry a quantile label.
+    summary_quantiles = {}
+    gauge_quantiles = {}
+    summary_sums = set()
+    summary_counts = set()
 
     with open(path, encoding="utf-8") as handle:
         lines = handle.read().splitlines()
@@ -141,6 +152,66 @@ def main(argv):
                 )
             elif name.endswith("_count"):
                 hist_counts[(family, child)] = (lineno, value)
+
+        if types.get(family) == "summary":
+            child = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "quantile")
+            )
+            if name.endswith("_sum"):
+                summary_sums.add((family, child))
+            elif name.endswith("_count"):
+                summary_counts.add((family, child))
+                if value < 0:
+                    errors.append(f"{lineno}: negative summary count: {line}")
+            else:
+                if "quantile" not in labels:
+                    errors.append(
+                        f"{lineno}: summary sample without quantile label: "
+                        f"{line}"
+                    )
+                    continue
+                quantile = parse_value(labels["quantile"])
+                if not 0.0 <= quantile <= 1.0:
+                    errors.append(
+                        f"{lineno}: summary quantile {quantile} outside "
+                        f"[0, 1]: {line}"
+                    )
+                summary_quantiles.setdefault((family, child), []).append(
+                    (lineno, quantile, value)
+                )
+
+        if types.get(family) == "gauge" and "quantile" in labels:
+            child = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "quantile")
+            )
+            quantile = parse_value(labels["quantile"])
+            if not 0.0 <= quantile <= 1.0:
+                errors.append(
+                    f"{lineno}: gauge quantile {quantile} outside [0, 1]: "
+                    f"{line}"
+                )
+            gauge_quantiles.setdefault((family, child), []).append(
+                (lineno, quantile, value)
+            )
+
+    for kind, table in (("summary", summary_quantiles),
+                        ("gauge", gauge_quantiles)):
+        for (family, child), rows in sorted(table.items()):
+            rows.sort(key=lambda r: r[1])
+            prev = -math.inf
+            for lineno, quantile, value in rows:
+                if value < prev:
+                    errors.append(
+                        f"{lineno}: {family} quantile={quantile} value "
+                        f"{value} below previous quantile's {prev} "
+                        f"(not monotone)"
+                    )
+                prev = value
+    for family, child in sorted(summary_quantiles):
+        if (family, child) not in summary_sums:
+            errors.append(f"{family}{dict(child)}: missing _sum series")
+        if (family, child) not in summary_counts:
+            errors.append(f"{family}{dict(child)}: missing _count series")
 
     for (family, child), rows in sorted(buckets.items()):
         rows.sort(key=lambda r: r[1])

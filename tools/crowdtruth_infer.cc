@@ -6,6 +6,7 @@
 //       [--workers_output=workers.csv] [--seed=42]
 //       [--threads=1] [--max_iterations=100] [--tolerance=1e-4]
 //       [--trace] [--report=report.json] [--metrics_out=metrics.prom]
+//       [--trace_out=trace.json]
 //       [--validate] [--on-bad-record=reject|dedupe|drop]
 //
 // The answers file needs the header "task,worker,answer"; the optional
@@ -37,8 +38,10 @@
 #include "data/io.h"
 #include "data/validate.h"
 #include "experiments/runner.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
+#include "obs/trace_export.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/json_writer.h"
@@ -311,6 +314,7 @@ int main(int argc, char** argv) {
                                        {"trace", "false"},
                                        {"report", ""},
                                        {"metrics_out", ""},
+                                       {"trace_out", ""},
                                        {"validate", "false"},
                                        {"on-bad-record", "reject"}});
   if (flags.Get("method") == "list") return ListMethods();
@@ -326,6 +330,11 @@ int main(int argc, char** argv) {
     crowdtruth::obs::RegisterProcessCollectors(&registry);
     crowdtruth::obs::InstallProcessMetrics(&registry);
   }
+  // Same lifetime discipline as the registry: spans read the recorder
+  // through ProcessFlightRecorder(), armed only when --trace_out asks.
+  crowdtruth::obs::FlightRecorder recorder;
+  const std::string trace_out = flags.Get("trace_out");
+  if (!trace_out.empty()) crowdtruth::obs::InstallFlightRecorder(&recorder);
   int code;
   if (flags.Get("type") == "numeric") {
     code = RunNumeric(flags);
@@ -339,6 +348,17 @@ int main(int argc, char** argv) {
     crowdtruth::obs::InstallProcessMetrics(nullptr);
     const int dump_code = DumpMetrics(&registry, metrics_out);
     if (code == 0) code = dump_code;
+  }
+  if (!trace_out.empty()) {
+    crowdtruth::obs::InstallFlightRecorder(nullptr);
+    const crowdtruth::util::Status status =
+        crowdtruth::obs::WriteTraceFile(trace_out, recorder);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      if (code == 0) code = 1;
+    } else {
+      std::cout << "wrote trace to " << trace_out << '\n';
+    }
   }
   return code;
 }

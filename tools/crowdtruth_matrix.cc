@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -42,6 +43,10 @@
 #include <vector>
 
 #include "data/answer_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/resource_sampler.h"
+#include "obs/trace_export.h"
 #include "scenario/buggify.h"
 #include "scenario/workload.h"
 #include "shard/checkpoint.h"
@@ -368,6 +373,8 @@ int main(int argc, char** argv) {
        {"buggify_seed", ""},
        {"buggify_activate", "25"},
        {"buggify_fire", "25"},
+       {"metrics_out", ""},
+       {"trace_out", ""},
        {"list", "false"}});
   if (flags.GetBool("list")) {
     for (const std::string& name : scenario::RegisteredScenarios()) {
@@ -429,6 +436,19 @@ int main(int argc, char** argv) {
               << '\n';
     buggify_tag = std::to_string(flags.GetInt("buggify_seed"));
   }
+
+  // Observability surfaces, armed per flag: the registry feeds
+  // --metrics_out (matrix cells drive the full EM + shard instrumentation),
+  // the flight recorder feeds --trace_out.
+  crowdtruth::obs::MetricRegistry registry;
+  const std::string metrics_out = flags.Get("metrics_out");
+  if (!metrics_out.empty()) {
+    crowdtruth::obs::RegisterProcessCollectors(&registry);
+    crowdtruth::obs::InstallProcessMetrics(&registry);
+  }
+  crowdtruth::obs::FlightRecorder recorder;
+  const std::string trace_out = flags.Get("trace_out");
+  if (!trace_out.empty()) crowdtruth::obs::InstallFlightRecorder(&recorder);
 
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
   const int64_t barrier_interval = flags.GetInt("barrier_interval");
@@ -575,5 +595,39 @@ int main(int argc, char** argv) {
             << (consistent ? "all policies consistent"
                            : "POLICY FINGERPRINTS DISAGREE")
             << "; summary in " << out_dir << "/matrix_summary.json\n";
-  return consistent ? 0 : 1;
+  int code = consistent ? 0 : 1;
+  if (!metrics_out.empty()) {
+    crowdtruth::obs::InstallProcessMetrics(nullptr);
+    Status dump;
+    const bool json =
+        metrics_out.size() >= 5 &&
+        metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0;
+    if (json) {
+      dump = crowdtruth::util::WriteJsonFile(metrics_out, registry.ToJson());
+    } else {
+      std::ofstream out_stream(metrics_out);
+      if (out_stream) registry.WritePrometheus(out_stream);
+      if (!out_stream.good()) {
+        dump = Status::IoError("cannot write " + metrics_out);
+      }
+    }
+    if (!dump.ok()) {
+      std::cerr << "error: " << dump.ToString() << '\n';
+      if (code == 0) code = 1;
+    } else {
+      std::cout << "wrote metrics to " << metrics_out << '\n';
+    }
+  }
+  if (!trace_out.empty()) {
+    crowdtruth::obs::InstallFlightRecorder(nullptr);
+    const Status dump =
+        crowdtruth::obs::WriteTraceFile(trace_out, recorder);
+    if (!dump.ok()) {
+      std::cerr << "error: " << dump.ToString() << '\n';
+      if (code == 0) code = 1;
+    } else {
+      std::cout << "wrote trace to " << trace_out << '\n';
+    }
+  }
+  return code;
 }

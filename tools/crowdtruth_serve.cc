@@ -9,11 +9,12 @@
 //       [--controller=true] [--controller_interval_ms=500]
 //       [--target_latency_us=200] [--initial_tickets=2000]
 //       [--tenant_label_cap=64] [--max_body_mb=8]
-//       [--duration=0]
+//       [--duration=0] [--metrics_out=FILE] [--trace_out=FILE]
 //
 // One epoll event loop serves both planes on 127.0.0.1:
 //
 //   GET  /metrics, /metrics.json, /healthz      observability
+//   GET  /debug/trace                           flight-recorder dump
 //   GET  /v1/tenants                            tenant listing
 //   POST /v1/tenants/<id>/answers               ingest newline-delimited
 //                                               `worker,task,label` records
@@ -35,12 +36,21 @@
 //
 // --port=0 picks an ephemeral port (printed on startup). --duration=N
 // exits cleanly after N seconds (CI); 0 serves until SIGINT/SIGTERM.
+//
+// A flight recorder is always installed, so GET /debug/trace serves the
+// live span ring as Chrome trace_event JSON. On clean shutdown (SIGTERM,
+// SIGINT or --duration) --metrics_out=FILE dumps the final registry
+// (.json suffix = JSON exposition, else Prometheus text) and
+// --trace_out=FILE dumps the recorder one last time.
 #include <csignal>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
+#include "obs/trace_export.h"
 #include "server/server.h"
 #include "util/flags.h"
 
@@ -51,6 +61,35 @@ crowdtruth::server::StreamingServer* g_server = nullptr;
 void HandleSignal(int /*sig*/) {
   // Async-signal-safe: one atomic store; epoll_wait's EINTR wakes the loop.
   if (g_server != nullptr) g_server->RequestStop();
+}
+
+// Dumps the registry to `path`: JSON when the extension says so, otherwise
+// Prometheus text exposition. Returns 1 on I/O failure.
+int DumpMetrics(crowdtruth::obs::MetricRegistry* registry,
+                const std::string& path) {
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    const crowdtruth::util::Status status =
+        crowdtruth::util::WriteJsonFile(path, registry->ToJson());
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      return 1;
+    }
+  } else {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot open " << path << " for writing\n";
+      return 1;
+    }
+    registry->WritePrometheus(out);
+    if (!out.good()) {
+      std::cerr << "error: failed writing " << path << '\n';
+      return 1;
+    }
+  }
+  std::cout << "wrote metrics to " << path << '\n';
+  return 0;
 }
 
 }  // namespace
@@ -74,7 +113,9 @@ int main(int argc, char** argv) {
                      {"initial_tickets", "2000"},
                      {"tenant_label_cap", "64"},
                      {"max_body_mb", "8"},
-                     {"duration", "0"}});
+                     {"duration", "0"},
+                     {"metrics_out", ""},
+                     {"trace_out", ""}});
 
   crowdtruth::server::ServerConfig config;
   config.port = flags.GetInt("port");
@@ -108,6 +149,10 @@ int main(int argc, char** argv) {
   crowdtruth::obs::MetricRegistry registry;
   crowdtruth::obs::RegisterProcessCollectors(&registry);
   crowdtruth::obs::InstallProcessMetrics(&registry);
+  // Always-on flight recorder: bounded per-thread rings, so the cost is a
+  // fixed memory budget and GET /debug/trace works out of the box.
+  crowdtruth::obs::FlightRecorder recorder;
+  crowdtruth::obs::InstallFlightRecorder(&recorder);
 
   crowdtruth::server::StreamingServer server(config, &registry);
   const crowdtruth::util::Status started = server.Start();
@@ -132,6 +177,23 @@ int main(int argc, char** argv) {
             << (server.controller().ticks()) << " controller ticks\n";
   g_server = nullptr;
   server.Stop();
+
+  // Clean-shutdown artifacts (SIGTERM/SIGINT/--duration all land here).
+  int exit_code = 0;
+  if (!flags.Get("metrics_out").empty()) {
+    exit_code = DumpMetrics(&registry, flags.Get("metrics_out"));
+  }
+  if (!flags.Get("trace_out").empty()) {
+    const crowdtruth::util::Status status =
+        crowdtruth::obs::WriteTraceFile(flags.Get("trace_out"), recorder);
+    if (!status.ok()) {
+      std::cerr << "error: " << status.ToString() << '\n';
+      exit_code = 1;
+    } else {
+      std::cout << "wrote trace to " << flags.Get("trace_out") << '\n';
+    }
+  }
+  crowdtruth::obs::InstallFlightRecorder(nullptr);
   crowdtruth::obs::InstallProcessMetrics(nullptr);
-  return 0;
+  return exit_code;
 }

@@ -51,7 +51,9 @@
 #include <vector>
 
 #include "data/answer_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace_export.h"
 #include "scenario/buggify.h"
 #include "shard/checkpoint.h"
 #include "shard/coordinator.h"
@@ -781,6 +783,7 @@ int main(int argc, char** argv) {
                      {"workers_output", ""},
                      {"json_out", ""},
                      {"metrics_out", ""},
+                     {"trace_out", ""},
                      {"buggify_seed", ""},
                      {"buggify_activate", "25"},
                      {"buggify_fire", "25"},
@@ -832,6 +835,10 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     crowdtruth::obs::InstallProcessMetrics(&registry);
   }
+  // Span tracing: armed only when --trace_out asks for a dump.
+  crowdtruth::obs::FlightRecorder recorder;
+  const std::string trace_out = flags.Get("trace_out");
+  if (!trace_out.empty()) crowdtruth::obs::InstallFlightRecorder(&recorder);
 
   int code;
   if (mode == "worker") {
@@ -896,6 +903,16 @@ int main(int argc, char** argv) {
       if (code == 0) code = 1;
     } else {
       std::cout << "wrote metrics to " << metrics_out << '\n';
+    }
+  }
+  if (!trace_out.empty()) {
+    crowdtruth::obs::InstallFlightRecorder(nullptr);
+    const Status dump = crowdtruth::obs::WriteTraceFile(trace_out, recorder);
+    if (!dump.ok()) {
+      std::cerr << "error: " << dump.ToString() << '\n';
+      if (code == 0) code = 1;
+    } else {
+      std::cout << "wrote trace to " << trace_out << '\n';
     }
   }
   // Written even when buggify is off or compiled out (an empty log plus

@@ -81,9 +81,11 @@
 #include "core/trace.h"
 #include "data/answer_log.h"
 #include "scenario/buggify.h"
+#include "obs/flight_recorder.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
+#include "obs/trace_export.h"
 #include "server/server.h"
 #include "shard/checkpoint.h"
 #include "shard/coordinator.h"
@@ -1003,6 +1005,7 @@ int main(int argc, char** argv) {
                      {"metrics_port", "-1"},
                      {"metrics_linger", "0"},
                      {"metrics_out", ""},
+                     {"trace_out", ""},
                      {"serve_port", "-1"},
                      {"serve_seconds", "0"}});
   const bool simulate = !flags.Get("simulate").empty();
@@ -1040,6 +1043,10 @@ int main(int argc, char** argv) {
     crowdtruth::obs::RegisterProcessCollectors(&registry);
     crowdtruth::obs::InstallProcessMetrics(&registry);
   }
+  // Span tracing: armed only when --trace_out asks for a dump.
+  crowdtruth::obs::FlightRecorder recorder;
+  const std::string trace_out = flags.Get("trace_out");
+  if (!trace_out.empty()) crowdtruth::obs::InstallFlightRecorder(&recorder);
   if (metrics_port >= 0) {
     const Status started = server.Start(metrics_port);
     if (!started.ok()) {
@@ -1100,6 +1107,16 @@ int main(int argc, char** argv) {
       if (code == 0) code = 1;
     } else {
       std::cout << "wrote metrics to " << metrics_out << '\n';
+    }
+  }
+  if (!trace_out.empty()) {
+    crowdtruth::obs::InstallFlightRecorder(nullptr);
+    const Status dump = crowdtruth::obs::WriteTraceFile(trace_out, recorder);
+    if (!dump.ok()) {
+      std::cerr << "error: " << dump.ToString() << '\n';
+      if (code == 0) code = 1;
+    } else {
+      std::cout << "wrote trace to " << trace_out << '\n';
     }
   }
   return code;

@@ -12,8 +12,11 @@
 #      serving-plane families;
 #   4. the adaptive controller demonstrably changed the admission budget
 #      (the exported tickets gauge moved off its initial grant);
-#   5. SIGTERM shuts the server down cleanly (exit 0 — under ASan this is
-#      also the leak check).
+#   5. /debug/trace serves valid Chrome trace JSON containing a complete
+#      ingest span tree (http_request -> tenant_ingest -> engine_observe);
+#   6. SIGTERM shuts the server down cleanly (exit 0 — under ASan this is
+#      also the leak check) and dumps the --metrics_out / --trace_out
+#      artifacts.
 #
 # Usage: tools/serve_e2e.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -58,6 +61,8 @@ awk 'BEGIN { s = 99;
 "$SERVE" --port=0 --data_dir="$WORK/data" --method=ZC --num_choices=3 \
     --resync_interval=100 --controller_interval_ms=100 \
     --target_latency_us=500000 --initial_tickets=2000 \
+    --metrics_out="$WORK/final_metrics.prom" \
+    --trace_out="$WORK/final_trace.json" \
     > "$WORK/serve.out" 2>&1 &
 SERVER_PID=$!
 
@@ -123,10 +128,13 @@ curl -fsS "$BASE/metrics" > "$WORK/scrape.prom"
 curl -fsS "$BASE/metrics.json" | python3 -m json.tool > /dev/null
 python3 tools/check_metrics_exposition.py "$WORK/scrape.prom" \
     --require crowdtruth_server_requests_total \
+              crowdtruth_server_request_duration_seconds \
               crowdtruth_server_admission_tickets \
               crowdtruth_server_controller_ticks_total \
+              crowdtruth_server_observe_latency_quantile_seconds \
               crowdtruth_stream_answers_total \
-              crowdtruth_stream_observe_latency_seconds
+              crowdtruth_stream_observe_latency_seconds \
+              crowdtruth_stream_observe_latency_digest_seconds
 
 # Assertion 4: the controller probed the admission budget off its seed.
 tickets=$(awk '/^crowdtruth_server_admission_tickets\{tenant="alpha"\}/ \
@@ -135,12 +143,57 @@ tickets=$(awk '/^crowdtruth_server_admission_tickets\{tenant="alpha"\}/ \
 awk -v t="$tickets" 'BEGIN { exit (t > 2000) ? 0 : 1 }' \
     || fail "controller never probed: tickets=$tickets (initial 2000)"
 
-# Assertion 5: clean shutdown on SIGTERM.
+# Assertion 5: /debug/trace is valid Chrome trace JSON and contains at
+# least one complete ingest span tree: an http_request span for an
+# /answers POST, a tenant_ingest child, and an engine_observe grandchild.
+curl -fsS "$BASE/debug/trace" > "$WORK/trace.json"
+python3 - "$WORK/trace.json" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    doc = json.load(handle)
+assert doc.get("otherData", {}).get("format") == "crowdtruth_trace", \
+    "not a crowdtruth trace"
+events = doc["traceEvents"]
+assert events, "trace has no events"
+for event in events:
+    assert event["ph"] == "X", f"unexpected phase {event['ph']}"
+    assert event["dur"] >= 0, "negative duration"
+    assert "span_id" in event["args"], "event without span_id"
+
+by_parent = {}
+for event in events:
+    by_parent.setdefault(event["args"]["parent_id"], []).append(event)
+
+def children(event, name):
+    return [child for child in by_parent.get(event["args"]["span_id"], [])
+            if child["name"] == name]
+
+for request in events:
+    if request["name"] != "http_request":
+        continue
+    if not request["args"].get("path", "").endswith("/answers"):
+        continue
+    for ingest in children(request, "tenant_ingest"):
+        if children(ingest, "engine_observe"):
+            print("trace: found complete ingest span tree "
+                  f"(trace_id {request['args']['trace_id']})")
+            sys.exit(0)
+sys.exit("no complete http_request -> tenant_ingest -> engine_observe tree")
+PYEOF
+
+# Assertion 6: clean shutdown on SIGTERM, plus the shutdown artifacts.
 kill -TERM "$SERVER_PID"
 server_exit=0
 wait "$SERVER_PID" || server_exit=$?
 SERVER_PID=""
 [ "$server_exit" = 0 ] || { cat "$WORK/serve.out"; \
     fail "server exited $server_exit on SIGTERM"; }
+[ -s "$WORK/final_metrics.prom" ] || fail "--metrics_out wrote nothing"
+python3 tools/check_metrics_exposition.py "$WORK/final_metrics.prom" \
+    --require crowdtruth_server_requests_total
+[ -s "$WORK/final_trace.json" ] || fail "--trace_out wrote nothing"
+python3 -c 'import json, sys; json.load(open(sys.argv[1]))' \
+    "$WORK/final_trace.json" || fail "--trace_out is not valid JSON"
 
 echo "serve e2e: all assertions passed"
